@@ -1,0 +1,72 @@
+// Ablation: conditional-sum-of-squares vs exact-likelihood (Kalman filter)
+// estimation for the ARIMA refinement stage — fit quality, forecast
+// accuracy and cost on the OLAP CPU workload. The paper's accuracy
+// comparisons use CSS-style fitting (the Python default for speed); this
+// bench quantifies what exact MLE would change.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/split.h"
+#include "models/arima.h"
+#include "tsa/interpolate.h"
+#include "tsa/metrics.h"
+
+using namespace capplan;
+
+int main() {
+  std::printf("=== Ablation: CSS vs exact-likelihood (Kalman) fitting ===\n\n");
+  auto data = bench::CollectExperiment(workload::WorkloadScenario::Olap(), 42);
+  const auto& series = data.hourly.at("cdbm011/cpu");
+  auto filled = tsa::LinearInterpolate(series);
+  if (!filled.ok()) return 1;
+  auto split = core::ApplySplit(*filled);
+  if (!split.ok()) return 1;
+  const auto& train = split->first.values();
+  const auto& test = split->second.values();
+
+  const models::ArimaSpec specs[] = {
+      {1, 0, 1, 0, 0, 0, 0},
+      {2, 1, 2, 0, 0, 0, 0},
+      {1, 0, 1, 0, 1, 1, 24},
+      {2, 1, 1, 1, 1, 1, 24},
+  };
+  std::printf("%-22s %-6s %12s %12s %10s\n", "spec", "method", "sigma2",
+              "test RMSE", "fit ms");
+  for (const auto& spec : specs) {
+    for (auto method : {models::ArimaModel::Method::kCss,
+                        models::ArimaModel::Method::kMle}) {
+      models::ArimaModel::Options opts;
+      opts.method = method;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto m = models::ArimaModel::Fit(train, spec, opts);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (!m.ok()) {
+        std::printf("%-22s %-6s fit failed: %s\n", spec.ToString().c_str(),
+                    method == models::ArimaModel::Method::kCss ? "CSS"
+                                                               : "MLE",
+                    m.status().ToString().c_str());
+        continue;
+      }
+      double rmse = -1.0;
+      if (auto fc = m->Predict(test.size()); fc.ok()) {
+        if (auto r = tsa::Rmse(test, fc->mean); r.ok()) rmse = *r;
+      }
+      std::printf("%-22s %-6s %12.5f %12.4f %10.1f\n",
+                  spec.ToString().c_str(),
+                  method == models::ArimaModel::Method::kCss ? "CSS" : "MLE",
+                  m->summary().sigma2, rmse, ms);
+    }
+  }
+  std::printf(
+      "\nExpected shape: MLE and CSS agree closely on these long (984-obs)\n"
+      "training windows; MLE costs more per fit. Exact likelihood matters\n"
+      "for short series, which is why the library offers both. Seasonal\n"
+      "specs whose state dimension exceeds the exact-initialization limit\n"
+      "(r > 12) automatically fall back to CSS refinement, so their two\n"
+      "rows coincide.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+#ifndef CAPPLAN_BENCH_BENCH_UTIL_H_
+#define CAPPLAN_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction harnesses: build the simulated
+// two-node cluster experiment data (the substitution for the paper's Oracle
+// testbed) and format tables/series for stdout.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/agent.h"
+#include "repo/repository.h"
+#include "tsa/timeseries.h"
+#include "workload/cluster.h"
+
+namespace capplan::bench {
+
+// Hourly series for every (instance, metric) of a scenario, via the full
+// agent -> repository path. 44 days so the 1008-hour Table-1 window fits.
+struct ExperimentData {
+  std::vector<std::string> instances;
+  std::map<std::string, tsa::TimeSeries> hourly;  // key: "cdbm011/cpu"
+};
+
+inline ExperimentData CollectExperiment(const workload::WorkloadScenario& sc,
+                                        std::uint64_t seed, int days = 44) {
+  ExperimentData data;
+  workload::ClusterSimulator sim(sc, seed);
+  agent::MonitoringAgent agent(&sim);
+  repo::MetricsRepository repository;
+  for (int inst = 0; inst < sim.n_instances(); ++inst) {
+    data.instances.push_back(sim.InstanceName(inst));
+    for (auto metric : {workload::Metric::kCpu, workload::Metric::kMemory,
+                        workload::Metric::kLogicalIops}) {
+      auto raw = agent.CollectDays(inst, metric, days);
+      if (!raw.ok()) {
+        std::fprintf(stderr, "collect failed: %s\n",
+                     raw.status().ToString().c_str());
+        continue;
+      }
+      const std::string key = repo::MetricsRepository::KeyFor(
+          sim.InstanceName(inst), metric);
+      if (auto st = repository.Ingest(key, *raw); !st.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+        continue;
+      }
+      data.hourly.emplace(key, *repository.Hourly(key));
+    }
+  }
+  return data;
+}
+
+// Simple fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void Row(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const int w = i < widths_.size() ? widths_[i] : 12;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "%-*s", w, cells[i].c_str());
+      line += buf;
+      line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  void Rule() const {
+    int total = 0;
+    for (int w : widths_) total += w + 2;
+    std::printf("%s\n", std::string(static_cast<std::size_t>(total), '-')
+                            .c_str());
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string Fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+// ASCII sparkline-style chart: one row per bucket, bar length proportional
+// to the value. Good enough to eyeball the figures' shapes in a terminal.
+inline void PrintAsciiSeries(const std::string& title,
+                             const std::vector<double>& values,
+                             std::size_t max_rows = 48, int width = 60) {
+  std::printf("%s\n", title.c_str());
+  if (values.empty()) return;
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  const std::size_t step =
+      values.size() > max_rows ? values.size() / max_rows : 1;
+  for (std::size_t i = 0; i < values.size(); i += step) {
+    const int bar = static_cast<int>((values[i] - lo) / span * width);
+    std::printf("%6zu | %-*s %.6g\n", i, width,
+                std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                values[i]);
+  }
+}
+
+}  // namespace capplan::bench
+
+#endif  // CAPPLAN_BENCH_BENCH_UTIL_H_

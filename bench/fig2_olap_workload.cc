@@ -1,0 +1,38 @@
+// Reproduces paper Figure 2: key metrics of the OLAP workload (Experiment
+// One) across both cluster instances, plus the Figure 5 topology header.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "math/vec.h"
+
+using namespace capplan;
+
+int main() {
+  std::printf("=== Figure 2: Key Metrics - Experiment One (OLAP) ===\n");
+  std::printf(
+      "Topology (Figure 5): N-tier - load generator -> application server\n"
+      "-> 2-node clustered database {cdbm011, cdbm012}, load balanced\n\n");
+  const auto scenario = workload::WorkloadScenario::Olap();
+  std::printf("workload: %d OLAP users, growth %.1f users/day, "
+              "nightly backup on node 1\n\n",
+              static_cast<int>(scenario.base_users),
+              scenario.user_growth_per_day);
+
+  auto data = bench::CollectExperiment(scenario, 42);
+  for (const auto& inst : data.instances) {
+    for (const char* metric : {"cpu", "memory", "logical_iops"}) {
+      const auto& series = data.hourly.at(inst + "/" + metric);
+      const auto& v = series.values();
+      std::printf("--- %s/%s: %zu hourly observations ---\n", inst.c_str(),
+                  metric, v.size());
+      std::printf("min %.4g  mean %.4g  max %.4g  stddev %.4g\n",
+                  math::Min(v), math::Mean(v), math::Max(v), math::StdDev(v));
+      // Last 3 days to show the daily pattern (one row per 2 hours).
+      std::vector<double> tail(v.end() - 72, v.end());
+      bench::PrintAsciiSeries("last 72 hours:", tail, 36);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 8 stand-in: the production monitoring view. The paper shows a
+// proprietary UI offering a model choice (HES vs SARIMAX) per instance and
+// charting the prediction; this bench renders the same information as a
+// terminal dashboard driven by core::MonitoringService — per watched
+// metric: the active model, its held-out accuracy, and the threshold
+// prognosis, with the one-week staleness policy deciding refits.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/monitor.h"
+#include "tsa/calendar.h"
+
+using namespace capplan;
+
+int main() {
+  std::printf("=== Figure 8 (stand-in): estate monitoring dashboard ===\n\n");
+  workload::ClusterSimulator cluster(workload::WorkloadScenario::Oltp(), 77);
+  agent::MonitoringAgent agent(&cluster);
+  repo::MetricsRepository metrics;
+  repo::ModelRepository registry;
+
+  std::vector<core::WatchSpec> watches;
+  for (int inst = 0; inst < cluster.n_instances(); ++inst) {
+    // The memory threshold is set just above the growing estate's current
+    // level so the trend-driven early warning fires on the busier node —
+    // the paper's "performance problem that begins weeks earlier" scenario.
+    for (auto [metric, threshold] :
+         {std::pair{workload::Metric::kCpu, 90.0},
+          std::pair{workload::Metric::kMemory, 8450.0},
+          std::pair{workload::Metric::kLogicalIops, 6.0e6}}) {
+      auto raw = agent.CollectDays(inst, metric, 44);
+      if (!raw.ok()) continue;
+      const std::string key = repo::MetricsRepository::KeyFor(
+          cluster.InstanceName(inst), metric);
+      if (!metrics.Ingest(key, *raw).ok()) continue;
+      watches.push_back({key, threshold});
+    }
+  }
+
+  core::PipelineOptions pipeline_opts;
+  pipeline_opts.technique = core::Technique::kAuto;  // HES vs SARIMAX choice
+  pipeline_opts.max_lag = 6;
+  pipeline_opts.n_threads = 8;
+  core::MonitoringService service(&metrics, &registry, pipeline_opts);
+
+  const std::int64_t now =
+      workload::kExperimentStartEpoch + 44LL * 86400;
+  auto results = service.Evaluate(watches, now);
+  if (!results.ok()) {
+    std::fprintf(stderr, "evaluate failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("as of %s UTC\n\n", tsa::FormatTimestamp(now).c_str());
+  bench::TablePrinter table({24, 40, 8, 26});
+  table.Row({"series", "active model", "MAPA%", "threshold prognosis"});
+  table.Rule();
+  for (const auto& r : *results) {
+    if (!r.status.ok()) {
+      table.Row({r.key, "ERROR: " + r.status.ToString(), "", ""});
+      continue;
+    }
+    std::string prognosis = "ok (24h clear)";
+    if (r.breach.mean_breach) {
+      prognosis = "BREACH in " +
+                  tsa::FormatDuration(r.breach.mean_breach_epoch - now);
+    } else if (r.breach.upper_breach) {
+      prognosis = "warn (upper bound) in " +
+                  tsa::FormatDuration(r.breach.upper_breach_epoch - now);
+    }
+    table.Row({r.key, r.model_spec, bench::Fmt(r.test_mapa, 1), prognosis});
+  }
+  table.Rule();
+  std::printf("\nmodels in registry: %zu (refit policy: 1 week or RMSE "
+              "degradation)\n",
+              registry.size());
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Performance benchmarks (google-benchmark): model-fitting throughput and
+// the parallel-selection speedup the paper reports ("Gains are also
+// achieved by parallel processing the models", Section 9).
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_gen.h"
+#include "core/selector.h"
+#include "models/arima.h"
+#include "models/ets.h"
+#include "tsa/acf.h"
+#include "tsa/fourier.h"
+#include "math/fft.h"
+
+namespace {
+
+using namespace capplan;
+
+std::vector<double> SeasonalSeries(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    y[t] = 50.0 + 12.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  return y;
+}
+
+void BM_ArimaFit(benchmark::State& state) {
+  const auto y = SeasonalSeries(984, 1);
+  const models::ArimaSpec spec{static_cast<int>(state.range(0)), 1, 1,
+                               0,  0, 0, 0};
+  for (auto _ : state) {
+    auto m = models::ArimaModel::Fit(y, spec);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ArimaFit)->Arg(1)->Arg(5)->Arg(13)->Arg(27);
+
+void BM_SarimaFit(benchmark::State& state) {
+  const auto y = SeasonalSeries(984, 2);
+  const models::ArimaSpec spec{static_cast<int>(state.range(0)), 1, 1,
+                               1,  1, 1, 24};
+  for (auto _ : state) {
+    auto m = models::ArimaModel::Fit(y, spec);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_SarimaFit)->Arg(1)->Arg(13);
+
+void BM_ArimaForecast(benchmark::State& state) {
+  const auto y = SeasonalSeries(984, 3);
+  auto m = models::ArimaModel::Fit(y, models::ArimaSpec{2, 1, 1, 1, 1, 1, 24});
+  if (!m.ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto fc = m->Predict(24);
+    benchmark::DoNotOptimize(fc);
+  }
+}
+BENCHMARK(BM_ArimaForecast);
+
+void BM_EtsFit(benchmark::State& state) {
+  const auto y = SeasonalSeries(984, 4);
+  for (auto _ : state) {
+    auto m = models::EtsModel::Fit(y, models::HoltWinters(24));
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_EtsFit);
+
+void BM_AcfPacf(benchmark::State& state) {
+  const auto y = SeasonalSeries(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto a = tsa::Acf(y, 30);
+    auto p = tsa::Pacf(y, 30);
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_AcfPacf)->Arg(984)->Arg(4096);
+
+void BM_Fft(benchmark::State& state) {
+  const auto y = SeasonalSeries(static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    auto p = math::Periodogram(y);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_Fft)->Arg(1008)->Arg(1024)->Arg(8192);
+
+// Parallel grid selection: the paper's parallel-processing gain. Thread
+// count is the benchmark argument; candidates are a small SARIMA slice.
+void BM_ParallelSelection(benchmark::State& state) {
+  const auto y = SeasonalSeries(1008, 7);
+  const std::vector<double> train(y.begin(), y.end() - 24);
+  const std::vector<double> test(y.end() - 24, y.end());
+  core::CandidateGenerator::Options gen_opts;
+  gen_opts.max_lag = 3;  // 66 candidates
+  core::CandidateGenerator gen(gen_opts);
+  const auto candidates = gen.Generate(core::Technique::kSarimax);
+  for (auto _ : state) {
+    core::ModelSelector::Options opts;
+    opts.n_threads = static_cast<std::size_t>(state.range(0));
+    core::ModelSelector selector(opts);
+    auto sel = selector.Select(train, test, candidates);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(candidates.size()));
+}
+BENCHMARK(BM_ParallelSelection)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+#ifndef CAPPLAN_BENCH_TABLE2_COMMON_H_
+#define CAPPLAN_BENCH_TABLE2_COMMON_H_
+
+// Shared evaluation routine for the Table 2 reproductions: for one hourly
+// metric series, run the paper's three techniques (ARIMA, SARIMAX,
+// SARIMAX+FFT+Exog), each selecting its best model by test RMSE over the
+// correlogram-pruned §6.3 grid, and report the winning model per family.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/candidate_gen.h"
+#include "core/selector.h"
+#include "core/shock_detect.h"
+#include "core/split.h"
+#include "models/baselines.h"
+#include "tsa/acf.h"
+#include "tsa/interpolate.h"
+#include "tsa/seasonality.h"
+
+namespace capplan::bench {
+
+struct FamilyResult {
+  std::string family_label;
+  std::string spec;
+  tsa::AccuracyReport accuracy;
+  std::size_t evaluated = 0;
+  std::size_t succeeded = 0;
+};
+
+inline std::optional<std::vector<FamilyResult>> EvaluateThreeFamilies(
+    const tsa::TimeSeries& hourly, std::size_t n_threads = 8,
+    int max_lag = 30) {
+  auto filled = tsa::LinearInterpolate(hourly);
+  if (!filled.ok()) return std::nullopt;
+  auto split = core::ApplySplit(*filled);
+  if (!split.ok()) {
+    std::fprintf(stderr, "split failed: %s\n",
+                 split.status().ToString().c_str());
+    return std::nullopt;
+  }
+  const std::vector<double>& train = split->first.values();
+  const std::vector<double>& test = split->second.values();
+
+  // Data understanding shared by the seasonal families.
+  std::vector<std::size_t> significant;
+  {
+    auto pacf = tsa::Pacf(train, static_cast<std::size_t>(max_lag));
+    if (pacf.ok()) significant = tsa::SignificantLags(*pacf, train.size());
+  }
+  // Fourier regressors for every detected season (with the D=0 corner of
+  // the grid these give deterministic-seasonality + ARMA-error models).
+  std::vector<double> fourier_periods;
+  {
+    auto seasons = tsa::DetectSeasonality(train);
+    if (seasons.ok() && seasons->size() >= 2) {
+      for (const auto& s : *seasons) {
+        fourier_periods.push_back(static_cast<double>(s.period));
+      }
+    }
+  }
+  core::ShockDetector detector;
+  std::vector<core::DetectedShock> shocks;
+  if (auto detected = detector.Detect(train); detected.ok()) {
+    shocks = *detected;
+  }
+  const auto exog_train = core::ShockDetector::PulseColumns(shocks, 0,
+                                                            train.size());
+  const auto exog_test =
+      core::ShockDetector::PulseColumns(shocks, train.size(), test.size());
+
+  core::ModelSelector::Options sel_opts;
+  sel_opts.n_threads = n_threads;
+  core::ModelSelector selector(sel_opts);
+
+  std::vector<FamilyResult> out;
+  // Accuracy floor: the seasonal-naive baseline (M-competition style).
+  if (auto baseline = models::SeasonalNaiveForecast(train, 24, test.size());
+      baseline.ok()) {
+    if (auto acc = tsa::MeasureAccuracy(test, baseline->mean); acc.ok()) {
+      FamilyResult r;
+      r.family_label = "SeasonalNaive (floor)";
+      r.spec = "";
+      r.accuracy = *acc;
+      r.evaluated = 1;
+      r.succeeded = 1;
+      out.push_back(std::move(r));
+    }
+  }
+  struct FamilyDef {
+    core::Technique technique;
+    const char* label;
+  };
+  const FamilyDef families[] = {
+      {core::Technique::kArima, "ARIMA"},
+      {core::Technique::kSarimax, "SARIMAX"},
+      {core::Technique::kSarimaxFftExog, "SARIMAX FFT Exogenous"},
+  };
+  for (const auto& fam : families) {
+    core::CandidateGenerator::Options gen_opts;
+    gen_opts.max_lag = max_lag;
+    gen_opts.season = 24;
+    gen_opts.n_shock_columns = shocks.size();
+    gen_opts.fourier_periods = fourier_periods;
+    core::CandidateGenerator gen(gen_opts);
+    auto candidates = gen.GeneratePruned(fam.technique, significant);
+    auto sel = selector.Select(train, test, candidates, exog_train, exog_test);
+    if (!sel.ok()) {
+      std::fprintf(stderr, "%s selection failed: %s\n", fam.label,
+                   sel.status().ToString().c_str());
+      continue;
+    }
+    FamilyResult r;
+    r.family_label = fam.label;
+    r.spec = sel->best.candidate.spec.ToString();
+    if (!sel->best.candidate.fourier.empty()) r.spec += "+FFT";
+    if (sel->best.candidate.n_exog > 0) {
+      r.spec += "+exog(" + std::to_string(sel->best.candidate.n_exog) + ")";
+    }
+    r.accuracy = sel->best.accuracy;
+    r.evaluated = sel->evaluated;
+    r.succeeded = sel->succeeded;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace capplan::bench
+
+#endif  // CAPPLAN_BENCH_TABLE2_COMMON_H_

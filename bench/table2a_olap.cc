@@ -1,0 +1,65 @@
+// Reproduces paper Table 2(a): Experiment Results - OLAP. For every
+// (instance, metric) of the simulated Experiment One workload, the best
+// model of each technique family (ARIMA, SARIMAX, SARIMAX+FFT+Exogenous) is
+// selected by test RMSE and its accuracy reported.
+//
+// Expected shape (the paper's claims): all three families capture the daily
+// pattern; the seasonal families reduce RMSE vs plain ARIMA, with
+// SARIMAX+FFT+Exog the most accurate overall, and the largest jump on
+// Logical IOPS where the seasonal component dominates.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "table2_common.h"
+
+using namespace capplan;
+
+int main() {
+  std::printf("=== Table 2(a): Experiment Results - OLAP ===\n\n");
+  auto data = bench::CollectExperiment(workload::WorkloadScenario::Olap(), 42);
+
+  bench::TablePrinter table({34, 13, 14, 10, 10, 9});
+  table.Row({"Forecast Model", "Metric", "RMSE", "MAPE %", "MAPA %",
+             "Instance"});
+  table.Rule();
+
+  struct MetricDef {
+    const char* key;
+    const char* label;
+  };
+  const MetricDef metrics[] = {
+      {"cpu", "CPU"}, {"memory", "Memory"}, {"logical_iops", "Logical IOPS"}};
+
+  int fam_wins = 0, comparisons = 0;
+  for (const auto& metric : metrics) {
+    for (const auto& inst : data.instances) {
+      const auto& series = data.hourly.at(inst + "/" + metric.key);
+      auto results = bench::EvaluateThreeFamilies(series);
+      if (!results) continue;
+      double best_rmse = 1e300;
+      double arima_rmse = 1e300;
+      for (const auto& r : *results) {
+        table.Row({r.family_label + " " + r.spec, metric.label,
+                   bench::Fmt(r.accuracy.rmse,
+                              r.accuracy.rmse > 1000 ? 1 : 3),
+                   bench::Fmt(r.accuracy.mape, 2),
+                   bench::Fmt(r.accuracy.mapa, 2), inst});
+        if (r.family_label.find("floor") == std::string::npos) {
+          best_rmse = std::min(best_rmse, r.accuracy.rmse);
+        }
+        if (r.family_label == "ARIMA") arima_rmse = r.accuracy.rmse;
+      }
+      table.Rule();
+      ++comparisons;
+      if (best_rmse < arima_rmse) ++fam_wins;
+    }
+  }
+  std::printf(
+      "\nSeasonal families (SARIMAX / SARIMAX+FFT+Exog) win %d of %d\n"
+      "instance-metric cells (paper: seasonal component gives a significant\n"
+      "jump in accuracy, SARIMAX FFT Exogenous consistently most accurate).\n",
+      fam_wins, comparisons);
+  return 0;
+}

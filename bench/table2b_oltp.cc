@@ -1,0 +1,73 @@
+// Reproduces paper Table 2(b): Experiment Results - OLTP. Same grid as
+// Table 2(a) but on the complicated Experiment Two workload (trend,
+// multiple seasonality from the twice-daily surges, 6-hourly backup shocks).
+//
+// Expected shape: the exogenous shock regressors and Fourier terms let
+// SARIMAX+FFT+Exog stay accurate despite trend + multiple seasonality +
+// shocks; plain ARIMA degrades most.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "table2_common.h"
+
+using namespace capplan;
+
+int main() {
+  std::printf("=== Table 2(b): Experiment Results - OLTP ===\n\n");
+  auto data = bench::CollectExperiment(workload::WorkloadScenario::Oltp(), 42);
+
+  bench::TablePrinter table({34, 13, 14, 10, 10, 9});
+  table.Row({"Forecast Model", "Metric", "RMSE", "MAPE %", "MAPA %",
+             "Instance"});
+  table.Rule();
+
+  struct MetricDef {
+    const char* key;
+    const char* label;
+  };
+  const MetricDef metrics[] = {
+      {"cpu", "CPU"}, {"memory", "Memory"}, {"logical_iops", "Logical IOPS"}};
+
+  int fft_wins = 0, comparisons = 0;
+  for (const auto& metric : metrics) {
+    for (const auto& inst : data.instances) {
+      const auto& series = data.hourly.at(inst + "/" + metric.key);
+      auto results = bench::EvaluateThreeFamilies(series);
+      if (!results) continue;
+      double best_rmse = 1e300;
+      double fft_rmse = 1e300;
+      for (const auto& r : *results) {
+        table.Row({r.family_label + " " + r.spec, metric.label,
+                   bench::Fmt(r.accuracy.rmse,
+                              r.accuracy.rmse > 1000 ? 1 : 3),
+                   bench::Fmt(r.accuracy.mape, 2),
+                   bench::Fmt(r.accuracy.mapa, 2), inst});
+        if (r.family_label.find("floor") == std::string::npos) {
+          best_rmse = std::min(best_rmse, r.accuracy.rmse);
+        }
+        if (r.family_label == "SARIMAX FFT Exogenous") {
+          fft_rmse = r.accuracy.rmse;
+        }
+      }
+      table.Rule();
+      ++comparisons;
+      // Ties count: when the simulator's shocks are exactly periodic, the
+      // seasonal differencing of a SARIMA spec absorbs them and the
+      // exogenous deterministic part cancels analytically, producing
+      // bit-identical forecasts.
+      if (fft_rmse <= best_rmse * 1.0001) ++fft_wins;
+    }
+  }
+  std::printf(
+      "\nSARIMAX FFT Exogenous is best-or-tied in %d of %d instance-metric\n"
+      "cells on the complex workload (paper: 'consistently more accurate\n"
+      "... maintains accuracy when we add multiple seasonality and\n"
+      "shocks'). Exact ties arise because the simulated shocks are\n"
+      "perfectly periodic and hence also absorbable by seasonal\n"
+      "differencing; real workloads drift, which is where the exogenous\n"
+      "terms pull ahead.\n",
+      fft_wins, comparisons);
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "agent/agent.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace capplan::agent {
+
+namespace {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultModel::IsDropped(int instance, std::int64_t epoch) const {
+  if (maintenance_period_seconds > 0 && epoch >= maintenance_start_epoch) {
+    const std::int64_t off =
+        (epoch - maintenance_start_epoch) % maintenance_period_seconds;
+    if (off < maintenance_duration_seconds) return true;
+  }
+  if (drop_probability <= 0.0) return false;
+  const std::uint64_t h =
+      Mix64(seed ^ Mix64(static_cast<std::uint64_t>(epoch)) ^
+            (static_cast<std::uint64_t>(instance) * 0x100000001b3ULL));
+  const double u =
+      (static_cast<double>(h >> 11) + 0.5) / 9007199254740992.0;
+  return u < drop_probability;
+}
+
+Result<tsa::TimeSeries> MonitoringAgent::Collect(int instance,
+                                                 workload::Metric metric,
+                                                 std::int64_t start_epoch,
+                                                 std::size_t n_polls) const {
+  if (cluster_ == nullptr) {
+    return Status::FailedPrecondition("MonitoringAgent: no cluster attached");
+  }
+  if (instance < 0 || instance >= cluster_->n_instances()) {
+    return Status::InvalidArgument("MonitoringAgent: bad instance index");
+  }
+  if (poll_seconds_ != 15 * 60 && poll_seconds_ != 3600) {
+    return Status::InvalidArgument(
+        "MonitoringAgent: poll interval must be 15min or 1h");
+  }
+  std::vector<double> values;
+  values.reserve(n_polls);
+  for (std::size_t i = 0; i < n_polls; ++i) {
+    const std::int64_t t =
+        start_epoch + static_cast<std::int64_t>(i) * poll_seconds_;
+    if (faults_.IsDropped(instance, t)) {
+      values.push_back(std::nan(""));
+      continue;
+    }
+    values.push_back(cluster_->SampleAt(instance, t).Get(metric));
+  }
+  const tsa::Frequency freq = poll_seconds_ == 15 * 60
+                                  ? tsa::Frequency::kQuarterHourly
+                                  : tsa::Frequency::kHourly;
+  const std::string name = cluster_->InstanceName(instance) + "/" +
+                           workload::MetricName(metric);
+  return tsa::TimeSeries(name, start_epoch, freq, std::move(values));
+}
+
+Result<tsa::TimeSeries> MonitoringAgent::CollectDays(int instance,
+                                                     workload::Metric metric,
+                                                     int days) const {
+  const std::size_t polls_per_day =
+      static_cast<std::size_t>(86400 / poll_seconds_);
+  return Collect(instance, metric, cluster_->start_epoch(),
+                 polls_per_day * static_cast<std::size_t>(days));
+}
+
+}  // namespace capplan::agent

@@ -1,0 +1,58 @@
+#ifndef CAPPLAN_AGENT_AGENT_H_
+#define CAPPLAN_AGENT_AGENT_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "tsa/timeseries.h"
+#include "workload/cluster.h"
+
+namespace capplan::agent {
+
+// Models agent unreliability: "It is possible that the agent may have been
+// at fault and may not have executed or polled the value ... due to
+// maintenance cycles or faults" (paper Section 5.1). Dropped polls become
+// NaN samples in the raw trace.
+struct FaultModel {
+  // Independent probability that any single poll is lost.
+  double drop_probability = 0.0;
+  // Optional recurring maintenance window during which every poll is lost.
+  std::int64_t maintenance_start_epoch = 0;
+  std::int64_t maintenance_period_seconds = 0;  // 0 = no maintenance window
+  std::int64_t maintenance_duration_seconds = 0;
+  std::uint64_t seed = 1;
+
+  bool IsDropped(int instance, std::int64_t epoch) const;
+};
+
+// The polling agent: executes against the (simulated) database host every
+// `poll_seconds` and reports metric values. This is the paper's OEM-style
+// agent feeding the central repository.
+class MonitoringAgent {
+ public:
+  MonitoringAgent(const workload::ClusterSimulator* cluster,
+                  FaultModel faults = {}, std::int64_t poll_seconds = 15 * 60)
+      : cluster_(cluster), faults_(faults), poll_seconds_(poll_seconds) {}
+
+  // Collects `n_polls` samples of `metric` from `instance` starting at
+  // `start_epoch`. Missing polls are NaN.
+  Result<tsa::TimeSeries> Collect(int instance, workload::Metric metric,
+                                  std::int64_t start_epoch,
+                                  std::size_t n_polls) const;
+
+  // Convenience: collects `days` days of quarter-hourly samples starting at
+  // the cluster's start epoch.
+  Result<tsa::TimeSeries> CollectDays(int instance, workload::Metric metric,
+                                      int days) const;
+
+  std::int64_t poll_seconds() const { return poll_seconds_; }
+
+ private:
+  const workload::ClusterSimulator* cluster_;  // not owned
+  FaultModel faults_;
+  std::int64_t poll_seconds_;
+};
+
+}  // namespace capplan::agent
+
+#endif  // CAPPLAN_AGENT_AGENT_H_

@@ -1,0 +1,45 @@
+#ifndef CAPPLAN_COMMON_LOGGING_H_
+#define CAPPLAN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace capplan {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace capplan
+
+#define CAPPLAN_LOG(level)                                      \
+  ::capplan::internal::LogMessage(::capplan::LogLevel::level,   \
+                                  __FILE__, __LINE__)
+
+#endif  // CAPPLAN_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+#ifndef CAPPLAN_COMMON_RESULT_H_
+#define CAPPLAN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace capplan {
+
+// Either a value of type T or a non-OK Status explaining why the value could
+// not be produced. Analogous to arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Implicit from value and from Status so that `return value;` and
+  // `return Status::...;` both work in functions returning Result<T>.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace capplan
+
+// Evaluates an expression returning Result<T>; on success binds the value to
+// `lhs`, otherwise returns the error Status to the caller.
+#define CAPPLAN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define CAPPLAN_ASSIGN_OR_RETURN(lhs, expr) \
+  CAPPLAN_ASSIGN_OR_RETURN_IMPL(            \
+      CAPPLAN_CONCAT_(_capplan_result_, __LINE__), lhs, expr)
+
+#define CAPPLAN_CONCAT_INNER_(a, b) a##b
+#define CAPPLAN_CONCAT_(a, b) CAPPLAN_CONCAT_INNER_(a, b)
+
+#endif  // CAPPLAN_COMMON_RESULT_H_

@@ -1,0 +1,91 @@
+#ifndef CAPPLAN_COMMON_STATUS_H_
+#define CAPPLAN_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace capplan {
+
+// Machine-readable classification of a failure. Mirrors the Arrow/RocksDB
+// convention of a small closed enum plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kComputeError,   // numerical failure: non-convergence, singular matrix, ...
+  kIoError,
+  kInternal,
+};
+
+// Returns a stable, human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+// Outcome of an operation that can fail. Cheap to copy in the OK case
+// (single enum); carries a message otherwise. The library does not throw:
+// every fallible public entry point returns Status or Result<T>.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ComputeError(std::string msg) {
+    return Status(StatusCode::kComputeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace capplan
+
+// Propagates a non-OK Status from an expression to the caller.
+#define CAPPLAN_RETURN_NOT_OK(expr)                   \
+  do {                                                \
+    ::capplan::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+#endif  // CAPPLAN_COMMON_STATUS_H_

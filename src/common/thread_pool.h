@@ -1,0 +1,58 @@
+#ifndef CAPPLAN_COMMON_THREAD_POOL_H_
+#define CAPPLAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace capplan {
+
+// Fixed-size worker pool used by the model selector to evaluate candidate
+// models in parallel (the paper reports "gains achieved by parallel
+// processing the models", Section 9).
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` for execution; returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [0, n) across the pool and blocks until all complete.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace capplan
+
+#endif  // CAPPLAN_COMMON_THREAD_POOL_H_

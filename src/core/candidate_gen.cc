@@ -1,0 +1,179 @@
+#include "core/candidate_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace capplan::core {
+
+namespace {
+
+struct SeasonalTemplate {
+  int d, q, P, D, Q;
+};
+
+// Builds aliasing-safe, non-collinear Fourier specs from a period list:
+// harmonics are clamped below the Nyquist limit (2k < period) and any
+// harmonic whose frequency duplicates one already emitted by an earlier
+// period is dropped (e.g. period 3's fundamental equals period 6's second
+// harmonic, which would make the regression rank-deficient).
+std::vector<tsa::FourierSpec> BuildFourierSpecs(
+    const std::vector<double>& periods, std::size_t harmonics) {
+  std::vector<tsa::FourierSpec> out;
+  std::vector<double> used_freqs;
+  for (double period : periods) {
+    if (period <= 2.0) continue;
+    const auto nyquist =
+        static_cast<std::size_t>((period - 1.0) / 2.0);
+    const std::size_t k_max = std::min(harmonics, std::max<std::size_t>(
+                                                      1, nyquist));
+    std::size_t k = 0;
+    for (std::size_t j = 1; j <= k_max; ++j) {
+      const double f = static_cast<double>(j) / period;
+      if (2.0 * static_cast<double>(j) >= period) break;
+      bool dup = false;
+      for (double u : used_freqs) {
+        if (std::fabs(u - f) < 1e-9) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) break;
+      k = j;
+    }
+    if (k == 0) continue;
+    for (std::size_t j = 1; j <= k; ++j) {
+      used_freqs.push_back(static_cast<double>(j) / period);
+    }
+    out.push_back({period, k});
+  }
+  return out;
+}
+
+// The 22 per-lag seasonal templates (see header).
+std::vector<SeasonalTemplate> SeasonalTemplates() {
+  std::vector<SeasonalTemplate> out;
+  const int pdq[][3] = {{0, 0, 1}, {1, 1, 1}, {1, 0, 1}};
+  for (int d = 0; d <= 1; ++d) {
+    for (int q = 0; q <= 2; ++q) {
+      for (const auto& s : pdq) {
+        out.push_back({d, q, s[0], s[1], s[2]});
+      }
+    }
+  }
+  for (int d = 0; d <= 1; ++d) {
+    for (int q = 1; q <= 2; ++q) {
+      out.push_back({d, q, 0, 1, 1});
+    }
+  }
+  return out;  // 18 + 4 = 22
+}
+
+}  // namespace
+
+std::size_t CandidateGenerator::ExpectedCount(Technique family) {
+  switch (family) {
+    case Technique::kArima:
+      return 180;
+    case Technique::kSarimax:
+      return 660;
+    case Technique::kSarimaxFftExog:
+      return 666;
+    default:
+      return 0;
+  }
+}
+
+std::vector<ModelCandidate> CandidateGenerator::Generate(
+    Technique family) const {
+  std::vector<ModelCandidate> out;
+  const int max_lag = options_.max_lag;
+  switch (family) {
+    case Technique::kArima: {
+      // p in 1..30, d in {0,1}, q in {0,1,2}: 180 models.
+      for (int p = 1; p <= max_lag; ++p) {
+        for (int d = 0; d <= 1; ++d) {
+          for (int q = 0; q <= 2; ++q) {
+            ModelCandidate c;
+            c.family = family;
+            c.spec = models::ArimaSpec{p, d, q, 0, 0, 0, 0};
+            out.push_back(c);
+          }
+        }
+      }
+      break;
+    }
+    case Technique::kSarimax: {
+      const auto templates = SeasonalTemplates();
+      for (int p = 1; p <= max_lag; ++p) {
+        for (const auto& t : templates) {
+          ModelCandidate c;
+          c.family = family;
+          c.spec = models::ArimaSpec{p,   t.d, t.q, t.P,
+                                     t.D, t.Q, options_.season};
+          out.push_back(c);
+        }
+      }
+      break;
+    }
+    case Technique::kSarimaxFftExog: {
+      // The 660 grid with shocks + Fourier attached ...
+      const std::vector<tsa::FourierSpec> fourier = BuildFourierSpecs(
+          options_.fourier_periods, options_.fourier_harmonics);
+      const auto templates = SeasonalTemplates();
+      for (int p = 1; p <= max_lag; ++p) {
+        for (const auto& t : templates) {
+          ModelCandidate c;
+          c.family = family;
+          c.spec = models::ArimaSpec{p,   t.d, t.q, t.P,
+                                     t.D, t.Q, options_.season};
+          c.n_exog = options_.n_shock_columns;
+          c.fourier = fourier;
+          out.push_back(c);
+        }
+      }
+      // ... plus 4 exogenous-subset variants of the reference spec ...
+      const models::ArimaSpec ref{1, 1, 1, 1, 1, 1, options_.season};
+      for (std::size_t k = 1; k <= 4; ++k) {
+        ModelCandidate c;
+        c.family = family;
+        c.spec = ref;
+        c.n_exog = std::min(k, options_.n_shock_columns);
+        out.push_back(c);
+      }
+      // ... plus 2 Fourier-harmonic variants (K = 1 and K = 2).
+      for (std::size_t k = 1; k <= 2; ++k) {
+        ModelCandidate c;
+        c.family = family;
+        c.spec = ref;
+        c.n_exog = options_.n_shock_columns;
+        c.fourier = BuildFourierSpecs(options_.fourier_periods, k);
+        out.push_back(c);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+std::vector<ModelCandidate> CandidateGenerator::GeneratePruned(
+    Technique family, const std::vector<std::size_t>& significant_lags) const {
+  std::set<std::size_t> keep(significant_lags.begin(),
+                             significant_lags.end());
+  // Safety net: always explore the short lags.
+  keep.insert(1);
+  keep.insert(2);
+  keep.insert(3);
+  std::vector<ModelCandidate> full = Generate(family);
+  std::vector<ModelCandidate> pruned;
+  for (const auto& c : full) {
+    if (keep.count(static_cast<std::size_t>(c.spec.p)) > 0) {
+      pruned.push_back(c);
+    }
+  }
+  return pruned;
+}
+
+}  // namespace capplan::core

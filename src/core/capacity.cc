@@ -1,0 +1,112 @@
+#include "core/capacity.h"
+
+#include <algorithm>
+
+#include "models/ets.h"
+
+namespace capplan::core {
+
+BreachPrediction CapacityPlanner::PredictBreach(
+    const models::Forecast& forecast, double threshold,
+    std::int64_t start_epoch, std::int64_t step_seconds) {
+  BreachPrediction out;
+  for (std::size_t h = 0; h < forecast.mean.size(); ++h) {
+    if (!out.mean_breach && forecast.mean[h] >= threshold) {
+      out.mean_breach = true;
+      out.steps_to_mean_breach = h + 1;
+      out.mean_breach_epoch =
+          start_epoch + static_cast<std::int64_t>(h) * step_seconds;
+    }
+    if (!out.upper_breach && h < forecast.upper.size() &&
+        forecast.upper[h] >= threshold) {
+      out.upper_breach = true;
+      out.steps_to_upper_breach = h + 1;
+      out.upper_breach_epoch =
+          start_epoch + static_cast<std::int64_t>(h) * step_seconds;
+    }
+    if (out.mean_breach && out.upper_breach) break;
+  }
+  return out;
+}
+
+double CapacityPlanner::RecommendedCapacity(const models::Forecast& forecast,
+                                            double safety_margin) {
+  double peak_upper = 0.0;
+  for (std::size_t h = 0; h < forecast.upper.size(); ++h) {
+    peak_upper = std::max(peak_upper, forecast.upper[h]);
+  }
+  return peak_upper * (1.0 + std::max(0.0, safety_margin));
+}
+
+Result<CapacityPlanner::GrowthProjection> CapacityPlanner::ProjectGrowth(
+    const tsa::TimeSeries& hourly, int months, double threshold) {
+  if (months < 1 || months > 36) {
+    return Status::InvalidArgument("ProjectGrowth: months in [1, 36]");
+  }
+  if (hourly.frequency() != tsa::Frequency::kHourly) {
+    return Status::InvalidArgument("ProjectGrowth: needs an hourly series");
+  }
+  const std::size_t n_days = hourly.size() / 24;
+  if (n_days < 14) {
+    return Status::InvalidArgument(
+        "ProjectGrowth: need at least 14 days of history");
+  }
+  // Daily peaks — capacity is sized to peaks, not means.
+  std::vector<double> daily_peak(n_days, 0.0);
+  for (std::size_t d = 0; d < n_days; ++d) {
+    double peak = hourly[d * 24];
+    for (std::size_t h = 1; h < 24; ++h) {
+      peak = std::max(peak, hourly[d * 24 + h]);
+    }
+    daily_peak[d] = peak;
+  }
+  // Damped Holt trend on the daily-peak series, projected month by month.
+  CAPPLAN_ASSIGN_OR_RETURN(
+      models::EtsModel model,
+      models::EtsModel::Fit(daily_peak, models::HoltLinearTrend(true)));
+  const std::size_t horizon_days = static_cast<std::size_t>(months) * 30;
+  CAPPLAN_ASSIGN_OR_RETURN(models::Forecast fc,
+                           model.Predict(horizon_days));
+  GrowthProjection out;
+  out.current_daily_peak = daily_peak.back();
+  out.daily_growth = model.trend_state();
+  out.monthly_peaks.resize(static_cast<std::size_t>(months), 0.0);
+  for (std::size_t d = 0; d < horizon_days; ++d) {
+    const std::size_t month = d / 30;
+    out.monthly_peaks[month] =
+        std::max(out.monthly_peaks[month], fc.mean[d]);
+  }
+  if (threshold > 0.0) {
+    for (std::size_t m = 0; m < out.monthly_peaks.size(); ++m) {
+      if (out.monthly_peaks[m] >= threshold) {
+        out.breach_month = m + 1;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<CapacityPlanner::HeadroomReport> CapacityPlanner::Headroom(
+    const tsa::TimeSeries& recent, const models::Forecast& forecast,
+    double capacity) {
+  if (recent.empty()) {
+    return Status::InvalidArgument("Headroom: empty recent series");
+  }
+  if (forecast.mean.empty()) {
+    return Status::InvalidArgument("Headroom: empty forecast");
+  }
+  if (capacity <= 0.0) {
+    return Status::InvalidArgument("Headroom: capacity must be positive");
+  }
+  HeadroomReport rep;
+  rep.current_usage = recent[recent.size() - 1];
+  rep.peak_forecast =
+      *std::max_element(forecast.mean.begin(), forecast.mean.end());
+  rep.peak_upper =
+      *std::max_element(forecast.upper.begin(), forecast.upper.end());
+  rep.headroom_fraction = (capacity - rep.peak_upper) / capacity;
+  return rep;
+}
+
+}  // namespace capplan::core

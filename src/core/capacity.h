@@ -1,0 +1,78 @@
+#ifndef CAPPLAN_CORE_CAPACITY_H_
+#define CAPPLAN_CORE_CAPACITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "models/model.h"
+#include "tsa/timeseries.h"
+
+namespace capplan::core {
+
+// Capacity-planning questions answered from a forecast — the paper's
+// proactive-monitoring use case: "Utilising these techniques to predict when
+// a threshold is likely to be breached is an advisable way to implement this
+// approach" (Section 9).
+
+struct BreachPrediction {
+  // Point-forecast breach (the expected path crosses the threshold).
+  bool mean_breach = false;
+  std::size_t steps_to_mean_breach = 0;   // 1-based forecast step
+  std::int64_t mean_breach_epoch = 0;
+
+  // Pessimistic breach: the upper prediction bound crosses the threshold
+  // (an earlier early-warning signal).
+  bool upper_breach = false;
+  std::size_t steps_to_upper_breach = 0;
+  std::int64_t upper_breach_epoch = 0;
+};
+
+class CapacityPlanner {
+ public:
+  // Scans the forecast for the first crossing of `threshold`.
+  // `start_epoch` is the timestamp of forecast step 1 and `step_seconds`
+  // the spacing of steps.
+  static BreachPrediction PredictBreach(const models::Forecast& forecast,
+                                        double threshold,
+                                        std::int64_t start_epoch,
+                                        std::int64_t step_seconds);
+
+  // Capacity to provision so that even the upper forecast bound keeps
+  // `safety_margin` fractional headroom (e.g. 0.2 = 20% spare).
+  static double RecommendedCapacity(const models::Forecast& forecast,
+                                    double safety_margin = 0.2);
+
+  struct HeadroomReport {
+    double current_usage = 0.0;    // last observed value
+    double peak_forecast = 0.0;    // max of the forecast mean
+    double peak_upper = 0.0;       // max of the upper bound
+    double headroom_fraction = 0.0;  // (capacity - peak_upper) / capacity
+  };
+
+  // Compares recent usage and the forecast against a fixed capacity.
+  static Result<HeadroomReport> Headroom(const tsa::TimeSeries& recent,
+                                         const models::Forecast& forecast,
+                                         double capacity);
+
+  struct GrowthProjection {
+    double current_daily_peak = 0.0;   // peak of the last observed day
+    double daily_growth = 0.0;         // fitted trend, units per day
+    std::vector<double> monthly_peaks; // projected peak per 30-day month
+    // First month (1-based) whose projected peak exceeds the threshold;
+    // 0 = no breach within the projection.
+    std::size_t breach_month = 0;
+  };
+
+  // Long-term sizing (the paper's migration use case: "what resource
+  // capacity do I need in the next 6 months to a year?"). Aggregates the
+  // hourly history to daily peaks, fits a damped Holt trend and projects
+  // `months` months ahead. `threshold` <= 0 disables breach detection.
+  static Result<GrowthProjection> ProjectGrowth(const tsa::TimeSeries& hourly,
+                                                int months,
+                                                double threshold = 0.0);
+};
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_CAPACITY_H_

@@ -1,0 +1,56 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capplan::core {
+
+bool PageHinkleyDetector::Update(double value) {
+  ++n_;
+  // Running mean (Welford-style single pass).
+  mean_ += (value - mean_) / static_cast<double>(n_);
+  mt_ += value - mean_ - options_.delta;
+  min_mt_ = std::min(min_mt_, mt_);
+  if (n_ < options_.min_samples) return false;
+  if (mt_ - min_mt_ > options_.threshold) {
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+void PageHinkleyDetector::Reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  mt_ = 0.0;
+  min_mt_ = 0.0;
+}
+
+bool CusumDetector::Update(double value) {
+  const double z = (value - mean_) / sigma_;
+  pos_ = std::max(0.0, pos_ + z - options_.k);
+  neg_ = std::max(0.0, neg_ - z - options_.k);
+  if (pos_ > options_.threshold || neg_ > options_.threshold) {
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+void CusumDetector::Reset() {
+  pos_ = 0.0;
+  neg_ = 0.0;
+}
+
+std::vector<std::size_t> DetectChanges(
+    const std::vector<double>& values,
+    const PageHinkleyDetector::Options& options) {
+  PageHinkleyDetector detector(options);
+  std::vector<std::size_t> alarms;
+  for (std::size_t t = 0; t < values.size(); ++t) {
+    if (detector.Update(values[t])) alarms.push_back(t);
+  }
+  return alarms;
+}
+
+}  // namespace capplan::core

@@ -1,0 +1,90 @@
+#ifndef CAPPLAN_CORE_DRIFT_H_
+#define CAPPLAN_CORE_DRIFT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::core {
+
+// Online change detection for model-health monitoring. The paper retires a
+// stored model "until the model's RMSE drops to a point where it is
+// rendered useless" and relearns when "the system (data) has changed
+// significantly (shocks or new behaviours)" (Sections 5.1, 9). These
+// detectors watch the live one-step forecast errors and signal when their
+// distribution shifts, driving the ModelRepository staleness decision
+// without waiting for the weekly refit.
+
+// Page-Hinkley test: detects a sustained increase in the mean of a stream.
+// Feed it the absolute (or squared) forecast errors; it alarms when the
+// cumulative deviation from the running mean exceeds `threshold`.
+class PageHinkleyDetector {
+ public:
+  struct Options {
+    double delta = 0.005;     // magnitude tolerance (fraction of mean scale)
+    double threshold = 50.0;  // alarm level (in accumulated error units)
+    std::size_t min_samples = 30;
+  };
+
+  PageHinkleyDetector() : PageHinkleyDetector(Options()) {}
+  explicit PageHinkleyDetector(Options options) : options_(options) {}
+
+  // Consumes one observation; returns true when a change is signalled.
+  // After an alarm the detector resets automatically.
+  bool Update(double value);
+
+  void Reset();
+  std::size_t samples_seen() const { return n_; }
+  double running_mean() const { return mean_; }
+  // Current cumulative statistic (for inspection/telemetry).
+  double statistic() const { return mt_ - min_mt_; }
+
+ private:
+  Options options_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double mt_ = 0.0;
+  double min_mt_ = 0.0;
+};
+
+// Two-sided CUSUM on standardized values: alarms when the positive or
+// negative cumulative sum exceeds `threshold` sigmas.
+class CusumDetector {
+ public:
+  struct Options {
+    double k = 0.5;          // slack, in sigmas
+    double threshold = 8.0;  // alarm level, in sigmas
+  };
+
+  // `mean` and `sigma` describe the in-control distribution (e.g. from the
+  // model's training residuals). sigma must be positive.
+  CusumDetector(double mean, double sigma)
+      : CusumDetector(mean, sigma, Options()) {}
+  CusumDetector(double mean, double sigma, Options options)
+      : options_(options), mean_(mean), sigma_(sigma > 0.0 ? sigma : 1.0) {}
+
+  // Consumes one observation; returns true on alarm (then resets).
+  bool Update(double value);
+
+  void Reset();
+  double positive_sum() const { return pos_; }
+  double negative_sum() const { return neg_; }
+
+ private:
+  Options options_;
+  double mean_;
+  double sigma_;
+  double pos_ = 0.0;
+  double neg_ = 0.0;
+};
+
+// Offline convenience: runs Page-Hinkley over a whole residual trace and
+// returns the indices where changes were signalled.
+std::vector<std::size_t> DetectChanges(
+    const std::vector<double>& values,
+    const PageHinkleyDetector::Options& options = {});
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_DRIFT_H_

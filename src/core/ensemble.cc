@@ -1,0 +1,78 @@
+#include "core/ensemble.h"
+
+namespace capplan::core {
+
+Result<models::Forecast> CombineForecasts(
+    const std::vector<const models::Forecast*>& forecasts,
+    std::vector<double> weights) {
+  if (forecasts.empty()) {
+    return Status::InvalidArgument("CombineForecasts: no members");
+  }
+  for (const auto* f : forecasts) {
+    if (f == nullptr) {
+      return Status::InvalidArgument("CombineForecasts: null member");
+    }
+  }
+  const std::size_t h = forecasts[0]->horizon();
+  if (h == 0) {
+    return Status::InvalidArgument("CombineForecasts: empty forecasts");
+  }
+  for (const auto* f : forecasts) {
+    if (f->horizon() != h || f->lower.size() != h || f->upper.size() != h) {
+      return Status::InvalidArgument(
+          "CombineForecasts: horizon/interval mismatch between members");
+    }
+  }
+  if (weights.empty()) {
+    weights.assign(forecasts.size(), 1.0);
+  }
+  if (weights.size() != forecasts.size()) {
+    return Status::InvalidArgument("CombineForecasts: weight count mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument(
+          "CombineForecasts: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("CombineForecasts: zero total weight");
+  }
+
+  models::Forecast out;
+  out.level = forecasts[0]->level;
+  out.mean.assign(h, 0.0);
+  out.lower.assign(h, 0.0);
+  out.upper.assign(h, 0.0);
+  for (std::size_t m = 0; m < forecasts.size(); ++m) {
+    const double w = weights[m] / total;
+    for (std::size_t t = 0; t < h; ++t) {
+      out.mean[t] += w * forecasts[m]->mean[t];
+      out.lower[t] += w * forecasts[m]->lower[t];
+      out.upper[t] += w * forecasts[m]->upper[t];
+    }
+  }
+  return out;
+}
+
+Result<models::Forecast> CombineTopCandidates(
+    const std::vector<EvaluatedCandidate>& top, bool inverse_rmse_weights) {
+  std::vector<const models::Forecast*> members;
+  std::vector<double> weights;
+  for (const auto& c : top) {
+    if (!c.ok) continue;
+    members.push_back(&c.test_forecast);
+    if (inverse_rmse_weights) {
+      weights.push_back(1.0 / (c.accuracy.rmse + 1e-12));
+    }
+  }
+  if (members.empty()) {
+    return Status::InvalidArgument(
+        "CombineTopCandidates: no successful candidates");
+  }
+  return CombineForecasts(members, std::move(weights));
+}
+
+}  // namespace capplan::core

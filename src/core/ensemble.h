@@ -1,0 +1,34 @@
+#ifndef CAPPLAN_CORE_ENSEMBLE_H_
+#define CAPPLAN_CORE_ENSEMBLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/selector.h"
+#include "models/model.h"
+
+namespace capplan::core {
+
+// Forecast combination. Instead of committing to the single best-RMSE
+// model, average the top-k candidates of a selection run — a standard
+// M-competition result is that combinations are more robust than any
+// individual member, and it hedges the grid search against overfitting the
+// one test window (a risk the paper's single-split protocol carries).
+
+// Weighted average of point forecasts and interval bounds. `weights` must
+// match `forecasts` in length (empty = equal weights); all forecasts must
+// share the same horizon.
+Result<models::Forecast> CombineForecasts(
+    const std::vector<const models::Forecast*>& forecasts,
+    std::vector<double> weights = {});
+
+// Combines the test-window forecasts of the top candidates of a selection.
+// `inverse_rmse_weights` weights each member by 1/test-RMSE (better models
+// count more); otherwise members are equally weighted.
+Result<models::Forecast> CombineTopCandidates(
+    const std::vector<EvaluatedCandidate>& top,
+    bool inverse_rmse_weights = true);
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_ENSEMBLE_H_

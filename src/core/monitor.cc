@@ -1,0 +1,68 @@
+#include "core/monitor.h"
+
+#include "tsa/timeseries.h"
+
+namespace capplan::core {
+
+MonitoringService::MonitoringService(const repo::MetricsRepository* metrics,
+                                     repo::ModelRepository* registry,
+                                     PipelineOptions pipeline_options)
+    : metrics_(metrics),
+      registry_(registry),
+      pipeline_options_(pipeline_options) {
+  pipeline_options_.model_repository = registry_;
+}
+
+Result<std::vector<WatchResult>> MonitoringService::Evaluate(
+    const std::vector<WatchSpec>& watches, std::int64_t now_epoch) {
+  if (watches.empty()) {
+    return Status::InvalidArgument("MonitoringService: no watches");
+  }
+  if (metrics_ == nullptr || registry_ == nullptr) {
+    return Status::FailedPrecondition(
+        "MonitoringService: repositories not attached");
+  }
+  std::vector<WatchResult> results;
+  results.reserve(watches.size());
+  Pipeline pipeline(pipeline_options_);
+  for (const auto& watch : watches) {
+    WatchResult r;
+    r.key = watch.key;
+    auto hourly = metrics_->Hourly(watch.key);
+    if (!hourly.ok()) {
+      r.status = hourly.status();
+      results.push_back(std::move(r));
+      continue;
+    }
+    const bool have_cache = cache_.count(watch.key) > 0;
+    const bool stale = registry_->IsStale(watch.key, now_epoch);
+    if (stale || !have_cache) {
+      auto report = pipeline.Run(*hourly);
+      if (!report.ok()) {
+        r.status = report.status();
+        results.push_back(std::move(r));
+        continue;
+      }
+      CachedForecast cached;
+      cached.forecast = report->forecast;
+      cached.start_epoch = report->forecast_start_epoch;
+      cached.step_seconds = tsa::FrequencySeconds(hourly->frequency());
+      cached.spec = std::string(TechniqueName(report->chosen_family)) + " " +
+                    report->chosen_spec;
+      cached.test_mapa = report->test_accuracy.mapa;
+      cache_[watch.key] = std::move(cached);
+      r.refitted = true;
+    }
+    const CachedForecast& active = cache_.at(watch.key);
+    r.model_spec = active.spec;
+    r.test_mapa = active.test_mapa;
+    r.breach = CapacityPlanner::PredictBreach(
+        active.forecast, watch.threshold, active.start_epoch,
+        active.step_seconds);
+    r.status = Status::OK();
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace capplan::core

@@ -1,0 +1,73 @@
+#ifndef CAPPLAN_CORE_MONITOR_H_
+#define CAPPLAN_CORE_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/capacity.h"
+#include "core/pipeline.h"
+#include "repo/model_store.h"
+#include "repo/repository.h"
+
+namespace capplan::core {
+
+// Estate-wide proactive monitoring — the paper's production deployment
+// (Section 8): keep one model per watched metric in the central registry,
+// refit only when the staleness policy demands (one week or RMSE
+// degradation), and raise an early warning whenever the active forecast
+// predicts a threshold breach.
+
+// One metric under watch.
+struct WatchSpec {
+  std::string key;          // repository series key, e.g. "cdbm011/cpu"
+  double threshold = 0.0;   // breach level
+};
+
+// Outcome of evaluating one watch.
+struct WatchResult {
+  std::string key;
+  bool refitted = false;         // model was stale and was refitted
+  std::string model_spec;        // active model description
+  double test_mapa = 0.0;        // active model's held-out accuracy
+  BreachPrediction breach;       // threshold prognosis
+  Status status;                 // non-OK when this watch failed
+};
+
+class MonitoringService {
+ public:
+  // Neither repository is owned; both must outlive the service.
+  MonitoringService(const repo::MetricsRepository* metrics,
+                    repo::ModelRepository* registry,
+                    PipelineOptions pipeline_options);
+
+  // Evaluates every watch at wall-clock `now_epoch`: stale (or never
+  // fitted) models are refitted via the pipeline; the cached forecast of a
+  // fresh model is reused. Always returns one WatchResult per watch (with
+  // per-watch status), failing only on empty input.
+  Result<std::vector<WatchResult>> Evaluate(
+      const std::vector<WatchSpec>& watches, std::int64_t now_epoch);
+
+  // Number of cached forecasts held.
+  std::size_t cached_forecasts() const { return cache_.size(); }
+
+ private:
+  struct CachedForecast {
+    models::Forecast forecast;
+    std::int64_t start_epoch = 0;
+    std::int64_t step_seconds = 3600;
+    std::string spec;
+    double test_mapa = 0.0;
+  };
+
+  const repo::MetricsRepository* metrics_;  // not owned
+  repo::ModelRepository* registry_;         // not owned
+  PipelineOptions pipeline_options_;
+  std::map<std::string, CachedForecast> cache_;
+};
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_MONITOR_H_

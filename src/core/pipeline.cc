@@ -1,0 +1,409 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "models/arima.h"
+#include "models/ets.h"
+#include "models/regression.h"
+#include "core/ensemble.h"
+#include "models/dshw.h"
+#include "models/tbats.h"
+#include "tsa/metrics.h"
+#include "tsa/acf.h"
+#include "tsa/interpolate.h"
+#include "tsa/stationarity.h"
+
+namespace capplan::core {
+
+namespace {
+
+// Named HES variants explored by the HES branch.
+struct HesCandidate {
+  const char* name;
+  models::EtsSpec spec;
+};
+
+std::vector<HesCandidate> HesCandidates(std::size_t period, bool positive) {
+  std::vector<HesCandidate> out;
+  out.push_back({"SES", models::SimpleExponentialSmoothing()});
+  out.push_back({"Holt", models::HoltLinearTrend(false)});
+  out.push_back({"Holt-damped", models::HoltLinearTrend(true)});
+  if (period >= 2) {
+    out.push_back({"HW-additive", models::HoltWinters(period, false, false)});
+    out.push_back(
+        {"HW-additive-damped", models::HoltWinters(period, false, true)});
+    if (positive) {
+      out.push_back(
+          {"HW-multiplicative", models::HoltWinters(period, true, false)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PipelineReport> Pipeline::Run(const tsa::TimeSeries& series) const {
+  PipelineReport report;
+  report.series_name = series.name();
+
+  // Stage 1: gap fill.
+  report.gaps_filled = series.CountMissing();
+  CAPPLAN_ASSIGN_OR_RETURN(tsa::TimeSeries filled,
+                           tsa::LinearInterpolate(series));
+
+  // Stage 2: split per Table 1.
+  CAPPLAN_ASSIGN_OR_RETURN(report.split, SplitFor(filled.frequency()));
+  CAPPLAN_ASSIGN_OR_RETURN(auto split_pair, ApplySplit(filled));
+  const tsa::TimeSeries& train = split_pair.first;
+  const tsa::TimeSeries& test = split_pair.second;
+  // The full policy window (train + test), used for the final refit.
+  const std::size_t window_begin = filled.size() - report.split.observations;
+  CAPPLAN_ASSIGN_OR_RETURN(
+      tsa::TimeSeries full,
+      filled.Slice(window_begin, report.split.observations));
+
+  // Stage 3: understand the data.
+  const std::size_t default_period =
+      tsa::DefaultSeasonalPeriod(filled.frequency());
+  if (default_period >= 2 && train.size() >= 2 * default_period) {
+    auto traits = tsa::MeasureTraits(train.values(), default_period);
+    if (traits.ok()) report.traits = *traits;
+  }
+  auto seasons = tsa::DetectSeasonality(train.values());
+  if (seasons.ok()) report.seasons = *seasons;
+  report.multiple_seasonality = report.seasons.size() >= 2;
+  auto rec_d = tsa::RecommendDifferencing(train.values());
+  if (rec_d.ok()) report.recommended_d = *rec_d;
+
+  // Stage 4: branch and select.
+  double best_rmse = std::numeric_limits<double>::infinity();
+  PipelineReport best_report = report;
+  auto consider = [&](Technique family) -> Status {
+    PipelineReport attempt = report;
+    Result<double> rmse =
+        family == Technique::kHes
+            ? RunHesBranch(train, test, full, &attempt)
+            : (family == Technique::kTbats
+                   ? RunTbatsBranch(train, test, full, &attempt)
+                   : RunSarimaxBranch(family, train, test, full, &attempt));
+    if (!rmse.ok()) return rmse.status();
+    if (*rmse < best_rmse) {
+      best_rmse = *rmse;
+      best_report = attempt;
+    }
+    return Status::OK();
+  };
+
+  Status last_error = Status::OK();
+  auto try_family = [&](Technique family) {
+    Status st = consider(family);
+    if (!st.ok()) last_error = st;
+  };
+  switch (options_.technique) {
+    case Technique::kAuto:
+      try_family(Technique::kHes);
+      try_family(Technique::kSarimaxFftExog);
+      break;
+    default:
+      try_family(options_.technique);
+      break;
+  }
+  if (!std::isfinite(best_rmse)) {
+    if (!last_error.ok()) return last_error;
+    return Status::ComputeError("Pipeline: no model could be fitted");
+  }
+  best_report.forecast_start_epoch = full.EndEpoch();
+
+  // Stage 5: record in the central model repository.
+  if (options_.model_repository != nullptr) {
+    repo::StoredModel stored;
+    stored.key = series.name();
+    stored.technique = TechniqueName(best_report.chosen_family);
+    stored.spec = best_report.chosen_spec;
+    stored.test_rmse = best_report.test_accuracy.rmse;
+    stored.test_mape = best_report.test_accuracy.mape;
+    stored.fitted_at_epoch = full.EndEpoch();
+    options_.model_repository->Put(stored);
+  }
+  return best_report;
+}
+
+Result<double> Pipeline::RunHesBranch(const tsa::TimeSeries& train,
+                                      const tsa::TimeSeries& test,
+                                      const tsa::TimeSeries& full,
+                                      PipelineReport* report) const {
+  const std::size_t period = tsa::DefaultSeasonalPeriod(train.frequency());
+  bool positive = true;
+  for (double v : train.values()) {
+    if (v <= 0.0) {
+      positive = false;
+      break;
+    }
+  }
+  const auto candidates = HesCandidates(period, positive);
+  double best_rmse = std::numeric_limits<double>::infinity();
+  const HesCandidate* best = nullptr;
+  tsa::AccuracyReport best_acc;
+  for (const auto& cand : candidates) {
+    auto model = models::EtsModel::Fit(train.values(), cand.spec);
+    if (!model.ok()) continue;
+    auto fc = model->Predict(test.size(), options_.interval_level);
+    if (!fc.ok()) continue;
+    auto acc = tsa::MeasureAccuracy(test.values(), fc->mean);
+    if (!acc.ok()) continue;
+    if (acc->rmse < best_rmse) {
+      best_rmse = acc->rmse;
+      best = &cand;
+      best_acc = *acc;
+    }
+  }
+  // Double-seasonal Holt-Winters variant for hourly data with a weekly
+  // second cycle (paper challenge C3 within the HES branch).
+  bool dshw_wins = false;
+  tsa::AccuracyReport dshw_acc;
+  const bool dshw_applicable = period == 24 &&
+                               train.size() >= 2 * 168 + 24 &&
+                               full.size() >= 2 * 168 + 24;
+  if (dshw_applicable) {
+    auto dshw = models::DshwModel::Fit(train.values(), 24, 168);
+    if (dshw.ok()) {
+      auto fc = dshw->Predict(test.size(), options_.interval_level);
+      if (fc.ok()) {
+        auto acc = tsa::MeasureAccuracy(test.values(), fc->mean);
+        if (acc.ok() && acc->rmse < best_rmse) {
+          best_rmse = acc->rmse;
+          dshw_acc = *acc;
+          dshw_wins = true;
+        }
+      }
+    }
+  }
+
+  if (best == nullptr && !dshw_wins) {
+    return Status::ComputeError("HES branch: no variant fitted");
+  }
+  // Refit the winner on the full window and forecast the horizon.
+  models::Forecast fc;
+  if (dshw_wins) {
+    CAPPLAN_ASSIGN_OR_RETURN(models::DshwModel final_model,
+                             models::DshwModel::Fit(full.values(), 24, 168));
+    CAPPLAN_ASSIGN_OR_RETURN(
+        fc, final_model.Predict(report->split.prediction,
+                                options_.interval_level));
+    report->chosen_spec = "DSHW(24,168)";
+    report->test_accuracy = dshw_acc;
+  } else {
+    CAPPLAN_ASSIGN_OR_RETURN(
+        models::EtsModel final_model,
+        models::EtsModel::Fit(full.values(), best->spec));
+    CAPPLAN_ASSIGN_OR_RETURN(
+        fc, final_model.Predict(report->split.prediction,
+                                options_.interval_level));
+    report->chosen_spec =
+        std::string(best->name) + " " + best->spec.ToString();
+    report->test_accuracy = best_acc;
+  }
+  report->chosen_family = Technique::kHes;
+  report->candidates_evaluated +=
+      candidates.size() + (dshw_applicable ? 1 : 0);
+  report->candidates_succeeded += 1;
+  report->forecast = std::move(fc);
+  return best_rmse;
+}
+
+Result<double> Pipeline::RunTbatsBranch(const tsa::TimeSeries& train,
+                                        const tsa::TimeSeries& test,
+                                        const tsa::TimeSeries& full,
+                                        PipelineReport* report) const {
+  // Seasonal periods for the trigonometric blocks: the detected seasons,
+  // falling back to the frequency's conventional period.
+  std::vector<double> periods;
+  for (const auto& s : report->seasons) {
+    periods.push_back(static_cast<double>(s.period));
+  }
+  if (periods.empty()) {
+    const std::size_t p = tsa::DefaultSeasonalPeriod(train.frequency());
+    if (p >= 2) periods.push_back(static_cast<double>(p));
+  }
+  models::TbatsModel::Options opts;
+  opts.max_harmonics = 3;
+  opts.max_fit_iterations = 300;
+  CAPPLAN_ASSIGN_OR_RETURN(models::TbatsModel model,
+                           models::TbatsModel::Fit(train.values(), periods,
+                                                   opts));
+  CAPPLAN_ASSIGN_OR_RETURN(
+      models::Forecast test_fc,
+      model.Predict(test.size(), options_.interval_level));
+  CAPPLAN_ASSIGN_OR_RETURN(tsa::AccuracyReport acc,
+                           tsa::MeasureAccuracy(test.values(), test_fc.mean));
+  // Refit the selected configuration on the full window.
+  CAPPLAN_ASSIGN_OR_RETURN(
+      models::TbatsModel final_model,
+      models::TbatsModel::FitConfig(full.values(), model.config(),
+                                    opts.max_fit_iterations));
+  CAPPLAN_ASSIGN_OR_RETURN(
+      models::Forecast fc,
+      final_model.Predict(report->split.prediction,
+                          options_.interval_level));
+  report->chosen_family = Technique::kTbats;
+  report->chosen_spec = model.config().ToString();
+  report->test_accuracy = acc;
+  report->candidates_evaluated += 1;  // lattice internally explores configs
+  report->candidates_succeeded += 1;
+  report->forecast = std::move(fc);
+  return acc.rmse;
+}
+
+Result<double> Pipeline::RunSarimaxBranch(Technique family,
+                                          const tsa::TimeSeries& train,
+                                          const tsa::TimeSeries& test,
+                                          const tsa::TimeSeries& full,
+                                          PipelineReport* report) const {
+  const std::size_t default_period =
+      tsa::DefaultSeasonalPeriod(train.frequency());
+  // Primary season: strongest detected, falling back to the conventional
+  // period for the frequency.
+  std::size_t season = default_period;
+  if (!report->seasons.empty()) season = report->seasons.front().period;
+  if (season < 2) season = 24;
+
+  // Shocks -> exogenous pulse columns (SARIMAX+FFT+Exog family only), and
+  // transient cleanup when requested (the crash rule in data form).
+  std::vector<double> train_values = train.values();
+  std::vector<double> full_values = full.values();
+  std::vector<DetectedShock> shocks;
+  std::vector<std::size_t> transients;
+  std::size_t n_transients = 0;
+  if (family == Technique::kSarimaxFftExog || options_.remove_transients) {
+    ShockDetector::Options sd_opts = options_.shock;
+    sd_opts.period = season;
+    ShockDetector detector(sd_opts);
+    auto detected = detector.Detect(train_values, &transients);
+    if (detected.ok()) {
+      if (family == Technique::kSarimaxFftExog) shocks = *detected;
+      n_transients = transients.size();
+    }
+  }
+  if (options_.remove_transients && !transients.empty()) {
+    train_values = ShockDetector::RemoveTransients(train_values, transients);
+    // The training window is the prefix of the full window, so the indices
+    // carry over directly.
+    full_values = ShockDetector::RemoveTransients(full_values, transients);
+  }
+  const std::vector<std::vector<double>> exog_train =
+      ShockDetector::PulseColumns(shocks, 0, train.size());
+  const std::vector<std::vector<double>> exog_test =
+      ShockDetector::PulseColumns(shocks, train.size(), test.size());
+
+  // Candidate grid.
+  CandidateGenerator::Options gen_opts;
+  gen_opts.max_lag = options_.max_lag;
+  gen_opts.season = season;
+  gen_opts.n_shock_columns = shocks.size();
+  gen_opts.fourier_periods.clear();
+  if (family == Technique::kSarimaxFftExog && report->multiple_seasonality) {
+    // Fourier terms when multiple seasonality is detected (paper §4.4).
+    // The primary season is included too: combined with the D=0 corner of
+    // the grid this gives the deterministic-seasonality + ARMA-errors
+    // models that the paper's winning "SARIMAX with FFT and Exogenous"
+    // family relies on.
+    for (const auto& s : report->seasons) {
+      gen_opts.fourier_periods.push_back(static_cast<double>(s.period));
+    }
+  }
+  CandidateGenerator generator(gen_opts);
+  std::vector<ModelCandidate> candidates;
+  if (options_.prune_with_correlogram) {
+    const std::size_t max_lag = std::min<std::size_t>(
+        static_cast<std::size_t>(options_.max_lag), train.size() / 3);
+    auto pacf = tsa::Pacf(train_values, max_lag);
+    if (pacf.ok()) {
+      const std::vector<std::size_t> lags =
+          tsa::SignificantLags(*pacf, train.size());
+      candidates = generator.GeneratePruned(family, lags);
+    }
+  }
+  if (candidates.empty()) candidates = generator.Generate(family);
+
+  // Parallel evaluation.
+  ModelSelector::Options sel_opts;
+  sel_opts.n_threads = options_.n_threads;
+  sel_opts.keep_top = std::max<std::size_t>(options_.ensemble_top_k, 5);
+  ModelSelector selector(sel_opts);
+  CAPPLAN_ASSIGN_OR_RETURN(
+      SelectionResult sel,
+      selector.Select(train_values, test.values(), candidates, exog_train,
+                      exog_test));
+
+  // Refits a candidate on the full window and forecasts the horizon,
+  // projecting exogenous pulses forward.
+  const std::size_t horizon = report->split.prediction;
+  auto refit_and_forecast =
+      [&](const ModelCandidate& cand) -> Result<models::Forecast> {
+    if (cand.n_exog == 0 && cand.fourier.empty()) {
+      CAPPLAN_ASSIGN_OR_RETURN(models::ArimaModel final_model,
+                               models::ArimaModel::Fit(full_values,
+                                                       cand.spec));
+      return final_model.Predict(horizon, options_.interval_level);
+    }
+    std::vector<std::vector<double>> exog_full =
+        ShockDetector::PulseColumns(shocks, 0, full.size());
+    std::vector<std::vector<double>> exog_future =
+        ShockDetector::PulseColumns(shocks, full.size(), horizon);
+    exog_full.resize(std::min<std::size_t>(cand.n_exog, exog_full.size()));
+    exog_future.resize(
+        std::min<std::size_t>(cand.n_exog, exog_future.size()));
+    CAPPLAN_ASSIGN_OR_RETURN(
+        models::SarimaxModel final_model,
+        models::SarimaxModel::Fit(full_values, cand.spec, exog_full,
+                                  cand.fourier));
+    return final_model.Predict(horizon, exog_future,
+                               options_.interval_level);
+  };
+
+  const ModelCandidate& win = sel.best.candidate;
+  models::Forecast fc;
+  const std::size_t ensemble_k =
+      std::min(options_.ensemble_top_k, sel.top.size());
+  if (ensemble_k > 1) {
+    // Inverse-RMSE-weighted combination of the refitted top-k models.
+    std::vector<models::Forecast> member_fcs;
+    std::vector<double> weights;
+    for (std::size_t i = 0; i < ensemble_k; ++i) {
+      auto member = refit_and_forecast(sel.top[i].candidate);
+      if (!member.ok()) continue;
+      member_fcs.push_back(std::move(*member));
+      weights.push_back(1.0 / (sel.top[i].accuracy.rmse + 1e-12));
+    }
+    std::vector<const models::Forecast*> ptrs;
+    ptrs.reserve(member_fcs.size());
+    for (const auto& f : member_fcs) ptrs.push_back(&f);
+    CAPPLAN_ASSIGN_OR_RETURN(fc,
+                             CombineForecasts(ptrs, std::move(weights)));
+  } else {
+    CAPPLAN_ASSIGN_OR_RETURN(fc, refit_and_forecast(win));
+  }
+
+  report->chosen_family = family;
+  report->chosen_spec = win.spec.ToString();
+  if (!win.fourier.empty()) report->chosen_spec += "+FFT";
+  if (win.n_exog > 0) {
+    report->chosen_spec += "+exog(" + std::to_string(win.n_exog) + ")";
+  }
+  if (ensemble_k > 1) {
+    report->chosen_spec =
+        "ensemble(top-" + std::to_string(ensemble_k) + ", best " +
+        report->chosen_spec + ")";
+  }
+  report->test_accuracy = sel.best.accuracy;
+  report->candidates_evaluated += sel.evaluated;
+  report->candidates_succeeded += sel.succeeded;
+  report->shocks = shocks;
+  report->transient_spikes_discarded = n_transients;
+  report->forecast = std::move(fc);
+  return sel.best.accuracy.rmse;
+}
+
+}  // namespace capplan::core

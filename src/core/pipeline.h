@@ -1,0 +1,119 @@
+#ifndef CAPPLAN_CORE_PIPELINE_H_
+#define CAPPLAN_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidate_gen.h"
+#include "core/selector.h"
+#include "core/shock_detect.h"
+#include "core/split.h"
+#include "models/model.h"
+#include "repo/model_store.h"
+#include "tsa/decompose.h"
+#include "tsa/seasonality.h"
+#include "tsa/timeseries.h"
+
+namespace capplan::core {
+
+// End-to-end forecast pipeline implementing the paper's Figure 4 workflow:
+//
+//   gather data -> fill gaps (linear interpolation) -> train/test split
+//   (Table 1) -> branch on technique:
+//     HES:      fit the exponential-smoothing family, pick best test RMSE
+//     SARIMAX:  analyse ACF/PACF -> detect seasonality, multiple seasonality
+//               and shocks -> generate the candidate grid (optionally pruned
+//               by the correlogram) -> evaluate in parallel -> best RMSE
+//   -> refit the winner on the full window -> forecast the Table-1 horizon
+//   -> record the model in the central repository (one-week staleness).
+struct PipelineOptions {
+  // Which branch to run. kAuto evaluates both the HES family and the
+  // SARIMAX families and returns the overall best.
+  Technique technique = Technique::kAuto;
+
+  // Prune AR lag candidates with the PACF correlogram (paper Section 6.3's
+  // tuning step). Exhaustive grids reproduce the full §6.3 counts.
+  bool prune_with_correlogram = true;
+
+  // Grid breadth: AR lags range over 1..max_lag (30 in the paper).
+  int max_lag = 30;
+
+  std::size_t n_threads = 4;
+  double interval_level = 0.95;
+
+  // When > 1, the SARIMAX-family forecast is an inverse-RMSE-weighted
+  // combination of the top-k selected models (refitted on the full window)
+  // instead of the single winner — more robust to the single test split.
+  std::size_t ensemble_top_k = 1;
+
+  // Replace non-recurring transient spikes (crash rule) with interpolated
+  // values before fitting.
+  bool remove_transients = false;
+
+  // Shock handling (the paper's ">3 occurrences is a behaviour" rule).
+  ShockDetector::Options shock;
+
+  // Optional central model registry; when set, the chosen model is recorded
+  // under the series name with the fit timestamp.
+  repo::ModelRepository* model_repository = nullptr;
+};
+
+struct PipelineReport {
+  std::string series_name;
+  SplitPolicy split;
+
+  // Data understanding stage.
+  std::size_t gaps_filled = 0;
+  tsa::SeriesTraits traits;
+  std::vector<tsa::DetectedSeason> seasons;
+  bool multiple_seasonality = false;
+  std::vector<DetectedShock> shocks;
+  std::size_t transient_spikes_discarded = 0;
+  int recommended_d = 0;
+
+  // Selection stage.
+  Technique chosen_family = Technique::kArima;
+  std::string chosen_spec;
+  tsa::AccuracyReport test_accuracy;
+  std::size_t candidates_evaluated = 0;
+  std::size_t candidates_succeeded = 0;
+
+  // Forecast of the Table-1 prediction horizon, made from the full window.
+  models::Forecast forecast;
+  std::int64_t forecast_start_epoch = 0;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {}) : options_(options) {}
+
+  // Runs the full workflow on an hourly/daily/weekly series.
+  Result<PipelineReport> Run(const tsa::TimeSeries& series) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  // Branch implementations; both fill the selection/forecast fields of the
+  // report and return the achieved test RMSE.
+  Result<double> RunHesBranch(const tsa::TimeSeries& train,
+                              const tsa::TimeSeries& test,
+                              const tsa::TimeSeries& full,
+                              PipelineReport* report) const;
+  Result<double> RunSarimaxBranch(Technique family,
+                                  const tsa::TimeSeries& train,
+                                  const tsa::TimeSeries& test,
+                                  const tsa::TimeSeries& full,
+                                  PipelineReport* report) const;
+  Result<double> RunTbatsBranch(const tsa::TimeSeries& train,
+                                const tsa::TimeSeries& test,
+                                const tsa::TimeSeries& full,
+                                PipelineReport* report) const;
+
+  PipelineOptions options_;
+};
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_PIPELINE_H_

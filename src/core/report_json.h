@@ -1,0 +1,22 @@
+#ifndef CAPPLAN_CORE_REPORT_JSON_H_
+#define CAPPLAN_CORE_REPORT_JSON_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace capplan::core {
+
+// Serializes a PipelineReport to a self-contained JSON document — the
+// integration surface for dashboards like the paper's Figure 8 UI. Strings
+// are escaped per RFC 8259; doubles use shortest round-trip formatting;
+// NaN (possible in MAPE on all-zero windows) is emitted as null.
+std::string ReportToJson(const PipelineReport& report, bool pretty = false);
+
+// Serializes just a forecast (mean/lower/upper/level).
+std::string ForecastToJson(const models::Forecast& forecast,
+                           bool pretty = false);
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_REPORT_JSON_H_

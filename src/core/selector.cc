@@ -1,0 +1,130 @@
+#include "core/selector.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "models/arima.h"
+#include "models/regression.h"
+
+namespace capplan::core {
+
+namespace {
+
+std::vector<std::vector<double>> TakeColumns(
+    const std::vector<std::vector<double>>& cols, std::size_t k) {
+  std::vector<std::vector<double>> out;
+  out.reserve(std::min(k, cols.size()));
+  for (std::size_t i = 0; i < k && i < cols.size(); ++i) {
+    out.push_back(cols[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+EvaluatedCandidate ModelSelector::Evaluate(
+    const ModelCandidate& candidate, const std::vector<double>& train,
+    const std::vector<double>& test,
+    const std::vector<std::vector<double>>& exog_train,
+    const std::vector<std::vector<double>>& exog_test) {
+  EvaluatedCandidate ev;
+  ev.candidate = candidate;
+  const std::size_t horizon = test.size();
+
+  auto fail = [&](const Status& st) {
+    ev.ok = false;
+    ev.error = st.ToString();
+    return ev;
+  };
+
+  models::Forecast fc;
+  double aic = 0.0;
+  if (candidate.n_exog == 0 && candidate.fourier.empty()) {
+    // Plain (S)ARIMA.
+    auto model = models::ArimaModel::Fit(train, candidate.spec);
+    if (!model.ok()) return fail(model.status());
+    auto f = model->Predict(horizon);
+    if (!f.ok()) return fail(f.status());
+    fc = std::move(*f);
+    aic = model->summary().aic;
+  } else {
+    auto model = models::SarimaxModel::Fit(
+        train, candidate.spec, TakeColumns(exog_train, candidate.n_exog),
+        candidate.fourier);
+    if (!model.ok()) return fail(model.status());
+    auto f = model->Predict(horizon, TakeColumns(exog_test, candidate.n_exog));
+    if (!f.ok()) return fail(f.status());
+    fc = std::move(*f);
+    aic = model->summary().aic;
+  }
+  for (double v : fc.mean) {
+    if (!std::isfinite(v)) {
+      return fail(Status::ComputeError("non-finite forecast"));
+    }
+  }
+  auto acc = tsa::MeasureAccuracy(test, fc.mean);
+  if (!acc.ok()) return fail(acc.status());
+  ev.ok = true;
+  ev.accuracy = *acc;
+  ev.aic = aic;
+  ev.test_forecast = std::move(fc);
+  return ev;
+}
+
+Result<SelectionResult> ModelSelector::Select(
+    const std::vector<double>& train, const std::vector<double>& test,
+    const std::vector<ModelCandidate>& candidates,
+    const std::vector<std::vector<double>>& exog_train,
+    const std::vector<std::vector<double>>& exog_test) const {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("ModelSelector: no candidates");
+  }
+  if (train.empty() || test.empty()) {
+    return Status::InvalidArgument("ModelSelector: empty train/test window");
+  }
+  for (const auto& col : exog_train) {
+    if (col.size() != train.size()) {
+      return Status::InvalidArgument(
+          "ModelSelector: exog_train column length mismatch");
+    }
+  }
+  for (const auto& col : exog_test) {
+    if (col.size() != test.size()) {
+      return Status::InvalidArgument(
+          "ModelSelector: exog_test column length mismatch");
+    }
+  }
+
+  std::vector<EvaluatedCandidate> results(candidates.size());
+  ThreadPool pool(options_.n_threads);
+  pool.ParallelFor(candidates.size(), [&](std::size_t i) {
+    results[i] =
+        Evaluate(candidates[i], train, test, exog_train, exog_test);
+  });
+
+  SelectionResult sel;
+  sel.evaluated = results.size();
+  std::vector<const EvaluatedCandidate*> ok_results;
+  for (const auto& r : results) {
+    if (r.ok) ok_results.push_back(&r);
+  }
+  sel.succeeded = ok_results.size();
+  if (ok_results.empty()) {
+    return Status::ComputeError(
+        "ModelSelector: no candidate fitted successfully (first error: " +
+        results.front().error + ")");
+  }
+  std::sort(ok_results.begin(), ok_results.end(),
+            [](const EvaluatedCandidate* a, const EvaluatedCandidate* b) {
+              return a->accuracy.rmse < b->accuracy.rmse;
+            });
+  sel.best = *ok_results.front();
+  const std::size_t keep = std::min(options_.keep_top, ok_results.size());
+  sel.top.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) sel.top.push_back(*ok_results[i]);
+  return sel;
+}
+
+}  // namespace capplan::core

@@ -1,0 +1,71 @@
+#ifndef CAPPLAN_CORE_SELECTOR_H_
+#define CAPPLAN_CORE_SELECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/candidate_gen.h"
+#include "models/model.h"
+#include "tsa/metrics.h"
+
+namespace capplan::core {
+
+// Outcome of evaluating one candidate on the held-out test window.
+struct EvaluatedCandidate {
+  ModelCandidate candidate;
+  bool ok = false;
+  std::string error;             // set when !ok
+  tsa::AccuracyReport accuracy;  // test-window accuracy
+  double aic = 0.0;
+  models::Forecast test_forecast;
+};
+
+// Result of a full grid selection.
+struct SelectionResult {
+  EvaluatedCandidate best;                 // lowest test RMSE
+  std::size_t evaluated = 0;               // candidates attempted
+  std::size_t succeeded = 0;               // candidates that fitted
+  std::vector<EvaluatedCandidate> top;     // best few, RMSE ascending
+};
+
+// Evaluates candidate grids in parallel and picks the best test-RMSE model:
+// "each model is then computed to obtain an RMSE. The model with the best
+// RMSE is the most accurate" (paper Section 5.1); parallel processing per
+// Section 9.
+class ModelSelector {
+ public:
+  struct Options {
+    std::size_t n_threads = 4;
+    std::size_t keep_top = 5;
+  };
+
+  ModelSelector() : ModelSelector(Options()) {}
+  explicit ModelSelector(Options options) : options_(options) {}
+
+  // Fits every candidate on `train`, forecasts test.size() steps and scores
+  // against `test`. `exog_train` are the available shock pulse columns over
+  // the training window and `exog_test` their continuation over the test
+  // window; candidates use the first candidate.n_exog of them.
+  Result<SelectionResult> Select(
+      const std::vector<double>& train, const std::vector<double>& test,
+      const std::vector<ModelCandidate>& candidates,
+      const std::vector<std::vector<double>>& exog_train = {},
+      const std::vector<std::vector<double>>& exog_test = {}) const;
+
+  // Evaluates one candidate (exposed for tests and ablations).
+  static EvaluatedCandidate Evaluate(
+      const ModelCandidate& candidate, const std::vector<double>& train,
+      const std::vector<double>& test,
+      const std::vector<std::vector<double>>& exog_train,
+      const std::vector<std::vector<double>>& exog_test);
+
+ private:
+  Options options_;
+};
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_SELECTOR_H_

@@ -1,0 +1,208 @@
+#include "core/shock_detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/vec.h"
+#include "tsa/decompose.h"
+#include "tsa/interpolate.h"
+
+namespace capplan::core {
+
+namespace {
+
+// Circular running median of `values` with a window of +/- half_window.
+// Used as the shock-free seasonal baseline: a shock of duration <=
+// half_window occupies a minority of any window and is filtered out, while
+// the smooth seasonal profile passes through.
+std::vector<double> CircularRunningMedian(const std::vector<double>& values,
+                                          std::size_t half_window) {
+  const std::size_t m = values.size();
+  std::vector<double> out(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    std::vector<double> window;
+    window.reserve(2 * half_window + 1);
+    for (std::size_t d = 0; d <= 2 * half_window; ++d) {
+      const std::size_t idx = (p + m - half_window + d) % m;
+      window.push_back(values[idx]);
+    }
+    out[p] = math::Median(window);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<DetectedShock>> ShockDetector::Detect(
+    const std::vector<double>& x,
+    std::vector<std::size_t>* transients) const {
+  const std::size_t n = x.size();
+  const std::size_t m = options_.period;
+  if (m < 2 || n < 3 * m) {
+    return Status::InvalidArgument(
+        "ShockDetector: need at least three periods of data");
+  }
+
+  // Detrend first: a growing workload (the paper's +50 users/day trend)
+  // would otherwise inflate the within-phase spread and mask the shocks.
+  // The centered period-length moving average removes trend while leaving
+  // the within-period pattern (and any spikes riding on it) intact; the
+  // NaN half-window margins are excluded from the statistics.
+  const std::vector<double> trend = tsa::CenteredMovingAverage(x, m);
+  std::vector<double> detr(n, std::nan(""));
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!std::isnan(trend[t])) detr[t] = x[t] - trend[t];
+  }
+
+  // Per-phase robust location/scale. Shocks are judged against what is
+  // normal *for that phase's neighbourhood*, so ordinary seasonality is not
+  // flagged.
+  std::vector<std::vector<double>> by_phase(m);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!std::isnan(detr[t])) by_phase[t % m].push_back(detr[t]);
+  }
+  for (std::size_t p = 0; p < m; ++p) {
+    if (by_phase[p].empty()) {
+      return Status::ComputeError("ShockDetector: empty phase bucket");
+    }
+  }
+  std::vector<double> phase_med(m);
+  for (std::size_t p = 0; p < m; ++p) phase_med[p] = math::Median(by_phase[p]);
+
+  // Within-phase residual scale: the series' noise level with trend,
+  // seasonality and recurring shocks removed.
+  std::vector<double> abs_residuals;
+  abs_residuals.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (std::isnan(detr[t])) continue;
+    abs_residuals.push_back(std::fabs(detr[t] - phase_med[t % m]));
+  }
+  const double noise = std::max(1.4826 * math::Median(abs_residuals), 1e-9);
+
+  // Shock-free seasonal baseline: circular running median over ~11 phases
+  // filters out spike runs of up to ~5 consecutive phases.
+  const std::size_t half_window = std::min<std::size_t>(5, (m - 1) / 2);
+  const std::vector<double> baseline =
+      CircularRunningMedian(phase_med, half_window);
+  const double baseline_range =
+      math::Max(baseline) - math::Min(baseline);
+
+  // A phase is shock-affected when its median sits well above the local
+  // seasonal baseline, both in noise units and relative to the seasonal
+  // swing (so smooth peaks of low-noise seasonal series are not flagged).
+  std::vector<bool> phase_hot(m, false);
+  std::vector<double> phase_excess(m, 0.0);
+  for (std::size_t p = 0; p < m; ++p) {
+    const double excess = phase_med[p] - baseline[p];
+    phase_excess[p] = excess;
+    if (excess > options_.z_threshold * noise &&
+        excess > 0.3 * std::max(baseline_range, noise)) {
+      phase_hot[p] = true;
+    }
+  }
+
+  // Point-level spikes (for the transient report): observations far above
+  // their own phase's median.
+  std::vector<bool> spike(n, false);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (std::isnan(detr[t])) continue;
+    if (detr[t] - phase_med[t % m] > options_.z_threshold * noise &&
+        detr[t] - phase_med[t % m] > 0.3 * std::max(baseline_range, noise)) {
+      spike[t] = true;
+    }
+  }
+
+  // Group consecutive hot phases into (phase, duration) runs and apply the
+  // paper's recurrence rule.
+  std::vector<DetectedShock> shocks;
+  std::size_t p = 0;
+  while (p < m) {
+    if (!phase_hot[p]) {
+      ++p;
+      continue;
+    }
+    std::size_t dur = 1;
+    while (p + dur < m && phase_hot[p + dur]) ++dur;
+    // Count actual occurrences: periods where the run's first phase clearly
+    // exceeds the baseline (on the detrended scale).
+    int occ = 0;
+    double mag = 0.0;
+    const double occurrence_cut =
+        baseline[p] + 0.5 * phase_excess[p];
+    for (std::size_t t = p; t < n; t += m) {
+      if (std::isnan(detr[t])) continue;
+      if (detr[t] > occurrence_cut) {
+        ++occ;
+        mag += detr[t] - baseline[p];
+      }
+    }
+    const std::size_t periods_seen = (n - p + m - 1) / m;
+    if (occ >= options_.min_occurrences &&
+        static_cast<double>(occ) >=
+            options_.min_recurrence_rate * static_cast<double>(periods_seen)) {
+      DetectedShock s;
+      s.period = m;
+      s.phase = p;
+      s.duration = dur;
+      s.occurrences = occ;
+      s.magnitude = occ > 0 ? mag / occ : 0.0;
+      shocks.push_back(s);
+    }
+    p += dur;
+  }
+  std::sort(shocks.begin(), shocks.end(),
+            [](const DetectedShock& a, const DetectedShock& b) {
+              return a.magnitude > b.magnitude;
+            });
+
+  if (transients != nullptr) {
+    transients->clear();
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!spike[t]) continue;
+      // A spike inside a recurring shock window is the behaviour itself,
+      // not a transient.
+      bool covered = false;
+      for (const auto& s : shocks) {
+        const std::size_t ph = t % m;
+        if (ph >= s.phase && ph < s.phase + s.duration) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) transients->push_back(t);
+    }
+  }
+  return shocks;
+}
+
+std::vector<double> ShockDetector::RemoveTransients(
+    const std::vector<double>& x,
+    const std::vector<std::size_t>& transients) {
+  if (transients.empty()) return x;
+  std::vector<double> work = x;
+  for (std::size_t idx : transients) {
+    if (idx < work.size()) work[idx] = std::nan("");
+  }
+  auto filled = tsa::LinearInterpolate(work);
+  // All-NaN cannot happen unless every point was flagged; fall back to the
+  // original in that degenerate case.
+  return filled.ok() ? *filled : x;
+}
+
+std::vector<std::vector<double>> ShockDetector::PulseColumns(
+    const std::vector<DetectedShock>& shocks, std::size_t t_begin,
+    std::size_t n) {
+  std::vector<std::vector<double>> cols;
+  cols.reserve(shocks.size());
+  for (const auto& s : shocks) {
+    std::vector<double> col(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t ph = (t_begin + i) % s.period;
+      if (ph >= s.phase && ph < s.phase + s.duration) col[i] = 1.0;
+    }
+    cols.push_back(std::move(col));
+  }
+  return cols;
+}
+
+}  // namespace capplan::core

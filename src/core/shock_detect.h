@@ -1,0 +1,68 @@
+#ifndef CAPPLAN_CORE_SHOCK_DETECT_H_
+#define CAPPLAN_CORE_SHOCK_DETECT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::core {
+
+// A recurring shock detected in a metric trace: a spike that repeats at the
+// same phase of a period (e.g. a backup at midnight every day, or every six
+// hours). Becomes an exogenous 0/1 pulse regressor for SARIMAX.
+struct DetectedShock {
+  std::size_t period = 24;    // recurrence period in observations
+  std::size_t phase = 0;      // offset within the period where it starts
+  std::size_t duration = 1;   // consecutive observations affected
+  int occurrences = 0;        // times observed in the training window
+  double magnitude = 0.0;     // mean excess over the local level
+};
+
+// Detects recurring spikes and applies the paper's behaviour rule: "the
+// event needs to happen more than 3 times for it to be a behaviour"
+// (Section 9); spikes seen fewer times are transients (e.g. a one-off crash
+// or failover) and are discarded from modelling.
+class ShockDetector {
+ public:
+  struct Options {
+    double z_threshold = 2.5;     // robust z-score for spike marking
+    int min_occurrences = 3;      // the paper's recurrence rule
+    std::size_t period = 24;      // phase grouping period (hour-of-day)
+    // A phase counts as recurring when it spikes in at least this fraction
+    // of the periods it appears in.
+    double min_recurrence_rate = 0.5;
+  };
+
+  ShockDetector() : ShockDetector(Options()) {}
+  explicit ShockDetector(Options options) : options_(options) {}
+
+  // Returns recurring shocks, strongest first. Also exposes the discarded
+  // transient spike indices via `transients` when non-null.
+  Result<std::vector<DetectedShock>> Detect(
+      const std::vector<double>& x,
+      std::vector<std::size_t>* transients = nullptr) const;
+
+  // Builds one 0/1 pulse column per shock over observations
+  // [t_begin, t_begin + n) — usable both for the training window (t_begin=0)
+  // and for the forecast horizon (t_begin=n_train).
+  static std::vector<std::vector<double>> PulseColumns(
+      const std::vector<DetectedShock>& shocks, std::size_t t_begin,
+      std::size_t n);
+
+  // Replaces the flagged transient observations with the linear
+  // interpolation of their non-transient neighbours — the paper's crash
+  // rule in data form: "if a system crashes we discard it" so one-off
+  // spikes do not contaminate the fitted model.
+  static std::vector<double> RemoveTransients(
+      const std::vector<double>& x, const std::vector<std::size_t>& transients);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_SHOCK_DETECT_H_

@@ -1,0 +1,58 @@
+#include "core/split.h"
+
+namespace capplan::core {
+
+const char* TechniqueName(Technique technique) {
+  switch (technique) {
+    case Technique::kArima:
+      return "ARIMA";
+    case Technique::kSarimax:
+      return "SARIMAX";
+    case Technique::kSarimaxFftExog:
+      return "SARIMAX_FFT_EXOG";
+    case Technique::kHes:
+      return "HES";
+    case Technique::kTbats:
+      return "TBATS";
+    case Technique::kAuto:
+      return "AUTO";
+  }
+  return "?";
+}
+
+Result<SplitPolicy> SplitFor(tsa::Frequency freq) {
+  SplitPolicy p;
+  switch (freq) {
+    case tsa::Frequency::kHourly:
+      p = {1008, 984, 24, 24, "hours"};
+      return p;
+    case tsa::Frequency::kDaily:
+      p = {90, 83, 7, 7, "days"};
+      return p;
+    case tsa::Frequency::kWeekly:
+      p = {92, 88, 4, 4, "weeks"};
+      return p;
+    case tsa::Frequency::kQuarterHourly:
+    case tsa::Frequency::kMonthly:
+      break;
+  }
+  return Status::InvalidArgument(
+      "SplitFor: no Table-1 policy for this frequency (aggregate first)");
+}
+
+Result<std::pair<tsa::TimeSeries, tsa::TimeSeries>> ApplySplit(
+    const tsa::TimeSeries& series) {
+  CAPPLAN_ASSIGN_OR_RETURN(SplitPolicy policy, SplitFor(series.frequency()));
+  if (series.size() < policy.observations) {
+    return Status::InvalidArgument(
+        "ApplySplit: need " + std::to_string(policy.observations) +
+        " observations, have " + std::to_string(series.size()));
+  }
+  // Use the most recent window.
+  const std::size_t begin = series.size() - policy.observations;
+  CAPPLAN_ASSIGN_OR_RETURN(tsa::TimeSeries window,
+                           series.Slice(begin, policy.observations));
+  return window.SplitAt(policy.train);
+}
+
+}  // namespace capplan::core

@@ -1,0 +1,47 @@
+#ifndef CAPPLAN_CORE_SPLIT_H_
+#define CAPPLAN_CORE_SPLIT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "tsa/timeseries.h"
+
+namespace capplan::core {
+
+// The forecasting technique branch of the Figure 4 workflow.
+enum class Technique {
+  kArima,           // plain ARIMA(p,d,q)
+  kSarimax,         // SARIMA(p,d,q)(P,D,Q,F)
+  kSarimaxFftExog,  // SARIMAX + Fourier terms + exogenous shocks
+  kHes,             // Holt-Winters exponential smoothing
+  kTbats,           // TBATS (extension beyond the paper's two UI choices)
+  kAuto,            // pipeline picks between HES and SARIMAX families
+};
+
+const char* TechniqueName(Technique technique);
+
+// Train/test/prediction breakdown per forecast granularity — paper Table 1,
+// derived from the Makridakis competition guidance (e.g. ~700+ hourly points
+// for an effective hourly forecast).
+struct SplitPolicy {
+  std::size_t observations = 0;  // total observations required
+  std::size_t train = 0;
+  std::size_t test = 0;
+  std::size_t prediction = 0;    // forecast horizon
+  const char* unit = "";
+};
+
+// The Table 1 row for `freq` (hourly/daily/weekly). Fails for frequencies
+// the paper does not forecast at (quarter-hourly, monthly).
+Result<SplitPolicy> SplitFor(tsa::Frequency freq);
+
+// Splits `series` into (train, test) according to the policy for its
+// frequency. When the series is longer than policy.observations, the most
+// recent policy.observations are used; shorter series fail.
+Result<std::pair<tsa::TimeSeries, tsa::TimeSeries>> ApplySplit(
+    const tsa::TimeSeries& series);
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_SPLIT_H_

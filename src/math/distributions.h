@@ -1,0 +1,36 @@
+#ifndef CAPPLAN_MATH_DISTRIBUTIONS_H_
+#define CAPPLAN_MATH_DISTRIBUTIONS_H_
+
+namespace capplan::math {
+
+// Standard normal density.
+double NormalPdf(double x);
+
+// Standard normal CDF, accurate to ~1e-15 via erfc.
+double NormalCdf(double x);
+
+// Standard normal quantile (inverse CDF) for p in (0,1); Acklam's rational
+// approximation refined by one Halley step (relative error < 1e-12).
+double NormalQuantile(double p);
+
+// Student-t CDF with `nu` degrees of freedom.
+double StudentTCdf(double x, double nu);
+
+// Student-t quantile for p in (0,1).
+double StudentTQuantile(double p, double nu);
+
+// Chi-squared CDF with `k` degrees of freedom (k > 0).
+double ChiSquaredCdf(double x, double k);
+
+// Regularized lower incomplete gamma P(a, x); used by the chi-squared CDF.
+double RegularizedGammaP(double a, double x);
+
+// Log of the gamma function (Lanczos approximation).
+double LogGamma(double x);
+
+// Regularized incomplete beta function I_x(a, b); used by the t CDF.
+double RegularizedIncompleteBeta(double x, double a, double b);
+
+}  // namespace capplan::math
+
+#endif  // CAPPLAN_MATH_DISTRIBUTIONS_H_

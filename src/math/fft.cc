@@ -1,0 +1,131 @@
+#include "math/fft.h"
+
+#include <cmath>
+
+#include "math/vec.h"
+
+namespace capplan::math {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// In-place iterative radix-2 Cooley-Tukey; x.size() must be a power of two.
+void Radix2(std::vector<std::complex<double>>& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * kPi / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : x) v /= static_cast<double>(n);
+  }
+}
+
+// Bluestein's algorithm: DFT of arbitrary length via convolution on a
+// power-of-two grid.
+std::vector<std::complex<double>> Bluestein(
+    const std::vector<std::complex<double>>& x, bool inverse) {
+  const std::size_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  // Chirp: w[j] = exp(sign * i * pi * j^2 / n).
+  std::vector<std::complex<double>> chirp(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // j^2 mod 2n keeps the argument small for numerical stability.
+    const unsigned long long j2 =
+        (static_cast<unsigned long long>(j) * j) % (2ULL * n);
+    const double ang = sign * kPi * static_cast<double>(j2) /
+                       static_cast<double>(n);
+    chirp[j] = std::complex<double>(std::cos(ang), std::sin(ang));
+  }
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<std::complex<double>> a(m, {0.0, 0.0});
+  std::vector<std::complex<double>> b(m, {0.0, 0.0});
+  for (std::size_t j = 0; j < n; ++j) a[j] = x[j] * chirp[j];
+  for (std::size_t j = 0; j < n; ++j) {
+    b[j] = std::conj(chirp[j]);
+    if (j != 0) b[m - j] = std::conj(chirp[j]);
+  }
+  Radix2(a, /*inverse=*/false);
+  Radix2(b, /*inverse=*/false);
+  for (std::size_t j = 0; j < m; ++j) a[j] *= b[j];
+  Radix2(a, /*inverse=*/true);
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t j = 0; j < n; ++j) out[j] = a[j] * chirp[j];
+  if (inverse) {
+    for (auto& v : out) v /= static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> Fft(
+    const std::vector<std::complex<double>>& x) {
+  if (x.size() <= 1) return x;
+  if (IsPowerOfTwo(x.size())) {
+    std::vector<std::complex<double>> out = x;
+    Radix2(out, /*inverse=*/false);
+    return out;
+  }
+  return Bluestein(x, /*inverse=*/false);
+}
+
+std::vector<std::complex<double>> InverseFft(
+    const std::vector<std::complex<double>>& x) {
+  if (x.size() <= 1) return x;
+  if (IsPowerOfTwo(x.size())) {
+    std::vector<std::complex<double>> out = x;
+    Radix2(out, /*inverse=*/true);
+    return out;
+  }
+  return Bluestein(x, /*inverse=*/true);
+}
+
+std::vector<std::complex<double>> FftReal(const std::vector<double>& x) {
+  std::vector<std::complex<double>> cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = {x[i], 0.0};
+  return Fft(cx);
+}
+
+std::vector<double> Periodogram(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  if (n < 2) return {};
+  std::vector<double> centered = Demean(x);
+  const std::vector<std::complex<double>> spec = FftReal(centered);
+  const std::size_t half = n / 2;
+  std::vector<double> out(half);
+  for (std::size_t k = 1; k <= half; ++k) {
+    out[k - 1] = std::norm(spec[k]) / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace capplan::math

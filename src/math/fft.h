@@ -1,0 +1,35 @@
+#ifndef CAPPLAN_MATH_FFT_H_
+#define CAPPLAN_MATH_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace capplan::math {
+
+// Discrete Fourier transforms used for frequency-domain seasonality
+// detection (paper Section 4, "Frequency Domain ... Fast Fourier Transform").
+//
+// Power-of-two lengths use iterative radix-2 Cooley-Tukey; other lengths use
+// Bluestein's chirp-z algorithm (which itself runs on the radix-2 kernel),
+// so transforms are exact for arbitrary n.
+
+// Forward DFT: X[k] = sum_j x[j] * exp(-2*pi*i*j*k/n).
+std::vector<std::complex<double>> Fft(
+    const std::vector<std::complex<double>>& x);
+
+// Inverse DFT (normalized by 1/n).
+std::vector<std::complex<double>> InverseFft(
+    const std::vector<std::complex<double>>& x);
+
+// Forward DFT of a real signal.
+std::vector<std::complex<double>> FftReal(const std::vector<double>& x);
+
+// Periodogram ordinates I(f_k) = |X[k]|^2 / n for k = 1..n/2 (the DC term is
+// excluded), computed on the mean-removed signal. Entry k-1 corresponds to
+// frequency k/n cycles per sample, i.e. period n/k samples.
+std::vector<double> Periodogram(const std::vector<double>& x);
+
+}  // namespace capplan::math
+
+#endif  // CAPPLAN_MATH_FFT_H_

@@ -1,0 +1,256 @@
+#include "math/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace capplan::math {
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols());
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& v) {
+  Matrix m(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + rhs.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - rhs.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::ScaledBy(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+std::vector<double> Matrix::Apply(const std::vector<double>& v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Row(std::size_t r) const {
+  std::vector<double> out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+std::vector<double> Matrix::Col(std::size_t c) const {
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double rank_tol) {
+  const std::size_t m = a.rows(), n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("least squares: fewer rows than columns");
+  }
+  if (b.size() != m) {
+    return Status::InvalidArgument("least squares: b size mismatch");
+  }
+  // Householder QR, transforming a copy of A and b in place.
+  Matrix r = a;
+  std::vector<double> y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector for column k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < rank_tol) {
+      return Status::ComputeError("least squares: rank deficient matrix");
+    }
+    const double alpha = (r(k, k) > 0.0) ? -norm : norm;
+    std::vector<double> v(m - k, 0.0);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv < rank_tol * rank_tol) {
+      // Column already zero below the diagonal.
+      r(k, k) = alpha;
+      continue;
+    }
+    // Apply reflector to remaining columns of R.
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
+      const double f = 2.0 * dot / vtv;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= f * v[i - k];
+    }
+    // Apply reflector to y.
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * y[i];
+    const double f = 2.0 * dot / vtv;
+    for (std::size_t i = k; i < m; ++i) y[i] -= f * v[i - k];
+  }
+  // Back substitution on the upper-triangular R.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t kk = n; kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    if (std::fabs(r(k, k)) < rank_tol) {
+      return Status::ComputeError("least squares: singular R");
+    }
+    double s = y[k];
+    for (std::size_t j = k + 1; j < n; ++j) s -= r(k, j) * x[j];
+    x[k] = s / r(k, k);
+  }
+  return x;
+}
+
+Result<Matrix> CholeskyFactor(const Matrix& s) {
+  if (s.rows() != s.cols()) {
+    return Status::InvalidArgument("cholesky: matrix not square");
+  }
+  const std::size_t n = s.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = s(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0) {
+      return Status::ComputeError("cholesky: matrix not positive definite");
+    }
+    l(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = s(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / l(j, j);
+    }
+  }
+  return l;
+}
+
+Result<std::vector<double>> SolveCholesky(const Matrix& s,
+                                          const std::vector<double>& b) {
+  if (b.size() != s.rows()) {
+    return Status::InvalidArgument("cholesky solve: b size mismatch");
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(s));
+  const std::size_t n = l.rows();
+  // Forward solve L z = b.
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * z[k];
+    z[i] = v / l(i, i);
+  }
+  // Back solve L^T x = z.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double v = z[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= l(k, i) * x[k];
+    x[i] = v / l(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("inverse: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  Matrix work = a;
+  Matrix inv = Matrix::Identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(work(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(work(r, col)) > best) {
+        best = std::fabs(work(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::ComputeError("inverse: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work(pivot, c), work(col, c));
+        std::swap(inv(pivot, c), inv(col, c));
+      }
+    }
+    const double d = work(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      work(col, c) /= d;
+      inv(col, c) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = work(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work(r, c) -= f * work(col, c);
+        inv(r, c) -= f * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace capplan::math

@@ -1,0 +1,77 @@
+#ifndef CAPPLAN_MATH_MATRIX_H_
+#define CAPPLAN_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace capplan::math {
+
+// Dense row-major matrix of doubles. Sized for the small regression and
+// state-space problems in this library (tens to a few hundred columns);
+// not a general BLAS replacement.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(std::size_t n);
+  // Builds a matrix from nested initializer data; all rows must be equal
+  // length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+  // Column vector from `v`.
+  static Matrix ColumnVector(const std::vector<double>& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix Transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix ScaledBy(double s) const;
+
+  // Matrix-vector product (v.size() must equal cols()).
+  std::vector<double> Apply(const std::vector<double>& v) const;
+
+  std::vector<double> Row(std::size_t r) const;
+  std::vector<double> Col(std::size_t c) const;
+
+  // Frobenius norm.
+  double Norm() const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+// Solves the least-squares problem min ||A x - b||_2 via Householder QR.
+// Requires A.rows() >= A.cols() and full column rank (within `rank_tol`).
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double rank_tol = 1e-10);
+
+// Solves S x = b for symmetric positive definite S via Cholesky.
+Result<std::vector<double>> SolveCholesky(const Matrix& s,
+                                          const std::vector<double>& b);
+
+// Cholesky factor L (lower triangular, S = L L^T) of an SPD matrix.
+Result<Matrix> CholeskyFactor(const Matrix& s);
+
+// Inverse of a square matrix via Gauss-Jordan with partial pivoting.
+Result<Matrix> Inverse(const Matrix& a);
+
+}  // namespace capplan::math
+
+#endif  // CAPPLAN_MATH_MATRIX_H_

@@ -1,0 +1,201 @@
+#include "math/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace capplan::math {
+
+namespace {
+
+double SafeEval(const Objective& f, const std::vector<double>& x) {
+  const double v = f(x);
+  if (std::isnan(v)) return std::numeric_limits<double>::infinity();
+  return v;
+}
+
+struct SimplexResult {
+  std::vector<double> x;
+  double fx;
+  int iterations;
+  bool converged;
+};
+
+SimplexResult RunSimplex(const Objective& f, const std::vector<double>& x0,
+                         const NelderMeadOptions& opt, int budget) {
+  const std::size_t n = x0.size();
+  // Standard coefficients.
+  const double alpha = 1.0;   // reflection
+  const double gamma = 2.0;   // expansion
+  const double rho = 0.5;     // contraction
+  const double sigma = 0.5;   // shrink
+
+  std::vector<std::vector<double>> pts(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = opt.initial_step;
+    if (x0[i] != 0.0) step = std::max(step, 0.1 * std::fabs(x0[i]));
+    pts[i + 1][i] += step;
+  }
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fv[i] = SafeEval(f, pts[i]);
+
+  int iter = 0;
+  bool converged = false;
+  std::vector<std::size_t> order(n + 1);
+  while (iter < budget) {
+    ++iter;
+    // Order vertices by objective.
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence checks.
+    double diam = 0.0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      for (std::size_t d = 0; d < n; ++d) {
+        diam = std::max(diam, std::fabs(pts[i][d] - pts[best][d]));
+      }
+    }
+    if (std::fabs(fv[worst] - fv[best]) < opt.f_tolerance &&
+        diam < opt.x_tolerance) {
+      converged = true;
+      break;
+    }
+
+    // Centroid excluding the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += pts[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coef) {
+      std::vector<double> x(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        x[d] = centroid[d] + coef * (centroid[d] - pts[worst][d]);
+      }
+      return x;
+    };
+
+    const std::vector<double> xr = blend(alpha);
+    const double fr = SafeEval(f, xr);
+    if (fr < fv[best]) {
+      const std::vector<double> xe = blend(alpha * gamma);
+      const double fe = SafeEval(f, xe);
+      if (fe < fr) {
+        pts[worst] = xe;
+        fv[worst] = fe;
+      } else {
+        pts[worst] = xr;
+        fv[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < fv[second_worst]) {
+      pts[worst] = xr;
+      fv[worst] = fr;
+      continue;
+    }
+    // Contraction (outside if the reflected point improved on the worst).
+    if (fr < fv[worst]) {
+      const std::vector<double> xc = blend(alpha * rho);
+      const double fc = SafeEval(f, xc);
+      if (fc <= fr) {
+        pts[worst] = xc;
+        fv[worst] = fc;
+        continue;
+      }
+    } else {
+      const std::vector<double> xc = blend(-rho);
+      const double fc = SafeEval(f, xc);
+      if (fc < fv[worst]) {
+        pts[worst] = xc;
+        fv[worst] = fc;
+        continue;
+      }
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t d = 0; d < n; ++d) {
+        pts[i][d] = pts[best][d] + sigma * (pts[i][d] - pts[best][d]);
+      }
+      fv[i] = SafeEval(f, pts[i]);
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (fv[i] < fv[best]) best = i;
+  }
+  return {pts[best], fv[best], iter, converged};
+}
+
+}  // namespace
+
+Result<OptimizeOutcome> NelderMead(const Objective& objective,
+                                   const std::vector<double>& x0,
+                                   const NelderMeadOptions& options) {
+  if (x0.empty()) {
+    return Status::InvalidArgument("NelderMead: empty start point");
+  }
+  if (!std::isfinite(SafeEval(objective, x0))) {
+    return Status::InvalidArgument(
+        "NelderMead: objective not finite at start point");
+  }
+  SimplexResult best =
+      RunSimplex(objective, x0, options, options.max_iterations);
+  std::mt19937 rng(options.seed);
+  std::normal_distribution<double> jitter(0.0, options.initial_step);
+  for (int r = 0; r < options.restarts; ++r) {
+    std::vector<double> start = best.x;
+    for (double& v : start) v += jitter(rng);
+    if (!std::isfinite(SafeEval(objective, start))) continue;
+    SimplexResult attempt =
+        RunSimplex(objective, start, options, options.max_iterations);
+    attempt.iterations += best.iterations;
+    if (attempt.fx < best.fx) {
+      best = attempt;
+    } else {
+      best.iterations = attempt.iterations;
+    }
+  }
+  OptimizeOutcome out;
+  out.x = best.x;
+  out.fx = best.fx;
+  out.iterations = best.iterations;
+  out.converged = best.converged;
+  return out;
+}
+
+double GoldenSectionMinimize(const std::function<double(double)>& f,
+                             double lo, double hi, double tol) {
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c), fd = f(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace capplan::math

@@ -1,0 +1,50 @@
+#ifndef CAPPLAN_MATH_OPTIMIZE_H_
+#define CAPPLAN_MATH_OPTIMIZE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::math {
+
+// Objective mapping a parameter vector to a scalar cost. Implementations may
+// return +inf (or NaN, treated as +inf) for infeasible points.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  // Convergence: stop when the simplex function-value spread and the simplex
+  // diameter both fall below these tolerances.
+  double f_tolerance = 1e-9;
+  double x_tolerance = 1e-8;
+  // Initial simplex edge length per coordinate (absolute).
+  double initial_step = 0.25;
+  // Number of random restarts from perturbed best points (0 = single run).
+  int restarts = 0;
+  // Seed for restart perturbations.
+  unsigned seed = 42;
+};
+
+struct OptimizeOutcome {
+  std::vector<double> x;    // best parameters found
+  double fx = 0.0;          // objective at x
+  int iterations = 0;       // iterations consumed (across restarts)
+  bool converged = false;   // tolerances met before iteration cap
+};
+
+// Derivative-free Nelder-Mead downhill simplex minimization. Suitable for
+// the smooth low-dimensional likelihood/SSE surfaces fitted in this library
+// (ARIMA CSS, ETS, TBATS). Returns an error only for empty input or an
+// objective that is non-finite at the start point.
+Result<OptimizeOutcome> NelderMead(const Objective& objective,
+                                   const std::vector<double>& x0,
+                                   const NelderMeadOptions& options = {});
+
+// Minimizes a 1-D function on [lo, hi] by golden-section search.
+double GoldenSectionMinimize(const std::function<double(double)>& f,
+                             double lo, double hi, double tol = 1e-8);
+
+}  // namespace capplan::math
+
+#endif  // CAPPLAN_MATH_OPTIMIZE_H_

@@ -1,0 +1,172 @@
+#include "math/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capplan::math {
+
+std::vector<double> PolyMultiply(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> ArPolynomial(const std::vector<double>& phi) {
+  std::vector<double> poly(phi.size() + 1, 0.0);
+  poly[0] = 1.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) poly[i + 1] = -phi[i];
+  return poly;
+}
+
+std::vector<double> MaPolynomial(const std::vector<double>& theta) {
+  std::vector<double> poly(theta.size() + 1, 0.0);
+  poly[0] = 1.0;
+  for (std::size_t i = 0; i < theta.size(); ++i) poly[i + 1] = theta[i];
+  return poly;
+}
+
+std::vector<double> SeasonalArPolynomial(const std::vector<double>& phi,
+                                         std::size_t season) {
+  std::vector<double> poly(phi.size() * season + 1, 0.0);
+  poly[0] = 1.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    poly[(i + 1) * season] = -phi[i];
+  }
+  return poly;
+}
+
+std::vector<double> SeasonalMaPolynomial(const std::vector<double>& theta,
+                                         std::size_t season) {
+  std::vector<double> poly(theta.size() * season + 1, 0.0);
+  poly[0] = 1.0;
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    poly[(i + 1) * season] = theta[i];
+  }
+  return poly;
+}
+
+std::vector<double> DifferencePolynomial(int d, int seasonal_d,
+                                         std::size_t season) {
+  std::vector<double> poly{1.0};
+  const std::vector<double> diff{1.0, -1.0};
+  for (int i = 0; i < d; ++i) poly = PolyMultiply(poly, diff);
+  if (season > 0) {
+    std::vector<double> sdiff(season + 1, 0.0);
+    sdiff[0] = 1.0;
+    sdiff[season] = -1.0;
+    for (int i = 0; i < seasonal_d; ++i) poly = PolyMultiply(poly, sdiff);
+  }
+  return poly;
+}
+
+std::vector<double> ArCoefficientsFromPolynomial(
+    const std::vector<double>& poly) {
+  std::vector<double> phi;
+  phi.reserve(poly.size() > 0 ? poly.size() - 1 : 0);
+  for (std::size_t i = 1; i < poly.size(); ++i) phi.push_back(-poly[i]);
+  return phi;
+}
+
+std::vector<double> MaCoefficientsFromPolynomial(
+    const std::vector<double>& poly) {
+  std::vector<double> theta;
+  theta.reserve(poly.size() > 0 ? poly.size() - 1 : 0);
+  for (std::size_t i = 1; i < poly.size(); ++i) theta.push_back(poly[i]);
+  return theta;
+}
+
+std::vector<double> PsiWeights(const std::vector<double>& phi,
+                               const std::vector<double>& theta,
+                               std::size_t n) {
+  std::vector<double> psi(n, 0.0);
+  if (n == 0) return psi;
+  psi[0] = 1.0;
+  for (std::size_t j = 1; j < n; ++j) {
+    double v = (j <= theta.size()) ? theta[j - 1] : 0.0;
+    for (std::size_t i = 1; i <= phi.size() && i <= j; ++i) {
+      v += phi[i - 1] * psi[j - i];
+    }
+    psi[j] = v;
+  }
+  return psi;
+}
+
+// Keeps partial autocorrelations strictly inside (-1, 1): tanh of a large
+// argument rounds to 1.0 in double precision, which would put the implied
+// AR process exactly on the unit circle and break the inverse recursion.
+constexpr double kPacfScale = 0.999;
+
+std::vector<double> StationaryFromUnconstrained(const std::vector<double>& u) {
+  const std::size_t p = u.size();
+  // Partial autocorrelations in (-kPacfScale, kPacfScale).
+  std::vector<double> r(p);
+  for (std::size_t i = 0; i < p; ++i) r[i] = kPacfScale * std::tanh(u[i]);
+  // Durbin-Levinson: build phi^{(k)} from phi^{(k-1)} and r[k-1].
+  std::vector<double> phi(p, 0.0), prev(p, 0.0);
+  for (std::size_t k = 0; k < p; ++k) {
+    phi[k] = r[k];
+    for (std::size_t j = 0; j < k; ++j) {
+      phi[j] = prev[j] - r[k] * prev[k - 1 - j];
+    }
+    prev = phi;
+  }
+  return phi;
+}
+
+std::vector<double> UnconstrainedFromStationary(
+    const std::vector<double>& phi_in) {
+  // Invert the Durbin-Levinson recursion to recover partial autocorrelations.
+  std::vector<double> work = phi_in;
+  const std::size_t p = work.size();
+  std::vector<double> pacf(p, 0.0);
+  for (std::size_t kk = p; kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    const double a = work[k];
+    pacf[k] = a;
+    if (std::fabs(a) >= 1.0) {
+      // Outside the stationary region; clamp.
+      pacf[k] = std::copysign(0.999, a);
+    }
+    std::vector<double> prev(k, 0.0);
+    const double denom = 1.0 - pacf[k] * pacf[k];
+    for (std::size_t j = 0; j < k; ++j) {
+      prev[j] = (work[j] + pacf[k] * work[k - 1 - j]) / denom;
+    }
+    for (std::size_t j = 0; j < k; ++j) work[j] = prev[j];
+  }
+  std::vector<double> u(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const double r =
+        std::clamp(pacf[i] / kPacfScale, -0.999999, 0.999999);
+    u[i] = std::atanh(r);
+  }
+  return u;
+}
+
+bool IsStationary(const std::vector<double>& phi) {
+  // Run the inverse Durbin-Levinson; stationary iff every implied partial
+  // autocorrelation is in (-1, 1).
+  std::vector<double> work = phi;
+  const std::size_t p = work.size();
+  for (std::size_t kk = p; kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    const double a = work[k];
+    if (std::fabs(a) >= 1.0) return false;
+    const double denom = 1.0 - a * a;
+    std::vector<double> prev(k, 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      prev[j] = (work[j] + a * work[k - 1 - j]) / denom;
+    }
+    for (std::size_t j = 0; j < k; ++j) work[j] = prev[j];
+  }
+  return true;
+}
+
+}  // namespace capplan::math

@@ -1,0 +1,70 @@
+#ifndef CAPPLAN_MATH_POLYNOMIAL_H_
+#define CAPPLAN_MATH_POLYNOMIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace capplan::math {
+
+// Lag-polynomial utilities for ARIMA-family models.
+//
+// A lag polynomial c(B) = c0 + c1*B + c2*B^2 + ... is stored as the
+// coefficient vector {c0, c1, c2, ...}. AR polynomials are written
+// phi(B) = 1 - phi1*B - ... - php*B^p and MA polynomials
+// theta(B) = 1 + theta1*B + ... + thetaq*B^q; the helpers below convert
+// between "coefficient" form (phi1..php) and polynomial form.
+
+// Product of two lag polynomials.
+std::vector<double> PolyMultiply(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+// phi coefficients {phi1..php} -> polynomial {1, -phi1, ..., -php}.
+std::vector<double> ArPolynomial(const std::vector<double>& phi);
+
+// theta coefficients {theta1..thetaq} -> polynomial {1, theta1, ..., thetaq}.
+std::vector<double> MaPolynomial(const std::vector<double>& theta);
+
+// Seasonal version: coefficients act at lags s, 2s, ...:
+// {1, 0, ..., -Phi1 @ lag s, ...}.
+std::vector<double> SeasonalArPolynomial(const std::vector<double>& phi,
+                                         std::size_t season);
+std::vector<double> SeasonalMaPolynomial(const std::vector<double>& theta,
+                                         std::size_t season);
+
+// Differencing polynomial (1 - B)^d * (1 - B^s)^D.
+std::vector<double> DifferencePolynomial(int d, int seasonal_d,
+                                         std::size_t season);
+
+// Extracts phi coefficients back out of an AR polynomial
+// ({1, -phi1, ...} -> {phi1, ...}).
+std::vector<double> ArCoefficientsFromPolynomial(
+    const std::vector<double>& poly);
+// ({1, theta1, ...} -> {theta1, ...}).
+std::vector<double> MaCoefficientsFromPolynomial(
+    const std::vector<double>& poly);
+
+// psi-weights of the MA(infinity) representation of an ARMA(p,q) process:
+// psi(B) = theta(B) / phi(B), returning {psi0=1, psi1, ..., psi_{n-1}}.
+// Used for forecast-error variances.
+std::vector<double> PsiWeights(const std::vector<double>& phi,
+                               const std::vector<double>& theta,
+                               std::size_t n);
+
+// Maps an unconstrained real vector to AR coefficients of a stationary
+// process (Monahan 1984): u_i -> partial autocorrelation tanh(u_i) ->
+// phi via the Durbin-Levinson recursion. The same map yields invertible MA
+// coefficients. Monotone and smooth, so Nelder-Mead can optimize over the
+// unconstrained space.
+std::vector<double> StationaryFromUnconstrained(const std::vector<double>& u);
+
+// Inverse of StationaryFromUnconstrained for phi strictly inside the
+// stationarity region; used to initialize optimizers from heuristic fits.
+std::vector<double> UnconstrainedFromStationary(const std::vector<double>& phi);
+
+// True if all roots of the AR polynomial 1 - phi1 z - ... - php z^p lie
+// outside the unit circle (checked via the PACF recursion).
+bool IsStationary(const std::vector<double>& phi);
+
+}  // namespace capplan::math
+
+#endif  // CAPPLAN_MATH_POLYNOMIAL_H_

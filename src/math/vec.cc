@@ -1,0 +1,127 @@
+#include "math/vec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace capplan::math {
+
+double Sum(const std::vector<double>& x) {
+  return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+double Mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  return Sum(x) / static_cast<double>(x.size());
+}
+
+double Variance(const std::vector<double>& x, bool sample) {
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mu = Mean(x);
+  double ss = 0.0;
+  for (double v : x) ss += (v - mu) * (v - mu);
+  const double denom = sample ? static_cast<double>(n - 1)
+                              : static_cast<double>(n);
+  return ss / denom;
+}
+
+double StdDev(const std::vector<double>& x, bool sample) {
+  return std::sqrt(Variance(x, sample));
+}
+
+double Min(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  return *std::min_element(x.begin(), x.end());
+}
+
+double Max(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  return *std::max_element(x.begin(), x.end());
+}
+
+double Median(std::vector<double> x) {
+  if (x.empty()) return 0.0;
+  const std::size_t n = x.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(x.begin(), x.begin() + mid, x.end());
+  double hi = x[mid];
+  if (n % 2 == 1) return hi;
+  double lo = *std::max_element(x.begin(), x.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Quantile(std::vector<double> x, double q) {
+  if (x.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(x.begin(), x.end());
+  const double pos = q * static_cast<double>(x.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return x[lo] + frac * (x[hi] - x[lo]);
+}
+
+double Correlation(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> Add(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return out;
+}
+
+std::vector<double> Subtract(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+std::vector<double> Scale(const std::vector<double>& x, double factor) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * factor;
+  return out;
+}
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+std::vector<double> Demean(const std::vector<double>& x) {
+  const double mu = Mean(x);
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - mu;
+  return out;
+}
+
+std::vector<double> Arange(double start, double step, std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = start + step * static_cast<double>(i);
+  }
+  return out;
+}
+
+}  // namespace capplan::math

@@ -1,0 +1,48 @@
+#ifndef CAPPLAN_MATH_VEC_H_
+#define CAPPLAN_MATH_VEC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace capplan::math {
+
+// Basic statistics over a double vector. All functions return 0.0 for empty
+// input unless stated otherwise; variance uses the (n-1) denominator when
+// `sample` is true and n > 1.
+
+double Sum(const std::vector<double>& x);
+double Mean(const std::vector<double>& x);
+double Variance(const std::vector<double>& x, bool sample = true);
+double StdDev(const std::vector<double>& x, bool sample = true);
+double Min(const std::vector<double>& x);
+double Max(const std::vector<double>& x);
+
+// Median; averages the two middle elements for even n. Copies the input.
+double Median(std::vector<double> x);
+
+// Linear `q`-quantile (q in [0,1]) with linear interpolation between order
+// statistics (type-7, the numpy/R default). Copies the input.
+double Quantile(std::vector<double> x, double q);
+
+// Pearson correlation of x and y (must be the same length, >= 2).
+double Correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+// Element-wise helpers; inputs must be the same length.
+std::vector<double> Add(const std::vector<double>& x,
+                        const std::vector<double>& y);
+std::vector<double> Subtract(const std::vector<double>& x,
+                             const std::vector<double>& y);
+std::vector<double> Scale(const std::vector<double>& x, double factor);
+
+// Dot product; inputs must be the same length.
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+
+// x[i] - shift for every element.
+std::vector<double> Demean(const std::vector<double>& x);
+
+// Evenly spaced values: n values from start with the given step.
+std::vector<double> Arange(double start, double step, std::size_t n);
+
+}  // namespace capplan::math
+
+#endif  // CAPPLAN_MATH_VEC_H_

@@ -1,0 +1,342 @@
+#include "models/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "math/distributions.h"
+#include "math/matrix.h"
+#include "math/optimize.h"
+#include "math/polynomial.h"
+#include "math/vec.h"
+#include "models/kalman.h"
+#include "tsa/difference.h"
+#include "tsa/metrics.h"
+
+namespace capplan::models {
+
+namespace {
+
+// Union of ordinary lags 1..order and seasonal lags s, 2s, .., S*order.
+std::vector<std::size_t> BuildLagSet(int order, int seasonal_order,
+                                     std::size_t season) {
+  std::set<std::size_t> lags;
+  for (int i = 1; i <= order; ++i) lags.insert(static_cast<std::size_t>(i));
+  for (int j = 1; j <= seasonal_order; ++j) {
+    lags.insert(static_cast<std::size_t>(j) * season);
+  }
+  return {lags.begin(), lags.end()};
+}
+
+std::size_t MaxLag(const std::vector<std::size_t>& lags) {
+  return lags.empty() ? 0 : lags.back();
+}
+
+// Scatters sparse per-lag coefficients into a dense lag vector.
+std::vector<double> Densify(const std::vector<std::size_t>& lags,
+                            const std::vector<double>& coef) {
+  std::vector<double> full(MaxLag(lags), 0.0);
+  for (std::size_t i = 0; i < lags.size(); ++i) {
+    full[lags[i] - 1] = coef[i];
+  }
+  return full;
+}
+
+// MA invertibility check: theta(B) = 1 + t1 B + ... is invertible iff the
+// "AR" process with phi_i = -theta_i is stationary.
+bool IsInvertible(const std::vector<double>& ma_full) {
+  std::vector<double> as_ar(ma_full.size());
+  for (std::size_t i = 0; i < ma_full.size(); ++i) as_ar[i] = -ma_full[i];
+  return math::IsStationary(as_ar);
+}
+
+// Scales coefficients toward zero until the region test passes. Keeps grid
+// evaluation robust when Hannan-Rissanen lands slightly outside the region.
+template <typename RegionTest>
+bool ShrinkIntoRegion(std::vector<double>& coef, const RegionTest& ok) {
+  for (int iter = 0; iter < 200 && !ok(coef); ++iter) {
+    for (double& c : coef) c *= 0.97;
+  }
+  return ok(coef);
+}
+
+double SumSquares(const std::vector<double>& v, std::size_t skip) {
+  double s = 0.0;
+  for (std::size_t i = skip; i < v.size(); ++i) s += v[i] * v[i];
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> ComputeCssResiduals(const std::vector<double>& w,
+                                        const std::vector<double>& ar_full,
+                                        const std::vector<double>& ma_full) {
+  const std::size_t n = w.size();
+  const std::size_t start = std::max(ar_full.size(), ma_full.size());
+  std::vector<double> a(n, 0.0);
+  for (std::size_t t = start; t < n; ++t) {
+    double pred = 0.0;
+    for (std::size_t l = 1; l <= ar_full.size(); ++l) {
+      if (ar_full[l - 1] != 0.0) pred += ar_full[l - 1] * w[t - l];
+    }
+    for (std::size_t l = 1; l <= ma_full.size(); ++l) {
+      if (ma_full[l - 1] != 0.0) pred += ma_full[l - 1] * a[t - l];
+    }
+    a[t] = w[t] - pred;
+  }
+  return a;
+}
+
+Result<ArimaModel> ArimaModel::Fit(const std::vector<double>& y,
+                                   const ArimaSpec& spec,
+                                   const Options& options) {
+  if (!spec.IsValid()) {
+    return Status::InvalidArgument("ArimaModel: invalid spec " +
+                                   spec.ToString());
+  }
+  ArimaModel m;
+  m.spec_ = spec;
+  m.options_ = options;
+  m.train_ = y;
+
+  // 1. Difference.
+  std::vector<double> w =
+      tsa::DifferenceMany(y, spec.d, spec.D, spec.season);
+  const std::vector<std::size_t> ar_lags =
+      BuildLagSet(spec.p, spec.P, spec.season);
+  const std::vector<std::size_t> ma_lags =
+      BuildLagSet(spec.q, spec.Q, spec.season);
+  const std::size_t max_ar = MaxLag(ar_lags);
+  const std::size_t max_ma = MaxLag(ma_lags);
+  const std::size_t need =
+      std::max<std::size_t>(20, max_ar + max_ma + ar_lags.size() +
+                                    ma_lags.size() + 5);
+  if (w.size() < need) {
+    return Status::InvalidArgument("ArimaModel: series too short for spec " +
+                                   spec.ToString());
+  }
+  if (spec.d + spec.D == 0 && options.include_mean) {
+    m.mean_ = math::Mean(w);
+    for (double& v : w) v -= m.mean_;
+  }
+  m.w_ = w;
+  const std::size_t n = w.size();
+
+  // 2. Hannan-Rissanen estimation.
+  std::vector<double> ar_coef(ar_lags.size(), 0.0);
+  std::vector<double> ma_coef(ma_lags.size(), 0.0);
+  if (!ar_lags.empty() || !ma_lags.empty()) {
+    std::vector<double> innov(n, 0.0);
+    if (!ma_lags.empty()) {
+      // Long autoregression for preliminary innovations.
+      const std::size_t m_long = std::min<std::size_t>(
+          std::max<std::size_t>(20, max_ar + max_ma), n / 4);
+      math::Matrix a_long(n - m_long, m_long);
+      std::vector<double> b_long(n - m_long);
+      for (std::size_t t = m_long; t < n; ++t) {
+        b_long[t - m_long] = w[t];
+        for (std::size_t l = 1; l <= m_long; ++l) {
+          a_long(t - m_long, l - 1) = w[t - l];
+        }
+      }
+      auto phi_long = math::SolveLeastSquares(a_long, b_long);
+      if (!phi_long.ok()) return phi_long.status();
+      for (std::size_t t = m_long; t < n; ++t) {
+        double pred = 0.0;
+        for (std::size_t l = 1; l <= m_long; ++l) {
+          pred += (*phi_long)[l - 1] * w[t - l];
+        }
+        innov[t] = w[t] - pred;
+      }
+    }
+    // Main regression: w_t on AR lags of w and MA lags of innovations.
+    const std::size_t start = std::max(max_ar, max_ma);
+    const std::size_t rows = n - start;
+    const std::size_t cols = ar_lags.size() + ma_lags.size();
+    if (rows <= cols + 2) {
+      return Status::InvalidArgument(
+          "ArimaModel: too few observations for regression");
+    }
+    math::Matrix a(rows, cols);
+    std::vector<double> b(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t t = start + r;
+      b[r] = w[t];
+      std::size_t c = 0;
+      for (std::size_t lag : ar_lags) a(r, c++) = w[t - lag];
+      for (std::size_t lag : ma_lags) a(r, c++) = innov[t - lag];
+    }
+    auto beta = math::SolveLeastSquares(a, b);
+    if (!beta.ok()) return beta.status();
+    for (std::size_t i = 0; i < ar_lags.size(); ++i) ar_coef[i] = (*beta)[i];
+    for (std::size_t i = 0; i < ma_lags.size(); ++i) {
+      ma_coef[i] = (*beta)[ar_lags.size() + i];
+    }
+  }
+
+  m.ar_full_ = Densify(ar_lags, ar_coef);
+  m.ma_full_ = Densify(ma_lags, ma_coef);
+
+  // Project into the stationary/invertible region if needed.
+  if (!ShrinkIntoRegion(m.ar_full_, [](const std::vector<double>& c) {
+        return math::IsStationary(c);
+      })) {
+    return Status::ComputeError("ArimaModel: could not stabilize AR part");
+  }
+  if (!ShrinkIntoRegion(m.ma_full_, IsInvertible)) {
+    return Status::ComputeError("ArimaModel: could not stabilize MA part");
+  }
+
+  // 3. Optional CSS refinement by Nelder-Mead over the sparse coefficients.
+  const std::size_t n_coef = ar_lags.size() + ma_lags.size();
+  if (options.refine && n_coef > 0 && n_coef <= options.max_refine_params) {
+    auto pack = [&](const std::vector<double>& af,
+                    const std::vector<double>& mf) {
+      std::vector<double> x;
+      x.reserve(n_coef);
+      for (std::size_t lag : ar_lags) x.push_back(af[lag - 1]);
+      for (std::size_t lag : ma_lags) x.push_back(mf[lag - 1]);
+      return x;
+    };
+    auto unpack = [&](const std::vector<double>& x, std::vector<double>& af,
+                      std::vector<double>& mf) {
+      af.assign(MaxLag(ar_lags), 0.0);
+      mf.assign(MaxLag(ma_lags), 0.0);
+      std::size_t i = 0;
+      for (std::size_t lag : ar_lags) af[lag - 1] = x[i++];
+      for (std::size_t lag : ma_lags) mf[lag - 1] = x[i++];
+    };
+    const std::size_t skip = std::max(max_ar, max_ma);
+    // Refinement objective: CSS (sum of squared conditional residuals) or
+    // exact negative log-likelihood from the Kalman filter. Exact MLE is
+    // only reliable with the exact stationary state initialization, which
+    // is limited to small state dimensions (r = max(p, q+1) <= 12); larger
+    // seasonal models fall back to CSS.
+    const bool use_mle =
+        options.method == Method::kMle &&
+        std::max(m.ar_full_.size(), m.ma_full_.size() + 1) <= 12;
+    math::Objective objective = [&](const std::vector<double>& x) {
+      std::vector<double> af, mf;
+      unpack(x, af, mf);
+      if (!math::IsStationary(af) || !IsInvertible(mf)) {
+        return std::numeric_limits<double>::infinity();
+      }
+      if (use_mle) {
+        auto kl = ArmaKalmanLikelihood(w, af, mf);
+        if (!kl.ok()) return std::numeric_limits<double>::infinity();
+        return -kl->log_likelihood;
+      }
+      const std::vector<double> res = ComputeCssResiduals(w, af, mf);
+      return SumSquares(res, skip);
+    };
+    math::NelderMeadOptions nm;
+    nm.max_iterations = 600;
+    nm.initial_step = 0.05;
+    const std::vector<double> start = pack(m.ar_full_, m.ma_full_);
+    auto outcome = math::NelderMead(objective, start, nm);
+    if (outcome.ok()) {
+      std::vector<double> af, mf;
+      unpack(outcome->x, af, mf);
+      const double current = objective(start);
+      if (outcome->fx < current && math::IsStationary(af) &&
+          IsInvertible(mf)) {
+        m.ar_full_ = af;
+        m.ma_full_ = mf;
+      }
+    }
+  }
+
+  // 4. Residuals and summary.
+  m.residuals_ = ComputeCssResiduals(w, m.ar_full_, m.ma_full_);
+  const std::size_t skip = std::max(max_ar, max_ma);
+  const std::size_t n_eff = n - skip;
+  const double sse = SumSquares(m.residuals_, skip);
+  const std::size_t k =
+      n_coef + ((spec.d + spec.D == 0 && options.include_mean) ? 1 : 0) + 1;
+  m.summary_.sse = sse;
+  m.summary_.sigma2 = sse / static_cast<double>(n_eff);
+  m.summary_.n_params = k;
+  m.summary_.n_obs = n_eff;
+  m.summary_.aic = tsa::AicFromSse(sse, n_eff, k);
+  m.summary_.bic = tsa::BicFromSse(sse, n_eff, k);
+  return m;
+}
+
+Result<Forecast> ArimaModel::Predict(std::size_t horizon,
+                                     double level) const {
+  if (horizon == 0) {
+    return Status::InvalidArgument("ArimaModel::Predict: zero horizon");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::InvalidArgument("ArimaModel::Predict: level in (0,1)");
+  }
+  const std::size_t n = w_.size();
+  // Point forecasts on the differenced (demeaned) scale.
+  std::vector<double> extended = w_;  // values, then appended forecasts
+  extended.reserve(n + horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const std::size_t t = n + h;
+    double pred = 0.0;
+    for (std::size_t l = 1; l <= ar_full_.size(); ++l) {
+      if (ar_full_[l - 1] == 0.0 || t < l) continue;
+      pred += ar_full_[l - 1] * extended[t - l];
+    }
+    for (std::size_t l = 1; l <= ma_full_.size(); ++l) {
+      if (ma_full_[l - 1] == 0.0 || t < l) continue;
+      const std::size_t idx = t - l;
+      if (idx < n) pred += ma_full_[l - 1] * residuals_[idx];
+      // Future innovations have expectation zero.
+    }
+    extended.push_back(pred);
+  }
+  std::vector<double> w_forecast(extended.begin() +
+                                     static_cast<std::ptrdiff_t>(n),
+                                 extended.end());
+  for (double& v : w_forecast) v += mean_;
+
+  // Integrate back to the original scale.
+  std::vector<double> mean_forecast = tsa::IntegrateForecast(
+      train_, w_forecast, spec_.d, spec_.D, spec_.season);
+
+  // Forecast error variance via psi-weights of the integrated process:
+  // phi*(B) = phi(B) * (1-B)^d * (1-B^s)^D.
+  const std::vector<double> phi_poly =
+      math::PolyMultiply(math::ArPolynomial(ar_full_),
+                         math::DifferencePolynomial(
+                             spec_.d, spec_.D, spec_.season));
+  const std::vector<double> phi_star =
+      math::ArCoefficientsFromPolynomial(phi_poly);
+  const std::vector<double> psi =
+      math::PsiWeights(phi_star, ma_full_, horizon);
+  const double z = math::NormalQuantile(0.5 * (1.0 + level));
+
+  Forecast fc;
+  fc.level = level;
+  fc.mean = mean_forecast;
+  fc.lower.resize(horizon);
+  fc.upper.resize(horizon);
+  double var = 0.0;
+  for (std::size_t h = 0; h < horizon; ++h) {
+    var += psi[h] * psi[h];
+    const double half = z * std::sqrt(summary_.sigma2 * var);
+    fc.lower[h] = mean_forecast[h] - half;
+    fc.upper[h] = mean_forecast[h] + half;
+  }
+  return fc;
+}
+
+std::vector<double> ArimaModel::FittedValues() const {
+  // Reconstruct one-step fitted values on the original scale:
+  // fitted = observed - residual, aligned to the tail covered by the
+  // differencing + CSS conditioning.
+  const std::size_t offset = train_.size() - w_.size();
+  std::vector<double> fitted = train_;
+  const std::size_t skip = std::max(ar_full_.size(), ma_full_.size());
+  for (std::size_t t = skip; t < w_.size(); ++t) {
+    fitted[offset + t] = train_[offset + t] - residuals_[t];
+  }
+  return fitted;
+}
+
+}  // namespace capplan::models

@@ -1,0 +1,104 @@
+#ifndef CAPPLAN_MODELS_ARIMA_H_
+#define CAPPLAN_MODELS_ARIMA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "models/arima_spec.h"
+#include "models/model.h"
+
+namespace capplan::models {
+
+// (Seasonal) ARIMA model fitted by conditional least squares.
+//
+// Estimation pipeline:
+//   1. Apply ordinary and seasonal differencing per the spec (paper Eq. 4-5);
+//      demean when d + D == 0.
+//   2. Hannan-Rissanen two-stage least squares: a long autoregression
+//      produces preliminary innovations; the model coefficients are then the
+//      OLS fit of the differenced series on its own lags (1..p and the
+//      seasonal lags s..Ps) and the lagged innovations (1..q, s..Qs).
+//   3. When the coefficient count is small enough, the estimates are refined
+//      by Nelder-Mead on the exact conditional sum of squares, constrained
+//      to the stationary/invertible region.
+//
+// The seasonal structure is additive-in-lags (coefficients at the seasonal
+// lags) rather than the fully multiplicative polynomial product; for the
+// orders the selection grid explores, the two parameterizations span the
+// same correlogram features, and the refinement stage minimizes the same CSS
+// objective either way. Forecast intervals use the psi-weight expansion of
+// the full (differenced) lag polynomial.
+class ArimaModel {
+ public:
+  // Objective used by the simplex refinement stage.
+  enum class Method {
+    kCss,  // conditional sum of squares (default; fast, R arima "CSS")
+    kMle,  // exact Gaussian likelihood via the Kalman filter ("ML")
+  };
+
+  struct Options {
+    // Run the simplex refinement when the coefficient count is at most this.
+    std::size_t max_refine_params = 10;
+    bool refine = true;
+    Method method = Method::kCss;
+    // Estimate a mean term when no differencing is applied.
+    bool include_mean = true;
+  };
+
+  // An unfitted placeholder (all-zero white-noise model); use Fit() to
+  // obtain a usable model.
+  ArimaModel() = default;
+
+  // Fits `spec` to `y`. Fails when the series is too short for the spec, the
+  // regression is degenerate, or the spec is invalid.
+  static Result<ArimaModel> Fit(const std::vector<double>& y,
+                                const ArimaSpec& spec,
+                                const Options& options);
+  static Result<ArimaModel> Fit(const std::vector<double>& y,
+                                const ArimaSpec& spec) {
+    return Fit(y, spec, Options());
+  }
+
+  // Forecasts `horizon` steps past the end of the training series with
+  // central prediction intervals at `level`.
+  Result<Forecast> Predict(std::size_t horizon, double level = 0.95) const;
+
+  const ArimaSpec& spec() const { return spec_; }
+  const FitSummary& summary() const { return summary_; }
+
+  // One-step in-sample residuals on the differenced scale; the first
+  // max-lag entries are zero (CSS conditioning).
+  const std::vector<double>& residuals() const { return residuals_; }
+
+  // Dense coefficient vectors: ar_coefficients()[i] multiplies lag i+1.
+  const std::vector<double>& ar_coefficients() const { return ar_full_; }
+  const std::vector<double>& ma_coefficients() const { return ma_full_; }
+  double mean() const { return mean_; }
+
+  // In-sample one-step-ahead fitted values on the original scale (first
+  // d + D*s + max-lag entries repeat the observed values).
+  std::vector<double> FittedValues() const;
+
+ private:
+  ArimaSpec spec_;
+  Options options_;
+  std::vector<double> train_;      // original series
+  std::vector<double> w_;          // differenced, demeaned working series
+  double mean_ = 0.0;
+  std::vector<double> ar_full_;    // dense, index i -> lag i+1
+  std::vector<double> ma_full_;
+  std::vector<double> residuals_;  // on the differenced scale
+  FitSummary summary_;
+};
+
+// Computes CSS residuals of a (dense-lag) ARMA on `w`; the first
+// max(ar,ma) lag entries are zero. Shared with the regression-with-ARIMA-
+// errors fitter.
+std::vector<double> ComputeCssResiduals(const std::vector<double>& w,
+                                        const std::vector<double>& ar_full,
+                                        const std::vector<double>& ma_full);
+
+}  // namespace capplan::models
+
+#endif  // CAPPLAN_MODELS_ARIMA_H_

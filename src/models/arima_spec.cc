@@ -1,0 +1,24 @@
+#include "models/arima_spec.h"
+
+#include <sstream>
+
+namespace capplan::models {
+
+std::string ArimaSpec::ToString() const {
+  std::ostringstream os;
+  os << "(" << p << "," << d << "," << q << ")";
+  if (season > 0) {
+    os << "(" << P << "," << D << "," << Q << "," << season << ")";
+  }
+  return os.str();
+}
+
+bool ArimaSpec::IsValid() const {
+  if (p < 0 || d < 0 || q < 0 || P < 0 || D < 0 || Q < 0) return false;
+  if (d + D > 3) return false;
+  if (season == 0 && (P > 0 || D > 0 || Q > 0)) return false;
+  if (season == 1) return false;
+  return true;
+}
+
+}  // namespace capplan::models

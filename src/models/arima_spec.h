@@ -1,0 +1,41 @@
+#ifndef CAPPLAN_MODELS_ARIMA_SPEC_H_
+#define CAPPLAN_MODELS_ARIMA_SPEC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace capplan::models {
+
+// Order specification of a (seasonal) ARIMA model, the paper's
+// (p,d,q)(P,D,Q,F) tuple. season == 0 means a plain ARIMA(p,d,q).
+struct ArimaSpec {
+  int p = 0;  // autoregressive order
+  int d = 0;  // ordinary differencing
+  int q = 0;  // moving-average order
+  int P = 0;  // seasonal AR order
+  int D = 0;  // seasonal differencing
+  int Q = 0;  // seasonal MA order
+  std::size_t season = 0;  // seasonal period F (observations)
+
+  bool is_seasonal() const { return season > 0 && (P > 0 || D > 0 || Q > 0); }
+
+  // Number of free coefficients (excluding the innovation variance and any
+  // mean term).
+  std::size_t NumCoefficients() const {
+    return static_cast<std::size_t>(p + q + P + Q);
+  }
+
+  // "(p,d,q)" or "(p,d,q)(P,D,Q,s)" in the paper's notation.
+  std::string ToString() const;
+
+  // Validation: non-negative orders, d+D <= 3, seasonal orders require a
+  // season, season > 1 when present.
+  bool IsValid() const;
+
+  friend bool operator==(const ArimaSpec& a, const ArimaSpec& b) = default;
+};
+
+}  // namespace capplan::models
+
+#endif  // CAPPLAN_MODELS_ARIMA_SPEC_H_

@@ -1,0 +1,123 @@
+#include "models/auto_arima.h"
+
+#include <limits>
+#include <set>
+#include <string>
+
+#include "tsa/stationarity.h"
+
+namespace capplan::models {
+
+namespace {
+
+struct SearchState {
+  double best_criterion = std::numeric_limits<double>::infinity();
+  ArimaSpec best_spec;
+  Result<ArimaModel> best_model = Status::NotFound("no model yet");
+  std::set<std::string> visited;
+  std::size_t evaluated = 0;
+};
+
+// Fits `spec` if new; updates the incumbent when the criterion improves.
+void Consider(const std::vector<double>& y, const ArimaSpec& spec,
+              const AutoArimaOptions& options, SearchState* state) {
+  if (!spec.IsValid()) return;
+  const std::string key = spec.ToString();
+  if (state->visited.count(key) > 0) return;
+  state->visited.insert(key);
+  ++state->evaluated;
+  auto model = ArimaModel::Fit(y, spec, options.fit);
+  if (!model.ok()) return;
+  const double criterion =
+      options.use_bic ? model->summary().bic : model->summary().aic;
+  if (criterion < state->best_criterion) {
+    state->best_criterion = criterion;
+    state->best_spec = spec;
+    state->best_model = std::move(model);
+  }
+}
+
+}  // namespace
+
+Result<AutoArimaOutcome> AutoArima(const std::vector<double>& y,
+                                   const AutoArimaOptions& options) {
+  if (y.size() < 30) {
+    return Status::InvalidArgument("AutoArima: need at least 30 observations");
+  }
+  // Differencing orders from the unit-root machinery.
+  int d = 0;
+  if (auto rec = tsa::RecommendDifferencing(y, options.max_d); rec.ok()) {
+    d = *rec;
+  }
+  int seasonal_d = 0;
+  if (options.season >= 2) {
+    if (auto rec = tsa::RecommendSeasonalDifferencing(y, options.season);
+        rec.ok()) {
+      seasonal_d = *rec;
+    }
+  }
+
+  SearchState state;
+  const bool seasonal = options.season >= 2;
+  const std::size_t s = seasonal ? options.season : 0;
+  const int D = seasonal ? seasonal_d : 0;
+  const int P1 = seasonal ? 1 : 0;
+  // Hyndman-Khandakar starting set.
+  Consider(y, {2, d, 2, P1, D, P1, s}, options, &state);
+  Consider(y, {0, d, 0, 0, D, 0, s}, options, &state);
+  Consider(y, {1, d, 0, P1, D, 0, s}, options, &state);
+  Consider(y, {0, d, 1, 0, D, P1, s}, options, &state);
+
+  if (!state.best_model.ok()) {
+    return Status::ComputeError("AutoArima: no starting model fitted");
+  }
+
+  // Hill climbing over +/-1 neighbourhoods.
+  for (int step = 0; step < options.max_steps; ++step) {
+    const ArimaSpec cur = state.best_spec;
+    const double before = state.best_criterion;
+    const int deltas[] = {-1, 1};
+    for (int delta : deltas) {
+      ArimaSpec n1 = cur;
+      n1.p += delta;
+      if (n1.p >= 0 && n1.p <= options.max_p) Consider(y, n1, options, &state);
+      ArimaSpec n2 = cur;
+      n2.q += delta;
+      if (n2.q >= 0 && n2.q <= options.max_q) Consider(y, n2, options, &state);
+      if (seasonal) {
+        ArimaSpec n3 = cur;
+        n3.P += delta;
+        if (n3.P >= 0 && n3.P <= options.max_seasonal_p) {
+          Consider(y, n3, options, &state);
+        }
+        ArimaSpec n4 = cur;
+        n4.Q += delta;
+        if (n4.Q >= 0 && n4.Q <= options.max_seasonal_q) {
+          Consider(y, n4, options, &state);
+        }
+      }
+    }
+    // Joint p/q move, as in the reference algorithm.
+    for (int dp : deltas) {
+      for (int dq : deltas) {
+        ArimaSpec n = cur;
+        n.p += dp;
+        n.q += dq;
+        if (n.p >= 0 && n.p <= options.max_p && n.q >= 0 &&
+            n.q <= options.max_q) {
+          Consider(y, n, options, &state);
+        }
+      }
+    }
+    if (state.best_criterion >= before - 1e-9) break;  // local optimum
+  }
+
+  AutoArimaOutcome out;
+  out.model = std::move(state.best_model).value();
+  out.spec = state.best_spec;
+  out.criterion = state.best_criterion;
+  out.models_evaluated = state.evaluated;
+  return out;
+}
+
+}  // namespace capplan::models

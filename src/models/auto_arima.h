@@ -1,0 +1,46 @@
+#ifndef CAPPLAN_MODELS_AUTO_ARIMA_H_
+#define CAPPLAN_MODELS_AUTO_ARIMA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "models/arima.h"
+
+namespace capplan::models {
+
+// Stepwise automatic (S)ARIMA order selection in the spirit of
+// Hyndman-Khandakar (the `auto.arima` algorithm): differencing orders from
+// the unit-root tests, then a hill-climbing search over (p,q,P,Q)
+// neighbourhoods ranked by AIC. This is the "tuned" alternative to the
+// paper's exhaustive Section-6.3 grid — the ablation benches compare the
+// two on accuracy and models evaluated.
+struct AutoArimaOptions {
+  std::size_t season = 0;  // seasonal period F; 0 = non-seasonal
+  int max_p = 5;
+  int max_q = 5;
+  int max_seasonal_p = 2;
+  int max_seasonal_q = 2;
+  int max_d = 2;
+  bool use_bic = false;  // rank by BIC instead of AIC
+  int max_steps = 60;    // hill-climbing iterations cap
+  ArimaModel::Options fit;
+};
+
+struct AutoArimaOutcome {
+  ArimaModel model;
+  ArimaSpec spec;
+  double criterion = 0.0;            // AIC (or BIC) of the winner
+  std::size_t models_evaluated = 0;  // fits attempted during the search
+};
+
+// Fails when no candidate can be fitted at all.
+Result<AutoArimaOutcome> AutoArima(const std::vector<double>& y,
+                                   const AutoArimaOptions& options);
+inline Result<AutoArimaOutcome> AutoArima(const std::vector<double>& y) {
+  return AutoArima(y, AutoArimaOptions());
+}
+
+}  // namespace capplan::models
+
+#endif  // CAPPLAN_MODELS_AUTO_ARIMA_H_

@@ -1,0 +1,127 @@
+#include "models/baselines.h"
+
+#include <cmath>
+
+#include "math/distributions.h"
+#include "math/vec.h"
+
+namespace capplan::models {
+
+namespace {
+
+// Residual standard deviation of the one-step (seasonal) naive forecaster,
+// used for interval widths.
+Result<double> NaiveSigma(const std::vector<double>& y, std::size_t period) {
+  if (y.size() <= period) {
+    return Status::InvalidArgument("baseline: series shorter than period");
+  }
+  double ss = 0.0;
+  std::size_t n = 0;
+  for (std::size_t t = period; t < y.size(); ++t) {
+    const double e = y[t] - y[t - period];
+    ss += e * e;
+    ++n;
+  }
+  if (n == 0) return Status::InvalidArgument("baseline: no residuals");
+  return std::sqrt(ss / static_cast<double>(n));
+}
+
+Forecast WithIntervals(std::vector<double> mean, double sigma, double level,
+                       bool grow_with_horizon) {
+  Forecast fc;
+  fc.level = level;
+  const double z = math::NormalQuantile(0.5 * (1.0 + level));
+  fc.lower.resize(mean.size());
+  fc.upper.resize(mean.size());
+  for (std::size_t h = 0; h < mean.size(); ++h) {
+    const double scale =
+        grow_with_horizon ? std::sqrt(static_cast<double>(h + 1)) : 1.0;
+    fc.lower[h] = mean[h] - z * sigma * scale;
+    fc.upper[h] = mean[h] + z * sigma * scale;
+  }
+  fc.mean = std::move(mean);
+  return fc;
+}
+
+Status CheckArgs(const std::vector<double>& y, std::size_t horizon,
+                 double level) {
+  if (y.empty()) return Status::InvalidArgument("baseline: empty series");
+  if (horizon == 0) return Status::InvalidArgument("baseline: zero horizon");
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::InvalidArgument("baseline: level in (0,1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Forecast> NaiveForecast(const std::vector<double>& y,
+                               std::size_t horizon, double level) {
+  CAPPLAN_RETURN_NOT_OK(CheckArgs(y, horizon, level));
+  CAPPLAN_ASSIGN_OR_RETURN(double sigma, NaiveSigma(y, 1));
+  return WithIntervals(std::vector<double>(horizon, y.back()), sigma, level,
+                       /*grow_with_horizon=*/true);
+}
+
+Result<Forecast> SeasonalNaiveForecast(const std::vector<double>& y,
+                                       std::size_t period,
+                                       std::size_t horizon, double level) {
+  CAPPLAN_RETURN_NOT_OK(CheckArgs(y, horizon, level));
+  if (period == 0 || y.size() < period) {
+    return Status::InvalidArgument(
+        "SeasonalNaiveForecast: need at least one full period");
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(double sigma, NaiveSigma(y, period));
+  std::vector<double> mean(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    // Index of the same phase in the last observed season.
+    const std::size_t back = period - (h % period);
+    mean[h] = y[y.size() - back];
+  }
+  return WithIntervals(std::move(mean), sigma, level,
+                       /*grow_with_horizon=*/false);
+}
+
+Result<Forecast> DriftForecast(const std::vector<double>& y,
+                               std::size_t horizon, double level) {
+  CAPPLAN_RETURN_NOT_OK(CheckArgs(y, horizon, level));
+  if (y.size() < 2) {
+    return Status::InvalidArgument("DriftForecast: need >= 2 observations");
+  }
+  const double drift =
+      (y.back() - y.front()) / static_cast<double>(y.size() - 1);
+  CAPPLAN_ASSIGN_OR_RETURN(double sigma, NaiveSigma(y, 1));
+  std::vector<double> mean(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    mean[h] = y.back() + drift * static_cast<double>(h + 1);
+  }
+  return WithIntervals(std::move(mean), sigma, level,
+                       /*grow_with_horizon=*/true);
+}
+
+Result<Forecast> MeanForecast(const std::vector<double>& y,
+                              std::size_t horizon, double level) {
+  CAPPLAN_RETURN_NOT_OK(CheckArgs(y, horizon, level));
+  const double mu = math::Mean(y);
+  const double sigma = math::StdDev(y);
+  return WithIntervals(std::vector<double>(horizon, mu), sigma, level,
+                       /*grow_with_horizon=*/false);
+}
+
+Result<double> NaiveScale(const std::vector<double>& y, std::size_t period) {
+  if (period == 0 || y.size() <= period) {
+    return Status::InvalidArgument("NaiveScale: series shorter than period");
+  }
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t t = period; t < y.size(); ++t) {
+    s += std::fabs(y[t] - y[t - period]);
+    ++n;
+  }
+  if (n == 0 || s == 0.0) {
+    return Status::ComputeError("NaiveScale: zero scale");
+  }
+  return s / static_cast<double>(n);
+}
+
+}  // namespace capplan::models

@@ -1,0 +1,40 @@
+#ifndef CAPPLAN_MODELS_BASELINES_H_
+#define CAPPLAN_MODELS_BASELINES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "models/model.h"
+
+namespace capplan::models {
+
+// Naive reference forecasters (M-competition style). Any model family worth
+// deploying must beat these; the benches report them as accuracy floors and
+// the MASE metric scales errors by the seasonal-naive in-sample MAE.
+
+// y_{n+h} = y_n.
+Result<Forecast> NaiveForecast(const std::vector<double>& y,
+                               std::size_t horizon, double level = 0.95);
+
+// y_{n+h} = y_{n+h-m} (last observed value one season back).
+Result<Forecast> SeasonalNaiveForecast(const std::vector<double>& y,
+                                       std::size_t period,
+                                       std::size_t horizon,
+                                       double level = 0.95);
+
+// Random walk with drift: y_{n+h} = y_n + h * (y_n - y_1) / (n - 1).
+Result<Forecast> DriftForecast(const std::vector<double>& y,
+                               std::size_t horizon, double level = 0.95);
+
+// y_{n+h} = mean(y).
+Result<Forecast> MeanForecast(const std::vector<double>& y,
+                              std::size_t horizon, double level = 0.95);
+
+// In-sample one-step MAE of the (seasonal) naive forecaster — the MASE
+// denominator. period == 1 gives the plain naive scaling.
+Result<double> NaiveScale(const std::vector<double>& y, std::size_t period);
+
+}  // namespace capplan::models
+
+#endif  // CAPPLAN_MODELS_BASELINES_H_

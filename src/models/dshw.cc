@@ -1,0 +1,202 @@
+#include "models/dshw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/distributions.h"
+#include "math/optimize.h"
+#include "math/vec.h"
+#include "tsa/metrics.h"
+
+namespace capplan::models {
+
+namespace {
+
+double Squash(double u, double lo, double hi) {
+  return lo + (hi - lo) / (1.0 + std::exp(-u));
+}
+double Unsquash(double v, double lo, double hi) {
+  const double f = std::clamp((v - lo) / (hi - lo), 1e-6, 1.0 - 1e-6);
+  return std::log(f / (1.0 - f));
+}
+
+}  // namespace
+
+double DshwModel::RunRecursion(const std::vector<double>& y,
+                               std::size_t period1, std::size_t period2,
+                               double alpha, double beta, double gamma1,
+                               double gamma2, double phi,
+                               FinalState* final_state) {
+  const std::size_t n = y.size();
+  // Initial states from the first two long periods: level/trend from cycle
+  // means, short seasonal from per-phase means of the detrended head,
+  // long seasonal from what remains.
+  double mean1 = 0.0, mean2 = 0.0;
+  for (std::size_t i = 0; i < period2; ++i) mean1 += y[i];
+  for (std::size_t i = period2; i < 2 * period2; ++i) mean2 += y[i];
+  mean1 /= static_cast<double>(period2);
+  mean2 /= static_cast<double>(period2);
+  double level = mean1;
+  double trend = (mean2 - mean1) / static_cast<double>(period2);
+
+  std::vector<double> s1(period1, 0.0);
+  std::vector<std::size_t> c1(period1, 0);
+  for (std::size_t t = 0; t < 2 * period2; ++t) {
+    const double base = mean1 + trend * (static_cast<double>(t) -
+                                         0.5 * static_cast<double>(period2));
+    s1[t % period1] += y[t] - base;
+    ++c1[t % period1];
+  }
+  for (std::size_t p = 0; p < period1; ++p) {
+    if (c1[p] > 0) s1[p] /= static_cast<double>(c1[p]);
+  }
+  std::vector<double> s2(period2, 0.0);
+  std::vector<std::size_t> c2(period2, 0);
+  for (std::size_t t = 0; t < 2 * period2; ++t) {
+    const double base = mean1 + trend * (static_cast<double>(t) -
+                                         0.5 * static_cast<double>(period2));
+    s2[t % period2] += y[t] - base - s1[t % period1];
+    ++c2[t % period2];
+  }
+  for (std::size_t p = 0; p < period2; ++p) {
+    if (c2[p] > 0) s2[p] /= static_cast<double>(c2[p]);
+  }
+
+  double sse = 0.0;
+  double prev_e = 0.0;
+  // Warmup: skip the first long period in the SSE (initialization bias).
+  const std::size_t warmup = period2;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double yhat = level + trend + s1[t % period1] + s2[t % period2] +
+                        phi * prev_e;
+    const double e = y[t] - yhat;
+    if (!std::isfinite(e) || std::fabs(e) > 1e12) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (t >= warmup) sse += e * e;
+    const double new_level = level + trend + alpha * e;
+    trend = trend + beta * e;
+    s1[t % period1] += gamma1 * e;
+    s2[t % period2] += gamma2 * e;
+    level = new_level;
+    prev_e = e;
+  }
+  if (final_state != nullptr) {
+    final_state->level = level;
+    final_state->trend = trend;
+    final_state->s1 = s1;
+    final_state->s2 = s2;
+    final_state->last_error = prev_e;
+  }
+  return sse;
+}
+
+Result<DshwModel> DshwModel::Fit(const std::vector<double>& y,
+                                 std::size_t period1, std::size_t period2,
+                                 const Options& options) {
+  if (period1 < 2 || period2 <= period1 || period2 % period1 != 0) {
+    return Status::InvalidArgument(
+        "DshwModel: period2 must be a multiple of period1 (> period1)");
+  }
+  if (y.size() < 2 * period2 + period1) {
+    return Status::InvalidArgument(
+        "DshwModel: need at least two full long periods");
+  }
+  DshwModel m;
+  m.period1_ = period1;
+  m.period2_ = period2;
+  double alpha = options.alpha, beta = options.beta, gamma1 = options.gamma1,
+         gamma2 = options.gamma2, phi = options.ar1_adjustment ? options.phi
+                                                               : 0.0;
+  if (options.optimize) {
+    std::vector<double> x0 = {
+        Unsquash(std::clamp(alpha, 0.011, 0.98), 0.01, 0.99),
+        Unsquash(std::clamp(beta, 0.0011, 0.48), 0.001, 0.5),
+        Unsquash(std::clamp(gamma1, 0.0011, 0.98), 0.001, 0.99),
+        Unsquash(std::clamp(gamma2, 0.0011, 0.98), 0.001, 0.99)};
+    if (options.ar1_adjustment) {
+      x0.push_back(Unsquash(std::clamp(phi, -0.94, 0.94), -0.95, 0.95));
+    }
+    auto decode = [&](const std::vector<double>& x, double* a, double* b,
+                      double* g1, double* g2, double* p) {
+      *a = Squash(x[0], 0.01, 0.99);
+      *b = Squash(x[1], 0.001, 0.5);
+      *g1 = Squash(x[2], 0.001, 0.99);
+      *g2 = Squash(x[3], 0.001, 0.99);
+      *p = options.ar1_adjustment ? Squash(x[4], -0.95, 0.95) : 0.0;
+    };
+    math::Objective obj = [&](const std::vector<double>& x) {
+      double a, b, g1, g2, p;
+      decode(x, &a, &b, &g1, &g2, &p);
+      return RunRecursion(y, period1, period2, a, b, g1, g2, p, nullptr);
+    };
+    math::NelderMeadOptions nm;
+    nm.max_iterations = 700;
+    nm.initial_step = 0.7;
+    auto outcome = math::NelderMead(obj, x0, nm);
+    if (!outcome.ok()) return outcome.status();
+    decode(outcome->x, &alpha, &beta, &gamma1, &gamma2, &phi);
+  }
+  m.alpha_ = alpha;
+  m.beta_ = beta;
+  m.gamma1_ = gamma1;
+  m.gamma2_ = gamma2;
+  m.phi_ = phi;
+  const double sse = RunRecursion(y, period1, period2, alpha, beta, gamma1,
+                                  gamma2, phi, &m.state_);
+  if (!std::isfinite(sse)) {
+    return Status::ComputeError("DshwModel: recursion diverged");
+  }
+  m.n_obs_ = y.size();
+  const std::size_t n_eff = y.size() - period2;
+  const std::size_t k = options.ar1_adjustment ? 5 : 4;
+  m.summary_.sse = sse;
+  m.summary_.sigma2 = sse / static_cast<double>(n_eff);
+  m.summary_.n_params = k + 2;
+  m.summary_.n_obs = n_eff;
+  m.summary_.aic = tsa::AicFromSse(sse, n_eff, k + 2);
+  m.summary_.bic = tsa::BicFromSse(sse, n_eff, k + 2);
+  return m;
+}
+
+Result<Forecast> DshwModel::Predict(std::size_t horizon, double level) const {
+  if (horizon == 0) {
+    return Status::InvalidArgument("DshwModel::Predict: zero horizon");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::InvalidArgument("DshwModel::Predict: level in (0,1)");
+  }
+  if (state_.s1.empty()) {
+    return Status::FailedPrecondition("DshwModel::Predict: not fitted");
+  }
+  Forecast fc;
+  fc.level = level;
+  fc.mean.resize(horizon);
+  fc.lower.resize(horizon);
+  fc.upper.resize(horizon);
+  const double z = math::NormalQuantile(0.5 * (1.0 + level));
+  double var_accum = 1.0;
+  double phi_pow = phi_;
+  for (std::size_t h = 1; h <= horizon; ++h) {
+    const std::size_t t = n_obs_ + h - 1;
+    const double yhat = state_.level +
+                        static_cast<double>(h) * state_.trend +
+                        state_.s1[t % period1_] + state_.s2[t % period2_] +
+                        phi_pow * state_.last_error;
+    fc.mean[h - 1] = yhat;
+    const double sd = std::sqrt(summary_.sigma2 * var_accum);
+    fc.lower[h - 1] = yhat - z * sd;
+    fc.upper[h - 1] = yhat + z * sd;
+    // Class-1 variance recursion analogue: c_j = alpha + j*beta + seasonal
+    // bumps when the same phase repeats.
+    double c = alpha_ + static_cast<double>(h) * beta_;
+    if (h % period1_ == 0) c += gamma1_;
+    if (h % period2_ == 0) c += gamma2_;
+    var_accum += c * c;
+    phi_pow *= phi_;
+  }
+  return fc;
+}
+
+}  // namespace capplan::models

@@ -1,0 +1,397 @@
+#include "models/ets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <sstream>
+
+#include "math/distributions.h"
+#include "math/optimize.h"
+#include "math/vec.h"
+#include "tsa/metrics.h"
+
+namespace capplan::models {
+
+std::string EtsSpec::ToString() const {
+  auto trend_c = [&] {
+    switch (trend) {
+      case EtsTrend::kNone:
+        return "N";
+      case EtsTrend::kAdditive:
+        return "A";
+      case EtsTrend::kAdditiveDamped:
+        return "Ad";
+    }
+    return "?";
+  };
+  auto seas_c = [&] {
+    switch (seasonal) {
+      case EtsSeasonal::kNone:
+        return "N";
+      case EtsSeasonal::kAdditive:
+        return "A";
+      case EtsSeasonal::kMultiplicative:
+        return "M";
+    }
+    return "?";
+  };
+  std::ostringstream os;
+  os << "ETS(A," << trend_c() << "," << seas_c() << ")";
+  if (seasonal != EtsSeasonal::kNone) os << " m=" << period;
+  return os.str();
+}
+
+bool EtsSpec::IsValid() const {
+  if (seasonal != EtsSeasonal::kNone && period < 2) return false;
+  return true;
+}
+
+std::size_t EtsSpec::NumParams() const {
+  std::size_t k = 1;  // alpha
+  if (trend != EtsTrend::kNone) ++k;
+  if (trend == EtsTrend::kAdditiveDamped) ++k;
+  if (seasonal != EtsSeasonal::kNone) ++k;
+  return k;
+}
+
+EtsSpec SimpleExponentialSmoothing() { return EtsSpec{}; }
+
+EtsSpec HoltLinearTrend(bool damped) {
+  EtsSpec s;
+  s.trend = damped ? EtsTrend::kAdditiveDamped : EtsTrend::kAdditive;
+  return s;
+}
+
+EtsSpec HoltWinters(std::size_t period, bool multiplicative, bool damped) {
+  EtsSpec s;
+  s.trend = damped ? EtsTrend::kAdditiveDamped : EtsTrend::kAdditive;
+  s.seasonal = multiplicative ? EtsSeasonal::kMultiplicative
+                              : EtsSeasonal::kAdditive;
+  s.period = period;
+  return s;
+}
+
+namespace {
+
+// Heuristic initial states (Hyndman & Athanasopoulos): level/trend from the
+// first periods, seasonal indices from per-phase averages of the first two
+// periods.
+void InitialStates(const std::vector<double>& y, const EtsSpec& spec,
+                   double* level, double* trend,
+                   std::vector<double>* seasonal) {
+  const std::size_t n = y.size();
+  const std::size_t m = spec.seasonal != EtsSeasonal::kNone ? spec.period : 0;
+  if (m >= 2 && n >= 2 * m) {
+    double mean1 = 0.0, mean2 = 0.0;
+    for (std::size_t i = 0; i < m; ++i) mean1 += y[i];
+    for (std::size_t i = m; i < 2 * m; ++i) mean2 += y[i];
+    mean1 /= static_cast<double>(m);
+    mean2 /= static_cast<double>(m);
+    *level = mean1;
+    *trend = (mean2 - mean1) / static_cast<double>(m);
+    seasonal->assign(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double base1 = mean1;
+      const double base2 = mean2;
+      if (spec.seasonal == EtsSeasonal::kAdditive) {
+        (*seasonal)[i] = 0.5 * ((y[i] - base1) + (y[i + m] - base2));
+      } else {
+        const double r1 = base1 > 0.0 ? y[i] / base1 : 1.0;
+        const double r2 = base2 > 0.0 ? y[i + m] / base2 : 1.0;
+        (*seasonal)[i] = 0.5 * (r1 + r2);
+      }
+    }
+    // Normalize indices.
+    if (spec.seasonal == EtsSeasonal::kAdditive) {
+      const double mu = math::Mean(*seasonal);
+      for (double& s : *seasonal) s -= mu;
+    } else {
+      const double mu = math::Mean(*seasonal);
+      if (mu > 0.0) {
+        for (double& s : *seasonal) s /= mu;
+      }
+    }
+  } else {
+    *level = y[0];
+    const std::size_t k = std::min<std::size_t>(n - 1, 8);
+    *trend = k > 0 ? (y[k] - y[0]) / static_cast<double>(k) : 0.0;
+    seasonal->clear();
+  }
+  if (spec.trend == EtsTrend::kNone) *trend = 0.0;
+}
+
+// Logistic map onto (lo, hi).
+double Squash(double u, double lo, double hi) {
+  return lo + (hi - lo) / (1.0 + std::exp(-u));
+}
+double Unsquash(double v, double lo, double hi) {
+  const double f = std::clamp((v - lo) / (hi - lo), 1e-6, 1.0 - 1e-6);
+  return std::log(f / (1.0 - f));
+}
+
+}  // namespace
+
+double EtsModel::RunRecursion(const std::vector<double>& y,
+                              const EtsSpec& spec, double alpha, double beta,
+                              double gamma, double phi, double* final_level,
+                              double* final_trend,
+                              std::vector<double>* final_seasonal,
+                              std::vector<double>* fitted,
+                              std::vector<double>* residuals) {
+  const std::size_t n = y.size();
+  const bool has_trend = spec.trend != EtsTrend::kNone;
+  const bool damped = spec.trend == EtsTrend::kAdditiveDamped;
+  const bool has_seasonal = spec.seasonal != EtsSeasonal::kNone;
+  const bool mult = spec.seasonal == EtsSeasonal::kMultiplicative;
+  const std::size_t m = has_seasonal ? spec.period : 0;
+  const double damp = damped ? phi : 1.0;
+
+  double level, trend;
+  std::vector<double> seas;
+  InitialStates(y, spec, &level, &trend, &seas);
+  if (has_seasonal && seas.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  if (fitted) fitted->assign(n, 0.0);
+  if (residuals) residuals->assign(n, 0.0);
+  double sse = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double base = level + (has_trend ? damp * trend : 0.0);
+    double s_t = 1.0;
+    if (has_seasonal) s_t = seas[t % m];
+    const double yhat = has_seasonal ? (mult ? base * s_t : base + s_t) : base;
+    const double e = y[t] - yhat;
+    if (fitted) (*fitted)[t] = yhat;
+    if (residuals) (*residuals)[t] = e;
+    sse += e * e;
+
+    // State update (error-correction form).
+    double adj = e;
+    if (has_seasonal && mult) {
+      if (std::fabs(s_t) < 1e-9) return std::numeric_limits<double>::infinity();
+      adj = e / s_t;
+    }
+    const double new_level = base + alpha * adj;
+    if (has_trend) trend = damp * trend + beta * adj;
+    if (has_seasonal) {
+      double s_adj;
+      if (mult) {
+        if (std::fabs(base) < 1e-9) {
+          return std::numeric_limits<double>::infinity();
+        }
+        s_adj = gamma * e / base;
+      } else {
+        s_adj = gamma * e;
+      }
+      seas[t % m] = s_t + s_adj;
+    }
+    level = new_level;
+    if (!std::isfinite(level) || !std::isfinite(trend)) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  if (final_level) *final_level = level;
+  if (final_trend) *final_trend = trend;
+  if (final_seasonal) *final_seasonal = seas;
+  return sse;
+}
+
+Result<EtsModel> EtsModel::Fit(const std::vector<double>& y,
+                               const EtsSpec& spec, const Options& options) {
+  if (!spec.IsValid()) {
+    return Status::InvalidArgument("EtsModel: invalid spec");
+  }
+  const std::size_t min_n =
+      spec.seasonal != EtsSeasonal::kNone ? 2 * spec.period + 2 : 5;
+  if (y.size() < min_n) {
+    return Status::InvalidArgument("EtsModel: series too short for spec " +
+                                   spec.ToString());
+  }
+  EtsModel m;
+  m.spec_ = spec;
+  double alpha = options.alpha, beta = options.beta, gamma = options.gamma,
+         phi = options.phi;
+
+  const bool has_trend = spec.trend != EtsTrend::kNone;
+  const bool damped = spec.trend == EtsTrend::kAdditiveDamped;
+  const bool has_seasonal = spec.seasonal != EtsSeasonal::kNone;
+
+  if (options.optimize) {
+    // Unconstrained parameterization via logistic squashing.
+    std::vector<double> x0;
+    x0.push_back(Unsquash(alpha, 0.01, 0.99));
+    if (has_trend) x0.push_back(Unsquash(beta, 0.001, 0.99));
+    if (has_seasonal) x0.push_back(Unsquash(gamma, 0.001, 0.99));
+    if (damped) x0.push_back(Unsquash(phi, 0.8, 0.995));
+    auto decode = [&](const std::vector<double>& x, double* a, double* b,
+                      double* g, double* p) {
+      std::size_t i = 0;
+      *a = Squash(x[i++], 0.01, 0.99);
+      *b = has_trend ? Squash(x[i++], 0.001, 0.99) * (*a) : 0.0;
+      *g = has_seasonal ? Squash(x[i++], 0.001, 0.99) * (1.0 - *a) : 0.0;
+      *p = damped ? Squash(x[i++], 0.8, 0.995) : 1.0;
+    };
+    math::Objective obj = [&](const std::vector<double>& x) {
+      double a, b, g, p;
+      decode(x, &a, &b, &g, &p);
+      return RunRecursion(y, spec, a, b, g, p, nullptr, nullptr, nullptr,
+                          nullptr, nullptr);
+    };
+    math::NelderMeadOptions nm;
+    nm.max_iterations = 800;
+    nm.initial_step = 0.6;
+    nm.restarts = 1;
+    auto outcome = math::NelderMead(obj, x0, nm);
+    if (!outcome.ok()) return outcome.status();
+    decode(outcome->x, &alpha, &beta, &gamma, &phi);
+  } else {
+    if (!has_trend) beta = 0.0;
+    if (!has_seasonal) gamma = 0.0;
+    if (!damped) phi = 1.0;
+  }
+
+  m.alpha_ = alpha;
+  m.beta_ = beta;
+  m.gamma_ = gamma;
+  m.phi_ = phi;
+  const double sse =
+      RunRecursion(y, spec, alpha, beta, gamma, phi, &m.level_, &m.trend_,
+                   &m.seasonal_, &m.fitted_, &m.residuals_);
+  if (!std::isfinite(sse)) {
+    return Status::ComputeError("EtsModel: smoothing recursion diverged");
+  }
+  const std::size_t n = y.size();
+  const std::size_t k = spec.NumParams() + 2;  // + initial level/trend
+  m.summary_.sse = sse;
+  m.summary_.sigma2 = sse / static_cast<double>(n);
+  m.summary_.n_params = k;
+  m.summary_.n_obs = n;
+  m.summary_.aic = tsa::AicFromSse(sse, n, k);
+  m.summary_.bic = tsa::BicFromSse(sse, n, k);
+  return m;
+}
+
+Result<Forecast> EtsModel::PredictSimulated(std::size_t horizon, double level,
+                                            std::size_t n_paths,
+                                            std::uint64_t seed) const {
+  if (horizon == 0 || n_paths < 100) {
+    return Status::InvalidArgument(
+        "EtsModel::PredictSimulated: need horizon >= 1 and >= 100 paths");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::InvalidArgument(
+        "EtsModel::PredictSimulated: level in (0,1)");
+  }
+  const bool has_trend = spec_.trend != EtsTrend::kNone;
+  const bool damped = spec_.trend == EtsTrend::kAdditiveDamped;
+  const bool has_seasonal = spec_.seasonal != EtsSeasonal::kNone;
+  const bool mult = spec_.seasonal == EtsSeasonal::kMultiplicative;
+  const std::size_t m = has_seasonal ? spec_.period : 0;
+  const std::size_t n = summary_.n_obs;
+  const double damp = damped ? phi_ : 1.0;
+  const double sigma = std::sqrt(summary_.sigma2);
+
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> innovation(0.0, sigma);
+  // paths[h] collects the simulated values at step h across paths.
+  std::vector<std::vector<double>> paths(
+      horizon, std::vector<double>(n_paths, 0.0));
+  for (std::size_t path = 0; path < n_paths; ++path) {
+    double level_s = level_;
+    double trend_s = trend_;
+    std::vector<double> seas = seasonal_;
+    for (std::size_t h = 0; h < horizon; ++h) {
+      const double base = level_s + (has_trend ? damp * trend_s : 0.0);
+      double s_t = 1.0;
+      if (has_seasonal) s_t = seas[(n + h) % m];
+      const double mean_h =
+          has_seasonal ? (mult ? base * s_t : base + s_t) : base;
+      const double e = innovation(rng);
+      paths[h][path] = mean_h + e;
+      // State update mirrors the filtering recursion.
+      double adj = e;
+      if (has_seasonal && mult) {
+        if (std::fabs(s_t) < 1e-9) {
+          adj = e;
+        } else {
+          adj = e / s_t;
+        }
+      }
+      level_s = base + alpha_ * adj;
+      if (has_trend) trend_s = damp * trend_s + beta_ * adj;
+      if (has_seasonal) {
+        const double s_adj =
+            mult ? (std::fabs(base) < 1e-9 ? 0.0 : gamma_ * e / base)
+                 : gamma_ * e;
+        seas[(n + h) % m] = s_t + s_adj;
+      }
+    }
+  }
+  Forecast fc;
+  fc.level = level;
+  fc.mean.resize(horizon);
+  fc.lower.resize(horizon);
+  fc.upper.resize(horizon);
+  const double lo_q = 0.5 * (1.0 - level);
+  const double hi_q = 1.0 - lo_q;
+  for (std::size_t h = 0; h < horizon; ++h) {
+    fc.mean[h] = math::Mean(paths[h]);
+    fc.lower[h] = math::Quantile(paths[h], lo_q);
+    fc.upper[h] = math::Quantile(paths[h], hi_q);
+  }
+  return fc;
+}
+
+Result<Forecast> EtsModel::Predict(std::size_t horizon, double level) const {
+  if (horizon == 0) {
+    return Status::InvalidArgument("EtsModel::Predict: zero horizon");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::InvalidArgument("EtsModel::Predict: level in (0,1)");
+  }
+  const bool has_trend = spec_.trend != EtsTrend::kNone;
+  const bool damped = spec_.trend == EtsTrend::kAdditiveDamped;
+  const bool has_seasonal = spec_.seasonal != EtsSeasonal::kNone;
+  const bool mult = spec_.seasonal == EtsSeasonal::kMultiplicative;
+  const std::size_t m = has_seasonal ? spec_.period : 0;
+  const std::size_t n = summary_.n_obs;
+  const double damp = damped ? phi_ : 1.0;
+
+  Forecast fc;
+  fc.level = level;
+  fc.mean.resize(horizon);
+  fc.lower.resize(horizon);
+  fc.upper.resize(horizon);
+  const double z = math::NormalQuantile(0.5 * (1.0 + level));
+
+  double damp_sum = 0.0;
+  double damp_pow = 1.0;
+  double var_accum = 1.0;  // c_0^2 = 1
+  for (std::size_t h = 1; h <= horizon; ++h) {
+    damp_sum += damp_pow * damp;  // phi + phi^2 + ... + phi^h (phi=1 -> h)
+    damp_pow *= damp;
+    double base = level_ + (has_trend ? damp_sum * trend_ : 0.0);
+    double yhat = base;
+    if (has_seasonal) {
+      // Phase of forecast step h: the recursion left seasonal_[p] holding
+      // the most recent index for phase p = (t mod m).
+      const std::size_t phase = (n + h - 1) % m;
+      yhat = mult ? base * seasonal_[phase] : base + seasonal_[phase];
+    }
+    fc.mean[h - 1] = yhat;
+    const double sd = std::sqrt(summary_.sigma2 * var_accum);
+    fc.lower[h - 1] = yhat - z * sd;
+    fc.upper[h - 1] = yhat + z * sd;
+    // Forecast-variance recursion (Hyndman et al. class-1 approximation):
+    // c_j = alpha + beta*(phi+..+phi^j) + gamma*I(j mod m == 0).
+    double c = alpha_;
+    if (has_trend) c += beta_ * damp_sum;
+    if (has_seasonal && h % m == 0) c += gamma_;
+    var_accum += c * c;
+  }
+  return fc;
+}
+
+}  // namespace capplan::models

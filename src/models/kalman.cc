@@ -1,0 +1,183 @@
+#include "models/kalman.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/matrix.h"
+#include "math/polynomial.h"
+
+namespace capplan::models {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Solves the discrete Lyapunov equation P = T P T' + R R' for the
+// stationary state covariance via vec(P) = (I - T (x) T)^{-1} vec(RR').
+// Only used for small state dimensions (r <= 12 -> a 144x144 solve).
+Result<std::vector<double>> StationaryStateCovariance(
+    const std::vector<double>& phi, const std::vector<double>& rvec,
+    std::size_t r) {
+  const std::size_t r2 = r * r;
+  // Dense T.
+  math::Matrix t(r, r);
+  for (std::size_t i = 0; i < r; ++i) {
+    t(i, 0) = phi[i];
+    if (i + 1 < r) t(i, i + 1) = 1.0;
+  }
+  // A = I - T (x) T  (Kronecker), b = vec(R R').
+  math::Matrix a(r2, r2);
+  std::vector<double> b(r2, 0.0);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      const std::size_t row = i * r + j;
+      b[row] = rvec[i] * rvec[j];
+      for (std::size_t k = 0; k < r; ++k) {
+        for (std::size_t l = 0; l < r; ++l) {
+          const std::size_t col = k * r + l;
+          const double kron = t(i, k) * t(j, l);
+          a(row, col) = (row == col ? 1.0 : 0.0) - kron;
+        }
+      }
+    }
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(math::Matrix a_inv, math::Inverse(a));
+  return a_inv.Apply(b);
+}
+
+}  // namespace
+
+Result<KalmanArmaResult> ArmaKalmanLikelihood(
+    const std::vector<double>& w, const std::vector<double>& ar_full,
+    const std::vector<double>& ma_full, double diffuse_kappa) {
+  const std::size_t n = w.size();
+  if (n == 0) {
+    return Status::InvalidArgument("ArmaKalmanLikelihood: empty series");
+  }
+  const std::size_t p = ar_full.size();
+  const std::size_t q = ma_full.size();
+  const std::size_t r = std::max(p, q + 1);
+
+  // phi_i (zero beyond p), R = (1, theta_1, ..., theta_{r-1}).
+  std::vector<double> phi(r, 0.0);
+  for (std::size_t i = 0; i < p; ++i) phi[i] = ar_full[i];
+  std::vector<double> rvec(r, 0.0);
+  rvec[0] = 1.0;
+  for (std::size_t j = 0; j < q && j + 1 < r; ++j) rvec[j + 1] = ma_full[j];
+
+  // State mean a (r) and covariance P (r x r, row-major). For small state
+  // dimensions of a stationary process, initialize exactly from the
+  // Lyapunov equation (true exact likelihood); otherwise use a diffuse
+  // prior and drop the first r innovations from the concentrated
+  // likelihood (the standard approximation).
+  std::vector<double> a(r, 0.0);
+  std::vector<double> pmat(r * r, 0.0);
+  std::size_t diffuse_burn = 0;
+  bool exact_init = false;
+  if (r <= 12 && math::IsStationary(ar_full)) {
+    auto p0 = StationaryStateCovariance(phi, rvec, r);
+    if (p0.ok()) {
+      pmat = *p0;
+      exact_init = true;
+    }
+  }
+  if (!exact_init) {
+    for (std::size_t i = 0; i < r; ++i) pmat[i * r + i] = diffuse_kappa;
+    diffuse_burn = std::min(n > r ? r : n - 1, r);
+  }
+
+  auto P = [&](std::size_t i, std::size_t j) -> double& {
+    return pmat[i * r + j];
+  };
+
+  KalmanArmaResult out;
+  out.innovations.resize(n);
+  out.innovation_vars.resize(n);
+  double sum_log_f = 0.0;
+  double sum_v2_over_f = 0.0;
+
+  std::vector<double> a_pred(r), p_col(r);
+  std::vector<double> p_pred(r * r);
+  for (std::size_t t = 0; t < n; ++t) {
+    // Prediction step: a_pred = T a; P_pred = T P T' + R R'.
+    for (std::size_t i = 0; i < r; ++i) {
+      double v = phi[i] * a[0];
+      if (i + 1 < r) v += a[i + 1];
+      a_pred[i] = v;
+    }
+    // TP = T * P  (row i of TP = phi_i * row0(P) + row_{i+1}(P)).
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < r; ++j) {
+        double v = phi[i] * P(0, j);
+        if (i + 1 < r) v += P(i + 1, j);
+        p_pred[i * r + j] = v;
+      }
+    }
+    // P_pred = TP * T' + RR'.
+    // (TP * T')_{ij} = phi_j * TP_{i0} + TP_{i,j+1}.
+    std::vector<double> tmp(r * r);
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < r; ++j) {
+        double v = phi[j] * p_pred[i * r + 0];
+        if (j + 1 < r) v += p_pred[i * r + (j + 1)];
+        tmp[i * r + j] = v + rvec[i] * rvec[j];
+      }
+    }
+    p_pred.swap(tmp);
+
+    // Innovation: v_t = y_t - Z a_pred = y_t - a_pred[0]; F = P_pred(0,0).
+    const double v_t = w[t] - a_pred[0];
+    const double f_t = p_pred[0];
+    if (!(f_t > 0.0) || !std::isfinite(f_t)) {
+      return Status::ComputeError(
+          "ArmaKalmanLikelihood: non-positive innovation variance");
+    }
+    out.innovations[t] = v_t;
+    out.innovation_vars[t] = f_t;
+    if (t >= diffuse_burn) {
+      sum_log_f += std::log(f_t);
+      sum_v2_over_f += v_t * v_t / f_t;
+    }
+
+    // Update: K = P_pred Z' / F (first column of P_pred / F).
+    for (std::size_t i = 0; i < r; ++i) p_col[i] = p_pred[i * r + 0];
+    for (std::size_t i = 0; i < r; ++i) {
+      a[i] = a_pred[i] + p_col[i] * v_t / f_t;
+    }
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < r; ++j) {
+        P(i, j) = p_pred[i * r + j] - p_col[i] * p_col[j] / f_t;
+      }
+    }
+  }
+
+  const std::size_t n_eff = n - diffuse_burn;
+  if (n_eff == 0 || sum_v2_over_f <= 0.0) {
+    return Status::ComputeError("ArmaKalmanLikelihood: degenerate likelihood");
+  }
+  out.sigma2 = sum_v2_over_f / static_cast<double>(n_eff);
+  out.log_likelihood =
+      -0.5 * static_cast<double>(n_eff) *
+          (std::log(2.0 * kPi) + 1.0 + std::log(out.sigma2)) -
+      0.5 * sum_log_f;
+  return out;
+}
+
+std::vector<double> ArmaAutocovariances(const std::vector<double>& ar_full,
+                                        const std::vector<double>& ma_full,
+                                        std::size_t max_lag,
+                                        std::size_t psi_terms) {
+  const std::vector<double> psi =
+      math::PsiWeights(ar_full, ma_full, psi_terms + max_lag);
+  std::vector<double> gamma(max_lag + 1, 0.0);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double s = 0.0;
+    for (std::size_t j = 0; j + k < psi.size(); ++j) {
+      s += psi[j] * psi[j + k];
+    }
+    gamma[k] = s;
+  }
+  return gamma;
+}
+
+}  // namespace capplan::models

@@ -1,0 +1,56 @@
+#ifndef CAPPLAN_MODELS_KALMAN_H_
+#define CAPPLAN_MODELS_KALMAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::models {
+
+// Exact Gaussian likelihood of an ARMA process via the Kalman filter on
+// Harvey's state-space form — the estimation method behind R's
+// arima(method="ML") and statsmodels' SARIMAX. Offered as an alternative to
+// the conditional-sum-of-squares objective: exact likelihood uses the
+// information in the first max(p, q+1) observations instead of conditioning
+// on them, which matters for short series and strong seasonality.
+//
+// State space (r = max(p, q+1)):
+//   alpha_t = T alpha_{t-1} + R eps_t,   y_t = Z alpha_t
+// with T carrying the AR coefficients in its first column and a shifted
+// identity above the diagonal, R = (1, theta_1, ..., theta_{r-1})', and
+// Z = (1, 0, ..., 0). The innovation variance is concentrated out of the
+// likelihood; the filter runs with unit variance and rescales.
+
+struct KalmanArmaResult {
+  double log_likelihood = 0.0;  // at the concentrated sigma2
+  double sigma2 = 0.0;          // concentrated innovation variance estimate
+  std::vector<double> innovations;        // one-step prediction errors v_t
+  std::vector<double> innovation_vars;    // their variances F_t (unit scale)
+};
+
+// `w` is the (differenced, mean-adjusted) observation vector; `ar_full` and
+// `ma_full` are dense lag-coefficient vectors (index i -> lag i+1, zeros
+// allowed). For state dimension r = max(p, q+1) <= 12 of a stationary
+// process, the initial state covariance is the exact Lyapunov solution
+// (true exact likelihood); otherwise a diffuse prior is used and the first
+// r innovations are dropped from the concentrated likelihood — adequate
+// for likelihood *evaluation* but too crude for optimizing high-order
+// seasonal models (ArimaModel restricts its kMle refinement accordingly).
+// Fails on empty input or a numerically degenerate filter.
+Result<KalmanArmaResult> ArmaKalmanLikelihood(
+    const std::vector<double>& w, const std::vector<double>& ar_full,
+    const std::vector<double>& ma_full, double diffuse_kappa = 1e7);
+
+// Theoretical autocovariances gamma(0..max_lag) of a stationary ARMA
+// process with unit innovation variance, computed from a long psi-weight
+// expansion. Used by tests to cross-check the Kalman likelihood against a
+// direct multivariate-normal evaluation.
+std::vector<double> ArmaAutocovariances(const std::vector<double>& ar_full,
+                                        const std::vector<double>& ma_full,
+                                        std::size_t max_lag,
+                                        std::size_t psi_terms = 2000);
+
+}  // namespace capplan::models
+
+#endif  // CAPPLAN_MODELS_KALMAN_H_

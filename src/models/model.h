@@ -1,0 +1,36 @@
+#ifndef CAPPLAN_MODELS_MODEL_H_
+#define CAPPLAN_MODELS_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::models {
+
+// A forecast: point predictions plus the error bars required by the paper's
+// problem definition ("The prediction z consists of the predicted values and
+// associated error bars", Section 3).
+struct Forecast {
+  std::vector<double> mean;
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double level = 0.95;  // confidence level of [lower, upper]
+
+  std::size_t horizon() const { return mean.size(); }
+};
+
+// Summary of a fitted model's in-sample quality, used for ranking.
+struct FitSummary {
+  double sse = 0.0;        // in-sample sum of squared one-step errors
+  double sigma2 = 0.0;     // innovation variance estimate
+  double aic = 0.0;
+  double bic = 0.0;
+  std::size_t n_params = 0;
+  std::size_t n_obs = 0;
+};
+
+}  // namespace capplan::models
+
+#endif  // CAPPLAN_MODELS_MODEL_H_

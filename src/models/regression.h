@@ -1,0 +1,78 @@
+#ifndef CAPPLAN_MODELS_REGRESSION_H_
+#define CAPPLAN_MODELS_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "models/arima.h"
+#include "models/arima_spec.h"
+#include "models/model.h"
+#include "tsa/fourier.h"
+
+namespace capplan::models {
+
+// Ordinary least squares fit of y on the given regressor columns.
+struct OlsFit {
+  std::vector<double> beta;      // [intercept?, columns...]
+  std::vector<double> fitted;
+  std::vector<double> residuals;
+  double sse = 0.0;
+  bool intercept = true;
+};
+
+// Columns must all have y.size() entries. Fails on rank deficiency.
+Result<OlsFit> OlsRegression(const std::vector<std::vector<double>>& columns,
+                             const std::vector<double>& y,
+                             bool intercept = true);
+
+// SARIMAX: regression with SARIMA errors (paper Section 4.2, Eq. 6, plus the
+// Fourier terms of Section 4.4). The deterministic part is
+//   y_t = beta0 + X_t * beta + fourier_t * gamma + eta_t
+// with eta_t a SARIMA process. Fitted two-stage: OLS for the regression
+// part, then ArimaModel on the OLS residuals. Forecast = regression part
+// evaluated over the horizon + SARIMA forecast of eta; interval widths come
+// from the SARIMA error process.
+//
+// Exogenous regressors model the paper's "shocks" (backups, batch jobs,
+// surges): typically 0/1 pulse columns. The caller provides their future
+// values over the forecast horizon (shocks are scheduled/recurring, so the
+// schedule is projectable; see core::ShockDetector).
+class SarimaxModel {
+ public:
+  // `exog` holds zero or more training-window columns (each y.size() long).
+  // `fourier` adds trigonometric regressors for each seasonal period.
+  static Result<SarimaxModel> Fit(const std::vector<double>& y,
+                                  const ArimaSpec& spec,
+                                  const std::vector<std::vector<double>>& exog,
+                                  const std::vector<tsa::FourierSpec>& fourier,
+                                  const ArimaModel::Options& options = {});
+
+  // `exog_future` must contain the same number of columns as at fit time,
+  // each `horizon` long. Fourier terms are extended automatically.
+  Result<Forecast> Predict(std::size_t horizon,
+                           const std::vector<std::vector<double>>& exog_future,
+                           double level = 0.95) const;
+
+  const ArimaModel& error_model() const { return error_model_; }
+  const std::vector<double>& beta() const { return ols_.beta; }
+  const FitSummary& summary() const { return summary_; }
+  std::size_t n_exog() const { return n_exog_; }
+  const std::vector<tsa::FourierSpec>& fourier_specs() const {
+    return fourier_;
+  }
+
+ private:
+  SarimaxModel() = default;
+
+  std::size_t n_train_ = 0;
+  std::size_t n_exog_ = 0;
+  std::vector<tsa::FourierSpec> fourier_;
+  OlsFit ols_;
+  ArimaModel error_model_;
+  FitSummary summary_;
+};
+
+}  // namespace capplan::models
+
+#endif  // CAPPLAN_MODELS_REGRESSION_H_

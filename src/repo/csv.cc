@@ -1,0 +1,172 @@
+#include "repo/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace capplan::repo {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Splits one CSV record (already newline-free except inside quotes is not
+// supported for simplicity; WriteCsv never emits embedded newlines from this
+// library's own data).
+std::vector<std::string> SplitRecord(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("WriteCsv: cannot open " + path);
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << QuoteField(row[i]);
+    }
+    out << '\n';
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  out.flush();
+  if (!out) {
+    return Status::IoError("WriteCsv: write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("ReadCsv: cannot open " + path);
+  }
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') continue;  // comment lines handled by callers
+    if (first) {
+      table.header = SplitRecord(line);
+      first = false;
+    } else {
+      table.rows.push_back(SplitRecord(line));
+    }
+  }
+  return table;
+}
+
+Status WriteSeriesCsv(const std::string& path,
+                      const tsa::TimeSeries& series) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("WriteSeriesCsv: cannot open " + path);
+  }
+  out << "# " << QuoteField(series.name()) << "," << series.start_epoch()
+      << "," << static_cast<int>(series.frequency()) << "\n";
+  out << "epoch,value\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << series.TimestampAt(i) << "," << FormatDouble(series[i]) << "\n";
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError("WriteSeriesCsv: write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<tsa::TimeSeries> ReadSeriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("ReadSeriesCsv: cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line.size() < 3 || line[0] != '#') {
+    return Status::IoError("ReadSeriesCsv: missing metadata line");
+  }
+  const std::vector<std::string> meta = SplitRecord(line.substr(2));
+  if (meta.size() != 3) {
+    return Status::IoError("ReadSeriesCsv: malformed metadata line");
+  }
+  const std::string name = meta[0];
+  const std::int64_t start_epoch = std::stoll(meta[1]);
+  const int freq_int = std::stoi(meta[2]);
+  if (freq_int < 0 || freq_int > static_cast<int>(tsa::Frequency::kMonthly)) {
+    return Status::IoError("ReadSeriesCsv: bad frequency code");
+  }
+  // Skip the column header.
+  if (!std::getline(in, line)) {
+    return Status::IoError("ReadSeriesCsv: truncated file");
+  }
+  std::vector<double> values;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitRecord(line);
+    if (fields.size() != 2) {
+      return Status::IoError("ReadSeriesCsv: malformed data row");
+    }
+    if (fields[1] == "nan") {
+      values.push_back(std::nan(""));
+    } else {
+      values.push_back(std::stod(fields[1]));
+    }
+  }
+  return tsa::TimeSeries(name, start_epoch,
+                         static_cast<tsa::Frequency>(freq_int),
+                         std::move(values));
+}
+
+}  // namespace capplan::repo

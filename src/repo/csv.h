@@ -1,0 +1,34 @@
+#ifndef CAPPLAN_REPO_CSV_H_
+#define CAPPLAN_REPO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tsa/timeseries.h"
+
+namespace capplan::repo {
+
+// Minimal CSV support for persisting traces and results. Values are written
+// with full double precision; NaN round-trips as the literal "nan".
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+// Writes `table` to `path`, overwriting. Fields containing commas, quotes
+// or newlines are quoted.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+// Reads a CSV written by WriteCsv (handles quoted fields).
+Result<CsvTable> ReadCsv(const std::string& path);
+
+// TimeSeries round-trip: columns epoch,value plus metadata in the header
+// comment line "# name,start_epoch,frequency".
+Status WriteSeriesCsv(const std::string& path, const tsa::TimeSeries& series);
+Result<tsa::TimeSeries> ReadSeriesCsv(const std::string& path);
+
+}  // namespace capplan::repo
+
+#endif  // CAPPLAN_REPO_CSV_H_

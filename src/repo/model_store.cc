@@ -1,0 +1,80 @@
+#include "repo/model_store.h"
+
+#include <cstdio>
+
+#include "repo/csv.h"
+
+namespace capplan::repo {
+
+void ModelRepository::Put(const StoredModel& model) {
+  models_[model.key] = model;
+}
+
+Result<StoredModel> ModelRepository::Get(const std::string& key) const {
+  auto it = models_.find(key);
+  if (it == models_.end()) {
+    return Status::NotFound("ModelRepository: no model for " + key);
+  }
+  return it->second;
+}
+
+bool ModelRepository::Contains(const std::string& key) const {
+  return models_.count(key) > 0;
+}
+
+std::vector<std::string> ModelRepository::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(models_.size());
+  for (const auto& [k, _] : models_) keys.push_back(k);
+  return keys;
+}
+
+bool ModelRepository::IsStale(const std::string& key, std::int64_t now_epoch,
+                              double current_rmse) const {
+  auto it = models_.find(key);
+  if (it == models_.end()) return true;
+  const StoredModel& m = it->second;
+  if (now_epoch - m.fitted_at_epoch > policy_.max_age_seconds) return true;
+  if (current_rmse >= 0.0 && m.test_rmse > 0.0 &&
+      current_rmse > policy_.rmse_degradation_factor * m.test_rmse) {
+    return true;
+  }
+  return false;
+}
+
+Status ModelRepository::Save(const std::string& path) const {
+  CsvTable table;
+  table.header = {"key",       "technique",      "spec",
+                  "test_rmse", "test_mape",      "fitted_at_epoch"};
+  for (const auto& [_, m] : models_) {
+    char rmse[40], mape[40];
+    std::snprintf(rmse, sizeof(rmse), "%.17g", m.test_rmse);
+    std::snprintf(mape, sizeof(mape), "%.17g", m.test_mape);
+    table.rows.push_back({m.key, m.technique, m.spec, rmse, mape,
+                          std::to_string(m.fitted_at_epoch)});
+  }
+  return WriteCsv(path, table);
+}
+
+Status ModelRepository::Load(const std::string& path) {
+  CAPPLAN_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path));
+  if (table.header.size() != 6) {
+    return Status::IoError("ModelRepository::Load: unexpected column count");
+  }
+  for (const auto& row : table.rows) {
+    if (row.size() != 6) {
+      return Status::IoError("ModelRepository::Load: malformed row");
+    }
+    StoredModel m;
+    m.key = row[0];
+    m.technique = row[1];
+    m.spec = row[2];
+    m.test_rmse = std::stod(row[3]);
+    m.test_mape = std::stod(row[4]);
+    m.fitted_at_epoch = std::stoll(row[5]);
+    models_[m.key] = m;
+  }
+  return Status::OK();
+}
+
+}  // namespace capplan::repo

@@ -1,0 +1,66 @@
+#ifndef CAPPLAN_REPO_MODEL_STORE_H_
+#define CAPPLAN_REPO_MODEL_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::repo {
+
+// Metadata of a selected forecasting model, persisted in the central
+// repository. "That model is then stored in a central repository and used
+// for a period of one week or until the model's RMSE drops to a point where
+// it is rendered useless" (paper Section 5.1).
+struct StoredModel {
+  std::string key;        // workload series key, e.g. "cdbm011/cpu"
+  std::string technique;  // "ARIMA", "SARIMAX", "SARIMAX_FFT_EXOG", "HES"...
+  std::string spec;       // order string, e.g. "(1,1,2)(1,1,1,24)"
+  double test_rmse = 0.0;
+  double test_mape = 0.0;
+  std::int64_t fitted_at_epoch = 0;
+};
+
+// Staleness policy parameters.
+struct StalenessPolicy {
+  // Retrain after this long regardless of accuracy (paper: one week).
+  std::int64_t max_age_seconds = 7 * 24 * 3600;
+  // Retrain when the live RMSE exceeds the stored test RMSE by this factor.
+  double rmse_degradation_factor = 2.0;
+};
+
+class ModelRepository {
+ public:
+  explicit ModelRepository(StalenessPolicy policy = {}) : policy_(policy) {}
+
+  // Inserts or replaces the model for its key.
+  void Put(const StoredModel& model);
+
+  Result<StoredModel> Get(const std::string& key) const;
+  bool Contains(const std::string& key) const;
+  std::vector<std::string> Keys() const;
+  std::size_t size() const { return models_.size(); }
+
+  // True when the stored model for `key` should be refitted: it is missing,
+  // older than the policy's max age, or `current_rmse` (the RMSE observed on
+  // fresh data; pass a negative value when unknown) has degraded past the
+  // policy factor.
+  bool IsStale(const std::string& key, std::int64_t now_epoch,
+               double current_rmse = -1.0) const;
+
+  const StalenessPolicy& policy() const { return policy_; }
+
+  // CSV persistence of the registry.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  StalenessPolicy policy_;
+  std::map<std::string, StoredModel> models_;
+};
+
+}  // namespace capplan::repo
+
+#endif  // CAPPLAN_REPO_MODEL_STORE_H_

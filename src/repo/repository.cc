@@ -1,0 +1,71 @@
+#include "repo/repository.h"
+
+#include "repo/csv.h"
+
+namespace capplan::repo {
+
+std::string MetricsRepository::KeyFor(const std::string& instance,
+                                      workload::Metric metric) {
+  return instance + "/" + workload::MetricName(metric);
+}
+
+Status MetricsRepository::Ingest(const std::string& key,
+                                 const tsa::TimeSeries& raw) {
+  if (key.empty()) {
+    return Status::InvalidArgument("MetricsRepository: empty key");
+  }
+  if (raw.empty()) {
+    return Status::InvalidArgument("MetricsRepository: empty series");
+  }
+  tsa::TimeSeries hourly;
+  if (raw.frequency() == tsa::Frequency::kQuarterHourly) {
+    CAPPLAN_ASSIGN_OR_RETURN(hourly,
+                             tsa::AggregateMean(raw, tsa::Frequency::kHourly));
+  } else {
+    hourly = raw;
+  }
+  raw_[key] = raw;
+  hourly_[key] = std::move(hourly);
+  return Status::OK();
+}
+
+Result<tsa::TimeSeries> MetricsRepository::Hourly(
+    const std::string& key) const {
+  auto it = hourly_.find(key);
+  if (it == hourly_.end()) {
+    return Status::NotFound("MetricsRepository: no series for " + key);
+  }
+  return it->second;
+}
+
+Result<tsa::TimeSeries> MetricsRepository::Raw(const std::string& key) const {
+  auto it = raw_.find(key);
+  if (it == raw_.end()) {
+    return Status::NotFound("MetricsRepository: no raw series for " + key);
+  }
+  return it->second;
+}
+
+std::vector<std::string> MetricsRepository::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(hourly_.size());
+  for (const auto& [k, _] : hourly_) keys.push_back(k);
+  return keys;
+}
+
+bool MetricsRepository::Contains(const std::string& key) const {
+  return hourly_.count(key) > 0;
+}
+
+Status MetricsRepository::SaveAll(const std::string& dir) const {
+  for (const auto& [key, series] : hourly_) {
+    std::string fname = key;
+    for (char& c : fname) {
+      if (c == '/') c = '_';
+    }
+    CAPPLAN_RETURN_NOT_OK(WriteSeriesCsv(dir + "/" + fname + ".csv", series));
+  }
+  return Status::OK();
+}
+
+}  // namespace capplan::repo

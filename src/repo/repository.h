@@ -1,0 +1,51 @@
+#ifndef CAPPLAN_REPO_REPOSITORY_H_
+#define CAPPLAN_REPO_REPOSITORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tsa/timeseries.h"
+#include "workload/cluster.h"
+
+namespace capplan::repo {
+
+// The central metrics repository: agents push raw quarter-hourly traces,
+// the repository aggregates them to hourly values ("the values from the
+// metrics are then stored, centrally, in a repository where they are
+// aggregated into hourly values", paper Section 5.1), and the modelling
+// pipeline reads the hourly series back out.
+class MetricsRepository {
+ public:
+  MetricsRepository() = default;
+
+  // Canonical key for an (instance, metric) pair: "cdbm011/cpu".
+  static std::string KeyFor(const std::string& instance,
+                            workload::Metric metric);
+
+  // Stores a raw trace and its hourly aggregation under `key`. Raw data
+  // finer than hourly is mean-aggregated; hourly input is stored as-is.
+  Status Ingest(const std::string& key, const tsa::TimeSeries& raw);
+
+  // Hourly series for `key` (aggregated at ingest time).
+  Result<tsa::TimeSeries> Hourly(const std::string& key) const;
+
+  // The raw trace as ingested.
+  Result<tsa::TimeSeries> Raw(const std::string& key) const;
+
+  std::vector<std::string> Keys() const;
+  bool Contains(const std::string& key) const;
+  std::size_t size() const { return hourly_.size(); }
+
+  // Persists every hourly series to `<dir>/<sanitized key>.csv`.
+  Status SaveAll(const std::string& dir) const;
+
+ private:
+  std::map<std::string, tsa::TimeSeries> raw_;
+  std::map<std::string, tsa::TimeSeries> hourly_;
+};
+
+}  // namespace capplan::repo
+
+#endif  // CAPPLAN_REPO_REPOSITORY_H_

@@ -1,0 +1,100 @@
+#include "tsa/acf.h"
+
+#include <cmath>
+
+#include "math/distributions.h"
+#include "math/vec.h"
+
+namespace capplan::tsa {
+
+Result<std::vector<double>> Acf(const std::vector<double>& x,
+                                std::size_t max_lag) {
+  const std::size_t n = x.size();
+  if (n < 2 || max_lag >= n) {
+    return Status::InvalidArgument("Acf: series too short for requested lags");
+  }
+  const double mu = math::Mean(x);
+  double c0 = 0.0;
+  for (double v : x) c0 += (v - mu) * (v - mu);
+  if (c0 <= 0.0) {
+    return Status::ComputeError("Acf: series has zero variance");
+  }
+  std::vector<double> acf(max_lag + 1, 0.0);
+  acf[0] = 1.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double ck = 0.0;
+    for (std::size_t t = k; t < n; ++t) {
+      ck += (x[t] - mu) * (x[t - k] - mu);
+    }
+    acf[k] = ck / c0;
+  }
+  return acf;
+}
+
+Result<std::vector<double>> Pacf(const std::vector<double>& x,
+                                 std::size_t max_lag) {
+  CAPPLAN_ASSIGN_OR_RETURN(std::vector<double> rho, Acf(x, max_lag));
+  // Durbin-Levinson: phi_kk are the partial autocorrelations.
+  std::vector<double> pacf(max_lag, 0.0);
+  std::vector<double> phi_prev(max_lag + 1, 0.0);
+  std::vector<double> phi_curr(max_lag + 1, 0.0);
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double num = rho[k];
+    double den = 1.0;
+    for (std::size_t j = 1; j < k; ++j) {
+      num -= phi_prev[j] * rho[k - j];
+      den -= phi_prev[j] * rho[j];
+    }
+    if (std::fabs(den) < 1e-14) {
+      return Status::ComputeError("Pacf: Durbin-Levinson denominator ~ 0");
+    }
+    const double phi_kk = num / den;
+    phi_curr[k] = phi_kk;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi_curr[j] = phi_prev[j] - phi_kk * phi_prev[k - j];
+    }
+    pacf[k - 1] = phi_kk;
+    phi_prev = phi_curr;
+  }
+  return pacf;
+}
+
+double WhiteNoiseBand(std::size_t n, double z) {
+  if (n == 0) return 0.0;
+  return z / std::sqrt(static_cast<double>(n));
+}
+
+std::vector<std::size_t> SignificantLags(const std::vector<double>& correlogram,
+                                         std::size_t n_obs, double z) {
+  const double band = WhiteNoiseBand(n_obs, z);
+  std::vector<std::size_t> lags;
+  for (std::size_t k = 0; k < correlogram.size(); ++k) {
+    if (std::fabs(correlogram[k]) > band) lags.push_back(k + 1);
+  }
+  return lags;
+}
+
+Result<LjungBoxResult> LjungBox(const std::vector<double>& residuals,
+                                std::size_t max_lag,
+                                std::size_t fitted_params) {
+  const std::size_t n = residuals.size();
+  if (max_lag == 0 || max_lag >= n) {
+    return Status::InvalidArgument("LjungBox: invalid lag count");
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(std::vector<double> rho, Acf(residuals, max_lag));
+  double q = 0.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    q += rho[k] * rho[k] / static_cast<double>(n - k);
+  }
+  q *= static_cast<double>(n) * (static_cast<double>(n) + 2.0);
+  LjungBoxResult out;
+  out.statistic = q;
+  out.lags = max_lag;
+  const double dof =
+      static_cast<double>(max_lag > fitted_params ? max_lag - fitted_params
+                                                  : 1);
+  out.p_value = 1.0 - math::ChiSquaredCdf(q, dof);
+  return out;
+}
+
+}  // namespace capplan::tsa

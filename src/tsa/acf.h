@@ -1,0 +1,47 @@
+#ifndef CAPPLAN_TSA_ACF_H_
+#define CAPPLAN_TSA_ACF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::tsa {
+
+// Autocorrelation / partial-autocorrelation analysis (the correlogram of
+// paper Figure 1a), used both for visualisation and to pre-populate the
+// (p,q) candidate orders of the SARIMA grid (paper Sections 4.1, 6.3).
+
+// Sample autocorrelation for lags 0..max_lag (acf[0] == 1). Requires a
+// series of length > max_lag with non-zero variance.
+Result<std::vector<double>> Acf(const std::vector<double>& x,
+                                std::size_t max_lag);
+
+// Partial autocorrelations for lags 1..max_lag via the Durbin-Levinson
+// recursion on the sample ACF.
+Result<std::vector<double>> Pacf(const std::vector<double>& x,
+                                 std::size_t max_lag);
+
+// The +/- bound of the white-noise 95% confidence band, 1.96/sqrt(n):
+// the "shaded area" of the paper's correlogram, used for model pruning.
+double WhiteNoiseBand(std::size_t n, double z = 1.96);
+
+// Lags (1-based) whose |acf| exceeds the white-noise band.
+std::vector<std::size_t> SignificantLags(const std::vector<double>& correlogram,
+                                         std::size_t n_obs, double z = 1.96);
+
+// Ljung-Box portmanteau statistic over lags 1..max_lag and its p-value under
+// the chi-squared(max_lag - fitted_params) null; used to check residual
+// whiteness of fitted models.
+struct LjungBoxResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+  std::size_t lags = 0;
+};
+Result<LjungBoxResult> LjungBox(const std::vector<double>& residuals,
+                                std::size_t max_lag,
+                                std::size_t fitted_params = 0);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_ACF_H_

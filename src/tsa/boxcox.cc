@@ -1,0 +1,72 @@
+#include "tsa/boxcox.h"
+
+#include <cmath>
+
+#include "math/optimize.h"
+#include "math/vec.h"
+
+namespace capplan::tsa {
+
+double BoxCox(double y, double lambda) {
+  if (lambda == 0.0) return std::log(y);
+  return (std::pow(y, lambda) - 1.0) / lambda;
+}
+
+double InverseBoxCox(double z, double lambda) {
+  if (lambda == 0.0) return std::exp(z);
+  const double base = lambda * z + 1.0;
+  // Clamp into the transform's domain so that wide forecast intervals do not
+  // produce NaN; the boundary maps to 0.
+  if (base <= 0.0) return 0.0;
+  return std::pow(base, 1.0 / lambda);
+}
+
+Result<std::vector<double>> BoxCoxTransform(const std::vector<double>& y,
+                                            double lambda) {
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] <= 0.0) {
+      return Status::InvalidArgument(
+          "BoxCoxTransform: data must be strictly positive");
+    }
+    out[i] = BoxCox(y[i], lambda);
+  }
+  return out;
+}
+
+std::vector<double> InverseBoxCoxTransform(const std::vector<double>& z,
+                                           double lambda) {
+  std::vector<double> out(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    out[i] = InverseBoxCox(z[i], lambda);
+  }
+  return out;
+}
+
+Result<double> EstimateBoxCoxLambda(const std::vector<double>& y, double lo,
+                                    double hi) {
+  if (y.size() < 8) {
+    return Status::InvalidArgument(
+        "EstimateBoxCoxLambda: need at least 8 observations");
+  }
+  double log_sum = 0.0;
+  for (double v : y) {
+    if (v <= 0.0) {
+      return Status::InvalidArgument(
+          "EstimateBoxCoxLambda: data must be strictly positive");
+    }
+    log_sum += std::log(v);
+  }
+  const double n = static_cast<double>(y.size());
+  // Negative profile log-likelihood of the normal model for y(lambda).
+  auto neg_ll = [&](double lambda) {
+    std::vector<double> z(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) z[i] = BoxCox(y[i], lambda);
+    const double var = math::Variance(z, /*sample=*/false);
+    if (var <= 0.0 || !std::isfinite(var)) return 1e30;
+    return 0.5 * n * std::log(var) - (lambda - 1.0) * log_sum;
+  };
+  return math::GoldenSectionMinimize(neg_ll, lo, hi, 1e-5);
+}
+
+}  // namespace capplan::tsa

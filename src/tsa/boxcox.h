@@ -1,0 +1,36 @@
+#ifndef CAPPLAN_TSA_BOXCOX_H_
+#define CAPPLAN_TSA_BOXCOX_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::tsa {
+
+// Box-Cox variance-stabilizing transform (used by TBATS, paper Section 4.3):
+//   y(lambda) = (y^lambda - 1) / lambda   for lambda != 0
+//   y(lambda) = log(y)                    for lambda == 0
+// Requires strictly positive data.
+
+// Transforms one value; y must be > 0.
+double BoxCox(double y, double lambda);
+
+// Inverse transform of one value.
+double InverseBoxCox(double z, double lambda);
+
+// Transforms a whole series; fails on non-positive values.
+Result<std::vector<double>> BoxCoxTransform(const std::vector<double>& y,
+                                            double lambda);
+
+std::vector<double> InverseBoxCoxTransform(const std::vector<double>& z,
+                                           double lambda);
+
+// Profile-log-likelihood estimate of lambda over [lo, hi] by golden-section
+// search (the classic Box-Cox normality objective). Fails on non-positive
+// data or fewer than 8 observations.
+Result<double> EstimateBoxCoxLambda(const std::vector<double>& y,
+                                    double lo = -1.0, double hi = 2.0);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_BOXCOX_H_

@@ -1,0 +1,89 @@
+#include "tsa/calendar.h"
+
+#include <cstdio>
+
+namespace capplan::tsa {
+
+namespace {
+
+// Floor division for possibly negative epochs.
+std::int64_t FloorDiv(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t FloorMod(std::int64_t a, std::int64_t b) {
+  return a - FloorDiv(a, b) * b;
+}
+
+}  // namespace
+
+int HourOfDay(std::int64_t epoch) {
+  return static_cast<int>(FloorMod(epoch, 86400) / 3600);
+}
+
+int MinuteOfHour(std::int64_t epoch) {
+  return static_cast<int>(FloorMod(epoch, 3600) / 60);
+}
+
+int DayOfWeek(std::int64_t epoch) {
+  // 1970-01-01 was a Thursday (ISO index 3).
+  return static_cast<int>(FloorMod(FloorDiv(epoch, 86400) + 3, 7));
+}
+
+bool IsWeekend(std::int64_t epoch) { return DayOfWeek(epoch) >= 5; }
+
+std::int64_t DaysBetween(std::int64_t a, std::int64_t b) {
+  return FloorDiv(b, 86400) - FloorDiv(a, 86400);
+}
+
+CivilDate ToCivilDate(std::int64_t epoch) {
+  // Howard Hinnant's civil-from-days algorithm.
+  std::int64_t z = FloorDiv(epoch, 86400);
+  z += 719468;
+  const std::int64_t era = FloorDiv(z, 146097);
+  const std::int64_t doe = z - era * 146097;  // [0, 146096]
+  const std::int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t y = yoe + era * 400;
+  const std::int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const std::int64_t mp = (5 * doy + 2) / 153;  // [0, 11]
+  const std::int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const std::int64_t m = mp < 10 ? mp + 3 : mp - 9;
+  CivilDate out;
+  out.year = static_cast<int>(m <= 2 ? y + 1 : y);
+  out.month = static_cast<int>(m);
+  out.day = static_cast<int>(d);
+  return out;
+}
+
+std::string FormatTimestamp(std::int64_t epoch) {
+  const CivilDate date = ToCivilDate(epoch);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d", date.year,
+                date.month, date.day, HourOfDay(epoch),
+                MinuteOfHour(epoch));
+  return buf;
+}
+
+std::string FormatDuration(std::int64_t seconds) {
+  if (seconds < 0) seconds = 0;
+  const std::int64_t days = seconds / 86400;
+  const std::int64_t hours = (seconds % 86400) / 3600;
+  const std::int64_t minutes = (seconds % 3600) / 60;
+  char buf[32];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldd %02lld:%02lld",
+                  static_cast<long long>(days),
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02lld:%02lld",
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes));
+  }
+  return buf;
+}
+
+}  // namespace capplan::tsa

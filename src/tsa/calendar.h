@@ -1,0 +1,45 @@
+#ifndef CAPPLAN_TSA_CALENDAR_H_
+#define CAPPLAN_TSA_CALENDAR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace capplan::tsa {
+
+// Small UTC calendar helpers for epoch-second timestamps. Used for
+// human-readable reporting and for calendar-aware workload logic
+// (weekday/weekend activity, hour-of-day phases). No timezone support by
+// design: the paper's traces are stored and modelled in a single clock.
+
+// Hour of day 0..23.
+int HourOfDay(std::int64_t epoch);
+
+// Minute of hour 0..59.
+int MinuteOfHour(std::int64_t epoch);
+
+// Day of week, 0 = Monday .. 6 = Sunday (ISO).
+int DayOfWeek(std::int64_t epoch);
+
+// True for Saturday/Sunday.
+bool IsWeekend(std::int64_t epoch);
+
+// Days (UTC midnights) between two epochs: b_day - a_day.
+std::int64_t DaysBetween(std::int64_t a, std::int64_t b);
+
+// Calendar date for an epoch (proleptic Gregorian, UTC).
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+};
+CivilDate ToCivilDate(std::int64_t epoch);
+
+// "YYYY-MM-DD HH:MM" (UTC).
+std::string FormatTimestamp(std::int64_t epoch);
+
+// "3d 07:30" — compact duration rendering for "time to breach" reports.
+std::string FormatDuration(std::int64_t seconds);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_CALENDAR_H_

@@ -1,0 +1,133 @@
+#include "tsa/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/vec.h"
+
+namespace capplan::tsa {
+
+std::vector<double> CenteredMovingAverage(const std::vector<double>& x,
+                                          std::size_t period) {
+  const std::size_t n = x.size();
+  std::vector<double> out(n, std::nan(""));
+  if (period < 2 || n < period + 1) return out;
+  if (period % 2 == 1) {
+    const std::size_t half = period / 2;
+    for (std::size_t t = half; t + half < n; ++t) {
+      double s = 0.0;
+      for (std::size_t j = t - half; j <= t + half; ++j) s += x[j];
+      out[t] = s / static_cast<double>(period);
+    }
+  } else {
+    // 2 x m MA: average of two adjacent m-windows, weights 0.5 at the ends.
+    const std::size_t half = period / 2;
+    for (std::size_t t = half; t + half < n; ++t) {
+      double s = 0.5 * x[t - half] + 0.5 * x[t + half];
+      for (std::size_t j = t - half + 1; j < t + half; ++j) s += x[j];
+      out[t] = s / static_cast<double>(period);
+    }
+  }
+  return out;
+}
+
+Result<Decomposition> SeasonalDecompose(const std::vector<double>& x,
+                                        std::size_t period,
+                                        DecomposeKind kind) {
+  const std::size_t n = x.size();
+  if (period < 2) {
+    return Status::InvalidArgument("SeasonalDecompose: period must be >= 2");
+  }
+  if (n < 2 * period) {
+    return Status::InvalidArgument(
+        "SeasonalDecompose: need at least two full periods");
+  }
+  if (kind == DecomposeKind::kMultiplicative) {
+    for (double v : x) {
+      if (v <= 0.0) {
+        return Status::InvalidArgument(
+            "SeasonalDecompose: multiplicative requires positive data");
+      }
+    }
+  }
+
+  Decomposition dec;
+  dec.trend = CenteredMovingAverage(x, period);
+
+  // Detrend.
+  std::vector<double> detrended(n, std::nan(""));
+  for (std::size_t t = 0; t < n; ++t) {
+    if (std::isnan(dec.trend[t])) continue;
+    detrended[t] = kind == DecomposeKind::kAdditive ? x[t] - dec.trend[t]
+                                                    : x[t] / dec.trend[t];
+  }
+
+  // Per-phase means of the detrended series.
+  std::vector<double> phase_sum(period, 0.0);
+  std::vector<std::size_t> phase_count(period, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (std::isnan(detrended[t])) continue;
+    phase_sum[t % period] += detrended[t];
+    ++phase_count[t % period];
+  }
+  dec.seasonal_indices.assign(period, 0.0);
+  for (std::size_t p = 0; p < period; ++p) {
+    if (phase_count[p] == 0) {
+      return Status::ComputeError("SeasonalDecompose: empty phase bucket");
+    }
+    dec.seasonal_indices[p] =
+        phase_sum[p] / static_cast<double>(phase_count[p]);
+  }
+  // Normalize: additive indices sum to zero; multiplicative average to one.
+  if (kind == DecomposeKind::kAdditive) {
+    const double mu = math::Mean(dec.seasonal_indices);
+    for (double& v : dec.seasonal_indices) v -= mu;
+  } else {
+    const double mu = math::Mean(dec.seasonal_indices);
+    if (mu <= 0.0) {
+      return Status::ComputeError("SeasonalDecompose: degenerate indices");
+    }
+    for (double& v : dec.seasonal_indices) v /= mu;
+  }
+
+  dec.seasonal.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    dec.seasonal[t] = dec.seasonal_indices[t % period];
+  }
+  dec.remainder.assign(n, std::nan(""));
+  for (std::size_t t = 0; t < n; ++t) {
+    if (std::isnan(dec.trend[t])) continue;
+    dec.remainder[t] = kind == DecomposeKind::kAdditive
+                           ? x[t] - dec.trend[t] - dec.seasonal[t]
+                           : x[t] / (dec.trend[t] * dec.seasonal[t]);
+  }
+  return dec;
+}
+
+Result<SeriesTraits> MeasureTraits(const std::vector<double>& x,
+                                   std::size_t period) {
+  CAPPLAN_ASSIGN_OR_RETURN(
+      Decomposition dec,
+      SeasonalDecompose(x, period, DecomposeKind::kAdditive));
+  std::vector<double> rem, detrended, deseasonalized;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    if (std::isnan(dec.remainder[t])) continue;
+    rem.push_back(dec.remainder[t]);
+    detrended.push_back(dec.seasonal[t] + dec.remainder[t]);
+    deseasonalized.push_back(dec.trend[t] + dec.remainder[t]);
+  }
+  if (rem.size() < 3) {
+    return Status::ComputeError("MeasureTraits: too few interior points");
+  }
+  const double var_rem = math::Variance(rem);
+  const double var_detr = math::Variance(detrended);
+  const double var_deseas = math::Variance(deseasonalized);
+  SeriesTraits traits;
+  traits.seasonal_strength =
+      var_detr > 0.0 ? std::max(0.0, 1.0 - var_rem / var_detr) : 0.0;
+  traits.trend_strength =
+      var_deseas > 0.0 ? std::max(0.0, 1.0 - var_rem / var_deseas) : 0.0;
+  return traits;
+}
+
+}  // namespace capplan::tsa

@@ -1,0 +1,54 @@
+#ifndef CAPPLAN_TSA_DECOMPOSE_H_
+#define CAPPLAN_TSA_DECOMPOSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::tsa {
+
+// Classical seasonal decomposition (the statsmodels.tsa.seasonal-style
+// decomposition shown in paper Figure 1b): trend via centered moving
+// average, seasonal via per-phase means of the detrended series, remainder
+// as what is left.
+
+enum class DecomposeKind {
+  kAdditive,        // x = trend + seasonal + remainder
+  kMultiplicative,  // x = trend * seasonal * remainder (x must be > 0)
+};
+
+struct Decomposition {
+  // All four share the input's length. Trend and remainder carry NaN in the
+  // half-window margins where the centered MA is undefined.
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> remainder;
+  // One seasonal value per phase 0..period-1 (mean-adjusted).
+  std::vector<double> seasonal_indices;
+};
+
+// Requires period >= 2 and at least two full periods of data.
+Result<Decomposition> SeasonalDecompose(const std::vector<double>& x,
+                                        std::size_t period,
+                                        DecomposeKind kind);
+
+// Centered moving average of window `period`; for even periods uses the
+// standard 2x(period) average. Entries within half a window of either edge
+// are NaN.
+std::vector<double> CenteredMovingAverage(const std::vector<double>& x,
+                                          std::size_t period);
+
+// Strength of trend and seasonality in [0, 1] (Hyndman & Athanasopoulos
+// "Forecasting: Principles and Practice" Section 6.7), computed from an
+// additive decomposition. Used by the pipeline to describe workload traits.
+struct SeriesTraits {
+  double trend_strength = 0.0;
+  double seasonal_strength = 0.0;
+};
+Result<SeriesTraits> MeasureTraits(const std::vector<double>& x,
+                                   std::size_t period);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_DECOMPOSE_H_

@@ -1,0 +1,72 @@
+#include "tsa/difference.h"
+
+#include <cassert>
+
+namespace capplan::tsa {
+
+std::vector<double> Difference(const std::vector<double>& x, std::size_t lag) {
+  if (lag == 0 || x.size() <= lag) return {};
+  std::vector<double> out(x.size() - lag);
+  for (std::size_t t = lag; t < x.size(); ++t) {
+    out[t - lag] = x[t] - x[t - lag];
+  }
+  return out;
+}
+
+std::vector<double> DifferenceMany(const std::vector<double>& x, int d,
+                                   int seasonal_d, std::size_t period) {
+  std::vector<double> out = x;
+  for (int i = 0; i < d; ++i) out = Difference(out, 1);
+  if (period > 0) {
+    for (int i = 0; i < seasonal_d; ++i) out = Difference(out, period);
+  }
+  return out;
+}
+
+std::vector<double> Undifference(const std::vector<double>& diffed,
+                                 const std::vector<double>& initial,
+                                 std::size_t lag) {
+  assert(initial.size() >= lag);
+  // Reconstruct x[t] = diffed[t] + x[t-lag], seeding with `initial`'s tail.
+  std::vector<double> full(initial.end() - static_cast<std::ptrdiff_t>(lag),
+                           initial.end());
+  full.reserve(lag + diffed.size());
+  for (std::size_t t = 0; t < diffed.size(); ++t) {
+    full.push_back(diffed[t] + full[t]);
+  }
+  return std::vector<double>(full.begin() + static_cast<std::ptrdiff_t>(lag),
+                             full.end());
+}
+
+std::vector<double> IntegrateForecast(const std::vector<double>& train,
+                                      const std::vector<double>& forecast,
+                                      int d, int seasonal_d,
+                                      std::size_t period) {
+  // Build the stack of progressively differenced training series so that the
+  // inverse can be applied outermost-last. Application order below must
+  // mirror DifferenceMany: ordinary d times, then seasonal D times.
+  std::vector<std::vector<double>> stack;
+  stack.push_back(train);
+  for (int i = 0; i < d; ++i) stack.push_back(Difference(stack.back(), 1));
+  if (period > 0) {
+    for (int i = 0; i < seasonal_d; ++i) {
+      stack.push_back(Difference(stack.back(), period));
+    }
+  }
+  // Invert in reverse: seasonal first (innermost applied last).
+  std::vector<double> cur = forecast;
+  int level = static_cast<int>(stack.size()) - 1;
+  if (period > 0) {
+    for (int i = 0; i < seasonal_d; ++i) {
+      --level;  // the series the seasonal diff was applied to
+      cur = Undifference(cur, stack[static_cast<std::size_t>(level)], period);
+    }
+  }
+  for (int i = 0; i < d; ++i) {
+    --level;
+    cur = Undifference(cur, stack[static_cast<std::size_t>(level)], 1);
+  }
+  return cur;
+}
+
+}  // namespace capplan::tsa

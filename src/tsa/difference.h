@@ -1,0 +1,39 @@
+#ifndef CAPPLAN_TSA_DIFFERENCE_H_
+#define CAPPLAN_TSA_DIFFERENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace capplan::tsa {
+
+// Differencing and integration (the d / D of ARIMA, paper Eq. 4-5).
+
+// Lag-`lag` difference applied once: out[t] = x[t] - x[t-lag].
+// Result is `lag` observations shorter. Returns empty if x.size() <= lag.
+std::vector<double> Difference(const std::vector<double>& x,
+                               std::size_t lag = 1);
+
+// Applies ordinary differencing d times then seasonal differencing D times
+// at the given period. `head` (optional out-param) receives the observations
+// consumed, in application order, as needed by Integrate to invert.
+std::vector<double> DifferenceMany(const std::vector<double>& x, int d,
+                                   int seasonal_d, std::size_t period);
+
+// Inverts one lag-`lag` differencing given the `lag` initial observations
+// that preceded the differenced block.
+std::vector<double> Undifference(const std::vector<double>& diffed,
+                                 const std::vector<double>& initial,
+                                 std::size_t lag = 1);
+
+// Integrates a forecast made on the (d, D, period)-differenced scale back to
+// the original scale, given the tail of the *original* training series.
+// `forecast` holds h future values of the differenced series; returns h
+// values on the original scale.
+std::vector<double> IntegrateForecast(const std::vector<double>& train,
+                                      const std::vector<double>& forecast,
+                                      int d, int seasonal_d,
+                                      std::size_t period);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_DIFFERENCE_H_

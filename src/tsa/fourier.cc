@@ -1,0 +1,45 @@
+#include "tsa/fourier.h"
+
+#include <cmath>
+
+namespace capplan::tsa {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::size_t FourierColumnCount(const std::vector<FourierSpec>& specs) {
+  std::size_t total = 0;
+  for (const auto& s : specs) total += 2 * s.k;
+  return total;
+}
+
+Result<std::vector<std::vector<double>>> FourierTerms(
+    const std::vector<FourierSpec>& specs, std::size_t t_begin,
+    std::size_t n) {
+  std::vector<std::vector<double>> cols;
+  cols.reserve(FourierColumnCount(specs));
+  for (const auto& spec : specs) {
+    if (spec.period <= 1.0) {
+      return Status::InvalidArgument("FourierTerms: period must exceed 1");
+    }
+    if (2.0 * static_cast<double>(spec.k) >= spec.period) {
+      return Status::InvalidArgument(
+          "FourierTerms: harmonics would alias (2k >= period)");
+    }
+    for (std::size_t k = 1; k <= spec.k; ++k) {
+      std::vector<double> sin_col(n), cos_col(n);
+      const double w = 2.0 * kPi * static_cast<double>(k) / spec.period;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(t_begin + i);
+        sin_col[i] = std::sin(w * t);
+        cos_col[i] = std::cos(w * t);
+      }
+      cols.push_back(std::move(sin_col));
+      cols.push_back(std::move(cos_col));
+    }
+  }
+  return cols;
+}
+
+}  // namespace capplan::tsa

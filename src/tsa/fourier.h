@@ -1,0 +1,33 @@
+#ifndef CAPPLAN_TSA_FOURIER_H_
+#define CAPPLAN_TSA_FOURIER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::tsa {
+
+// Fourier terms used as external regressors for multiple seasonality
+// (paper Section 4.4, Eq. 15): for each period P_i and harmonic k, the pair
+//   sin(2*pi*k*t / P_i), cos(2*pi*k*t / P_i).
+
+// One seasonal period with its harmonic count.
+struct FourierSpec {
+  double period = 0.0;   // in observations; need not be an integer
+  std::size_t k = 1;     // number of harmonics
+};
+
+// Generates the regressor matrix column-major: for observations t in
+// [t_begin, t_begin + n), returns 2*k columns per spec in order
+// (sin_1, cos_1, sin_2, cos_2, ...), specs concatenated. Each column has n
+// entries. Fails when any period <= 1 or 2k >= period (aliased harmonics).
+Result<std::vector<std::vector<double>>> FourierTerms(
+    const std::vector<FourierSpec>& specs, std::size_t t_begin, std::size_t n);
+
+// Total number of columns produced for `specs`.
+std::size_t FourierColumnCount(const std::vector<FourierSpec>& specs);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_FOURIER_H_

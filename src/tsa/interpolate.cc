@@ -1,0 +1,57 @@
+#include "tsa/interpolate.h"
+
+#include <cmath>
+
+namespace capplan::tsa {
+
+Result<std::vector<double>> LinearInterpolate(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<double> out = x;
+  // Locate first and last known values.
+  std::size_t first = n, last = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isnan(x[i])) {
+      if (first == n) first = i;
+      last = i;
+    }
+  }
+  if (first == n) {
+    return Status::InvalidArgument("LinearInterpolate: all values missing");
+  }
+  for (std::size_t i = 0; i < first; ++i) out[i] = x[first];
+  for (std::size_t i = last + 1; i < n; ++i) out[i] = x[last];
+  // Interior gaps.
+  std::size_t prev_known = first;
+  for (std::size_t i = first + 1; i <= last; ++i) {
+    if (std::isnan(out[i])) continue;
+    if (i > prev_known + 1) {
+      const double lo = out[prev_known];
+      const double hi = out[i];
+      const double span = static_cast<double>(i - prev_known);
+      for (std::size_t j = prev_known + 1; j < i; ++j) {
+        const double f = static_cast<double>(j - prev_known) / span;
+        out[j] = lo + f * (hi - lo);
+      }
+    }
+    prev_known = i;
+  }
+  return out;
+}
+
+Result<TimeSeries> LinearInterpolate(const TimeSeries& series) {
+  CAPPLAN_ASSIGN_OR_RETURN(std::vector<double> filled,
+                           LinearInterpolate(series.values()));
+  return TimeSeries(series.name(), series.start_epoch(), series.frequency(),
+                    std::move(filled));
+}
+
+double MissingFraction(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  std::size_t missing = 0;
+  for (double v : x) {
+    if (std::isnan(v)) ++missing;
+  }
+  return static_cast<double>(missing) / static_cast<double>(x.size());
+}
+
+}  // namespace capplan::tsa

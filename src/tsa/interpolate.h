@@ -1,0 +1,28 @@
+#ifndef CAPPLAN_TSA_INTERPOLATE_H_
+#define CAPPLAN_TSA_INTERPOLATE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tsa/timeseries.h"
+
+namespace capplan::tsa {
+
+// Gap filling for agent dropouts. The paper's first pipeline stage: "If
+// [values are missing] a linear interpolation exercise is carried out to
+// fill in the gaps based on known data points" (Section 5.1).
+
+// Linearly interpolates interior NaN runs between their known neighbours.
+// Leading/trailing NaNs are filled with the nearest known value. Fails when
+// the series contains no known value at all.
+Result<std::vector<double>> LinearInterpolate(const std::vector<double>& x);
+
+// TimeSeries convenience wrapper preserving metadata.
+Result<TimeSeries> LinearInterpolate(const TimeSeries& series);
+
+// Fraction of observations that are missing, in [0, 1].
+double MissingFraction(const std::vector<double>& x);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_INTERPOLATE_H_

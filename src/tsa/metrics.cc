@@ -1,0 +1,119 @@
+#include "tsa/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capplan::tsa {
+
+namespace {
+
+Status CheckInputs(const std::vector<double>& actual,
+                   const std::vector<double>& predicted) {
+  if (actual.empty()) {
+    return Status::InvalidArgument("accuracy: empty input");
+  }
+  if (actual.size() != predicted.size()) {
+    return Status::InvalidArgument("accuracy: length mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Rmse(const std::vector<double>& actual,
+                    const std::vector<double>& predicted) {
+  CAPPLAN_RETURN_NOT_OK(CheckInputs(actual, predicted));
+  double ss = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double e = actual[i] - predicted[i];
+    ss += e * e;
+  }
+  return std::sqrt(ss / static_cast<double>(actual.size()));
+}
+
+Result<double> Mae(const std::vector<double>& actual,
+                   const std::vector<double>& predicted) {
+  CAPPLAN_RETURN_NOT_OK(CheckInputs(actual, predicted));
+  double s = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    s += std::fabs(actual[i] - predicted[i]);
+  }
+  return s / static_cast<double>(actual.size());
+}
+
+Result<double> Mape(const std::vector<double>& actual,
+                    const std::vector<double>& predicted, double eps) {
+  CAPPLAN_RETURN_NOT_OK(CheckInputs(actual, predicted));
+  double s = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::fabs(actual[i]) < eps) continue;
+    s += std::fabs((actual[i] - predicted[i]) / actual[i]);
+    ++used;
+  }
+  if (used == 0) {
+    return Status::ComputeError("Mape: all actuals are ~0");
+  }
+  return 100.0 * s / static_cast<double>(used);
+}
+
+Result<double> Mapa(const std::vector<double>& actual,
+                    const std::vector<double>& predicted, double eps) {
+  CAPPLAN_ASSIGN_OR_RETURN(double mape, Mape(actual, predicted, eps));
+  return std::max(0.0, 100.0 - mape);
+}
+
+Result<double> Smape(const std::vector<double>& actual,
+                     const std::vector<double>& predicted) {
+  CAPPLAN_RETURN_NOT_OK(CheckInputs(actual, predicted));
+  double s = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double denom = std::fabs(actual[i]) + std::fabs(predicted[i]);
+    if (denom < 1e-12) continue;
+    s += 2.0 * std::fabs(actual[i] - predicted[i]) / denom;
+    ++used;
+  }
+  if (used == 0) {
+    return Status::ComputeError("Smape: degenerate inputs");
+  }
+  return 100.0 * s / static_cast<double>(used);
+}
+
+Result<double> Mase(const std::vector<double>& actual,
+                    const std::vector<double>& predicted,
+                    double naive_scale) {
+  if (naive_scale <= 0.0) {
+    return Status::InvalidArgument("Mase: naive_scale must be positive");
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(double mae, Mae(actual, predicted));
+  return mae / naive_scale;
+}
+
+Result<AccuracyReport> MeasureAccuracy(const std::vector<double>& actual,
+                                       const std::vector<double>& predicted) {
+  AccuracyReport rep;
+  CAPPLAN_ASSIGN_OR_RETURN(rep.rmse, Rmse(actual, predicted));
+  CAPPLAN_ASSIGN_OR_RETURN(rep.mae, Mae(actual, predicted));
+  // MAPE can legitimately fail on all-zero segments; degrade gracefully.
+  auto mape = Mape(actual, predicted);
+  rep.mape = mape.ok() ? *mape : std::nan("");
+  rep.mapa = mape.ok() ? std::max(0.0, 100.0 - *mape) : std::nan("");
+  auto smape = Smape(actual, predicted);
+  rep.smape = smape.ok() ? *smape : std::nan("");
+  return rep;
+}
+
+double AicFromSse(double sse, std::size_t n, std::size_t n_params) {
+  const double nn = static_cast<double>(n);
+  const double var = std::max(sse / nn, 1e-300);
+  return nn * std::log(var) + 2.0 * static_cast<double>(n_params);
+}
+
+double BicFromSse(double sse, std::size_t n, std::size_t n_params) {
+  const double nn = static_cast<double>(n);
+  const double var = std::max(sse / nn, 1e-300);
+  return nn * std::log(var) + static_cast<double>(n_params) * std::log(nn);
+}
+
+}  // namespace capplan::tsa

@@ -1,0 +1,65 @@
+#ifndef CAPPLAN_TSA_METRICS_H_
+#define CAPPLAN_TSA_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::tsa {
+
+// Forecast accuracy measures used throughout the paper's evaluation
+// (Table 2): RMSE, MAPE and MAPA, plus the standard extras.
+
+// Root mean squared error. Inputs must be the same non-zero length.
+Result<double> Rmse(const std::vector<double>& actual,
+                    const std::vector<double>& predicted);
+
+// Mean absolute error.
+Result<double> Mae(const std::vector<double>& actual,
+                   const std::vector<double>& predicted);
+
+// Mean absolute percentage error, in percent. Observations with |actual|
+// below `eps` are skipped (the paper's IOPS MAPEs blow up exactly because of
+// near-zero troughs; we keep the definition faithful but guard div-by-zero).
+Result<double> Mape(const std::vector<double>& actual,
+                    const std::vector<double>& predicted, double eps = 1e-12);
+
+// Mean absolute percentage accuracy = 100 - MAPE, floored at 0
+// (the paper's third measure).
+Result<double> Mapa(const std::vector<double>& actual,
+                    const std::vector<double>& predicted, double eps = 1e-12);
+
+// Symmetric MAPE in percent (0..200).
+Result<double> Smape(const std::vector<double>& actual,
+                     const std::vector<double>& predicted);
+
+// Mean absolute scaled error (Hyndman & Koehler): MAE of the forecast
+// divided by `naive_scale`, the in-sample one-step MAE of the (seasonal)
+// naive forecaster on the training data (models::NaiveScale). MASE < 1
+// means the forecast beats the naive baseline.
+Result<double> Mase(const std::vector<double>& actual,
+                    const std::vector<double>& predicted,
+                    double naive_scale);
+
+// All measures at once.
+struct AccuracyReport {
+  double rmse = 0.0;
+  double mae = 0.0;
+  double mape = 0.0;
+  double mapa = 0.0;
+  double smape = 0.0;
+};
+Result<AccuracyReport> MeasureAccuracy(const std::vector<double>& actual,
+                                       const std::vector<double>& predicted);
+
+// Akaike information criterion from a Gaussian sum-of-squares fit:
+// n*log(sse/n) + 2*k. Used for TBATS option selection and model ranking.
+double AicFromSse(double sse, std::size_t n, std::size_t n_params);
+
+// Bayesian information criterion: n*log(sse/n) + k*log(n).
+double BicFromSse(double sse, std::size_t n, std::size_t n_params);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_METRICS_H_

@@ -1,0 +1,65 @@
+#include "tsa/rolling.h"
+
+#include <cmath>
+
+namespace capplan::tsa {
+
+Result<RollingOutcome> RollingEvaluate(const std::vector<double>& x,
+                                       const ForecastFn& forecast,
+                                       const RollingOptions& options) {
+  if (options.horizon == 0 || options.stride == 0) {
+    return Status::InvalidArgument("RollingEvaluate: zero horizon/stride");
+  }
+  if (x.size() < options.min_train + options.horizon) {
+    return Status::InvalidArgument(
+        "RollingEvaluate: series too short for one origin");
+  }
+  RollingOutcome out;
+  double sum_rmse = 0.0, sum_mae = 0.0, sum_mape = 0.0, sum_smape = 0.0;
+  std::size_t mape_count = 0;
+  for (std::size_t origin = options.min_train;
+       origin + options.horizon <= x.size(); origin += options.stride) {
+    if (options.max_origins > 0 &&
+        out.origins_attempted >= options.max_origins) {
+      break;
+    }
+    ++out.origins_attempted;
+    const std::vector<double> train(x.begin(),
+                                    x.begin() +
+                                        static_cast<std::ptrdiff_t>(origin));
+    const std::vector<double> actual(
+        x.begin() + static_cast<std::ptrdiff_t>(origin),
+        x.begin() + static_cast<std::ptrdiff_t>(origin + options.horizon));
+    auto fc = forecast(train, options.horizon);
+    if (!fc.ok() || fc->size() != options.horizon) continue;
+    auto acc = MeasureAccuracy(actual, *fc);
+    if (!acc.ok()) continue;
+    ++out.origins_succeeded;
+    out.rmse_by_origin.push_back(acc->rmse);
+    sum_rmse += acc->rmse;
+    sum_mae += acc->mae;
+    sum_smape += std::isnan(acc->smape) ? 0.0 : acc->smape;
+    if (!std::isnan(acc->mape)) {
+      sum_mape += acc->mape;
+      ++mape_count;
+    }
+  }
+  if (out.origins_succeeded == 0) {
+    return Status::ComputeError("RollingEvaluate: every origin failed");
+  }
+  const double n = static_cast<double>(out.origins_succeeded);
+  out.mean_accuracy.rmse = sum_rmse / n;
+  out.mean_accuracy.mae = sum_mae / n;
+  out.mean_accuracy.smape = sum_smape / n;
+  if (mape_count > 0) {
+    out.mean_accuracy.mape = sum_mape / static_cast<double>(mape_count);
+    out.mean_accuracy.mapa =
+        std::fmax(0.0, 100.0 - out.mean_accuracy.mape);
+  } else {
+    out.mean_accuracy.mape = std::nan("");
+    out.mean_accuracy.mapa = std::nan("");
+  }
+  return out;
+}
+
+}  // namespace capplan::tsa

@@ -1,0 +1,47 @@
+#ifndef CAPPLAN_TSA_ROLLING_H_
+#define CAPPLAN_TSA_ROLLING_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "tsa/metrics.h"
+
+namespace capplan::tsa {
+
+// Rolling-origin (time-series cross-validation) evaluation: repeatedly fit
+// on a growing training window and forecast the next `horizon` points,
+// advancing the origin by `stride`. This extends the paper's single
+// train/test split to the standard multi-origin protocol and is used by the
+// ablation benches to confirm the Table-2 orderings are not artifacts of
+// one particular split.
+
+// A forecasting procedure under evaluation: fit on `train`, return point
+// forecasts for the next `horizon` steps (or an error, which skips that
+// origin).
+using ForecastFn = std::function<Result<std::vector<double>>(
+    const std::vector<double>& train, std::size_t horizon)>;
+
+struct RollingOptions {
+  std::size_t min_train = 100;  // first origin: train on x[0..min_train)
+  std::size_t horizon = 24;
+  std::size_t stride = 24;      // origin advance between evaluations
+  std::size_t max_origins = 0;  // 0 = as many as fit
+};
+
+struct RollingOutcome {
+  std::size_t origins_attempted = 0;
+  std::size_t origins_succeeded = 0;
+  AccuracyReport mean_accuracy;       // averaged over successful origins
+  std::vector<double> rmse_by_origin; // per successful origin
+};
+
+// Fails when the series cannot host even one origin or every origin fails.
+Result<RollingOutcome> RollingEvaluate(const std::vector<double>& x,
+                                       const ForecastFn& forecast,
+                                       const RollingOptions& options = {});
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_ROLLING_H_

@@ -1,0 +1,130 @@
+#include "tsa/seasonality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/fft.h"
+#include "math/vec.h"
+#include "tsa/acf.h"
+#include "tsa/decompose.h"
+
+namespace capplan::tsa {
+
+namespace {
+
+// True when two candidate periods are close enough to be spectral leakage
+// of each other (adjacent periodogram bins round to neighbouring integers).
+bool IsNearDuplicate(std::size_t a, std::size_t b) {
+  if (a == 0 || b == 0) return false;
+  const double big = static_cast<double>(std::max(a, b));
+  const double small = static_cast<double>(std::min(a, b));
+  return (big - small) / big < 0.1;
+}
+
+}  // namespace
+
+Result<std::vector<DetectedSeason>> DetectSeasonality(
+    const std::vector<double>& x, const SeasonalityOptions& options) {
+  const std::size_t n = x.size();
+  if (n < 16) {
+    return Status::InvalidArgument(
+        "DetectSeasonality: need at least 16 observations");
+  }
+  const std::vector<double> pgram = math::Periodogram(x);
+  if (pgram.empty()) {
+    return Status::ComputeError("DetectSeasonality: empty periodogram");
+  }
+  const double med = math::Median(pgram);
+  const double power_cut =
+      options.power_threshold * std::max(med, 1e-12 * math::Max(pgram));
+  const std::size_t max_period = static_cast<std::size_t>(
+      options.max_period_fraction * static_cast<double>(n));
+
+  // Candidate periods from periodogram peaks (near-integer bins only).
+  struct Cand {
+    std::size_t period;
+    double power;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t k = 1; k <= pgram.size(); ++k) {
+    const double period_f = static_cast<double>(n) / static_cast<double>(k);
+    const std::size_t period =
+        static_cast<std::size_t>(std::llround(period_f));
+    if (period < options.min_period || period > max_period) continue;
+    if (std::fabs(period_f - static_cast<double>(period)) >
+        0.15 * static_cast<double>(period)) {
+      continue;
+    }
+    if (pgram[k - 1] < power_cut) continue;
+    // Merge near-duplicate bins, keeping the stronger.
+    bool merged = false;
+    for (auto& c : cands) {
+      if (IsNearDuplicate(c.period, period)) {
+        if (pgram[k - 1] > c.power) c = {period, pgram[k - 1]};
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) cands.push_back({period, pgram[k - 1]});
+  }
+
+  // MSTL-style iterative confirmation, shortest period first: a candidate
+  // is a real season only if, on the series with previously accepted
+  // seasonal components removed, (i) the autocorrelation at its lag is
+  // material and (ii) its classical-decomposition seasonal strength clears
+  // the bar. Spectral harmonics of an already-strong season (12, 8, 6 for a
+  // daily pattern) fail the strength test because their per-phase means
+  // explain almost none of the variance; genuine additional seasons (168 on
+  // top of 24) survive removal of the shorter one.
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.period < b.period; });
+  std::vector<double> residual = x;
+  std::vector<DetectedSeason> out;
+  for (const Cand& c : cands) {
+    if (out.size() >= options.max_periods) break;
+    if (residual.size() < 2 * c.period + 2) continue;
+    auto rho = Acf(residual, c.period + 1);
+    if (!rho.ok() || (*rho)[c.period] < options.acf_threshold) continue;
+    // The ACF must peak *at* the period: the value has to rise above the
+    // chord of its neighbours. Smooth series have high ACF at every small
+    // lag, but a monotone (convex) decay stays below its chord, while a
+    // genuine season puts a bump at its own lag even when superimposed on
+    // the decay of a longer season.
+    if ((*rho)[c.period] <=
+        0.5 * ((*rho)[c.period - 1] + (*rho)[c.period + 1])) {
+      continue;
+    }
+    auto traits = MeasureTraits(residual, c.period);
+    if (!traits.ok() || traits->seasonal_strength < options.min_strength) {
+      continue;
+    }
+    DetectedSeason season;
+    season.period = c.period;
+    season.power = c.power;
+    season.acf = (*rho)[c.period];
+    out.push_back(season);
+    // Remove this season's component before testing longer periods.
+    auto dec = SeasonalDecompose(residual, c.period,
+                                 DecomposeKind::kAdditive);
+    if (dec.ok()) {
+      for (std::size_t t = 0; t < residual.size(); ++t) {
+        residual[t] -= dec->seasonal[t];
+      }
+    }
+  }
+  // Report strongest (by periodogram power) first.
+  std::sort(out.begin(), out.end(),
+            [](const DetectedSeason& a, const DetectedSeason& b) {
+              return a.power > b.power;
+            });
+  return out;
+}
+
+Result<bool> HasMultipleSeasonality(const std::vector<double>& x,
+                                    const SeasonalityOptions& options) {
+  CAPPLAN_ASSIGN_OR_RETURN(std::vector<DetectedSeason> seasons,
+                           DetectSeasonality(x, options));
+  return seasons.size() >= 2;
+}
+
+}  // namespace capplan::tsa

@@ -1,0 +1,50 @@
+#ifndef CAPPLAN_TSA_SEASONALITY_H_
+#define CAPPLAN_TSA_SEASONALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::tsa {
+
+// Frequency-domain seasonality detection (paper Section 4: FFT analysis of
+// data that is "complex in a time domain"; Section 4.4: "we apply Fourier
+// analysis if we detect time series data with multiple seasonality").
+
+// One detected seasonal period.
+struct DetectedSeason {
+  std::size_t period = 0;   // in observations
+  double power = 0.0;       // periodogram ordinate at the peak
+  double acf = 0.0;         // sample autocorrelation at the period
+};
+
+struct SeasonalityOptions {
+  // A period counts as a season when its periodogram peak exceeds
+  // `power_threshold` times the median ordinate AND the ACF at that lag
+  // exceeds `acf_threshold`.
+  double power_threshold = 10.0;
+  double acf_threshold = 0.2;
+  // Minimum classical-decomposition seasonal strength for a candidate to
+  // count as a real season (filters spectral harmonics of another season).
+  double min_strength = 0.25;
+  std::size_t max_periods = 3;    // report at most this many seasons
+  std::size_t min_period = 2;
+  // Largest detectable period: need >= 2 full cycles in the data.
+  double max_period_fraction = 0.5;
+};
+
+// Detects up to `max_periods` seasonal periods, strongest first. Harmonics
+// of an already-accepted period (near-integer divisors) are suppressed so
+// that daily + weekly seasonality is reported as {24, 168}, not {24, 12, 8}.
+Result<std::vector<DetectedSeason>> DetectSeasonality(
+    const std::vector<double>& x, const SeasonalityOptions& options = {});
+
+// True when at least two distinct seasonal periods are detected — the
+// paper's trigger for adding Fourier terms to SARIMAX.
+Result<bool> HasMultipleSeasonality(const std::vector<double>& x,
+                                    const SeasonalityOptions& options = {});
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_SEASONALITY_H_

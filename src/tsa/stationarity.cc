@@ -1,0 +1,237 @@
+#include "tsa/stationarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/matrix.h"
+#include "math/vec.h"
+#include "tsa/decompose.h"
+#include "tsa/difference.h"
+
+namespace capplan::tsa {
+
+namespace {
+
+// MacKinnon (2010) asymptotic critical values for the ADF t-statistic.
+// Rows: {1%, 2.5%, 5%, 10%, 90%(~-0.44 etc. beyond table we extrapolate)}.
+struct CriticalRow {
+  double p;
+  double constant;
+  double constant_trend;
+};
+
+constexpr CriticalRow kAdfCritical[] = {
+    {0.01, -3.43, -3.96}, {0.025, -3.12, -3.66}, {0.05, -2.86, -3.41},
+    {0.10, -2.57, -3.13}, {0.25, -2.14, -2.72},  {0.50, -1.57, -2.18},
+    {0.75, -0.94, -1.65}, {0.90, -0.44, -1.22},  {0.975, 0.23, -0.66},
+};
+
+double InterpolateAdfPValue(double stat, TrendSpec trend) {
+  const auto crit = [&](const CriticalRow& row) {
+    return trend == TrendSpec::kConstant ? row.constant : row.constant_trend;
+  };
+  const std::size_t n = std::size(kAdfCritical);
+  if (stat <= crit(kAdfCritical[0])) return kAdfCritical[0].p * 0.5;
+  if (stat >= crit(kAdfCritical[n - 1])) {
+    return std::min(0.999, kAdfCritical[n - 1].p + 0.02);
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const double lo = crit(kAdfCritical[i - 1]);
+    const double hi = crit(kAdfCritical[i]);
+    if (stat <= hi) {
+      const double f = (stat - lo) / (hi - lo);
+      return kAdfCritical[i - 1].p +
+             f * (kAdfCritical[i].p - kAdfCritical[i - 1].p);
+    }
+  }
+  return 0.999;
+}
+
+// KPSS critical values (Kwiatkowski et al. 1992, Table 1).
+constexpr CriticalRow kKpssCritical[] = {
+    // p here is the upper-tail probability (large statistic -> reject).
+    {0.10, 0.347, 0.119},
+    {0.05, 0.463, 0.146},
+    {0.025, 0.574, 0.176},
+    {0.01, 0.739, 0.216},
+};
+
+double InterpolateKpssPValue(double stat, TrendSpec trend) {
+  const auto crit = [&](const CriticalRow& row) {
+    return trend == TrendSpec::kConstant ? row.constant : row.constant_trend;
+  };
+  if (stat <= crit(kKpssCritical[0])) return 0.10 + 0.40;  // deep in "accept"
+  const std::size_t n = std::size(kKpssCritical);
+  if (stat >= crit(kKpssCritical[n - 1])) return 0.005;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double lo = crit(kKpssCritical[i - 1]);
+    const double hi = crit(kKpssCritical[i]);
+    if (stat <= hi) {
+      const double f = (stat - lo) / (hi - lo);
+      return kKpssCritical[i - 1].p +
+             f * (kKpssCritical[i].p - kKpssCritical[i - 1].p);
+    }
+  }
+  return 0.005;
+}
+
+}  // namespace
+
+Result<AdfResult> AdfTest(const std::vector<double>& x, TrendSpec trend,
+                          int lags) {
+  const std::size_t n = x.size();
+  if (n < 12) {
+    return Status::InvalidArgument("AdfTest: need at least 12 observations");
+  }
+  std::size_t k;
+  if (lags < 0) {
+    k = static_cast<std::size_t>(
+        std::floor(12.0 * std::pow(static_cast<double>(n) / 100.0, 0.25)));
+  } else {
+    k = static_cast<std::size_t>(lags);
+  }
+  k = std::min(k, n / 3);
+
+  // Regression: dy[t] = gamma*y[t-1] + sum_i delta_i*dy[t-i] + const (+ trend).
+  std::vector<double> dy(n - 1);
+  for (std::size_t t = 1; t < n; ++t) dy[t - 1] = x[t] - x[t - 1];
+  const std::size_t start = k;  // first usable index into dy
+  const std::size_t rows = dy.size() - start;
+  const std::size_t det_cols = trend == TrendSpec::kConstant ? 1 : 2;
+  const std::size_t cols = 1 + k + det_cols;
+  if (rows <= cols + 2) {
+    return Status::InvalidArgument("AdfTest: too few observations for lags");
+  }
+  math::Matrix a(rows, cols);
+  std::vector<double> b(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = start + r;  // index into dy; level index is t.
+    b[r] = dy[t];
+    a(r, 0) = x[t];  // y_{t-1} in level terms: dy[t] = y[t+1]-y[t].
+    for (std::size_t i = 1; i <= k; ++i) {
+      a(r, i) = dy[t - i];
+    }
+    a(r, k + 1) = 1.0;
+    if (det_cols == 2) a(r, k + 2) = static_cast<double>(r + 1);
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(std::vector<double> beta,
+                           math::SolveLeastSquares(a, b));
+  // Residual variance and standard error of gamma (first coefficient).
+  std::vector<double> fitted = a.Apply(beta);
+  double sse = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double e = b[r] - fitted[r];
+    sse += e * e;
+  }
+  const double sigma2 = sse / static_cast<double>(rows - cols);
+  // (X'X)^{-1}[0][0] via inverse of the normal matrix.
+  math::Matrix xtx = a.Transpose() * a;
+  CAPPLAN_ASSIGN_OR_RETURN(math::Matrix xtx_inv, math::Inverse(xtx));
+  const double se = std::sqrt(sigma2 * xtx_inv(0, 0));
+  if (se <= 0.0 || !std::isfinite(se)) {
+    return Status::ComputeError("AdfTest: degenerate regression");
+  }
+  AdfResult out;
+  out.statistic = beta[0] / se;
+  out.lags_used = k;
+  out.p_value = InterpolateAdfPValue(out.statistic, trend);
+  return out;
+}
+
+Result<KpssResult> KpssTest(const std::vector<double>& x, TrendSpec trend) {
+  const std::size_t n = x.size();
+  if (n < 12) {
+    return Status::InvalidArgument("KpssTest: need at least 12 observations");
+  }
+  // Residuals from regressing on the deterministic component.
+  std::vector<double> e(n);
+  if (trend == TrendSpec::kConstant) {
+    const double mu = math::Mean(x);
+    for (std::size_t t = 0; t < n; ++t) e[t] = x[t] - mu;
+  } else {
+    // OLS on {1, t}.
+    math::Matrix a(n, 2);
+    for (std::size_t t = 0; t < n; ++t) {
+      a(t, 0) = 1.0;
+      a(t, 1) = static_cast<double>(t);
+    }
+    CAPPLAN_ASSIGN_OR_RETURN(std::vector<double> beta,
+                             math::SolveLeastSquares(a, x));
+    for (std::size_t t = 0; t < n; ++t) {
+      e[t] = x[t] - beta[0] - beta[1] * static_cast<double>(t);
+    }
+  }
+  // Partial sums.
+  std::vector<double> s(n);
+  double acc = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    acc += e[t];
+    s[t] = acc;
+  }
+  double num = 0.0;
+  for (double v : s) num += v * v;
+  // Newey-West long-run variance with Bartlett kernel.
+  const std::size_t bw = static_cast<std::size_t>(
+      std::floor(4.0 * std::pow(static_cast<double>(n) / 100.0, 0.25)));
+  double lrv = 0.0;
+  for (double v : e) lrv += v * v;
+  for (std::size_t l = 1; l <= bw; ++l) {
+    double gamma = 0.0;
+    for (std::size_t t = l; t < n; ++t) gamma += e[t] * e[t - l];
+    const double w =
+        1.0 - static_cast<double>(l) / (static_cast<double>(bw) + 1.0);
+    lrv += 2.0 * w * gamma;
+  }
+  lrv /= static_cast<double>(n);
+  if (lrv <= 0.0) {
+    return Status::ComputeError("KpssTest: non-positive long-run variance");
+  }
+  KpssResult out;
+  out.statistic =
+      num / (static_cast<double>(n) * static_cast<double>(n) * lrv);
+  out.bandwidth = bw;
+  out.p_value = InterpolateKpssPValue(out.statistic, trend);
+  return out;
+}
+
+Result<int> RecommendDifferencing(const std::vector<double>& x, int max_d,
+                                  double alpha) {
+  std::vector<double> work = x;
+  for (int d = 0; d <= max_d; ++d) {
+    auto adf = AdfTest(work);
+    if (!adf.ok()) return adf.status();
+    if (adf->reject_unit_root(alpha)) return d;
+    if (d == max_d) break;
+    work = Difference(work, 1);
+  }
+  return max_d;
+}
+
+Result<int> RecommendSeasonalDifferencing(const std::vector<double>& x,
+                                          std::size_t period,
+                                          double threshold) {
+  if (period < 2 || x.size() < 2 * period + 2) {
+    return 0;
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(
+      Decomposition dec,
+      SeasonalDecompose(x, period, DecomposeKind::kAdditive));
+  // Strength of seasonality: 1 - Var(remainder)/Var(seasonal+remainder)
+  // (Hyndman & Athanasopoulos, FPP).
+  std::vector<double> seas_plus_rem(x.size());
+  std::vector<double> rem;
+  std::vector<double> spr;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    if (std::isnan(dec.remainder[t]) || std::isnan(dec.seasonal[t])) continue;
+    rem.push_back(dec.remainder[t]);
+    spr.push_back(dec.remainder[t] + dec.seasonal[t]);
+  }
+  if (spr.size() < 3) return 0;
+  const double var_rem = math::Variance(rem);
+  const double var_spr = math::Variance(spr);
+  if (var_spr <= 0.0) return 0;
+  const double strength = std::max(0.0, 1.0 - var_rem / var_spr);
+  return strength > threshold ? 1 : 0;
+}
+
+}  // namespace capplan::tsa

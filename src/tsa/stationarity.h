@@ -1,0 +1,65 @@
+#ifndef CAPPLAN_TSA_STATIONARITY_H_
+#define CAPPLAN_TSA_STATIONARITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::tsa {
+
+// Unit-root / stationarity testing (the Dickey-Fuller step of the paper's
+// Box-Jenkins workflow, Section 4: "techniques such as Box-Jenkins and
+// Dicky-Fuller to detect if the data is stationary, trending or requires an
+// element of differencing").
+
+// Deterministic component included in the test regression.
+enum class TrendSpec {
+  kConstant,       // level stationarity
+  kConstantTrend,  // trend stationarity
+};
+
+struct AdfResult {
+  double statistic = 0.0;     // t-statistic on the lagged level
+  double p_value = 0.0;       // interpolated from MacKinnon critical values
+  std::size_t lags_used = 0;  // augmentation lags
+  bool reject_unit_root(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+// Augmented Dickey-Fuller test. `lags` < 0 selects the Schwert rule
+// 12*(n/100)^(1/4). Null hypothesis: the series has a unit root
+// (is non-stationary).
+Result<AdfResult> AdfTest(const std::vector<double>& x,
+                          TrendSpec trend = TrendSpec::kConstant,
+                          int lags = -1);
+
+struct KpssResult {
+  double statistic = 0.0;
+  double p_value = 0.0;  // interpolated from tabulated critical values
+  std::size_t bandwidth = 0;
+  bool reject_stationarity(double alpha = 0.05) const {
+    return p_value < alpha;
+  }
+};
+
+// KPSS test; complements ADF (null hypothesis: the series IS stationary).
+Result<KpssResult> KpssTest(const std::vector<double>& x,
+                            TrendSpec trend = TrendSpec::kConstant);
+
+// Recommended order of ordinary differencing d in {0,1,2}: repeatedly
+// differences until ADF rejects the unit root (or the cap is reached).
+// This is the automated "does it need to be differenced" decision of the
+// paper's Figure 4 workflow.
+Result<int> RecommendDifferencing(const std::vector<double>& x, int max_d = 2,
+                                  double alpha = 0.05);
+
+// Recommended seasonal differencing D in {0,1} for the given period, using
+// the strength-of-seasonality heuristic (variance of the seasonal component
+// relative to the deseasonalized remainder).
+Result<int> RecommendSeasonalDifferencing(const std::vector<double>& x,
+                                          std::size_t period,
+                                          double threshold = 0.64);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_STATIONARITY_H_

@@ -1,0 +1,216 @@
+#include "tsa/stl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/vec.h"
+
+namespace capplan::tsa {
+
+namespace {
+
+double Tricube(double u) {
+  const double a = 1.0 - std::fabs(u) * std::fabs(u) * std::fabs(u);
+  return a > 0.0 ? a * a * a : 0.0;
+}
+
+// Weighted polynomial fit evaluated at x0. Falls back to lower degrees when
+// the local design matrix is degenerate.
+double LocalFit(const std::vector<double>& xs, const std::vector<double>& ys,
+                const std::vector<double>& ws, double x0, int degree) {
+  const std::size_t n = xs.size();
+  double sw = 0.0;
+  for (double w : ws) sw += w;
+  if (sw <= 0.0) return 0.0;
+  if (degree <= 0 || n < 3) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += ws[i] * ys[i];
+    return s / sw;
+  }
+  // Weighted linear regression on (x - x0).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = xs[i] - x0;
+    sx += ws[i] * d;
+    sy += ws[i] * ys[i];
+    sxx += ws[i] * d * d;
+    sxy += ws[i] * d * ys[i];
+  }
+  const double det = sw * sxx - sx * sx;
+  if (std::fabs(det) < 1e-12) {
+    return sy / sw;
+  }
+  const double intercept = (sxx * sy - sx * sxy) / det;
+  // Evaluated at d = 0, the intercept is the fit at x0.
+  if (degree == 1) return intercept;
+  // Degree 2: augment with quadratic term.
+  double sxxx = 0.0, sxxxx = 0.0, sxxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = xs[i] - x0;
+    sxxx += ws[i] * d * d * d;
+    sxxxx += ws[i] * d * d * d * d;
+    sxxy += ws[i] * d * d * ys[i];
+  }
+  // Solve the 3x3 normal equations [sw sx sxx; sx sxx sxxx; sxx sxxx sxxxx]
+  // * beta = [sy sxy sxxy] via Cramer's rule.
+  const double a11 = sw, a12 = sx, a13 = sxx;
+  const double a22 = sxx, a23 = sxxx, a33 = sxxxx;
+  const double det3 = a11 * (a22 * a33 - a23 * a23) -
+                      a12 * (a12 * a33 - a23 * a13) +
+                      a13 * (a12 * a23 - a22 * a13);
+  if (std::fabs(det3) < 1e-12) return intercept;
+  const double d1 = sy * (a22 * a33 - a23 * a23) -
+                    a12 * (sxy * a33 - a23 * sxxy) +
+                    a13 * (sxy * a23 - a22 * sxxy);
+  return d1 / det3;
+}
+
+}  // namespace
+
+std::vector<double> Loess(const std::vector<double>& y, std::size_t span,
+                          int degree,
+                          const std::vector<double>& robustness_weights) {
+  const std::size_t n = y.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  span = std::clamp<std::size_t>(span, 2, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Window of the `span` nearest neighbours of i.
+    std::size_t lo = i >= span / 2 ? i - span / 2 : 0;
+    if (lo + span > n) lo = n - span;
+    const std::size_t hi = lo + span;  // exclusive
+    // Max distance for tricube normalization.
+    const double d_max = std::max<double>(
+        static_cast<double>(i) - static_cast<double>(lo),
+        static_cast<double>(hi - 1) - static_cast<double>(i));
+    std::vector<double> xs, ys, ws;
+    xs.reserve(span);
+    ys.reserve(span);
+    ws.reserve(span);
+    for (std::size_t j = lo; j < hi; ++j) {
+      const double dist =
+          std::fabs(static_cast<double>(j) - static_cast<double>(i));
+      double w = d_max > 0.0 ? Tricube(dist / (d_max + 1e-9)) : 1.0;
+      if (!robustness_weights.empty()) w *= robustness_weights[j];
+      if (w <= 0.0) continue;
+      xs.push_back(static_cast<double>(j));
+      ys.push_back(y[j]);
+      ws.push_back(w);
+    }
+    if (xs.empty()) {
+      out[i] = y[i];
+      continue;
+    }
+    out[i] = LocalFit(xs, ys, ws, static_cast<double>(i), degree);
+  }
+  return out;
+}
+
+Result<Decomposition> StlDecompose(const std::vector<double>& x,
+                                   std::size_t period,
+                                   const StlOptions& options) {
+  const std::size_t n = x.size();
+  if (period < 2) {
+    return Status::InvalidArgument("StlDecompose: period must be >= 2");
+  }
+  if (n < 2 * period) {
+    return Status::InvalidArgument(
+        "StlDecompose: need at least two full periods");
+  }
+  std::size_t trend_span = options.trend_span;
+  if (trend_span == 0) {
+    const double denom =
+        1.0 - 1.5 / static_cast<double>(std::max<std::size_t>(
+                        options.seasonal_span, 3));
+    trend_span = static_cast<std::size_t>(
+        std::ceil(1.5 * static_cast<double>(period) / denom));
+  }
+  if (trend_span % 2 == 0) ++trend_span;
+  trend_span = std::min(trend_span, n);
+
+  std::vector<double> trend(n, 0.0);
+  std::vector<double> seasonal(n, 0.0);
+  std::vector<double> rho;  // robustness weights (empty = uniform)
+
+  for (int robust_pass = 0; robust_pass <= options.robust_iterations;
+       ++robust_pass) {
+    for (int inner = 0; inner < options.inner_iterations; ++inner) {
+      // 1. Detrend.
+      std::vector<double> detrended(n);
+      for (std::size_t t = 0; t < n; ++t) detrended[t] = x[t] - trend[t];
+      // 2. Cycle-subseries smoothing: smooth each phase's subsequence.
+      std::vector<double> cycle(n, 0.0);
+      for (std::size_t p = 0; p < period; ++p) {
+        std::vector<double> sub, sub_rho;
+        for (std::size_t t = p; t < n; t += period) {
+          sub.push_back(detrended[t]);
+          if (!rho.empty()) sub_rho.push_back(rho[t]);
+        }
+        const auto smoothed =
+            Loess(sub, std::min(options.seasonal_span, sub.size()), 1,
+                  sub_rho);
+        std::size_t k = 0;
+        for (std::size_t t = p; t < n; t += period) {
+          cycle[t] = smoothed[k++];
+        }
+      }
+      // 3. Low-pass filter of the cycle: remove any trend the subseries
+      // smoothing leaked into the seasonal (moving average over one period
+      // then loess).
+      const auto ma = CenteredMovingAverage(cycle, period);
+      std::vector<double> low(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        low[t] = std::isnan(ma[t]) ? cycle[t] : ma[t];
+      }
+      const auto low_smooth = Loess(low, trend_span, 1, rho);
+      for (std::size_t t = 0; t < n; ++t) {
+        seasonal[t] = cycle[t] - low_smooth[t];
+      }
+      // 4. Deseasonalize and smooth for the trend.
+      std::vector<double> deseasonalized(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        deseasonalized[t] = x[t] - seasonal[t];
+      }
+      trend = Loess(deseasonalized, trend_span, 1, rho);
+    }
+    if (robust_pass == options.robust_iterations) break;
+    // Update robustness weights from the remainder (bisquare on |r|/6*MAD).
+    std::vector<double> abs_rem(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      abs_rem[t] = std::fabs(x[t] - trend[t] - seasonal[t]);
+    }
+    const double h = 6.0 * math::Median(abs_rem);
+    rho.assign(n, 1.0);
+    if (h > 0.0) {
+      for (std::size_t t = 0; t < n; ++t) {
+        const double u = abs_rem[t] / h;
+        const double b = 1.0 - u * u;
+        rho[t] = u >= 1.0 ? 0.0 : b * b;
+      }
+    }
+  }
+
+  Decomposition dec;
+  dec.trend = trend;
+  dec.seasonal = seasonal;
+  dec.remainder.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    dec.remainder[t] = x[t] - trend[t] - seasonal[t];
+  }
+  // Mean seasonal value per phase for compatibility with the classical
+  // decomposition's index output.
+  dec.seasonal_indices.assign(period, 0.0);
+  std::vector<std::size_t> counts(period, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    dec.seasonal_indices[t % period] += seasonal[t];
+    ++counts[t % period];
+  }
+  for (std::size_t p = 0; p < period; ++p) {
+    if (counts[p] > 0) {
+      dec.seasonal_indices[p] /= static_cast<double>(counts[p]);
+    }
+  }
+  return dec;
+}
+
+}  // namespace capplan::tsa

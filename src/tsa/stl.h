@@ -1,0 +1,46 @@
+#ifndef CAPPLAN_TSA_STL_H_
+#define CAPPLAN_TSA_STL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "tsa/decompose.h"
+
+namespace capplan::tsa {
+
+// STL: Seasonal-Trend decomposition using LOESS (Cleveland et al. 1990).
+// Unlike the classical moving-average decomposition (tsa/decompose.h), STL
+// allows the seasonal pattern to evolve over time, handles outliers through
+// robustness iterations, and leaves no NaN margins — which matters for the
+// growing, shock-laden workloads of the paper's Experiment Two.
+
+// Locally weighted regression smoother (tricube weights, degree 0/1/2).
+// Smooths y at every position using the `span` nearest neighbours,
+// optionally weighted by `robustness_weights` (same length as y; empty =
+// uniform). span is clamped to [2, y.size()].
+std::vector<double> Loess(const std::vector<double>& y, std::size_t span,
+                          int degree = 1,
+                          const std::vector<double>& robustness_weights = {});
+
+struct StlOptions {
+  // Seasonal smoother span in *cycles* (odd, >= 7 recommended). Larger =
+  // more rigid seasonal pattern; values >= number of cycles give an almost
+  // periodic seasonal like the classical method.
+  std::size_t seasonal_span = 11;
+  // Trend smoother span in observations; 0 = default 1.5 * period /
+  // (1 - 1.5/seasonal_span), rounded up to odd.
+  std::size_t trend_span = 0;
+  int inner_iterations = 2;
+  int robust_iterations = 1;  // 0 disables robustness weighting
+};
+
+// Additive STL decomposition of x with the given period. Requires
+// period >= 2 and at least two full periods.
+Result<Decomposition> StlDecompose(const std::vector<double>& x,
+                                   std::size_t period,
+                                   const StlOptions& options = {});
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_STL_H_

@@ -1,0 +1,134 @@
+#include "tsa/timeseries.h"
+
+#include <cmath>
+
+namespace capplan::tsa {
+
+std::int64_t FrequencySeconds(Frequency freq) {
+  switch (freq) {
+    case Frequency::kQuarterHourly:
+      return 15 * 60;
+    case Frequency::kHourly:
+      return 3600;
+    case Frequency::kDaily:
+      return 24 * 3600;
+    case Frequency::kWeekly:
+      return 7 * 24 * 3600;
+    case Frequency::kMonthly:
+      return 30 * 24 * 3600;
+  }
+  return 3600;
+}
+
+const char* FrequencyName(Frequency freq) {
+  switch (freq) {
+    case Frequency::kQuarterHourly:
+      return "quarter-hourly";
+    case Frequency::kHourly:
+      return "hourly";
+    case Frequency::kDaily:
+      return "daily";
+    case Frequency::kWeekly:
+      return "weekly";
+    case Frequency::kMonthly:
+      return "monthly";
+  }
+  return "?";
+}
+
+std::size_t DefaultSeasonalPeriod(Frequency freq) {
+  switch (freq) {
+    case Frequency::kQuarterHourly:
+      return 96;  // one day of 15-minute samples
+    case Frequency::kHourly:
+      return 24;
+    case Frequency::kDaily:
+      return 7;
+    case Frequency::kWeekly:
+      return 52;
+    case Frequency::kMonthly:
+      return 12;
+  }
+  return 0;
+}
+
+std::size_t TimeSeries::CountMissing() const {
+  std::size_t n = 0;
+  for (double v : values_) {
+    if (std::isnan(v)) ++n;
+  }
+  return n;
+}
+
+Result<TimeSeries> TimeSeries::Slice(std::size_t begin, std::size_t len) const {
+  if (begin + len > values_.size()) {
+    return Status::OutOfRange("TimeSeries::Slice: range exceeds series");
+  }
+  std::vector<double> vals(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                           values_.begin() +
+                               static_cast<std::ptrdiff_t>(begin + len));
+  return TimeSeries(name_, TimestampAt(begin), freq_, std::move(vals));
+}
+
+Result<std::pair<TimeSeries, TimeSeries>> TimeSeries::SplitAt(
+    std::size_t n) const {
+  if (n > values_.size()) {
+    return Status::OutOfRange("TimeSeries::SplitAt: split point beyond end");
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(TimeSeries head, Slice(0, n));
+  CAPPLAN_ASSIGN_OR_RETURN(TimeSeries tail, Slice(n, values_.size() - n));
+  return std::make_pair(std::move(head), std::move(tail));
+}
+
+namespace {
+
+enum class AggKind { kMean, kSum };
+
+Result<TimeSeries> Aggregate(const TimeSeries& series, Frequency target,
+                             AggKind kind) {
+  const std::int64_t src_step = FrequencySeconds(series.frequency());
+  const std::int64_t dst_step = FrequencySeconds(target);
+  if (dst_step < src_step || dst_step % src_step != 0) {
+    return Status::InvalidArgument(
+        "Aggregate: target frequency must be a coarser multiple of source");
+  }
+  const std::size_t bucket =
+      static_cast<std::size_t>(dst_step / src_step);
+  const std::size_t n_buckets = series.size() / bucket;
+  std::vector<double> out;
+  out.reserve(n_buckets);
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < bucket; ++j) {
+      const double v = series[b * bucket + j];
+      if (std::isnan(v)) continue;
+      sum += v;
+      ++count;
+    }
+    if (count == 0) {
+      out.push_back(std::nan(""));
+    } else if (kind == AggKind::kMean) {
+      out.push_back(sum / static_cast<double>(count));
+    } else {
+      // Scale partial buckets up so that missing samples do not deflate the
+      // counter total.
+      out.push_back(sum * static_cast<double>(bucket) /
+                    static_cast<double>(count));
+    }
+  }
+  return TimeSeries(series.name(), series.start_epoch(), target,
+                    std::move(out));
+}
+
+}  // namespace
+
+Result<TimeSeries> AggregateMean(const TimeSeries& series, Frequency target) {
+  return Aggregate(series, target, AggKind::kMean);
+}
+
+Result<TimeSeries> AggregateSum(const TimeSeries& series, Frequency target) {
+  return Aggregate(series, target, AggKind::kSum);
+}
+
+}  // namespace capplan::tsa

@@ -1,0 +1,111 @@
+#ifndef CAPPLAN_TSA_TIMESERIES_H_
+#define CAPPLAN_TSA_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace capplan::tsa {
+
+// Sampling cadence of a monitored metric. The paper's agent polls every
+// 15 minutes and the repository aggregates to hourly; forecasts are made at
+// hourly, daily and weekly granularity (Table 1).
+enum class Frequency {
+  kQuarterHourly,
+  kHourly,
+  kDaily,
+  kWeekly,
+  kMonthly,  // treated as 30 days for timestamp arithmetic
+};
+
+// Seconds between consecutive observations at `freq`.
+std::int64_t FrequencySeconds(Frequency freq);
+
+// Human-readable name ("hourly", ...).
+const char* FrequencyName(Frequency freq);
+
+// The dominant seasonal period, in observations, conventionally associated
+// with a sampling frequency (hourly -> 24, daily -> 7, weekly -> 52, ...).
+// Returns 0 when there is no conventional period (quarter-hourly raw data).
+std::size_t DefaultSeasonalPeriod(Frequency freq);
+
+// A regularly sampled univariate metric trace: the time series `m` of the
+// paper's problem definition. Values are doubles; missing observations
+// (agent faults) are represented as NaN and filled by the interpolation pass.
+class TimeSeries {
+ public:
+  TimeSeries() : start_epoch_(0), freq_(Frequency::kHourly) {}
+  TimeSeries(std::string name, std::int64_t start_epoch, Frequency freq,
+             std::vector<double> values)
+      : name_(std::move(name)),
+        start_epoch_(start_epoch),
+        freq_(freq),
+        values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Frequency frequency() const { return freq_; }
+  std::int64_t start_epoch() const { return start_epoch_; }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](std::size_t i) const { return values_[i]; }
+  double& operator[](std::size_t i) { return values_[i]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  // Epoch seconds of observation i.
+  std::int64_t TimestampAt(std::size_t i) const {
+    return start_epoch_ +
+           static_cast<std::int64_t>(i) * FrequencySeconds(freq_);
+  }
+
+  // Epoch seconds one step past the last observation (start of a forecast).
+  std::int64_t EndEpoch() const { return TimestampAt(values_.size()); }
+
+  void Append(double value) { values_.push_back(value); }
+
+  // Number of NaN (missing) observations.
+  std::size_t CountMissing() const;
+  bool HasMissing() const { return CountMissing() > 0; }
+
+  // Sub-series of observations [begin, begin+len); fails when out of range.
+  Result<TimeSeries> Slice(std::size_t begin, std::size_t len) const;
+
+  // Splits into (head of size n, remainder); fails when n > size().
+  Result<std::pair<TimeSeries, TimeSeries>> SplitAt(std::size_t n) const;
+
+  // Index of the observation within its dominant seasonal period: for hourly
+  // data this is the hour-of-day 0..23 (assuming start_epoch is aligned).
+  std::size_t PhaseAt(std::size_t i, std::size_t period) const {
+    if (period == 0) return 0;
+    const std::int64_t step = FrequencySeconds(freq_);
+    const std::int64_t t = TimestampAt(i) / step;
+    return static_cast<std::size_t>(t % static_cast<std::int64_t>(period));
+  }
+
+ private:
+  std::string name_;
+  std::int64_t start_epoch_;
+  Frequency freq_;
+  std::vector<double> values_;
+};
+
+// Aggregates a finer-grained series to a coarser frequency by averaging
+// complete buckets (the repository's 15-min -> hourly step). Buckets
+// containing any NaN sample average over the non-NaN samples; fully missing
+// buckets become NaN. Trailing incomplete buckets are dropped.
+Result<TimeSeries> AggregateMean(const TimeSeries& series, Frequency target);
+
+// Same bucketing, but sums (useful for counters such as IOs per interval).
+Result<TimeSeries> AggregateSum(const TimeSeries& series, Frequency target);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_TIMESERIES_H_

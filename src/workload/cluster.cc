@@ -1,0 +1,174 @@
+#include "workload/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capplan::workload {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// SplitMix64: cheap, well-distributed 64-bit mixer.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double UniformFromHash(std::uint64_t h) {
+  // 53-bit mantissa into (0, 1).
+  return (static_cast<double>(h >> 11) + 0.5) / 9007199254740992.0;
+}
+
+}  // namespace
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kCpu:
+      return "cpu";
+    case Metric::kMemory:
+      return "memory";
+    case Metric::kLogicalIops:
+      return "logical_iops";
+  }
+  return "?";
+}
+
+double MetricSample::Get(Metric metric) const {
+  switch (metric) {
+    case Metric::kCpu:
+      return cpu_pct;
+    case Metric::kMemory:
+      return memory_mb;
+    case Metric::kLogicalIops:
+      return logical_iops;
+  }
+  return 0.0;
+}
+
+ClusterSimulator::ClusterSimulator(WorkloadScenario scenario,
+                                   std::uint64_t seed,
+                                   std::int64_t start_epoch)
+    : scenario_(std::move(scenario)), seed_(seed), start_epoch_(start_epoch) {}
+
+std::string ClusterSimulator::InstanceName(int instance) const {
+  return "cdbm01" + std::to_string(instance + 1);
+}
+
+double ClusterSimulator::ActivityAt(std::int64_t epoch) const {
+  const double seconds_in_day =
+      static_cast<double>(((epoch % 86400) + 86400) % 86400);
+  const double hour = seconds_in_day / 3600.0;
+  // Business-hours bump peaking around 13:00, flattened at night.
+  const double day_shape =
+      0.5 * (1.0 - std::cos(2.0 * kPi * (hour - 5.0) / 24.0));
+  double activity =
+      scenario_.base_activity + scenario_.daily_amplitude * day_shape;
+  if (scenario_.weekly_amplitude > 0.0) {
+    // Day 0 of the experiment clock is a Monday; weekends dip.
+    const std::int64_t day_index =
+        ((epoch - start_epoch_) / 86400 % 7 + 7) % 7;
+    const double week_shape = (day_index >= 5) ? -1.0 : 0.25;
+    activity += scenario_.weekly_amplitude * week_shape;
+  }
+  return std::clamp(activity, 0.02, 1.0);
+}
+
+double ClusterSimulator::UsersAt(std::int64_t epoch) const {
+  const double days =
+      static_cast<double>(epoch - start_epoch_) / 86400.0;
+  double users = scenario_.base_users +
+                 scenario_.user_growth_per_day * std::max(0.0, days);
+  for (const auto& e : scenario_.events) {
+    if (e.users_add > 0.0 && e.IsActiveAt(epoch)) users += e.users_add;
+  }
+  return std::max(0.0, users);
+}
+
+double ClusterSimulator::Noise(int instance, std::int64_t epoch,
+                               int channel) const {
+  const std::uint64_t h1 =
+      Mix64(seed_ ^ Mix64(static_cast<std::uint64_t>(epoch)) ^
+            Mix64(static_cast<std::uint64_t>(instance) * 1000003ULL +
+                  static_cast<std::uint64_t>(channel)));
+  const std::uint64_t h2 = Mix64(h1 ^ 0xda3e39cb94b95bdbULL);
+  // Box-Muller.
+  const double u1 = UniformFromHash(h1);
+  const double u2 = UniformFromHash(h2);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+MetricSample ClusterSimulator::SampleAt(int instance,
+                                        std::int64_t epoch) const {
+  const double days = static_cast<double>(epoch - start_epoch_) / 86400.0;
+  const double activity = ActivityAt(epoch);
+  const double users_total = UsersAt(epoch);
+  const int n = std::max(1, scenario_.n_instances);
+
+  // Failovers: a downed instance serves nothing and reports only residual
+  // background load; the survivors absorb its share.
+  std::vector<bool> down(static_cast<std::size_t>(n), false);
+  int alive = n;
+  for (const auto& e : scenario_.events) {
+    if (e.kind != EventKind::kFailover || !e.IsActiveAt(epoch)) continue;
+    if (e.target_instance >= 0 && e.target_instance < n &&
+        !down[static_cast<std::size_t>(e.target_instance)]) {
+      down[static_cast<std::size_t>(e.target_instance)] = true;
+      --alive;
+    }
+  }
+  if (down[static_cast<std::size_t>(instance)] || alive <= 0) {
+    MetricSample s;
+    s.epoch = epoch;
+    const double nl = scenario_.noise_level;
+    s.cpu_pct = std::clamp(1.0 * (1.0 + nl * Noise(instance, epoch, 0)),
+                           0.0, 100.0);
+    s.memory_mb = std::max(
+        0.0, 128.0 * (1.0 + 0.25 * nl * Noise(instance, epoch, 1)));
+    s.logical_iops = 0.0;
+    return s;
+  }
+
+  // Load balancing with a small static skew (real clusters are never
+  // perfectly even; the paper's two instances differ visibly in Figure 2).
+  double share = 1.0 / static_cast<double>(alive);
+  const double skew = 0.06;
+  if (alive > 1) {
+    share *= (instance % 2 == 0) ? (1.0 + skew) : (1.0 - skew);
+  }
+  const double users_here = users_total * share;
+  const double active_users = users_here * activity;
+
+  // Dataset growth makes each unit of work cost more IO over time.
+  const double io_cost_factor =
+      1.0 + scenario_.io_cost_growth_per_day * std::max(0.0, days);
+
+  double cpu = scenario_.cpu_base + active_users * scenario_.cpu_per_user;
+  double mem =
+      scenario_.memory_base + users_here * scenario_.memory_per_user;
+  double iops = scenario_.iops_base +
+                active_users * scenario_.iops_per_user * io_cost_factor;
+
+  for (const auto& e : scenario_.events) {
+    if (!e.IsActiveAt(epoch)) continue;
+    if (e.target_instance >= 0 && e.target_instance != instance) continue;
+    cpu += e.cpu_add;
+    mem += e.memory_add;
+    iops += e.iops_add;
+  }
+
+  const double nl = scenario_.noise_level;
+  cpu *= 1.0 + nl * Noise(instance, epoch, 0);
+  mem *= 1.0 + 0.25 * nl * Noise(instance, epoch, 1);
+  iops *= 1.0 + nl * Noise(instance, epoch, 2);
+
+  MetricSample s;
+  s.epoch = epoch;
+  s.cpu_pct = std::clamp(cpu, 0.0, 100.0);
+  s.memory_mb = std::max(0.0, mem);
+  s.logical_iops = std::max(0.0, iops);
+  return s;
+}
+
+}  // namespace capplan::workload

@@ -1,0 +1,66 @@
+#ifndef CAPPLAN_WORKLOAD_CLUSTER_H_
+#define CAPPLAN_WORKLOAD_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace capplan::workload {
+
+// Which database metric a sample or series refers to.
+enum class Metric { kCpu, kMemory, kLogicalIops };
+const char* MetricName(Metric metric);
+
+// One agent observation of one instance.
+struct MetricSample {
+  std::int64_t epoch = 0;
+  double cpu_pct = 0.0;
+  double memory_mb = 0.0;
+  double logical_iops = 0.0;  // logical IOs per hour (rate)
+
+  double Get(Metric metric) const;
+};
+
+// Deterministic simulator of an N-node clustered database running a
+// WorkloadScenario — the stand-in for the paper's two-node Oracle cluster
+// behind an application tier (Figure 5). Load is balanced across instances
+// with a small static skew; scheduled events add instance-local load.
+//
+// SampleAt is a pure function of (scenario, seed, instance, epoch): the
+// noise is hash-derived, so any caller observing the same instant sees the
+// same value and whole traces are reproducible.
+class ClusterSimulator {
+ public:
+  ClusterSimulator(WorkloadScenario scenario, std::uint64_t seed,
+                   std::int64_t start_epoch = kExperimentStartEpoch);
+
+  int n_instances() const { return scenario_.n_instances; }
+  std::int64_t start_epoch() const { return start_epoch_; }
+  const WorkloadScenario& scenario() const { return scenario_; }
+
+  // "cdbm011", "cdbm012", ... matching the paper's instance names.
+  std::string InstanceName(int instance) const;
+
+  // Total (cluster-wide) concurrent users at `epoch`, including surges.
+  double UsersAt(std::int64_t epoch) const;
+
+  // Fraction of users active at `epoch` (daily/weekly profile).
+  double ActivityAt(std::int64_t epoch) const;
+
+  // The metric sample instance `instance` would report at `epoch`.
+  MetricSample SampleAt(int instance, std::int64_t epoch) const;
+
+ private:
+  // Standard-normal noise derived from (seed, instance, epoch, channel).
+  double Noise(int instance, std::int64_t epoch, int channel) const;
+
+  WorkloadScenario scenario_;
+  std::uint64_t seed_;
+  std::int64_t start_epoch_;
+};
+
+}  // namespace capplan::workload
+
+#endif  // CAPPLAN_WORKLOAD_CLUSTER_H_

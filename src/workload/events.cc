@@ -1,0 +1,86 @@
+#include "workload/events.h"
+
+namespace capplan::workload {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBackup:
+      return "backup";
+    case EventKind::kBatchJob:
+      return "batch-job";
+    case EventKind::kUserSurge:
+      return "user-surge";
+    case EventKind::kFailover:
+      return "failover";
+  }
+  return "?";
+}
+
+bool ScheduledEvent::IsActiveAt(std::int64_t t) const {
+  if (t < first_start_epoch) return false;
+  if (period_seconds <= 0) {
+    return t < first_start_epoch + duration_seconds;
+  }
+  const std::int64_t offset = (t - first_start_epoch) % period_seconds;
+  return offset < duration_seconds;
+}
+
+int ScheduledEvent::OccurrencesIn(std::int64_t from, std::int64_t to) const {
+  if (to <= from) return 0;
+  if (period_seconds <= 0) {
+    return (first_start_epoch >= from && first_start_epoch < to) ? 1 : 0;
+  }
+  if (to <= first_start_epoch) return 0;
+  const std::int64_t lo =
+      from > first_start_epoch ? from - first_start_epoch : 0;
+  const std::int64_t hi = to - first_start_epoch;
+  // Occurrence k starts at k*period; count k with lo <= k*period < hi.
+  const std::int64_t k_lo = (lo + period_seconds - 1) / period_seconds;
+  const std::int64_t k_hi = (hi + period_seconds - 1) / period_seconds;
+  return static_cast<int>(k_hi - k_lo);
+}
+
+ScheduledEvent MakeBackup(std::int64_t first_start, int period_hours,
+                          int duration_hours, double iops_add, double cpu_add,
+                          int target_instance) {
+  ScheduledEvent e;
+  e.kind = EventKind::kBackup;
+  e.name = "rman-backup";
+  e.first_start_epoch = first_start;
+  e.period_seconds = static_cast<std::int64_t>(period_hours) * 3600;
+  e.duration_seconds = static_cast<std::int64_t>(duration_hours) * 3600;
+  e.iops_add = iops_add;
+  e.cpu_add = cpu_add;
+  e.memory_add = 64.0;  // backup buffers
+  e.target_instance = target_instance;
+  return e;
+}
+
+ScheduledEvent MakeFailover(std::int64_t start_epoch, int duration_hours,
+                            int target_instance,
+                            std::int64_t period_seconds) {
+  ScheduledEvent e;
+  e.kind = EventKind::kFailover;
+  e.name = "failover-" + std::to_string(target_instance);
+  e.first_start_epoch = start_epoch;
+  e.period_seconds = period_seconds;
+  e.duration_seconds = static_cast<std::int64_t>(duration_hours) * 3600;
+  e.target_instance = target_instance;
+  return e;
+}
+
+ScheduledEvent MakeDailySurge(std::int64_t day0_epoch, int hour_of_day,
+                              int duration_hours, double users) {
+  ScheduledEvent e;
+  e.kind = EventKind::kUserSurge;
+  e.name = "logon-surge-" + std::to_string(hour_of_day);
+  e.first_start_epoch =
+      day0_epoch + static_cast<std::int64_t>(hour_of_day) * 3600;
+  e.period_seconds = 24 * 3600;
+  e.duration_seconds = static_cast<std::int64_t>(duration_hours) * 3600;
+  e.users_add = users;
+  e.target_instance = -1;
+  return e;
+}
+
+}  // namespace capplan::workload

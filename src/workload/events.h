@@ -1,0 +1,65 @@
+#ifndef CAPPLAN_WORKLOAD_EVENTS_H_
+#define CAPPLAN_WORKLOAD_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capplan::workload {
+
+// Scheduled operational events — the paper's "shocks": backups, batch jobs
+// and failovers that "routinely and sporadically occur in computational
+// workloads" (Section 3). Each event contributes additive load to the
+// instance(s) it targets while active.
+enum class EventKind { kBackup, kBatchJob, kUserSurge, kFailover };
+
+const char* EventKindName(EventKind kind);
+
+struct ScheduledEvent {
+  EventKind kind = EventKind::kBackup;
+  std::string name;
+  std::int64_t first_start_epoch = 0;  // epoch seconds of first occurrence
+  std::int64_t period_seconds = 0;     // 0 = one-shot
+  std::int64_t duration_seconds = 0;
+
+  // Additive load while active.
+  double cpu_add = 0.0;     // CPU percentage points
+  double memory_add = 0.0;  // MB
+  double iops_add = 0.0;    // logical IOs per hour
+  double users_add = 0.0;   // concurrent users (surges)
+
+  // Instance index the event runs on; -1 = every instance.
+  int target_instance = -1;
+
+  // True when the event is running at epoch second `t`.
+  bool IsActiveAt(std::int64_t t) const;
+
+  // Number of occurrences with start time in [from, to).
+  int OccurrencesIn(std::int64_t from, std::int64_t to) const;
+};
+
+// Convenience builders used by the experiment presets.
+
+// Recovery-Manager-style backup: heavy IO, some CPU, starting at
+// `first_start` and repeating every `period_hours`.
+ScheduledEvent MakeBackup(std::int64_t first_start, int period_hours,
+                          int duration_hours, double iops_add, double cpu_add,
+                          int target_instance);
+
+// Logon surge of `users` extra users at `hour_of_day` (UTC) daily for
+// `duration_hours`, across all instances.
+ScheduledEvent MakeDailySurge(std::int64_t day0_epoch, int hour_of_day,
+                              int duration_hours, double users);
+
+// Failover: while active, `target_instance` serves no load and the
+// remaining instances absorb its share (the paper's disaster-recovery
+// scenario: "the system fails over to a new site"). One-shot by default
+// (period 0); recurring failovers model a crash-looping system, which the
+// learning engine treats as behaviour per the >=3-occurrences rule.
+ScheduledEvent MakeFailover(std::int64_t start_epoch, int duration_hours,
+                            int target_instance,
+                            std::int64_t period_seconds = 0);
+
+}  // namespace capplan::workload
+
+#endif  // CAPPLAN_WORKLOAD_EVENTS_H_

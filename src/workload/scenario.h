@@ -1,0 +1,81 @@
+#ifndef CAPPLAN_WORKLOAD_SCENARIO_H_
+#define CAPPLAN_WORKLOAD_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/events.h"
+#include "workload/transactions.h"
+
+namespace capplan::workload {
+
+// Epoch used as day zero for the experiment presets: 2019-06-03 00:00 UTC
+// (a Monday, so weekday effects align with calendar weeks).
+constexpr std::int64_t kExperimentStartEpoch = 1559520000;
+
+// Describes a synthetic database workload driven against the simulated
+// cluster: the substitution for the paper's Swingbench TPC-H / TPC-E drivers
+// (Section 6.2). The scenario defines the user population, its activity
+// profile over the day/week, per-user resource costs and scheduled shocks.
+struct WorkloadScenario {
+  std::string name;
+  int n_instances = 2;
+
+  // User population.
+  double base_users = 40.0;
+  double user_growth_per_day = 0.0;  // the OLTP trend: +50 users/day
+
+  // Activity profile: fraction of users active, shaped over the day.
+  // activity(t) = base_activity + daily_amplitude * day_shape(hour)
+  //                             + weekly_amplitude * week_shape(dow)
+  double base_activity = 0.5;
+  double daily_amplitude = 0.4;   // business-hours bump (seasonality, C1)
+  double weekly_amplitude = 0.0;  // weekday/weekend split (second season, C3)
+
+  // The transaction mix the users execute; per-user resource costs below
+  // are derived from it (see ApplyMix).
+  TransactionMix mix;
+
+  // Per-active-user resource costs (derived from `mix` by the presets; can
+  // be set directly for custom scenarios).
+  double cpu_per_user = 0.8;       // CPU percentage points
+  double memory_per_user = 8.0;    // MB (sessions, PGA)
+  double iops_per_user = 25000.0;  // logical IOs per hour
+
+  // Derives cpu_per_user / memory_per_user / iops_per_user from `m`.
+  void ApplyMix(const TransactionMix& m) {
+    mix = m;
+    cpu_per_user = m.CpuPercentPerUser();
+    memory_per_user = m.SessionMemoryMb();
+    iops_per_user = m.LogicalIosPerUserHour();
+  }
+
+  // Instance baseline consumption (background processes, SGA).
+  double cpu_base = 5.0;
+  double memory_base = 2048.0;
+  double iops_base = 50000.0;
+
+  // Dataset growth: fractional increase of per-user IO cost per day
+  // ("the data set becomes bigger and thus code execution times lengthen").
+  double io_cost_growth_per_day = 0.0;
+
+  // Relative Gaussian noise applied to CPU/IOPS (memory gets 1/4 of it).
+  double noise_level = 0.03;
+
+  // Shocks (C4).
+  std::vector<ScheduledEvent> events;
+
+  // Experiment One: simple OLAP workload — 40 users, strong daily
+  // seasonality, mild growth, nightly midnight backup on node 1.
+  static WorkloadScenario Olap();
+
+  // Experiment Two: complicated OLTP workload — user base growing by 50/day
+  // (trend), twice-daily logon surges (multiple seasonality: 1000 users at
+  // 07:00 for 4 h, 1000 more at 09:00 for 1 h), 6-hourly backups (shocks).
+  static WorkloadScenario Oltp();
+};
+
+}  // namespace capplan::workload
+
+#endif  // CAPPLAN_WORKLOAD_SCENARIO_H_

@@ -1,0 +1,83 @@
+#include "workload/transactions.h"
+
+namespace capplan::workload {
+
+const char* TransactionClassName(TransactionClass cls) {
+  switch (cls) {
+    case TransactionClass::kPointSelect:
+      return "point-select";
+    case TransactionClass::kRangeScan:
+      return "range-scan";
+    case TransactionClass::kUpdate:
+      return "update";
+    case TransactionClass::kInsert:
+      return "insert";
+    case TransactionClass::kReportQuery:
+      return "report-query";
+    case TransactionClass::kBulkLoad:
+      return "bulk-load";
+  }
+  return "?";
+}
+
+double TransactionMix::CpuSecondsPerUserHour() const {
+  double total_ms = 0.0;
+  for (const auto& p : profiles) {
+    total_ms += p.executions_per_user_hour * p.cpu_ms_per_execution;
+  }
+  return total_ms / 1000.0;
+}
+
+double TransactionMix::LogicalIosPerUserHour() const {
+  double total = 0.0;
+  for (const auto& p : profiles) {
+    total += p.executions_per_user_hour * p.logical_ios_per_execution;
+  }
+  return total;
+}
+
+double TransactionMix::SessionMemoryMb() const {
+  double total_kb = 0.0;
+  for (const auto& p : profiles) total_kb += p.session_memory_kb;
+  return total_kb / 1024.0;
+}
+
+TransactionMix TransactionMix::TpchLike() {
+  TransactionMix mix;
+  mix.name = "tpch-like";
+  // A decision-support user runs a few long scan-heavy queries per hour
+  // plus some medium reports and housekeeping DML. Totals: ~40 CPU-seconds
+  // and ~42k logical IOs per active user-hour, ~24 MB session memory.
+  mix.profiles = {
+      {TransactionClass::kReportQuery, "pricing-summary-report",
+       /*rate=*/1.5, /*cpu_ms=*/18000.0, /*ios=*/20000.0, /*mem_kb=*/12288.0},
+      {TransactionClass::kRangeScan, "shipping-priority-scan",
+       /*rate=*/4.0, /*cpu_ms=*/2700.0, /*ios=*/2200.0, /*mem_kb=*/8192.0},
+      {TransactionClass::kPointSelect, "order-status-lookup",
+       /*rate=*/20.0, /*cpu_ms=*/90.0, /*ios=*/110.0, /*mem_kb=*/2048.0},
+      {TransactionClass::kBulkLoad, "refresh-dml-batch",
+       /*rate=*/1.0, /*cpu_ms=*/1000.0, /*ios=*/1000.0, /*mem_kb=*/2048.0},
+  };
+  return mix;
+}
+
+TransactionMix TransactionMix::TpceLike() {
+  TransactionMix mix;
+  mix.name = "tpce-like";
+  // A brokerage OLTP user issues many short transactions. Totals: ~1.26
+  // CPU-seconds and ~1800 logical IOs per active user-hour, ~4 MB session
+  // memory.
+  mix.profiles = {
+      {TransactionClass::kUpdate, "trade-order",
+       /*rate=*/30.0, /*cpu_ms=*/18.0, /*ios=*/25.0, /*mem_kb=*/1024.0},
+      {TransactionClass::kPointSelect, "trade-lookup",
+       /*rate=*/60.0, /*cpu_ms=*/6.0, /*ios=*/10.0, /*mem_kb=*/1024.0},
+      {TransactionClass::kInsert, "market-feed",
+       /*rate=*/120.0, /*cpu_ms=*/2.0, /*ios=*/2.5, /*mem_kb=*/1024.0},
+      {TransactionClass::kUpdate, "customer-account-update",
+       /*rate=*/10.0, /*cpu_ms=*/12.0, /*ios=*/15.0, /*mem_kb=*/1024.0},
+  };
+  return mix;
+}
+
+}  // namespace capplan::workload

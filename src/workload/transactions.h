@@ -1,0 +1,62 @@
+#ifndef CAPPLAN_WORKLOAD_TRANSACTIONS_H_
+#define CAPPLAN_WORKLOAD_TRANSACTIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace capplan::workload {
+
+// Transaction-level workload description. The paper's testbed drives the
+// database with Swingbench TPC-H-like (OLAP) and TPC-E-like (OLTP)
+// transaction mixes ("IO is generated via SQL activity and data
+// manipulation language ... executed via updates, inserts and deletes",
+// Sections 7.1-7.2); the cluster simulator derives its per-user resource
+// rates from these mixes instead of opaque constants.
+
+enum class TransactionClass {
+  kPointSelect,   // indexed single-row lookup
+  kRangeScan,     // multi-row scan
+  kUpdate,
+  kInsert,
+  kReportQuery,   // long-running analytic query
+  kBulkLoad,      // batch DML
+};
+
+const char* TransactionClassName(TransactionClass cls);
+
+// Cost profile of one transaction type.
+struct TransactionProfile {
+  TransactionClass cls = TransactionClass::kPointSelect;
+  std::string name;
+  double executions_per_user_hour = 0.0;  // rate per active user
+  double cpu_ms_per_execution = 0.0;
+  double logical_ios_per_execution = 0.0;
+  double session_memory_kb = 0.0;  // per connected user attributable share
+};
+
+// A weighted set of transaction types.
+struct TransactionMix {
+  std::string name;
+  std::vector<TransactionProfile> profiles;
+
+  // Aggregate per-active-user rates implied by the mix.
+  double CpuSecondsPerUserHour() const;
+  double LogicalIosPerUserHour() const;
+  // Per-connected-user session memory in MB.
+  double SessionMemoryMb() const;
+
+  // CPU percentage points one active user consumes on one CPU-second/sec
+  // host normalization (cpu-seconds per hour / 3600 * 100).
+  double CpuPercentPerUser() const {
+    return CpuSecondsPerUserHour() / 3600.0 * 100.0;
+  }
+
+  // TPC-H-like decision-support mix: few heavy scan queries dominate.
+  static TransactionMix TpchLike();
+  // TPC-E-like brokerage OLTP mix: many short indexed transactions.
+  static TransactionMix TpceLike();
+};
+
+}  // namespace capplan::workload
+
+#endif  // CAPPLAN_WORKLOAD_TRANSACTIONS_H_

@@ -1,0 +1,106 @@
+#include "agent/agent.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::agent {
+namespace {
+
+using workload::ClusterSimulator;
+using workload::kExperimentStartEpoch;
+using workload::Metric;
+using workload::WorkloadScenario;
+
+TEST(FaultModelTest, NoFaultsByDefault) {
+  FaultModel f;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(f.IsDropped(0, kExperimentStartEpoch + i * 900));
+  }
+}
+
+TEST(FaultModelTest, DropProbabilityApproximatelyRespected) {
+  FaultModel f;
+  f.drop_probability = 0.2;
+  f.seed = 9;
+  int dropped = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (f.IsDropped(0, i * 900)) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.2, 0.02);
+}
+
+TEST(FaultModelTest, MaintenanceWindowDropsEverything) {
+  FaultModel f;
+  f.maintenance_start_epoch = 1000;
+  f.maintenance_period_seconds = 86400;
+  f.maintenance_duration_seconds = 3600;
+  EXPECT_TRUE(f.IsDropped(0, 1000));
+  EXPECT_TRUE(f.IsDropped(0, 1000 + 3599));
+  EXPECT_FALSE(f.IsDropped(0, 1000 + 3600));
+  EXPECT_TRUE(f.IsDropped(0, 1000 + 86400 + 10));
+}
+
+TEST(FaultModelTest, Deterministic) {
+  FaultModel a, b;
+  a.drop_probability = b.drop_probability = 0.3;
+  a.seed = b.seed = 5;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.IsDropped(1, i * 900), b.IsDropped(1, i * 900));
+  }
+}
+
+TEST(AgentTest, CollectsQuarterHourlySamples) {
+  ClusterSimulator sim(WorkloadScenario::Olap(), 3);
+  MonitoringAgent agent(&sim);
+  auto ts = agent.Collect(0, Metric::kCpu, kExperimentStartEpoch, 96);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->size(), 96u);
+  EXPECT_EQ(ts->frequency(), tsa::Frequency::kQuarterHourly);
+  EXPECT_EQ(ts->name(), "cdbm011/cpu");
+  EXPECT_FALSE(ts->HasMissing());
+}
+
+TEST(AgentTest, CollectDaysProducesFullTrace) {
+  ClusterSimulator sim(WorkloadScenario::Oltp(), 3);
+  MonitoringAgent agent(&sim);
+  auto ts = agent.CollectDays(1, Metric::kLogicalIops, 30);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->size(), 96u * 30u);  // 96 polls/day
+}
+
+TEST(AgentTest, FaultsBecomeNan) {
+  ClusterSimulator sim(WorkloadScenario::Olap(), 3);
+  FaultModel faults;
+  faults.drop_probability = 0.5;
+  faults.seed = 11;
+  MonitoringAgent agent(&sim, faults);
+  auto ts = agent.Collect(0, Metric::kMemory, kExperimentStartEpoch, 400);
+  ASSERT_TRUE(ts.ok());
+  const std::size_t missing = ts->CountMissing();
+  EXPECT_GT(missing, 120u);
+  EXPECT_LT(missing, 280u);
+}
+
+TEST(AgentTest, ValidatesArguments) {
+  ClusterSimulator sim(WorkloadScenario::Olap(), 3);
+  MonitoringAgent agent(&sim);
+  EXPECT_FALSE(agent.Collect(-1, Metric::kCpu, 0, 10).ok());
+  EXPECT_FALSE(agent.Collect(5, Metric::kCpu, 0, 10).ok());
+  MonitoringAgent bad_interval(&sim, {}, 1234);
+  EXPECT_FALSE(bad_interval.Collect(0, Metric::kCpu, 0, 10).ok());
+  MonitoringAgent no_cluster(nullptr);
+  EXPECT_FALSE(no_cluster.Collect(0, Metric::kCpu, 0, 10).ok());
+}
+
+TEST(AgentTest, HourlyPollingSupported) {
+  ClusterSimulator sim(WorkloadScenario::Olap(), 3);
+  MonitoringAgent agent(&sim, {}, 3600);
+  auto ts = agent.Collect(0, Metric::kCpu, kExperimentStartEpoch, 48);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->frequency(), tsa::Frequency::kHourly);
+}
+
+}  // namespace
+}  // namespace capplan::agent

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace capplan {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsWarning) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                     LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  // These are dropped; the test verifies the streaming path is safe.
+  CAPPLAN_LOG(kDebug) << "debug " << 1;
+  CAPPLAN_LOG(kInfo) << "info " << 2.5;
+  CAPPLAN_LOG(kWarning) << "warning " << "text";
+  SUCCEED();
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  CAPPLAN_LOG(kError) << "error path exercised " << 42;
+  CAPPLAN_LOG(kDebug) << "debug path exercised";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace capplan

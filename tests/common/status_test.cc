@@ -1,0 +1,79 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace capplan {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status st;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::NotFound("c"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("d"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::ComputeError("f"), StatusCode::kComputeError, "ComputeError"},
+      {Status::IoError("g"), StatusCode::kIoError, "IoError"},
+      {Status::Internal("h"), StatusCode::kInternal, "Internal"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.st.ok());
+    EXPECT_EQ(c.st.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeToString(c.code)), c.name);
+    EXPECT_NE(c.st.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status st = Status::InvalidArgument("bad series length");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad series length");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::NotFound("key x");
+  EXPECT_EQ(os.str(), "NotFound: key x");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::ComputeError("diverged");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kComputeError);
+  EXPECT_EQ(b.message(), "diverged");
+}
+
+Status Passthrough(const Status& in) {
+  CAPPLAN_RETURN_NOT_OK(in);
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Passthrough(Status::OK()).ok());
+  Status err = Passthrough(Status::IoError("disk"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace capplan

@@ -1,0 +1,35 @@
+// Verifies the umbrella header is self-contained and exposes the whole
+// public API surface in one include.
+
+#include "capplan.h"
+
+#include <gtest/gtest.h>
+
+namespace capplan {
+namespace {
+
+TEST(UmbrellaTest, TypesVisible) {
+  // One symbol per module proves the includes resolved.
+  Status st = Status::OK();
+  EXPECT_TRUE(st.ok());
+  Result<int> r = 1;
+  EXPECT_TRUE(r.ok());
+  EXPECT_GT(math::NormalCdf(0.0), 0.49);
+  tsa::TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  models::ArimaSpec spec{1, 0, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(spec.IsValid());
+  models::EtsSpec ets = models::SimpleExponentialSmoothing();
+  EXPECT_TRUE(ets.IsValid());
+  workload::WorkloadScenario olap = workload::WorkloadScenario::Olap();
+  EXPECT_EQ(olap.n_instances, 2);
+  core::PipelineOptions opts;
+  EXPECT_EQ(opts.technique, core::Technique::kAuto);
+  repo::MetricsRepository metrics;
+  EXPECT_EQ(metrics.size(), 0u);
+  core::PageHinkleyDetector detector;
+  EXPECT_EQ(detector.samples_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace capplan

@@ -1,0 +1,150 @@
+#include "core/candidate_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace capplan::core {
+namespace {
+
+TEST(CandidateGenTest, ArimaGridIs180PerInstance) {
+  // Paper Section 6.3: "ARIMA p,d,q = 180 models per instance".
+  CandidateGenerator gen;
+  const auto grid = gen.Generate(Technique::kArima);
+  EXPECT_EQ(grid.size(), 180u);
+  EXPECT_EQ(CandidateGenerator::ExpectedCount(Technique::kArima), 180u);
+}
+
+TEST(CandidateGenTest, SarimaxGridIs660PerInstance) {
+  // "SARIMAX p,d,q,P,D,Q,F = 660 models per instance".
+  CandidateGenerator gen;
+  const auto grid = gen.Generate(Technique::kSarimax);
+  EXPECT_EQ(grid.size(), 660u);
+}
+
+TEST(CandidateGenTest, FftExogGridIs666PerInstance) {
+  // "SARIMAX ... + Exogenous (4) + Fourier Terms (2) = 666 models".
+  CandidateGenerator gen;
+  const auto grid = gen.Generate(Technique::kSarimaxFftExog);
+  EXPECT_EQ(grid.size(), 666u);
+}
+
+TEST(CandidateGenTest, TwoInstanceTotalsMatchPaper) {
+  // "totalling 360 / 1320 / 1332 models" and >6000 across two experiments.
+  const std::size_t two_instances =
+      2 * (CandidateGenerator::ExpectedCount(Technique::kArima) +
+           CandidateGenerator::ExpectedCount(Technique::kSarimax) +
+           CandidateGenerator::ExpectedCount(Technique::kSarimaxFftExog));
+  EXPECT_EQ(two_instances, 3012u);
+  EXPECT_GT(2 * two_instances, 6000u);  // two experiments
+}
+
+TEST(CandidateGenTest, ArimaGridShape) {
+  CandidateGenerator gen;
+  const auto grid = gen.Generate(Technique::kArima);
+  std::set<int> ps, ds, qs;
+  for (const auto& c : grid) {
+    ps.insert(c.spec.p);
+    ds.insert(c.spec.d);
+    qs.insert(c.spec.q);
+    EXPECT_TRUE(c.spec.IsValid());
+    EXPECT_EQ(c.spec.season, 0u);
+    EXPECT_EQ(c.n_exog, 0u);
+    EXPECT_TRUE(c.fourier.empty());
+  }
+  EXPECT_EQ(ps.size(), 30u);  // p in 1..30
+  EXPECT_EQ(*ps.begin(), 1);
+  EXPECT_EQ(*ps.rbegin(), 30);
+  EXPECT_EQ(ds, (std::set<int>{0, 1}));
+  EXPECT_EQ(qs, (std::set<int>{0, 1, 2}));
+}
+
+TEST(CandidateGenTest, SarimaxGridAllSeasonalAndValid) {
+  CandidateGenerator gen;
+  const auto grid = gen.Generate(Technique::kSarimax);
+  for (const auto& c : grid) {
+    EXPECT_TRUE(c.spec.IsValid()) << c.spec.ToString();
+    EXPECT_EQ(c.spec.season, 24u);
+    EXPECT_TRUE(c.spec.P > 0 || c.spec.D > 0 || c.spec.Q > 0);
+  }
+  // 22 distinct seasonal templates per lag.
+  std::set<std::string> lag1_specs;
+  for (const auto& c : grid) {
+    if (c.spec.p == 1) lag1_specs.insert(c.spec.ToString());
+  }
+  EXPECT_EQ(lag1_specs.size(), 22u);
+}
+
+TEST(CandidateGenTest, SarimaxGridSpansPaperExampleRange) {
+  // The paper quotes the range (1,0,0)(0,0,1,24) ... (1,1,2)(1,1,1,24).
+  CandidateGenerator gen;
+  const auto grid = gen.Generate(Technique::kSarimax);
+  bool found_first = false, found_last = false;
+  for (const auto& c : grid) {
+    if (c.spec.ToString() == "(1,0,0)(0,0,1,24)") found_first = true;
+    if (c.spec.ToString() == "(1,1,2)(1,1,1,24)") found_last = true;
+  }
+  EXPECT_TRUE(found_first);
+  EXPECT_TRUE(found_last);
+}
+
+TEST(CandidateGenTest, FftExogGridCarriesShocksAndFourier) {
+  CandidateGenerator::Options opts;
+  opts.n_shock_columns = 4;
+  opts.fourier_periods = {24.0, 168.0};
+  CandidateGenerator gen(opts);
+  const auto grid = gen.Generate(Technique::kSarimaxFftExog);
+  std::size_t with_exog = 0, with_fourier = 0;
+  for (const auto& c : grid) {
+    if (c.n_exog > 0) ++with_exog;
+    if (!c.fourier.empty()) ++with_fourier;
+  }
+  EXPECT_EQ(with_exog, 666u);
+  EXPECT_EQ(with_fourier, 662u);  // 660 grid + the 2 Fourier variants
+}
+
+TEST(CandidateGenTest, SeasonConfigurable) {
+  CandidateGenerator::Options opts;
+  opts.season = 7;  // daily data
+  CandidateGenerator gen(opts);
+  const auto grid = gen.Generate(Technique::kSarimax);
+  for (const auto& c : grid) EXPECT_EQ(c.spec.season, 7u);
+}
+
+TEST(CandidateGenTest, MaxLagScalesGrids) {
+  CandidateGenerator::Options opts;
+  opts.max_lag = 5;
+  CandidateGenerator gen(opts);
+  EXPECT_EQ(gen.Generate(Technique::kArima).size(), 30u);      // 5*6
+  EXPECT_EQ(gen.Generate(Technique::kSarimax).size(), 110u);   // 5*22
+  EXPECT_EQ(gen.Generate(Technique::kSarimaxFftExog).size(), 116u);
+}
+
+TEST(CandidateGenTest, PrunedKeepsOnlySignificantAndSafetyLags) {
+  CandidateGenerator gen;
+  const auto pruned =
+      gen.GeneratePruned(Technique::kArima, {5, 24});
+  std::set<int> ps;
+  for (const auto& c : pruned) ps.insert(c.spec.p);
+  // Significant lags 5 and 24 plus the safety net 1..3.
+  EXPECT_EQ(ps, (std::set<int>{1, 2, 3, 5, 24}));
+  EXPECT_EQ(pruned.size(), 5u * 6u);
+}
+
+TEST(CandidateGenTest, PruningReducesConsiderably) {
+  // The paper's claim: correlogram pruning reduces "the thousands of
+  // potential models considerably".
+  CandidateGenerator gen;
+  const auto full = gen.Generate(Technique::kSarimax);
+  const auto pruned = gen.GeneratePruned(Technique::kSarimax, {1, 24});
+  EXPECT_LT(pruned.size() * 5, full.size());
+}
+
+TEST(CandidateGenTest, HesFamilyHasNoGrid) {
+  CandidateGenerator gen;
+  EXPECT_TRUE(gen.Generate(Technique::kHes).empty());
+  EXPECT_EQ(CandidateGenerator::ExpectedCount(Technique::kHes), 0u);
+}
+
+}  // namespace
+}  // namespace capplan::core

@@ -1,0 +1,142 @@
+#include "core/capacity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::core {
+namespace {
+
+models::Forecast RampForecast(std::size_t h, double start, double step,
+                              double band) {
+  models::Forecast fc;
+  fc.mean.resize(h);
+  fc.lower.resize(h);
+  fc.upper.resize(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    fc.mean[i] = start + step * static_cast<double>(i);
+    fc.lower[i] = fc.mean[i] - band;
+    fc.upper[i] = fc.mean[i] + band;
+  }
+  return fc;
+}
+
+TEST(BreachTest, FindsFirstMeanBreach) {
+  const auto fc = RampForecast(24, 50.0, 2.0, 5.0);
+  // Mean crosses 60 at step index 5 (50 + 2*5 = 60).
+  const auto b = CapacityPlanner::PredictBreach(fc, 60.0, 1000, 3600);
+  EXPECT_TRUE(b.mean_breach);
+  EXPECT_EQ(b.steps_to_mean_breach, 6u);  // 1-based
+  EXPECT_EQ(b.mean_breach_epoch, 1000 + 5 * 3600);
+}
+
+TEST(BreachTest, UpperBreachEarlierThanMean) {
+  const auto fc = RampForecast(24, 50.0, 2.0, 5.0);
+  const auto b = CapacityPlanner::PredictBreach(fc, 60.0, 0, 3600);
+  EXPECT_TRUE(b.upper_breach);
+  // Upper = mean + 5 crosses 60 at step index 2 or 3 (50+2i+5 >= 60 -> i>=2.5).
+  EXPECT_LT(b.steps_to_upper_breach, b.steps_to_mean_breach);
+}
+
+TEST(BreachTest, NoBreachWhenBelowThreshold) {
+  const auto fc = RampForecast(10, 10.0, 0.1, 1.0);
+  const auto b = CapacityPlanner::PredictBreach(fc, 100.0, 0, 3600);
+  EXPECT_FALSE(b.mean_breach);
+  EXPECT_FALSE(b.upper_breach);
+}
+
+TEST(BreachTest, ImmediateBreachAtStepOne) {
+  const auto fc = RampForecast(10, 99.0, 1.0, 0.5);
+  const auto b = CapacityPlanner::PredictBreach(fc, 90.0, 500, 60);
+  EXPECT_TRUE(b.mean_breach);
+  EXPECT_EQ(b.steps_to_mean_breach, 1u);
+  EXPECT_EQ(b.mean_breach_epoch, 500);
+}
+
+TEST(RecommendedCapacityTest, MarginAppliedToPeakUpper) {
+  const auto fc = RampForecast(10, 10.0, 1.0, 2.0);
+  // Peak upper = 10 + 9 + 2 = 21; with 20% margin -> 25.2.
+  EXPECT_NEAR(CapacityPlanner::RecommendedCapacity(fc, 0.2), 25.2, 1e-9);
+  // Negative margins clamp to zero margin.
+  EXPECT_NEAR(CapacityPlanner::RecommendedCapacity(fc, -0.5), 21.0, 1e-9);
+}
+
+TEST(HeadroomTest, ReportFields) {
+  tsa::TimeSeries recent("m", 0, tsa::Frequency::kHourly, {40.0, 45.0, 50.0});
+  const auto fc = RampForecast(10, 50.0, 1.0, 3.0);
+  auto rep = CapacityPlanner::Headroom(recent, fc, 100.0);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_DOUBLE_EQ(rep->current_usage, 50.0);
+  EXPECT_DOUBLE_EQ(rep->peak_forecast, 59.0);
+  EXPECT_DOUBLE_EQ(rep->peak_upper, 62.0);
+  EXPECT_NEAR(rep->headroom_fraction, 0.38, 1e-9);
+}
+
+tsa::TimeSeries GrowingHourly(double base, double growth_per_day,
+                              std::size_t days) {
+  std::vector<double> v(days * 24);
+  for (std::size_t t = 0; t < v.size(); ++t) {
+    const double day = static_cast<double>(t) / 24.0;
+    v[t] = base + growth_per_day * day +
+           10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0);
+  }
+  return tsa::TimeSeries("m", 0, tsa::Frequency::kHourly, v);
+}
+
+TEST(ProjectGrowthTest, RecoversDailyGrowth) {
+  const auto hourly = GrowingHourly(100.0, 2.0, 60);
+  auto proj = CapacityPlanner::ProjectGrowth(hourly, 6);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_NEAR(proj->daily_growth, 2.0, 0.5);
+  ASSERT_EQ(proj->monthly_peaks.size(), 6u);
+  // Peaks grow month over month (damping flattens late months slightly).
+  EXPECT_GT(proj->monthly_peaks[2], proj->monthly_peaks[0]);
+  EXPECT_GT(proj->current_daily_peak, 200.0);  // base + 60 days growth + amp
+}
+
+TEST(ProjectGrowthTest, BreachMonthDetected) {
+  const auto hourly = GrowingHourly(100.0, 2.0, 60);
+  // Current peak ~230; with ~2/day growth (damped), +60/month: month 2-3
+  // crosses 320.
+  auto proj = CapacityPlanner::ProjectGrowth(hourly, 12, 320.0);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_GE(proj->breach_month, 1u);
+  EXPECT_LE(proj->breach_month, 5u);
+  // A sky-high threshold is never breached.
+  auto safe = CapacityPlanner::ProjectGrowth(hourly, 6, 1e9);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_EQ(safe->breach_month, 0u);
+}
+
+TEST(ProjectGrowthTest, FlatWorkloadProjectsFlat) {
+  const auto hourly = GrowingHourly(100.0, 0.0, 40);
+  auto proj = CapacityPlanner::ProjectGrowth(hourly, 6);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_NEAR(proj->daily_growth, 0.0, 0.3);
+  EXPECT_NEAR(proj->monthly_peaks[5], proj->monthly_peaks[0],
+              0.05 * proj->monthly_peaks[0]);
+}
+
+TEST(ProjectGrowthTest, ValidatesInputs) {
+  const auto hourly = GrowingHourly(100.0, 1.0, 30);
+  EXPECT_FALSE(CapacityPlanner::ProjectGrowth(hourly, 0).ok());
+  EXPECT_FALSE(CapacityPlanner::ProjectGrowth(hourly, 37).ok());
+  tsa::TimeSeries daily("m", 0, tsa::Frequency::kDaily,
+                        std::vector<double>(100, 1.0));
+  EXPECT_FALSE(CapacityPlanner::ProjectGrowth(daily, 6).ok());
+  const auto tiny = GrowingHourly(100.0, 1.0, 5);
+  EXPECT_FALSE(CapacityPlanner::ProjectGrowth(tiny, 6).ok());
+}
+
+TEST(HeadroomTest, ValidatesInputs) {
+  tsa::TimeSeries empty;
+  const auto fc = RampForecast(5, 1.0, 0.0, 0.0);
+  EXPECT_FALSE(CapacityPlanner::Headroom(empty, fc, 100.0).ok());
+  tsa::TimeSeries recent("m", 0, tsa::Frequency::kHourly, {1.0});
+  models::Forecast empty_fc;
+  EXPECT_FALSE(CapacityPlanner::Headroom(recent, empty_fc, 100.0).ok());
+  EXPECT_FALSE(CapacityPlanner::Headroom(recent, fc, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace capplan::core

@@ -1,0 +1,137 @@
+#include "core/drift.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::core {
+namespace {
+
+std::vector<double> Stream(std::size_t n, double mean, double sigma,
+                           unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(mean, sigma);
+  std::vector<double> out(n);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+TEST(PageHinkleyTest, QuietStreamNoAlarm) {
+  PageHinkleyDetector detector;
+  bool alarmed = false;
+  for (double v : Stream(2000, 1.0, 0.2, 1)) {
+    alarmed = alarmed || detector.Update(v);
+  }
+  EXPECT_FALSE(alarmed);
+}
+
+TEST(PageHinkleyTest, DetectsMeanShift) {
+  PageHinkleyDetector detector;
+  // In-control phase.
+  for (double v : Stream(500, 1.0, 0.2, 2)) {
+    ASSERT_FALSE(detector.Update(v));
+  }
+  // The model degrades: errors triple.
+  bool alarmed = false;
+  std::size_t steps_to_alarm = 0;
+  for (double v : Stream(1000, 3.0, 0.2, 3)) {
+    ++steps_to_alarm;
+    if (detector.Update(v)) {
+      alarmed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_LT(steps_to_alarm, 200u);
+}
+
+TEST(PageHinkleyTest, ResetsAfterAlarm) {
+  PageHinkleyDetector detector;
+  for (double v : Stream(500, 1.0, 0.2, 4)) detector.Update(v);
+  for (double v : Stream(1000, 4.0, 0.2, 5)) {
+    if (detector.Update(v)) break;
+  }
+  EXPECT_EQ(detector.samples_seen(), 0u);  // reset fired
+}
+
+TEST(PageHinkleyTest, MinSamplesHonoured) {
+  PageHinkleyDetector::Options opts;
+  opts.min_samples = 50;
+  opts.threshold = 0.001;  // would alarm instantly otherwise
+  PageHinkleyDetector detector(opts);
+  int alarms_before_min = 0;
+  auto data = Stream(49, 10.0, 0.1, 6);
+  for (double v : data) {
+    if (detector.Update(v)) ++alarms_before_min;
+  }
+  EXPECT_EQ(alarms_before_min, 0);
+}
+
+TEST(CusumTest, QuietStreamNoAlarm) {
+  CusumDetector detector(0.0, 1.0);
+  bool alarmed = false;
+  for (double v : Stream(2000, 0.0, 1.0, 7)) {
+    alarmed = alarmed || detector.Update(v);
+  }
+  EXPECT_FALSE(alarmed);
+}
+
+TEST(CusumTest, DetectsUpwardAndDownwardShifts) {
+  CusumDetector up(0.0, 1.0);
+  bool up_alarm = false;
+  for (double v : Stream(300, 2.0, 1.0, 8)) {
+    if (up.Update(v)) {
+      up_alarm = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(up_alarm);
+
+  CusumDetector down(0.0, 1.0);
+  bool down_alarm = false;
+  for (double v : Stream(300, -2.0, 1.0, 9)) {
+    if (down.Update(v)) {
+      down_alarm = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(down_alarm);
+}
+
+TEST(CusumTest, SlackSuppressesSmallShifts) {
+  CusumDetector::Options opts;
+  opts.k = 1.5;  // generous slack
+  opts.threshold = 10.0;
+  CusumDetector detector(0.0, 1.0, opts);
+  bool alarmed = false;
+  // A 0.5-sigma shift sits below the slack.
+  for (double v : Stream(3000, 0.5, 1.0, 10)) {
+    alarmed = alarmed || detector.Update(v);
+  }
+  EXPECT_FALSE(alarmed);
+}
+
+TEST(CusumTest, DegenerateSigmaHandled) {
+  CusumDetector detector(0.0, 0.0);  // sigma clamped internally
+  EXPECT_FALSE(detector.Update(0.1));
+}
+
+TEST(DetectChangesTest, FindsTheChangePointOffline) {
+  std::vector<double> values = Stream(600, 1.0, 0.2, 11);
+  const auto shifted = Stream(600, 3.5, 0.2, 12);
+  values.insert(values.end(), shifted.begin(), shifted.end());
+  const auto alarms = DetectChanges(values);
+  ASSERT_FALSE(alarms.empty());
+  // The first alarm lands shortly after the change at index 600.
+  EXPECT_GT(alarms.front(), 580u);
+  EXPECT_LT(alarms.front(), 780u);
+}
+
+TEST(DetectChangesTest, NoChangesOnStationaryStream) {
+  const auto alarms = DetectChanges(Stream(2000, 5.0, 0.5, 13));
+  EXPECT_TRUE(alarms.empty());
+}
+
+}  // namespace
+}  // namespace capplan::core

@@ -1,0 +1,106 @@
+#include "core/ensemble.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "tsa/metrics.h"
+
+namespace capplan::core {
+namespace {
+
+models::Forecast Flat(double mean, std::size_t h, double band = 1.0) {
+  models::Forecast fc;
+  fc.mean.assign(h, mean);
+  fc.lower.assign(h, mean - band);
+  fc.upper.assign(h, mean + band);
+  return fc;
+}
+
+TEST(CombineTest, EqualWeightsAverage) {
+  const auto a = Flat(10.0, 5);
+  const auto b = Flat(20.0, 5);
+  auto combined = CombineForecasts({&a, &b});
+  ASSERT_TRUE(combined.ok());
+  for (double v : combined->mean) EXPECT_DOUBLE_EQ(v, 15.0);
+  EXPECT_DOUBLE_EQ(combined->lower[0], 14.0);
+  EXPECT_DOUBLE_EQ(combined->upper[0], 16.0);
+}
+
+TEST(CombineTest, WeightsRespected) {
+  const auto a = Flat(10.0, 3);
+  const auto b = Flat(20.0, 3);
+  auto combined = CombineForecasts({&a, &b}, {3.0, 1.0});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_DOUBLE_EQ(combined->mean[0], 12.5);
+}
+
+TEST(CombineTest, ValidatesInputs) {
+  const auto a = Flat(1.0, 3);
+  const auto b = Flat(2.0, 4);  // mismatched horizon
+  EXPECT_FALSE(CombineForecasts({}).ok());
+  EXPECT_FALSE(CombineForecasts({&a, &b}).ok());
+  EXPECT_FALSE(CombineForecasts({&a}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(CombineForecasts({&a}, {-1.0}).ok());
+  EXPECT_FALSE(CombineForecasts({&a}, {0.0}).ok());
+  EXPECT_FALSE(CombineForecasts({&a, nullptr}).ok());
+}
+
+EvaluatedCandidate MakeCandidate(double mean, double rmse, std::size_t h) {
+  EvaluatedCandidate c;
+  c.ok = true;
+  c.test_forecast = Flat(mean, h);
+  c.accuracy.rmse = rmse;
+  return c;
+}
+
+TEST(CombineTopTest, InverseRmseWeighting) {
+  // Member with rmse 1 gets 4x the weight of member with rmse 4.
+  std::vector<EvaluatedCandidate> top = {MakeCandidate(10.0, 1.0, 3),
+                                         MakeCandidate(20.0, 4.0, 3)};
+  auto combined = CombineTopCandidates(top, /*inverse_rmse_weights=*/true);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->mean[0], (10.0 * 1.0 + 20.0 * 0.25) / 1.25, 1e-9);
+}
+
+TEST(CombineTopTest, SkipsFailedCandidates) {
+  std::vector<EvaluatedCandidate> top = {MakeCandidate(10.0, 1.0, 3)};
+  EvaluatedCandidate bad;
+  bad.ok = false;
+  top.push_back(bad);
+  auto combined = CombineTopCandidates(top, false);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_DOUBLE_EQ(combined->mean[0], 10.0);
+}
+
+TEST(CombineTopTest, AllFailedIsError) {
+  EvaluatedCandidate bad;
+  bad.ok = false;
+  EXPECT_FALSE(CombineTopCandidates({bad}, true).ok());
+}
+
+TEST(CombineTest, EnsembleBeatsWorstMember) {
+  // Truth is a sine; member A is good, member B is biased. The combination
+  // must land between them (and beat B).
+  std::mt19937 rng(1);
+  std::normal_distribution<double> noise(0.0, 0.1);
+  const std::size_t h = 24;
+  std::vector<double> truth(h);
+  models::Forecast a = Flat(0.0, h), b = Flat(0.0, h);
+  for (std::size_t t = 0; t < h; ++t) {
+    truth[t] = std::sin(0.3 * static_cast<double>(t));
+    a.mean[t] = truth[t] + noise(rng);
+    b.mean[t] = truth[t] + 1.0;  // biased
+  }
+  auto combined = CombineForecasts({&a, &b});
+  ASSERT_TRUE(combined.ok());
+  auto rmse_combined = tsa::Rmse(truth, combined->mean);
+  auto rmse_b = tsa::Rmse(truth, b.mean);
+  ASSERT_TRUE(rmse_combined.ok());
+  ASSERT_TRUE(rmse_b.ok());
+  EXPECT_LT(*rmse_combined, *rmse_b);
+}
+
+}  // namespace
+}  // namespace capplan::core

@@ -1,0 +1,116 @@
+#include "core/monitor.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::core {
+namespace {
+
+// Builds a repository with one hourly CPU-like series.
+repo::MetricsRepository MakeMetrics(double base, double trend_per_hour,
+                                    unsigned seed, std::size_t n = 1100) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    v[t] = base + trend_per_hour * static_cast<double>(t) +
+           8.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  tsa::TimeSeries series("cdbm011/cpu", 0, tsa::Frequency::kHourly, v);
+  repo::MetricsRepository metrics;
+  EXPECT_TRUE(metrics.Ingest("cdbm011/cpu", series).ok());
+  return metrics;
+}
+
+PipelineOptions FastOptions() {
+  PipelineOptions opts;
+  opts.technique = Technique::kHes;  // fast branch for tests
+  opts.n_threads = 2;
+  return opts;
+}
+
+TEST(MonitorTest, FirstEvaluationRefits) {
+  auto metrics = MakeMetrics(50.0, 0.0, 1);
+  repo::ModelRepository registry;
+  MonitoringService service(&metrics, &registry, FastOptions());
+  auto results = service.Evaluate({{"cdbm011/cpu", 90.0}}, /*now=*/1100 * 3600);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_TRUE((*results)[0].status.ok());
+  EXPECT_TRUE((*results)[0].refitted);
+  EXPECT_FALSE((*results)[0].model_spec.empty());
+  EXPECT_TRUE(registry.Contains("cdbm011/cpu"));
+  EXPECT_EQ(service.cached_forecasts(), 1u);
+}
+
+TEST(MonitorTest, SecondEvaluationUsesCache) {
+  auto metrics = MakeMetrics(50.0, 0.0, 2);
+  repo::ModelRepository registry;
+  MonitoringService service(&metrics, &registry, FastOptions());
+  const std::int64_t now = 1100 * 3600;
+  ASSERT_TRUE(service.Evaluate({{"cdbm011/cpu", 90.0}}, now).ok());
+  auto second = service.Evaluate({{"cdbm011/cpu", 90.0}}, now + 3600);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE((*second)[0].refitted);
+}
+
+TEST(MonitorTest, StaleModelRefitted) {
+  auto metrics = MakeMetrics(50.0, 0.0, 3);
+  repo::ModelRepository registry;
+  MonitoringService service(&metrics, &registry, FastOptions());
+  const std::int64_t now = 1100 * 3600;
+  ASSERT_TRUE(service.Evaluate({{"cdbm011/cpu", 90.0}}, now).ok());
+  // Eight days later the one-week policy forces a refit.
+  auto later = service.Evaluate({{"cdbm011/cpu", 90.0}},
+                                now + 8 * 24 * 3600);
+  ASSERT_TRUE(later.ok());
+  EXPECT_TRUE((*later)[0].refitted);
+}
+
+TEST(MonitorTest, BreachRaisedForGrowingMetric) {
+  // Strong upward trend: CPU heading past the threshold within a day.
+  auto metrics = MakeMetrics(40.0, 0.04, 4);
+  repo::ModelRepository registry;
+  MonitoringService service(&metrics, &registry, FastOptions());
+  auto results = service.Evaluate({{"cdbm011/cpu", 1.0}}, 1100 * 3600);
+  ASSERT_TRUE(results.ok());
+  // Threshold of 1.0 is far below current usage -> immediate breach.
+  EXPECT_TRUE((*results)[0].breach.mean_breach);
+  EXPECT_EQ((*results)[0].breach.steps_to_mean_breach, 1u);
+}
+
+TEST(MonitorTest, NoBreachForCalmMetric) {
+  auto metrics = MakeMetrics(50.0, 0.0, 5);
+  repo::ModelRepository registry;
+  MonitoringService service(&metrics, &registry, FastOptions());
+  auto results = service.Evaluate({{"cdbm011/cpu", 500.0}}, 1100 * 3600);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE((*results)[0].breach.mean_breach);
+  EXPECT_FALSE((*results)[0].breach.upper_breach);
+}
+
+TEST(MonitorTest, UnknownKeyReportsPerWatchError) {
+  auto metrics = MakeMetrics(50.0, 0.0, 6);
+  repo::ModelRepository registry;
+  MonitoringService service(&metrics, &registry, FastOptions());
+  auto results = service.Evaluate(
+      {{"cdbm011/cpu", 90.0}, {"missing/key", 1.0}}, 1100 * 3600);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_TRUE((*results)[0].status.ok());
+  EXPECT_FALSE((*results)[1].status.ok());
+  EXPECT_EQ((*results)[1].status.code(), StatusCode::kNotFound);
+}
+
+TEST(MonitorTest, EmptyWatchListRejected) {
+  auto metrics = MakeMetrics(50.0, 0.0, 7);
+  repo::ModelRepository registry;
+  MonitoringService service(&metrics, &registry, FastOptions());
+  EXPECT_FALSE(service.Evaluate({}, 0).ok());
+}
+
+}  // namespace
+}  // namespace capplan::core

@@ -1,0 +1,122 @@
+#include "core/report_json.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::core {
+namespace {
+
+PipelineReport SampleReport() {
+  PipelineReport r;
+  r.series_name = "cdbm011/cpu";
+  r.chosen_family = Technique::kSarimaxFftExog;
+  r.chosen_spec = "(1,1,2)(1,1,1,24)+FFT+exog(4)";
+  r.gaps_filled = 3;
+  r.traits.trend_strength = 0.75;
+  r.traits.seasonal_strength = 0.9;
+  r.multiple_seasonality = true;
+  r.recommended_d = 1;
+  tsa::DetectedSeason season;
+  season.period = 24;
+  r.seasons.push_back(season);
+  DetectedShock shock;
+  shock.phase = 0;
+  shock.period = 24;
+  shock.duration = 2;
+  shock.occurrences = 40;
+  shock.magnitude = 600000.0;
+  r.shocks.push_back(shock);
+  r.transient_spikes_discarded = 2;
+  r.test_accuracy.rmse = 8.42;
+  r.test_accuracy.mape = 3.0;
+  r.test_accuracy.mapa = 97.0;
+  r.candidates_evaluated = 666;
+  r.candidates_succeeded = 660;
+  r.forecast_start_epoch = 1559520000;
+  r.forecast.level = 0.95;
+  r.forecast.mean = {1.5, 2.5};
+  r.forecast.lower = {1.0, 2.0};
+  r.forecast.upper = {2.0, 3.0};
+  return r;
+}
+
+TEST(ReportJsonTest, ContainsAllFields) {
+  const std::string json = ReportToJson(SampleReport());
+  EXPECT_NE(json.find("\"series\":\"cdbm011/cpu\""), std::string::npos);
+  EXPECT_NE(json.find("\"technique\":\"SARIMAX_FFT_EXOG\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"candidates_evaluated\":666"), std::string::npos);
+  EXPECT_NE(json.find("\"multiple_seasonality\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":[1.5,2.5]"), std::string::npos);
+  EXPECT_NE(json.find("\"occurrences\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"forecast_start_epoch\":1559520000"),
+            std::string::npos);
+}
+
+TEST(ReportJsonTest, BalancedBracesAndQuotes) {
+  const std::string json = ReportToJson(SampleReport());
+  int depth = 0;
+  int quotes = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+      ++quotes;
+    }
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportJsonTest, EscapesSpecialCharacters) {
+  PipelineReport r = SampleReport();
+  r.series_name = "weird\"name\\with\nnewline";
+  const std::string json = ReportToJson(r);
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nnewline"), std::string::npos);
+}
+
+TEST(ReportJsonTest, NanBecomesNull) {
+  PipelineReport r = SampleReport();
+  r.test_accuracy.mape = std::nan("");
+  const std::string json = ReportToJson(r);
+  EXPECT_NE(json.find("\"test_mape\":null"), std::string::npos);
+}
+
+TEST(ReportJsonTest, PrettyModeIndents) {
+  const std::string json = ReportToJson(SampleReport(), /*pretty=*/true);
+  EXPECT_NE(json.find("\n  \"series\""), std::string::npos);
+}
+
+TEST(ForecastJsonTest, RoundTripShape) {
+  models::Forecast fc;
+  fc.level = 0.9;
+  fc.mean = {1.0, 2.0, 3.0};
+  fc.lower = {0.5, 1.5, 2.5};
+  fc.upper = {1.5, 2.5, 3.5};
+  const std::string json = ForecastToJson(fc);
+  EXPECT_EQ(json,
+            "{\"level\":0.9,\"mean\":[1,2,3],\"lower\":[0.5,1.5,2.5],"
+            "\"upper\":[1.5,2.5,3.5]}");
+}
+
+TEST(ForecastJsonTest, NumbersRoundTripPrecision) {
+  models::Forecast fc;
+  fc.level = 0.95;
+  fc.mean = {52879.490000000001};
+  fc.lower = {0.1};
+  fc.upper = {1e-9};
+  const std::string json = ForecastToJson(fc);
+  EXPECT_NE(json.find("52879.49"), std::string::npos);
+  EXPECT_NE(json.find("1e-09"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace capplan::core

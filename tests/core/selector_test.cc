@@ -1,0 +1,183 @@
+#include "core/selector.h"
+
+#include <cmath>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace capplan::core {
+namespace {
+
+// Seasonal series with train/test split.
+struct Data {
+  std::vector<double> train, test;
+};
+
+Data SeasonalData(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(24 * 35);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 50.0 + 12.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  Data d;
+  d.train.assign(y.begin(), y.end() - 24);
+  d.test.assign(y.end() - 24, y.end());
+  return d;
+}
+
+ModelCandidate Arima(int p, int d, int q) {
+  ModelCandidate c;
+  c.family = Technique::kArima;
+  c.spec = models::ArimaSpec{p, d, q, 0, 0, 0, 0};
+  return c;
+}
+
+ModelCandidate Sarima(int p, int d, int q, int P, int D, int Q,
+                      std::size_t s) {
+  ModelCandidate c;
+  c.family = Technique::kSarimax;
+  c.spec = models::ArimaSpec{p, d, q, P, D, Q, s};
+  return c;
+}
+
+TEST(SelectorTest, PicksSeasonalModelOnSeasonalData) {
+  const Data d = SeasonalData(1);
+  const std::vector<ModelCandidate> candidates = {
+      Arima(1, 1, 1),
+      Arima(2, 0, 1),
+      Sarima(1, 0, 1, 0, 1, 1, 24),
+  };
+  ModelSelector selector;
+  auto sel = selector.Select(d.train, d.test, candidates);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->evaluated, 3u);
+  EXPECT_GE(sel->succeeded, 2u);
+  EXPECT_TRUE(sel->best.candidate.spec.is_seasonal());
+}
+
+TEST(SelectorTest, TopListSortedByRmse) {
+  const Data d = SeasonalData(2);
+  const std::vector<ModelCandidate> candidates = {
+      Arima(1, 0, 0), Arima(2, 0, 0), Arima(1, 1, 0),
+      Sarima(1, 0, 0, 1, 1, 0, 24), Sarima(0, 0, 0, 0, 1, 1, 24),
+  };
+  ModelSelector::Options opts;
+  opts.keep_top = 3;
+  ModelSelector selector(opts);
+  auto sel = selector.Select(d.train, d.test, candidates);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->top.size(), 3u);
+  EXPECT_LE(sel->top[0].accuracy.rmse, sel->top[1].accuracy.rmse);
+  EXPECT_LE(sel->top[1].accuracy.rmse, sel->top[2].accuracy.rmse);
+  EXPECT_DOUBLE_EQ(sel->top[0].accuracy.rmse, sel->best.accuracy.rmse);
+}
+
+TEST(SelectorTest, FailedCandidatesDoNotAbortSelection) {
+  const Data d = SeasonalData(3);
+  std::vector<ModelCandidate> candidates = {
+      Arima(-5, 0, 0),  // invalid spec -> fit failure
+      Arima(1, 0, 0),
+  };
+  ModelSelector selector;
+  auto sel = selector.Select(d.train, d.test, candidates);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->evaluated, 2u);
+  EXPECT_EQ(sel->succeeded, 1u);
+  EXPECT_EQ(sel->best.candidate.spec.p, 1);
+}
+
+TEST(SelectorTest, AllFailuresReturnError) {
+  const Data d = SeasonalData(4);
+  std::vector<ModelCandidate> candidates = {Arima(-1, 0, 0)};
+  ModelSelector selector;
+  EXPECT_FALSE(selector.Select(d.train, d.test, candidates).ok());
+}
+
+TEST(SelectorTest, EmptyInputsRejected) {
+  ModelSelector selector;
+  EXPECT_FALSE(selector.Select({}, {1.0}, {Arima(1, 0, 0)}).ok());
+  EXPECT_FALSE(selector.Select({1.0}, {}, {Arima(1, 0, 0)}).ok());
+  EXPECT_FALSE(selector.Select({1.0}, {1.0}, {}).ok());
+}
+
+TEST(SelectorTest, ExogColumnValidation) {
+  const Data d = SeasonalData(5);
+  ModelSelector selector;
+  // Wrong train column length.
+  EXPECT_FALSE(selector
+                   .Select(d.train, d.test, {Arima(1, 0, 0)},
+                           {std::vector<double>(5, 0.0)}, {})
+                   .ok());
+  // Wrong test column length.
+  EXPECT_FALSE(selector
+                   .Select(d.train, d.test, {Arima(1, 0, 0)},
+                           {std::vector<double>(d.train.size(), 0.0)},
+                           {std::vector<double>(5, 0.0)})
+                   .ok());
+}
+
+TEST(SelectorTest, ExogCandidateUsesShockColumns) {
+  // Series with a large recurring pulse: the exog-aware candidate should
+  // beat the plain one.
+  std::mt19937 rng(6);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  std::vector<double> y(24 * 30);
+  std::vector<double> pulse(y.size(), 0.0);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    pulse[t] = (t % 24 == 0) ? 1.0 : 0.0;
+    y[t] = 20.0 + 60.0 * pulse[t] + dist(rng);
+  }
+  const std::size_t n_train = y.size() - 24;
+  const std::vector<double> train(y.begin(), y.begin() + n_train);
+  const std::vector<double> test(y.begin() + n_train, y.end());
+  const std::vector<double> pulse_train(pulse.begin(),
+                                        pulse.begin() + n_train);
+  const std::vector<double> pulse_test(pulse.begin() + n_train, pulse.end());
+
+  ModelCandidate plain = Arima(1, 0, 1);
+  ModelCandidate with_exog = Arima(1, 0, 1);
+  with_exog.family = Technique::kSarimaxFftExog;
+  with_exog.n_exog = 1;
+
+  ModelSelector selector;
+  auto sel = selector.Select(train, test, {plain, with_exog}, {pulse_train},
+                             {pulse_test});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->best.candidate.n_exog, 1u);
+}
+
+TEST(SelectorTest, ParallelMatchesSerial) {
+  const Data d = SeasonalData(7);
+  std::vector<ModelCandidate> candidates;
+  for (int p = 1; p <= 4; ++p) {
+    for (int q = 0; q <= 1; ++q) candidates.push_back(Arima(p, 0, q));
+  }
+  ModelSelector::Options serial_opts;
+  serial_opts.n_threads = 1;
+  ModelSelector::Options parallel_opts;
+  parallel_opts.n_threads = 8;
+  auto serial = ModelSelector(serial_opts).Select(d.train, d.test, candidates);
+  auto parallel =
+      ModelSelector(parallel_opts).Select(d.train, d.test, candidates);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->best.candidate.spec, parallel->best.candidate.spec);
+  EXPECT_DOUBLE_EQ(serial->best.accuracy.rmse, parallel->best.accuracy.rmse);
+}
+
+TEST(SelectorTest, EvaluateReportsAccuracyBundle) {
+  const Data d = SeasonalData(8);
+  auto ev = ModelSelector::Evaluate(Sarima(1, 0, 0, 0, 1, 1, 24), d.train,
+                                    d.test, {}, {});
+  ASSERT_TRUE(ev.ok);
+  EXPECT_GT(ev.accuracy.rmse, 0.0);
+  EXPECT_GT(ev.accuracy.mapa, 50.0);
+  EXPECT_EQ(ev.test_forecast.mean.size(), d.test.size());
+  EXPECT_TRUE(std::isfinite(ev.aic));
+}
+
+}  // namespace
+}  // namespace capplan::core

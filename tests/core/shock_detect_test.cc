@@ -1,0 +1,158 @@
+#include "core/shock_detect.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::core {
+namespace {
+
+// Base series: mild daily sinusoid + noise.
+std::vector<double> BaseSeries(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 100.0 + 5.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  return x;
+}
+
+void AddRecurringSpike(std::vector<double>* x, std::size_t period,
+                       std::size_t phase, std::size_t duration,
+                       double magnitude) {
+  for (std::size_t t = phase; t < x->size(); t += period) {
+    for (std::size_t d = 0; d < duration && t + d < x->size(); ++d) {
+      (*x)[t + d] += magnitude;
+    }
+  }
+}
+
+TEST(ShockDetectorTest, FindsDailyBackupSpike) {
+  auto x = BaseSeries(24 * 30, 1);
+  AddRecurringSpike(&x, 24, 0, 2, 80.0);
+  ShockDetector detector;
+  auto shocks = detector.Detect(x);
+  ASSERT_TRUE(shocks.ok());
+  ASSERT_FALSE(shocks->empty());
+  EXPECT_EQ(shocks->front().phase, 0u);
+  EXPECT_GE(shocks->front().duration, 1u);
+  EXPECT_GE(shocks->front().occurrences, 3);
+  EXPECT_GT(shocks->front().magnitude, 30.0);
+}
+
+TEST(ShockDetectorTest, FindsSixHourlyBackups) {
+  // Backups every 6 hours appear as four hot phases within the 24h period —
+  // the paper's "4 exogenous variables".
+  auto x = BaseSeries(24 * 30, 2);
+  for (std::size_t phase : {0u, 6u, 12u, 18u}) {
+    AddRecurringSpike(&x, 24, phase, 1, 90.0);
+  }
+  ShockDetector detector;
+  auto shocks = detector.Detect(x);
+  ASSERT_TRUE(shocks.ok());
+  EXPECT_EQ(shocks->size(), 4u);
+  std::set<std::size_t> phases;
+  for (const auto& s : *shocks) phases.insert(s.phase);
+  EXPECT_EQ(phases, (std::set<std::size_t>{0, 6, 12, 18}));
+}
+
+TEST(ShockDetectorTest, CleanSeriesHasNoShocks) {
+  const auto x = BaseSeries(24 * 30, 3);
+  ShockDetector detector;
+  auto shocks = detector.Detect(x);
+  ASSERT_TRUE(shocks.ok());
+  EXPECT_TRUE(shocks->empty());
+}
+
+TEST(ShockDetectorTest, RareSpikeDiscardedAsTransient) {
+  // The paper's rule: fewer than 3 occurrences is not a behaviour (e.g. a
+  // one-off crash/failover) and must be discarded.
+  auto x = BaseSeries(24 * 30, 4);
+  x[100] += 200.0;
+  x[101] += 180.0;
+  ShockDetector detector;
+  std::vector<std::size_t> transients;
+  auto shocks = detector.Detect(x, &transients);
+  ASSERT_TRUE(shocks.ok());
+  EXPECT_TRUE(shocks->empty());
+  EXPECT_FALSE(transients.empty());
+  bool found_100 = false;
+  for (std::size_t t : transients) {
+    if (t == 100 || t == 101) found_100 = true;
+  }
+  EXPECT_TRUE(found_100);
+}
+
+TEST(ShockDetectorTest, MinOccurrencesConfigurable) {
+  auto x = BaseSeries(24 * 30, 5);
+  AddRecurringSpike(&x, 24, 6, 1, 100.0);
+  ShockDetector::Options opts;
+  opts.min_occurrences = 100;  // impossible
+  ShockDetector strict(opts);
+  auto shocks = strict.Detect(x);
+  ASSERT_TRUE(shocks.ok());
+  EXPECT_TRUE(shocks->empty());
+}
+
+TEST(ShockDetectorTest, RejectsShortSeries) {
+  ShockDetector detector;
+  EXPECT_FALSE(detector.Detect(std::vector<double>(30, 1.0)).ok());
+}
+
+TEST(ShockDetectorTest, MultiHourShockGetsDuration) {
+  auto x = BaseSeries(24 * 30, 6);
+  AddRecurringSpike(&x, 24, 7, 4, 90.0);  // the paper's 07:00 4-hour surge
+  ShockDetector detector;
+  auto shocks = detector.Detect(x);
+  ASSERT_TRUE(shocks.ok());
+  ASSERT_FALSE(shocks->empty());
+  EXPECT_EQ(shocks->front().phase, 7u);
+  EXPECT_GE(shocks->front().duration, 3u);
+  EXPECT_LE(shocks->front().duration, 5u);
+}
+
+TEST(PulseColumnsTest, TrainingWindowPattern) {
+  DetectedShock s;
+  s.period = 24;
+  s.phase = 6;
+  s.duration = 2;
+  const auto cols = ShockDetector::PulseColumns({s}, 0, 48);
+  ASSERT_EQ(cols.size(), 1u);
+  for (std::size_t t = 0; t < 48; ++t) {
+    const double expected = (t % 24 == 6 || t % 24 == 7) ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(cols[0][t], expected) << "t=" << t;
+  }
+}
+
+TEST(PulseColumnsTest, FutureWindowContinuesPhase) {
+  DetectedShock s;
+  s.period = 24;
+  s.phase = 0;
+  s.duration = 1;
+  // Future window starting at t = 20: the pulse fires at t = 24, i.e.
+  // offset 4 into the window.
+  const auto cols = ShockDetector::PulseColumns({s}, 20, 10);
+  ASSERT_EQ(cols.size(), 1u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(cols[0][i], (20 + i) % 24 == 0 ? 1.0 : 0.0);
+  }
+}
+
+TEST(PulseColumnsTest, MultipleShocksMultipleColumns) {
+  DetectedShock a, b;
+  a.period = b.period = 24;
+  a.phase = 0;
+  b.phase = 12;
+  a.duration = b.duration = 1;
+  const auto cols = ShockDetector::PulseColumns({a, b}, 0, 24);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_DOUBLE_EQ(cols[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(cols[1][12], 1.0);
+  EXPECT_DOUBLE_EQ(cols[0][12], 0.0);
+}
+
+}  // namespace
+}  // namespace capplan::core

@@ -1,0 +1,86 @@
+#include "core/split.h"
+
+#include <gtest/gtest.h>
+
+namespace capplan::core {
+namespace {
+
+TEST(SplitPolicyTest, Table1HourlyRow) {
+  auto p = SplitFor(tsa::Frequency::kHourly);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->observations, 1008u);
+  EXPECT_EQ(p->train, 984u);
+  EXPECT_EQ(p->test, 24u);
+  EXPECT_EQ(p->prediction, 24u);
+}
+
+TEST(SplitPolicyTest, Table1DailyRow) {
+  auto p = SplitFor(tsa::Frequency::kDaily);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->observations, 90u);
+  EXPECT_EQ(p->train, 83u);
+  EXPECT_EQ(p->test, 7u);
+  EXPECT_EQ(p->prediction, 7u);
+}
+
+TEST(SplitPolicyTest, Table1WeeklyRow) {
+  auto p = SplitFor(tsa::Frequency::kWeekly);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->observations, 92u);
+  EXPECT_EQ(p->train, 88u);
+  EXPECT_EQ(p->test, 4u);
+  EXPECT_EQ(p->prediction, 4u);
+}
+
+TEST(SplitPolicyTest, TrainPlusTestEqualsObservations) {
+  for (auto f : {tsa::Frequency::kHourly, tsa::Frequency::kDaily,
+                 tsa::Frequency::kWeekly}) {
+    auto p = SplitFor(f);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->train + p->test, p->observations);
+  }
+}
+
+TEST(SplitPolicyTest, UnsupportedFrequenciesFail) {
+  EXPECT_FALSE(SplitFor(tsa::Frequency::kQuarterHourly).ok());
+  EXPECT_FALSE(SplitFor(tsa::Frequency::kMonthly).ok());
+}
+
+TEST(ApplySplitTest, ExactLengthSeries) {
+  tsa::TimeSeries ts("m", 0, tsa::Frequency::kHourly,
+                     std::vector<double>(1008, 1.0));
+  auto parts = ApplySplit(ts);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->first.size(), 984u);
+  EXPECT_EQ(parts->second.size(), 24u);
+}
+
+TEST(ApplySplitTest, LongerSeriesUsesMostRecentWindow) {
+  std::vector<double> v(1200);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  tsa::TimeSeries ts("m", 0, tsa::Frequency::kHourly, v);
+  auto parts = ApplySplit(ts);
+  ASSERT_TRUE(parts.ok());
+  // The window is the last 1008 observations: first train value = 192.
+  EXPECT_DOUBLE_EQ(parts->first[0], 192.0);
+  EXPECT_DOUBLE_EQ(parts->second[23], 1199.0);
+}
+
+TEST(ApplySplitTest, ShortSeriesFails) {
+  tsa::TimeSeries ts("m", 0, tsa::Frequency::kHourly,
+                     std::vector<double>(500, 1.0));
+  EXPECT_FALSE(ApplySplit(ts).ok());
+}
+
+TEST(TechniqueNameTest, AllNamed) {
+  EXPECT_STREQ(TechniqueName(Technique::kArima), "ARIMA");
+  EXPECT_STREQ(TechniqueName(Technique::kSarimax), "SARIMAX");
+  EXPECT_STREQ(TechniqueName(Technique::kSarimaxFftExog),
+               "SARIMAX_FFT_EXOG");
+  EXPECT_STREQ(TechniqueName(Technique::kHes), "HES");
+  EXPECT_STREQ(TechniqueName(Technique::kTbats), "TBATS");
+  EXPECT_STREQ(TechniqueName(Technique::kAuto), "AUTO");
+}
+
+}  // namespace
+}  // namespace capplan::core

@@ -1,0 +1,127 @@
+// Model-health lifecycle: a model is fitted and recorded; the workload then
+// changes regime; the live one-step errors trip the drift detector; the
+// degraded RMSE trips the registry's staleness policy; refitting restores
+// accuracy. This is the paper's Section 9 loop ("we continually assess the
+// models performance ... we don't relearn unless the model becomes
+// unsuitable or the system has changed significantly").
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/drift.h"
+#include "models/ets.h"
+#include "repo/model_store.h"
+#include "tsa/metrics.h"
+
+namespace capplan {
+namespace {
+
+// Hourly seasonal series; after `change_at`, the level jumps and the
+// amplitude doubles (new application release).
+std::vector<double> RegimeChangeSeries(std::size_t n, std::size_t change_at,
+                                       unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const bool after = t >= change_at;
+    const double base = after ? 90.0 : 50.0;
+    const double amp = after ? 20.0 : 10.0;
+    y[t] = base + amp * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  return y;
+}
+
+TEST(ModelHealthTest, DriftDetectorCatchesRegimeChange) {
+  const std::size_t change_at = 24 * 40;
+  const auto y = RegimeChangeSeries(24 * 60, change_at, 1);
+  const std::vector<double> train(y.begin(),
+                                  y.begin() + static_cast<std::ptrdiff_t>(
+                                                  24 * 30));
+  auto model = models::EtsModel::Fit(train, models::HoltWinters(24));
+  ASSERT_TRUE(model.ok());
+
+  // Live monitoring: one-step absolute errors via repeated short forecasts
+  // from the frozen model (simulating "model in production").
+  core::PageHinkleyDetector detector;
+  std::size_t alarm_at = 0;
+  auto fc = model->Predict(y.size() - train.size());
+  ASSERT_TRUE(fc.ok());
+  for (std::size_t i = 0; i < fc->mean.size(); ++i) {
+    const std::size_t t = train.size() + i;
+    const double abs_err = std::fabs(y[t] - fc->mean[i]);
+    if (detector.Update(abs_err) && alarm_at == 0) {
+      alarm_at = t;
+    }
+  }
+  ASSERT_GT(alarm_at, 0u);
+  // The alarm fires after the regime change, not before.
+  EXPECT_GE(alarm_at, change_at);
+  EXPECT_LT(alarm_at, change_at + 24 * 8);
+}
+
+TEST(ModelHealthTest, DegradedRmseTripsStalenessPolicy) {
+  const std::size_t change_at = 24 * 40;
+  const auto y = RegimeChangeSeries(24 * 50, change_at, 2);
+  const std::vector<double> train(y.begin(),
+                                  y.begin() + static_cast<std::ptrdiff_t>(
+                                                  24 * 30));
+  auto model = models::EtsModel::Fit(train, models::HoltWinters(24));
+  ASSERT_TRUE(model.ok());
+
+  // Record the model with its healthy test RMSE (next day after training).
+  auto fc_day = model->Predict(24);
+  ASSERT_TRUE(fc_day.ok());
+  const std::vector<double> day_actual(
+      y.begin() + static_cast<std::ptrdiff_t>(train.size()),
+      y.begin() + static_cast<std::ptrdiff_t>(train.size() + 24));
+  auto healthy_rmse = tsa::Rmse(day_actual, fc_day->mean);
+  ASSERT_TRUE(healthy_rmse.ok());
+
+  repo::ModelRepository registry;
+  repo::StoredModel stored;
+  stored.key = "cdbm011/cpu";
+  stored.technique = "HES";
+  stored.spec = "HW-additive";
+  stored.test_rmse = *healthy_rmse;
+  stored.fitted_at_epoch = 0;
+  registry.Put(stored);
+
+  // Live RMSE over a post-change day, forecast from the stale model.
+  auto fc_long = model->Predict(y.size() - train.size());
+  ASSERT_TRUE(fc_long.ok());
+  const std::size_t post = change_at + 24;
+  std::vector<double> actual(
+      y.begin() + static_cast<std::ptrdiff_t>(post),
+      y.begin() + static_cast<std::ptrdiff_t>(post + 24));
+  std::vector<double> predicted(
+      fc_long->mean.begin() +
+          static_cast<std::ptrdiff_t>(post - train.size()),
+      fc_long->mean.begin() +
+          static_cast<std::ptrdiff_t>(post - train.size() + 24));
+  auto live_rmse = tsa::Rmse(actual, predicted);
+  ASSERT_TRUE(live_rmse.ok());
+
+  // Fresh in wall-clock terms, but the degraded RMSE forces a refit.
+  EXPECT_FALSE(registry.IsStale("cdbm011/cpu", 3600, *healthy_rmse));
+  EXPECT_TRUE(registry.IsStale("cdbm011/cpu", 3600, *live_rmse));
+
+  // Refit on post-change data restores accuracy.
+  const std::vector<double> retrain(
+      y.begin() + static_cast<std::ptrdiff_t>(change_at),
+      y.end() - 24);
+  auto refitted = models::EtsModel::Fit(retrain, models::HoltWinters(24));
+  ASSERT_TRUE(refitted.ok());
+  auto fc_new = refitted->Predict(24);
+  ASSERT_TRUE(fc_new.ok());
+  const std::vector<double> tail(y.end() - 24, y.end());
+  auto new_rmse = tsa::Rmse(tail, fc_new->mean);
+  ASSERT_TRUE(new_rmse.ok());
+  EXPECT_LT(*new_rmse, 0.5 * *live_rmse);
+}
+
+}  // namespace
+}  // namespace capplan

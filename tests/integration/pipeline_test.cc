@@ -1,0 +1,233 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::core {
+namespace {
+
+// 42+ days of hourly data with daily seasonality, trend and optional shocks.
+tsa::TimeSeries MakeHourlySeries(bool with_trend, bool with_shocks,
+                                 unsigned seed, std::size_t n = 1100) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    v[t] = 60.0 + 15.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+    if (with_trend) v[t] += 0.02 * static_cast<double>(t);
+    if (with_shocks && t % 24 == 0) v[t] += 70.0;
+  }
+  return tsa::TimeSeries("cdbm011/cpu", 0, tsa::Frequency::kHourly, v);
+}
+
+PipelineOptions FastOptions(Technique technique) {
+  PipelineOptions opts;
+  opts.technique = technique;
+  opts.max_lag = 4;  // keep grids small for test speed
+  opts.n_threads = 4;
+  return opts;
+}
+
+TEST(PipelineTest, SarimaxBranchEndToEnd) {
+  const auto series = MakeHourlySeries(false, false, 1);
+  Pipeline pipeline(FastOptions(Technique::kSarimax));
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->chosen_family, Technique::kSarimax);
+  EXPECT_EQ(report->forecast.mean.size(), 24u);
+  EXPECT_EQ(report->split.train, 984u);
+  EXPECT_GT(report->candidates_evaluated, 0u);
+  EXPECT_GT(report->candidates_succeeded, 0u);
+  // Strong daily seasonality must be detected.
+  ASSERT_FALSE(report->seasons.empty());
+  EXPECT_EQ(report->seasons.front().period, 24u);
+  EXPECT_GT(report->traits.seasonal_strength, 0.7);
+}
+
+TEST(PipelineTest, ForecastTracksSeasonalPattern) {
+  const auto series = MakeHourlySeries(false, false, 2);
+  Pipeline pipeline(FastOptions(Technique::kSarimax));
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok());
+  double max_err = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    const double t = static_cast<double>(series.size() + h);
+    const double expected = 60.0 + 15.0 * std::sin(2.0 * M_PI * t / 24.0);
+    max_err = std::max(max_err, std::fabs(report->forecast.mean[h] - expected));
+  }
+  EXPECT_LT(max_err, 6.0);
+}
+
+TEST(PipelineTest, HesBranchEndToEnd) {
+  const auto series = MakeHourlySeries(true, false, 3);
+  Pipeline pipeline(FastOptions(Technique::kHes));
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->chosen_family, Technique::kHes);
+  EXPECT_NE(report->chosen_spec.find("ETS"), std::string::npos);
+  EXPECT_EQ(report->forecast.mean.size(), 24u);
+}
+
+TEST(PipelineTest, ShocksDetectedAndModelled) {
+  const auto series = MakeHourlySeries(false, true, 4);
+  Pipeline pipeline(FastOptions(Technique::kSarimaxFftExog));
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_FALSE(report->shocks.empty());
+  // Shock phases are relative to the 1008-observation policy window, which
+  // starts at original index 1100 - 1008 = 92; the midnight spike at
+  // original phase 0 therefore appears at window phase (24 - 92 % 24) % 24.
+  const std::size_t expected_phase = (24 - 92 % 24) % 24;
+  EXPECT_EQ(report->shocks.front().phase, expected_phase);
+  // The forecast must reproduce the spike: forecast step h corresponds to
+  // original index series.size() + h.
+  double spike_mean = 0.0, base_mean = 0.0;
+  int spikes = 0, bases = 0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    if ((series.size() + h) % 24 == 0) {
+      spike_mean += report->forecast.mean[h];
+      ++spikes;
+    } else {
+      base_mean += report->forecast.mean[h];
+      ++bases;
+    }
+  }
+  ASSERT_GT(spikes, 0);
+  spike_mean /= spikes;
+  base_mean /= bases;
+  EXPECT_GT(spike_mean, base_mean + 30.0);
+}
+
+TEST(PipelineTest, GapsFilledBeforeModelling) {
+  auto series = MakeHourlySeries(false, false, 5);
+  // Punch holes in the data (agent faults).
+  for (std::size_t t = 50; t < series.size(); t += 97) {
+    series[t] = std::nan("");
+  }
+  const std::size_t n_gaps = series.CountMissing();
+  Pipeline pipeline(FastOptions(Technique::kSarimax));
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->gaps_filled, n_gaps);
+  EXPECT_GT(report->gaps_filled, 0u);
+}
+
+TEST(PipelineTest, AutoPicksBestOfBothBranches) {
+  const auto series = MakeHourlySeries(false, false, 6);
+  Pipeline pipeline(FastOptions(Technique::kAuto));
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->chosen_family == Technique::kHes ||
+              report->chosen_family == Technique::kSarimaxFftExog);
+  EXPECT_GT(report->test_accuracy.mapa, 80.0);
+}
+
+TEST(PipelineTest, ModelRecordedInRepository) {
+  repo::ModelRepository registry;
+  const auto series = MakeHourlySeries(false, false, 7);
+  PipelineOptions opts = FastOptions(Technique::kSarimax);
+  opts.model_repository = &registry;
+  Pipeline pipeline(opts);
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(registry.Contains("cdbm011/cpu"));
+  auto stored = registry.Get("cdbm011/cpu");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->technique, "SARIMAX");
+  EXPECT_GT(stored->test_rmse, 0.0);
+  // Fresh model, not stale; a week later it is.
+  EXPECT_FALSE(registry.IsStale("cdbm011/cpu", stored->fitted_at_epoch + 60));
+  EXPECT_TRUE(registry.IsStale(
+      "cdbm011/cpu", stored->fitted_at_epoch + 8 * 24 * 3600));
+}
+
+TEST(PipelineTest, ShortSeriesFails) {
+  tsa::TimeSeries series("m", 0, tsa::Frequency::kHourly,
+                         std::vector<double>(200, 1.0));
+  Pipeline pipeline(FastOptions(Technique::kSarimax));
+  EXPECT_FALSE(pipeline.Run(series).ok());
+}
+
+TEST(PipelineTest, PruningStillFindsGoodModel) {
+  const auto series = MakeHourlySeries(false, false, 8);
+  PipelineOptions pruned_opts = FastOptions(Technique::kSarimax);
+  pruned_opts.prune_with_correlogram = true;
+  PipelineOptions full_opts = FastOptions(Technique::kSarimax);
+  full_opts.prune_with_correlogram = false;
+  auto pruned = Pipeline(pruned_opts).Run(series);
+  auto full = Pipeline(full_opts).Run(series);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(full.ok());
+  // Pruning explores fewer candidates without a large accuracy loss.
+  EXPECT_LE(pruned->candidates_evaluated, full->candidates_evaluated);
+  EXPECT_LT(pruned->test_accuracy.rmse, 2.0 * full->test_accuracy.rmse + 1.0);
+}
+
+TEST(PipelineTest, EnsembleForecastOption) {
+  const auto series = MakeHourlySeries(false, false, 11);
+  PipelineOptions opts = FastOptions(Technique::kSarimax);
+  opts.ensemble_top_k = 3;
+  Pipeline pipeline(opts);
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NE(report->chosen_spec.find("ensemble(top-"), std::string::npos);
+  EXPECT_EQ(report->forecast.mean.size(), 24u);
+  // The combined forecast still tracks the pattern.
+  double max_err = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    const double t = static_cast<double>(series.size() + h);
+    const double expected = 60.0 + 15.0 * std::sin(2.0 * M_PI * t / 24.0);
+    max_err = std::max(max_err, std::fabs(report->forecast.mean[h] -
+                                          expected));
+  }
+  EXPECT_LT(max_err, 8.0);
+}
+
+TEST(PipelineTest, RemoveTransientsOption) {
+  auto series = MakeHourlySeries(false, false, 12);
+  // One-off crash spike in the training region (not recurring).
+  series[500] += 400.0;
+  series[501] += 350.0;
+  PipelineOptions opts = FastOptions(Technique::kSarimax);
+  opts.remove_transients = true;
+  Pipeline pipeline(opts);
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->transient_spikes_discarded, 0u);
+  // Forecast unaffected by the crash: stays near the seasonal pattern.
+  EXPECT_GT(report->test_accuracy.mapa, 90.0);
+}
+
+TEST(PipelineTest, TbatsBranchEndToEnd) {
+  const auto series = MakeHourlySeries(false, false, 10);
+  Pipeline pipeline(FastOptions(Technique::kTbats));
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->chosen_family, Technique::kTbats);
+  EXPECT_NE(report->chosen_spec.find("TBATS"), std::string::npos);
+  EXPECT_EQ(report->forecast.mean.size(), 24u);
+  EXPECT_GT(report->test_accuracy.mapa, 85.0);
+}
+
+TEST(PipelineTest, TrendReflectedInForecast) {
+  const auto series = MakeHourlySeries(true, false, 9);
+  Pipeline pipeline(FastOptions(Technique::kAuto));
+  auto report = pipeline.Run(series);
+  ASSERT_TRUE(report.ok());
+  // The mean of the forecast day should exceed the mean of the last
+  // training day's level a trend ago... simply: above the global mean.
+  double fc_mean = 0.0;
+  for (double v : report->forecast.mean) fc_mean += v;
+  fc_mean /= static_cast<double>(report->forecast.mean.size());
+  double series_mean = 0.0;
+  for (double v : series.values()) series_mean += v;
+  series_mean /= static_cast<double>(series.size());
+  EXPECT_GT(fc_mean, series_mean);
+}
+
+}  // namespace
+}  // namespace capplan::core

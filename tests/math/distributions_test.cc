@@ -1,0 +1,113 @@
+#include "math/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::math {
+namespace {
+
+TEST(NormalTest, PdfAtZero) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145707, 1e-10);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.841344746068543), 1.0, 1e-8);
+}
+
+TEST(NormalTest, QuantileCdfRoundTrip) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileEdgeCases) {
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+  EXPECT_LT(NormalQuantile(0.0), 0.0);
+  EXPECT_GT(NormalQuantile(1.0), 0.0);
+}
+
+TEST(LogGammaTest, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogGammaTest, HalfIntegerValue) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(3.14159265358979323846), 1e-10);
+}
+
+TEST(StudentTTest, CdfSymmetry) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(1.5, 7.0) + StudentTCdf(-1.5, 7.0), 1.0, 1e-10);
+}
+
+TEST(StudentTTest, KnownCriticalValue) {
+  // t_{0.975, 10} = 2.228138852
+  EXPECT_NEAR(StudentTQuantile(0.975, 10.0), 2.228138852, 1e-6);
+}
+
+TEST(StudentTTest, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(StudentTQuantile(0.975, 1e6), NormalQuantile(0.975), 1e-3);
+}
+
+TEST(StudentTTest, QuantileCdfRoundTrip) {
+  for (double nu : {3.0, 10.0, 30.0}) {
+    for (double p : {0.05, 0.5, 0.9}) {
+      EXPECT_NEAR(StudentTCdf(StudentTQuantile(p, nu), nu), p, 1e-8);
+    }
+  }
+}
+
+TEST(ChiSquaredTest, KnownValues) {
+  // chi2 CDF(k=2) is 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquaredCdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-10);
+  // 95th percentile of chi2(1) is 3.841458821.
+  EXPECT_NEAR(ChiSquaredCdf(3.841458821, 1.0), 0.95, 1e-7);
+  // 95th percentile of chi2(10) is 18.307038.
+  EXPECT_NEAR(ChiSquaredCdf(18.307038, 10.0), 0.95, 1e-6);
+}
+
+TEST(ChiSquaredTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-1.0, 3.0), 0.0);
+  EXPECT_NEAR(ChiSquaredCdf(1000.0, 3.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, MatchesExponentialCdf) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, BoundsAndSymmetry) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(0.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(1.0, 2.0, 3.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  const double v = RegularizedIncompleteBeta(0.3, 2.0, 5.0);
+  const double w = RegularizedIncompleteBeta(0.7, 5.0, 2.0);
+  EXPECT_NEAR(v, 1.0 - w, 1e-10);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.42, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(x, 1.0, 1.0), x, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace capplan::math

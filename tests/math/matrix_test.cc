@@ -1,0 +1,161 @@
+#include "math/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::math {
+namespace {
+
+TEST(MatrixTest, IdentityAndIndexing) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(MatrixTest, FromRowsAndTranspose) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::Identity(2);
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 2.0);
+  Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 3.0);
+  Matrix s = a.ScaledBy(0.5);
+  EXPECT_DOUBLE_EQ(s(1, 0), 1.5);
+}
+
+TEST(MatrixTest, ApplyMatchesManualProduct) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const std::vector<double> v{1, 0, -1};
+  const std::vector<double> out = a.Apply(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(MatrixTest, RowColExtraction) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(a.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(a.Col(0), (std::vector<double>{1, 3}));
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix a = Matrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+}
+
+TEST(LeastSquaresTest, ExactSquareSystem) {
+  Matrix a = Matrix::FromRows({{2, 0}, {0, 3}});
+  auto x = SolveLeastSquares(a, {4, 9});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, OverdeterminedLineFit) {
+  // Fit y = 2x + 1 with noiseless data.
+  Matrix a(5, 2);
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+    b[i] = 1.0 + 2.0 * i;
+  }
+  auto x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, MinimizesResidualOnInconsistentSystem) {
+  Matrix a = Matrix::FromRows({{1.0}, {1.0}});
+  auto x = SolveLeastSquares(a, {0.0, 2.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);  // the mean minimizes SSE
+}
+
+TEST(LeastSquaresTest, RejectsRankDeficient) {
+  Matrix a = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  auto x = SolveLeastSquares(a, {1, 2, 3});
+  EXPECT_FALSE(x.ok());
+}
+
+TEST(LeastSquaresTest, RejectsUnderdetermined) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}});
+  auto x = SolveLeastSquares(a, {1});
+  EXPECT_FALSE(x.ok());
+}
+
+TEST(LeastSquaresTest, RejectsSizeMismatch) {
+  Matrix a = Matrix::FromRows({{1}, {2}});
+  auto x = SolveLeastSquares(a, {1, 2, 3});
+  EXPECT_FALSE(x.ok());
+}
+
+TEST(CholeskyTest, FactorOfSpdMatrix) {
+  Matrix s = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto l = CholeskyFactor(s);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, SolveRoundTrip) {
+  Matrix s = Matrix::FromRows({{4, 2}, {2, 3}});
+  const std::vector<double> x_true{1.0, -2.0};
+  const std::vector<double> b = s.Apply(x_true);
+  auto x = SolveCholesky(s, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*x)[1], -2.0, 1e-10);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix s = Matrix::FromRows({{1, 2}, {2, 1}});  // indefinite
+  EXPECT_FALSE(CholeskyFactor(s).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix s(2, 3);
+  EXPECT_FALSE(CholeskyFactor(s).ok());
+}
+
+TEST(InverseTest, InverseTimesSelfIsIdentity) {
+  Matrix a = Matrix::FromRows({{4, 7}, {2, 6}});
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a * *inv;
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-10);
+  EXPECT_NEAR(prod(1, 0), 0.0, 1e-10);
+  EXPECT_NEAR(prod(1, 1), 1.0, 1e-10);
+}
+
+TEST(InverseTest, RejectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(Inverse(a).ok());
+}
+
+}  // namespace
+}  // namespace capplan::math

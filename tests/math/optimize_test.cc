@@ -1,0 +1,113 @@
+#include "math/optimize.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace capplan::math {
+namespace {
+
+TEST(NelderMeadTest, MinimizesQuadratic1D) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  auto out = NelderMead(f, {0.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->x[0], 3.0, 1e-5);
+  EXPECT_TRUE(out->converged);
+}
+
+TEST(NelderMeadTest, MinimizesQuadratic3D) {
+  auto f = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      s += (i + 1) * d * d;
+    }
+    return s;
+  };
+  auto out = NelderMead(f, {5.0, 5.0, 5.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->x[0], 0.0, 1e-4);
+  EXPECT_NEAR(out->x[1], 1.0, 1e-4);
+  EXPECT_NEAR(out->x[2], 2.0, 1e-4);
+}
+
+TEST(NelderMeadTest, RosenbrockConverges) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opt;
+  opt.max_iterations = 5000;
+  opt.restarts = 2;
+  auto out = NelderMead(f, {-1.2, 1.0}, opt);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->x[0], 1.0, 1e-3);
+  EXPECT_NEAR(out->x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, HandlesInfiniteRegions) {
+  // Constrained region via +inf outside |x| < 2.
+  auto f = [](const std::vector<double>& x) {
+    if (std::fabs(x[0]) >= 2.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return (x[0] - 1.5) * (x[0] - 1.5);
+  };
+  auto out = NelderMead(f, {0.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->x[0], 1.5, 1e-4);
+}
+
+TEST(NelderMeadTest, NanTreatedAsInfinity) {
+  auto f = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) return std::nan("");
+    return (x[0] - 0.5) * (x[0] - 0.5);
+  };
+  auto out = NelderMead(f, {1.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->x[0], 0.5, 1e-4);
+}
+
+TEST(NelderMeadTest, RejectsEmptyStart) {
+  auto f = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_FALSE(NelderMead(f, {}).ok());
+}
+
+TEST(NelderMeadTest, RejectsInfiniteStart) {
+  auto f = [](const std::vector<double>&) {
+    return std::numeric_limits<double>::infinity();
+  };
+  EXPECT_FALSE(NelderMead(f, {0.0}).ok());
+}
+
+TEST(NelderMeadTest, RestartsImproveMultimodal) {
+  // Double well with the deeper minimum at x = 2.
+  auto f = [](const std::vector<double>& x) {
+    const double v = x[0];
+    return 0.1 * (v + 2.0) * (v + 2.0) * (v - 2.0) * (v - 2.0) - 0.5 * v;
+  };
+  NelderMeadOptions opt;
+  opt.restarts = 5;
+  opt.initial_step = 2.0;
+  auto out = NelderMead(f, {-2.0}, opt);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->x[0], 0.0);  // escaped the shallow well
+}
+
+TEST(GoldenSectionTest, FindsMinimum) {
+  auto f = [](double x) { return (x - 1.7) * (x - 1.7) + 3.0; };
+  EXPECT_NEAR(GoldenSectionMinimize(f, -10.0, 10.0), 1.7, 1e-6);
+}
+
+TEST(GoldenSectionTest, RespectsBounds) {
+  // Minimum outside the bracket; should return the boundary region.
+  auto f = [](double x) { return x; };
+  EXPECT_NEAR(GoldenSectionMinimize(f, 2.0, 5.0), 2.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace capplan::math

@@ -1,0 +1,126 @@
+#include "math/polynomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::math {
+namespace {
+
+TEST(PolyTest, Multiply) {
+  // (1 + x)(1 - x) = 1 - x^2.
+  const auto prod = PolyMultiply({1, 1}, {1, -1});
+  EXPECT_EQ(prod, (std::vector<double>{1, 0, -1}));
+}
+
+TEST(PolyTest, MultiplyEmpty) {
+  EXPECT_TRUE(PolyMultiply({}, {1, 2}).empty());
+}
+
+TEST(PolyTest, ArPolynomialSignConvention) {
+  // phi = {0.5, -0.3} -> 1 - 0.5B + 0.3B^2.
+  EXPECT_EQ(ArPolynomial({0.5, -0.3}), (std::vector<double>{1, -0.5, 0.3}));
+}
+
+TEST(PolyTest, MaPolynomialSignConvention) {
+  EXPECT_EQ(MaPolynomial({0.4}), (std::vector<double>{1, 0.4}));
+}
+
+TEST(PolyTest, SeasonalPolynomials) {
+  const auto sar = SeasonalArPolynomial({0.5}, 4);
+  EXPECT_EQ(sar, (std::vector<double>{1, 0, 0, 0, -0.5}));
+  const auto sma = SeasonalMaPolynomial({0.2, 0.1}, 3);
+  ASSERT_EQ(sma.size(), 7u);
+  EXPECT_DOUBLE_EQ(sma[3], 0.2);
+  EXPECT_DOUBLE_EQ(sma[6], 0.1);
+}
+
+TEST(PolyTest, DifferencePolynomial) {
+  // (1-B): {1,-1}; (1-B)^2: {1,-2,1}.
+  EXPECT_EQ(DifferencePolynomial(1, 0, 0), (std::vector<double>{1, -1}));
+  EXPECT_EQ(DifferencePolynomial(2, 0, 0), (std::vector<double>{1, -2, 1}));
+  // (1-B)(1-B^4).
+  const auto d = DifferencePolynomial(1, 1, 4);
+  ASSERT_EQ(d.size(), 6u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], -1.0);
+  EXPECT_DOUBLE_EQ(d[4], -1.0);
+  EXPECT_DOUBLE_EQ(d[5], 1.0);
+}
+
+TEST(PolyTest, CoefficientRoundTrip) {
+  const std::vector<double> phi{0.5, -0.2};
+  EXPECT_EQ(ArCoefficientsFromPolynomial(ArPolynomial(phi)), phi);
+  const std::vector<double> theta{0.3, 0.1};
+  EXPECT_EQ(MaCoefficientsFromPolynomial(MaPolynomial(theta)), theta);
+}
+
+TEST(PsiWeightsTest, PureArExponentialDecay) {
+  // AR(1) with phi=0.5: psi_j = 0.5^j.
+  const auto psi = PsiWeights({0.5}, {}, 6);
+  for (std::size_t j = 0; j < psi.size(); ++j) {
+    EXPECT_NEAR(psi[j], std::pow(0.5, static_cast<double>(j)), 1e-12);
+  }
+}
+
+TEST(PsiWeightsTest, PureMaTruncates) {
+  // MA(2): psi = {1, theta1, theta2, 0, 0, ...}.
+  const auto psi = PsiWeights({}, {0.4, 0.2}, 5);
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  EXPECT_DOUBLE_EQ(psi[1], 0.4);
+  EXPECT_DOUBLE_EQ(psi[2], 0.2);
+  EXPECT_DOUBLE_EQ(psi[3], 0.0);
+  EXPECT_DOUBLE_EQ(psi[4], 0.0);
+}
+
+TEST(PsiWeightsTest, Arma11KnownForm) {
+  // ARMA(1,1): psi_1 = phi + theta; psi_j = phi^{j-1}(phi + theta).
+  const double phi = 0.6, theta = 0.3;
+  const auto psi = PsiWeights({phi}, {theta}, 5);
+  EXPECT_NEAR(psi[1], phi + theta, 1e-12);
+  EXPECT_NEAR(psi[2], phi * (phi + theta), 1e-12);
+  EXPECT_NEAR(psi[3], phi * phi * (phi + theta), 1e-12);
+}
+
+TEST(StationaryTransformTest, OutputAlwaysStationary) {
+  // Any unconstrained vector must map to a stationary phi.
+  const std::vector<std::vector<double>> inputs = {
+      {0.0}, {5.0}, {-5.0}, {2.0, -3.0}, {1.0, 1.0, 1.0}, {10.0, -10.0, 4.0, 0.1},
+  };
+  for (const auto& u : inputs) {
+    const auto phi = StationaryFromUnconstrained(u);
+    EXPECT_TRUE(IsStationary(phi));
+  }
+}
+
+TEST(StationaryTransformTest, RoundTrip) {
+  const std::vector<double> u{0.3, -0.7, 1.2};
+  const auto phi = StationaryFromUnconstrained(u);
+  const auto u2 = UnconstrainedFromStationary(phi);
+  ASSERT_EQ(u2.size(), u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(u2[i], u[i], 1e-8);
+  }
+}
+
+TEST(IsStationaryTest, KnownCases) {
+  EXPECT_TRUE(IsStationary({0.5}));
+  EXPECT_FALSE(IsStationary({1.0}));
+  EXPECT_FALSE(IsStationary({1.2}));
+  EXPECT_TRUE(IsStationary({0.5, -0.3}));
+  // AR(2) with phi1 + phi2 >= 1 is non-stationary.
+  EXPECT_FALSE(IsStationary({0.7, 0.4}));
+  EXPECT_TRUE(IsStationary({}));
+}
+
+TEST(IsStationaryTest, BoundaryOfAr2Triangle) {
+  // The AR(2) stationarity region: phi2 < 1 + phi1, phi2 < 1 - phi1,
+  // phi2 > -1.
+  EXPECT_TRUE(IsStationary({0.0, 0.99}));
+  EXPECT_FALSE(IsStationary({0.0, 1.01}));
+  EXPECT_TRUE(IsStationary({0.0, -0.99}));
+  EXPECT_FALSE(IsStationary({0.0, -1.01}));
+}
+
+}  // namespace
+}  // namespace capplan::math

@@ -1,0 +1,88 @@
+#include "math/vec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::math {
+namespace {
+
+TEST(VecTest, SumAndMean) {
+  EXPECT_DOUBLE_EQ(Sum({1, 2, 3, 4}), 10.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(VecTest, VarianceSampleAndPopulation) {
+  const std::vector<double> x{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(Variance(x, /*sample=*/false), 4.0, 1e-12);
+  EXPECT_NEAR(Variance(x, /*sample=*/true), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(VecTest, StdDevIsSqrtOfVariance) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  EXPECT_NEAR(StdDev(x) * StdDev(x), Variance(x), 1e-12);
+}
+
+TEST(VecTest, MinMax) {
+  const std::vector<double> x{3, -1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(Min(x), -1.0);
+  EXPECT_DOUBLE_EQ(Max(x), 5.0);
+}
+
+TEST(VecTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+}
+
+TEST(VecTest, QuantileEndpointsAndMiddle) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.25), 2.0);
+}
+
+TEST(VecTest, QuantileInterpolates) {
+  const std::vector<double> x{0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.3), 3.0);
+}
+
+TEST(VecTest, CorrelationPerfectAndAnti) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(Correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(Correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(VecTest, CorrelationOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(Correlation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(VecTest, ElementwiseOps) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 5, 6};
+  EXPECT_EQ(Add(x, y), (std::vector<double>{5, 7, 9}));
+  EXPECT_EQ(Subtract(y, x), (std::vector<double>{3, 3, 3}));
+  EXPECT_EQ(Scale(x, 2.0), (std::vector<double>{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(Dot(x, y), 32.0);
+}
+
+TEST(VecTest, DemeanCentersSeries) {
+  const std::vector<double> d = Demean({1, 2, 3});
+  EXPECT_NEAR(Sum(d), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d[0], -1.0);
+}
+
+TEST(VecTest, Arange) {
+  const std::vector<double> a = Arange(1.0, 0.5, 4);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[3], 2.5);
+}
+
+}  // namespace
+}  // namespace capplan::math

@@ -1,0 +1,53 @@
+#include "models/arima_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace capplan::models {
+namespace {
+
+TEST(ArimaSpecTest, ToStringNonSeasonal) {
+  ArimaSpec s{2, 1, 1, 0, 0, 0, 0};
+  EXPECT_EQ(s.ToString(), "(2,1,1)");
+}
+
+TEST(ArimaSpecTest, ToStringSeasonal) {
+  ArimaSpec s{13, 1, 2, 1, 1, 1, 24};
+  EXPECT_EQ(s.ToString(), "(13,1,2)(1,1,1,24)");
+}
+
+TEST(ArimaSpecTest, NumCoefficients) {
+  ArimaSpec s{2, 1, 1, 1, 0, 1, 24};
+  EXPECT_EQ(s.NumCoefficients(), 5u);
+}
+
+TEST(ArimaSpecTest, SeasonalFlag) {
+  EXPECT_TRUE((ArimaSpec{1, 0, 0, 1, 0, 0, 24}).is_seasonal());
+  EXPECT_TRUE((ArimaSpec{1, 0, 0, 0, 1, 0, 24}).is_seasonal());
+  EXPECT_FALSE((ArimaSpec{1, 0, 0, 0, 0, 0, 0}).is_seasonal());
+  // Seasonal period set but no seasonal orders: not seasonal.
+  EXPECT_FALSE((ArimaSpec{1, 0, 0, 0, 0, 0, 24}).is_seasonal());
+}
+
+TEST(ArimaSpecTest, ValidityRules) {
+  EXPECT_TRUE((ArimaSpec{1, 1, 1, 1, 1, 1, 24}).IsValid());
+  EXPECT_TRUE((ArimaSpec{0, 0, 0, 0, 0, 0, 0}).IsValid());
+  // Negative orders.
+  EXPECT_FALSE((ArimaSpec{-1, 0, 0, 0, 0, 0, 0}).IsValid());
+  // Too much differencing.
+  EXPECT_FALSE((ArimaSpec{1, 2, 1, 0, 2, 0, 24}).IsValid());
+  // Seasonal orders without a season.
+  EXPECT_FALSE((ArimaSpec{1, 0, 0, 1, 0, 0, 0}).IsValid());
+  // Season of one is meaningless.
+  EXPECT_FALSE((ArimaSpec{1, 0, 0, 1, 0, 0, 1}).IsValid());
+}
+
+TEST(ArimaSpecTest, Equality) {
+  ArimaSpec a{1, 1, 1, 0, 0, 0, 0};
+  ArimaSpec b{1, 1, 1, 0, 0, 0, 0};
+  ArimaSpec c{2, 1, 1, 0, 0, 0, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace capplan::models

@@ -1,0 +1,281 @@
+#include "models/arima.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "math/polynomial.h"
+#include "tsa/metrics.h"
+
+namespace capplan::models {
+namespace {
+
+std::vector<double> SimulateArma(std::size_t n,
+                                 const std::vector<double>& phi,
+                                 const std::vector<double>& theta,
+                                 double mean, unsigned seed,
+                                 double sigma = 1.0) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, sigma);
+  const std::size_t burn = 200;
+  std::vector<double> x(n + burn, mean);
+  std::vector<double> a(n + burn, 0.0);
+  for (std::size_t t = 0; t < n + burn; ++t) {
+    a[t] = dist(rng);
+    double v = mean + a[t];
+    for (std::size_t i = 1; i <= phi.size() && i <= t; ++i) {
+      v += phi[i - 1] * (x[t - i] - mean);
+    }
+    for (std::size_t j = 1; j <= theta.size() && j <= t; ++j) {
+      v += theta[j - 1] * a[t - j];
+    }
+    x[t] = v;
+  }
+  return {x.begin() + burn, x.end()};
+}
+
+TEST(ArimaFitTest, RecoverAr1Coefficient) {
+  const auto y = SimulateArma(3000, {0.7}, {}, 10.0, 1);
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->ar_coefficients().size(), 1u);
+  EXPECT_NEAR(m->ar_coefficients()[0], 0.7, 0.05);
+  EXPECT_NEAR(m->mean(), 10.0, 0.5);
+  EXPECT_NEAR(m->summary().sigma2, 1.0, 0.1);
+}
+
+TEST(ArimaFitTest, RecoverAr2Coefficients) {
+  const auto y = SimulateArma(4000, {0.5, -0.3}, {}, 0.0, 2);
+  auto m = ArimaModel::Fit(y, ArimaSpec{2, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->ar_coefficients()[0], 0.5, 0.05);
+  EXPECT_NEAR(m->ar_coefficients()[1], -0.3, 0.05);
+}
+
+TEST(ArimaFitTest, RecoverMa1Coefficient) {
+  const auto y = SimulateArma(4000, {}, {0.6}, 0.0, 3);
+  auto m = ArimaModel::Fit(y, ArimaSpec{0, 0, 1, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->ma_coefficients().size(), 1u);
+  EXPECT_NEAR(m->ma_coefficients()[0], 0.6, 0.07);
+}
+
+TEST(ArimaFitTest, RecoverArma11) {
+  const auto y = SimulateArma(5000, {0.6}, {0.4}, 5.0, 4);
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 0, 1, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->ar_coefficients()[0], 0.6, 0.08);
+  EXPECT_NEAR(m->ma_coefficients()[0], 0.4, 0.1);
+}
+
+TEST(ArimaFitTest, IntegratedSeriesViaD1) {
+  // Random walk with AR(1) increments.
+  const auto inc = SimulateArma(2000, {0.5}, {}, 0.2, 5);
+  std::vector<double> y(inc.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < inc.size(); ++i) {
+    acc += inc[i];
+    y[i] = acc;
+  }
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 1, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->ar_coefficients()[0], 0.5, 0.08);
+}
+
+TEST(ArimaFitTest, WhiteNoiseSpecZeroZeroZero) {
+  const auto y = SimulateArma(500, {}, {}, 3.0, 6);
+  auto m = ArimaModel::Fit(y, ArimaSpec{0, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(5);
+  ASSERT_TRUE(fc.ok());
+  for (double v : fc->mean) EXPECT_NEAR(v, 3.0, 0.3);
+}
+
+TEST(ArimaFitTest, RejectsInvalidSpec) {
+  const auto y = SimulateArma(100, {}, {}, 0.0, 7);
+  EXPECT_FALSE(ArimaModel::Fit(y, ArimaSpec{-1, 0, 0, 0, 0, 0, 0}).ok());
+}
+
+TEST(ArimaFitTest, RejectsTooShortSeries) {
+  const auto y = SimulateArma(15, {}, {}, 0.0, 8);
+  EXPECT_FALSE(ArimaModel::Fit(y, ArimaSpec{5, 1, 2, 0, 0, 0, 0}).ok());
+}
+
+TEST(ArimaFitTest, FittedCoefficientsAlwaysStationaryInvertible) {
+  // Even on pathological inputs the stored model must be stable.
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(300);
+  double level = 100.0;
+  for (auto& v : y) {
+    level *= 1.01;  // explosive growth
+    v = level + dist(rng);
+  }
+  auto m = ArimaModel::Fit(y, ArimaSpec{2, 0, 1, 0, 0, 0, 0});
+  if (m.ok()) {
+    EXPECT_TRUE(math::IsStationary(m->ar_coefficients()));
+  }
+}
+
+TEST(ArimaForecastTest, Ar1ConvergesToMean) {
+  const auto y = SimulateArma(3000, {0.8}, {}, 50.0, 10);
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(200);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_NEAR(fc->mean.back(), 50.0, 2.0);
+}
+
+TEST(ArimaForecastTest, IntervalsWidenWithHorizon) {
+  const auto y = SimulateArma(1000, {0.5}, {}, 0.0, 11);
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(20);
+  ASSERT_TRUE(fc.ok());
+  for (std::size_t h = 1; h < 20; ++h) {
+    const double w_prev = fc->upper[h - 1] - fc->lower[h - 1];
+    const double w_curr = fc->upper[h] - fc->lower[h];
+    EXPECT_GE(w_curr, w_prev - 1e-9);
+  }
+}
+
+TEST(ArimaForecastTest, IntervalWidthMatchesSigmaAtHorizonOne) {
+  const auto y = SimulateArma(2000, {}, {}, 0.0, 12);
+  auto m = ArimaModel::Fit(y, ArimaSpec{0, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(1, 0.95);
+  ASSERT_TRUE(fc.ok());
+  const double half = 0.5 * (fc->upper[0] - fc->lower[0]);
+  EXPECT_NEAR(half, 1.96 * std::sqrt(m->summary().sigma2), 0.01);
+}
+
+TEST(ArimaForecastTest, IntervalLevelsNest) {
+  const auto y = SimulateArma(800, {0.4}, {}, 0.0, 13);
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  auto fc80 = m->Predict(10, 0.80);
+  auto fc99 = m->Predict(10, 0.99);
+  ASSERT_TRUE(fc80.ok());
+  ASSERT_TRUE(fc99.ok());
+  for (std::size_t h = 0; h < 10; ++h) {
+    EXPECT_LT(fc99->lower[h], fc80->lower[h]);
+    EXPECT_GT(fc99->upper[h], fc80->upper[h]);
+  }
+}
+
+TEST(ArimaForecastTest, RandomWalkForecastIsFlat) {
+  std::mt19937 rng(14);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(1000, 0.0);
+  for (std::size_t t = 1; t < y.size(); ++t) y[t] = y[t - 1] + dist(rng);
+  auto m = ArimaModel::Fit(y, ArimaSpec{0, 1, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(10);
+  ASSERT_TRUE(fc.ok());
+  for (double v : fc->mean) EXPECT_NEAR(v, y.back(), 1e-9);
+}
+
+TEST(ArimaForecastTest, RejectsBadArgs) {
+  const auto y = SimulateArma(300, {0.3}, {}, 0.0, 15);
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->Predict(0).ok());
+  EXPECT_FALSE(m->Predict(5, 0.0).ok());
+  EXPECT_FALSE(m->Predict(5, 1.0).ok());
+}
+
+TEST(SarimaTest, SeasonalPatternForecast) {
+  // Strong period-12 seasonal series + noise; SARIMA(0,0,0)(0,1,1,12)
+  // should track the pattern.
+  std::mt19937 rng(16);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  std::vector<double> y(12 * 40);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 20.0 + 8.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 12.0) +
+           dist(rng);
+  }
+  auto m = ArimaModel::Fit(y, ArimaSpec{0, 0, 0, 0, 1, 1, 12});
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(12);
+  ASSERT_TRUE(fc.ok());
+  for (std::size_t h = 0; h < 12; ++h) {
+    const double expected =
+        20.0 + 8.0 * std::sin(2.0 * M_PI *
+                              static_cast<double>(y.size() + h) / 12.0);
+    EXPECT_NEAR(fc->mean[h], expected, 1.2) << "h=" << h;
+  }
+}
+
+TEST(SarimaTest, SeasonalBeatsNonSeasonalOnSeasonalData) {
+  // The paper's core Table-2 observation in miniature.
+  std::mt19937 rng(17);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(24 * 45);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 50.0 + 15.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  const std::size_t n_train = y.size() - 24;
+  const std::vector<double> train(y.begin(), y.begin() + n_train);
+  const std::vector<double> test(y.begin() + n_train, y.end());
+
+  auto plain = ArimaModel::Fit(train, ArimaSpec{2, 1, 1, 0, 0, 0, 0});
+  auto seasonal = ArimaModel::Fit(train, ArimaSpec{1, 0, 1, 0, 1, 1, 24});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(seasonal.ok());
+  auto fc_plain = plain->Predict(24);
+  auto fc_seasonal = seasonal->Predict(24);
+  ASSERT_TRUE(fc_plain.ok());
+  ASSERT_TRUE(fc_seasonal.ok());
+  auto rmse_plain = tsa::Rmse(test, fc_plain->mean);
+  auto rmse_seasonal = tsa::Rmse(test, fc_seasonal->mean);
+  ASSERT_TRUE(rmse_plain.ok());
+  ASSERT_TRUE(rmse_seasonal.ok());
+  EXPECT_LT(*rmse_seasonal, *rmse_plain);
+}
+
+TEST(ArimaFittedValuesTest, TracksObservations) {
+  const auto y = SimulateArma(600, {0.7}, {}, 10.0, 18, 0.3);
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  const auto fitted = m->FittedValues();
+  ASSERT_EQ(fitted.size(), y.size());
+  auto rmse = tsa::Rmse(y, fitted);
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_LT(*rmse, 0.5);  // close to the innovation scale
+}
+
+TEST(ArimaSummaryTest, AicFiniteAndOrdersModels) {
+  const auto y = SimulateArma(1500, {0.6}, {}, 0.0, 19);
+  auto right = ArimaModel::Fit(y, ArimaSpec{1, 0, 0, 0, 0, 0, 0});
+  auto over = ArimaModel::Fit(y, ArimaSpec{8, 0, 2, 0, 0, 0, 0});
+  ASSERT_TRUE(right.ok());
+  ASSERT_TRUE(over.ok());
+  EXPECT_TRUE(std::isfinite(right->summary().aic));
+  // AIC should prefer (or at least not be much worse than) the true order.
+  EXPECT_LT(right->summary().aic, over->summary().aic + 5.0);
+}
+
+TEST(CssResidualTest, WhiteNoiseResidualsForTrueModel) {
+  const auto y = SimulateArma(2000, {0.7}, {}, 0.0, 20);
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(m.ok());
+  // Residuals of a correctly specified model are approximately white.
+  const auto& res = m->residuals();
+  std::vector<double> tail(res.begin() + 10, res.end());
+  double mean = 0.0;
+  for (double v : tail) mean += v;
+  mean /= static_cast<double>(tail.size());
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  // Lag-1 autocorrelation near zero.
+  double num = 0.0, den = 0.0;
+  for (std::size_t t = 1; t < tail.size(); ++t) {
+    num += (tail[t] - mean) * (tail[t - 1] - mean);
+  }
+  for (double v : tail) den += (v - mean) * (v - mean);
+  EXPECT_LT(std::fabs(num / den), 0.08);
+}
+
+}  // namespace
+}  // namespace capplan::models

@@ -1,0 +1,101 @@
+#include "models/auto_arima.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "tsa/metrics.h"
+
+namespace capplan::models {
+namespace {
+
+std::vector<double> Ar1(std::size_t n, double phi, double mean,
+                        unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(n, mean);
+  for (std::size_t t = 1; t < n; ++t) {
+    x[t] = mean + phi * (x[t - 1] - mean) + dist(rng);
+  }
+  return x;
+}
+
+TEST(AutoArimaTest, FindsLowOrderForAr1) {
+  auto out = AutoArima(Ar1(1500, 0.7, 20.0, 1));
+  ASSERT_TRUE(out.ok());
+  // The AR(1) structure should be found with a small total order.
+  EXPECT_GE(out->spec.p, 1);
+  EXPECT_LE(out->spec.p + out->spec.q, 4);
+  EXPECT_GT(out->models_evaluated, 3u);
+}
+
+TEST(AutoArimaTest, ChoosesDifferencingForRandomWalk) {
+  std::mt19937 rng(2);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(800, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t) x[t] = x[t - 1] + dist(rng);
+  auto out = AutoArima(x);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GE(out->spec.d, 1);
+}
+
+TEST(AutoArimaTest, SeasonalSearchFindsSeasonalStructure) {
+  std::mt19937 rng(3);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  std::vector<double> x(24 * 40);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 30.0 + 10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  AutoArimaOptions opts;
+  opts.season = 24;
+  auto out = AutoArima(x, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->spec.is_seasonal());
+  // The selected model forecasts the pattern well.
+  auto fc = out->model.Predict(24);
+  ASSERT_TRUE(fc.ok());
+  std::vector<double> expected(24);
+  for (std::size_t h = 0; h < 24; ++h) {
+    expected[h] = 30.0 + 10.0 * std::sin(2.0 * M_PI *
+                                         static_cast<double>(x.size() + h) /
+                                         24.0);
+  }
+  auto rmse = tsa::Rmse(expected, fc->mean);
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_LT(*rmse, 2.0);
+}
+
+TEST(AutoArimaTest, EvaluatesFarFewerModelsThanTheGrid) {
+  // The point of the stepwise search (paper Section 9's tuning): orders of
+  // magnitude fewer fits than the exhaustive 660-model grid.
+  auto out = AutoArima(Ar1(1000, 0.5, 0.0, 4));
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(out->models_evaluated, 80u);
+}
+
+TEST(AutoArimaTest, BicOptionSelectsSmallerModel) {
+  const auto y = Ar1(2000, 0.6, 0.0, 5);
+  AutoArimaOptions aic_opts;
+  AutoArimaOptions bic_opts;
+  bic_opts.use_bic = true;
+  auto aic = AutoArima(y, aic_opts);
+  auto bic = AutoArima(y, bic_opts);
+  ASSERT_TRUE(aic.ok());
+  ASSERT_TRUE(bic.ok());
+  EXPECT_LE(bic->spec.NumCoefficients(), aic->spec.NumCoefficients() + 1);
+}
+
+TEST(AutoArimaTest, RejectsShortSeries) {
+  EXPECT_FALSE(AutoArima(std::vector<double>(10, 1.0)).ok());
+}
+
+TEST(AutoArimaTest, CriterionMatchesWinnerSummary) {
+  auto out = AutoArima(Ar1(600, 0.4, 5.0, 6));
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->criterion, out->model.summary().aic);
+}
+
+}  // namespace
+}  // namespace capplan::models

@@ -1,0 +1,128 @@
+#include "models/baselines.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "tsa/metrics.h"
+
+namespace capplan::models {
+namespace {
+
+TEST(NaiveForecastTest, RepeatsLastValue) {
+  auto fc = NaiveForecast({1, 2, 3, 7}, 5);
+  ASSERT_TRUE(fc.ok());
+  for (double v : fc->mean) EXPECT_DOUBLE_EQ(v, 7.0);
+  // Intervals widen like sqrt(h).
+  const double w1 = fc->upper[0] - fc->lower[0];
+  const double w4 = fc->upper[3] - fc->lower[3];
+  EXPECT_NEAR(w4 / w1, 2.0, 1e-9);
+}
+
+TEST(SeasonalNaiveForecastTest, RepeatsLastSeason) {
+  // Two seasons of period 3: last season is {4, 5, 6}.
+  auto fc = SeasonalNaiveForecast({1, 2, 3, 4, 5, 6}, 3, 6);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_DOUBLE_EQ(fc->mean[0], 4.0);
+  EXPECT_DOUBLE_EQ(fc->mean[1], 5.0);
+  EXPECT_DOUBLE_EQ(fc->mean[2], 6.0);
+  EXPECT_DOUBLE_EQ(fc->mean[3], 4.0);
+  EXPECT_DOUBLE_EQ(fc->mean[5], 6.0);
+}
+
+TEST(DriftForecastTest, ExtendsTheLine) {
+  // Perfect line: drift forecast continues it exactly.
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) y[i] = 2.0 * static_cast<double>(i);
+  auto fc = DriftForecast(y, 3);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_NEAR(fc->mean[0], 20.0, 1e-9);
+  EXPECT_NEAR(fc->mean[2], 24.0, 1e-9);
+}
+
+TEST(MeanForecastTest, FlatAtTheMean) {
+  auto fc = MeanForecast({2, 4, 6}, 2);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_DOUBLE_EQ(fc->mean[0], 4.0);
+  EXPECT_DOUBLE_EQ(fc->mean[1], 4.0);
+}
+
+TEST(BaselineTest, ArgumentValidation) {
+  EXPECT_FALSE(NaiveForecast({}, 3).ok());
+  EXPECT_FALSE(NaiveForecast({1, 2}, 0).ok());
+  EXPECT_FALSE(NaiveForecast({1, 2}, 3, 1.5).ok());
+  EXPECT_FALSE(SeasonalNaiveForecast({1, 2}, 5, 3).ok());
+  EXPECT_FALSE(DriftForecast({1}, 3).ok());
+}
+
+TEST(NaiveScaleTest, KnownValue) {
+  // |2-1| + |3-2| + |4-3| = 3 over 3 terms.
+  auto s = NaiveScale({1, 2, 3, 4}, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 1.0);
+  // Seasonal scale with period 2: |3-1| + |4-2| = 4 over 2.
+  auto s2 = NaiveScale({1, 2, 3, 4}, 2);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_DOUBLE_EQ(*s2, 2.0);
+}
+
+TEST(NaiveScaleTest, RejectsDegenerate) {
+  EXPECT_FALSE(NaiveScale({1, 2}, 5).ok());
+  EXPECT_FALSE(NaiveScale({3, 3, 3}, 1).ok());  // zero scale
+}
+
+TEST(MaseTest, ScaledInterpretation) {
+  // Forecast MAE 0.5 against naive scale 1.0 -> MASE 0.5 (beats naive).
+  auto mase = tsa::Mase({10, 11}, {10.5, 10.5}, 1.0);
+  ASSERT_TRUE(mase.ok());
+  EXPECT_DOUBLE_EQ(*mase, 0.5);
+  EXPECT_FALSE(tsa::Mase({1, 2}, {1, 2}, 0.0).ok());
+}
+
+TEST(BaselineComparisonTest, SeasonalNaiveBeatsNaiveOnSeasonalData) {
+  std::mt19937 rng(5);
+  std::normal_distribution<double> dist(0.0, 0.3);
+  std::vector<double> y(24 * 20);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 20.0 + 8.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  const std::size_t n_train = y.size() - 24;
+  const std::vector<double> train(y.begin(), y.begin() + n_train);
+  const std::vector<double> test(y.begin() + n_train, y.end());
+  auto naive = NaiveForecast(train, 24);
+  auto snaive = SeasonalNaiveForecast(train, 24, 24);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(snaive.ok());
+  auto rmse_naive = tsa::Rmse(test, naive->mean);
+  auto rmse_snaive = tsa::Rmse(test, snaive->mean);
+  ASSERT_TRUE(rmse_naive.ok());
+  ASSERT_TRUE(rmse_snaive.ok());
+  EXPECT_LT(*rmse_snaive, 0.3 * *rmse_naive);
+}
+
+TEST(BaselineComparisonTest, MaseOfSeasonalNaiveNearOne) {
+  // By construction, the seasonal naive forecast has MASE ~ 1 against its
+  // own in-sample scale on stationary seasonal data.
+  std::mt19937 rng(6);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(24 * 30);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 20.0 + 8.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  const std::size_t n_train = y.size() - 24;
+  const std::vector<double> train(y.begin(), y.begin() + n_train);
+  const std::vector<double> test(y.begin() + n_train, y.end());
+  auto scale = NaiveScale(train, 24);
+  auto fc = SeasonalNaiveForecast(train, 24, 24);
+  ASSERT_TRUE(scale.ok());
+  ASSERT_TRUE(fc.ok());
+  auto mase = tsa::Mase(test, fc->mean, *scale);
+  ASSERT_TRUE(mase.ok());
+  EXPECT_NEAR(*mase, 1.0, 0.4);
+}
+
+}  // namespace
+}  // namespace capplan::models

@@ -1,0 +1,140 @@
+#include "models/dshw.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "models/ets.h"
+#include "tsa/metrics.h"
+
+namespace capplan::models {
+namespace {
+
+// Hourly series with daily (24) and weekly (168) additive cycles.
+std::vector<double> DualSeasonSeries(std::size_t n, double daily_amp,
+                                     double weekly_amp, double slope,
+                                     double noise, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, noise);
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    y[t] = 100.0 + slope * static_cast<double>(t) +
+           daily_amp * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           weekly_amp * std::sin(2.0 * M_PI * static_cast<double>(t) / 168.0);
+    if (noise > 0.0) y[t] += dist(rng);
+  }
+  return y;
+}
+
+TEST(DshwTest, ForecastTracksBothSeasons) {
+  const auto y = DualSeasonSeries(168 * 8, 8.0, 12.0, 0.0, 0.5, 1);
+  auto m = DshwModel::Fit(y, 24, 168);
+  ASSERT_TRUE(m.ok()) << m.status();
+  auto fc = m->Predict(168);
+  ASSERT_TRUE(fc.ok());
+  double max_err = 0.0;
+  for (std::size_t h = 0; h < 168; ++h) {
+    const double t = static_cast<double>(y.size() + h);
+    const double expected =
+        100.0 + 8.0 * std::sin(2.0 * M_PI * t / 24.0) +
+        12.0 * std::sin(2.0 * M_PI * t / 168.0);
+    max_err = std::max(max_err, std::fabs(fc->mean[h] - expected));
+  }
+  EXPECT_LT(max_err, 4.0);
+}
+
+TEST(DshwTest, BeatsSingleSeasonHoltWintersOnDualData) {
+  // The whole point of the double-seasonal extension (paper challenge C3).
+  const auto y = DualSeasonSeries(168 * 8, 6.0, 14.0, 0.0, 0.5, 2);
+  const std::size_t n_train = y.size() - 168;
+  const std::vector<double> train(y.begin(), y.begin() + n_train);
+  const std::vector<double> test(y.begin() + n_train, y.end());
+
+  auto dshw = DshwModel::Fit(train, 24, 168);
+  ASSERT_TRUE(dshw.ok());
+  auto hw = EtsModel::Fit(train, HoltWinters(24));
+  ASSERT_TRUE(hw.ok());
+
+  auto fc_d = dshw->Predict(168);
+  auto fc_h = hw->Predict(168);
+  ASSERT_TRUE(fc_d.ok());
+  ASSERT_TRUE(fc_h.ok());
+  auto rmse_d = tsa::Rmse(test, fc_d->mean);
+  auto rmse_h = tsa::Rmse(test, fc_h->mean);
+  ASSERT_TRUE(rmse_d.ok());
+  ASSERT_TRUE(rmse_h.ok());
+  EXPECT_LT(*rmse_d, 0.6 * *rmse_h);
+}
+
+TEST(DshwTest, TrendExtrapolated) {
+  const auto y = DualSeasonSeries(168 * 6, 5.0, 8.0, 0.05, 0.3, 3);
+  auto m = DshwModel::Fit(y, 24, 168);
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(192);
+  ASSERT_TRUE(fc.ok());
+  // Compare the same day-of-week one week apart so both seasonal cycles
+  // cancel: the difference is pure trend, ~0.05 * 168.
+  double day1 = 0.0, day8 = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) day1 += fc->mean[h];
+  for (std::size_t h = 168; h < 192; ++h) day8 += fc->mean[h];
+  EXPECT_NEAR((day8 - day1) / 24.0, 0.05 * 168.0, 3.0);
+}
+
+TEST(DshwTest, ParametersInBounds) {
+  const auto y = DualSeasonSeries(168 * 5, 4.0, 6.0, 0.0, 1.0, 4);
+  auto m = DshwModel::Fit(y, 24, 168);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->alpha(), 0.0);
+  EXPECT_LT(m->alpha(), 1.0);
+  EXPECT_GE(m->beta(), 0.0);
+  EXPECT_LT(m->beta(), 0.51);
+  EXPECT_GT(m->gamma1(), 0.0);
+  EXPECT_GT(m->gamma2(), 0.0);
+  EXPECT_GT(m->phi(), -1.0);
+  EXPECT_LT(m->phi(), 1.0);
+}
+
+TEST(DshwTest, ValidatesPeriods) {
+  const std::vector<double> y(500, 1.0);
+  EXPECT_FALSE(DshwModel::Fit(y, 24, 100).ok());  // not a multiple
+  EXPECT_FALSE(DshwModel::Fit(y, 24, 24).ok());   // equal
+  EXPECT_FALSE(DshwModel::Fit(y, 1, 24).ok());    // degenerate period1
+  // Too short: needs 2*168 + 24 = 360 observations.
+  const std::vector<double> short_y(300, 1.0);
+  EXPECT_FALSE(DshwModel::Fit(short_y, 24, 168).ok());
+}
+
+TEST(DshwTest, PredictValidation) {
+  const auto y = DualSeasonSeries(168 * 5, 4.0, 6.0, 0.0, 0.5, 5);
+  auto m = DshwModel::Fit(y, 24, 168);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->Predict(0).ok());
+  EXPECT_FALSE(m->Predict(5, 1.5).ok());
+  DshwModel unfitted;
+  EXPECT_FALSE(unfitted.Predict(5).ok());
+}
+
+TEST(DshwTest, IntervalsWidenWithHorizon) {
+  const auto y = DualSeasonSeries(168 * 6, 5.0, 7.0, 0.0, 1.0, 6);
+  auto m = DshwModel::Fit(y, 24, 168);
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(100);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_GT(fc->upper[99] - fc->lower[99], fc->upper[0] - fc->lower[0]);
+}
+
+TEST(DshwTest, FixedParametersPath) {
+  const auto y = DualSeasonSeries(168 * 5, 4.0, 6.0, 0.0, 0.5, 7);
+  DshwModel::Options opts;
+  opts.optimize = false;
+  opts.alpha = 0.25;
+  opts.ar1_adjustment = false;
+  auto m = DshwModel::Fit(y, 24, 168, opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->alpha(), 0.25);
+  EXPECT_DOUBLE_EQ(m->phi(), 0.0);
+}
+
+}  // namespace
+}  // namespace capplan::models

@@ -1,0 +1,305 @@
+#include "models/ets.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "tsa/metrics.h"
+
+namespace capplan::models {
+namespace {
+
+TEST(EtsSpecTest, ToStringForms) {
+  EXPECT_EQ(SimpleExponentialSmoothing().ToString(), "ETS(A,N,N)");
+  EXPECT_EQ(HoltLinearTrend().ToString(), "ETS(A,A,N)");
+  EXPECT_EQ(HoltLinearTrend(true).ToString(), "ETS(A,Ad,N)");
+  EXPECT_EQ(HoltWinters(24).ToString(), "ETS(A,A,A) m=24");
+  EXPECT_EQ(HoltWinters(24, true).ToString(), "ETS(A,A,M) m=24");
+}
+
+TEST(EtsSpecTest, Validity) {
+  EXPECT_TRUE(SimpleExponentialSmoothing().IsValid());
+  EXPECT_FALSE(HoltWinters(1).IsValid());
+}
+
+TEST(EtsSpecTest, ParamCounts) {
+  EXPECT_EQ(SimpleExponentialSmoothing().NumParams(), 1u);
+  EXPECT_EQ(HoltLinearTrend().NumParams(), 2u);
+  EXPECT_EQ(HoltLinearTrend(true).NumParams(), 3u);
+  EXPECT_EQ(HoltWinters(12).NumParams(), 3u);
+}
+
+TEST(SesTest, ForecastIsFlat) {
+  std::mt19937 rng(1);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(300);
+  for (auto& v : y) v = 25.0 + dist(rng);
+  auto m = EtsModel::Fit(y, SimpleExponentialSmoothing());
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(10);
+  ASSERT_TRUE(fc.ok());
+  for (std::size_t h = 1; h < 10; ++h) {
+    EXPECT_DOUBLE_EQ(fc->mean[h], fc->mean[0]);
+  }
+  EXPECT_NEAR(fc->mean[0], 25.0, 1.0);
+}
+
+TEST(SesTest, TracksLevelShift) {
+  std::vector<double> y(200, 10.0);
+  for (std::size_t t = 100; t < 200; ++t) y[t] = 30.0;
+  auto m = EtsModel::Fit(y, SimpleExponentialSmoothing());
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(5);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_NEAR(fc->mean[0], 30.0, 1.0);
+}
+
+TEST(HoltTest, ExtrapolatesLinearTrend) {
+  std::vector<double> y(150);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 5.0 + 0.8 * static_cast<double>(t);
+  }
+  auto m = EtsModel::Fit(y, HoltLinearTrend());
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(10);
+  ASSERT_TRUE(fc.ok());
+  for (std::size_t h = 0; h < 10; ++h) {
+    const double expected = 5.0 + 0.8 * static_cast<double>(y.size() + h);
+    EXPECT_NEAR(fc->mean[h], expected, 0.5) << "h=" << h;
+  }
+}
+
+TEST(HoltTest, DampedTrendFlattens) {
+  std::vector<double> y(150);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 5.0 + 0.8 * static_cast<double>(t);
+  }
+  auto damped = EtsModel::Fit(y, HoltLinearTrend(true));
+  ASSERT_TRUE(damped.ok());
+  auto fc = damped->Predict(100);
+  ASSERT_TRUE(fc.ok());
+  // Damped growth over long horizons is strictly below the linear line.
+  const double linear = 5.0 + 0.8 * static_cast<double>(y.size() + 99);
+  EXPECT_LT(fc->mean.back(), linear);
+  // Increments shrink with horizon.
+  const double inc_early = fc->mean[1] - fc->mean[0];
+  const double inc_late = fc->mean[99] - fc->mean[98];
+  EXPECT_LT(inc_late, inc_early);
+}
+
+TEST(HoltWintersTest, AdditiveSeasonalForecast) {
+  std::mt19937 rng(3);
+  std::normal_distribution<double> dist(0.0, 0.3);
+  const std::size_t m = 24;
+  std::vector<double> y(m * 30);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 50.0 + 10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                                  static_cast<double>(m)) +
+           dist(rng);
+  }
+  auto model = EtsModel::Fit(y, HoltWinters(m));
+  ASSERT_TRUE(model.ok());
+  auto fc = model->Predict(m);
+  ASSERT_TRUE(fc.ok());
+  for (std::size_t h = 0; h < m; ++h) {
+    const double expected =
+        50.0 + 10.0 * std::sin(2.0 * M_PI *
+                               static_cast<double>(y.size() + h) /
+                               static_cast<double>(m));
+    EXPECT_NEAR(fc->mean[h], expected, 1.5) << "h=" << h;
+  }
+}
+
+TEST(HoltWintersTest, TrendAndSeasonTogether) {
+  const std::size_t m = 12;
+  std::vector<double> y(m * 30);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 20.0 + 0.2 * static_cast<double>(t) +
+           5.0 * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                          static_cast<double>(m));
+  }
+  auto model = EtsModel::Fit(y, HoltWinters(m));
+  ASSERT_TRUE(model.ok());
+  auto fc = model->Predict(2 * m);
+  ASSERT_TRUE(fc.ok());
+  for (std::size_t h = 0; h < 2 * m; ++h) {
+    const double t = static_cast<double>(y.size() + h);
+    const double expected =
+        20.0 + 0.2 * t + 5.0 * std::sin(2.0 * M_PI * t /
+                                        static_cast<double>(m));
+    EXPECT_NEAR(fc->mean[h], expected, 2.0) << "h=" << h;
+  }
+}
+
+TEST(HoltWintersTest, MultiplicativeHandlesProportionalSeason) {
+  const std::size_t m = 12;
+  std::vector<double> y(m * 25);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    const double level = 100.0 + 0.5 * static_cast<double>(t);
+    y[t] = level * (1.0 + 0.3 * std::sin(2.0 * M_PI *
+                                         static_cast<double>(t) /
+                                         static_cast<double>(m)));
+  }
+  auto model = EtsModel::Fit(y, HoltWinters(m, /*multiplicative=*/true));
+  ASSERT_TRUE(model.ok());
+  auto fc = model->Predict(m);
+  ASSERT_TRUE(fc.ok());
+  auto rmse = tsa::Rmse(
+      std::vector<double>(m, 0.0),
+      std::vector<double>(m, 0.0));  // placeholder to keep helper used
+  (void)rmse;
+  for (std::size_t h = 0; h < m; ++h) {
+    const double t = static_cast<double>(y.size() + h);
+    const double expected =
+        (100.0 + 0.5 * t) *
+        (1.0 + 0.3 * std::sin(2.0 * M_PI * t / static_cast<double>(m)));
+    EXPECT_NEAR(fc->mean[h], expected, 0.12 * expected) << "h=" << h;
+  }
+}
+
+TEST(EtsFitTest, ParametersStayInBounds) {
+  std::mt19937 rng(5);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(200);
+  for (auto& v : y) v = dist(rng);
+  auto m = EtsModel::Fit(y, HoltLinearTrend(true));
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->alpha(), 0.0);
+  EXPECT_LT(m->alpha(), 1.0);
+  EXPECT_GE(m->beta(), 0.0);
+  EXPECT_LE(m->beta(), m->alpha() + 1e-9);
+  EXPECT_GE(m->phi(), 0.8);
+  EXPECT_LE(m->phi(), 0.995);
+}
+
+TEST(EtsFitTest, FixedParametersRespected) {
+  std::vector<double> y(100);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = static_cast<double>(t % 7);
+  }
+  EtsModel::Options opts;
+  opts.optimize = false;
+  opts.alpha = 0.42;
+  auto m = EtsModel::Fit(y, SimpleExponentialSmoothing(), opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->alpha(), 0.42);
+}
+
+TEST(EtsFitTest, RejectsShortSeries) {
+  EXPECT_FALSE(EtsModel::Fit({1.0, 2.0}, SimpleExponentialSmoothing()).ok());
+  EXPECT_FALSE(
+      EtsModel::Fit(std::vector<double>(20, 1.0), HoltWinters(24)).ok());
+}
+
+TEST(EtsForecastTest, IntervalsWidenWithHorizon) {
+  std::mt19937 rng(7);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(300);
+  for (auto& v : y) v = 10.0 + dist(rng);
+  auto m = EtsModel::Fit(y, SimpleExponentialSmoothing());
+  ASSERT_TRUE(m.ok());
+  auto fc = m->Predict(30);
+  ASSERT_TRUE(fc.ok());
+  for (std::size_t h = 1; h < 30; ++h) {
+    EXPECT_GE(fc->upper[h] - fc->lower[h],
+              fc->upper[h - 1] - fc->lower[h - 1] - 1e-9);
+  }
+}
+
+TEST(EtsForecastTest, RejectsBadArgs) {
+  std::vector<double> y(50, 1.0);
+  for (std::size_t t = 0; t < y.size(); ++t) y[t] += 0.01 * t;
+  auto m = EtsModel::Fit(y, SimpleExponentialSmoothing());
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->Predict(0).ok());
+  EXPECT_FALSE(m->Predict(5, 1.5).ok());
+}
+
+TEST(EtsSimulatedIntervalsTest, MatchAnalyticForSes) {
+  std::mt19937 rng(21);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(400);
+  for (auto& v : y) v = 30.0 + dist(rng);
+  auto m = EtsModel::Fit(y, SimpleExponentialSmoothing());
+  ASSERT_TRUE(m.ok());
+  auto analytic = m->Predict(10, 0.95);
+  auto simulated = m->PredictSimulated(10, 0.95, 5000, 7);
+  ASSERT_TRUE(analytic.ok());
+  ASSERT_TRUE(simulated.ok());
+  for (std::size_t h = 0; h < 10; ++h) {
+    EXPECT_NEAR(simulated->mean[h], analytic->mean[h], 0.15) << "h=" << h;
+    const double w_a = analytic->upper[h] - analytic->lower[h];
+    const double w_s = simulated->upper[h] - simulated->lower[h];
+    EXPECT_NEAR(w_s / w_a, 1.0, 0.12) << "h=" << h;
+  }
+}
+
+TEST(EtsSimulatedIntervalsTest, DeterministicForFixedSeed) {
+  std::vector<double> y(200);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 10.0 + 0.05 * static_cast<double>(t);
+  }
+  auto m = EtsModel::Fit(y, HoltLinearTrend());
+  ASSERT_TRUE(m.ok());
+  auto a = m->PredictSimulated(5, 0.9, 500, 13);
+  auto b = m->PredictSimulated(5, 0.9, 500, 13);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t h = 0; h < 5; ++h) {
+    EXPECT_DOUBLE_EQ(a->mean[h], b->mean[h]);
+    EXPECT_DOUBLE_EQ(a->lower[h], b->lower[h]);
+  }
+}
+
+TEST(EtsSimulatedIntervalsTest, SeasonalPathsFollowPattern) {
+  const std::size_t m = 12;
+  std::mt19937 rng(23);
+  std::normal_distribution<double> dist(0.0, 0.3);
+  std::vector<double> y(m * 25);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 50.0 + 10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                                  static_cast<double>(m)) +
+           dist(rng);
+  }
+  auto model = EtsModel::Fit(y, HoltWinters(m));
+  ASSERT_TRUE(model.ok());
+  auto sim = model->PredictSimulated(m, 0.95, 2000, 3);
+  ASSERT_TRUE(sim.ok());
+  for (std::size_t h = 0; h < m; ++h) {
+    const double expected =
+        50.0 + 10.0 * std::sin(2.0 * M_PI *
+                               static_cast<double>(y.size() + h) /
+                               static_cast<double>(m));
+    EXPECT_NEAR(sim->mean[h], expected, 1.5) << "h=" << h;
+    EXPECT_LT(sim->lower[h], sim->mean[h]);
+    EXPECT_GT(sim->upper[h], sim->mean[h]);
+  }
+}
+
+TEST(EtsSimulatedIntervalsTest, ValidatesArguments) {
+  std::vector<double> y(100, 5.0);
+  for (std::size_t t = 0; t < y.size(); ++t) y[t] += 0.01 * t;
+  auto m = EtsModel::Fit(y, SimpleExponentialSmoothing());
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->PredictSimulated(0).ok());
+  EXPECT_FALSE(m->PredictSimulated(5, 0.95, 10).ok());  // too few paths
+  EXPECT_FALSE(m->PredictSimulated(5, 2.0).ok());
+}
+
+TEST(EtsResidualTest, FittedPlusResidualEqualsObservation) {
+  std::mt19937 rng(9);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(150);
+  for (auto& v : y) v = 5.0 + dist(rng);
+  auto m = EtsModel::Fit(y, HoltLinearTrend());
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->fitted().size(), y.size());
+  ASSERT_EQ(m->residuals().size(), y.size());
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    EXPECT_NEAR(m->fitted()[t] + m->residuals()[t], y[t], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace capplan::models

@@ -1,0 +1,194 @@
+#include "models/kalman.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "math/matrix.h"
+#include "models/arima.h"
+
+namespace capplan::models {
+namespace {
+
+std::vector<double> SimulateArma(std::size_t n,
+                                 const std::vector<double>& phi,
+                                 const std::vector<double>& theta,
+                                 unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  const std::size_t burn = 300;
+  std::vector<double> x(n + burn, 0.0), a(n + burn, 0.0);
+  for (std::size_t t = 0; t < n + burn; ++t) {
+    a[t] = dist(rng);
+    double v = a[t];
+    for (std::size_t i = 1; i <= phi.size() && i <= t; ++i) {
+      v += phi[i - 1] * x[t - i];
+    }
+    for (std::size_t j = 1; j <= theta.size() && j <= t; ++j) {
+      v += theta[j - 1] * a[t - j];
+    }
+    x[t] = v;
+  }
+  return {x.begin() + burn, x.end()};
+}
+
+// Direct multivariate-normal log-likelihood from the theoretical ARMA
+// autocovariance matrix (O(n^3); only for small n).
+double DirectMvnLogLik(const std::vector<double>& w,
+                       const std::vector<double>& phi,
+                       const std::vector<double>& theta, double sigma2) {
+  const std::size_t n = w.size();
+  const auto gamma = ArmaAutocovariances(phi, theta, n - 1);
+  math::Matrix cov(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cov(i, j) = sigma2 * gamma[static_cast<std::size_t>(
+                               std::llabs(static_cast<long long>(i) -
+                                          static_cast<long long>(j)))];
+    }
+  }
+  auto l = math::CholeskyFactor(cov);
+  EXPECT_TRUE(l.ok());
+  // log det = 2 sum log L_ii; quadratic form via forward solve.
+  double logdet = 0.0;
+  for (std::size_t i = 0; i < n; ++i) logdet += std::log((*l)(i, i));
+  logdet *= 2.0;
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = w[i];
+    for (std::size_t k = 0; k < i; ++k) v -= (*l)(i, k) * z[k];
+    z[i] = v / (*l)(i, i);
+  }
+  double quad = 0.0;
+  for (double v : z) quad += v * v;
+  return -0.5 * (static_cast<double>(n) * std::log(2.0 * M_PI) + logdet +
+                 quad);
+}
+
+TEST(KalmanTest, MatchesDirectMvnForAr1) {
+  const std::vector<double> phi{0.6};
+  const auto y = SimulateArma(60, phi, {}, 1);
+  auto kl = ArmaKalmanLikelihood(y, phi, {});
+  ASSERT_TRUE(kl.ok());
+  const double direct = DirectMvnLogLik(y, phi, {}, kl->sigma2);
+  EXPECT_NEAR(kl->log_likelihood, direct, 0.05);
+}
+
+TEST(KalmanTest, MatchesDirectMvnForArma11) {
+  const std::vector<double> phi{0.5};
+  const std::vector<double> theta{0.3};
+  const auto y = SimulateArma(50, phi, theta, 2);
+  auto kl = ArmaKalmanLikelihood(y, phi, theta);
+  ASSERT_TRUE(kl.ok());
+  const double direct = DirectMvnLogLik(y, phi, theta, kl->sigma2);
+  EXPECT_NEAR(kl->log_likelihood, direct, 0.05);
+}
+
+TEST(KalmanTest, MatchesDirectMvnForMa2) {
+  const std::vector<double> theta{0.4, 0.2};
+  const auto y = SimulateArma(50, {}, theta, 3);
+  auto kl = ArmaKalmanLikelihood(y, {}, theta);
+  ASSERT_TRUE(kl.ok());
+  const double direct = DirectMvnLogLik(y, {}, theta, kl->sigma2);
+  EXPECT_NEAR(kl->log_likelihood, direct, 0.05);
+}
+
+TEST(KalmanTest, WhiteNoiseSigmaRecovered) {
+  std::mt19937 rng(4);
+  std::normal_distribution<double> dist(0.0, 2.0);
+  std::vector<double> y(2000);
+  for (auto& v : y) v = dist(rng);
+  auto kl = ArmaKalmanLikelihood(y, {}, {});
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(kl->sigma2, 4.0, 0.4);
+}
+
+TEST(KalmanTest, TrueParametersBeatWrongOnes) {
+  const std::vector<double> phi{0.7};
+  const auto y = SimulateArma(1000, phi, {}, 5);
+  auto right = ArmaKalmanLikelihood(y, {0.7}, {});
+  auto wrong = ArmaKalmanLikelihood(y, {-0.3}, {});
+  ASSERT_TRUE(right.ok());
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_GT(right->log_likelihood, wrong->log_likelihood + 50.0);
+}
+
+TEST(KalmanTest, InnovationsAreWhiteUnderTrueModel) {
+  const std::vector<double> phi{0.8};
+  const auto y = SimulateArma(3000, phi, {}, 6);
+  auto kl = ArmaKalmanLikelihood(y, phi, {});
+  ASSERT_TRUE(kl.ok());
+  // Standardized innovations should be serially uncorrelated.
+  const auto& v = kl->innovations;
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t t = 1; t < v.size(); ++t) {
+    num += (v[t] - mean) * (v[t - 1] - mean);
+  }
+  for (double x : v) den += (x - mean) * (x - mean);
+  EXPECT_LT(std::fabs(num / den), 0.06);
+}
+
+TEST(KalmanTest, DiffusePathForLargeStateDimension) {
+  // Seasonal-scale lag vector (r > 12) exercises the diffuse branch.
+  std::vector<double> ar(24, 0.0);
+  ar[23] = 0.5;  // seasonal AR at lag 24
+  const auto y = SimulateArma(600, ar, {}, 7);
+  auto kl = ArmaKalmanLikelihood(y, ar, {});
+  ASSERT_TRUE(kl.ok());
+  EXPECT_TRUE(std::isfinite(kl->log_likelihood));
+  EXPECT_NEAR(kl->sigma2, 1.0, 0.2);
+}
+
+TEST(KalmanTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ArmaKalmanLikelihood({}, {0.5}, {}).ok());
+}
+
+TEST(AutocovarianceTest, Ar1ClosedForm) {
+  // gamma(k) = phi^k / (1 - phi^2) for unit innovation variance.
+  const double phi = 0.6;
+  const auto gamma = ArmaAutocovariances({phi}, {}, 5);
+  for (std::size_t k = 0; k <= 5; ++k) {
+    EXPECT_NEAR(gamma[k],
+                std::pow(phi, static_cast<double>(k)) / (1.0 - phi * phi),
+                1e-9);
+  }
+}
+
+TEST(AutocovarianceTest, Ma1ClosedForm) {
+  // gamma(0) = 1 + theta^2, gamma(1) = theta, gamma(k>1) = 0.
+  const double theta = 0.4;
+  const auto gamma = ArmaAutocovariances({}, {theta}, 3);
+  EXPECT_NEAR(gamma[0], 1.0 + theta * theta, 1e-12);
+  EXPECT_NEAR(gamma[1], theta, 1e-12);
+  EXPECT_NEAR(gamma[2], 0.0, 1e-12);
+}
+
+TEST(MleFitTest, MleRefinementRecoversAr1) {
+  const auto y = SimulateArma(2000, {0.7}, {}, 8);
+  ArimaModel::Options opts;
+  opts.method = ArimaModel::Method::kMle;
+  auto m = ArimaModel::Fit(y, ArimaSpec{1, 0, 0, 0, 0, 0, 0}, opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->ar_coefficients()[0], 0.7, 0.05);
+}
+
+TEST(MleFitTest, MleAndCssAgreeOnLongSeries) {
+  const auto y = SimulateArma(4000, {0.5}, {0.3}, 9);
+  ArimaModel::Options mle;
+  mle.method = ArimaModel::Method::kMle;
+  auto m_mle = ArimaModel::Fit(y, ArimaSpec{1, 0, 1, 0, 0, 0, 0}, mle);
+  auto m_css = ArimaModel::Fit(y, ArimaSpec{1, 0, 1, 0, 0, 0, 0});
+  ASSERT_TRUE(m_mle.ok());
+  ASSERT_TRUE(m_css.ok());
+  EXPECT_NEAR(m_mle->ar_coefficients()[0], m_css->ar_coefficients()[0],
+              0.05);
+  EXPECT_NEAR(m_mle->ma_coefficients()[0], m_css->ma_coefficients()[0],
+              0.08);
+}
+
+}  // namespace
+}  // namespace capplan::models

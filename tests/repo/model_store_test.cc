@@ -1,0 +1,115 @@
+#include "repo/model_store.h"
+
+#include <gtest/gtest.h>
+
+namespace capplan::repo {
+namespace {
+
+StoredModel MakeModel(const std::string& key, double rmse,
+                      std::int64_t fitted_at) {
+  StoredModel m;
+  m.key = key;
+  m.technique = "SARIMAX_FFT_EXOG";
+  m.spec = "(1,1,2)(1,1,1,24)";
+  m.test_rmse = rmse;
+  m.test_mape = 12.5;
+  m.fitted_at_epoch = fitted_at;
+  return m;
+}
+
+TEST(ModelRepositoryTest, PutAndGet) {
+  ModelRepository repo;
+  repo.Put(MakeModel("cdbm011/cpu", 8.42, 1000));
+  auto m = repo.Get("cdbm011/cpu");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->spec, "(1,1,2)(1,1,1,24)");
+  EXPECT_DOUBLE_EQ(m->test_rmse, 8.42);
+  EXPECT_TRUE(repo.Contains("cdbm011/cpu"));
+  EXPECT_FALSE(repo.Get("other").ok());
+}
+
+TEST(ModelRepositoryTest, PutReplaces) {
+  ModelRepository repo;
+  repo.Put(MakeModel("k", 10.0, 0));
+  repo.Put(MakeModel("k", 5.0, 1));
+  EXPECT_EQ(repo.size(), 1u);
+  EXPECT_DOUBLE_EQ(repo.Get("k")->test_rmse, 5.0);
+}
+
+TEST(StalenessTest, MissingModelIsStale) {
+  ModelRepository repo;
+  EXPECT_TRUE(repo.IsStale("absent", 0));
+}
+
+TEST(StalenessTest, FreshModelNotStale) {
+  ModelRepository repo;
+  repo.Put(MakeModel("k", 10.0, 1000));
+  EXPECT_FALSE(repo.IsStale("k", 1000 + 3600));
+}
+
+TEST(StalenessTest, OneWeekAgeTriggersRetrain) {
+  // The paper's policy: "used for a period of one week".
+  ModelRepository repo;
+  repo.Put(MakeModel("k", 10.0, 0));
+  const std::int64_t week = 7 * 24 * 3600;
+  EXPECT_FALSE(repo.IsStale("k", week - 1));
+  EXPECT_TRUE(repo.IsStale("k", week + 1));
+}
+
+TEST(StalenessTest, RmseDegradationTriggersRetrain) {
+  // "or until the model's RMSE drops to a point where it is rendered
+  // useless".
+  ModelRepository repo;
+  repo.Put(MakeModel("k", 10.0, 1000));
+  EXPECT_FALSE(repo.IsStale("k", 2000, 15.0));
+  EXPECT_TRUE(repo.IsStale("k", 2000, 25.0));  // 2.5x the stored RMSE
+}
+
+TEST(StalenessTest, UnknownCurrentRmseIgnored) {
+  ModelRepository repo;
+  repo.Put(MakeModel("k", 10.0, 1000));
+  EXPECT_FALSE(repo.IsStale("k", 2000, -1.0));
+}
+
+TEST(StalenessTest, CustomPolicy) {
+  StalenessPolicy policy;
+  policy.max_age_seconds = 100;
+  policy.rmse_degradation_factor = 1.1;
+  ModelRepository repo(policy);
+  repo.Put(MakeModel("k", 10.0, 0));
+  EXPECT_TRUE(repo.IsStale("k", 101));
+  EXPECT_TRUE(repo.IsStale("k", 50, 11.5));
+  EXPECT_FALSE(repo.IsStale("k", 50, 10.5));
+}
+
+TEST(ModelRepositoryTest, SaveLoadRoundTrip) {
+  ModelRepository repo;
+  repo.Put(MakeModel("cdbm011/cpu", 8.42, 1559520000));
+  repo.Put(MakeModel("cdbm012/logical_iops", 52879.49, 1559520001));
+  const std::string path = ::testing::TempDir() + "/models.csv";
+  ASSERT_TRUE(repo.Save(path).ok());
+
+  ModelRepository loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  auto m = loaded.Get("cdbm012/logical_iops");
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->test_rmse, 52879.49);
+  EXPECT_EQ(m->fitted_at_epoch, 1559520001);
+  EXPECT_EQ(m->technique, "SARIMAX_FFT_EXOG");
+}
+
+TEST(ModelRepositoryTest, LoadMissingFileFails) {
+  ModelRepository repo;
+  EXPECT_FALSE(repo.Load("/no/such/file.csv").ok());
+}
+
+TEST(ModelRepositoryTest, KeysListing) {
+  ModelRepository repo;
+  repo.Put(MakeModel("b", 1.0, 0));
+  repo.Put(MakeModel("a", 1.0, 0));
+  EXPECT_EQ(repo.Keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace capplan::repo

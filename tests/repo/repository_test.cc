@@ -1,0 +1,101 @@
+#include "repo/repository.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "repo/csv.h"
+
+namespace capplan::repo {
+namespace {
+
+tsa::TimeSeries QuarterHourly(std::vector<double> v) {
+  return tsa::TimeSeries("raw", 0, tsa::Frequency::kQuarterHourly,
+                         std::move(v));
+}
+
+TEST(RepositoryTest, KeyFormat) {
+  EXPECT_EQ(MetricsRepository::KeyFor("cdbm011", workload::Metric::kCpu),
+            "cdbm011/cpu");
+  EXPECT_EQ(
+      MetricsRepository::KeyFor("cdbm012", workload::Metric::kLogicalIops),
+      "cdbm012/logical_iops");
+}
+
+TEST(RepositoryTest, IngestAggregatesToHourly) {
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest("k", QuarterHourly({1, 2, 3, 4, 8, 8, 8, 8})).ok());
+  auto hourly = repo.Hourly("k");
+  ASSERT_TRUE(hourly.ok());
+  ASSERT_EQ(hourly->size(), 2u);
+  EXPECT_DOUBLE_EQ((*hourly)[0], 2.5);
+  EXPECT_DOUBLE_EQ((*hourly)[1], 8.0);
+  // Raw preserved as-is.
+  auto raw = repo.Raw("k");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->size(), 8u);
+}
+
+TEST(RepositoryTest, HourlyInputStoredAsIs) {
+  MetricsRepository repo;
+  tsa::TimeSeries hourly("h", 0, tsa::Frequency::kHourly, {5, 6, 7});
+  ASSERT_TRUE(repo.Ingest("k", hourly).ok());
+  auto out = repo.Hourly("k");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST(RepositoryTest, MissingKeyNotFound) {
+  MetricsRepository repo;
+  EXPECT_FALSE(repo.Hourly("missing").ok());
+  EXPECT_EQ(repo.Hourly("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(repo.Contains("missing"));
+}
+
+TEST(RepositoryTest, KeysSortedAndCounted) {
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest("b", QuarterHourly({1, 2, 3, 4})).ok());
+  ASSERT_TRUE(repo.Ingest("a", QuarterHourly({1, 2, 3, 4})).ok());
+  EXPECT_EQ(repo.size(), 2u);
+  EXPECT_EQ(repo.Keys(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(repo.Contains("a"));
+}
+
+TEST(RepositoryTest, ReingestReplaces) {
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest("k", QuarterHourly({1, 1, 1, 1})).ok());
+  ASSERT_TRUE(repo.Ingest("k", QuarterHourly({9, 9, 9, 9})).ok());
+  auto hourly = repo.Hourly("k");
+  ASSERT_TRUE(hourly.ok());
+  EXPECT_DOUBLE_EQ((*hourly)[0], 9.0);
+}
+
+TEST(RepositoryTest, RejectsEmptyInputs) {
+  MetricsRepository repo;
+  EXPECT_FALSE(repo.Ingest("", QuarterHourly({1, 2, 3, 4})).ok());
+  EXPECT_FALSE(repo.Ingest("k", QuarterHourly({})).ok());
+}
+
+TEST(RepositoryTest, NanGapsSurviveAggregation) {
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest(
+      "k", QuarterHourly({std::nan(""), std::nan(""), std::nan(""),
+                          std::nan(""), 2.0, 2.0, 2.0, 2.0})).ok());
+  auto hourly = repo.Hourly("k");
+  ASSERT_TRUE(hourly.ok());
+  EXPECT_TRUE(std::isnan((*hourly)[0]));
+  EXPECT_DOUBLE_EQ((*hourly)[1], 2.0);
+}
+
+TEST(RepositoryTest, SaveAllWritesFiles) {
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest("inst/cpu", QuarterHourly({1, 2, 3, 4})).ok());
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(repo.SaveAll(dir).ok());
+  auto back = ReadSeriesCsv(dir + "/inst_cpu.csv");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 1u);
+}
+
+}  // namespace
+}  // namespace capplan::repo

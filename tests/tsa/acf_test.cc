@@ -1,0 +1,130 @@
+#include "tsa/acf.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+std::vector<double> WhiteNoise(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(n);
+  for (auto& v : x) v = dist(rng);
+  return x;
+}
+
+std::vector<double> Ar1(std::size_t n, double phi, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(n, 0.0);
+  for (std::size_t t = 1; t < n; ++t) x[t] = phi * x[t - 1] + dist(rng);
+  return x;
+}
+
+TEST(AcfTest, LagZeroIsOne) {
+  auto acf = Acf(WhiteNoise(200, 1), 10);
+  ASSERT_TRUE(acf.ok());
+  EXPECT_DOUBLE_EQ((*acf)[0], 1.0);
+  EXPECT_EQ(acf->size(), 11u);
+}
+
+TEST(AcfTest, WhiteNoiseStaysInsideBand) {
+  auto acf = Acf(WhiteNoise(2000, 7), 20);
+  ASSERT_TRUE(acf.ok());
+  const double band = WhiteNoiseBand(2000);
+  int outside = 0;
+  for (std::size_t k = 1; k <= 20; ++k) {
+    if (std::fabs((*acf)[k]) > band) ++outside;
+  }
+  EXPECT_LE(outside, 3);  // ~5% expected outside a 95% band
+}
+
+TEST(AcfTest, Ar1AcfDecaysGeometrically) {
+  auto acf = Acf(Ar1(20000, 0.7, 11), 5);
+  ASSERT_TRUE(acf.ok());
+  EXPECT_NEAR((*acf)[1], 0.7, 0.05);
+  EXPECT_NEAR((*acf)[2], 0.49, 0.05);
+  EXPECT_NEAR((*acf)[3], 0.343, 0.06);
+}
+
+TEST(AcfTest, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> x(240);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 24.0);
+  }
+  auto acf = Acf(x, 30);
+  ASSERT_TRUE(acf.ok());
+  EXPECT_GT((*acf)[24], 0.9);
+  EXPECT_LT((*acf)[12], -0.9);
+}
+
+TEST(AcfTest, RejectsShortOrConstantSeries) {
+  EXPECT_FALSE(Acf({1.0, 2.0}, 5).ok());
+  EXPECT_FALSE(Acf(std::vector<double>(50, 3.0), 5).ok());
+}
+
+TEST(PacfTest, Ar1CutsOffAfterLagOne) {
+  auto pacf = Pacf(Ar1(20000, 0.6, 3), 6);
+  ASSERT_TRUE(pacf.ok());
+  EXPECT_NEAR((*pacf)[0], 0.6, 0.05);
+  for (std::size_t k = 1; k < 6; ++k) {
+    EXPECT_LT(std::fabs((*pacf)[k]), 0.06) << "lag " << k + 1;
+  }
+}
+
+TEST(PacfTest, Ar2CutsOffAfterLagTwo) {
+  std::mt19937 rng(17);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(20000, 0.0);
+  for (std::size_t t = 2; t < x.size(); ++t) {
+    x[t] = 0.5 * x[t - 1] - 0.3 * x[t - 2] + dist(rng);
+  }
+  auto pacf = Pacf(x, 6);
+  ASSERT_TRUE(pacf.ok());
+  EXPECT_NEAR((*pacf)[1], -0.3, 0.05);
+  for (std::size_t k = 2; k < 6; ++k) {
+    EXPECT_LT(std::fabs((*pacf)[k]), 0.06);
+  }
+}
+
+TEST(WhiteNoiseBandTest, Formula) {
+  EXPECT_NEAR(WhiteNoiseBand(100), 0.196, 1e-3);
+  EXPECT_DOUBLE_EQ(WhiteNoiseBand(0), 0.0);
+}
+
+TEST(SignificantLagsTest, FindsLagsOutsideBand) {
+  // Correlogram with lags 2 and 5 clearly significant for n = 100.
+  const std::vector<double> corr{0.05, 0.5, -0.1, 0.02, 0.4};
+  const auto lags = SignificantLags(corr, 100);
+  EXPECT_EQ(lags, (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(LjungBoxTest, WhiteNoiseNotRejected) {
+  // A 5% test rejects ~5% of white-noise draws; check that most seeds pass
+  // rather than pinning one draw.
+  int rejected = 0;
+  for (unsigned seed = 100; seed < 110; ++seed) {
+    auto lb = LjungBox(WhiteNoise(500, seed), 10);
+    ASSERT_TRUE(lb.ok());
+    if (lb->p_value < 0.05) ++rejected;
+  }
+  EXPECT_LE(rejected, 2);
+}
+
+TEST(LjungBoxTest, CorrelatedResidualsRejected) {
+  auto lb = LjungBox(Ar1(500, 0.8, 29), 10);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_LT(lb->p_value, 0.01);
+  EXPECT_GT(lb->statistic, 0.0);
+}
+
+TEST(LjungBoxTest, RejectsBadLagCounts) {
+  EXPECT_FALSE(LjungBox(WhiteNoise(50, 1), 0).ok());
+  EXPECT_FALSE(LjungBox(WhiteNoise(50, 1), 50).ok());
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,89 @@
+#include "tsa/boxcox.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+TEST(BoxCoxTest, LambdaZeroIsLog) {
+  EXPECT_DOUBLE_EQ(BoxCox(std::exp(1.0), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(InverseBoxCox(1.0, 0.0), std::exp(1.0));
+}
+
+TEST(BoxCoxTest, LambdaOneIsShift) {
+  EXPECT_DOUBLE_EQ(BoxCox(5.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(InverseBoxCox(4.0, 1.0), 5.0);
+}
+
+class BoxCoxRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoxCoxRoundTripTest, InverseRecoversValue) {
+  const double lambda = GetParam();
+  for (double y : {0.1, 0.5, 1.0, 3.0, 42.0, 1e4}) {
+    EXPECT_NEAR(InverseBoxCox(BoxCox(y, lambda), lambda), y,
+                1e-9 * std::max(1.0, y))
+        << "lambda=" << lambda << " y=" << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, BoxCoxRoundTripTest,
+                         ::testing::Values(-1.0, -0.5, 0.0, 0.25, 0.5, 1.0,
+                                           1.5, 2.0));
+
+TEST(BoxCoxTest, InverseClampsOutOfDomain) {
+  // lambda = 0.5: z must be > -2; below that the inverse clamps to 0.
+  EXPECT_DOUBLE_EQ(InverseBoxCox(-5.0, 0.5), 0.0);
+}
+
+TEST(BoxCoxTransformTest, VectorRoundTrip) {
+  const std::vector<double> y{1.0, 2.0, 4.0, 8.0};
+  auto z = BoxCoxTransform(y, 0.3);
+  ASSERT_TRUE(z.ok());
+  const auto back = InverseBoxCoxTransform(*z, 0.3);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(back[i], y[i], 1e-10);
+  }
+}
+
+TEST(BoxCoxTransformTest, RejectsNonPositive) {
+  EXPECT_FALSE(BoxCoxTransform({1.0, 0.0, 2.0}, 0.5).ok());
+  EXPECT_FALSE(BoxCoxTransform({1.0, -3.0}, 0.5).ok());
+}
+
+TEST(EstimateLambdaTest, LogNormalDataPrefersLogTransform) {
+  std::mt19937 rng(7);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(2000);
+  for (auto& v : y) v = std::exp(dist(rng));
+  auto lambda = EstimateBoxCoxLambda(y);
+  ASSERT_TRUE(lambda.ok());
+  EXPECT_NEAR(*lambda, 0.0, 0.15);
+}
+
+TEST(EstimateLambdaTest, RecoversKnownTransform) {
+  // Build data whose Box-Cox transform at a known lambda is exactly normal;
+  // the profile-likelihood estimate should land near that lambda. (For
+  // near-constant-CV data the likelihood is flat in lambda, so we use a
+  // spread wide enough to identify it.)
+  std::mt19937 rng(11);
+  std::normal_distribution<double> dist(5.0, 1.0);
+  const double true_lambda = 0.3;
+  std::vector<double> y(5000);
+  for (auto& v : y) v = InverseBoxCox(dist(rng), true_lambda);
+  auto lambda = EstimateBoxCoxLambda(y);
+  ASSERT_TRUE(lambda.ok());
+  EXPECT_NEAR(*lambda, true_lambda, 0.25);
+}
+
+TEST(EstimateLambdaTest, RejectsBadInput) {
+  EXPECT_FALSE(EstimateBoxCoxLambda({1, 2, 3}).ok());  // too short
+  std::vector<double> with_zero(20, 1.0);
+  with_zero[3] = 0.0;
+  EXPECT_FALSE(EstimateBoxCoxLambda(with_zero).ok());
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,79 @@
+#include "tsa/calendar.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace capplan::tsa {
+namespace {
+
+TEST(CalendarTest, EpochZeroIsThursdayMidnight) {
+  EXPECT_EQ(HourOfDay(0), 0);
+  EXPECT_EQ(MinuteOfHour(0), 0);
+  EXPECT_EQ(DayOfWeek(0), 3);  // Thursday
+  EXPECT_FALSE(IsWeekend(0));
+  const CivilDate d = ToCivilDate(0);
+  EXPECT_EQ(d.year, 1970);
+  EXPECT_EQ(d.month, 1);
+  EXPECT_EQ(d.day, 1);
+}
+
+TEST(CalendarTest, ExperimentStartIsMonday2019) {
+  const auto epoch = workload::kExperimentStartEpoch;  // 2019-06-03 00:00
+  EXPECT_EQ(DayOfWeek(epoch), 0);  // Monday
+  const CivilDate d = ToCivilDate(epoch);
+  EXPECT_EQ(d.year, 2019);
+  EXPECT_EQ(d.month, 6);
+  EXPECT_EQ(d.day, 3);
+  EXPECT_EQ(FormatTimestamp(epoch), "2019-06-03 00:00");
+}
+
+TEST(CalendarTest, HourAndMinuteArithmetic) {
+  const std::int64_t t = 7 * 3600 + 42 * 60 + 13;
+  EXPECT_EQ(HourOfDay(t), 7);
+  EXPECT_EQ(MinuteOfHour(t), 42);
+}
+
+TEST(CalendarTest, WeekendDetection) {
+  // 2019-06-08 is a Saturday (5 days after Monday 2019-06-03).
+  const auto sat = workload::kExperimentStartEpoch + 5 * 86400;
+  EXPECT_TRUE(IsWeekend(sat));
+  EXPECT_TRUE(IsWeekend(sat + 86400));        // Sunday
+  EXPECT_FALSE(IsWeekend(sat + 2 * 86400));   // Monday
+}
+
+TEST(CalendarTest, DaysBetween) {
+  EXPECT_EQ(DaysBetween(0, 86400), 1);
+  EXPECT_EQ(DaysBetween(0, 86399), 0);
+  EXPECT_EQ(DaysBetween(86400, 0), -1);
+  // Crossing a midnight counts even for a short span.
+  EXPECT_EQ(DaysBetween(86400 - 1, 86400 + 1), 1);
+}
+
+TEST(CalendarTest, LeapYearHandled) {
+  // 2020-02-29 00:00 UTC = 1582934400.
+  const CivilDate d = ToCivilDate(1582934400);
+  EXPECT_EQ(d.year, 2020);
+  EXPECT_EQ(d.month, 2);
+  EXPECT_EQ(d.day, 29);
+}
+
+TEST(CalendarTest, NegativeEpochsSane) {
+  // 1969-12-31 23:00.
+  const std::int64_t t = -3600;
+  EXPECT_EQ(HourOfDay(t), 23);
+  const CivilDate d = ToCivilDate(t);
+  EXPECT_EQ(d.year, 1969);
+  EXPECT_EQ(d.month, 12);
+  EXPECT_EQ(d.day, 31);
+}
+
+TEST(CalendarTest, FormatDurationForms) {
+  EXPECT_EQ(FormatDuration(0), "00:00");
+  EXPECT_EQ(FormatDuration(3 * 3600 + 30 * 60), "03:30");
+  EXPECT_EQ(FormatDuration(2 * 86400 + 7 * 3600 + 5 * 60), "2d 07:05");
+  EXPECT_EQ(FormatDuration(-10), "00:00");
+}
+
+}  // namespace
+}  // namespace capplan::tsa

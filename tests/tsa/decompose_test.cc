@@ -1,0 +1,143 @@
+#include "tsa/decompose.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+std::vector<double> SeasonalTrendSeries(std::size_t n, std::size_t period,
+                                        double trend_slope, double amp,
+                                        double base = 100.0) {
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = base + trend_slope * static_cast<double>(t) +
+           amp * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                          static_cast<double>(period));
+  }
+  return x;
+}
+
+TEST(MovingAverageTest, OddWindowExact) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const auto ma = CenteredMovingAverage(x, 3);
+  EXPECT_TRUE(std::isnan(ma[0]));
+  EXPECT_DOUBLE_EQ(ma[1], 2.0);
+  EXPECT_DOUBLE_EQ(ma[2], 3.0);
+  EXPECT_DOUBLE_EQ(ma[3], 4.0);
+  EXPECT_TRUE(std::isnan(ma[4]));
+}
+
+TEST(MovingAverageTest, EvenWindowUses2xM) {
+  // 2x4 MA of a linear series equals the series itself in the interior.
+  std::vector<double> x(12);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  const auto ma = CenteredMovingAverage(x, 4);
+  for (std::size_t i = 2; i + 2 < x.size(); ++i) {
+    EXPECT_NEAR(ma[i], x[i], 1e-12);
+  }
+}
+
+TEST(MovingAverageTest, RemovesExactSeasonality) {
+  const auto x = SeasonalTrendSeries(60, 6, 0.5, 10.0);
+  const auto ma = CenteredMovingAverage(x, 6);
+  // Interior trend estimate should be ~ linear with slope 0.5.
+  for (std::size_t i = 10; i < 50; ++i) {
+    EXPECT_NEAR(ma[i], 100.0 + 0.5 * static_cast<double>(i), 0.01);
+  }
+}
+
+TEST(DecomposeTest, AdditiveRecoversComponents) {
+  const std::size_t period = 12;
+  const auto x = SeasonalTrendSeries(period * 10, period, 0.3, 8.0);
+  auto dec = SeasonalDecompose(x, period, DecomposeKind::kAdditive);
+  ASSERT_TRUE(dec.ok());
+  // Seasonal indices reproduce the sine shape.
+  for (std::size_t p = 0; p < period; ++p) {
+    const double expected =
+        8.0 * std::sin(2.0 * M_PI * static_cast<double>(p) /
+                       static_cast<double>(period));
+    EXPECT_NEAR(dec->seasonal_indices[p], expected, 0.15) << "phase " << p;
+  }
+  // Remainder is tiny for this noiseless series (interior only).
+  for (std::size_t t = period; t + period < x.size(); ++t) {
+    EXPECT_NEAR(dec->remainder[t], 0.0, 0.2);
+  }
+}
+
+TEST(DecomposeTest, AdditiveIndicesSumToZero) {
+  const auto x = SeasonalTrendSeries(96, 24, 0.1, 5.0);
+  auto dec = SeasonalDecompose(x, 24, DecomposeKind::kAdditive);
+  ASSERT_TRUE(dec.ok());
+  double sum = 0.0;
+  for (double v : dec->seasonal_indices) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(DecomposeTest, MultiplicativeIndicesAverageToOne) {
+  std::vector<double> x(96);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 100.0 * (1.0 + 0.2 * std::sin(2.0 * M_PI *
+                                         static_cast<double>(t) / 24.0));
+  }
+  auto dec = SeasonalDecompose(x, 24, DecomposeKind::kMultiplicative);
+  ASSERT_TRUE(dec.ok());
+  double sum = 0.0;
+  for (double v : dec->seasonal_indices) sum += v;
+  EXPECT_NEAR(sum / 24.0, 1.0, 1e-9);
+}
+
+TEST(DecomposeTest, MultiplicativeRejectsNonPositive) {
+  std::vector<double> x(48, 1.0);
+  x[5] = -1.0;
+  EXPECT_FALSE(
+      SeasonalDecompose(x, 12, DecomposeKind::kMultiplicative).ok());
+}
+
+TEST(DecomposeTest, RejectsBadPeriodOrLength) {
+  const std::vector<double> x(30, 1.0);
+  EXPECT_FALSE(SeasonalDecompose(x, 1, DecomposeKind::kAdditive).ok());
+  EXPECT_FALSE(SeasonalDecompose(x, 20, DecomposeKind::kAdditive).ok());
+}
+
+TEST(TraitsTest, StrongSeasonalStrongTrend) {
+  const auto x = SeasonalTrendSeries(24 * 14, 24, 1.0, 20.0);
+  auto traits = MeasureTraits(x, 24);
+  ASSERT_TRUE(traits.ok());
+  EXPECT_GT(traits->seasonal_strength, 0.9);
+  EXPECT_GT(traits->trend_strength, 0.9);
+}
+
+TEST(TraitsTest, PureNoiseHasWeakStructure) {
+  std::mt19937 rng(5);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(24 * 14);
+  for (auto& v : x) v = dist(rng);
+  auto traits = MeasureTraits(x, 24);
+  ASSERT_TRUE(traits.ok());
+  EXPECT_LT(traits->seasonal_strength, 0.35);
+  EXPECT_LT(traits->trend_strength, 0.35);
+}
+
+TEST(TraitsTest, SeasonalOnlyVsTrendOnly) {
+  const auto seasonal_only = SeasonalTrendSeries(24 * 14, 24, 0.0, 20.0);
+  auto t1 = MeasureTraits(seasonal_only, 24);
+  ASSERT_TRUE(t1.ok());
+  EXPECT_GT(t1->seasonal_strength, 0.9);
+
+  std::vector<double> trend_only(24 * 14);
+  std::mt19937 rng(6);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (std::size_t t = 0; t < trend_only.size(); ++t) {
+    trend_only[t] = 0.5 * static_cast<double>(t) + dist(rng);
+  }
+  auto t2 = MeasureTraits(trend_only, 24);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_GT(t2->trend_strength, 0.9);
+  EXPECT_LT(t2->seasonal_strength, 0.4);
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,115 @@
+#include "tsa/difference.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+TEST(DifferenceTest, FirstDifference) {
+  const auto d = Difference({1, 3, 6, 10}, 1);
+  EXPECT_EQ(d, (std::vector<double>{2, 3, 4}));
+}
+
+TEST(DifferenceTest, SeasonalLag) {
+  const auto d = Difference({1, 2, 3, 11, 12, 13}, 3);
+  EXPECT_EQ(d, (std::vector<double>{10, 10, 10}));
+}
+
+TEST(DifferenceTest, TooShortReturnsEmpty) {
+  EXPECT_TRUE(Difference({1, 2}, 2).empty());
+  EXPECT_TRUE(Difference({1, 2, 3}, 0).empty());
+}
+
+TEST(DifferenceTest, LinearTrendKilledByFirstDifference) {
+  std::vector<double> x(20);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 5.0 + 2.0 * static_cast<double>(i);
+  }
+  const auto d = Difference(x, 1);
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(DifferenceManyTest, CombinedOrdinaryAndSeasonal) {
+  std::vector<double> x(30);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) +
+           4.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 6.0);
+  }
+  const auto d = DifferenceMany(x, 1, 1, 6);
+  EXPECT_EQ(d.size(), x.size() - 1 - 6);
+  // Trend and the period-6 cycle are both removed: residuals ~ 0.
+  for (double v : d) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(UndifferenceTest, InvertsDifference) {
+  const std::vector<double> x{3, 1, 4, 1, 5, 9, 2, 6};
+  const auto d = Difference(x, 1);
+  // Reconstruct x[1..] from d given x[0].
+  const auto back = Undifference(d, {x[0]}, 1);
+  ASSERT_EQ(back.size(), d.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i + 1], 1e-12);
+  }
+}
+
+TEST(UndifferenceTest, SeasonalInverse) {
+  const std::vector<double> x{1, 2, 3, 4, 6, 8, 10, 12};
+  const std::size_t lag = 4;
+  const auto d = Difference(x, lag);
+  const std::vector<double> init(x.begin(), x.begin() + 4);
+  const auto back = Undifference(d, init, lag);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i + lag], 1e-12);
+  }
+}
+
+class IntegrateForecastTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(IntegrateForecastTest, RoundTripsFutureValues) {
+  const auto [d, D, period] = GetParam();
+  // Build a deterministic "full" series, treat the head as training data and
+  // verify that differencing the full series and integrating the tail
+  // reproduces the true future values.
+  const std::size_t n_total = 80;
+  const std::size_t n_train = 60;
+  std::vector<double> full(n_total);
+  for (std::size_t i = 0; i < n_total; ++i) {
+    full[i] = 0.3 * static_cast<double>(i) +
+              5.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 8.0) +
+              std::cos(0.7 * static_cast<double>(i));
+  }
+  const std::vector<double> train(full.begin(), full.begin() + n_train);
+  const auto full_diff = DifferenceMany(full, d, D, period);
+  const std::size_t consumed = n_total - full_diff.size();
+  // The differenced values corresponding to the future.
+  std::vector<double> future_diff(
+      full_diff.begin() + static_cast<std::ptrdiff_t>(n_train - consumed),
+      full_diff.end());
+  const auto reconstructed =
+      IntegrateForecast(train, future_diff, d, D, period);
+  ASSERT_EQ(reconstructed.size(), n_total - n_train);
+  for (std::size_t i = 0; i < reconstructed.size(); ++i) {
+    EXPECT_NEAR(reconstructed[i], full[n_train + i], 1e-9) << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, IntegrateForecastTest,
+    ::testing::Values(std::make_tuple(1, 0, std::size_t{0}),
+                      std::make_tuple(2, 0, std::size_t{0}),
+                      std::make_tuple(0, 1, std::size_t{8}),
+                      std::make_tuple(1, 1, std::size_t{8}),
+                      std::make_tuple(2, 1, std::size_t{4})));
+
+TEST(IntegrateForecastTest, ZeroOrdersIsIdentity) {
+  const std::vector<double> train{1, 2, 3};
+  const std::vector<double> fc{4, 5};
+  EXPECT_EQ(IntegrateForecast(train, fc, 0, 0, 0), fc);
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,76 @@
+#include "tsa/fourier.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+TEST(FourierTest, ColumnCount) {
+  EXPECT_EQ(FourierColumnCount({{24.0, 2}}), 4u);
+  EXPECT_EQ(FourierColumnCount({{24.0, 2}, {168.0, 3}}), 10u);
+  EXPECT_EQ(FourierColumnCount({}), 0u);
+}
+
+TEST(FourierTest, ValuesMatchDefinition) {
+  auto cols = FourierTerms({{24.0, 1}}, 0, 48);
+  ASSERT_TRUE(cols.ok());
+  ASSERT_EQ(cols->size(), 2u);
+  for (std::size_t t = 0; t < 48; ++t) {
+    const double w = 2.0 * M_PI * static_cast<double>(t) / 24.0;
+    EXPECT_NEAR((*cols)[0][t], std::sin(w), 1e-12);
+    EXPECT_NEAR((*cols)[1][t], std::cos(w), 1e-12);
+  }
+}
+
+TEST(FourierTest, PeriodicityAtThePeriod) {
+  auto cols = FourierTerms({{24.0, 2}}, 0, 96);
+  ASSERT_TRUE(cols.ok());
+  for (const auto& col : *cols) {
+    for (std::size_t t = 0; t + 24 < col.size(); ++t) {
+      EXPECT_NEAR(col[t], col[t + 24], 1e-9);
+    }
+  }
+}
+
+TEST(FourierTest, OffsetContinuesPhase) {
+  // Columns over [0, 100) and a continuation over [60, 100) must agree.
+  auto full = FourierTerms({{24.0, 2}}, 0, 100);
+  auto tail = FourierTerms({{24.0, 2}}, 60, 40);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(tail.ok());
+  for (std::size_t c = 0; c < full->size(); ++c) {
+    for (std::size_t t = 0; t < 40; ++t) {
+      EXPECT_NEAR((*full)[c][60 + t], (*tail)[c][t], 1e-12);
+    }
+  }
+}
+
+TEST(FourierTest, NonIntegerPeriodAccepted) {
+  auto cols = FourierTerms({{24.5, 1}}, 0, 50);
+  EXPECT_TRUE(cols.ok());
+}
+
+TEST(FourierTest, RejectsBadPeriods) {
+  EXPECT_FALSE(FourierTerms({{1.0, 1}}, 0, 10).ok());
+  EXPECT_FALSE(FourierTerms({{0.0, 1}}, 0, 10).ok());
+}
+
+TEST(FourierTest, RejectsAliasedHarmonics) {
+  // 2k >= period would alias.
+  EXPECT_FALSE(FourierTerms({{4.0, 2}}, 0, 10).ok());
+  EXPECT_TRUE(FourierTerms({{5.0, 2}}, 0, 10).ok());
+}
+
+TEST(FourierTest, MultiplePeriodsConcatenated) {
+  auto cols = FourierTerms({{24.0, 1}, {168.0, 2}}, 0, 200);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->size(), 6u);
+  // First two columns follow period 24, the rest period 168.
+  EXPECT_NEAR((*cols)[0][24], (*cols)[0][0], 1e-9);
+  EXPECT_NEAR((*cols)[2][168], (*cols)[2][0], 1e-9);
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,72 @@
+#include "tsa/interpolate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+const double kNan = std::nan("");
+
+TEST(InterpolateTest, FillsInteriorGap) {
+  auto out = LinearInterpolate(std::vector<double>{1.0, kNan, 3.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[1], 2.0);
+}
+
+TEST(InterpolateTest, FillsLongGapLinearly) {
+  auto out = LinearInterpolate(std::vector<double>{0.0, kNan, kNan, kNan, 4.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*out)[2], 2.0);
+  EXPECT_DOUBLE_EQ((*out)[3], 3.0);
+}
+
+TEST(InterpolateTest, LeadingTrailingFilledWithNearest) {
+  auto out =
+      LinearInterpolate(std::vector<double>{kNan, kNan, 5.0, 6.0, kNan});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0], 5.0);
+  EXPECT_DOUBLE_EQ((*out)[1], 5.0);
+  EXPECT_DOUBLE_EQ((*out)[4], 6.0);
+}
+
+TEST(InterpolateTest, NoGapsIsIdentity) {
+  const std::vector<double> x{1, 2, 3};
+  auto out = LinearInterpolate(x);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, x);
+}
+
+TEST(InterpolateTest, AllMissingFails) {
+  EXPECT_FALSE(LinearInterpolate(std::vector<double>{kNan, kNan}).ok());
+}
+
+TEST(InterpolateTest, MultipleGaps) {
+  auto out = LinearInterpolate(
+      std::vector<double>{0.0, kNan, 2.0, kNan, kNan, 8.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*out)[3], 4.0);
+  EXPECT_DOUBLE_EQ((*out)[4], 6.0);
+}
+
+TEST(InterpolateTest, TimeSeriesWrapperPreservesMetadata) {
+  TimeSeries ts("cdbm011/cpu", 7200, Frequency::kHourly, {1.0, kNan, 3.0});
+  auto out = LinearInterpolate(ts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->name(), "cdbm011/cpu");
+  EXPECT_EQ(out->start_epoch(), 7200);
+  EXPECT_EQ(out->frequency(), Frequency::kHourly);
+  EXPECT_FALSE(out->HasMissing());
+}
+
+TEST(MissingFractionTest, Computation) {
+  EXPECT_DOUBLE_EQ(MissingFraction({1.0, kNan, 3.0, kNan}), 0.5);
+  EXPECT_DOUBLE_EQ(MissingFraction({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(MissingFraction({}), 0.0);
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,110 @@
+#include "tsa/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+TEST(RmseTest, KnownValue) {
+  auto r = Rmse({1, 2, 3}, {1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+  r = Rmse({0, 0, 0, 0}, {1, 1, 1, 1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+  r = Rmse({0, 0}, {3, 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, std::sqrt(12.5), 1e-12);
+}
+
+TEST(RmseTest, RejectsBadInputs) {
+  EXPECT_FALSE(Rmse({}, {}).ok());
+  EXPECT_FALSE(Rmse({1, 2}, {1}).ok());
+}
+
+TEST(MaeTest, KnownValue) {
+  auto r = Mae({1, 2, 3}, {2, 1, 5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, (1 + 1 + 2) / 3.0, 1e-12);
+}
+
+TEST(MapeTest, KnownValue) {
+  auto r = Mape({100, 200}, {110, 180});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 10.0, 1e-10);  // (10% + 10%) / 2
+}
+
+TEST(MapeTest, SkipsNearZeroActuals) {
+  auto r = Mape({0.0, 100.0}, {5.0, 110.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 10.0, 1e-10);
+}
+
+TEST(MapeTest, AllZeroActualsFails) {
+  EXPECT_FALSE(Mape({0.0, 0.0}, {1.0, 1.0}).ok());
+}
+
+TEST(MapaTest, ComplementOfMape) {
+  auto r = Mapa({100, 100}, {90, 110});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 90.0, 1e-10);
+}
+
+TEST(MapaTest, FlooredAtZero) {
+  // Catastrophic forecast: MAPE > 100 -> MAPA clamps to 0, like the paper's
+  // IOPS MAPEs of 4533% mapping to 0 accuracy.
+  auto r = Mapa({1.0, 1.0}, {100.0, 100.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+}
+
+TEST(SmapeTest, SymmetricAndBounded) {
+  auto a = Smape({100, 100}, {110, 90});
+  ASSERT_TRUE(a.ok());
+  auto b = Smape({110, 90}, {100, 100});
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(*a, *b, 1e-12);
+  auto extreme = Smape({1, 1}, {1000, 1000});
+  ASSERT_TRUE(extreme.ok());
+  EXPECT_LE(*extreme, 200.0);
+}
+
+TEST(MeasureAccuracyTest, AllFieldsPopulated) {
+  auto rep = MeasureAccuracy({10, 20, 30}, {11, 19, 33});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_GT(rep->rmse, 0.0);
+  EXPECT_GT(rep->mae, 0.0);
+  EXPECT_GT(rep->mape, 0.0);
+  EXPECT_NEAR(rep->mapa, 100.0 - rep->mape, 1e-10);
+  EXPECT_GT(rep->smape, 0.0);
+}
+
+TEST(MeasureAccuracyTest, DegradesGracefullyOnZeroActuals) {
+  auto rep = MeasureAccuracy({0, 0}, {1, 1});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_GT(rep->rmse, 0.0);
+  EXPECT_TRUE(std::isnan(rep->mape));
+}
+
+TEST(InformationCriteriaTest, AicPenalizesParameters) {
+  const double aic_small = AicFromSse(100.0, 50, 2);
+  const double aic_big = AicFromSse(100.0, 50, 10);
+  EXPECT_LT(aic_small, aic_big);
+  EXPECT_NEAR(aic_big - aic_small, 16.0, 1e-12);
+}
+
+TEST(InformationCriteriaTest, BicPenalizesHarderForLargeN) {
+  const std::size_t n = 1000;
+  const double bic_gap = BicFromSse(100.0, n, 10) - BicFromSse(100.0, n, 2);
+  const double aic_gap = AicFromSse(100.0, n, 10) - AicFromSse(100.0, n, 2);
+  EXPECT_GT(bic_gap, aic_gap);
+}
+
+TEST(InformationCriteriaTest, LowerSseLowerAic) {
+  EXPECT_LT(AicFromSse(50.0, 100, 3), AicFromSse(100.0, 100, 3));
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,123 @@
+#include "tsa/rolling.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+// Naive mean forecaster for deterministic checks.
+ForecastFn MeanForecaster() {
+  return [](const std::vector<double>& train,
+            std::size_t horizon) -> Result<std::vector<double>> {
+    double mu = 0.0;
+    for (double v : train) mu += v;
+    mu /= static_cast<double>(train.size());
+    return std::vector<double>(horizon, mu);
+  };
+}
+
+// Last-value (naive) forecaster.
+ForecastFn NaiveForecaster() {
+  return [](const std::vector<double>& train,
+            std::size_t horizon) -> Result<std::vector<double>> {
+    return std::vector<double>(horizon, train.back());
+  };
+}
+
+TEST(RollingTest, CountsOriginsCorrectly) {
+  std::vector<double> x(200, 1.0);
+  RollingOptions opts;
+  opts.min_train = 100;
+  opts.horizon = 10;
+  opts.stride = 25;
+  auto out = RollingEvaluate(x, MeanForecaster(), opts);
+  ASSERT_TRUE(out.ok());
+  // Origins at 100, 125, 150, 175 (190 would exceed with horizon 10? 175+10
+  // = 185 <= 200, 200 would be next at 200 + 10 > 200).
+  EXPECT_EQ(out->origins_attempted, 4u);
+  EXPECT_EQ(out->origins_succeeded, 4u);
+}
+
+TEST(RollingTest, PerfectForecastZeroError) {
+  std::vector<double> x(300, 7.5);
+  auto out = RollingEvaluate(x, MeanForecaster());
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->mean_accuracy.rmse, 0.0, 1e-12);
+  EXPECT_NEAR(out->mean_accuracy.mapa, 100.0, 1e-9);
+}
+
+TEST(RollingTest, RanksForecastersCorrectly) {
+  // Trending series: the naive (last value) forecaster beats the global
+  // mean forecaster.
+  std::vector<double> x(400);
+  std::mt19937 rng(3);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 0.5 * static_cast<double>(t) + dist(rng);
+  }
+  auto mean_out = RollingEvaluate(x, MeanForecaster());
+  auto naive_out = RollingEvaluate(x, NaiveForecaster());
+  ASSERT_TRUE(mean_out.ok());
+  ASSERT_TRUE(naive_out.ok());
+  EXPECT_LT(naive_out->mean_accuracy.rmse, mean_out->mean_accuracy.rmse);
+}
+
+TEST(RollingTest, MaxOriginsRespected) {
+  std::vector<double> x(1000, 2.0);
+  RollingOptions opts;
+  opts.max_origins = 3;
+  auto out = RollingEvaluate(x, MeanForecaster(), opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->origins_attempted, 3u);
+}
+
+TEST(RollingTest, FailedOriginsSkippedNotFatal) {
+  std::vector<double> x(250, 1.0);
+  int calls = 0;
+  ForecastFn flaky = [&calls](const std::vector<double>& train,
+                              std::size_t horizon)
+      -> Result<std::vector<double>> {
+    if (++calls % 2 == 0) return Status::ComputeError("flaky");
+    return std::vector<double>(horizon, train.back());
+  };
+  auto out = RollingEvaluate(x, flaky);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->origins_attempted, out->origins_succeeded);
+  EXPECT_GT(out->origins_succeeded, 0u);
+}
+
+TEST(RollingTest, AllFailuresIsError) {
+  std::vector<double> x(250, 1.0);
+  ForecastFn broken = [](const std::vector<double>&,
+                         std::size_t) -> Result<std::vector<double>> {
+    return Status::ComputeError("always fails");
+  };
+  EXPECT_FALSE(RollingEvaluate(x, broken).ok());
+}
+
+TEST(RollingTest, ValidatesInputs) {
+  std::vector<double> x(50, 1.0);
+  RollingOptions opts;
+  opts.min_train = 100;
+  EXPECT_FALSE(RollingEvaluate(x, MeanForecaster(), opts).ok());
+  RollingOptions zero;
+  zero.horizon = 0;
+  EXPECT_FALSE(RollingEvaluate(x, MeanForecaster(), zero).ok());
+}
+
+TEST(RollingTest, RmsePerOriginExposed) {
+  std::vector<double> x(300);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = static_cast<double>(t % 7);
+  }
+  auto out = RollingEvaluate(x, NaiveForecaster());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rmse_by_origin.size(), out->origins_succeeded);
+  for (double r : out->rmse_by_origin) EXPECT_GE(r, 0.0);
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,124 @@
+#include "tsa/seasonality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+std::vector<double> MakeSeries(std::size_t n,
+                               const std::vector<std::pair<double, double>>&
+                                   period_amplitudes,
+                               double noise, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, noise);
+  std::vector<double> x(n, 50.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (const auto& [period, amp] : period_amplitudes) {
+      x[t] += amp * std::sin(2.0 * M_PI * static_cast<double>(t) / period);
+    }
+    if (noise > 0.0) x[t] += dist(rng);
+  }
+  return x;
+}
+
+TEST(SeasonalityTest, DetectsDailyPeriod) {
+  const auto x = MakeSeries(24 * 30, {{24.0, 10.0}}, 0.5, 1);
+  auto seasons = DetectSeasonality(x);
+  ASSERT_TRUE(seasons.ok());
+  ASSERT_FALSE(seasons->empty());
+  EXPECT_EQ(seasons->front().period, 24u);
+}
+
+TEST(SeasonalityTest, DetectsMultipleSeasonality) {
+  const auto x = MakeSeries(24 * 7 * 6, {{24.0, 8.0}, {168.0, 12.0}}, 0.5, 2);
+  auto seasons = DetectSeasonality(x);
+  ASSERT_TRUE(seasons.ok());
+  ASSERT_GE(seasons->size(), 2u);
+  std::vector<std::size_t> periods;
+  for (const auto& s : *seasons) periods.push_back(s.period);
+  EXPECT_NE(std::find(periods.begin(), periods.end(), 24u), periods.end());
+  EXPECT_NE(std::find(periods.begin(), periods.end(), 168u), periods.end());
+  auto multiple = HasMultipleSeasonality(x);
+  ASSERT_TRUE(multiple.ok());
+  EXPECT_TRUE(*multiple);
+}
+
+TEST(SeasonalityTest, WhiteNoiseHasNoSeasons) {
+  std::mt19937 rng(3);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(24 * 30);
+  for (auto& v : x) v = dist(rng);
+  auto seasons = DetectSeasonality(x);
+  ASSERT_TRUE(seasons.ok());
+  EXPECT_TRUE(seasons->empty());
+  auto multiple = HasMultipleSeasonality(x);
+  ASSERT_TRUE(multiple.ok());
+  EXPECT_FALSE(*multiple);
+}
+
+TEST(SeasonalityTest, SingleSeasonIsNotMultiple) {
+  const auto x = MakeSeries(24 * 30, {{24.0, 10.0}}, 0.2, 4);
+  auto multiple = HasMultipleSeasonality(x);
+  ASSERT_TRUE(multiple.ok());
+  EXPECT_FALSE(*multiple);
+}
+
+TEST(SeasonalityTest, HarmonicsSuppressed) {
+  // A non-sinusoidal daily pattern has spectral power at 24 and its
+  // harmonics 12, 8, 6...; only 24 should be reported.
+  std::vector<double> x(24 * 30);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double phase = static_cast<double>(t % 24);
+    x[t] = (phase >= 8 && phase < 18) ? 100.0 : 20.0;  // square wave
+  }
+  auto seasons = DetectSeasonality(x);
+  ASSERT_TRUE(seasons.ok());
+  ASSERT_FALSE(seasons->empty());
+  EXPECT_EQ(seasons->front().period, 24u);
+  for (const auto& s : *seasons) {
+    EXPECT_NE(s.period, 12u);
+    EXPECT_NE(s.period, 8u);
+    EXPECT_NE(s.period, 6u);
+  }
+}
+
+TEST(SeasonalityTest, TrendDoesNotMaskSeason) {
+  auto x = MakeSeries(24 * 21, {{24.0, 10.0}}, 0.5, 5);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] += 0.05 * static_cast<double>(t);
+  }
+  auto seasons = DetectSeasonality(x);
+  ASSERT_TRUE(seasons.ok());
+  ASSERT_FALSE(seasons->empty());
+  EXPECT_EQ(seasons->front().period, 24u);
+}
+
+TEST(SeasonalityTest, ShortSeriesRejected) {
+  EXPECT_FALSE(DetectSeasonality(std::vector<double>(10, 1.0)).ok());
+}
+
+TEST(SeasonalityTest, ReportsAcfAndPower) {
+  const auto x = MakeSeries(24 * 30, {{24.0, 10.0}}, 0.3, 6);
+  auto seasons = DetectSeasonality(x);
+  ASSERT_TRUE(seasons.ok());
+  ASSERT_FALSE(seasons->empty());
+  EXPECT_GT(seasons->front().power, 0.0);
+  EXPECT_GT(seasons->front().acf, 0.5);
+}
+
+TEST(SeasonalityTest, MaxPeriodsRespected) {
+  const auto x = MakeSeries(24 * 7 * 8,
+                            {{24.0, 8.0}, {168.0, 10.0}, {56.0, 6.0}}, 0.3, 7);
+  SeasonalityOptions opts;
+  opts.max_periods = 2;
+  auto seasons = DetectSeasonality(x, opts);
+  ASSERT_TRUE(seasons.ok());
+  EXPECT_LE(seasons->size(), 2u);
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,146 @@
+#include "tsa/stationarity.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+std::vector<double> WhiteNoise(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(n);
+  for (auto& v : x) v = dist(rng);
+  return x;
+}
+
+std::vector<double> RandomWalk(std::size_t n, unsigned seed) {
+  std::vector<double> x = WhiteNoise(n, seed);
+  for (std::size_t t = 1; t < n; ++t) x[t] += x[t - 1];
+  return x;
+}
+
+TEST(AdfTest, RejectsUnitRootForWhiteNoise) {
+  auto r = AdfTest(WhiteNoise(500, 5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reject_unit_root());
+  EXPECT_LT(r->p_value, 0.05);
+}
+
+TEST(AdfTest, DoesNotRejectForRandomWalk) {
+  auto r = AdfTest(RandomWalk(500, 9));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->reject_unit_root(0.01));
+}
+
+TEST(AdfTest, StationaryAr1Rejected) {
+  std::mt19937 rng(13);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(800, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    x[t] = 0.5 * x[t - 1] + dist(rng);
+  }
+  auto r = AdfTest(x);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reject_unit_root());
+}
+
+TEST(AdfTest, TrendSpecHandlesTrendStationary) {
+  std::mt19937 rng(21);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(600);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 0.05 * static_cast<double>(t) + dist(rng);
+  }
+  auto r = AdfTest(x, TrendSpec::kConstantTrend);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reject_unit_root());
+}
+
+TEST(AdfTest, RejectsTooShortSeries) {
+  EXPECT_FALSE(AdfTest(WhiteNoise(8, 1)).ok());
+}
+
+TEST(AdfTest, LagOverrideRespected) {
+  auto r = AdfTest(WhiteNoise(300, 2), TrendSpec::kConstant, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->lags_used, 3u);
+}
+
+TEST(KpssTest, WhiteNoiseAcceptedAsStationary) {
+  auto r = KpssTest(WhiteNoise(500, 31));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->reject_stationarity());
+}
+
+TEST(KpssTest, RandomWalkRejected) {
+  auto r = KpssTest(RandomWalk(500, 37));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reject_stationarity());
+}
+
+TEST(KpssTest, TrendSpecAcceptsTrendStationary) {
+  std::mt19937 rng(41);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(500);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 0.1 * static_cast<double>(t) + dist(rng);
+  }
+  // Level-stationarity should be rejected, trend-stationarity accepted.
+  auto level = KpssTest(x, TrendSpec::kConstant);
+  auto trend = KpssTest(x, TrendSpec::kConstantTrend);
+  ASSERT_TRUE(level.ok());
+  ASSERT_TRUE(trend.ok());
+  EXPECT_TRUE(level->reject_stationarity());
+  EXPECT_FALSE(trend->reject_stationarity());
+}
+
+TEST(RecommendDifferencingTest, StationaryNeedsNone) {
+  auto d = RecommendDifferencing(WhiteNoise(400, 43));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 0);
+}
+
+TEST(RecommendDifferencingTest, RandomWalkNeedsOne) {
+  auto d = RecommendDifferencing(RandomWalk(400, 47));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 1);
+}
+
+TEST(RecommendDifferencingTest, DoubleIntegratedNeedsTwo) {
+  std::vector<double> x = RandomWalk(400, 53);
+  for (std::size_t t = 1; t < x.size(); ++t) x[t] += x[t - 1];
+  auto d = RecommendDifferencing(x);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 2);
+}
+
+TEST(RecommendSeasonalDifferencingTest, StrongSeasonalityNeedsOne) {
+  std::vector<double> x(24 * 20);
+  std::mt19937 rng(61);
+  std::normal_distribution<double> dist(0.0, 0.1);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  auto d = RecommendSeasonalDifferencing(x, 24);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 1);
+}
+
+TEST(RecommendSeasonalDifferencingTest, NoiseNeedsNone) {
+  auto d = RecommendSeasonalDifferencing(WhiteNoise(24 * 20, 67), 24);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 0);
+}
+
+TEST(RecommendSeasonalDifferencingTest, ShortSeriesReturnsZero) {
+  auto d = RecommendSeasonalDifferencing(WhiteNoise(30, 71), 24);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 0);
+}
+
+}  // namespace
+}  // namespace capplan::tsa

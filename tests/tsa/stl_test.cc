@@ -1,0 +1,189 @@
+#include "tsa/stl.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "math/vec.h"
+
+namespace capplan::tsa {
+namespace {
+
+TEST(LoessTest, SmoothsConstantExactly) {
+  const std::vector<double> y(50, 3.0);
+  const auto s = Loess(y, 11);
+  for (double v : s) EXPECT_NEAR(v, 3.0, 1e-9);
+}
+
+TEST(LoessTest, ReproducesLineWithDegreeOne) {
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = 2.0 + 0.5 * static_cast<double>(i);
+  }
+  const auto s = Loess(y, 15, 1);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(s[i], y[i], 1e-6) << "i=" << i;
+  }
+}
+
+TEST(LoessTest, SmoothsNoise) {
+  std::mt19937 rng(1);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::sin(0.05 * static_cast<double>(i)) + dist(rng);
+  }
+  const auto s = Loess(y, 41);
+  // Smoother output has far less variance around the underlying curve.
+  double raw_err = 0.0, smooth_err = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double truth = std::sin(0.05 * static_cast<double>(i));
+    raw_err += (y[i] - truth) * (y[i] - truth);
+    smooth_err += (s[i] - truth) * (s[i] - truth);
+  }
+  EXPECT_LT(smooth_err, 0.2 * raw_err);
+}
+
+TEST(LoessTest, RobustnessWeightsDownweightOutliers) {
+  std::vector<double> y(40, 1.0);
+  y[20] = 100.0;
+  std::vector<double> rho(40, 1.0);
+  rho[20] = 0.0;  // outlier fully ignored
+  const auto with = Loess(y, 9, 1, rho);
+  EXPECT_NEAR(with[20], 1.0, 1e-6);
+  const auto without = Loess(y, 9, 1);
+  EXPECT_GT(without[20], 10.0);
+}
+
+TEST(LoessTest, HandlesTinyInputs) {
+  EXPECT_TRUE(Loess({}, 5).empty());
+  const auto one = Loess({7.0}, 5);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 7.0);
+}
+
+std::vector<double> SeasonalTrendSeries(std::size_t n, std::size_t period,
+                                        double slope, double amp,
+                                        double noise, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, noise);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 50.0 + slope * static_cast<double>(t) +
+           amp * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                          static_cast<double>(period)) +
+           (noise > 0 ? dist(rng) : 0.0);
+  }
+  return x;
+}
+
+TEST(StlTest, ComponentsSumToSeries) {
+  const auto x = SeasonalTrendSeries(24 * 12, 24, 0.05, 8.0, 0.5, 2);
+  auto dec = StlDecompose(x, 24);
+  ASSERT_TRUE(dec.ok());
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    EXPECT_NEAR(dec->trend[t] + dec->seasonal[t] + dec->remainder[t], x[t],
+                1e-9);
+  }
+}
+
+TEST(StlTest, NoNanMargins) {
+  // Unlike the classical decomposition, every position has a trend value.
+  const auto x = SeasonalTrendSeries(24 * 8, 24, 0.1, 5.0, 0.3, 3);
+  auto dec = StlDecompose(x, 24);
+  ASSERT_TRUE(dec.ok());
+  for (double v : dec->trend) EXPECT_FALSE(std::isnan(v));
+  for (double v : dec->remainder) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(StlTest, RecoversTrendSlope) {
+  const auto x = SeasonalTrendSeries(24 * 14, 24, 0.2, 10.0, 0.5, 4);
+  auto dec = StlDecompose(x, 24);
+  ASSERT_TRUE(dec.ok());
+  // Interior trend slope ~ 0.2 per step.
+  const std::size_t a = 50, b = x.size() - 50;
+  const double slope =
+      (dec->trend[b] - dec->trend[a]) / static_cast<double>(b - a);
+  EXPECT_NEAR(slope, 0.2, 0.03);
+}
+
+TEST(StlTest, RecoversSeasonalShape) {
+  const auto x = SeasonalTrendSeries(24 * 14, 24, 0.0, 8.0, 0.3, 5);
+  auto dec = StlDecompose(x, 24);
+  ASSERT_TRUE(dec.ok());
+  // Check the *interior* seasonal component pointwise (the loess-smoothed
+  // subseries are less constrained in the edge cycles, which also pulls
+  // the per-phase index means slightly toward zero).
+  for (std::size_t t = 3 * 24; t + 3 * 24 < x.size(); ++t) {
+    const double expected =
+        8.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0);
+    EXPECT_NEAR(dec->seasonal[t], expected, 1.2) << "t=" << t;
+  }
+  // The phase-index summary still correlates strongly with the truth.
+  std::vector<double> expected_idx(24);
+  for (std::size_t p = 0; p < 24; ++p) {
+    expected_idx[p] = 8.0 * std::sin(2.0 * M_PI * static_cast<double>(p) /
+                                     24.0);
+  }
+  EXPECT_GT(math::Correlation(dec->seasonal_indices, expected_idx), 0.98);
+}
+
+TEST(StlTest, SmallRemainderOnCleanData) {
+  const auto x = SeasonalTrendSeries(24 * 12, 24, 0.05, 8.0, 0.0, 6);
+  auto dec = StlDecompose(x, 24);
+  ASSERT_TRUE(dec.ok());
+  // Interior remainder is tiny (edges are less constrained).
+  double max_rem = 0.0;
+  for (std::size_t t = 48; t + 48 < x.size(); ++t) {
+    max_rem = std::max(max_rem, std::fabs(dec->remainder[t]));
+  }
+  EXPECT_LT(max_rem, 1.0);
+}
+
+TEST(StlTest, EvolvingSeasonalAmplitudeTracked) {
+  // Seasonal amplitude grows over time — STL follows it, the classical
+  // decomposition cannot (fixed per-phase means).
+  std::vector<double> x(24 * 16);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double amp =
+        4.0 + 8.0 * static_cast<double>(t) / static_cast<double>(x.size());
+    x[t] = 50.0 + amp * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0);
+  }
+  StlOptions opts;
+  opts.seasonal_span = 7;  // flexible seasonal
+  auto dec = StlDecompose(x, 24, opts);
+  ASSERT_TRUE(dec.ok());
+  // Seasonal amplitude early vs late (use a mid-cycle phase):
+  auto amplitude_near = [&](std::size_t center) {
+    double max_abs = 0.0;
+    for (std::size_t t = center; t < center + 24; ++t) {
+      max_abs = std::max(max_abs, std::fabs(dec->seasonal[t]));
+    }
+    return max_abs;
+  };
+  const double early = amplitude_near(48);
+  const double late = amplitude_near(x.size() - 96);
+  EXPECT_GT(late, 1.5 * early);
+}
+
+TEST(StlTest, RobustPassShrugsOffOutliers) {
+  auto x = SeasonalTrendSeries(24 * 12, 24, 0.0, 8.0, 0.3, 7);
+  // A one-off crash spike (transient, not behaviour).
+  x[100] += 300.0;
+  StlOptions opts;
+  opts.robust_iterations = 2;
+  auto dec = StlDecompose(x, 24, opts);
+  ASSERT_TRUE(dec.ok());
+  // The spike lands in the remainder, not the trend/seasonal.
+  EXPECT_GT(dec->remainder[100], 200.0);
+  EXPECT_LT(std::fabs(dec->trend[100] - 50.0), 10.0);
+}
+
+TEST(StlTest, ValidatesInputs) {
+  EXPECT_FALSE(StlDecompose(std::vector<double>(30, 1.0), 1).ok());
+  EXPECT_FALSE(StlDecompose(std::vector<double>(30, 1.0), 24).ok());
+}
+
+}  // namespace
+}  // namespace capplan::tsa

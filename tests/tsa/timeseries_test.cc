@@ -1,0 +1,141 @@
+#include "tsa/timeseries.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+TimeSeries MakeHourly(std::vector<double> v, std::int64_t start = 0) {
+  return TimeSeries("test", start, Frequency::kHourly, std::move(v));
+}
+
+TEST(FrequencyTest, SecondsPerStep) {
+  EXPECT_EQ(FrequencySeconds(Frequency::kQuarterHourly), 900);
+  EXPECT_EQ(FrequencySeconds(Frequency::kHourly), 3600);
+  EXPECT_EQ(FrequencySeconds(Frequency::kDaily), 86400);
+  EXPECT_EQ(FrequencySeconds(Frequency::kWeekly), 604800);
+}
+
+TEST(FrequencyTest, DefaultSeasonalPeriods) {
+  EXPECT_EQ(DefaultSeasonalPeriod(Frequency::kHourly), 24u);
+  EXPECT_EQ(DefaultSeasonalPeriod(Frequency::kDaily), 7u);
+  EXPECT_EQ(DefaultSeasonalPeriod(Frequency::kWeekly), 52u);
+  EXPECT_EQ(DefaultSeasonalPeriod(Frequency::kQuarterHourly), 96u);
+}
+
+TEST(FrequencyTest, Names) {
+  EXPECT_STREQ(FrequencyName(Frequency::kHourly), "hourly");
+  EXPECT_STREQ(FrequencyName(Frequency::kDaily), "daily");
+}
+
+TEST(TimeSeriesTest, TimestampArithmetic) {
+  TimeSeries ts = MakeHourly({1, 2, 3}, 1000);
+  EXPECT_EQ(ts.TimestampAt(0), 1000);
+  EXPECT_EQ(ts.TimestampAt(2), 1000 + 2 * 3600);
+  EXPECT_EQ(ts.EndEpoch(), 1000 + 3 * 3600);
+}
+
+TEST(TimeSeriesTest, MissingCount) {
+  TimeSeries ts = MakeHourly({1, std::nan(""), 3, std::nan("")});
+  EXPECT_EQ(ts.CountMissing(), 2u);
+  EXPECT_TRUE(ts.HasMissing());
+  EXPECT_FALSE(MakeHourly({1, 2}).HasMissing());
+}
+
+TEST(TimeSeriesTest, SliceKeepsTimestamps) {
+  TimeSeries ts = MakeHourly({1, 2, 3, 4, 5}, 0);
+  auto s = ts.Slice(2, 2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2u);
+  EXPECT_DOUBLE_EQ((*s)[0], 3.0);
+  EXPECT_EQ(s->start_epoch(), 2 * 3600);
+  EXPECT_EQ(s->frequency(), Frequency::kHourly);
+}
+
+TEST(TimeSeriesTest, SliceOutOfRangeFails) {
+  TimeSeries ts = MakeHourly({1, 2, 3});
+  EXPECT_FALSE(ts.Slice(2, 2).ok());
+  EXPECT_TRUE(ts.Slice(0, 3).ok());
+}
+
+TEST(TimeSeriesTest, SplitAt) {
+  TimeSeries ts = MakeHourly({1, 2, 3, 4, 5});
+  auto parts = ts.SplitAt(3);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->first.size(), 3u);
+  EXPECT_EQ(parts->second.size(), 2u);
+  EXPECT_DOUBLE_EQ(parts->second[0], 4.0);
+  EXPECT_EQ(parts->second.start_epoch(), 3 * 3600);
+}
+
+TEST(TimeSeriesTest, SplitBeyondEndFails) {
+  EXPECT_FALSE(MakeHourly({1, 2}).SplitAt(3).ok());
+}
+
+TEST(TimeSeriesTest, PhaseAt) {
+  TimeSeries ts = MakeHourly(std::vector<double>(50, 0.0), 0);
+  EXPECT_EQ(ts.PhaseAt(0, 24), 0u);
+  EXPECT_EQ(ts.PhaseAt(25, 24), 1u);
+  // Start offset shifts the phase.
+  TimeSeries shifted = MakeHourly(std::vector<double>(50, 0.0), 5 * 3600);
+  EXPECT_EQ(shifted.PhaseAt(0, 24), 5u);
+}
+
+TEST(AggregateTest, QuarterHourlyToHourlyMean) {
+  // 8 quarter-hour samples -> 2 hourly buckets.
+  TimeSeries raw("m", 0, Frequency::kQuarterHourly,
+                 {1, 2, 3, 4, 10, 10, 10, 10});
+  auto hourly = AggregateMean(raw, Frequency::kHourly);
+  ASSERT_TRUE(hourly.ok());
+  ASSERT_EQ(hourly->size(), 2u);
+  EXPECT_DOUBLE_EQ((*hourly)[0], 2.5);
+  EXPECT_DOUBLE_EQ((*hourly)[1], 10.0);
+  EXPECT_EQ(hourly->frequency(), Frequency::kHourly);
+}
+
+TEST(AggregateTest, PartialBucketDropped) {
+  TimeSeries raw("m", 0, Frequency::kQuarterHourly, {1, 2, 3, 4, 5});
+  auto hourly = AggregateMean(raw, Frequency::kHourly);
+  ASSERT_TRUE(hourly.ok());
+  EXPECT_EQ(hourly->size(), 1u);
+}
+
+TEST(AggregateTest, NanHandling) {
+  TimeSeries raw("m", 0, Frequency::kQuarterHourly,
+                 {2, std::nan(""), 4, std::nan(""), std::nan(""),
+                  std::nan(""), std::nan(""), std::nan("")});
+  auto hourly = AggregateMean(raw, Frequency::kHourly);
+  ASSERT_TRUE(hourly.ok());
+  EXPECT_DOUBLE_EQ((*hourly)[0], 3.0);      // mean of known samples
+  EXPECT_TRUE(std::isnan((*hourly)[1]));    // fully missing bucket
+}
+
+TEST(AggregateTest, SumScalesPartialBuckets) {
+  TimeSeries raw("m", 0, Frequency::kQuarterHourly,
+                 {10, 10, std::nan(""), std::nan("")});
+  auto hourly = AggregateSum(raw, Frequency::kHourly);
+  ASSERT_TRUE(hourly.ok());
+  // Two known samples of 10, scaled by 4/2.
+  EXPECT_DOUBLE_EQ((*hourly)[0], 40.0);
+}
+
+TEST(AggregateTest, RejectsFinerTarget) {
+  TimeSeries hourly("m", 0, Frequency::kHourly, {1, 2, 3});
+  EXPECT_FALSE(AggregateMean(hourly, Frequency::kQuarterHourly).ok());
+}
+
+TEST(AggregateTest, HourlyToDaily) {
+  std::vector<double> v(48, 1.0);
+  for (int i = 24; i < 48; ++i) v[static_cast<std::size_t>(i)] = 3.0;
+  TimeSeries hourly("m", 0, Frequency::kHourly, v);
+  auto daily = AggregateMean(hourly, Frequency::kDaily);
+  ASSERT_TRUE(daily.ok());
+  ASSERT_EQ(daily->size(), 2u);
+  EXPECT_DOUBLE_EQ((*daily)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*daily)[1], 3.0);
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -1,0 +1,204 @@
+#include "workload/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace capplan::workload {
+namespace {
+
+ClusterSimulator MakeOlap(std::uint64_t seed = 42) {
+  return ClusterSimulator(WorkloadScenario::Olap(), seed);
+}
+
+ClusterSimulator MakeOltp(std::uint64_t seed = 42) {
+  return ClusterSimulator(WorkloadScenario::Oltp(), seed);
+}
+
+TEST(ClusterTest, InstanceNamesMatchPaper) {
+  const auto sim = MakeOlap();
+  EXPECT_EQ(sim.InstanceName(0), "cdbm011");
+  EXPECT_EQ(sim.InstanceName(1), "cdbm012");
+}
+
+TEST(ClusterTest, SamplesAreDeterministic) {
+  const auto sim1 = MakeOlap(7);
+  const auto sim2 = MakeOlap(7);
+  const std::int64_t t = kExperimentStartEpoch + 12345 * 60;
+  const auto a = sim1.SampleAt(0, t);
+  const auto b = sim2.SampleAt(0, t);
+  EXPECT_DOUBLE_EQ(a.cpu_pct, b.cpu_pct);
+  EXPECT_DOUBLE_EQ(a.memory_mb, b.memory_mb);
+  EXPECT_DOUBLE_EQ(a.logical_iops, b.logical_iops);
+}
+
+TEST(ClusterTest, DifferentSeedsDiffer) {
+  const auto sim1 = MakeOlap(1);
+  const auto sim2 = MakeOlap(2);
+  const std::int64_t t = kExperimentStartEpoch + 7200;
+  EXPECT_NE(sim1.SampleAt(0, t).cpu_pct, sim2.SampleAt(0, t).cpu_pct);
+}
+
+TEST(ClusterTest, MetricsInPhysicalRanges) {
+  const auto sim = MakeOltp();
+  for (int day = 0; day < 30; day += 3) {
+    for (int hour = 0; hour < 24; hour += 5) {
+      const std::int64_t t =
+          kExperimentStartEpoch + day * 86400 + hour * 3600;
+      for (int inst = 0; inst < 2; ++inst) {
+        const auto s = sim.SampleAt(inst, t);
+        EXPECT_GE(s.cpu_pct, 0.0);
+        EXPECT_LE(s.cpu_pct, 100.0);
+        EXPECT_GE(s.memory_mb, 0.0);
+        EXPECT_GE(s.logical_iops, 0.0);
+      }
+    }
+  }
+}
+
+TEST(ClusterTest, DailySeasonalityPresent) {
+  const auto sim = MakeOlap();
+  // Midday activity beats 3am activity.
+  const std::int64_t day = kExperimentStartEpoch + 10 * 86400;
+  EXPECT_GT(sim.ActivityAt(day + 13 * 3600), sim.ActivityAt(day + 3 * 3600));
+}
+
+TEST(ClusterTest, OltpUserGrowthTrend) {
+  const auto sim = MakeOltp();
+  const double u0 = sim.UsersAt(kExperimentStartEpoch + 12 * 3600);
+  const double u10 = sim.UsersAt(kExperimentStartEpoch + 10 * 86400 +
+                                 12 * 3600);
+  // ~50 users/day growth.
+  EXPECT_NEAR(u10 - u0, 500.0, 50.0);
+}
+
+TEST(ClusterTest, OltpSurgeVisibleInUserCount) {
+  const auto sim = MakeOltp();
+  const std::int64_t day = kExperimentStartEpoch + 5 * 86400;
+  const double before = sim.UsersAt(day + 6 * 3600);
+  const double during7 = sim.UsersAt(day + 8 * 3600);   // 07:00-11:00 surge
+  const double during9 = sim.UsersAt(day + 9 * 3600 + 1800);  // both surges
+  // Tolerance covers the underlying +50 users/day growth accrued between
+  // the comparison instants (a few users over a couple of hours).
+  EXPECT_NEAR(during7 - before, 1000.0, 10.0);
+  EXPECT_NEAR(during9 - before, 2000.0, 10.0);
+}
+
+TEST(ClusterTest, OlapBackupOnlyOnNodeOne) {
+  const auto sim = MakeOlap();
+  // Average IOPS at 00:30 (backup window) across many days, per instance.
+  double iops0 = 0.0, iops1 = 0.0, base0 = 0.0;
+  const int days = 20;
+  for (int d = 0; d < days; ++d) {
+    const std::int64_t t = kExperimentStartEpoch + d * 86400 + 1800;
+    const std::int64_t tb = kExperimentStartEpoch + d * 86400 + 12 * 3600;
+    iops0 += sim.SampleAt(0, t).logical_iops;
+    iops1 += sim.SampleAt(1, t).logical_iops;
+    base0 += sim.SampleAt(0, tb).logical_iops;
+  }
+  iops0 /= days;
+  iops1 /= days;
+  base0 /= days;
+  // Node 1 midnight IOPS are boosted by the backup; node 2's are not.
+  EXPECT_GT(iops0, iops1 + 300000.0);
+  (void)base0;
+}
+
+TEST(ClusterTest, OltpBackupSpikesEverySixHours) {
+  const auto sim = MakeOltp();
+  const std::int64_t day = kExperimentStartEpoch + 8 * 86400;
+  // 00:30 is inside a backup window, 01:30 outside (1h duration).
+  const double inside = sim.SampleAt(1, day + 1800).logical_iops;
+  const double outside = sim.SampleAt(1, day + 3600 + 1800).logical_iops;
+  EXPECT_GT(inside, outside + 200000.0);
+}
+
+TEST(ClusterTest, LoadBalancedWithSkew) {
+  const auto sim = MakeOltp();
+  const std::int64_t t = kExperimentStartEpoch + 3 * 86400 + 14 * 3600;
+  const auto s0 = sim.SampleAt(0, t);
+  const auto s1 = sim.SampleAt(1, t);
+  // Both instances carry comparable load (within ~40%), neither is idle.
+  EXPECT_GT(s1.logical_iops, 0.5 * s0.logical_iops);
+  EXPECT_LT(s1.logical_iops, 1.5 * s0.logical_iops);
+}
+
+TEST(ClusterTest, WeekendDipOnlyInOltp) {
+  const auto oltp = MakeOltp();
+  // Day 0 is Monday; day 5 is Saturday.
+  const std::int64_t mon = kExperimentStartEpoch + 13 * 3600;
+  const std::int64_t sat = kExperimentStartEpoch + 5 * 86400 + 13 * 3600;
+  EXPECT_GT(oltp.ActivityAt(mon), oltp.ActivityAt(sat));
+  const auto olap = MakeOlap();
+  EXPECT_NEAR(olap.ActivityAt(mon), olap.ActivityAt(sat), 1e-12);
+}
+
+TEST(ClusterTest, OlapIopsMagnitudeMatchesPaperScale) {
+  // The paper reports peaks of ~2.3 million logical IOPS/hour.
+  const auto sim = MakeOlap();
+  double peak = 0.0;
+  for (int d = 25; d < 30; ++d) {
+    for (int h = 0; h < 24; ++h) {
+      const std::int64_t t = kExperimentStartEpoch + d * 86400 + h * 3600;
+      peak = std::max(peak, sim.SampleAt(1, t).logical_iops);
+    }
+  }
+  EXPECT_GT(peak, 1.0e6);
+  EXPECT_LT(peak, 6.0e6);
+}
+
+TEST(ClusterTest, FailoverShiftsLoadToSurvivor) {
+  auto scenario = WorkloadScenario::Oltp();
+  const std::int64_t failover_start = kExperimentStartEpoch + 10 * 86400;
+  scenario.events.push_back(
+      MakeFailover(failover_start, /*duration_hours=*/4,
+                   /*target_instance=*/0));
+  ClusterSimulator sim(scenario, 42);
+  ClusterSimulator healthy(WorkloadScenario::Oltp(), 42);
+
+  const std::int64_t during = failover_start + 2 * 3600;
+  const std::int64_t after = failover_start + 6 * 3600;
+  // Downed instance reports only residual load.
+  EXPECT_LT(sim.SampleAt(0, during).cpu_pct, 3.0);
+  EXPECT_DOUBLE_EQ(sim.SampleAt(0, during).logical_iops, 0.0);
+  // Survivor absorbs (roughly doubles vs the healthy cluster).
+  const double survivor = sim.SampleAt(1, during).logical_iops;
+  const double normal = healthy.SampleAt(1, during).logical_iops;
+  EXPECT_GT(survivor, 1.6 * normal);
+  // Back to normal after the failover window.
+  EXPECT_NEAR(sim.SampleAt(0, after).cpu_pct,
+              healthy.SampleAt(0, after).cpu_pct, 1e-9);
+}
+
+TEST(ClusterTest, RecurringFailoverIsPeriodic) {
+  auto scenario = WorkloadScenario::Olap();
+  scenario.events.push_back(MakeFailover(kExperimentStartEpoch, 1, 1,
+                                         /*period_seconds=*/7 * 86400));
+  ClusterSimulator sim(scenario, 1);
+  // Active in week 0 and week 2 at the same offset.
+  EXPECT_DOUBLE_EQ(sim.SampleAt(1, kExperimentStartEpoch + 1800).logical_iops,
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      sim.SampleAt(1, kExperimentStartEpoch + 14 * 86400 + 1800).logical_iops,
+      0.0);
+  EXPECT_GT(
+      sim.SampleAt(1, kExperimentStartEpoch + 86400 + 1800).logical_iops,
+      0.0);
+}
+
+TEST(MetricTest, NamesAndAccessors) {
+  EXPECT_STREQ(MetricName(Metric::kCpu), "cpu");
+  EXPECT_STREQ(MetricName(Metric::kMemory), "memory");
+  EXPECT_STREQ(MetricName(Metric::kLogicalIops), "logical_iops");
+  MetricSample s;
+  s.cpu_pct = 1.0;
+  s.memory_mb = 2.0;
+  s.logical_iops = 3.0;
+  EXPECT_DOUBLE_EQ(s.Get(Metric::kCpu), 1.0);
+  EXPECT_DOUBLE_EQ(s.Get(Metric::kMemory), 2.0);
+  EXPECT_DOUBLE_EQ(s.Get(Metric::kLogicalIops), 3.0);
+}
+
+}  // namespace
+}  // namespace capplan::workload

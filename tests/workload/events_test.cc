@@ -1,0 +1,84 @@
+#include "workload/events.h"
+
+#include <gtest/gtest.h>
+
+namespace capplan::workload {
+namespace {
+
+TEST(ScheduledEventTest, OneShotActivity) {
+  ScheduledEvent e;
+  e.first_start_epoch = 1000;
+  e.period_seconds = 0;
+  e.duration_seconds = 100;
+  EXPECT_FALSE(e.IsActiveAt(999));
+  EXPECT_TRUE(e.IsActiveAt(1000));
+  EXPECT_TRUE(e.IsActiveAt(1099));
+  EXPECT_FALSE(e.IsActiveAt(1100));
+}
+
+TEST(ScheduledEventTest, PeriodicActivity) {
+  ScheduledEvent e;
+  e.first_start_epoch = 0;
+  e.period_seconds = 3600;
+  e.duration_seconds = 600;
+  EXPECT_TRUE(e.IsActiveAt(0));
+  EXPECT_TRUE(e.IsActiveAt(599));
+  EXPECT_FALSE(e.IsActiveAt(600));
+  EXPECT_TRUE(e.IsActiveAt(3600));
+  EXPECT_TRUE(e.IsActiveAt(2 * 3600 + 300));
+  EXPECT_FALSE(e.IsActiveAt(-100));
+}
+
+TEST(ScheduledEventTest, OccurrenceCounting) {
+  ScheduledEvent e;
+  e.first_start_epoch = 0;
+  e.period_seconds = 3600;
+  e.duration_seconds = 60;
+  EXPECT_EQ(e.OccurrencesIn(0, 3600 * 24), 24);
+  EXPECT_EQ(e.OccurrencesIn(0, 1), 1);
+  EXPECT_EQ(e.OccurrencesIn(1, 3600), 0);
+  EXPECT_EQ(e.OccurrencesIn(1, 3601), 1);
+  EXPECT_EQ(e.OccurrencesIn(-100, 0), 0);
+}
+
+TEST(ScheduledEventTest, OneShotOccurrences) {
+  ScheduledEvent e;
+  e.first_start_epoch = 500;
+  e.period_seconds = 0;
+  e.duration_seconds = 10;
+  EXPECT_EQ(e.OccurrencesIn(0, 1000), 1);
+  EXPECT_EQ(e.OccurrencesIn(501, 1000), 0);
+}
+
+TEST(MakeBackupTest, FieldsPopulated) {
+  const auto e = MakeBackup(1000, 6, 1, 450000.0, 8.0, -1);
+  EXPECT_EQ(e.kind, EventKind::kBackup);
+  EXPECT_EQ(e.period_seconds, 6 * 3600);
+  EXPECT_EQ(e.duration_seconds, 3600);
+  EXPECT_DOUBLE_EQ(e.iops_add, 450000.0);
+  EXPECT_DOUBLE_EQ(e.cpu_add, 8.0);
+  EXPECT_EQ(e.target_instance, -1);
+  // Four backups per day, the paper's exogenous variable count.
+  EXPECT_EQ(e.OccurrencesIn(1000, 1000 + 24 * 3600), 4);
+}
+
+TEST(MakeDailySurgeTest, FiresAtTheRightHour) {
+  const std::int64_t day0 = 0;
+  const auto e = MakeDailySurge(day0, 7, 4, 1000.0);
+  EXPECT_EQ(e.kind, EventKind::kUserSurge);
+  EXPECT_FALSE(e.IsActiveAt(6 * 3600));
+  EXPECT_TRUE(e.IsActiveAt(7 * 3600));
+  EXPECT_TRUE(e.IsActiveAt(10 * 3600 + 1800));
+  EXPECT_FALSE(e.IsActiveAt(11 * 3600));
+  // Next day too.
+  EXPECT_TRUE(e.IsActiveAt(24 * 3600 + 8 * 3600));
+}
+
+TEST(EventKindTest, Names) {
+  EXPECT_STREQ(EventKindName(EventKind::kBackup), "backup");
+  EXPECT_STREQ(EventKindName(EventKind::kUserSurge), "user-surge");
+  EXPECT_STREQ(EventKindName(EventKind::kFailover), "failover");
+}
+
+}  // namespace
+}  // namespace capplan::workload

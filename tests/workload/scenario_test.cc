@@ -1,0 +1,82 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace capplan::workload {
+namespace {
+
+TEST(OlapScenarioTest, MatchesPaperExperimentOne) {
+  const auto s = WorkloadScenario::Olap();
+  EXPECT_EQ(s.name, "olap");
+  EXPECT_EQ(s.n_instances, 2);
+  EXPECT_DOUBLE_EQ(s.base_users, 40.0);  // "40 OLAP users"
+  // Simple workload: no weekly (multiple) seasonality.
+  EXPECT_DOUBLE_EQ(s.weekly_amplitude, 0.0);
+  // Exactly one shock: the midnight backup on node 1.
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].kind, EventKind::kBackup);
+  EXPECT_EQ(s.events[0].target_instance, 0);
+  EXPECT_EQ(s.events[0].period_seconds, 24 * 3600);
+}
+
+TEST(OltpScenarioTest, MatchesPaperExperimentTwo) {
+  const auto s = WorkloadScenario::Oltp();
+  EXPECT_EQ(s.name, "oltp");
+  // The trend driver: 50 users per day.
+  EXPECT_DOUBLE_EQ(s.user_growth_per_day, 50.0);
+  // Weekly second season present.
+  EXPECT_GT(s.weekly_amplitude, 0.0);
+  // Three events: two surges + the 6-hourly backup.
+  ASSERT_EQ(s.events.size(), 3u);
+  int surges = 0, backups = 0;
+  for (const auto& e : s.events) {
+    if (e.kind == EventKind::kUserSurge) ++surges;
+    if (e.kind == EventKind::kBackup) ++backups;
+  }
+  EXPECT_EQ(surges, 2);
+  EXPECT_EQ(backups, 1);
+}
+
+TEST(OltpScenarioTest, SurgeParametersPerPaper) {
+  const auto s = WorkloadScenario::Oltp();
+  // 07:00 surge of 1000 users for 4h; 09:00 surge of 1000 users for 1h.
+  const ScheduledEvent* surge7 = nullptr;
+  const ScheduledEvent* surge9 = nullptr;
+  for (const auto& e : s.events) {
+    if (e.kind != EventKind::kUserSurge) continue;
+    const std::int64_t hour =
+        ((e.first_start_epoch - kExperimentStartEpoch) / 3600) % 24;
+    if (hour == 7) surge7 = &e;
+    if (hour == 9) surge9 = &e;
+  }
+  ASSERT_NE(surge7, nullptr);
+  ASSERT_NE(surge9, nullptr);
+  EXPECT_DOUBLE_EQ(surge7->users_add, 1000.0);
+  EXPECT_EQ(surge7->duration_seconds, 4 * 3600);
+  EXPECT_DOUBLE_EQ(surge9->users_add, 1000.0);
+  EXPECT_EQ(surge9->duration_seconds, 3600);
+}
+
+TEST(OltpScenarioTest, BackupEverySixHours) {
+  const auto s = WorkloadScenario::Oltp();
+  for (const auto& e : s.events) {
+    if (e.kind == EventKind::kBackup) {
+      EXPECT_EQ(e.period_seconds, 6 * 3600);
+      // "4 exogenous variables": four occurrences per day.
+      EXPECT_EQ(e.OccurrencesIn(kExperimentStartEpoch,
+                                kExperimentStartEpoch + 24 * 3600),
+                4);
+    }
+  }
+}
+
+TEST(ScenarioTest, ExperimentEpochIsMondayMidnight) {
+  // 1559520000 = 2019-06-03 00:00:00 UTC, a Monday.
+  EXPECT_EQ(kExperimentStartEpoch % 86400, 0);
+  // Days since epoch Thursday 1970-01-01: (days + 4) % 7 == 1 for Monday.
+  const std::int64_t days = kExperimentStartEpoch / 86400;
+  EXPECT_EQ((days + 4) % 7, 1);
+}
+
+}  // namespace
+}  // namespace capplan::workload

@@ -1,0 +1,81 @@
+#include "workload/transactions.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace capplan::workload {
+namespace {
+
+TEST(TransactionMixTest, TpchAggregates) {
+  const auto mix = TransactionMix::TpchLike();
+  EXPECT_EQ(mix.name, "tpch-like");
+  ASSERT_EQ(mix.profiles.size(), 4u);
+  // Totals calibrated to the OLAP preset: ~40.6 CPU-s, 42000 IOs, 24 MB.
+  EXPECT_NEAR(mix.CpuSecondsPerUserHour(), 40.6, 0.01);
+  EXPECT_NEAR(mix.LogicalIosPerUserHour(), 42000.0, 1e-9);
+  EXPECT_NEAR(mix.SessionMemoryMb(), 24.0, 1e-9);
+  EXPECT_NEAR(mix.CpuPercentPerUser(), 40.6 / 36.0, 1e-6);
+}
+
+TEST(TransactionMixTest, TpceAggregates) {
+  const auto mix = TransactionMix::TpceLike();
+  EXPECT_NEAR(mix.CpuSecondsPerUserHour(), 1.26, 0.01);
+  EXPECT_NEAR(mix.LogicalIosPerUserHour(), 1800.0, 1e-9);
+  EXPECT_NEAR(mix.SessionMemoryMb(), 4.0, 1e-9);
+}
+
+TEST(TransactionMixTest, OlapIsScanDominated) {
+  // The heavy report query dominates OLAP IO — the paper's "high in IO and
+  // execute for long periods of time" characterization.
+  const auto mix = TransactionMix::TpchLike();
+  double report_ios = 0.0;
+  for (const auto& p : mix.profiles) {
+    if (p.cls == TransactionClass::kReportQuery) {
+      report_ios += p.executions_per_user_hour * p.logical_ios_per_execution;
+    }
+  }
+  EXPECT_GT(report_ios, 0.5 * mix.LogicalIosPerUserHour());
+}
+
+TEST(TransactionMixTest, OltpIsShortTransactionDominated) {
+  const auto mix = TransactionMix::TpceLike();
+  for (const auto& p : mix.profiles) {
+    EXPECT_LT(p.cpu_ms_per_execution, 50.0);       // all short
+    EXPECT_GT(p.executions_per_user_hour, 5.0);    // all frequent
+  }
+}
+
+TEST(TransactionMixTest, PerUserCostRatioMatchesWorkloadTypes) {
+  // OLAP users are individually far more expensive than OLTP users.
+  const auto olap = TransactionMix::TpchLike();
+  const auto oltp = TransactionMix::TpceLike();
+  EXPECT_GT(olap.CpuSecondsPerUserHour() / oltp.CpuSecondsPerUserHour(),
+            20.0);
+  EXPECT_GT(olap.LogicalIosPerUserHour() / oltp.LogicalIosPerUserHour(),
+            15.0);
+}
+
+TEST(TransactionMixTest, ScenariosDeriveCostsFromMix) {
+  const auto olap = WorkloadScenario::Olap();
+  EXPECT_EQ(olap.mix.name, "tpch-like");
+  EXPECT_DOUBLE_EQ(olap.cpu_per_user, olap.mix.CpuPercentPerUser());
+  EXPECT_DOUBLE_EQ(olap.iops_per_user, olap.mix.LogicalIosPerUserHour());
+  EXPECT_DOUBLE_EQ(olap.memory_per_user, olap.mix.SessionMemoryMb());
+
+  const auto oltp = WorkloadScenario::Oltp();
+  EXPECT_EQ(oltp.mix.name, "tpce-like");
+  EXPECT_DOUBLE_EQ(oltp.iops_per_user, 1800.0);
+}
+
+TEST(TransactionClassTest, Names) {
+  EXPECT_STREQ(TransactionClassName(TransactionClass::kReportQuery),
+               "report-query");
+  EXPECT_STREQ(TransactionClassName(TransactionClass::kBulkLoad),
+               "bulk-load");
+  EXPECT_STREQ(TransactionClassName(TransactionClass::kPointSelect),
+               "point-select");
+}
+
+}  // namespace
+}  // namespace capplan::workload
