@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_autoarima"
+  "../bench/bench_ablation_autoarima.pdb"
+  "CMakeFiles/bench_ablation_autoarima.dir/ablation_autoarima.cc.o"
+  "CMakeFiles/bench_ablation_autoarima.dir/ablation_autoarima.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autoarima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

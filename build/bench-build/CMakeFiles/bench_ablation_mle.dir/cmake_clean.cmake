@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mle"
+  "../bench/bench_ablation_mle.pdb"
+  "CMakeFiles/bench_ablation_mle.dir/ablation_mle.cc.o"
+  "CMakeFiles/bench_ablation_mle.dir/ablation_mle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

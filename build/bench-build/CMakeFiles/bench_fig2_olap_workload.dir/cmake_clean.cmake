@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_olap_workload"
+  "../bench/bench_fig2_olap_workload.pdb"
+  "CMakeFiles/bench_fig2_olap_workload.dir/fig2_olap_workload.cc.o"
+  "CMakeFiles/bench_fig2_olap_workload.dir/fig2_olap_workload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_olap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

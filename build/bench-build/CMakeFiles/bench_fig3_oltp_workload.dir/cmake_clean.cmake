@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_oltp_workload"
+  "../bench/bench_fig3_oltp_workload.pdb"
+  "CMakeFiles/bench_fig3_oltp_workload.dir/fig3_oltp_workload.cc.o"
+  "CMakeFiles/bench_fig3_oltp_workload.dir/fig3_oltp_workload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_oltp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

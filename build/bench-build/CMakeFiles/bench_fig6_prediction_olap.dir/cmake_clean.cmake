@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_prediction_olap"
+  "../bench/bench_fig6_prediction_olap.pdb"
+  "CMakeFiles/bench_fig6_prediction_olap.dir/fig6_prediction_olap.cc.o"
+  "CMakeFiles/bench_fig6_prediction_olap.dir/fig6_prediction_olap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_prediction_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

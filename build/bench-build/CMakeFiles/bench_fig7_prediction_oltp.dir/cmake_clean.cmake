@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_prediction_oltp"
+  "../bench/bench_fig7_prediction_oltp.pdb"
+  "CMakeFiles/bench_fig7_prediction_oltp.dir/fig7_prediction_oltp.cc.o"
+  "CMakeFiles/bench_fig7_prediction_oltp.dir/fig7_prediction_oltp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_prediction_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_dashboard"
+  "../bench/bench_fig8_dashboard.pdb"
+  "CMakeFiles/bench_fig8_dashboard.dir/fig8_dashboard.cc.o"
+  "CMakeFiles/bench_fig8_dashboard.dir/fig8_dashboard.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_models"
+  "../bench/bench_perf_models.pdb"
+  "CMakeFiles/bench_perf_models.dir/perf_models.cc.o"
+  "CMakeFiles/bench_perf_models.dir/perf_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

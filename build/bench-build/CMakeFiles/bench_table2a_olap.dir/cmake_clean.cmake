@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2a_olap"
+  "../bench/bench_table2a_olap.pdb"
+  "CMakeFiles/bench_table2a_olap.dir/table2a_olap.cc.o"
+  "CMakeFiles/bench_table2a_olap.dir/table2a_olap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2a_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

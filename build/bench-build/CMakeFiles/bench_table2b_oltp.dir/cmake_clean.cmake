@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2b_oltp"
+  "../bench/bench_table2b_oltp.pdb"
+  "CMakeFiles/bench_table2b_oltp.dir/table2b_oltp.cc.o"
+  "CMakeFiles/bench_table2b_oltp.dir/table2b_oltp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2b_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

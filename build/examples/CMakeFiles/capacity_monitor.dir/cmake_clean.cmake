@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_monitor.dir/capacity_monitor.cpp.o"
+  "CMakeFiles/capacity_monitor.dir/capacity_monitor.cpp.o.d"
+  "capacity_monitor"
+  "capacity_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

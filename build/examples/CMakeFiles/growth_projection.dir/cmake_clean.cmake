@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growth_projection.dir/growth_projection.cpp.o"
+  "CMakeFiles/growth_projection.dir/growth_projection.cpp.o.d"
+  "growth_projection"
+  "growth_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

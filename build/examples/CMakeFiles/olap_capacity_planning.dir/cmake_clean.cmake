@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_capacity_planning.dir/olap_capacity_planning.cpp.o"
+  "CMakeFiles/olap_capacity_planning.dir/olap_capacity_planning.cpp.o.d"
+  "olap_capacity_planning"
+  "olap_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

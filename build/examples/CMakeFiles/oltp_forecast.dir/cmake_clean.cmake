@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_forecast.dir/oltp_forecast.cpp.o"
+  "CMakeFiles/oltp_forecast.dir/oltp_forecast.cpp.o.d"
+  "oltp_forecast"
+  "oltp_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/agent.cc" "src/CMakeFiles/capplan.dir/agent/agent.cc.o" "gcc" "src/CMakeFiles/capplan.dir/agent/agent.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/capplan.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/capplan.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/capplan.dir/common/status.cc.o" "gcc" "src/CMakeFiles/capplan.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/capplan.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/capplan.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/candidate_gen.cc" "src/CMakeFiles/capplan.dir/core/candidate_gen.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/candidate_gen.cc.o.d"
+  "/root/repo/src/core/capacity.cc" "src/CMakeFiles/capplan.dir/core/capacity.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/capacity.cc.o.d"
+  "/root/repo/src/core/drift.cc" "src/CMakeFiles/capplan.dir/core/drift.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/drift.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/CMakeFiles/capplan.dir/core/ensemble.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/ensemble.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/CMakeFiles/capplan.dir/core/monitor.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/monitor.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/capplan.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/report_json.cc" "src/CMakeFiles/capplan.dir/core/report_json.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/report_json.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/CMakeFiles/capplan.dir/core/selector.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/selector.cc.o.d"
+  "/root/repo/src/core/shock_detect.cc" "src/CMakeFiles/capplan.dir/core/shock_detect.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/shock_detect.cc.o.d"
+  "/root/repo/src/core/split.cc" "src/CMakeFiles/capplan.dir/core/split.cc.o" "gcc" "src/CMakeFiles/capplan.dir/core/split.cc.o.d"
+  "/root/repo/src/math/distributions.cc" "src/CMakeFiles/capplan.dir/math/distributions.cc.o" "gcc" "src/CMakeFiles/capplan.dir/math/distributions.cc.o.d"
+  "/root/repo/src/math/fft.cc" "src/CMakeFiles/capplan.dir/math/fft.cc.o" "gcc" "src/CMakeFiles/capplan.dir/math/fft.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/CMakeFiles/capplan.dir/math/matrix.cc.o" "gcc" "src/CMakeFiles/capplan.dir/math/matrix.cc.o.d"
+  "/root/repo/src/math/optimize.cc" "src/CMakeFiles/capplan.dir/math/optimize.cc.o" "gcc" "src/CMakeFiles/capplan.dir/math/optimize.cc.o.d"
+  "/root/repo/src/math/polynomial.cc" "src/CMakeFiles/capplan.dir/math/polynomial.cc.o" "gcc" "src/CMakeFiles/capplan.dir/math/polynomial.cc.o.d"
+  "/root/repo/src/math/vec.cc" "src/CMakeFiles/capplan.dir/math/vec.cc.o" "gcc" "src/CMakeFiles/capplan.dir/math/vec.cc.o.d"
+  "/root/repo/src/models/arima.cc" "src/CMakeFiles/capplan.dir/models/arima.cc.o" "gcc" "src/CMakeFiles/capplan.dir/models/arima.cc.o.d"
+  "/root/repo/src/models/arima_spec.cc" "src/CMakeFiles/capplan.dir/models/arima_spec.cc.o" "gcc" "src/CMakeFiles/capplan.dir/models/arima_spec.cc.o.d"
+  "/root/repo/src/models/auto_arima.cc" "src/CMakeFiles/capplan.dir/models/auto_arima.cc.o" "gcc" "src/CMakeFiles/capplan.dir/models/auto_arima.cc.o.d"
+  "/root/repo/src/models/baselines.cc" "src/CMakeFiles/capplan.dir/models/baselines.cc.o" "gcc" "src/CMakeFiles/capplan.dir/models/baselines.cc.o.d"
+  "/root/repo/src/models/dshw.cc" "src/CMakeFiles/capplan.dir/models/dshw.cc.o" "gcc" "src/CMakeFiles/capplan.dir/models/dshw.cc.o.d"
+  "/root/repo/src/models/ets.cc" "src/CMakeFiles/capplan.dir/models/ets.cc.o" "gcc" "src/CMakeFiles/capplan.dir/models/ets.cc.o.d"
+  "/root/repo/src/models/kalman.cc" "src/CMakeFiles/capplan.dir/models/kalman.cc.o" "gcc" "src/CMakeFiles/capplan.dir/models/kalman.cc.o.d"
+  "/root/repo/src/models/regression.cc" "src/CMakeFiles/capplan.dir/models/regression.cc.o" "gcc" "src/CMakeFiles/capplan.dir/models/regression.cc.o.d"
+  "/root/repo/src/models/tbats.cc" "src/CMakeFiles/capplan.dir/models/tbats.cc.o" "gcc" "src/CMakeFiles/capplan.dir/models/tbats.cc.o.d"
+  "/root/repo/src/repo/csv.cc" "src/CMakeFiles/capplan.dir/repo/csv.cc.o" "gcc" "src/CMakeFiles/capplan.dir/repo/csv.cc.o.d"
+  "/root/repo/src/repo/model_store.cc" "src/CMakeFiles/capplan.dir/repo/model_store.cc.o" "gcc" "src/CMakeFiles/capplan.dir/repo/model_store.cc.o.d"
+  "/root/repo/src/repo/repository.cc" "src/CMakeFiles/capplan.dir/repo/repository.cc.o" "gcc" "src/CMakeFiles/capplan.dir/repo/repository.cc.o.d"
+  "/root/repo/src/tsa/acf.cc" "src/CMakeFiles/capplan.dir/tsa/acf.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/acf.cc.o.d"
+  "/root/repo/src/tsa/boxcox.cc" "src/CMakeFiles/capplan.dir/tsa/boxcox.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/boxcox.cc.o.d"
+  "/root/repo/src/tsa/calendar.cc" "src/CMakeFiles/capplan.dir/tsa/calendar.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/calendar.cc.o.d"
+  "/root/repo/src/tsa/decompose.cc" "src/CMakeFiles/capplan.dir/tsa/decompose.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/decompose.cc.o.d"
+  "/root/repo/src/tsa/difference.cc" "src/CMakeFiles/capplan.dir/tsa/difference.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/difference.cc.o.d"
+  "/root/repo/src/tsa/fourier.cc" "src/CMakeFiles/capplan.dir/tsa/fourier.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/fourier.cc.o.d"
+  "/root/repo/src/tsa/interpolate.cc" "src/CMakeFiles/capplan.dir/tsa/interpolate.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/interpolate.cc.o.d"
+  "/root/repo/src/tsa/metrics.cc" "src/CMakeFiles/capplan.dir/tsa/metrics.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/metrics.cc.o.d"
+  "/root/repo/src/tsa/rolling.cc" "src/CMakeFiles/capplan.dir/tsa/rolling.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/rolling.cc.o.d"
+  "/root/repo/src/tsa/seasonality.cc" "src/CMakeFiles/capplan.dir/tsa/seasonality.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/seasonality.cc.o.d"
+  "/root/repo/src/tsa/stationarity.cc" "src/CMakeFiles/capplan.dir/tsa/stationarity.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/stationarity.cc.o.d"
+  "/root/repo/src/tsa/stl.cc" "src/CMakeFiles/capplan.dir/tsa/stl.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/stl.cc.o.d"
+  "/root/repo/src/tsa/timeseries.cc" "src/CMakeFiles/capplan.dir/tsa/timeseries.cc.o" "gcc" "src/CMakeFiles/capplan.dir/tsa/timeseries.cc.o.d"
+  "/root/repo/src/workload/cluster.cc" "src/CMakeFiles/capplan.dir/workload/cluster.cc.o" "gcc" "src/CMakeFiles/capplan.dir/workload/cluster.cc.o.d"
+  "/root/repo/src/workload/events.cc" "src/CMakeFiles/capplan.dir/workload/events.cc.o" "gcc" "src/CMakeFiles/capplan.dir/workload/events.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/CMakeFiles/capplan.dir/workload/scenario.cc.o" "gcc" "src/CMakeFiles/capplan.dir/workload/scenario.cc.o.d"
+  "/root/repo/src/workload/transactions.cc" "src/CMakeFiles/capplan.dir/workload/transactions.cc.o" "gcc" "src/CMakeFiles/capplan.dir/workload/transactions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/agent/agent_test.cc" "tests/CMakeFiles/agent_repo_test.dir/agent/agent_test.cc.o" "gcc" "tests/CMakeFiles/agent_repo_test.dir/agent/agent_test.cc.o.d"
+  "/root/repo/tests/repo/csv_test.cc" "tests/CMakeFiles/agent_repo_test.dir/repo/csv_test.cc.o" "gcc" "tests/CMakeFiles/agent_repo_test.dir/repo/csv_test.cc.o.d"
+  "/root/repo/tests/repo/model_store_test.cc" "tests/CMakeFiles/agent_repo_test.dir/repo/model_store_test.cc.o" "gcc" "tests/CMakeFiles/agent_repo_test.dir/repo/model_store_test.cc.o.d"
+  "/root/repo/tests/repo/repository_test.cc" "tests/CMakeFiles/agent_repo_test.dir/repo/repository_test.cc.o" "gcc" "tests/CMakeFiles/agent_repo_test.dir/repo/repository_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

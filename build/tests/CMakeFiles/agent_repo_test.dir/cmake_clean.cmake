@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_repo_test.dir/agent/agent_test.cc.o"
+  "CMakeFiles/agent_repo_test.dir/agent/agent_test.cc.o.d"
+  "CMakeFiles/agent_repo_test.dir/repo/csv_test.cc.o"
+  "CMakeFiles/agent_repo_test.dir/repo/csv_test.cc.o.d"
+  "CMakeFiles/agent_repo_test.dir/repo/model_store_test.cc.o"
+  "CMakeFiles/agent_repo_test.dir/repo/model_store_test.cc.o.d"
+  "CMakeFiles/agent_repo_test.dir/repo/repository_test.cc.o"
+  "CMakeFiles/agent_repo_test.dir/repo/repository_test.cc.o.d"
+  "agent_repo_test"
+  "agent_repo_test.pdb"
+  "agent_repo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_repo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

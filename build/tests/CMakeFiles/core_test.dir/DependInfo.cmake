@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/candidate_gen_test.cc" "tests/CMakeFiles/core_test.dir/core/candidate_gen_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/candidate_gen_test.cc.o.d"
+  "/root/repo/tests/core/capacity_test.cc" "tests/CMakeFiles/core_test.dir/core/capacity_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/capacity_test.cc.o.d"
+  "/root/repo/tests/core/drift_test.cc" "tests/CMakeFiles/core_test.dir/core/drift_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/drift_test.cc.o.d"
+  "/root/repo/tests/core/ensemble_test.cc" "tests/CMakeFiles/core_test.dir/core/ensemble_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ensemble_test.cc.o.d"
+  "/root/repo/tests/core/monitor_test.cc" "tests/CMakeFiles/core_test.dir/core/monitor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/monitor_test.cc.o.d"
+  "/root/repo/tests/core/report_json_test.cc" "tests/CMakeFiles/core_test.dir/core/report_json_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_json_test.cc.o.d"
+  "/root/repo/tests/core/selector_test.cc" "tests/CMakeFiles/core_test.dir/core/selector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/selector_test.cc.o.d"
+  "/root/repo/tests/core/shock_detect_test.cc" "tests/CMakeFiles/core_test.dir/core/shock_detect_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/shock_detect_test.cc.o.d"
+  "/root/repo/tests/core/split_test.cc" "tests/CMakeFiles/core_test.dir/core/split_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/split_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

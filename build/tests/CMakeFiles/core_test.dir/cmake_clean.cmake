@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/candidate_gen_test.cc.o"
+  "CMakeFiles/core_test.dir/core/candidate_gen_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/capacity_test.cc.o"
+  "CMakeFiles/core_test.dir/core/capacity_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/drift_test.cc.o"
+  "CMakeFiles/core_test.dir/core/drift_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/ensemble_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ensemble_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/monitor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/monitor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/report_json_test.cc.o"
+  "CMakeFiles/core_test.dir/core/report_json_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/selector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/selector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/shock_detect_test.cc.o"
+  "CMakeFiles/core_test.dir/core/shock_detect_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/split_test.cc.o"
+  "CMakeFiles/core_test.dir/core/split_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

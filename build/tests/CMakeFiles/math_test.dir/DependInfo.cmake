@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/distributions_test.cc" "tests/CMakeFiles/math_test.dir/math/distributions_test.cc.o" "gcc" "tests/CMakeFiles/math_test.dir/math/distributions_test.cc.o.d"
+  "/root/repo/tests/math/fft_test.cc" "tests/CMakeFiles/math_test.dir/math/fft_test.cc.o" "gcc" "tests/CMakeFiles/math_test.dir/math/fft_test.cc.o.d"
+  "/root/repo/tests/math/matrix_test.cc" "tests/CMakeFiles/math_test.dir/math/matrix_test.cc.o" "gcc" "tests/CMakeFiles/math_test.dir/math/matrix_test.cc.o.d"
+  "/root/repo/tests/math/optimize_test.cc" "tests/CMakeFiles/math_test.dir/math/optimize_test.cc.o" "gcc" "tests/CMakeFiles/math_test.dir/math/optimize_test.cc.o.d"
+  "/root/repo/tests/math/polynomial_test.cc" "tests/CMakeFiles/math_test.dir/math/polynomial_test.cc.o" "gcc" "tests/CMakeFiles/math_test.dir/math/polynomial_test.cc.o.d"
+  "/root/repo/tests/math/vec_test.cc" "tests/CMakeFiles/math_test.dir/math/vec_test.cc.o" "gcc" "tests/CMakeFiles/math_test.dir/math/vec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/models/arima_property_test.cc" "tests/CMakeFiles/models_test.dir/models/arima_property_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/arima_property_test.cc.o.d"
+  "/root/repo/tests/models/arima_spec_test.cc" "tests/CMakeFiles/models_test.dir/models/arima_spec_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/arima_spec_test.cc.o.d"
+  "/root/repo/tests/models/arima_test.cc" "tests/CMakeFiles/models_test.dir/models/arima_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/arima_test.cc.o.d"
+  "/root/repo/tests/models/auto_arima_test.cc" "tests/CMakeFiles/models_test.dir/models/auto_arima_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/auto_arima_test.cc.o.d"
+  "/root/repo/tests/models/baselines_test.cc" "tests/CMakeFiles/models_test.dir/models/baselines_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/baselines_test.cc.o.d"
+  "/root/repo/tests/models/dshw_test.cc" "tests/CMakeFiles/models_test.dir/models/dshw_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/dshw_test.cc.o.d"
+  "/root/repo/tests/models/ets_test.cc" "tests/CMakeFiles/models_test.dir/models/ets_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/ets_test.cc.o.d"
+  "/root/repo/tests/models/kalman_test.cc" "tests/CMakeFiles/models_test.dir/models/kalman_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/kalman_test.cc.o.d"
+  "/root/repo/tests/models/regression_test.cc" "tests/CMakeFiles/models_test.dir/models/regression_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/regression_test.cc.o.d"
+  "/root/repo/tests/models/tbats_test.cc" "tests/CMakeFiles/models_test.dir/models/tbats_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/tbats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

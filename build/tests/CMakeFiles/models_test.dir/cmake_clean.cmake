@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test.dir/models/arima_property_test.cc.o"
+  "CMakeFiles/models_test.dir/models/arima_property_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/arima_spec_test.cc.o"
+  "CMakeFiles/models_test.dir/models/arima_spec_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/arima_test.cc.o"
+  "CMakeFiles/models_test.dir/models/arima_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/auto_arima_test.cc.o"
+  "CMakeFiles/models_test.dir/models/auto_arima_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/baselines_test.cc.o"
+  "CMakeFiles/models_test.dir/models/baselines_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/dshw_test.cc.o"
+  "CMakeFiles/models_test.dir/models/dshw_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/ets_test.cc.o"
+  "CMakeFiles/models_test.dir/models/ets_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/kalman_test.cc.o"
+  "CMakeFiles/models_test.dir/models/kalman_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/regression_test.cc.o"
+  "CMakeFiles/models_test.dir/models/regression_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/tbats_test.cc.o"
+  "CMakeFiles/models_test.dir/models/tbats_test.cc.o.d"
+  "models_test"
+  "models_test.pdb"
+  "models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

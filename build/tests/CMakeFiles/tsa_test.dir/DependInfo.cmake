@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tsa/acf_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/acf_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/acf_test.cc.o.d"
+  "/root/repo/tests/tsa/boxcox_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/boxcox_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/boxcox_test.cc.o.d"
+  "/root/repo/tests/tsa/calendar_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/calendar_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/calendar_test.cc.o.d"
+  "/root/repo/tests/tsa/decompose_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/decompose_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/decompose_test.cc.o.d"
+  "/root/repo/tests/tsa/difference_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/difference_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/difference_test.cc.o.d"
+  "/root/repo/tests/tsa/fourier_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/fourier_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/fourier_test.cc.o.d"
+  "/root/repo/tests/tsa/interpolate_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/interpolate_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/interpolate_test.cc.o.d"
+  "/root/repo/tests/tsa/metrics_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/metrics_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/metrics_test.cc.o.d"
+  "/root/repo/tests/tsa/rolling_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/rolling_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/rolling_test.cc.o.d"
+  "/root/repo/tests/tsa/seasonality_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/seasonality_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/seasonality_test.cc.o.d"
+  "/root/repo/tests/tsa/stationarity_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/stationarity_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/stationarity_test.cc.o.d"
+  "/root/repo/tests/tsa/stl_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/stl_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/stl_test.cc.o.d"
+  "/root/repo/tests/tsa/timeseries_test.cc" "tests/CMakeFiles/tsa_test.dir/tsa/timeseries_test.cc.o" "gcc" "tests/CMakeFiles/tsa_test.dir/tsa/timeseries_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

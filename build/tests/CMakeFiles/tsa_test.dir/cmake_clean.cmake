@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsa_test.dir/tsa/acf_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/acf_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/boxcox_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/boxcox_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/calendar_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/calendar_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/decompose_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/decompose_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/difference_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/difference_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/fourier_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/fourier_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/interpolate_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/interpolate_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/metrics_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/metrics_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/rolling_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/rolling_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/seasonality_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/seasonality_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/stationarity_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/stationarity_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/stl_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/stl_test.cc.o.d"
+  "CMakeFiles/tsa_test.dir/tsa/timeseries_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa/timeseries_test.cc.o.d"
+  "tsa_test"
+  "tsa_test.pdb"
+  "tsa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
