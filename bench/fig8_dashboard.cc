@@ -54,7 +54,7 @@ int main() {
   }
   std::printf("as of %s UTC\n\n", tsa::FormatTimestamp(now).c_str());
   bench::TablePrinter table({24, 40, 8, 26});
-  table.Row({"series", "active model", "MAPA%", "threshold prognosis"});
+  table.Row({"series", "active model", "MAPE%", "threshold prognosis"});
   table.Rule();
   for (const auto& r : *results) {
     if (!r.status.ok()) {
@@ -69,7 +69,7 @@ int main() {
       prognosis = "warn (upper bound) in " +
                   tsa::FormatDuration(r.breach.upper_breach_epoch - now);
     }
-    table.Row({r.key, r.model_spec, bench::Fmt(r.test_mapa, 1), prognosis});
+    table.Row({r.key, r.model_spec, bench::Fmt(r.test_mape, 1), prognosis});
   }
   table.Rule();
   std::printf("\nmodels in registry: %zu (refit policy: 1 week or RMSE "

@@ -4,6 +4,7 @@
 // Umbrella header: the full public API of the capplan library. Include
 // individual module headers instead when compile time matters.
 
+#include "common/json_writer.h"  // IWYU pragma: export
 #include "common/logging.h"    // IWYU pragma: export
 #include "common/result.h"     // IWYU pragma: export
 #include "common/status.h"     // IWYU pragma: export
@@ -62,5 +63,10 @@
 #include "core/selector.h"       // IWYU pragma: export
 #include "core/shock_detect.h"   // IWYU pragma: export
 #include "core/split.h"          // IWYU pragma: export
+
+#include "service/estate_service.h"  // IWYU pragma: export
+#include "service/journal.h"         // IWYU pragma: export
+#include "service/scheduler.h"       // IWYU pragma: export
+#include "service/telemetry.h"       // IWYU pragma: export
 
 #endif  // CAPPLAN_CAPPLAN_H_

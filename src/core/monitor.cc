@@ -49,13 +49,13 @@ Result<std::vector<WatchResult>> MonitoringService::Evaluate(
       cached.step_seconds = tsa::FrequencySeconds(hourly->frequency());
       cached.spec = std::string(TechniqueName(report->chosen_family)) + " " +
                     report->chosen_spec;
-      cached.test_mapa = report->test_accuracy.mapa;
+      cached.test_mape = report->test_accuracy.mape;
       cache_[watch.key] = std::move(cached);
       r.refitted = true;
     }
     const CachedForecast& active = cache_.at(watch.key);
     r.model_spec = active.spec;
-    r.test_mapa = active.test_mapa;
+    r.test_mape = active.test_mape;
     r.breach = CapacityPlanner::PredictBreach(
         active.forecast, watch.threshold, active.start_epoch,
         active.step_seconds);

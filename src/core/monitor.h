@@ -31,7 +31,7 @@ struct WatchResult {
   std::string key;
   bool refitted = false;         // model was stale and was refitted
   std::string model_spec;        // active model description
-  double test_mapa = 0.0;        // active model's held-out accuracy
+  double test_mape = 0.0;        // active model's held-out error (MAPE, %)
   BreachPrediction breach;       // threshold prognosis
   Status status;                 // non-OK when this watch failed
 };
@@ -59,7 +59,7 @@ class MonitoringService {
     std::int64_t start_epoch = 0;
     std::int64_t step_seconds = 3600;
     std::string spec;
-    double test_mapa = 0.0;
+    double test_mape = 0.0;
   };
 
   const repo::MetricsRepository* metrics_;  // not owned

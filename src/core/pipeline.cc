@@ -55,6 +55,9 @@ Result<PipelineReport> Pipeline::Run(const tsa::TimeSeries& series) const {
 
   // Stage 2: split per Table 1.
   CAPPLAN_ASSIGN_OR_RETURN(report.split, SplitFor(filled.frequency()));
+  if (options_.horizon_override > 0) {
+    report.split.prediction = options_.horizon_override;
+  }
   CAPPLAN_ASSIGN_OR_RETURN(auto split_pair, ApplySplit(filled));
   const tsa::TimeSeries& train = split_pair.first;
   const tsa::TimeSeries& test = split_pair.second;

@@ -43,6 +43,11 @@ struct PipelineOptions {
   std::size_t n_threads = 4;
   double interval_level = 0.95;
 
+  // When > 0, replaces the Table-1 prediction horizon (in observations at
+  // the series frequency). The service layer uses this to make one fit's
+  // cached forecast span a whole staleness period between refits.
+  std::size_t horizon_override = 0;
+
   // When > 1, the SARIMAX-family forecast is an inverse-RMSE-weighted
   // combination of the top-k selected models (refitted on the full window)
   // instead of the single winner — more robust to the single test split.

@@ -1,149 +1,10 @@
 #include "core/report_json.h"
 
-#include <cmath>
-#include <cstdio>
-#include <sstream>
+#include "common/json_writer.h"
 
 namespace capplan::core {
 
 namespace {
-
-// Minimal JSON writer: supports objects, arrays, strings, numbers, bools.
-class JsonWriter {
- public:
-  explicit JsonWriter(bool pretty) : pretty_(pretty) {}
-
-  void BeginObject() {
-    Prefix();
-    out_ << '{';
-    stack_.push_back('}');
-    first_ = true;
-    pending_key_ = false;
-  }
-  void EndObject() { End(); }
-  void BeginArray(const std::string& key) {
-    Key(key);
-    out_ << '[';
-    stack_.push_back(']');
-    first_ = true;
-    pending_key_ = false;
-  }
-  void EndArray() { End(); }
-
-  void Key(const std::string& key) {
-    Prefix();
-    WriteString(key);
-    out_ << (pretty_ ? ": " : ":");
-    pending_key_ = true;
-  }
-
-  void String(const std::string& key, const std::string& value) {
-    Key(key);
-    WriteString(value);
-    pending_key_ = false;
-  }
-  void Number(const std::string& key, double value) {
-    Key(key);
-    WriteNumber(value);
-    pending_key_ = false;
-  }
-  void Integer(const std::string& key, long long value) {
-    Key(key);
-    out_ << value;
-    pending_key_ = false;
-  }
-  void Bool(const std::string& key, bool value) {
-    Key(key);
-    out_ << (value ? "true" : "false");
-    pending_key_ = false;
-  }
-  void ArrayNumber(double value) {
-    Prefix();
-    WriteNumber(value);
-  }
-
-  std::string Take() { return out_.str(); }
-
- private:
-  void Prefix() {
-    if (pending_key_) return;  // value follows its key directly
-    if (!stack_.empty()) {
-      if (!first_) out_ << ',';
-      if (pretty_) {
-        out_ << '\n' << std::string(2 * stack_.size(), ' ');
-      }
-    }
-    first_ = false;
-  }
-  void End() {
-    const char close = stack_.back();
-    stack_.pop_back();
-    if (pretty_) {
-      out_ << '\n' << std::string(2 * stack_.size(), ' ');
-    }
-    out_ << close;
-    first_ = false;
-    pending_key_ = false;
-  }
-  void WriteString(const std::string& s) {
-    out_ << '"';
-    for (char c : s) {
-      switch (c) {
-        case '"':
-          out_ << "\\\"";
-          break;
-        case '\\':
-          out_ << "\\\\";
-          break;
-        case '\n':
-          out_ << "\\n";
-          break;
-        case '\r':
-          out_ << "\\r";
-          break;
-        case '\t':
-          out_ << "\\t";
-          break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x",
-                          static_cast<unsigned>(c));
-            out_ << buf;
-          } else {
-            out_ << c;
-          }
-      }
-    }
-    out_ << '"';
-  }
-  void WriteNumber(double v) {
-    if (std::isnan(v) || std::isinf(v)) {
-      out_ << "null";
-      return;
-    }
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    // Trim to shortest representation that round-trips.
-    for (int prec = 1; prec < 17; ++prec) {
-      char probe[40];
-      std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
-      double back = 0.0;
-      std::sscanf(probe, "%lf", &back);
-      if (back == v) {
-        out_ << probe;
-        return;
-      }
-    }
-    out_ << buf;
-  }
-
-  std::ostringstream out_;
-  std::vector<char> stack_;
-  bool first_ = true;
-  bool pending_key_ = false;
-  bool pretty_;
-};
 
 void WriteForecastFields(JsonWriter* w, const models::Forecast& fc) {
   w->Number("level", fc.level);

@@ -1,5 +1,7 @@
 #include "repo/repository.h"
 
+#include <cmath>
+
 #include "repo/csv.h"
 
 namespace capplan::repo {
@@ -29,6 +31,51 @@ Status MetricsRepository::Ingest(const std::string& key,
   return Status::OK();
 }
 
+Status MetricsRepository::Append(const std::string& key,
+                                 const tsa::TimeSeries& chunk) {
+  if (chunk.empty()) {
+    return Status::InvalidArgument("MetricsRepository: empty chunk");
+  }
+  auto it = raw_.find(key);
+  if (it == raw_.end()) return Ingest(key, chunk);
+  tsa::TimeSeries& raw = it->second;
+  if (chunk.frequency() != raw.frequency()) {
+    return Status::InvalidArgument(
+        "MetricsRepository::Append: frequency mismatch for " + key);
+  }
+  if (chunk.start_epoch() != raw.EndEpoch()) {
+    return Status::InvalidArgument(
+        "MetricsRepository::Append: non-contiguous chunk for " + key +
+        " (expected start " + std::to_string(raw.EndEpoch()) + ", got " +
+        std::to_string(chunk.start_epoch()) + ")");
+  }
+  for (double v : chunk.values()) raw.Append(v);
+  tsa::TimeSeries& hourly = hourly_.at(key);
+  if (raw.frequency() != tsa::Frequency::kQuarterHourly) {
+    // Ingest stored hourly-or-coarser data as-is; keep mirroring it.
+    for (double v : chunk.values()) hourly.Append(v);
+    return Status::OK();
+  }
+  // Fold newly completed hourly buckets of the quarter-hourly trace.
+  const std::size_t k = static_cast<std::size_t>(
+      tsa::FrequencySeconds(tsa::Frequency::kHourly) /
+      tsa::FrequencySeconds(raw.frequency()));
+  std::size_t consumed = hourly.size() * k;
+  while (raw.size() - consumed >= k) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = consumed; i < consumed + k; ++i) {
+      if (!std::isnan(raw[i])) {
+        sum += raw[i];
+        ++n;
+      }
+    }
+    hourly.Append(n > 0 ? sum / static_cast<double>(n) : std::nan(""));
+    consumed += k;
+  }
+  return Status::OK();
+}
+
 Result<tsa::TimeSeries> MetricsRepository::Hourly(
     const std::string& key) const {
   auto it = hourly_.find(key);
@@ -36,6 +83,12 @@ Result<tsa::TimeSeries> MetricsRepository::Hourly(
     return Status::NotFound("MetricsRepository: no series for " + key);
   }
   return it->second;
+}
+
+const tsa::TimeSeries* MetricsRepository::FindHourly(
+    const std::string& key) const {
+  auto it = hourly_.find(key);
+  return it == hourly_.end() ? nullptr : &it->second;
 }
 
 Result<tsa::TimeSeries> MetricsRepository::Raw(const std::string& key) const {

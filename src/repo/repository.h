@@ -28,8 +28,20 @@ class MetricsRepository {
   // finer than hourly is mean-aggregated; hourly input is stored as-is.
   Status Ingest(const std::string& key, const tsa::TimeSeries& raw);
 
+  // Appends `chunk` to the raw trace under `key` and extends the hourly
+  // aggregation incrementally (only newly completed hourly buckets are
+  // computed) — the continuous-ingest path of the service layer. The chunk
+  // must match the stored frequency and start exactly where the stored raw
+  // trace ends; an unknown key behaves like Ingest.
+  Status Append(const std::string& key, const tsa::TimeSeries& chunk);
+
   // Hourly series for `key` (aggregated at ingest time).
   Result<tsa::TimeSeries> Hourly(const std::string& key) const;
+
+  // Borrowed view of the hourly series, or nullptr when absent — the
+  // service layer's per-tick hot path, which must not copy whole series.
+  // The pointer is invalidated by Ingest/Append on the same key.
+  const tsa::TimeSeries* FindHourly(const std::string& key) const;
 
   // The raw trace as ingested.
   Result<tsa::TimeSeries> Raw(const std::string& key) const;

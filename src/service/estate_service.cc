@@ -1,0 +1,759 @@
+#include "service/estate_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/split.h"
+#include "repo/csv.h"
+
+namespace capplan::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+std::string FmtDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JoinDoubles(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ';';
+    out += FmtDouble(values[i]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> ParseDoubles(const std::string& joined) {
+  std::vector<double> values;
+  if (joined.empty()) return values;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t pos = joined.find(';', begin);
+    const std::string token = pos == std::string::npos
+                                  ? joined.substr(begin)
+                                  : joined.substr(begin, pos - begin);
+    try {
+      values.push_back(std::stod(token));
+    } catch (...) {
+      return Status::IoError("service: bad double '" + token + "'");
+    }
+    if (pos == std::string::npos) return values;
+    begin = pos + 1;
+  }
+}
+
+Result<std::int64_t> ParseInt64(const std::string& s) {
+  try {
+    return static_cast<std::int64_t>(std::stoll(s));
+  } catch (...) {
+    return Status::IoError("service: bad integer '" + s + "'");
+  }
+}
+
+}  // namespace
+
+std::string EstateService::KeyFor(const workload::ClusterSimulator& cluster,
+                                  const WatchConfig& watch) {
+  return repo::MetricsRepository::KeyFor(cluster.InstanceName(watch.instance),
+                                         watch.metric);
+}
+
+EstateService::EstateService(const workload::ClusterSimulator* cluster,
+                             std::vector<WatchConfig> watches,
+                             EstateServiceConfig config,
+                             agent::FaultModel default_faults)
+    : cluster_(cluster),
+      watches_(std::move(watches)),
+      config_(std::move(config)),
+      registry_(config_.staleness),
+      scheduler_(config_.retry),
+      pool_(config_.fit_threads) {
+  agents_.reserve(watches_.size());
+  keys_.reserve(watches_.size());
+  for (std::size_t i = 0; i < watches_.size(); ++i) {
+    const WatchConfig& w = watches_[i];
+    agents_.emplace_back(cluster_, w.faults.value_or(default_faults),
+                         config_.poll_seconds);
+    keys_.push_back(cluster_ != nullptr ? KeyFor(*cluster_, w)
+                                        : std::to_string(i));
+    watch_index_[keys_.back()] = i;
+  }
+}
+
+EstateService::~EstateService() = default;
+
+Status EstateService::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("service: already started");
+  }
+  if (cluster_ == nullptr) {
+    return Status::FailedPrecondition("service: no cluster attached");
+  }
+  if (watches_.empty()) {
+    return Status::InvalidArgument("service: no watches configured");
+  }
+  if (config_.tick_seconds <= 0 || config_.tick_seconds % 3600 != 0) {
+    return Status::InvalidArgument(
+        "service: tick_seconds must be a positive multiple of 3600");
+  }
+  if (!config_.state_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.state_dir, ec);
+    if (ec) {
+      return Status::IoError("service: cannot create state dir " +
+                             config_.state_dir + ": " + ec.message());
+    }
+    CAPPLAN_ASSIGN_OR_RETURN(journal_, EventJournal::Open(JournalPath()));
+  }
+  now_ = cluster_->start_epoch();
+  cursor_ = now_;
+  if (config_.warmup_days > 0) {
+    const auto t0 = Clock::now();
+    const std::int64_t warmup_end =
+        now_ + static_cast<std::int64_t>(config_.warmup_days) * 86400;
+    CAPPLAN_RETURN_NOT_OK(Ingest(cursor_, warmup_end));
+    cursor_ = warmup_end;
+    now_ = warmup_end;
+    telemetry_.ingest_stage.Record(ElapsedMs(t0));
+  }
+  for (const auto& key : keys_) scheduler_.ScheduleAt(key, now_);
+  started_ = true;
+  return Status::OK();
+}
+
+Status EstateService::Ingest(std::int64_t from_epoch, std::int64_t to_epoch) {
+  if (to_epoch <= from_epoch) return Status::OK();
+  const std::int64_t span = to_epoch - from_epoch;
+  if (span % config_.poll_seconds != 0) {
+    return Status::InvalidArgument(
+        "service: ingest window is not a whole number of polls");
+  }
+  const std::size_t n_polls =
+      static_cast<std::size_t>(span / config_.poll_seconds);
+  for (std::size_t i = 0; i < watches_.size(); ++i) {
+    CAPPLAN_ASSIGN_OR_RETURN(
+        tsa::TimeSeries chunk,
+        agents_[i].Collect(watches_[i].instance, watches_[i].metric,
+                           from_epoch, n_polls));
+    chunk.set_name(keys_[i]);
+    CAPPLAN_RETURN_NOT_OK(metrics_.Append(keys_[i], chunk));
+    telemetry_.polls += n_polls;
+    telemetry_.samples_ingested += chunk.size();
+    telemetry_.hourly_points += static_cast<std::uint64_t>(span / 3600);
+  }
+  return Status::OK();
+}
+
+void EstateService::CheckStaleness() {
+  for (const auto& key : keys_) {
+    auto entry = scheduler_.Get(key);
+    if (entry.ok() && (entry->quarantined || entry->in_flight)) continue;
+    if (!registry_.Contains(key)) continue;  // initial fit already scheduled
+    auto fc_it = forecasts_.find(key);
+    double live_rmse = -1.0;
+    if (fc_it != forecasts_.end()) {
+      const CachedForecast& fc = fc_it->second;
+      const tsa::TimeSeries* hourly = metrics_.FindHourly(key);
+      if (hourly != nullptr && !hourly->empty()) {
+        const std::size_t n = hourly->size();
+        const std::size_t begin =
+            n > config_.degradation_window_hours
+                ? n - config_.degradation_window_hours
+                : 0;
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (std::size_t j = begin; j < n; ++j) {
+          const std::int64_t t = hourly->TimestampAt(j);
+          if (t < fc.start_epoch || fc.step_seconds <= 0) continue;
+          const std::int64_t idx = (t - fc.start_epoch) / fc.step_seconds;
+          if (idx < 0 ||
+              idx >= static_cast<std::int64_t>(fc.forecast.mean.size())) {
+            continue;
+          }
+          const double actual = (*hourly)[j];
+          if (std::isnan(actual)) continue;
+          const double err =
+              actual - fc.forecast.mean[static_cast<std::size_t>(idx)];
+          sum += err * err;
+          ++count;
+        }
+        if (count >= config_.degradation_min_points) {
+          live_rmse = std::sqrt(sum / static_cast<double>(count));
+        }
+      }
+    }
+    // The age half of the policy is already encoded in the schedule (due =
+    // fitted_at + max_age); this pulls the refit forward on degradation.
+    if (registry_.IsStale(key, now_, live_rmse)) {
+      scheduler_.PullForward(key, now_);
+    }
+  }
+}
+
+std::size_t EstateService::DispatchDue(TickReport* report) {
+  const auto due = scheduler_.TakeDue(now_);
+  std::size_t dispatched = 0;
+  for (const auto& key : due) {
+    const tsa::TimeSeries* hourly = metrics_.FindHourly(key);
+    auto policy = core::SplitFor(tsa::Frequency::kHourly);
+    const std::size_t needed = policy.ok() ? policy->observations : 1008;
+    const std::size_t have = hourly == nullptr ? 0 : hourly->size();
+    if (have < needed) {
+      // Not enough history yet: come back when the gap has been ingested.
+      scheduler_.Defer(
+          key, now_ + static_cast<std::int64_t>(needed - have) * 3600);
+      ++telemetry_.refits_deferred;
+      continue;
+    }
+    const std::size_t window_len =
+        std::min<std::size_t>(config_.fit_window_hours, have);
+    auto window = hourly->Slice(have - window_len, window_len);
+    if (!window.ok()) {
+      scheduler_.Defer(key, now_ + 3600);
+      ++telemetry_.refits_deferred;
+      continue;
+    }
+    window->set_name(key);
+    core::PipelineOptions opts = config_.pipeline;
+    opts.model_repository = nullptr;  // driver thread owns registry updates
+    opts.n_threads = 1;               // parallelism is across series
+    if (opts.horizon_override == 0) {
+      // One fit's forecast must outlive the staleness period.
+      opts.horizon_override = static_cast<std::size_t>(
+          config_.staleness.max_age_seconds / 3600 + 48);
+    }
+    // The job captures copies only, so it stays valid across service
+    // shutdown and never races the driver thread.
+    in_flight_.push_back(pool_.Submit(
+        [key, series = std::move(*window), opts,
+         fitted_at = now_]() -> FitOutcome {
+          FitOutcome out;
+          out.key = key;
+          out.fitted_at_epoch = fitted_at;
+          const auto t0 = Clock::now();
+          core::Pipeline pipeline(opts);
+          auto rep = pipeline.Run(series);
+          out.wall_ms = ElapsedMs(t0);
+          if (!rep.ok()) {
+            out.status = rep.status();
+            return out;
+          }
+          out.status = Status::OK();
+          out.technique = core::TechniqueName(rep->chosen_family);
+          out.spec = rep->chosen_spec;
+          out.test_rmse = rep->test_accuracy.rmse;
+          out.test_mape = rep->test_accuracy.mape;
+          out.forecast = std::move(rep->forecast);
+          out.forecast_start_epoch = rep->forecast_start_epoch;
+          out.forecast_step_seconds =
+              tsa::FrequencySeconds(series.frequency());
+          return out;
+        }));
+    ++telemetry_.refits_dispatched;
+    ++dispatched;
+    if (report != nullptr) ++report->refits_dispatched;
+  }
+  return dispatched;
+}
+
+void EstateService::CollectFinished(bool block, TickReport* report) {
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    const bool ready =
+        block ||
+        it->wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    if (!ready) {
+      ++it;
+      continue;
+    }
+    FitOutcome outcome = it->get();
+    ApplyOutcome(outcome, report);
+    it = in_flight_.erase(it);
+  }
+}
+
+void EstateService::ApplyOutcome(const FitOutcome& outcome,
+                                 TickReport* report) {
+  telemetry_.fit_stage.Record(outcome.wall_ms);
+  const std::string& key = outcome.key;
+  if (outcome.status.ok()) {
+    repo::StoredModel model;
+    model.key = key;
+    model.technique = outcome.technique;
+    model.spec = outcome.spec;
+    model.test_rmse = outcome.test_rmse;
+    model.test_mape = outcome.test_mape;
+    model.fitted_at_epoch = outcome.fitted_at_epoch;
+    registry_.Put(model);
+    CachedForecast cached;
+    cached.forecast = outcome.forecast;
+    cached.start_epoch = outcome.forecast_start_epoch;
+    cached.step_seconds = outcome.forecast_step_seconds;
+    cached.spec = outcome.technique + " " + outcome.spec;
+    forecasts_[key] = std::move(cached);
+    scheduler_.OnSuccess(
+        key, outcome.fitted_at_epoch + config_.staleness.max_age_seconds);
+    ++telemetry_.refits_succeeded;
+    if (report != nullptr) ++report->refits_completed;
+    JournalAppend(
+        {now_,
+         EventKind::kFitOk,
+         key,
+         {outcome.technique, outcome.spec, FmtDouble(outcome.test_rmse),
+          FmtDouble(outcome.test_mape),
+          std::to_string(outcome.fitted_at_epoch),
+          std::to_string(outcome.forecast_start_epoch),
+          std::to_string(outcome.forecast_step_seconds),
+          FmtDouble(outcome.forecast.level),
+          JoinDoubles(outcome.forecast.mean),
+          JoinDoubles(outcome.forecast.lower),
+          JoinDoubles(outcome.forecast.upper)}});
+  } else {
+    const bool quarantined = scheduler_.OnFailure(key, now_);
+    ++telemetry_.refits_failed;
+    if (report != nullptr) ++report->refits_failed;
+    auto entry = scheduler_.Get(key);
+    const int failures = entry.ok() ? entry->consecutive_failures : 0;
+    const std::int64_t next_due =
+        quarantined ? -1 : (entry.ok() ? entry->due_epoch : -1);
+    JournalAppend({now_,
+                   EventKind::kFitFail,
+                   key,
+                   {std::to_string(failures), std::to_string(next_due),
+                    outcome.status.ToString()}});
+    if (quarantined) {
+      ++telemetry_.quarantines;
+      JournalAppend({now_, EventKind::kQuarantine, key, {}});
+    }
+  }
+}
+
+void EstateService::EvaluateAlerts(TickReport* report) {
+  const auto t0 = Clock::now();
+  struct Transition {
+    std::string key;
+    bool raise = false;
+    ServiceAlert alert;
+  };
+  std::vector<Transition> transitions;
+  for (const auto& key : keys_) {
+    auto it = forecasts_.find(key);
+    if (it == forecasts_.end()) continue;
+    const CachedForecast& fc = it->second;
+    const std::int64_t fc_end =
+        fc.start_epoch +
+        static_cast<std::int64_t>(fc.forecast.mean.size()) * fc.step_seconds;
+    if (now_ >= fc_end || fc.step_seconds <= 0) {
+      ++telemetry_.forecast_exhausted_ticks;
+      continue;
+    }
+    ++telemetry_.forecast_cache_hits;
+    const double threshold = watches_[watch_index_.at(key)].threshold;
+    // First forecast step at or after the current clock.
+    std::int64_t first = (now_ - fc.start_epoch) / fc.step_seconds;
+    if ((now_ - fc.start_epoch) % fc.step_seconds != 0) ++first;
+    if (first < 0) first = 0;
+    bool mean_breach = false;
+    bool upper_breach = false;
+    std::int64_t breach_epoch = 0;
+    for (std::size_t i = static_cast<std::size_t>(first);
+         i < fc.forecast.mean.size(); ++i) {
+      if (fc.forecast.mean[i] > threshold) {
+        mean_breach = true;
+        breach_epoch =
+            fc.start_epoch + static_cast<std::int64_t>(i) * fc.step_seconds;
+        break;
+      }
+    }
+    if (!mean_breach) {
+      for (std::size_t i = static_cast<std::size_t>(first);
+           i < fc.forecast.upper.size(); ++i) {
+        if (fc.forecast.upper[i] > threshold) {
+          upper_breach = true;
+          breach_epoch =
+              fc.start_epoch + static_cast<std::int64_t>(i) * fc.step_seconds;
+          break;
+        }
+      }
+    }
+    const bool breach = mean_breach || upper_breach;
+    auto active = alerts_.find(key);
+    if (breach && active == alerts_.end()) {
+      ServiceAlert alert;
+      alert.key = key;
+      alert.upper_only = !mean_breach;
+      alert.predicted_breach_epoch = breach_epoch;
+      alert.raised_at_epoch = now_;
+      transitions.push_back({key, true, alert});
+    } else if (!breach && active != alerts_.end()) {
+      transitions.push_back({key, false, {}});
+    } else if (breach && active != alerts_.end()) {
+      // Refresh the prognosis silently; no new journal event.
+      active->second.upper_only = !mean_breach;
+      active->second.predicted_breach_epoch = breach_epoch;
+    }
+  }
+  telemetry_.forecast_stage.Record(ElapsedMs(t0));
+
+  const auto t1 = Clock::now();
+  for (const auto& tr : transitions) {
+    if (tr.raise) {
+      alerts_[tr.key] = tr.alert;
+      ++telemetry_.alerts_raised;
+      if (report != nullptr) ++report->alerts_raised;
+      JournalAppend({now_,
+                     EventKind::kAlert,
+                     tr.key,
+                     {tr.alert.upper_only ? "upper" : "mean",
+                      std::to_string(tr.alert.predicted_breach_epoch)}});
+    } else {
+      alerts_.erase(tr.key);
+      ++telemetry_.alerts_cleared;
+      if (report != nullptr) ++report->alerts_cleared;
+      JournalAppend({now_, EventKind::kAlertClear, tr.key, {}});
+    }
+  }
+  telemetry_.alert_stage.Record(ElapsedMs(t1));
+}
+
+Result<TickReport> EstateService::Tick() {
+  if (!started_) {
+    return Status::FailedPrecondition("service: not started");
+  }
+  TickReport report;
+  now_ += config_.tick_seconds;
+  report.now_epoch = now_;
+
+  const auto t0 = Clock::now();
+  const std::uint64_t ingested_before = telemetry_.samples_ingested;
+  CAPPLAN_RETURN_NOT_OK(Ingest(cursor_, now_));
+  cursor_ = now_;
+  report.samples_ingested = static_cast<std::size_t>(
+      telemetry_.samples_ingested - ingested_before);
+  telemetry_.ingest_stage.Record(ElapsedMs(t0));
+
+  CheckStaleness();
+  DispatchDue(&report);
+  CollectFinished(/*block=*/false, &report);
+  EvaluateAlerts(&report);
+
+  CAPPLAN_RETURN_NOT_OK(JournalAppend({now_, EventKind::kTick, "", {}}));
+  ++ticks_;
+  ++telemetry_.ticks;
+  if (config_.snapshot_every_ticks > 0 && !config_.state_dir.empty() &&
+      ticks_ % static_cast<std::uint64_t>(config_.snapshot_every_ticks) ==
+          0) {
+    CAPPLAN_RETURN_NOT_OK(WriteSnapshot());
+  }
+  return report;
+}
+
+Status EstateService::RunTicks(int n) {
+  for (int i = 0; i < n; ++i) {
+    auto report = Tick();
+    if (!report.ok()) return report.status();
+  }
+  return Status::OK();
+}
+
+Status EstateService::DrainRefits() {
+  if (!started_) {
+    return Status::FailedPrecondition("service: not started");
+  }
+  CollectFinished(/*block=*/true, nullptr);
+  return Status::OK();
+}
+
+Status EstateService::Checkpoint() {
+  if (config_.state_dir.empty()) {
+    return Status::FailedPrecondition("service: no state_dir configured");
+  }
+  CAPPLAN_RETURN_NOT_OK(DrainRefits());
+  return WriteSnapshot();
+}
+
+Status EstateService::ReleaseQuarantine(const std::string& key) {
+  CAPPLAN_RETURN_NOT_OK(scheduler_.Release(key, now_));
+  return JournalAppend({now_, EventKind::kRelease, key, {}});
+}
+
+std::vector<ServiceAlert> EstateService::ActiveAlerts() const {
+  std::vector<ServiceAlert> alerts;
+  alerts.reserve(alerts_.size());
+  for (const auto& [_, a] : alerts_) alerts.push_back(a);
+  return alerts;
+}
+
+std::string EstateService::JournalPath() const {
+  return config_.state_dir + "/journal.log";
+}
+
+Status EstateService::JournalAppend(const JournalEvent& event) {
+  if (!journal_.is_open()) return Status::OK();  // ephemeral service
+  CAPPLAN_RETURN_NOT_OK(journal_.Append(event));
+  ++telemetry_.journal_events;
+  return Status::OK();
+}
+
+Status EstateService::WriteSnapshot() {
+  const std::string& dir = config_.state_dir;
+  CAPPLAN_RETURN_NOT_OK(registry_.Save(dir + "/snapshot.registry.csv"));
+  CAPPLAN_RETURN_NOT_OK(scheduler_.Save(dir + "/snapshot.schedule.csv"));
+
+  repo::CsvTable forecasts;
+  forecasts.header = {"key",  "spec",  "start_epoch", "step_seconds",
+                      "level", "mean", "lower",       "upper"};
+  for (const auto& [key, fc] : forecasts_) {
+    forecasts.rows.push_back(
+        {key, fc.spec, std::to_string(fc.start_epoch),
+         std::to_string(fc.step_seconds), FmtDouble(fc.forecast.level),
+         JoinDoubles(fc.forecast.mean), JoinDoubles(fc.forecast.lower),
+         JoinDoubles(fc.forecast.upper)});
+  }
+  CAPPLAN_RETURN_NOT_OK(
+      repo::WriteCsv(dir + "/snapshot.forecasts.csv", forecasts));
+
+  repo::CsvTable alerts;
+  alerts.header = {"key", "upper_only", "predicted_breach_epoch",
+                   "raised_at_epoch"};
+  for (const auto& [key, a] : alerts_) {
+    alerts.rows.push_back({key, a.upper_only ? "1" : "0",
+                           std::to_string(a.predicted_breach_epoch),
+                           std::to_string(a.raised_at_epoch)});
+  }
+  CAPPLAN_RETURN_NOT_OK(repo::WriteCsv(dir + "/snapshot.alerts.csv", alerts));
+
+  repo::CsvTable meta;
+  meta.header = {"field", "value"};
+  meta.rows.push_back({"now_epoch", std::to_string(now_)});
+  meta.rows.push_back({"cursor_epoch", std::to_string(cursor_)});
+  meta.rows.push_back({"ticks", std::to_string(ticks_)});
+  CAPPLAN_RETURN_NOT_OK(repo::WriteCsv(dir + "/snapshot.meta.csv", meta));
+
+  CAPPLAN_RETURN_NOT_OK(JournalAppend({now_, EventKind::kSnapshot, "", {}}));
+  ++telemetry_.snapshots_written;
+  return Status::OK();
+}
+
+Status EstateService::ReplayEvent(const JournalEvent& event) {
+  switch (event.kind) {
+    case EventKind::kTick:
+      now_ = event.epoch;
+      cursor_ = event.epoch;
+      ++ticks_;
+      return Status::OK();
+    case EventKind::kFitOk: {
+      if (event.fields.size() != 11) {
+        return Status::IoError("service: malformed fit_ok event");
+      }
+      repo::StoredModel model;
+      model.key = event.key;
+      model.technique = event.fields[0];
+      model.spec = event.fields[1];
+      try {
+        model.test_rmse = std::stod(event.fields[2]);
+        model.test_mape = std::stod(event.fields[3]);
+      } catch (...) {
+        return Status::IoError("service: bad accuracy in fit_ok event");
+      }
+      CAPPLAN_ASSIGN_OR_RETURN(model.fitted_at_epoch,
+                               ParseInt64(event.fields[4]));
+      registry_.Put(model);
+      CachedForecast cached;
+      CAPPLAN_ASSIGN_OR_RETURN(cached.start_epoch,
+                               ParseInt64(event.fields[5]));
+      CAPPLAN_ASSIGN_OR_RETURN(cached.step_seconds,
+                               ParseInt64(event.fields[6]));
+      try {
+        cached.forecast.level = std::stod(event.fields[7]);
+      } catch (...) {
+        return Status::IoError("service: bad level in fit_ok event");
+      }
+      CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.mean,
+                               ParseDoubles(event.fields[8]));
+      CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.lower,
+                               ParseDoubles(event.fields[9]));
+      CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.upper,
+                               ParseDoubles(event.fields[10]));
+      cached.spec = model.technique + " " + model.spec;
+      forecasts_[event.key] = std::move(cached);
+      ScheduleEntry entry;
+      entry.key = event.key;
+      entry.due_epoch =
+          model.fitted_at_epoch + config_.staleness.max_age_seconds;
+      scheduler_.Restore(std::move(entry));
+      return Status::OK();
+    }
+    case EventKind::kFitFail: {
+      if (event.fields.size() != 3) {
+        return Status::IoError("service: malformed fit_fail event");
+      }
+      ScheduleEntry entry;
+      entry.key = event.key;
+      try {
+        entry.consecutive_failures = std::stoi(event.fields[0]);
+      } catch (...) {
+        return Status::IoError("service: bad failure count in fit_fail");
+      }
+      CAPPLAN_ASSIGN_OR_RETURN(std::int64_t next_due,
+                               ParseInt64(event.fields[1]));
+      if (next_due < 0) {
+        entry.quarantined = true;
+        entry.due_epoch = event.epoch;
+      } else {
+        entry.due_epoch = next_due;
+      }
+      scheduler_.Restore(std::move(entry));
+      return Status::OK();
+    }
+    case EventKind::kQuarantine: {
+      ScheduleEntry entry;
+      entry.key = event.key;
+      entry.due_epoch = event.epoch;
+      entry.consecutive_failures = config_.retry.quarantine_after_failures;
+      entry.quarantined = true;
+      scheduler_.Restore(std::move(entry));
+      return Status::OK();
+    }
+    case EventKind::kRelease: {
+      ScheduleEntry entry;
+      entry.key = event.key;
+      entry.due_epoch = event.epoch;
+      scheduler_.Restore(std::move(entry));
+      return Status::OK();
+    }
+    case EventKind::kAlert: {
+      if (event.fields.size() != 2) {
+        return Status::IoError("service: malformed alert event");
+      }
+      ServiceAlert alert;
+      alert.key = event.key;
+      alert.upper_only = event.fields[0] == "upper";
+      CAPPLAN_ASSIGN_OR_RETURN(alert.predicted_breach_epoch,
+                               ParseInt64(event.fields[1]));
+      alert.raised_at_epoch = event.epoch;
+      alerts_[event.key] = alert;
+      return Status::OK();
+    }
+    case EventKind::kAlertClear:
+      alerts_.erase(event.key);
+      return Status::OK();
+    case EventKind::kSnapshot:
+      return Status::OK();
+  }
+  return Status::Internal("service: unhandled event kind");
+}
+
+Status EstateService::Recover() {
+  if (started_) {
+    return Status::FailedPrecondition("service: already started");
+  }
+  if (cluster_ == nullptr) {
+    return Status::FailedPrecondition("service: no cluster attached");
+  }
+  if (config_.state_dir.empty()) {
+    return Status::FailedPrecondition("service: no state_dir to recover from");
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(std::vector<JournalEvent> events,
+                           ReadJournal(JournalPath()));
+  if (events.empty()) {
+    return Status::NotFound("service: nothing to recover in " +
+                            config_.state_dir);
+  }
+
+  // Baseline: the last snapshot, or the fresh post-warmup state.
+  std::size_t replay_from = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == EventKind::kSnapshot) replay_from = i + 1;
+  }
+  if (replay_from > 0) {
+    const std::string& dir = config_.state_dir;
+    CAPPLAN_RETURN_NOT_OK(registry_.Load(dir + "/snapshot.registry.csv"));
+    CAPPLAN_RETURN_NOT_OK(scheduler_.Load(dir + "/snapshot.schedule.csv"));
+    CAPPLAN_ASSIGN_OR_RETURN(
+        repo::CsvTable forecasts,
+        repo::ReadCsv(dir + "/snapshot.forecasts.csv"));
+    for (const auto& row : forecasts.rows) {
+      if (row.size() != 8) {
+        return Status::IoError("service: malformed forecast snapshot row");
+      }
+      CachedForecast cached;
+      cached.spec = row[1];
+      CAPPLAN_ASSIGN_OR_RETURN(cached.start_epoch, ParseInt64(row[2]));
+      CAPPLAN_ASSIGN_OR_RETURN(cached.step_seconds, ParseInt64(row[3]));
+      try {
+        cached.forecast.level = std::stod(row[4]);
+      } catch (...) {
+        return Status::IoError("service: bad level in forecast snapshot");
+      }
+      CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.mean, ParseDoubles(row[5]));
+      CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.lower, ParseDoubles(row[6]));
+      CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.upper, ParseDoubles(row[7]));
+      forecasts_[row[0]] = std::move(cached);
+    }
+    CAPPLAN_ASSIGN_OR_RETURN(repo::CsvTable alerts,
+                             repo::ReadCsv(dir + "/snapshot.alerts.csv"));
+    for (const auto& row : alerts.rows) {
+      if (row.size() != 4) {
+        return Status::IoError("service: malformed alert snapshot row");
+      }
+      ServiceAlert alert;
+      alert.key = row[0];
+      alert.upper_only = row[1] == "1";
+      CAPPLAN_ASSIGN_OR_RETURN(alert.predicted_breach_epoch,
+                               ParseInt64(row[2]));
+      CAPPLAN_ASSIGN_OR_RETURN(alert.raised_at_epoch, ParseInt64(row[3]));
+      alerts_[alert.key] = alert;
+    }
+    CAPPLAN_ASSIGN_OR_RETURN(repo::CsvTable meta,
+                             repo::ReadCsv(dir + "/snapshot.meta.csv"));
+    for (const auto& row : meta.rows) {
+      if (row.size() != 2) {
+        return Status::IoError("service: malformed meta snapshot row");
+      }
+      CAPPLAN_ASSIGN_OR_RETURN(std::int64_t value, ParseInt64(row[1]));
+      if (row[0] == "now_epoch") now_ = value;
+      if (row[0] == "cursor_epoch") cursor_ = value;
+      if (row[0] == "ticks") ticks_ = static_cast<std::uint64_t>(value);
+    }
+  } else {
+    now_ = cluster_->start_epoch() +
+           static_cast<std::int64_t>(config_.warmup_days) * 86400;
+    cursor_ = now_;
+    ticks_ = 0;
+  }
+
+  for (std::size_t i = replay_from; i < events.size(); ++i) {
+    CAPPLAN_RETURN_NOT_OK(ReplayEvent(events[i]));
+  }
+
+  // Keys that never reached a journaled outcome fall back to their initial
+  // schedule (the snapshot carries them otherwise).
+  for (const auto& key : keys_) {
+    if (!scheduler_.Get(key).ok()) scheduler_.ScheduleAt(key, now_);
+  }
+
+  // Rebuild the metric history. The simulated agents are pure functions of
+  // (scenario, seed, instance, epoch), so re-polling reproduces the central
+  // repository exactly; a real deployment would reload persisted series.
+  const auto t0 = Clock::now();
+  CAPPLAN_RETURN_NOT_OK(Ingest(cluster_->start_epoch(), cursor_));
+  telemetry_.ingest_stage.Record(ElapsedMs(t0));
+
+  CAPPLAN_ASSIGN_OR_RETURN(journal_, EventJournal::Open(JournalPath()));
+  started_ = true;
+  return Status::OK();
+}
+
+}  // namespace capplan::service

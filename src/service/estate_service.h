@@ -1,0 +1,223 @@
+#ifndef CAPPLAN_SERVICE_ESTATE_SERVICE_H_
+#define CAPPLAN_SERVICE_ESTATE_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agent/agent.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/capacity.h"
+#include "core/pipeline.h"
+#include "repo/model_store.h"
+#include "repo/repository.h"
+#include "service/journal.h"
+#include "service/scheduler.h"
+#include "service/telemetry.h"
+#include "workload/cluster.h"
+
+namespace capplan::service {
+
+// The paper's production operating mode (Sections 5.1, 8) as a continuously
+// running, simulated-clock daemon: agents poll every 15 minutes, samples are
+// aggregated hourly into the central repository, each stored model lives for
+// one week or until its RMSE degrades, refits are dispatched concurrently
+// onto a shared thread pool with retry/backoff and failure quarantine, and
+// cached forecasts feed a breach-alert stream between refits. An append-only
+// journal plus periodic snapshots make the schedule, registry, forecasts and
+// alert state recoverable after a crash.
+
+// One (instance, metric) pair under estate watch.
+struct WatchConfig {
+  int instance = 0;
+  workload::Metric metric = workload::Metric::kCpu;
+  double threshold = 0.0;  // breach level for the alert feed
+  // Per-watch agent fault override (e.g. a flaky host); the service-wide
+  // fault model applies when unset.
+  std::optional<agent::FaultModel> faults;
+
+  WatchConfig() = default;
+  WatchConfig(int instance, workload::Metric metric, double threshold,
+              std::optional<agent::FaultModel> faults = std::nullopt)
+      : instance(instance),
+        metric(metric),
+        threshold(threshold),
+        faults(std::move(faults)) {}
+};
+
+struct EstateServiceConfig {
+  // Simulated seconds per Tick(); must be a positive multiple of one hour so
+  // every tick completes whole aggregation buckets.
+  std::int64_t tick_seconds = 3600;
+  // Agent poll cadence (15 min or 1 h, as MonitoringAgent supports).
+  std::int64_t poll_seconds = 15 * 60;
+  // Workers on the shared refit pool.
+  std::size_t fit_threads = 4;
+  // History backfilled before the first tick so the Table-1 hourly window
+  // (42 days) is available immediately.
+  int warmup_days = 42;
+  // Cap on fit input: at most this many recent hourly points per refit.
+  std::size_t fit_window_hours = 56 * 24;
+  // Model selection options for refits. The service forces
+  // model_repository = nullptr (the driver thread owns registry updates),
+  // n_threads = 1 (parallelism is across series, on the shared pool), and a
+  // horizon override spanning the staleness period unless one is set.
+  core::PipelineOptions pipeline;
+  repo::StalenessPolicy staleness;
+  RetryPolicy retry;
+  // Live-RMSE window (hours of forecast-vs-actual overlap) for the
+  // degradation half of the staleness policy; fewer overlapping points than
+  // `degradation_min_points` skips the check.
+  std::size_t degradation_window_hours = 24;
+  std::size_t degradation_min_points = 6;
+  // Snapshot cadence in ticks; 0 disables snapshots (journal-only recovery).
+  int snapshot_every_ticks = 24;
+  // Durability directory (journal + snapshots). Empty = ephemeral service.
+  std::string state_dir;
+};
+
+// An active breach warning.
+struct ServiceAlert {
+  std::string key;
+  bool upper_only = false;  // only the upper prediction bound crosses
+  std::int64_t predicted_breach_epoch = 0;
+  std::int64_t raised_at_epoch = 0;
+};
+
+// What one Tick() did.
+struct TickReport {
+  std::int64_t now_epoch = 0;
+  std::size_t samples_ingested = 0;
+  std::size_t refits_dispatched = 0;
+  std::size_t refits_completed = 0;
+  std::size_t refits_failed = 0;
+  std::size_t alerts_raised = 0;
+  std::size_t alerts_cleared = 0;
+};
+
+class EstateService {
+ public:
+  // `cluster` is not owned and must outlive the service.
+  EstateService(const workload::ClusterSimulator* cluster,
+                std::vector<WatchConfig> watches,
+                EstateServiceConfig config = {},
+                agent::FaultModel default_faults = {});
+  ~EstateService();
+
+  EstateService(const EstateService&) = delete;
+  EstateService& operator=(const EstateService&) = delete;
+
+  // Fresh start: backfills the warmup window into the metrics repository and
+  // schedules an initial fit for every watch.
+  Status Start();
+
+  // Crash recovery: reloads the last snapshot from state_dir, replays the
+  // journal suffix to rebuild clock, registry, schedule, cached forecasts
+  // and alert state, then rebuilds the metric history by re-polling the
+  // deterministic agents up to the recovered cursor. (A real deployment
+  // would reload the repository's own persisted series instead; see
+  // MetricsRepository::SaveAll.)
+  Status Recover();
+
+  // One scheduler cycle: ingest the elapsed window, check staleness and
+  // degradation, dispatch due refits onto the pool, collect finished ones,
+  // update the alert feed, journal, and snapshot when due. Never blocks on
+  // in-flight refits.
+  Result<TickReport> Tick();
+
+  // Convenience: `n` consecutive ticks, stopping on the first error.
+  Status RunTicks(int n);
+
+  // Blocks until every in-flight refit has completed and been applied.
+  Status DrainRefits();
+
+  // Forces a snapshot now (also drains, so the snapshot is complete).
+  Status Checkpoint();
+
+  // Puts a quarantined key back into the rotation, due immediately.
+  Status ReleaseQuarantine(const std::string& key);
+
+  // Introspection.
+  bool started() const { return started_; }
+  std::int64_t now() const { return now_; }
+  std::uint64_t tick_count() const { return ticks_; }
+  const ServiceTelemetry& telemetry() const { return telemetry_; }
+  const repo::MetricsRepository& metrics() const { return metrics_; }
+  const repo::ModelRepository& registry() const { return registry_; }
+  const RetrainScheduler& scheduler() const { return scheduler_; }
+  std::size_t in_flight_refits() const { return in_flight_.size(); }
+  std::vector<ServiceAlert> ActiveAlerts() const;
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  // Repository key for a watch on this cluster ("cdbm011/cpu").
+  static std::string KeyFor(const workload::ClusterSimulator& cluster,
+                            const WatchConfig& watch);
+
+ private:
+  struct CachedForecast {
+    models::Forecast forecast;
+    std::int64_t start_epoch = 0;   // timestamp of forecast step 1
+    std::int64_t step_seconds = 3600;
+    std::string spec;
+  };
+
+  // Everything a worker returns; applied on the driver thread.
+  struct FitOutcome {
+    std::string key;
+    std::int64_t fitted_at_epoch = 0;  // dispatch-time sim clock
+    Status status;
+    std::string technique;
+    std::string spec;
+    double test_rmse = 0.0;
+    double test_mape = 0.0;
+    models::Forecast forecast;
+    std::int64_t forecast_start_epoch = 0;
+    std::int64_t forecast_step_seconds = 3600;
+    double wall_ms = 0.0;
+  };
+
+  Status Ingest(std::int64_t from_epoch, std::int64_t to_epoch);
+  void CheckStaleness();
+  std::size_t DispatchDue(TickReport* report);
+  void CollectFinished(bool block, TickReport* report);
+  void ApplyOutcome(const FitOutcome& outcome, TickReport* report);
+  void EvaluateAlerts(TickReport* report);
+  Status WriteSnapshot();
+  Status ReplayEvent(const JournalEvent& event);
+  Status JournalAppend(const JournalEvent& event);
+  std::string JournalPath() const;
+
+  const workload::ClusterSimulator* cluster_;  // not owned
+  std::vector<WatchConfig> watches_;
+  EstateServiceConfig config_;
+  std::vector<agent::MonitoringAgent> agents_;  // one per watch
+  std::vector<std::string> keys_;               // parallel to watches_
+  std::map<std::string, std::size_t> watch_index_;
+
+  repo::MetricsRepository metrics_;
+  repo::ModelRepository registry_;
+  RetrainScheduler scheduler_;
+  EventJournal journal_;
+  ServiceTelemetry telemetry_;
+
+  std::map<std::string, CachedForecast> forecasts_;
+  std::map<std::string, ServiceAlert> alerts_;
+  std::vector<std::future<FitOutcome>> in_flight_;
+
+  bool started_ = false;
+  std::int64_t now_ = 0;     // simulated clock
+  std::int64_t cursor_ = 0;  // next poll epoch (ingested up to here)
+  std::uint64_t ticks_ = 0;
+
+  // Declared last: destroyed first, draining queued fit jobs (which capture
+  // only copies) before the rest of the service goes away.
+  ThreadPool pool_;
+};
+
+}  // namespace capplan::service
+
+#endif  // CAPPLAN_SERVICE_ESTATE_SERVICE_H_

@@ -1,0 +1,170 @@
+#include "service/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace capplan::service {
+
+namespace {
+
+constexpr char kSeparator = '|';
+constexpr const char* kVersion = "v1";
+
+std::string Sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == kSeparator || c == '\n' || c == '\r') c = '/';
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t pos = line.find(kSeparator, begin);
+    if (pos == std::string::npos) {
+      parts.push_back(line.substr(begin));
+      return parts;
+    }
+    parts.push_back(line.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTick:
+      return "tick";
+    case EventKind::kFitOk:
+      return "fit_ok";
+    case EventKind::kFitFail:
+      return "fit_fail";
+    case EventKind::kQuarantine:
+      return "quarantine";
+    case EventKind::kRelease:
+      return "release";
+    case EventKind::kAlert:
+      return "alert";
+    case EventKind::kAlertClear:
+      return "alert_clear";
+    case EventKind::kSnapshot:
+      return "snapshot";
+  }
+  return "?";
+}
+
+Result<EventKind> ParseEventKind(const std::string& name) {
+  for (EventKind k :
+       {EventKind::kTick, EventKind::kFitOk, EventKind::kFitFail,
+        EventKind::kQuarantine, EventKind::kRelease, EventKind::kAlert,
+        EventKind::kAlertClear, EventKind::kSnapshot}) {
+    if (name == EventKindName(k)) return k;
+  }
+  return Status::InvalidArgument("journal: unknown event kind '" + name + "'");
+}
+
+std::string JournalEvent::Serialize() const {
+  std::ostringstream out;
+  out << kVersion << kSeparator << epoch << kSeparator << EventKindName(kind)
+      << kSeparator << Sanitize(key);
+  for (const auto& f : fields) out << kSeparator << Sanitize(f);
+  return out.str();
+}
+
+Result<JournalEvent> JournalEvent::Parse(const std::string& line) {
+  std::vector<std::string> parts = SplitLine(line);
+  if (parts.size() < 4 || parts[0] != kVersion) {
+    return Status::InvalidArgument("journal: malformed line");
+  }
+  JournalEvent event;
+  try {
+    event.epoch = std::stoll(parts[1]);
+  } catch (...) {
+    return Status::InvalidArgument("journal: bad epoch in line");
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(event.kind, ParseEventKind(parts[2]));
+  event.key = parts[3];
+  event.fields.assign(parts.begin() + 4, parts.end());
+  return event;
+}
+
+EventJournal::~EventJournal() { Close(); }
+
+EventJournal::EventJournal(EventJournal&& other) noexcept
+    : path_(std::move(other.path_)), file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+EventJournal& EventJournal::operator=(EventJournal&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Result<EventJournal> EventJournal::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("journal: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  EventJournal journal;
+  journal.path_ = path;
+  journal.file_ = f;
+  return journal;
+}
+
+Status EventJournal::Append(const JournalEvent& event) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal: not open");
+  }
+  const std::string line = event.Serialize() + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::IoError("journal: short write to " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("journal: flush failed for " + path_);
+  }
+  return Status::OK();
+}
+
+void EventJournal::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<std::vector<JournalEvent>> ReadJournal(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<JournalEvent> events;
+  if (!in.is_open()) return events;  // no journal yet: nothing to replay
+  std::string line;
+  bool saw_garbage = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto event = JournalEvent::Parse(line);
+    if (!event.ok()) {
+      // Only the torn tail of a crashed append may be unparseable; malformed
+      // lines in the middle mean the file is not a journal.
+      saw_garbage = true;
+      continue;
+    }
+    if (saw_garbage) {
+      return Status::IoError("journal: malformed interior line in " + path);
+    }
+    events.push_back(std::move(*event));
+  }
+  return events;
+}
+
+}  // namespace capplan::service

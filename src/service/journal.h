@@ -1,0 +1,80 @@
+#ifndef CAPPLAN_SERVICE_JOURNAL_H_
+#define CAPPLAN_SERVICE_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace capplan::service {
+
+// Append-only event journal — the durability backbone of the estate
+// planning daemon. Every state transition that matters for recovery (clock
+// ticks, fit outcomes, quarantines, alert raises/clears, snapshot markers)
+// is appended as one line and flushed, so that after a crash the service can
+// reload the last snapshot and replay the journal suffix to rebuild its
+// schedule, model registry and alert state exactly.
+
+enum class EventKind {
+  kTick,        // clock advanced to `epoch`; no key
+  kFitOk,       // fields: technique, spec, rmse, mape, fitted_at,
+                //         fc_start, fc_step, level, mean, lower, upper
+                //         (the last four ';'-joined)
+  kFitFail,     // fields: consecutive_failures, next_due (-1 = quarantined),
+                //         status message
+  kQuarantine,  // key removed from the dispatch rotation
+  kRelease,     // quarantined key put back into the rotation
+  kAlert,       // fields: kind ("mean"|"upper"), predicted breach epoch
+  kAlertClear,  // breach prognosis cleared
+  kSnapshot,    // snapshot files written; replay starts after the last one
+};
+
+const char* EventKindName(EventKind kind);
+Result<EventKind> ParseEventKind(const std::string& name);
+
+struct JournalEvent {
+  std::int64_t epoch = 0;  // simulated time of the event
+  EventKind kind = EventKind::kTick;
+  std::string key;         // subject series; empty for tick/snapshot
+  std::vector<std::string> fields;
+
+  // One line, 'v1|epoch|kind|key|field...'. Separator and newline characters
+  // inside fields are replaced with '/' (model specs never contain them).
+  std::string Serialize() const;
+  static Result<JournalEvent> Parse(const std::string& line);
+};
+
+// The append side. Writes are flushed per event so that at most the final,
+// torn line is lost on a crash.
+class EventJournal {
+ public:
+  EventJournal() = default;
+  ~EventJournal();
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+  EventJournal(EventJournal&& other) noexcept;
+  EventJournal& operator=(EventJournal&& other) noexcept;
+
+  // Opens `path` for appending, creating it if absent.
+  static Result<EventJournal> Open(const std::string& path);
+
+  Status Append(const JournalEvent& event);
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  void Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+// Reads every well-formed event from `path`. A torn final line (crash during
+// append) is skipped; a missing file yields an empty vector.
+Result<std::vector<JournalEvent>> ReadJournal(const std::string& path);
+
+}  // namespace capplan::service
+
+#endif  // CAPPLAN_SERVICE_JOURNAL_H_

@@ -1,0 +1,179 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "repo/csv.h"
+
+namespace capplan::service {
+
+std::int64_t RetryPolicy::BackoffFor(int failures) const {
+  if (failures <= 0) return initial_backoff_seconds;
+  double delay = static_cast<double>(initial_backoff_seconds) *
+                 std::pow(backoff_multiplier, failures - 1);
+  delay = std::min(delay, static_cast<double>(max_backoff_seconds));
+  return static_cast<std::int64_t>(delay);
+}
+
+void RetrainScheduler::Push(const std::string& key, std::int64_t due_epoch) {
+  heap_.emplace(due_epoch, key);
+}
+
+void RetrainScheduler::ScheduleAt(const std::string& key,
+                                  std::int64_t due_epoch) {
+  ScheduleEntry& entry = entries_[key];
+  entry.key = key;
+  entry.due_epoch = due_epoch;
+  Push(key, due_epoch);
+}
+
+void RetrainScheduler::PullForward(const std::string& key,
+                                   std::int64_t due_epoch) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ScheduleAt(key, due_epoch);
+    return;
+  }
+  if (due_epoch >= it->second.due_epoch) return;
+  it->second.due_epoch = due_epoch;
+  Push(key, due_epoch);
+}
+
+std::vector<std::string> RetrainScheduler::TakeDue(std::int64_t now_epoch) {
+  std::vector<std::string> due;
+  while (!heap_.empty() && heap_.top().first <= now_epoch) {
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    auto it = entries_.find(item.second);
+    if (it == entries_.end()) continue;  // stale: key removed
+    ScheduleEntry& entry = it->second;
+    // Stale heap copy: the entry has since been rescheduled.
+    if (entry.due_epoch != item.first) continue;
+    if (entry.quarantined || entry.in_flight) continue;
+    entry.in_flight = true;
+    due.push_back(entry.key);
+  }
+  return due;
+}
+
+void RetrainScheduler::OnSuccess(const std::string& key,
+                                 std::int64_t next_due_epoch) {
+  ScheduleEntry& entry = entries_[key];
+  entry.key = key;
+  entry.in_flight = false;
+  entry.consecutive_failures = 0;
+  entry.quarantined = false;
+  entry.due_epoch = next_due_epoch;
+  Push(key, next_due_epoch);
+}
+
+bool RetrainScheduler::OnFailure(const std::string& key,
+                                 std::int64_t now_epoch) {
+  ScheduleEntry& entry = entries_[key];
+  entry.key = key;
+  entry.in_flight = false;
+  entry.consecutive_failures += 1;
+  if (entry.consecutive_failures >= policy_.quarantine_after_failures) {
+    entry.quarantined = true;
+    return true;
+  }
+  entry.due_epoch = now_epoch + policy_.BackoffFor(entry.consecutive_failures);
+  Push(key, entry.due_epoch);
+  return false;
+}
+
+void RetrainScheduler::Defer(const std::string& key, std::int64_t due_epoch) {
+  ScheduleEntry& entry = entries_[key];
+  entry.key = key;
+  entry.in_flight = false;
+  entry.due_epoch = due_epoch;
+  Push(key, due_epoch);
+}
+
+bool RetrainScheduler::IsQuarantined(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.quarantined;
+}
+
+std::vector<std::string> RetrainScheduler::QuarantinedKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [k, e] : entries_) {
+    if (e.quarantined) keys.push_back(k);
+  }
+  return keys;
+}
+
+Status RetrainScheduler::Release(const std::string& key,
+                                 std::int64_t due_epoch) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("scheduler: unknown key " + key);
+  }
+  if (!it->second.quarantined) {
+    return Status::FailedPrecondition("scheduler: " + key +
+                                      " is not quarantined");
+  }
+  it->second.quarantined = false;
+  it->second.consecutive_failures = 0;
+  it->second.due_epoch = due_epoch;
+  Push(key, due_epoch);
+  return Status::OK();
+}
+
+Result<ScheduleEntry> RetrainScheduler::Get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("scheduler: unknown key " + key);
+  }
+  return it->second;
+}
+
+std::vector<ScheduleEntry> RetrainScheduler::Entries() const {
+  std::vector<ScheduleEntry> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) entries.push_back(e);
+  return entries;
+}
+
+void RetrainScheduler::Restore(ScheduleEntry entry) {
+  entry.in_flight = false;
+  const std::string key = entry.key;
+  entries_[key] = std::move(entry);
+  if (!entries_[key].quarantined) Push(key, entries_[key].due_epoch);
+}
+
+Status RetrainScheduler::Save(const std::string& path) const {
+  repo::CsvTable table;
+  table.header = {"key", "due_epoch", "consecutive_failures", "quarantined"};
+  for (const auto& [_, e] : entries_) {
+    table.rows.push_back({e.key, std::to_string(e.due_epoch),
+                          std::to_string(e.consecutive_failures),
+                          e.quarantined ? "1" : "0"});
+  }
+  return repo::WriteCsv(path, table);
+}
+
+Status RetrainScheduler::Load(const std::string& path) {
+  CAPPLAN_ASSIGN_OR_RETURN(repo::CsvTable table, repo::ReadCsv(path));
+  if (table.header.size() != 4) {
+    return Status::IoError("scheduler: unexpected column count in " + path);
+  }
+  for (const auto& row : table.rows) {
+    if (row.size() != 4) {
+      return Status::IoError("scheduler: malformed row in " + path);
+    }
+    ScheduleEntry entry;
+    entry.key = row[0];
+    try {
+      entry.due_epoch = std::stoll(row[1]);
+      entry.consecutive_failures = std::stoi(row[2]);
+    } catch (...) {
+      return Status::IoError("scheduler: bad number in " + path);
+    }
+    entry.quarantined = row[3] == "1";
+    Restore(std::move(entry));
+  }
+  return Status::OK();
+}
+
+}  // namespace capplan::service

@@ -1,0 +1,53 @@
+#include "service/telemetry.h"
+
+#include "common/json_writer.h"
+
+namespace capplan::service {
+
+namespace {
+
+void WriteStage(JsonWriter* w, const std::string& key,
+                const StageStats& stage) {
+  w->Key(key);
+  w->BeginObject();
+  w->Integer("count", static_cast<long long>(stage.count));
+  w->Number("total_ms", stage.total_ms);
+  w->Number("mean_ms", stage.mean_ms());
+  w->Number("max_ms", stage.max_ms);
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string TelemetryToJson(const ServiceTelemetry& t, bool pretty) {
+  JsonWriter w(pretty);
+  w.BeginObject();
+  w.Integer("ticks", static_cast<long long>(t.ticks));
+  w.Integer("polls", static_cast<long long>(t.polls));
+  w.Integer("samples_ingested", static_cast<long long>(t.samples_ingested));
+  w.Integer("hourly_points", static_cast<long long>(t.hourly_points));
+  w.Integer("refits_dispatched", static_cast<long long>(t.refits_dispatched));
+  w.Integer("refits_succeeded", static_cast<long long>(t.refits_succeeded));
+  w.Integer("refits_failed", static_cast<long long>(t.refits_failed));
+  w.Integer("refits_deferred", static_cast<long long>(t.refits_deferred));
+  w.Integer("quarantines", static_cast<long long>(t.quarantines));
+  w.Integer("alerts_raised", static_cast<long long>(t.alerts_raised));
+  w.Integer("alerts_cleared", static_cast<long long>(t.alerts_cleared));
+  w.Integer("forecast_cache_hits",
+            static_cast<long long>(t.forecast_cache_hits));
+  w.Integer("forecast_exhausted_ticks",
+            static_cast<long long>(t.forecast_exhausted_ticks));
+  w.Integer("journal_events", static_cast<long long>(t.journal_events));
+  w.Integer("snapshots_written", static_cast<long long>(t.snapshots_written));
+  w.Key("stages");
+  w.BeginObject();
+  WriteStage(&w, "ingest", t.ingest_stage);
+  WriteStage(&w, "fit", t.fit_stage);
+  WriteStage(&w, "forecast", t.forecast_stage);
+  WriteStage(&w, "alert", t.alert_stage);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace capplan::service

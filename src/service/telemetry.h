@@ -1,0 +1,60 @@
+#ifndef CAPPLAN_SERVICE_TELEMETRY_H_
+#define CAPPLAN_SERVICE_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace capplan::service {
+
+// Latency accumulator for one service stage. All mutation happens on the
+// service's driver thread (worker fit durations are recorded at collection
+// time), so no synchronisation is needed.
+struct StageStats {
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+
+  void Record(double ms) {
+    ++count;
+    total_ms += ms;
+    if (ms > max_ms) max_ms = ms;
+  }
+  double mean_ms() const {
+    return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
+  }
+};
+
+// Counters and per-stage latencies of the estate planning daemon. The
+// paper's production deployment (Section 8) is an always-on service; these
+// are the numbers an operator would watch to know it is healthy.
+struct ServiceTelemetry {
+  std::uint64_t ticks = 0;
+  std::uint64_t polls = 0;               // agent samples requested
+  std::uint64_t samples_ingested = 0;    // raw samples appended
+  std::uint64_t hourly_points = 0;       // hourly aggregates appended
+  std::uint64_t refits_dispatched = 0;
+  std::uint64_t refits_succeeded = 0;
+  std::uint64_t refits_failed = 0;
+  std::uint64_t refits_deferred = 0;     // not enough history yet
+  std::uint64_t quarantines = 0;
+  std::uint64_t alerts_raised = 0;
+  std::uint64_t alerts_cleared = 0;
+  std::uint64_t forecast_cache_hits = 0;     // ticks served from a cached fit
+  std::uint64_t forecast_exhausted_ticks = 0;  // cache older than its horizon
+  std::uint64_t journal_events = 0;
+  std::uint64_t snapshots_written = 0;
+
+  StageStats ingest_stage;
+  StageStats fit_stage;      // worker wall time per refit
+  StageStats forecast_stage; // breach scan over cached forecasts
+  StageStats alert_stage;    // alert state transitions + journalling
+};
+
+// Serializes the telemetry block via the shared JSON writer — the same
+// integration surface as core::ReportToJson.
+std::string TelemetryToJson(const ServiceTelemetry& telemetry,
+                            bool pretty = false);
+
+}  // namespace capplan::service
+
+#endif  // CAPPLAN_SERVICE_TELEMETRY_H_

@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -51,6 +53,27 @@ TEST(ThreadPoolTest, ExceptionsPropagateThroughFuture) {
   ThreadPool pool(2);
   auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingQueue) {
+  // The estate service relies on this: refit jobs still queued at shutdown
+  // must run (they capture only copies), not be dropped.
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);
+    // Park the single worker so the remaining jobs pile up in the queue,
+    // then destroy the pool while they are still pending.
+    futures.push_back(pool.Submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(100)); }));
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+    }
+  }
+  EXPECT_EQ(counter.load(), 32);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {

@@ -87,6 +87,76 @@ TEST(RepositoryTest, NanGapsSurviveAggregation) {
   EXPECT_DOUBLE_EQ((*hourly)[1], 2.0);
 }
 
+TEST(RepositoryTest, AppendExtendsHourlyIncrementally) {
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest("k", QuarterHourly({1, 2, 3, 4})).ok());
+  // Half an hour more: no new complete bucket yet.
+  tsa::TimeSeries half("raw", 4 * 900, tsa::Frequency::kQuarterHourly,
+                       {8, 8});
+  ASSERT_TRUE(repo.Append("k", half).ok());
+  EXPECT_EQ(repo.Hourly("k")->size(), 1u);
+  EXPECT_EQ(repo.Raw("k")->size(), 6u);
+  // The other half completes the bucket.
+  tsa::TimeSeries rest("raw", 6 * 900, tsa::Frequency::kQuarterHourly,
+                       {8, 8});
+  ASSERT_TRUE(repo.Append("k", rest).ok());
+  auto hourly = repo.Hourly("k");
+  ASSERT_EQ(hourly->size(), 2u);
+  EXPECT_DOUBLE_EQ((*hourly)[0], 2.5);
+  EXPECT_DOUBLE_EQ((*hourly)[1], 8.0);
+}
+
+TEST(RepositoryTest, AppendMatchesBulkIngest) {
+  // Chunked appends must agree with a one-shot ingest of the same trace,
+  // NaN buckets included.
+  std::vector<double> trace;
+  for (int i = 0; i < 16; ++i) {
+    trace.push_back(i % 5 == 0 ? std::nan("") : static_cast<double>(i));
+  }
+  MetricsRepository bulk;
+  ASSERT_TRUE(bulk.Ingest("k", QuarterHourly(trace)).ok());
+  MetricsRepository chunked;
+  for (std::size_t at = 0; at < trace.size(); at += 2) {
+    tsa::TimeSeries chunk("raw", static_cast<std::int64_t>(at) * 900,
+                          tsa::Frequency::kQuarterHourly,
+                          {trace[at], trace[at + 1]});
+    ASSERT_TRUE(chunked.Append("k", chunk).ok());
+  }
+  auto expected = bulk.Hourly("k");
+  auto actual = chunked.Hourly("k");
+  ASSERT_EQ(actual->size(), expected->size());
+  for (std::size_t i = 0; i < expected->size(); ++i) {
+    if (std::isnan((*expected)[i])) {
+      EXPECT_TRUE(std::isnan((*actual)[i]));
+    } else {
+      EXPECT_DOUBLE_EQ((*actual)[i], (*expected)[i]);
+    }
+  }
+}
+
+TEST(RepositoryTest, AppendRejectsGapsAndMismatchedFrequency) {
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest("k", QuarterHourly({1, 2, 3, 4})).ok());
+  // Gap: starts one poll past the stored end.
+  tsa::TimeSeries gap("raw", 5 * 900, tsa::Frequency::kQuarterHourly, {7});
+  EXPECT_FALSE(repo.Append("k", gap).ok());
+  // Wrong frequency.
+  tsa::TimeSeries hourly("raw", 4 * 900, tsa::Frequency::kHourly, {7});
+  EXPECT_FALSE(repo.Append("k", hourly).ok());
+  // Empty chunk.
+  EXPECT_FALSE(repo.Append("k", QuarterHourly({})).ok());
+}
+
+TEST(RepositoryTest, FindHourlyBorrowsWithoutCopy) {
+  MetricsRepository repo;
+  EXPECT_EQ(repo.FindHourly("missing"), nullptr);
+  ASSERT_TRUE(repo.Ingest("k", QuarterHourly({1, 2, 3, 4})).ok());
+  const auto* view = repo.FindHourly("k");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->size(), 1u);
+  EXPECT_DOUBLE_EQ((*view)[0], 2.5);
+}
+
 TEST(RepositoryTest, SaveAllWritesFiles) {
   MetricsRepository repo;
   ASSERT_TRUE(repo.Ingest("inst/cpu", QuarterHourly({1, 2, 3, 4})).ok());

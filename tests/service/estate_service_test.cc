@@ -1,0 +1,336 @@
+#include "service/estate_service.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace capplan::service {
+namespace {
+
+constexpr std::int64_t kHour = 3600;
+constexpr std::int64_t kDay = 24 * kHour;
+
+workload::WorkloadScenario TestScenario() {
+  auto scenario = workload::WorkloadScenario::Olap();
+  scenario.n_instances = 2;
+  return scenario;
+}
+
+// Fast config: HES branch only, small pool, hourly ticks.
+EstateServiceConfig FastConfig() {
+  EstateServiceConfig config;
+  config.pipeline.technique = core::Technique::kHes;
+  config.fit_threads = 2;
+  config.warmup_days = 42;  // exactly the 1008-hour Table-1 window
+  return config;
+}
+
+std::string FreshStateDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/estate_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(EstateServiceTest, StartBackfillsWarmupAndSchedulesEveryWatch) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  EstateService service(
+      &cluster,
+      {{0, workload::Metric::kCpu, 95.0}, {1, workload::Metric::kCpu, 95.0}},
+      FastConfig());
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_EQ(service.now(), cluster.start_epoch() + 42 * kDay);
+  ASSERT_EQ(service.keys().size(), 2u);
+  for (const auto& key : service.keys()) {
+    const auto* hourly = service.metrics().FindHourly(key);
+    ASSERT_NE(hourly, nullptr);
+    EXPECT_EQ(hourly->size(), 1008u);
+    auto entry = service.scheduler().Get(key);
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(entry->due_epoch, service.now());
+  }
+  EXPECT_FALSE(service.Start().ok());  // double start rejected
+}
+
+TEST(EstateServiceTest, TickRequiresStart) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        FastConfig());
+  EXPECT_FALSE(service.Tick().ok());
+}
+
+TEST(EstateServiceTest, BadTickCadenceRejected) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.tick_seconds = 1800;  // not a whole hour
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        config);
+  EXPECT_FALSE(service.Start().ok());
+}
+
+TEST(EstateServiceTest, FirstTickIngestsAndFitsEveryWatch) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  EstateService service(
+      &cluster,
+      {{0, workload::Metric::kCpu, 95.0}, {1, workload::Metric::kLogicalIops, 1e12}},
+      FastConfig());
+  ASSERT_TRUE(service.Start().ok());
+
+  auto report = service.Tick();
+  ASSERT_TRUE(report.ok());
+  // One hour of 15-minute polls for two watches.
+  EXPECT_EQ(report->samples_ingested, 8u);
+  EXPECT_EQ(report->refits_dispatched, 2u);
+  ASSERT_TRUE(service.DrainRefits().ok());
+
+  EXPECT_EQ(service.telemetry().refits_succeeded, 2u);
+  EXPECT_EQ(service.telemetry().refits_failed, 0u);
+  for (const auto& key : service.keys()) {
+    EXPECT_EQ(service.metrics().FindHourly(key)->size(), 1009u);
+    ASSERT_TRUE(service.registry().Contains(key));
+    auto model = service.registry().Get(key);
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ(model->fitted_at_epoch, service.now());
+    // Next refit is due one staleness period after the fit.
+    auto entry = service.scheduler().Get(key);
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(entry->due_epoch,
+              model->fitted_at_epoch +
+                  service.registry().policy().max_age_seconds);
+  }
+}
+
+TEST(EstateServiceTest, RefitsFollowTheAgePolicy) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.staleness.max_age_seconds = 2 * kHour;
+  config.staleness.rmse_degradation_factor = 1e9;  // age only
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        config);
+  ASSERT_TRUE(service.Start().ok());
+  // Fits at ticks 1 (initial), 3 and 5 (age expiry): never in between.
+  for (int tick = 1; tick <= 6; ++tick) {
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+  }
+  EXPECT_EQ(service.telemetry().refits_dispatched, 3u);
+  EXPECT_EQ(service.telemetry().refits_succeeded, 3u);
+}
+
+TEST(EstateServiceTest, DegradationPullsTheRefitForward) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.staleness.max_age_seconds = 30 * kDay;  // age never expires here
+  // Any nonzero live RMSE counts as degraded.
+  config.staleness.rmse_degradation_factor = 1e-12;
+  config.degradation_min_points = 4;
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        config);
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  EXPECT_EQ(service.telemetry().refits_dispatched, 1u);
+  // The degradation check waits for enough forecast-vs-actual overlap, then
+  // pulls the (age-wise distant) refit forward.
+  for (int tick = 2; tick <= 7; ++tick) {
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+  }
+  EXPECT_GE(service.telemetry().refits_dispatched, 2u);
+}
+
+TEST(EstateServiceTest, FailingSeriesBacksOffThenQuarantines) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.retry.initial_backoff_seconds = kHour;
+  config.retry.backoff_multiplier = 1.0;
+  config.retry.quarantine_after_failures = 2;
+  // Watch 1's agent drops every poll: an all-NaN series the pipeline cannot
+  // interpolate, so every refit fails while watch 0 stays healthy.
+  agent::FaultModel dead;
+  dead.drop_probability = 1.0;
+  EstateService service(&cluster,
+                        {{0, workload::Metric::kCpu, 95.0},
+                         {1, workload::Metric::kCpu, 95.0, dead}},
+                        config);
+  const std::string bad_key = service.keys()[1];
+  ASSERT_TRUE(service.Start().ok());
+
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  EXPECT_EQ(service.telemetry().refits_failed, 1u);
+  EXPECT_FALSE(service.scheduler().IsQuarantined(bad_key));
+  auto entry = service.scheduler().Get(bad_key);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->consecutive_failures, 1);
+  EXPECT_EQ(entry->due_epoch, service.now() + kHour);  // backed off
+
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  EXPECT_EQ(service.telemetry().refits_failed, 2u);
+  EXPECT_TRUE(service.scheduler().IsQuarantined(bad_key));
+  EXPECT_EQ(service.telemetry().quarantines, 1u);
+
+  // The healthy watch was unaffected throughout.
+  EXPECT_EQ(service.telemetry().refits_succeeded, 1u);
+  EXPECT_TRUE(service.registry().Contains(service.keys()[0]));
+
+  // Quarantined keys are out of the rotation until released.
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  EXPECT_EQ(service.telemetry().refits_failed, 2u);
+  ASSERT_TRUE(service.ReleaseQuarantine(bad_key).ok());
+  EXPECT_FALSE(service.scheduler().IsQuarantined(bad_key));
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  EXPECT_EQ(service.telemetry().refits_failed, 3u);
+}
+
+TEST(EstateServiceTest, BreachAlertRaisedFromCachedForecast) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  // Threshold far below any CPU value: the first cached forecast breaches.
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 0.01}},
+                        FastConfig());
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  auto report = service.Tick();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->alerts_raised, 1u);
+  auto alerts = service.ActiveAlerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].key, service.keys()[0]);
+  EXPECT_FALSE(alerts[0].upper_only);
+  EXPECT_GE(alerts[0].predicted_breach_epoch, service.now());
+  // Subsequent ticks keep the alert active without re-raising it.
+  ASSERT_TRUE(service.Tick().ok());
+  EXPECT_EQ(service.telemetry().alerts_raised, 1u);
+  EXPECT_GE(service.telemetry().forecast_cache_hits, 2u);
+  // No refit happened besides the initial one: the cache carried the feed.
+  EXPECT_EQ(service.telemetry().refits_dispatched, 1u);
+}
+
+TEST(EstateServiceTest, RecoversFromJournalAfterCrash) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.state_dir = FreshStateDir("journal_only");
+  config.snapshot_every_ticks = 0;  // journal-only recovery
+  const std::vector<WatchConfig> watches = {{0, workload::Metric::kCpu, 0.01}};
+
+  std::int64_t now = 0;
+  std::int64_t fitted_at = 0;
+  std::string spec;
+  {
+    EstateService service(&cluster, watches, config);
+    ASSERT_TRUE(service.Start().ok());
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+    ASSERT_TRUE(service.Tick().ok());  // raises the breach alert
+    ASSERT_EQ(service.ActiveAlerts().size(), 1u);
+    now = service.now();
+    auto model = service.registry().Get(service.keys()[0]);
+    ASSERT_TRUE(model.ok());
+    fitted_at = model->fitted_at_epoch;
+    spec = model->spec;
+    // Crash: scope exit with no checkpoint — only the journal survives.
+  }
+
+  EstateService recovered(&cluster, watches, config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.now(), now);
+  EXPECT_EQ(recovered.tick_count(), 2u);
+  const std::string key = recovered.keys()[0];
+  ASSERT_TRUE(recovered.registry().Contains(key));
+  auto model = recovered.registry().Get(key);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->fitted_at_epoch, fitted_at);
+  EXPECT_EQ(model->spec, spec);
+  auto entry = recovered.scheduler().Get(key);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->due_epoch,
+            fitted_at + config.staleness.max_age_seconds);
+  ASSERT_EQ(recovered.ActiveAlerts().size(), 1u);
+  // The metric history was rebuilt up to the recovered cursor.
+  EXPECT_EQ(recovered.metrics().FindHourly(key)->size(), 1010u);
+  // The cached forecast survived: the next tick serves alerts from it
+  // without dispatching a refit.
+  ASSERT_TRUE(recovered.Tick().ok());
+  EXPECT_EQ(recovered.telemetry().refits_dispatched, 0u);
+  EXPECT_GE(recovered.telemetry().forecast_cache_hits, 1u);
+  std::filesystem::remove_all(config.state_dir);
+}
+
+TEST(EstateServiceTest, RecoversFromSnapshotPlusJournalSuffix) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.state_dir = FreshStateDir("snapshot");
+  config.snapshot_every_ticks = 2;
+  const std::vector<WatchConfig> watches = {{0, workload::Metric::kCpu, 0.01}};
+
+  std::int64_t now = 0;
+  {
+    EstateService service(&cluster, watches, config);
+    ASSERT_TRUE(service.Start().ok());
+    // Three ticks: the snapshot lands at tick 2, tick 3 is journal suffix.
+    for (int tick = 1; tick <= 3; ++tick) {
+      ASSERT_TRUE(service.Tick().ok());
+      ASSERT_TRUE(service.DrainRefits().ok());
+    }
+    EXPECT_EQ(service.telemetry().snapshots_written, 1u);
+    now = service.now();
+  }
+
+  EstateService recovered(&cluster, watches, config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.now(), now);
+  EXPECT_EQ(recovered.tick_count(), 3u);
+  EXPECT_TRUE(recovered.registry().Contains(recovered.keys()[0]));
+  ASSERT_EQ(recovered.ActiveAlerts().size(), 1u);
+  EXPECT_EQ(recovered.metrics().FindHourly(recovered.keys()[0])->size(),
+            1011u);
+  std::filesystem::remove_all(config.state_dir);
+}
+
+TEST(EstateServiceTest, RecoverWithoutStateFails) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.state_dir = FreshStateDir("empty");
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        config);
+  EXPECT_FALSE(service.Recover().ok());  // nothing journalled yet
+  std::filesystem::remove_all(config.state_dir);
+
+  auto ephemeral = FastConfig();
+  EstateService no_dir(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                       ephemeral);
+  EXPECT_FALSE(no_dir.Recover().ok());  // no state_dir configured
+}
+
+TEST(EstateServiceTest, TelemetryJsonIsWellFormed) {
+  ServiceTelemetry telemetry;
+  telemetry.ticks = 3;
+  telemetry.refits_succeeded = 2;
+  telemetry.fit_stage.Record(12.5);
+  telemetry.fit_stage.Record(7.5);
+  const std::string json = TelemetryToJson(telemetry);
+  EXPECT_NE(json.find("\"ticks\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"refits_succeeded\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"fit\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ms\":10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace capplan::service

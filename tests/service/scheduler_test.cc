@@ -1,0 +1,185 @@
+#include "service/scheduler.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace capplan::service {
+namespace {
+
+TEST(RetryPolicyTest, BackoffProgressionIsExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 100;
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff_seconds = 1000;
+  EXPECT_EQ(policy.BackoffFor(1), 100);
+  EXPECT_EQ(policy.BackoffFor(2), 300);
+  EXPECT_EQ(policy.BackoffFor(3), 900);
+  EXPECT_EQ(policy.BackoffFor(4), 1000);  // capped
+  EXPECT_EQ(policy.BackoffFor(9), 1000);
+}
+
+TEST(RetrainSchedulerTest, TakeDueReturnsDueKeysInOrder) {
+  RetrainScheduler sched;
+  sched.ScheduleAt("b", 200);
+  sched.ScheduleAt("a", 100);
+  sched.ScheduleAt("c", 900);
+  auto due = sched.TakeDue(500);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0], "a");
+  EXPECT_EQ(due[1], "b");
+  // "c" is not due yet.
+  EXPECT_TRUE(sched.TakeDue(500).empty());
+  auto later = sched.TakeDue(900);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0], "c");
+}
+
+TEST(RetrainSchedulerTest, InFlightKeysAreNotReDispatched) {
+  RetrainScheduler sched;
+  sched.ScheduleAt("a", 100);
+  ASSERT_EQ(sched.TakeDue(100).size(), 1u);
+  // Still due by time, but in flight: not returned again.
+  EXPECT_TRUE(sched.TakeDue(100).empty());
+  EXPECT_TRUE(sched.TakeDue(10000).empty());
+  sched.OnSuccess("a", 5000);
+  EXPECT_TRUE(sched.TakeDue(4999).empty());
+  EXPECT_EQ(sched.TakeDue(5000).size(), 1u);
+}
+
+TEST(RetrainSchedulerTest, EntryKeepsDueTimeWhileInFlight) {
+  // Crash-safety: a key taken for dispatch keeps its due time until an
+  // outcome is reported, so a snapshot taken mid-flight re-dispatches it.
+  RetrainScheduler sched;
+  sched.ScheduleAt("a", 100);
+  ASSERT_EQ(sched.TakeDue(100).size(), 1u);
+  auto entry = sched.Get("a");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->due_epoch, 100);
+  EXPECT_TRUE(entry->in_flight);
+}
+
+TEST(RetrainSchedulerTest, PullForwardOnlyMovesEarlier) {
+  RetrainScheduler sched;
+  sched.ScheduleAt("a", 500);
+  sched.PullForward("a", 800);  // later: ignored
+  EXPECT_EQ(sched.Get("a")->due_epoch, 500);
+  sched.PullForward("a", 200);  // earlier: applied
+  EXPECT_EQ(sched.Get("a")->due_epoch, 200);
+  auto due = sched.TakeDue(200);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], "a");
+  // The stale heap copy at 500 must not re-dispatch the key.
+  sched.OnSuccess("a", 10000);
+  EXPECT_TRUE(sched.TakeDue(500).empty());
+}
+
+TEST(RetrainSchedulerTest, FailuresBackOffThenQuarantine) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 10;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 1000;
+  policy.quarantine_after_failures = 3;
+  RetrainScheduler sched(policy);
+  sched.ScheduleAt("a", 0);
+
+  ASSERT_EQ(sched.TakeDue(0).size(), 1u);
+  EXPECT_FALSE(sched.OnFailure("a", 0));
+  EXPECT_EQ(sched.Get("a")->due_epoch, 10);  // 0 + initial backoff
+
+  ASSERT_EQ(sched.TakeDue(10).size(), 1u);
+  EXPECT_FALSE(sched.OnFailure("a", 10));
+  EXPECT_EQ(sched.Get("a")->due_epoch, 30);  // 10 + 10*2
+
+  ASSERT_EQ(sched.TakeDue(30).size(), 1u);
+  EXPECT_TRUE(sched.OnFailure("a", 30));  // third failure quarantines
+  EXPECT_TRUE(sched.IsQuarantined("a"));
+  EXPECT_TRUE(sched.TakeDue(1000000).empty());
+  ASSERT_EQ(sched.QuarantinedKeys().size(), 1u);
+}
+
+TEST(RetrainSchedulerTest, SuccessResetsFailureCount) {
+  RetryPolicy policy;
+  policy.quarantine_after_failures = 2;
+  policy.initial_backoff_seconds = 10;
+  RetrainScheduler sched(policy);
+  sched.ScheduleAt("a", 0);
+  ASSERT_EQ(sched.TakeDue(0).size(), 1u);
+  EXPECT_FALSE(sched.OnFailure("a", 0));
+  ASSERT_EQ(sched.TakeDue(10).size(), 1u);
+  sched.OnSuccess("a", 20);
+  EXPECT_EQ(sched.Get("a")->consecutive_failures, 0);
+  // The reset means the next failure starts the ladder over.
+  ASSERT_EQ(sched.TakeDue(20).size(), 1u);
+  EXPECT_FALSE(sched.OnFailure("a", 20));
+}
+
+TEST(RetrainSchedulerTest, ReleaseRequiresQuarantine) {
+  RetryPolicy policy;
+  policy.quarantine_after_failures = 1;
+  RetrainScheduler sched(policy);
+  sched.ScheduleAt("a", 0);
+  EXPECT_FALSE(sched.Release("a", 5).ok());       // not quarantined
+  EXPECT_FALSE(sched.Release("missing", 5).ok());  // unknown
+  ASSERT_EQ(sched.TakeDue(0).size(), 1u);
+  EXPECT_TRUE(sched.OnFailure("a", 0));
+  ASSERT_TRUE(sched.Release("a", 5).ok());
+  EXPECT_FALSE(sched.IsQuarantined("a"));
+  EXPECT_EQ(sched.Get("a")->consecutive_failures, 0);
+  EXPECT_EQ(sched.TakeDue(5).size(), 1u);
+}
+
+TEST(RetrainSchedulerTest, DeferPreservesFailureCount) {
+  RetryPolicy policy;
+  policy.quarantine_after_failures = 5;
+  policy.initial_backoff_seconds = 10;
+  RetrainScheduler sched(policy);
+  sched.ScheduleAt("a", 0);
+  ASSERT_EQ(sched.TakeDue(0).size(), 1u);
+  EXPECT_FALSE(sched.OnFailure("a", 0));
+  ASSERT_EQ(sched.TakeDue(10).size(), 1u);
+  sched.Defer("a", 50);
+  EXPECT_EQ(sched.Get("a")->consecutive_failures, 1);
+  EXPECT_FALSE(sched.Get("a")->in_flight);
+  EXPECT_EQ(sched.Get("a")->due_epoch, 50);
+}
+
+TEST(RetrainSchedulerTest, SaveLoadRoundTrip) {
+  RetryPolicy policy;
+  policy.quarantine_after_failures = 1;
+  RetrainScheduler sched(policy);
+  sched.ScheduleAt("healthy", 700);
+  sched.ScheduleAt("failing", 0);
+  ASSERT_EQ(sched.TakeDue(0).size(), 1u);
+  EXPECT_TRUE(sched.OnFailure("failing", 0));
+
+  const std::string path = ::testing::TempDir() + "/sched_roundtrip.csv";
+  ASSERT_TRUE(sched.Save(path).ok());
+
+  RetrainScheduler loaded(policy);
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.Get("healthy")->due_epoch, 700);
+  EXPECT_TRUE(loaded.IsQuarantined("failing"));
+  EXPECT_EQ(loaded.Get("failing")->consecutive_failures, 1);
+  // The quarantined key must not come back via the rebuilt heap.
+  auto due = loaded.TakeDue(10000);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], "healthy");
+  std::remove(path.c_str());
+}
+
+TEST(RetrainSchedulerTest, RestoreClearsInFlight) {
+  RetrainScheduler sched;
+  ScheduleEntry entry;
+  entry.key = "a";
+  entry.due_epoch = 42;
+  entry.in_flight = true;  // e.g. crashed mid-dispatch
+  sched.Restore(entry);
+  EXPECT_FALSE(sched.Get("a")->in_flight);
+  EXPECT_EQ(sched.TakeDue(42).size(), 1u);
+}
+
+}  // namespace
+}  // namespace capplan::service
