@@ -43,7 +43,10 @@ int main() {
     // Exhaustive SARIMAX grid.
     {
       core::CandidateGenerator gen;
-      core::ModelSelector selector(core::ModelSelector::Options{8, 1});
+      core::ModelSelector::Options sel_opts;
+      sel_opts.n_threads = 8;
+      sel_opts.keep_top = 1;
+      core::ModelSelector selector(sel_opts);
       const auto t0 = std::chrono::steady_clock::now();
       auto sel = selector.Select(train, test,
                                  gen.Generate(core::Technique::kSarimax));

@@ -1,8 +1,15 @@
-// Ablation: exhaustive grid vs correlogram-pruned grid (the paper's
-// Section 6.3/9 tuning claim). Measures candidate counts, wall time and the
-// best test RMSE each strategy achieves on the OLAP CPU series; pruning
-// should cut the search by an order of magnitude at negligible accuracy
-// cost.
+// Ablation: two pruning layers of the selection search.
+//
+// Part 1 — grid pruning: exhaustive grid vs correlogram-pruned grid (the
+// paper's Section 6.3/9 tuning claim). Measures candidate counts, wall time
+// and the best test RMSE each strategy achieves on the OLAP CPU series;
+// pruning should cut the search by an order of magnitude at negligible
+// accuracy cost.
+//
+// Part 2 — early-abort pruning: the selector's fast-path flag that stops a
+// candidate's test-window scoring once its running squared-error sum
+// provably exceeds the current top-k bound. Same winner, fewer full
+// psi-weight interval expansions.
 
 #include <chrono>
 #include <cstdio>
@@ -16,8 +23,33 @@
 
 using namespace capplan;
 
+namespace {
+
+double RunSelection(const char* label, const core::ModelSelector& selector,
+                    const std::vector<double>& train,
+                    const std::vector<double>& test,
+                    const std::vector<core::ModelCandidate>& candidates) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sel = selector.Select(train, test, candidates);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!sel.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label,
+                 sel.status().ToString().c_str());
+    return 0.0;
+  }
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  std::printf(
+      "%-34s: %4zu candidates (%zu fitted, %zu early-aborted) in %6.2fs -> "
+      "best %s RMSE %.4f\n",
+      label, sel->evaluated, sel->succeeded, sel->pruned, secs,
+      sel->best.candidate.spec.ToString().c_str(), sel->best.accuracy.rmse);
+  return sel->best.accuracy.rmse;
+}
+
+}  // namespace
+
 int main() {
-  std::printf("=== Ablation: exhaustive vs correlogram-pruned selection ===\n");
+  std::printf("=== Ablation: grid pruning and early-abort pruning ===\n");
   auto data = bench::CollectExperiment(workload::WorkloadScenario::Olap(), 42);
   const auto& series = data.hourly.at("cdbm012/cpu");
   auto filled = tsa::LinearInterpolate(series);
@@ -33,42 +65,40 @@ int main() {
   }
 
   core::CandidateGenerator gen;
-  core::ModelSelector selector(core::ModelSelector::Options{8, 3});
+  core::ModelSelector::Options sel_opts;
+  sel_opts.n_threads = 8;
+  sel_opts.keep_top = 3;
+  core::ModelSelector selector(sel_opts);
 
-  struct Run {
-    const char* label;
-    std::vector<core::ModelCandidate> candidates;
-  };
-  Run runs[] = {
-      {"exhaustive SARIMAX grid", gen.Generate(core::Technique::kSarimax)},
-      {"pruned SARIMAX grid",
-       gen.GeneratePruned(core::Technique::kSarimax, significant)},
-  };
-  double rmse_exhaustive = 0.0;
-  for (const auto& run : runs) {
-    const auto t0 = std::chrono::steady_clock::now();
-    auto sel = selector.Select(train, test, run.candidates);
-    const auto t1 = std::chrono::steady_clock::now();
-    if (!sel.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", run.label,
-                   sel.status().ToString().c_str());
-      continue;
-    }
-    const double secs =
-        std::chrono::duration<double>(t1 - t0).count();
+  std::printf("\n--- Part 1: exhaustive vs correlogram-pruned grid ---\n");
+  const auto exhaustive = gen.Generate(core::Technique::kSarimax);
+  const auto pruned =
+      gen.GeneratePruned(core::Technique::kSarimax, significant);
+  const double rmse_exhaustive =
+      RunSelection("exhaustive SARIMAX grid", selector, train, test,
+                   exhaustive);
+  const double rmse_pruned = RunSelection("pruned SARIMAX grid", selector,
+                                          train, test, pruned);
+  if (rmse_exhaustive > 0.0 && rmse_pruned > 0.0) {
     std::printf(
-        "%-26s: %4zu candidates (%zu fitted) in %6.2fs -> best %s "
-        "RMSE %.4f\n",
-        run.label, sel->evaluated, sel->succeeded, secs,
-        sel->best.candidate.spec.ToString().c_str(),
-        sel->best.accuracy.rmse);
-    if (run.label[0] == 'e') {
-      rmse_exhaustive = sel->best.accuracy.rmse;
-    } else if (rmse_exhaustive > 0.0) {
-      std::printf(
-          "pruned-vs-exhaustive RMSE ratio: %.3f (1.0 = no accuracy loss)\n",
-          sel->best.accuracy.rmse / rmse_exhaustive);
-    }
+        "pruned-vs-exhaustive RMSE ratio: %.3f (1.0 = no accuracy loss)\n",
+        rmse_pruned / rmse_exhaustive);
+  }
+
+  std::printf("\n--- Part 2: early-abort scoring on the exhaustive grid ---\n");
+  core::ModelSelector::Options abort_off = sel_opts;
+  abort_off.early_abort = false;
+  core::ModelSelector::Options abort_on = sel_opts;
+  abort_on.early_abort = true;
+  const double rmse_off =
+      RunSelection("fast path, early-abort OFF",
+                   core::ModelSelector(abort_off), train, test, exhaustive);
+  const double rmse_on =
+      RunSelection("fast path, early-abort ON",
+                   core::ModelSelector(abort_on), train, test, exhaustive);
+  if (rmse_off > 0.0 && rmse_on > 0.0) {
+    std::printf("early-abort RMSE ratio: %.6f (must be 1.0: same winner)\n",
+                rmse_on / rmse_off);
   }
   return 0;
 }

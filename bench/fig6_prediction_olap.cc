@@ -40,7 +40,10 @@ int main() {
   const auto exog_test =
       core::ShockDetector::PulseColumns(shocks, train.size(), test.size());
 
-  core::ModelSelector selector(core::ModelSelector::Options{8, 3});
+  core::ModelSelector::Options sel_opts;
+  sel_opts.n_threads = 8;
+  sel_opts.keep_top = 3;
+  core::ModelSelector selector(sel_opts);
   struct FamilyRun {
     const char* label;
     core::Technique technique;

@@ -119,6 +119,85 @@ void BM_ParallelSelection(benchmark::State& state) {
 BENCHMARK(BM_ParallelSelection)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
+// The ISSUE-2 tentpole measurement: the paper-sized 660-candidate SARIMAX
+// grid, evaluated by the serial un-cached oracle path vs the fast path
+// (shared transforms + warm starts + early abort). arg0 selects the path
+// (0 = oracle, 1 = fast), arg1 the thread count. Iterations are pinned to 1
+// because a single oracle sweep already takes tens of seconds.
+void BM_SarimaxGrid660(benchmark::State& state) {
+  const auto y = SeasonalSeries(1008, 8);
+  const std::vector<double> train(y.begin(), y.end() - 24);
+  const std::vector<double> test(y.end() - 24, y.end());
+  core::CandidateGenerator gen;  // max_lag 30 -> the paper's 660 grid
+  const auto candidates = gen.Generate(core::Technique::kSarimax);
+  const bool fast = state.range(0) != 0;
+  std::size_t pruned = 0;
+  std::size_t succeeded = 0;
+  for (auto _ : state) {
+    core::ModelSelector::Options opts;
+    opts.n_threads = static_cast<std::size_t>(state.range(1));
+    opts.shared_transforms = fast;
+    opts.warm_start = fast;
+    opts.early_abort = fast;
+    core::ModelSelector selector(opts);
+    auto sel = selector.Select(train, test, candidates);
+    if (!sel.ok()) {
+      state.SkipWithError("selection failed");
+      return;
+    }
+    pruned = sel->pruned;
+    succeeded = sel->succeeded;
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetLabel(fast ? "fast" : "oracle");
+  state.counters["candidates"] = static_cast<double>(candidates.size());
+  state.counters["fitted"] = static_cast<double>(succeeded);
+  state.counters["early_aborted"] = static_cast<double>(pruned);
+}
+BENCHMARK(BM_SarimaxGrid660)
+    ->Args({0, 1})  // baseline: serial, un-cached
+    ->Args({1, 1})  // fast path, single thread (algorithmic gain only)
+    ->Args({1, 8})  // fast path, parallel (the shipping configuration)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Tiny-grid variant of the same comparison; finishes in well under a minute
+// even in debug builds, so CI's bench-smoke step runs it on every push
+// (--benchmark_filter=SmallGrid).
+void BM_SmallGridFastPath(benchmark::State& state) {
+  const auto y = SeasonalSeries(1008, 9);
+  const std::vector<double> train(y.begin(), y.end() - 24);
+  const std::vector<double> test(y.end() - 24, y.end());
+  core::CandidateGenerator::Options gen_opts;
+  gen_opts.max_lag = 2;  // 44 candidates
+  core::CandidateGenerator gen(gen_opts);
+  const auto candidates = gen.Generate(core::Technique::kSarimax);
+  const bool fast = state.range(0) != 0;
+  for (auto _ : state) {
+    core::ModelSelector::Options opts;
+    opts.n_threads = 2;
+    opts.shared_transforms = fast;
+    opts.warm_start = fast;
+    opts.early_abort = fast;
+    core::ModelSelector selector(opts);
+    auto sel = selector.Select(train, test, candidates);
+    if (!sel.ok()) {
+      state.SkipWithError("selection failed");
+      return;
+    }
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetLabel(fast ? "fast" : "oracle");
+}
+BENCHMARK(BM_SmallGridFastPath)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

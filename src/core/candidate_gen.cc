@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <sstream>
 
 namespace capplan::core {
 
@@ -70,6 +71,15 @@ std::vector<SeasonalTemplate> SeasonalTemplates() {
 }
 
 }  // namespace
+
+std::string WarmChainKey(const ModelCandidate& c) {
+  std::ostringstream os;
+  os << static_cast<int>(c.family) << '|' << c.spec.d << ',' << c.spec.q
+     << ',' << c.spec.P << ',' << c.spec.D << ',' << c.spec.Q << ','
+     << c.spec.season << '|' << c.n_exog << '|'
+     << tsa::FourierCacheKey(c.fourier);
+  return os.str();
+}
 
 std::size_t CandidateGenerator::ExpectedCount(Technique family) {
   switch (family) {

@@ -2,6 +2,7 @@
 #define CAPPLAN_CORE_CANDIDATE_GEN_H_
 
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -21,6 +22,13 @@ struct ModelCandidate {
   std::size_t n_exog = 0;
   std::vector<tsa::FourierSpec> fourier;
 };
+
+// Key identifying a warm-start chain: all candidate fields except the AR
+// order p. Candidates sharing a chain differ only in how many autoregressive
+// lags they carry, so a converged fit is an excellent simplex seed for its
+// chain neighbours (the selector's warm-started fast path walks each chain
+// in p order).
+std::string WarmChainKey(const ModelCandidate& candidate);
 
 // Reproduces the paper's Section 6.3 model grids:
 //   * ARIMA: p in 1..30, d in {0,1}, q in {0,1,2}          -> 180 per instance

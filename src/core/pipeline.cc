@@ -128,6 +128,8 @@ Result<PipelineReport> Pipeline::Run(const tsa::TimeSeries& series) const {
     stored.test_rmse = best_report.test_accuracy.rmse;
     stored.test_mape = best_report.test_accuracy.mape;
     stored.fitted_at_epoch = full.EndEpoch();
+    stored.ar_coef = best_report.chosen_ar;
+    stored.ma_coef = best_report.chosen_ma;
     options_.model_repository->Put(stored);
   }
   return best_report;
@@ -334,6 +336,10 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
   ModelSelector::Options sel_opts;
   sel_opts.n_threads = options_.n_threads;
   sel_opts.keep_top = std::max<std::size_t>(options_.ensemble_top_k, 5);
+  sel_opts.shared_transforms = options_.selector_fast_path;
+  sel_opts.warm_start = options_.selector_fast_path;
+  sel_opts.early_abort = options_.selector_fast_path;
+  sel_opts.hint = options_.selector_hint;
   ModelSelector selector(sel_opts);
   CAPPLAN_ASSIGN_OR_RETURN(
       SelectionResult sel,
@@ -343,12 +349,23 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
   // Refits a candidate on the full window and forecasts the horizon,
   // projecting exogenous pulses forward.
   const std::size_t horizon = report->split.prediction;
+  // The first successful refit (the winner, or the best ensemble member)
+  // also records its converged coefficients for warm-starting future fits.
+  auto note_coefficients = [&](const std::vector<double>& ar,
+                               const std::vector<double>& ma) {
+    if (report->chosen_ar.empty() && report->chosen_ma.empty()) {
+      report->chosen_ar = ar;
+      report->chosen_ma = ma;
+    }
+  };
   auto refit_and_forecast =
       [&](const ModelCandidate& cand) -> Result<models::Forecast> {
     if (cand.n_exog == 0 && cand.fourier.empty()) {
       CAPPLAN_ASSIGN_OR_RETURN(models::ArimaModel final_model,
                                models::ArimaModel::Fit(full_values,
                                                        cand.spec));
+      note_coefficients(final_model.ar_coefficients(),
+                        final_model.ma_coefficients());
       return final_model.Predict(horizon, options_.interval_level);
     }
     std::vector<std::vector<double>> exog_full =
@@ -362,6 +379,8 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
         models::SarimaxModel final_model,
         models::SarimaxModel::Fit(full_values, cand.spec, exog_full,
                                   cand.fourier));
+    note_coefficients(final_model.error_model().ar_coefficients(),
+                      final_model.error_model().ma_coefficients());
     return final_model.Predict(horizon, exog_future,
                                options_.interval_level);
   };
@@ -403,6 +422,7 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
   report->test_accuracy = sel.best.accuracy;
   report->candidates_evaluated += sel.evaluated;
   report->candidates_succeeded += sel.succeeded;
+  report->candidates_pruned += sel.pruned;
   report->shocks = shocks;
   report->transient_spikes_discarded = n_transients;
   report->forecast = std::move(fc);

@@ -40,8 +40,19 @@ struct PipelineOptions {
   // Grid breadth: AR lags range over 1..max_lag (30 in the paper).
   int max_lag = 30;
 
-  std::size_t n_threads = 4;
+  std::size_t n_threads = DefaultThreadCount();
   double interval_level = 0.95;
+
+  // Selector fast path (shared transforms + warm-started fits + early-abort
+  // scoring). Off = the serial-equivalent oracle evaluation; the selected
+  // model is identical either way (the fast path cold re-scores its
+  // winners), so this exists for ablation and debugging.
+  bool selector_fast_path = true;
+
+  // Optional warm-start hint forwarded to the selector — typically the
+  // stored coefficients of the previous fit of the same series (see
+  // ModelSelector::WarmHint; ignored when empty).
+  ModelSelector::WarmHint selector_hint;
 
   // When > 0, replaces the Table-1 prediction horizon (in observations at
   // the series frequency). The service layer uses this to make one fit's
@@ -84,6 +95,13 @@ struct PipelineReport {
   tsa::AccuracyReport test_accuracy;
   std::size_t candidates_evaluated = 0;
   std::size_t candidates_succeeded = 0;
+  std::size_t candidates_pruned = 0;  // cut off by the early-abort bound
+
+  // Dense converged coefficients of the winning (S)ARIMA(X) error model,
+  // refitted on the full window (index i -> lag i+1). Persisted with the
+  // stored model so the next refit of this series can warm-start its grid.
+  std::vector<double> chosen_ar;
+  std::vector<double> chosen_ma;
 
   // Forecast of the Table-1 prediction horizon, made from the full window.
   models::Forecast forecast;

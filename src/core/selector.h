@@ -17,6 +17,10 @@ namespace capplan::core {
 struct EvaluatedCandidate {
   ModelCandidate candidate;
   bool ok = false;
+  // Fast path only: the candidate fitted, but its running test squared-error
+  // sum provably exceeded the current top-k bound, so scoring stopped early.
+  // Pruned candidates are never ok and never appear in `top`.
+  bool pruned = false;
   std::string error;             // set when !ok
   tsa::AccuracyReport accuracy;  // test-window accuracy
   double aic = 0.0;
@@ -27,19 +31,64 @@ struct EvaluatedCandidate {
 struct SelectionResult {
   EvaluatedCandidate best;                 // lowest test RMSE
   std::size_t evaluated = 0;               // candidates attempted
-  std::size_t succeeded = 0;               // candidates that fitted
+  std::size_t succeeded = 0;               // candidates that fitted + scored
+  std::size_t pruned = 0;                  // cut off by the early-abort bound
   std::vector<EvaluatedCandidate> top;     // best few, RMSE ascending
 };
+
+// Default evaluation parallelism: the hardware concurrency, clamped to
+// [1, 32] (hardware_concurrency() may report 0 when unknown).
+std::size_t DefaultThreadCount();
 
 // Evaluates candidate grids in parallel and picks the best test-RMSE model:
 // "each model is then computed to obtain an RMSE. The model with the best
 // RMSE is the most accurate" (paper Section 5.1); parallel processing per
 // Section 9.
+//
+// Two evaluation paths share the public interface:
+//   * Oracle path (all three fast-path flags false): every candidate is
+//     evaluated independently by the static Evaluate(), exactly as a serial
+//     loop would. This is the correctness reference.
+//   * Fast path (default): shared-transform caching, warm-started
+//     refinement, and early-abort pruning (see Options). The final
+//     keep_top survivors are re-scored with the un-cached, un-warmed
+//     Evaluate(), so the selected model and its reported accuracy are
+//     identical to the oracle path whenever the oracle's top keep_top
+//     candidates land inside the fast path's slightly wider rescoring pool
+//     — which holds unless two models' test RMSEs differ by less than the
+//     warm-start perturbation (~1e-6, far below real inter-model gaps).
 class ModelSelector {
  public:
+  // Converged coefficients from a previous fit over the same (or a slightly
+  // grown) training window — e.g. the stored model an EstateService refit
+  // starts from. Chains whose (d, D, season) match `spec` seed their first
+  // fit from these vectors (dense, index i -> lag i+1).
+  struct WarmHint {
+    models::ArimaSpec spec;
+    std::vector<double> ar;
+    std::vector<double> ma;
+  };
+
   struct Options {
-    std::size_t n_threads = 4;
+    std::size_t n_threads = DefaultThreadCount();
     std::size_t keep_top = 5;
+    // Layer 1: compute each distinct differencing/demeaning transform and
+    // Hannan-Rissanen long-autoregression once per grid (ArimaFitCache),
+    // and the OLS stage once per (exog, fourier) group (FitWithSharedOls).
+    // Bitwise-identical to the uncached path.
+    bool shared_transforms = true;
+    // Layer 2: seed each candidate's simplex refinement from the converged
+    // coefficients of the previously fitted candidate in its warm chain
+    // (same spec except p, walked in input order). Chains are split into
+    // fixed-length segments so results do not depend on thread count.
+    bool warm_start = true;
+    // Layer 3: stop scoring a candidate as soon as its running test-window
+    // squared-error sum provably exceeds the current top-k bound; pruned
+    // candidates skip the psi-weight interval expansion entirely.
+    bool early_abort = true;
+    // Optional cross-run warm start applied at the head of matching chains;
+    // ignored when both coefficient vectors are empty.
+    WarmHint hint;
   };
 
   ModelSelector() : ModelSelector(Options()) {}
@@ -55,12 +104,16 @@ class ModelSelector {
       const std::vector<std::vector<double>>& exog_train = {},
       const std::vector<std::vector<double>>& exog_test = {}) const;
 
-  // Evaluates one candidate (exposed for tests and ablations).
+  // Evaluates one candidate with no cache, warm start, or pruning — the
+  // oracle the fast path's winners are re-scored against (also exposed for
+  // tests and ablations).
   static EvaluatedCandidate Evaluate(
       const ModelCandidate& candidate, const std::vector<double>& train,
       const std::vector<double>& test,
       const std::vector<std::vector<double>>& exog_train,
       const std::vector<std::vector<double>>& exog_test);
+
+  const Options& options() const { return options_; }
 
  private:
   Options options_;

@@ -37,6 +37,14 @@ SimplexResult RunSimplex(const Objective& f, const std::vector<double>& x0,
     if (x0[i] != 0.0) step = std::max(step, 0.1 * std::fabs(x0[i]));
     pts[i + 1][i] += step;
   }
+  // Warm-start vertices replace axis-offset vertices from the back.
+  std::size_t seeded = 0;
+  for (const auto& seed : opt.seed_points) {
+    if (seeded >= n) break;
+    if (seed.size() != n || seed == x0) continue;
+    pts[n - seeded] = seed;
+    ++seeded;
+  }
   std::vector<double> fv(n + 1);
   for (std::size_t i = 0; i <= n; ++i) fv[i] = SafeEval(f, pts[i]);
 
@@ -60,8 +68,13 @@ SimplexResult RunSimplex(const Objective& f, const std::vector<double>& x0,
         diam = std::max(diam, std::fabs(pts[i][d] - pts[best][d]));
       }
     }
-    if (std::fabs(fv[worst] - fv[best]) < opt.f_tolerance &&
-        diam < opt.x_tolerance) {
+    const double f_spread = std::fabs(fv[worst] - fv[best]);
+    if (f_spread < opt.f_tolerance && diam < opt.x_tolerance) {
+      converged = true;
+      break;
+    }
+    if (opt.f_tolerance_relative > 0.0 &&
+        f_spread < opt.f_tolerance_relative * std::fabs(fv[best])) {
       converged = true;
       break;
     }

@@ -18,12 +18,24 @@ struct NelderMeadOptions {
   // diameter both fall below these tolerances.
   double f_tolerance = 1e-9;
   double x_tolerance = 1e-8;
+  // Additional relative convergence test, disabled at 0: stop as soon as the
+  // function-value spread falls below this fraction of |best value|,
+  // regardless of the simplex diameter. Warm-started fits set this — their
+  // seed vertex is already near the optimum, so collapsing the simplex to
+  // the absolute tolerances buys nothing the caller can observe.
+  double f_tolerance_relative = 0.0;
   // Initial simplex edge length per coordinate (absolute).
   double initial_step = 0.25;
   // Number of random restarts from perturbed best points (0 = single run).
   int restarts = 0;
   // Seed for restart perturbations.
   unsigned seed = 42;
+  // Extra points injected as vertices of the initial simplex (warm starts:
+  // e.g. the converged coefficients of a neighbouring model). Points whose
+  // dimension differs from x0, or that coincide with x0, are ignored; at
+  // most dim(x0) seeds are used, replacing the default axis-offset vertices
+  // from the last coordinate backwards.
+  std::vector<std::vector<double>> seed_points;
 };
 
 struct OptimizeOutcome {

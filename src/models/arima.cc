@@ -67,22 +67,101 @@ double SumSquares(const std::vector<double>& v, std::size_t skip) {
   return s;
 }
 
+// Preliminary innovations of the Hannan-Rissanen first stage: residuals of a
+// long autoregression of order `m_long` on `w` (zero over the conditioning
+// prefix). Shared between the uncached fit path and ArimaFitCache.
+Result<std::vector<double>> LongArInnovations(const std::vector<double>& w,
+                                              std::size_t m_long) {
+  const std::size_t n = w.size();
+  if (m_long == 0 || n <= m_long) {
+    return Status::InvalidArgument(
+        "ArimaModel: series too short for the long autoregression");
+  }
+  math::Matrix a_long(n - m_long, m_long);
+  std::vector<double> b_long(n - m_long);
+  for (std::size_t t = m_long; t < n; ++t) {
+    b_long[t - m_long] = w[t];
+    for (std::size_t l = 1; l <= m_long; ++l) {
+      a_long(t - m_long, l - 1) = w[t - l];
+    }
+  }
+  auto phi_long = math::SolveLeastSquares(a_long, b_long);
+  if (!phi_long.ok()) return phi_long.status();
+  std::vector<double> innov(n, 0.0);
+  for (std::size_t t = m_long; t < n; ++t) {
+    double pred = 0.0;
+    for (std::size_t l = 1; l <= m_long; ++l) {
+      pred += (*phi_long)[l - 1] * w[t - l];
+    }
+    innov[t] = w[t] - pred;
+  }
+  return innov;
+}
+
 }  // namespace
+
+const ArimaFitCache::Working& ArimaFitCache::GetWorking(int d, int D,
+                                                        std::size_t season,
+                                                        bool demean) {
+  WorkingEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = &working_[WorkingKey{d, D, season, demean}];
+  }
+  std::call_once(entry->once, [&] {
+    Working wk;
+    wk.w = tsa::DifferenceMany(y_, d, D, season);
+    if (demean && !wk.w.empty()) {
+      wk.mean = math::Mean(wk.w);
+      for (double& v : wk.w) v -= wk.mean;
+    }
+    entry->value = std::move(wk);
+  });
+  return entry->value;
+}
+
+const ArimaFitCache::Innovations& ArimaFitCache::GetInnovations(
+    int d, int D, std::size_t season, bool demean, std::size_t m_long) {
+  InnovEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = &innovations_[InnovKey{d, D, season, demean, m_long}];
+  }
+  std::call_once(entry->once, [&] {
+    const Working& wk = GetWorking(d, D, season, demean);
+    auto innov = LongArInnovations(wk.w, m_long);
+    if (innov.ok()) {
+      entry->value.e = std::move(*innov);
+    } else {
+      entry->value.status = innov.status();
+    }
+  });
+  return entry->value;
+}
 
 std::vector<double> ComputeCssResiduals(const std::vector<double>& w,
                                         const std::vector<double>& ar_full,
                                         const std::vector<double>& ma_full) {
   const std::size_t n = w.size();
   const std::size_t start = std::max(ar_full.size(), ma_full.size());
+  // Seasonal specs are dense-by-lag with mostly zero entries (e.g. AR lags
+  // {1, 24} in a 24-long vector); iterating only the nonzero lags keeps the
+  // accumulation order — and hence the result, bitwise — while cutting the
+  // inner loop from max-lag to p+q+P+Q terms. This loop dominates the
+  // Nelder-Mead refinement objective, so the candidate grid feels it.
+  std::vector<std::size_t> ar_lags;
+  std::vector<std::size_t> ma_lags;
+  for (std::size_t l = 1; l <= ar_full.size(); ++l) {
+    if (ar_full[l - 1] != 0.0) ar_lags.push_back(l);
+  }
+  for (std::size_t l = 1; l <= ma_full.size(); ++l) {
+    if (ma_full[l - 1] != 0.0) ma_lags.push_back(l);
+  }
   std::vector<double> a(n, 0.0);
   for (std::size_t t = start; t < n; ++t) {
     double pred = 0.0;
-    for (std::size_t l = 1; l <= ar_full.size(); ++l) {
-      if (ar_full[l - 1] != 0.0) pred += ar_full[l - 1] * w[t - l];
-    }
-    for (std::size_t l = 1; l <= ma_full.size(); ++l) {
-      if (ma_full[l - 1] != 0.0) pred += ma_full[l - 1] * a[t - l];
-    }
+    for (std::size_t l : ar_lags) pred += ar_full[l - 1] * w[t - l];
+    for (std::size_t l : ma_lags) pred += ma_full[l - 1] * a[t - l];
     a[t] = w[t] - pred;
   }
   return a;
@@ -100,9 +179,21 @@ Result<ArimaModel> ArimaModel::Fit(const std::vector<double>& y,
   m.options_ = options;
   m.train_ = y;
 
-  // 1. Difference.
-  std::vector<double> w =
-      tsa::DifferenceMany(y, spec.d, spec.D, spec.season);
+  // 1. Difference (through the shared cache when one is attached).
+  const bool demean = spec.d + spec.D == 0 && options.include_mean;
+  ArimaFitCache* cache = options.cache;
+  // The O(n) identity check is noise next to the fit and protects against a
+  // cache built over a different series (e.g. raw y vs OLS residuals).
+  if (cache != nullptr && cache->y() != y) cache = nullptr;
+  std::vector<double> w;
+  if (cache != nullptr) {
+    const ArimaFitCache::Working& wk =
+        cache->GetWorking(spec.d, spec.D, spec.season, demean);
+    w = wk.w;
+    m.mean_ = wk.mean;
+  } else {
+    w = tsa::DifferenceMany(y, spec.d, spec.D, spec.season);
+  }
   const std::vector<std::size_t> ar_lags =
       BuildLagSet(spec.p, spec.P, spec.season);
   const std::vector<std::size_t> ma_lags =
@@ -116,7 +207,7 @@ Result<ArimaModel> ArimaModel::Fit(const std::vector<double>& y,
     return Status::InvalidArgument("ArimaModel: series too short for spec " +
                                    spec.ToString());
   }
-  if (spec.d + spec.D == 0 && options.include_mean) {
+  if (cache == nullptr && demean) {
     m.mean_ = math::Mean(w);
     for (double& v : w) v -= m.mean_;
   }
@@ -127,27 +218,24 @@ Result<ArimaModel> ArimaModel::Fit(const std::vector<double>& y,
   std::vector<double> ar_coef(ar_lags.size(), 0.0);
   std::vector<double> ma_coef(ma_lags.size(), 0.0);
   if (!ar_lags.empty() || !ma_lags.empty()) {
-    std::vector<double> innov(n, 0.0);
+    std::vector<double> innov_local;
+    const std::vector<double>* innov = nullptr;
     if (!ma_lags.empty()) {
-      // Long autoregression for preliminary innovations.
+      // Long autoregression for preliminary innovations; across a grid the
+      // distinct (d, D, m_long) combinations are few, so the cache turns the
+      // most expensive least-squares solve of the fit into a lookup.
       const std::size_t m_long = std::min<std::size_t>(
           std::max<std::size_t>(20, max_ar + max_ma), n / 4);
-      math::Matrix a_long(n - m_long, m_long);
-      std::vector<double> b_long(n - m_long);
-      for (std::size_t t = m_long; t < n; ++t) {
-        b_long[t - m_long] = w[t];
-        for (std::size_t l = 1; l <= m_long; ++l) {
-          a_long(t - m_long, l - 1) = w[t - l];
-        }
-      }
-      auto phi_long = math::SolveLeastSquares(a_long, b_long);
-      if (!phi_long.ok()) return phi_long.status();
-      for (std::size_t t = m_long; t < n; ++t) {
-        double pred = 0.0;
-        for (std::size_t l = 1; l <= m_long; ++l) {
-          pred += (*phi_long)[l - 1] * w[t - l];
-        }
-        innov[t] = w[t] - pred;
+      if (cache != nullptr) {
+        const ArimaFitCache::Innovations& entry = cache->GetInnovations(
+            spec.d, spec.D, spec.season, demean, m_long);
+        if (!entry.status.ok()) return entry.status;
+        innov = &entry.e;
+      } else {
+        auto computed = LongArInnovations(w, m_long);
+        if (!computed.ok()) return computed.status();
+        innov_local = std::move(*computed);
+        innov = &innov_local;
       }
     }
     // Main regression: w_t on AR lags of w and MA lags of innovations.
@@ -165,7 +253,7 @@ Result<ArimaModel> ArimaModel::Fit(const std::vector<double>& y,
       b[r] = w[t];
       std::size_t c = 0;
       for (std::size_t lag : ar_lags) a(r, c++) = w[t - lag];
-      for (std::size_t lag : ma_lags) a(r, c++) = innov[t - lag];
+      for (std::size_t lag : ma_lags) a(r, c++) = (*innov)[t - lag];
     }
     auto beta = math::SolveLeastSquares(a, b);
     if (!beta.ok()) return beta.status();
@@ -233,6 +321,29 @@ Result<ArimaModel> ArimaModel::Fit(const std::vector<double>& y,
     math::NelderMeadOptions nm;
     nm.max_iterations = 600;
     nm.initial_step = 0.05;
+    if (!options.init_ar.empty() || !options.init_ma.empty()) {
+      // Warm start: inject the neighbour's converged point as a simplex
+      // vertex (lags the neighbour lacks start at zero).
+      std::vector<double> seed;
+      seed.reserve(n_coef);
+      for (std::size_t lag : ar_lags) {
+        seed.push_back(lag <= options.init_ar.size() ? options.init_ar[lag - 1]
+                                                     : 0.0);
+      }
+      for (std::size_t lag : ma_lags) {
+        seed.push_back(lag <= options.init_ma.size() ? options.init_ma[lag - 1]
+                                                     : 0.0);
+      }
+      std::vector<double> af, mf;
+      unpack(seed, af, mf);
+      if (math::IsStationary(af) && IsInvertible(mf)) {
+        nm.seed_points.push_back(std::move(seed));
+        // With a near-converged vertex in the simplex, chasing the absolute
+        // tolerances only burns iterations collapsing the simplex; stop once
+        // the spread is negligible relative to the CSS value.
+        nm.f_tolerance_relative = 1e-8;
+      }
+    }
     const std::vector<double> start = pack(m.ar_full_, m.ma_full_);
     auto outcome = math::NelderMead(objective, start, nm);
     if (outcome.ok()) {
@@ -263,13 +374,10 @@ Result<ArimaModel> ArimaModel::Fit(const std::vector<double>& y,
   return m;
 }
 
-Result<Forecast> ArimaModel::Predict(std::size_t horizon,
-                                     double level) const {
+Result<std::vector<double>> ArimaModel::PredictMean(
+    std::size_t horizon) const {
   if (horizon == 0) {
     return Status::InvalidArgument("ArimaModel::Predict: zero horizon");
-  }
-  if (level <= 0.0 || level >= 1.0) {
-    return Status::InvalidArgument("ArimaModel::Predict: level in (0,1)");
   }
   const std::size_t n = w_.size();
   // Point forecasts on the differenced (demeaned) scale.
@@ -296,8 +404,17 @@ Result<Forecast> ArimaModel::Predict(std::size_t horizon,
   for (double& v : w_forecast) v += mean_;
 
   // Integrate back to the original scale.
-  std::vector<double> mean_forecast = tsa::IntegrateForecast(
-      train_, w_forecast, spec_.d, spec_.D, spec_.season);
+  return tsa::IntegrateForecast(train_, w_forecast, spec_.d, spec_.D,
+                                spec_.season);
+}
+
+Result<Forecast> ArimaModel::Predict(std::size_t horizon,
+                                     double level) const {
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::InvalidArgument("ArimaModel::Predict: level in (0,1)");
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(std::vector<double> mean_forecast,
+                           PredictMean(horizon));
 
   // Forecast error variance via psi-weights of the integrated process:
   // phi*(B) = phi(B) * (1-B)^d * (1-B^s)^D.

@@ -2,6 +2,9 @@
 #define CAPPLAN_MODELS_ARIMA_H_
 
 #include <cstddef>
+#include <map>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "common/result.h"
@@ -9,6 +12,59 @@
 #include "models/model.h"
 
 namespace capplan::models {
+
+// Thread-safe memo of the per-series fit stages that are identical across a
+// candidate grid: the (d, D, season)-differenced working series (optionally
+// demeaned) and the preliminary innovations of the Hannan-Rissanen long
+// autoregression. A selector evaluating hundreds of specs against one
+// training window builds one cache and passes it to every
+// ArimaModel::Fit via Options::cache; each distinct transform is then
+// computed exactly once instead of once per candidate, with bitwise-
+// identical results to the uncached path.
+class ArimaFitCache {
+ public:
+  // `y` must be the exact series later passed to every Fit using this cache.
+  explicit ArimaFitCache(std::vector<double> y) : y_(std::move(y)) {}
+
+  ArimaFitCache(const ArimaFitCache&) = delete;
+  ArimaFitCache& operator=(const ArimaFitCache&) = delete;
+
+  const std::vector<double>& y() const { return y_; }
+
+  // Differenced (and, when `demean`, mean-subtracted) working series.
+  struct Working {
+    std::vector<double> w;
+    double mean = 0.0;  // subtracted mean; 0 when !demean
+  };
+  const Working& GetWorking(int d, int D, std::size_t season, bool demean);
+
+  // Innovations of the order-`m_long` long autoregression on the working
+  // series (zero over the first m_long entries), or the least-squares
+  // failure an uncached fit would have reported.
+  struct Innovations {
+    Status status = Status::OK();
+    std::vector<double> e;
+  };
+  const Innovations& GetInnovations(int d, int D, std::size_t season,
+                                    bool demean, std::size_t m_long);
+
+ private:
+  using WorkingKey = std::tuple<int, int, std::size_t, bool>;
+  using InnovKey = std::tuple<int, int, std::size_t, bool, std::size_t>;
+  struct WorkingEntry {
+    std::once_flag once;
+    Working value;
+  };
+  struct InnovEntry {
+    std::once_flag once;
+    Innovations value;
+  };
+
+  std::vector<double> y_;
+  std::mutex mu_;  // guards map structure only; entries are compute-once
+  std::map<WorkingKey, WorkingEntry> working_;
+  std::map<InnovKey, InnovEntry> innovations_;
+};
 
 // (Seasonal) ARIMA model fitted by conditional least squares.
 //
@@ -44,6 +100,19 @@ class ArimaModel {
     Method method = Method::kCss;
     // Estimate a mean term when no differencing is applied.
     bool include_mean = true;
+    // Shared-transform cache built over the same series as `y` (see
+    // ArimaFitCache). Ignored when null or when its series is not
+    // element-wise equal to y. Not owned.
+    ArimaFitCache* cache = nullptr;
+    // Warm start: dense by-lag coefficient vectors (index i -> lag i+1),
+    // typically the converged fit of a neighbouring candidate in
+    // (p,q,P,Q) space or a previous fit of the same series. When set (either
+    // vector non-empty), the refinement simplex is seeded with this point
+    // alongside the Hannan-Rissanen start, which cuts iterations sharply
+    // when the neighbour is close. Lags outside the spec's lag set are
+    // ignored; missing lags start at zero.
+    std::vector<double> init_ar;
+    std::vector<double> init_ma;
   };
 
   // An unfitted placeholder (all-zero white-noise model); use Fit() to
@@ -63,6 +132,12 @@ class ArimaModel {
   // Forecasts `horizon` steps past the end of the training series with
   // central prediction intervals at `level`.
   Result<Forecast> Predict(std::size_t horizon, double level = 0.95) const;
+
+  // Point forecasts only (identical to Predict(...).mean), skipping the
+  // psi-weight variance expansion and interval quantiles. The selector's
+  // early-abort path scores candidates with this and computes full
+  // intervals only for survivors.
+  Result<std::vector<double>> PredictMean(std::size_t horizon) const;
 
   const ArimaSpec& spec() const { return spec_; }
   const FitSummary& summary() const { return summary_; }

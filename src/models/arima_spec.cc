@@ -1,5 +1,6 @@
 #include "models/arima_spec.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace capplan::models {
@@ -11,6 +12,26 @@ std::string ArimaSpec::ToString() const {
     os << "(" << P << "," << D << "," << Q << "," << season << ")";
   }
   return os.str();
+}
+
+Result<ArimaSpec> ParseArimaSpec(const std::string& s) {
+  ArimaSpec spec;
+  unsigned long season = 0;
+  const int got =
+      std::sscanf(s.c_str(), "(%d,%d,%d)(%d,%d,%d,%lu)", &spec.p, &spec.d,
+                  &spec.q, &spec.P, &spec.D, &spec.Q, &season);
+  if (got == 7) {
+    spec.season = static_cast<std::size_t>(season);
+  } else if (got == 3) {
+    spec.P = spec.D = spec.Q = 0;
+    spec.season = 0;
+  } else {
+    return Status::InvalidArgument("ParseArimaSpec: not a spec string: " + s);
+  }
+  if (!spec.IsValid()) {
+    return Status::InvalidArgument("ParseArimaSpec: invalid spec: " + s);
+  }
+  return spec;
 }
 
 bool ArimaSpec::IsValid() const {

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
+
 namespace capplan::models {
 
 // Order specification of a (seasonal) ARIMA model, the paper's
@@ -35,6 +37,13 @@ struct ArimaSpec {
 
   friend bool operator==(const ArimaSpec& a, const ArimaSpec& b) = default;
 };
+
+// Inverse of ArimaSpec::ToString: parses "(p,d,q)" or "(p,d,q)(P,D,Q,s)",
+// ignoring any trailing decoration (e.g. "+FFT+exog(2)" appended by the
+// pipeline's chosen_spec). Fails on other shapes or an invalid spec — the
+// model repository stores free-form spec strings (HES names, ensembles), so
+// callers recovering a warm-start hint must tolerate failure.
+Result<ArimaSpec> ParseArimaSpec(const std::string& s);
 
 }  // namespace capplan::models
 

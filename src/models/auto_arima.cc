@@ -16,6 +16,7 @@ struct SearchState {
   Result<ArimaModel> best_model = Status::NotFound("no model yet");
   std::set<std::string> visited;
   std::size_t evaluated = 0;
+  ArimaFitCache* cache = nullptr;  // shared transforms across the search
 };
 
 // Fits `spec` if new; updates the incumbent when the criterion improves.
@@ -26,7 +27,15 @@ void Consider(const std::vector<double>& y, const ArimaSpec& spec,
   if (state->visited.count(key) > 0) return;
   state->visited.insert(key);
   ++state->evaluated;
-  auto model = ArimaModel::Fit(y, spec, options.fit);
+  ArimaModel::Options fit_opts = options.fit;
+  fit_opts.cache = state->cache;
+  if (options.warm_start && state->best_model.ok()) {
+    // Seed from the incumbent: neighbours differ by one order, so the
+    // converged point is usually one contraction away.
+    fit_opts.init_ar = state->best_model->ar_coefficients();
+    fit_opts.init_ma = state->best_model->ma_coefficients();
+  }
+  auto model = ArimaModel::Fit(y, spec, fit_opts);
   if (!model.ok()) return;
   const double criterion =
       options.use_bic ? model->summary().bic : model->summary().aic;
@@ -58,6 +67,8 @@ Result<AutoArimaOutcome> AutoArima(const std::vector<double>& y,
   }
 
   SearchState state;
+  ArimaFitCache cache(y);
+  state.cache = &cache;
   const bool seasonal = options.season >= 2;
   const std::size_t s = seasonal ? options.season : 0;
   const int D = seasonal ? seasonal_d : 0;

@@ -24,6 +24,10 @@ struct AutoArimaOptions {
   int max_d = 2;
   bool use_bic = false;  // rank by BIC instead of AIC
   int max_steps = 60;    // hill-climbing iterations cap
+  // Seed each neighbour fit from the incumbent's converged coefficients
+  // (the Sibyl-style warm start); differencing/innovation transforms are
+  // always shared across the search via an ArimaFitCache.
+  bool warm_start = true;
   ArimaModel::Options fit;
 };
 

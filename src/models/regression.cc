@@ -45,16 +45,10 @@ Result<OlsFit> OlsRegression(const std::vector<std::vector<double>>& columns,
   return fit;
 }
 
-Result<SarimaxModel> SarimaxModel::Fit(
-    const std::vector<double>& y, const ArimaSpec& spec,
+Result<OlsFit> SarimaxModel::FitOls(
+    const std::vector<double>& y,
     const std::vector<std::vector<double>>& exog,
-    const std::vector<tsa::FourierSpec>& fourier,
-    const ArimaModel::Options& options) {
-  SarimaxModel m;
-  m.n_train_ = y.size();
-  m.n_exog_ = exog.size();
-  m.fourier_ = fourier;
-
+    const std::vector<tsa::FourierSpec>& fourier) {
   // Assemble the deterministic regressor block.
   std::vector<std::vector<double>> columns = exog;
   if (!fourier.empty()) {
@@ -62,16 +56,24 @@ Result<SarimaxModel> SarimaxModel::Fit(
                              tsa::FourierTerms(fourier, 0, y.size()));
     for (auto& c : fcols) columns.push_back(std::move(c));
   }
-
   if (columns.empty()) {
     // Pure SARIMA: regression part is just the intercept, which the error
     // model's mean term already handles; regress on intercept only to keep
     // the code path uniform.
-    CAPPLAN_ASSIGN_OR_RETURN(m.ols_, OlsRegression({}, y, /*intercept=*/true));
-  } else {
-    CAPPLAN_ASSIGN_OR_RETURN(m.ols_,
-                             OlsRegression(columns, y, /*intercept=*/true));
+    return OlsRegression({}, y, /*intercept=*/true);
   }
+  return OlsRegression(columns, y, /*intercept=*/true);
+}
+
+Result<SarimaxModel> SarimaxModel::FitWithSharedOls(
+    std::size_t n_train, const OlsFit& ols, std::size_t n_exog,
+    const std::vector<tsa::FourierSpec>& fourier, const ArimaSpec& spec,
+    const ArimaModel::Options& options) {
+  SarimaxModel m;
+  m.n_train_ = n_train;
+  m.n_exog_ = n_exog;
+  m.fourier_ = fourier;
+  m.ols_ = ols;
 
   // SARIMA on the regression residuals. The residuals are mean-zero by
   // construction, so no extra mean term.
@@ -88,10 +90,42 @@ Result<SarimaxModel> SarimaxModel::Fit(
   return m;
 }
 
-Result<Forecast> SarimaxModel::Predict(
-    std::size_t horizon, const std::vector<std::vector<double>>& exog_future,
-    double level) const {
-  if (exog_future.size() != n_exog_) {
+Result<SarimaxModel> SarimaxModel::Fit(
+    const std::vector<double>& y, const ArimaSpec& spec,
+    const std::vector<std::vector<double>>& exog,
+    const std::vector<tsa::FourierSpec>& fourier,
+    const ArimaModel::Options& options) {
+  CAPPLAN_ASSIGN_OR_RETURN(OlsFit ols, FitOls(y, exog, fourier));
+  return FitWithSharedOls(y.size(), ols, exog.size(), fourier, spec, options);
+}
+
+namespace {
+
+// Regression part of a SARIMAX forecast over the horizon: intercept + exog
+// columns + extended Fourier terms, weighted by the OLS beta.
+Result<std::vector<double>> DeterministicPart(
+    const std::vector<double>& beta,
+    const std::vector<tsa::FourierSpec>& fourier, std::size_t n_train,
+    std::size_t horizon, const std::vector<std::vector<double>>& exog_future) {
+  std::vector<std::vector<double>> columns = exog_future;
+  if (!fourier.empty()) {
+    CAPPLAN_ASSIGN_OR_RETURN(std::vector<std::vector<double>> fcols,
+                             tsa::FourierTerms(fourier, n_train, horizon));
+    for (auto& c : fcols) columns.push_back(std::move(c));
+  }
+  std::vector<double> deterministic(horizon, beta[0]);  // intercept
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const double b = beta[c + 1];
+    for (std::size_t t = 0; t < horizon; ++t) {
+      deterministic[t] += b * columns[c][t];
+    }
+  }
+  return deterministic;
+}
+
+Status ValidateExogFuture(const std::vector<std::vector<double>>& exog_future,
+                          std::size_t n_exog, std::size_t horizon) {
+  if (exog_future.size() != n_exog) {
     return Status::InvalidArgument(
         "SarimaxModel::Predict: exogenous column count differs from fit");
   }
@@ -101,21 +135,18 @@ Result<Forecast> SarimaxModel::Predict(
           "SarimaxModel::Predict: exogenous column length != horizon");
     }
   }
-  // Deterministic part over the horizon.
-  std::vector<std::vector<double>> columns = exog_future;
-  if (!fourier_.empty()) {
-    CAPPLAN_ASSIGN_OR_RETURN(
-        std::vector<std::vector<double>> fcols,
-        tsa::FourierTerms(fourier_, n_train_, horizon));
-    for (auto& c : fcols) columns.push_back(std::move(c));
-  }
-  std::vector<double> deterministic(horizon, ols_.beta[0]);  // intercept
-  for (std::size_t c = 0; c < columns.size(); ++c) {
-    const double b = ols_.beta[c + 1];
-    for (std::size_t t = 0; t < horizon; ++t) {
-      deterministic[t] += b * columns[c][t];
-    }
-  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Forecast> SarimaxModel::Predict(
+    std::size_t horizon, const std::vector<std::vector<double>>& exog_future,
+    double level) const {
+  CAPPLAN_RETURN_NOT_OK(ValidateExogFuture(exog_future, n_exog_, horizon));
+  CAPPLAN_ASSIGN_OR_RETURN(
+      std::vector<double> deterministic,
+      DeterministicPart(ols_.beta, fourier_, n_train_, horizon, exog_future));
   // Stochastic part.
   CAPPLAN_ASSIGN_OR_RETURN(Forecast eta,
                            error_model_.Predict(horizon, level));
@@ -130,6 +161,19 @@ Result<Forecast> SarimaxModel::Predict(
     fc.upper[t] = deterministic[t] + eta.upper[t];
   }
   return fc;
+}
+
+Result<std::vector<double>> SarimaxModel::PredictMean(
+    std::size_t horizon,
+    const std::vector<std::vector<double>>& exog_future) const {
+  CAPPLAN_RETURN_NOT_OK(ValidateExogFuture(exog_future, n_exog_, horizon));
+  CAPPLAN_ASSIGN_OR_RETURN(
+      std::vector<double> deterministic,
+      DeterministicPart(ols_.beta, fourier_, n_train_, horizon, exog_future));
+  CAPPLAN_ASSIGN_OR_RETURN(std::vector<double> eta,
+                           error_model_.PredictMean(horizon));
+  for (std::size_t t = 0; t < horizon; ++t) deterministic[t] += eta[t];
+  return deterministic;
 }
 
 }  // namespace capplan::models

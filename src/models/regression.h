@@ -48,11 +48,37 @@ class SarimaxModel {
                                   const std::vector<tsa::FourierSpec>& fourier,
                                   const ArimaModel::Options& options = {});
 
+  // The deterministic first stage of Fit on its own: assembles the regressor
+  // block (exog columns, then Fourier terms, with an intercept) and runs the
+  // OLS. Every candidate sharing (exog, fourier) has an identical OLS stage,
+  // so a grid search computes this once per group and feeds it to
+  // FitWithSharedOls.
+  static Result<OlsFit> FitOls(const std::vector<double>& y,
+                               const std::vector<std::vector<double>>& exog,
+                               const std::vector<tsa::FourierSpec>& fourier);
+
+  // Second stage of Fit given a precomputed first stage: fits the SARIMA
+  // error model on ols.residuals. `ols` must be FitOls's result for the same
+  // (y, exog, fourier); `n_train` is y.size() and `n_exog` is exog.size().
+  // Fit(y, spec, exog, fourier, o) is bitwise-equivalent to
+  // FitWithSharedOls(y.size(), *FitOls(y, exog, fourier), exog.size(),
+  // fourier, spec, o).
+  static Result<SarimaxModel> FitWithSharedOls(
+      std::size_t n_train, const OlsFit& ols, std::size_t n_exog,
+      const std::vector<tsa::FourierSpec>& fourier, const ArimaSpec& spec,
+      const ArimaModel::Options& options = {});
+
   // `exog_future` must contain the same number of columns as at fit time,
   // each `horizon` long. Fourier terms are extended automatically.
   Result<Forecast> Predict(std::size_t horizon,
                            const std::vector<std::vector<double>>& exog_future,
                            double level = 0.95) const;
+
+  // Point forecasts only (identical to Predict(...).mean); see
+  // ArimaModel::PredictMean.
+  Result<std::vector<double>> PredictMean(
+      std::size_t horizon,
+      const std::vector<std::vector<double>>& exog_future) const;
 
   const ArimaModel& error_model() const { return error_model_; }
   const std::vector<double>& beta() const { return ols_.beta; }

@@ -42,27 +42,58 @@ bool ModelRepository::IsStale(const std::string& key, std::int64_t now_epoch,
   return false;
 }
 
+std::string EncodeCoefficients(const std::vector<double>& coef) {
+  std::string out;
+  char buf[40];
+  for (std::size_t i = 0; i < coef.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.17g", coef[i]);
+    if (i > 0) out += ';';
+    out += buf;
+  }
+  return out;
+}
+
+Result<std::vector<double>> DecodeCoefficients(const std::string& text) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    try {
+      out.push_back(std::stod(text.substr(pos, end - pos)));
+    } catch (const std::exception&) {
+      return Status::IoError("DecodeCoefficients: bad number in: " + text);
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
 Status ModelRepository::Save(const std::string& path) const {
   CsvTable table;
-  table.header = {"key",       "technique",      "spec",
-                  "test_rmse", "test_mape",      "fitted_at_epoch"};
+  table.header = {"key",       "technique", "spec",    "test_rmse",
+                  "test_mape", "fitted_at_epoch",      "ar_coef", "ma_coef"};
   for (const auto& [_, m] : models_) {
     char rmse[40], mape[40];
     std::snprintf(rmse, sizeof(rmse), "%.17g", m.test_rmse);
     std::snprintf(mape, sizeof(mape), "%.17g", m.test_mape);
     table.rows.push_back({m.key, m.technique, m.spec, rmse, mape,
-                          std::to_string(m.fitted_at_epoch)});
+                          std::to_string(m.fitted_at_epoch),
+                          EncodeCoefficients(m.ar_coef),
+                          EncodeCoefficients(m.ma_coef)});
   }
   return WriteCsv(path, table);
 }
 
 Status ModelRepository::Load(const std::string& path) {
   CAPPLAN_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path));
-  if (table.header.size() != 6) {
+  // 6 columns = the pre-coefficient layout; tolerated so existing registry
+  // files keep loading (their models simply carry no warm-start hint).
+  if (table.header.size() != 6 && table.header.size() != 8) {
     return Status::IoError("ModelRepository::Load: unexpected column count");
   }
   for (const auto& row : table.rows) {
-    if (row.size() != 6) {
+    if (row.size() != table.header.size()) {
       return Status::IoError("ModelRepository::Load: malformed row");
     }
     StoredModel m;
@@ -72,6 +103,10 @@ Status ModelRepository::Load(const std::string& path) {
     m.test_rmse = std::stod(row[3]);
     m.test_mape = std::stod(row[4]);
     m.fitted_at_epoch = std::stoll(row[5]);
+    if (row.size() == 8) {
+      CAPPLAN_ASSIGN_OR_RETURN(m.ar_coef, DecodeCoefficients(row[6]));
+      CAPPLAN_ASSIGN_OR_RETURN(m.ma_coef, DecodeCoefficients(row[7]));
+    }
     models_[m.key] = m;
   }
   return Status::OK();

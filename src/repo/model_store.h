@@ -21,7 +21,18 @@ struct StoredModel {
   double test_rmse = 0.0;
   double test_mape = 0.0;
   std::int64_t fitted_at_epoch = 0;
+  // Dense converged coefficients of the fitted (S)ARIMA(X) error model
+  // (index i -> lag i+1); empty for non-ARIMA techniques. A refit of the
+  // same series seeds its grid search from these (the selector's warm-start
+  // hint), so they persist alongside the accuracy metadata.
+  std::vector<double> ar_coef;
+  std::vector<double> ma_coef;
 };
+
+// ';'-joined full-precision encoding of a coefficient vector, used for the
+// ar_coef/ma_coef CSV columns ("" = empty vector).
+std::string EncodeCoefficients(const std::vector<double>& coef);
+Result<std::vector<double>> DecodeCoefficients(const std::string& text);
 
 // Staleness policy parameters.
 struct StalenessPolicy {

@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "core/split.h"
+#include "models/arima_spec.h"
 #include "repo/csv.h"
 
 namespace capplan::service {
@@ -229,6 +230,18 @@ std::size_t EstateService::DispatchDue(TickReport* report) {
     core::PipelineOptions opts = config_.pipeline;
     opts.model_repository = nullptr;  // driver thread owns registry updates
     opts.n_threads = 1;               // parallelism is across series
+    // Warm-start the grid search from the previous fit of this series: the
+    // stored coefficients seed the matching chains in the selector, so a
+    // weekly refit of a stable workload converges in a fraction of the
+    // cold-fit iterations (the cold re-score keeps the selection itself
+    // unchanged).
+    if (auto prev = registry_.Get(key); prev.ok()) {
+      if (auto spec = models::ParseArimaSpec(prev->spec); spec.ok()) {
+        opts.selector_hint.spec = *spec;
+        opts.selector_hint.ar = prev->ar_coef;
+        opts.selector_hint.ma = prev->ma_coef;
+      }
+    }
     if (opts.horizon_override == 0) {
       // One fit's forecast must outlive the staleness period.
       opts.horizon_override = static_cast<std::size_t>(
@@ -255,6 +268,8 @@ std::size_t EstateService::DispatchDue(TickReport* report) {
           out.spec = rep->chosen_spec;
           out.test_rmse = rep->test_accuracy.rmse;
           out.test_mape = rep->test_accuracy.mape;
+          out.ar_coef = std::move(rep->chosen_ar);
+          out.ma_coef = std::move(rep->chosen_ma);
           out.forecast = std::move(rep->forecast);
           out.forecast_start_epoch = rep->forecast_start_epoch;
           out.forecast_step_seconds =
@@ -295,6 +310,8 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
     model.test_rmse = outcome.test_rmse;
     model.test_mape = outcome.test_mape;
     model.fitted_at_epoch = outcome.fitted_at_epoch;
+    model.ar_coef = outcome.ar_coef;
+    model.ma_coef = outcome.ma_coef;
     registry_.Put(model);
     CachedForecast cached;
     cached.forecast = outcome.forecast;

@@ -174,6 +174,8 @@ class EstateService {
     std::string spec;
     double test_rmse = 0.0;
     double test_mape = 0.0;
+    std::vector<double> ar_coef;  // winner's coefficients, for warm starts
+    std::vector<double> ma_coef;
     models::Forecast forecast;
     std::int64_t forecast_start_epoch = 0;
     std::int64_t forecast_step_seconds = 3600;

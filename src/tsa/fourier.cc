@@ -1,11 +1,23 @@
 #include "tsa/fourier.h"
 
 #include <cmath>
+#include <cstdio>
 
 namespace capplan::tsa {
 
 namespace {
 constexpr double kPi = 3.14159265358979323846;
+}
+
+std::string FourierCacheKey(const std::vector<FourierSpec>& specs) {
+  std::string key;
+  key.reserve(specs.size() * 12);
+  for (const auto& s : specs) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g/%zu;", s.period, s.k);
+    key += buf;
+  }
+  return key;
 }
 
 std::size_t FourierColumnCount(const std::vector<FourierSpec>& specs) {

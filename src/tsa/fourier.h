@@ -2,6 +2,7 @@
 #define CAPPLAN_TSA_FOURIER_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -16,7 +17,14 @@ namespace capplan::tsa {
 struct FourierSpec {
   double period = 0.0;   // in observations; need not be an integer
   std::size_t k = 1;     // number of harmonics
+
+  friend bool operator==(const FourierSpec& a, const FourierSpec& b) = default;
 };
+
+// Stable textual key for a spec list, e.g. "24/2;168/2;". Used to group
+// candidates that share the same Fourier design columns (the selector's
+// shared-transform cache) without hashing floating-point periods.
+std::string FourierCacheKey(const std::vector<FourierSpec>& specs);
 
 // Generates the regressor matrix column-major: for observations t in
 // [t_begin, t_begin + n), returns 2*k columns per spec in order

@@ -98,6 +98,54 @@ TEST(NelderMeadTest, RestartsImproveMultimodal) {
   EXPECT_GT(out->x[0], 0.0);  // escaped the shallow well
 }
 
+TEST(NelderMeadTest, SeedPointNearOptimumWins) {
+  // A shifted quadratic with the start far away: the injected seed vertex
+  // sits on the optimum, so the simplex collapses onto it.
+  auto f = [](const std::vector<double>& x) {
+    const double a = x[0] - 4.0, b = x[1] + 2.0;
+    return a * a + 3.0 * b * b;
+  };
+  NelderMeadOptions opt;
+  opt.max_iterations = 400;
+  opt.seed_points = {{4.0, -2.0}};
+  auto out = NelderMead(f, {50.0, 50.0}, opt);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->x[0], 4.0, 1e-4);
+  EXPECT_NEAR(out->x[1], -2.0, 1e-4);
+}
+
+TEST(NelderMeadTest, MalformedSeedPointsIgnored) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  NelderMeadOptions opt;
+  opt.seed_points = {{1.0, 2.0},  // wrong dimension
+                     {0.0}};      // coincides with x0
+  auto out = NelderMead(f, {0.0}, opt);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->x[0], 3.0, 1e-5);
+}
+
+TEST(NelderMeadTest, RelativeFToleranceStopsEarly) {
+  auto f = [](const std::vector<double>& x) {
+    return 1.0 + (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  NelderMeadOptions strict;
+  auto baseline = NelderMead(f, {0.0}, strict);
+  ASSERT_TRUE(baseline.ok());
+
+  // A loose relative tolerance converges in strictly fewer iterations and
+  // still lands near the optimum (f_best ~ 1, so the spread threshold is
+  // about 1e-2 instead of the absolute 1e-9).
+  NelderMeadOptions loose = strict;
+  loose.f_tolerance_relative = 1e-2;
+  auto out = NelderMead(f, {0.0}, loose);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->converged);
+  EXPECT_LT(out->iterations, baseline->iterations);
+  EXPECT_NEAR(out->x[0], 3.0, 0.5);
+}
+
 TEST(GoldenSectionTest, FindsMinimum) {
   auto f = [](double x) { return (x - 1.7) * (x - 1.7) + 3.0; };
   EXPECT_NEAR(GoldenSectionMinimize(f, -10.0, 10.0), 1.7, 1e-6);

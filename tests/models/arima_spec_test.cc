@@ -41,6 +41,33 @@ TEST(ArimaSpecTest, ValidityRules) {
   EXPECT_FALSE((ArimaSpec{1, 0, 0, 1, 0, 0, 1}).IsValid());
 }
 
+TEST(ArimaSpecTest, ParseRoundTripsToString) {
+  const ArimaSpec plain{2, 1, 1, 0, 0, 0, 0};
+  const ArimaSpec seasonal{13, 1, 2, 1, 1, 1, 24};
+  auto p = ParseArimaSpec(plain.ToString());
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(*p, plain);
+  auto s = ParseArimaSpec(seasonal.ToString());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(*s, seasonal);
+}
+
+TEST(ArimaSpecTest, ParseIgnoresPipelineDecoration) {
+  auto s = ParseArimaSpec("(1,0,1)(0,1,1,24)+FFT+exog(2)");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(*s, (ArimaSpec{1, 0, 1, 0, 1, 1, 24}));
+}
+
+TEST(ArimaSpecTest, ParseRejectsNonArimaStrings) {
+  // The model store holds free-form spec strings for other families; the
+  // warm-hint recovery path must get a clean failure for them.
+  EXPECT_FALSE(ParseArimaSpec("HES(alpha=0.2)").ok());
+  EXPECT_FALSE(ParseArimaSpec("").ok());
+  EXPECT_FALSE(ParseArimaSpec("(1,2)").ok());
+  // Parses but is not a valid spec (negative order).
+  EXPECT_FALSE(ParseArimaSpec("(-1,0,0)").ok());
+}
+
 TEST(ArimaSpecTest, Equality) {
   ArimaSpec a{1, 1, 1, 0, 0, 0, 0};
   ArimaSpec b{1, 1, 1, 0, 0, 0, 0};

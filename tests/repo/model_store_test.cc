@@ -1,5 +1,7 @@
 #include "repo/model_store.h"
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
 namespace capplan::repo {
@@ -97,6 +99,64 @@ TEST(ModelRepositoryTest, SaveLoadRoundTrip) {
   EXPECT_DOUBLE_EQ(m->test_rmse, 52879.49);
   EXPECT_EQ(m->fitted_at_epoch, 1559520001);
   EXPECT_EQ(m->technique, "SARIMAX_FFT_EXOG");
+}
+
+TEST(ModelRepositoryTest, CoefficientsSurviveSaveLoad) {
+  // Warm-start hints: the dense winner coefficients must round-trip at full
+  // double precision (the selector seeds simplex vertices from them).
+  ModelRepository repo;
+  StoredModel m = MakeModel("cdbm011/cpu", 8.42, 1559520000);
+  m.ar_coef = {0.123456789012345678, -0.5, 1e-17};
+  m.ma_coef = {0.25};
+  repo.Put(m);
+  repo.Put(MakeModel("cdbm012/cpu", 9.0, 1559520001));  // no coefficients
+  const std::string path = ::testing::TempDir() + "/models_coef.csv";
+  ASSERT_TRUE(repo.Save(path).ok());
+
+  ModelRepository loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  auto got = loaded.Get("cdbm011/cpu");
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->ar_coef.size(), 3u);
+  EXPECT_DOUBLE_EQ(got->ar_coef[0], 0.123456789012345678);
+  EXPECT_DOUBLE_EQ(got->ar_coef[1], -0.5);
+  EXPECT_DOUBLE_EQ(got->ar_coef[2], 1e-17);
+  ASSERT_EQ(got->ma_coef.size(), 1u);
+  EXPECT_DOUBLE_EQ(got->ma_coef[0], 0.25);
+  auto plain = loaded.Get("cdbm012/cpu");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->ar_coef.empty());
+  EXPECT_TRUE(plain->ma_coef.empty());
+}
+
+TEST(ModelRepositoryTest, CoefficientEncodingRoundTrip) {
+  EXPECT_EQ(EncodeCoefficients({}), "");
+  const std::vector<double> v = {0.5, -1.25, 3.0};
+  auto back = DecodeCoefficients(EncodeCoefficients(v));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, v);
+  EXPECT_FALSE(DecodeCoefficients("0.5;abc").ok());
+}
+
+TEST(ModelRepositoryTest, LoadsLegacySixColumnFiles) {
+  // Pre-coefficient files (6-column header) still load; hints stay empty.
+  const std::string path = ::testing::TempDir() + "/models_legacy.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "key,technique,spec,test_rmse,test_mape,fitted_at_epoch\n"
+        "cdbm011/cpu,SARIMAX,\"(1,1,1)(0,1,1,24)\",8.5,12.0,1559520000\n",
+        f);
+    std::fclose(f);
+  }
+  ModelRepository repo;
+  ASSERT_TRUE(repo.Load(path).ok());
+  auto m = repo.Get("cdbm011/cpu");
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->test_rmse, 8.5);
+  EXPECT_TRUE(m->ar_coef.empty());
+  EXPECT_TRUE(m->ma_coef.empty());
 }
 
 TEST(ModelRepositoryTest, LoadMissingFileFails) {

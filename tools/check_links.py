@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (stdlib only).
+
+Verifies that every relative link target in the given Markdown files exists
+on disk and that every intra-document anchor (#section) matches a heading,
+using GitHub's heading-slug rules. External http(s)/mailto links are not
+fetched — CI must stay hermetic — but their syntax is still parsed.
+
+Usage: tools/check_links.py README.md DESIGN.md docs/*.md
+Exits 1 with one line per broken link, 0 when everything resolves.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links [text](target); images ![alt](target) match the same shape.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_text: str) -> set:
+    slugs = set()
+    counts = {}
+    for heading in HEADING_RE.findall(strip_code_blocks(md_text)):
+        slug = github_slug(heading)
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def strip_code_blocks(md_text: str) -> str:
+    """Remove fenced code blocks so example links/headings are not checked."""
+    return re.sub(r"```.*?```", "", md_text, flags=re.DOTALL)
+
+
+def check_file(path: Path, repo_root: Path) -> list:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    own_anchors = anchors_of(text)
+    for target in LINK_RE.findall(strip_code_blocks(text)):
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in own_anchors:
+                errors.append(f"{path}: broken anchor {target}")
+            continue
+        ref, _, anchor = target.partition("#")
+        dest = (path.parent / ref).resolve()
+        try:
+            dest.relative_to(repo_root)
+        except ValueError:
+            errors.append(f"{path}: link escapes the repository: {target}")
+            continue
+        if not dest.exists():
+            errors.append(f"{path}: missing target {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in anchors_of(dest.read_text(encoding="utf-8")):
+                errors.append(f"{path}: missing anchor #{anchor} in {ref}")
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    repo_root = Path.cwd().resolve()
+    errors = []
+    checked = 0
+    for arg in argv[1:]:
+        path = Path(arg)
+        if not path.is_file():
+            errors.append(f"{arg}: no such file")
+            continue
+        checked += 1
+        errors.extend(check_file(path, repo_root))
+    for line in errors:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} files: "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
