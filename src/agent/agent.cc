@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace capplan::agent {
 
 namespace {
@@ -46,6 +48,7 @@ Result<tsa::TimeSeries> MonitoringAgent::Collect(int instance,
     return Status::InvalidArgument(
         "MonitoringAgent: poll interval must be 15min or 1h");
   }
+  CAPPLAN_RETURN_NOT_OK(FaultHit("agent.collect"));
   std::vector<double> values;
   values.reserve(n_polls);
   for (std::size_t i = 0; i < n_polls; ++i) {
@@ -53,6 +56,13 @@ Result<tsa::TimeSeries> MonitoringAgent::Collect(int instance,
         start_epoch + static_cast<std::int64_t>(i) * poll_seconds_;
     if (faults_.IsDropped(instance, t)) {
       values.push_back(std::nan(""));
+      continue;
+    }
+    if (FaultFires("agent.poison")) {
+      // A corrupted reading: absurdly large but finite, the kind of garbage
+      // a broken counter or unit mix-up produces. The data-quality sentinel
+      // is expected to catch it downstream.
+      values.push_back(1e12);
       continue;
     }
     values.push_back(cluster_->SampleAt(instance, t).Get(metric));

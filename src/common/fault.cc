@@ -1,0 +1,110 @@
+#include "common/fault.h"
+
+namespace capplan {
+
+namespace {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashSite(const char* site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<std::uint64_t>(*p)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  if (!state.armed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  state.plan = std::move(plan);
+  state.armed = true;
+  state.calls = 0;
+  state.fires = 0;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+  seed_ = 1;
+}
+
+void FaultInjector::set_seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+bool FaultInjector::Fires(const char* site) {
+  if (armed_sites_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return false;
+  SiteState& state = it->second;
+  const std::uint64_t index = state.calls++;
+  bool fires = false;
+  if (state.plan.probability > 0.0) {
+    const std::uint64_t h = Mix64(seed_ ^ HashSite(site) ^ Mix64(index));
+    const double u = (static_cast<double>(h >> 11) + 0.5) / 9007199254740992.0;
+    fires = u < state.plan.probability;
+  } else if (index >= static_cast<std::uint64_t>(state.plan.skip)) {
+    fires = state.plan.fail < 0 ||
+            index < static_cast<std::uint64_t>(state.plan.skip) +
+                        static_cast<std::uint64_t>(state.plan.fail);
+  }
+  if (fires) ++state.fires;
+  return fires;
+}
+
+Status FaultInjector::Hit(const char* site) {
+  if (!Fires(site)) return Status::OK();
+  std::string message = std::string("injected fault at ") + site;
+  StatusCode code = StatusCode::kIoError;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it != sites_.end()) {
+      code = it->second.plan.code;
+      if (!it->second.plan.message.empty()) {
+        message += ": " + it->second.plan.message;
+      }
+    }
+  }
+  return Status(code, std::move(message));
+}
+
+std::uint64_t FaultInjector::CallCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+std::uint64_t FaultInjector::FireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace capplan

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/fault.h"
 #include "models/arima.h"
+#include "models/baselines.h"
 #include "models/ets.h"
 #include "models/regression.h"
 #include "core/ensemble.h"
@@ -42,9 +44,39 @@ std::vector<HesCandidate> HesCandidates(std::size_t period, bool positive) {
   return out;
 }
 
+// Every rung must end in numbers a capacity planner can chart.
+bool AllFinite(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kFull:
+      return "full";
+    case DegradationLevel::kHesOnly:
+      return "hes";
+    case DegradationLevel::kSes:
+      return "ses";
+    case DegradationLevel::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
 Result<PipelineReport> Pipeline::Run(const tsa::TimeSeries& series) const {
+  Result<PipelineReport> full = RunSelection(series);
+  if (full.ok() || !options_.degrade_on_failure) return full;
+  return RunDegraded(series, full.status());
+}
+
+Result<PipelineReport> Pipeline::RunSelection(
+    const tsa::TimeSeries& series) const {
+  CAPPLAN_RETURN_NOT_OK(FaultHit("pipeline.run"));
   PipelineReport report;
   report.series_name = series.name();
 
@@ -90,7 +122,10 @@ Result<PipelineReport> Pipeline::Run(const tsa::TimeSeries& series) const {
             ? RunHesBranch(train, test, full, &attempt)
             : (family == Technique::kTbats
                    ? RunTbatsBranch(train, test, full, &attempt)
-                   : RunSarimaxBranch(family, train, test, full, &attempt));
+                   : (family == Technique::kBaseline
+                          ? RunBaselineBranch(train, test, full, &attempt)
+                          : RunSarimaxBranch(family, train, test, full,
+                                             &attempt)));
     if (!rmse.ok()) return rmse.status();
     if (*rmse < best_rmse) {
       best_rmse = *rmse;
@@ -139,6 +174,7 @@ Result<double> Pipeline::RunHesBranch(const tsa::TimeSeries& train,
                                       const tsa::TimeSeries& test,
                                       const tsa::TimeSeries& full,
                                       PipelineReport* report) const {
+  CAPPLAN_RETURN_NOT_OK(FaultHit("pipeline.hes"));
   const std::size_t period = tsa::DefaultSeasonalPeriod(train.frequency());
   bool positive = true;
   for (double v : train.values()) {
@@ -210,6 +246,9 @@ Result<double> Pipeline::RunHesBranch(const tsa::TimeSeries& train,
         std::string(best->name) + " " + best->spec.ToString();
     report->test_accuracy = best_acc;
   }
+  if (!AllFinite(fc.mean)) {
+    return Status::ComputeError("HES branch: non-finite forecast");
+  }
   report->chosen_family = Technique::kHes;
   report->candidates_evaluated +=
       candidates.size() + (dshw_applicable ? 1 : 0);
@@ -252,6 +291,9 @@ Result<double> Pipeline::RunTbatsBranch(const tsa::TimeSeries& train,
       models::Forecast fc,
       final_model.Predict(report->split.prediction,
                           options_.interval_level));
+  if (!AllFinite(fc.mean)) {
+    return Status::ComputeError("TBATS branch: non-finite forecast");
+  }
   report->chosen_family = Technique::kTbats;
   report->chosen_spec = model.config().ToString();
   report->test_accuracy = acc;
@@ -340,6 +382,7 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
   sel_opts.warm_start = options_.selector_fast_path;
   sel_opts.early_abort = options_.selector_fast_path;
   sel_opts.hint = options_.selector_hint;
+  sel_opts.time_budget_seconds = options_.fit_time_budget_seconds;
   ModelSelector selector(sel_opts);
   CAPPLAN_ASSIGN_OR_RETURN(
       SelectionResult sel,
@@ -427,6 +470,176 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
   report->transient_spikes_discarded = n_transients;
   report->forecast = std::move(fc);
   return sel.best.accuracy.rmse;
+}
+
+Result<double> Pipeline::RunBaselineBranch(const tsa::TimeSeries& train,
+                                           const tsa::TimeSeries& test,
+                                           const tsa::TimeSeries& full,
+                                           PipelineReport* report) const {
+  const std::size_t period = tsa::DefaultSeasonalPeriod(train.frequency());
+  const bool seasonal = period >= 2 && train.size() >= 2 * period;
+  auto forecast_from = [&](const std::vector<double>& history,
+                           std::size_t horizon) {
+    return seasonal ? models::SeasonalNaiveForecast(history, period, horizon,
+                                                    options_.interval_level)
+                    : models::NaiveForecast(history, horizon,
+                                            options_.interval_level);
+  };
+  CAPPLAN_ASSIGN_OR_RETURN(models::Forecast test_fc,
+                           forecast_from(train.values(), test.size()));
+  CAPPLAN_ASSIGN_OR_RETURN(tsa::AccuracyReport acc,
+                           tsa::MeasureAccuracy(test.values(), test_fc.mean));
+  CAPPLAN_ASSIGN_OR_RETURN(
+      models::Forecast fc,
+      forecast_from(full.values(), report->split.prediction));
+  if (!AllFinite(fc.mean)) {
+    return Status::ComputeError("baseline branch: non-finite forecast");
+  }
+  report->chosen_family = Technique::kBaseline;
+  report->chosen_spec = seasonal
+                            ? "seasonal-naive(" + std::to_string(period) + ")"
+                            : "naive";
+  report->test_accuracy = acc;
+  report->candidates_evaluated += 1;
+  report->candidates_succeeded += 1;
+  report->forecast = std::move(fc);
+  return acc.rmse;
+}
+
+Result<PipelineReport> Pipeline::RunDegraded(const tsa::TimeSeries& series,
+                                             const Status& cause) const {
+  // Rung 1: the exponential-smoothing family through the normal split
+  // machinery — still a real model selection, just off the SARIMAX grid.
+  if (options_.technique != Technique::kHes) {
+    PipelineOptions hes_opts = options_;
+    hes_opts.technique = Technique::kHes;
+    hes_opts.degrade_on_failure = false;
+    Result<PipelineReport> r = Pipeline(hes_opts).RunSelection(series);
+    if (r.ok()) {
+      r->degradation = DegradationLevel::kHesOnly;
+      r->degradation_reason = cause.ToString();
+      return r;
+    }
+  }
+
+  // Splitless rungs: they must work on series the Table-1 policy rejects,
+  // so prepare the data by hand.
+  const std::size_t gaps = series.CountMissing();
+  Result<tsa::TimeSeries> filled_r = tsa::LinearInterpolate(series);
+  if (!filled_r.ok()) {
+    return Status::ComputeError(
+        "Pipeline: degradation ladder exhausted — no finite data (cause: " +
+        cause.ToString() + ")");
+  }
+  const tsa::TimeSeries& filled = *filled_r;
+  const std::size_t n = filled.size();
+  const std::size_t period = tsa::DefaultSeasonalPeriod(filled.frequency());
+
+  SplitPolicy policy{};
+  if (auto p = SplitFor(filled.frequency()); p.ok()) policy = *p;
+  std::size_t horizon = options_.horizon_override > 0
+                            ? options_.horizon_override
+                            : policy.prediction;
+  if (horizon == 0) horizon = std::max<std::size_t>(period, 1);
+
+  // Score degraded fits on a small recent holdout when the series affords
+  // one; otherwise the accuracy report is honestly empty.
+  const std::size_t holdout =
+      n >= 3 * horizon ? horizon : (n >= 16 ? n / 4 : 0);
+
+  auto make_report = [&](DegradationLevel level, Technique family,
+                         std::string spec, const tsa::AccuracyReport& acc,
+                         models::Forecast fc) {
+    PipelineReport r;
+    r.series_name = series.name();
+    r.split = policy;
+    r.split.prediction = horizon;
+    r.gaps_filled = gaps;
+    r.chosen_family = family;
+    r.chosen_spec = std::move(spec);
+    r.test_accuracy = acc;
+    r.candidates_evaluated = 1;
+    r.candidates_succeeded = 1;
+    r.forecast = std::move(fc);
+    r.forecast_start_epoch = filled.EndEpoch();
+    r.degradation = level;
+    r.degradation_reason = cause.ToString();
+    return r;
+  };
+
+  // Rung 2: a direct SES fit. No split, no grid — just a smoothed level
+  // carried forward, which tracks slow drift far better than a constant.
+  auto ses_rung = [&]() -> Result<PipelineReport> {
+    CAPPLAN_RETURN_NOT_OK(FaultHit("pipeline.ses"));
+    if (n < 8) {
+      return Status::ComputeError("SES rung: series too short");
+    }
+    const std::vector<double>& y = filled.values();
+    tsa::AccuracyReport acc{};
+    if (holdout > 0) {
+      const std::vector<double> head(y.begin(), y.end() - holdout);
+      const std::vector<double> tail(y.end() - holdout, y.end());
+      CAPPLAN_ASSIGN_OR_RETURN(
+          models::EtsModel scored,
+          models::EtsModel::Fit(head, models::SimpleExponentialSmoothing()));
+      CAPPLAN_ASSIGN_OR_RETURN(
+          models::Forecast hf,
+          scored.Predict(holdout, options_.interval_level));
+      CAPPLAN_ASSIGN_OR_RETURN(acc, tsa::MeasureAccuracy(tail, hf.mean));
+    }
+    CAPPLAN_ASSIGN_OR_RETURN(
+        models::EtsModel model,
+        models::EtsModel::Fit(y, models::SimpleExponentialSmoothing()));
+    CAPPLAN_ASSIGN_OR_RETURN(models::Forecast fc,
+                             model.Predict(horizon, options_.interval_level));
+    if (!AllFinite(fc.mean)) {
+      return Status::ComputeError("SES rung: non-finite forecast");
+    }
+    return make_report(DegradationLevel::kSes, Technique::kHes,
+                       "SES (degraded)", acc, std::move(fc));
+  };
+  if (Result<PipelineReport> r = ses_rung(); r.ok()) return r;
+
+  // Rung 3: the seasonal-naive / naive floor. Needs one finite observation.
+  auto baseline_rung = [&]() -> Result<PipelineReport> {
+    const std::vector<double>& y = filled.values();
+    if (y.empty()) {
+      return Status::ComputeError("baseline rung: empty series");
+    }
+    const bool seasonal = period >= 2 && n >= 2 * period;
+    auto forecast_from = [&](const std::vector<double>& history,
+                             std::size_t h) {
+      return seasonal && history.size() >= 2 * period
+                 ? models::SeasonalNaiveForecast(history, period, h,
+                                                 options_.interval_level)
+                 : models::NaiveForecast(history, h,
+                                         options_.interval_level);
+    };
+    tsa::AccuracyReport acc{};
+    if (holdout > 0 && n > holdout) {
+      const std::vector<double> head(y.begin(), y.end() - holdout);
+      const std::vector<double> tail(y.end() - holdout, y.end());
+      auto hf = forecast_from(head, holdout);
+      if (hf.ok()) {
+        auto scored = tsa::MeasureAccuracy(tail, hf->mean);
+        if (scored.ok()) acc = *scored;
+      }
+    }
+    CAPPLAN_ASSIGN_OR_RETURN(models::Forecast fc, forecast_from(y, horizon));
+    if (!AllFinite(fc.mean)) {
+      return Status::ComputeError("baseline rung: non-finite forecast");
+    }
+    return make_report(DegradationLevel::kBaseline, Technique::kBaseline,
+                       seasonal ? "seasonal-naive(" + std::to_string(period) +
+                                      ")"
+                                : "naive",
+                       acc, std::move(fc));
+  };
+  if (Result<PipelineReport> r = baseline_rung(); r.ok()) return r;
+
+  return Status::ComputeError(
+      "Pipeline: degradation ladder exhausted (cause: " + cause.ToString() +
+      ")");
 }
 
 }  // namespace capplan::core

@@ -28,6 +28,22 @@ namespace capplan::core {
 //               by the correlogram) -> evaluate in parallel -> best RMSE
 //   -> refit the winner on the full window -> forecast the Table-1 horizon
 //   -> record the model in the central repository (one-week staleness).
+
+// How far down the degradation ladder a forecast came from. When the
+// configured selection fails (grid error, fit timeout, too little clean
+// data) and degrade_on_failure is set, the pipeline walks down one rung at a
+// time until something produces a finite forecast — a degraded estate still
+// needs *a* capacity number for every instance, and a seasonal-naive
+// projection labelled as such beats a silent hole in the plan.
+enum class DegradationLevel {
+  kFull = 0,      // the configured technique selection succeeded
+  kHesOnly = 1,   // fell back to the exponential-smoothing family
+  kSes = 2,       // direct SES fit, no Table-1 split required
+  kBaseline = 3,  // seasonal-naive / naive floor
+};
+
+const char* DegradationLevelName(DegradationLevel level);
+
 struct PipelineOptions {
   // Which branch to run. kAuto evaluates both the HES family and the
   // SARIMAX families and returns the overall best.
@@ -71,6 +87,17 @@ struct PipelineOptions {
   // Shock handling (the paper's ">3 occurrences is a behaviour" rule).
   ShockDetector::Options shock;
 
+  // Walk the degradation ladder instead of failing when the configured
+  // selection cannot produce a forecast. The ladder itself can still fail —
+  // only a series with no finite observation defeats every rung.
+  bool degrade_on_failure = false;
+
+  // Cooperative wall-clock budget for the SARIMAX grid selection, forwarded
+  // to ModelSelector::Options::time_budget_seconds (0 = unlimited). When the
+  // budget expires mid-grid the candidates evaluated so far still compete;
+  // an empty result degrades like any other selection failure.
+  double fit_time_budget_seconds = 0.0;
+
   // Optional central model registry; when set, the chosen model is recorded
   // under the series name with the fit timestamp.
   repo::ModelRepository* model_repository = nullptr;
@@ -106,6 +133,12 @@ struct PipelineReport {
   // Forecast of the Table-1 prediction horizon, made from the full window.
   models::Forecast forecast;
   std::int64_t forecast_start_epoch = 0;
+
+  // Which ladder rung produced the forecast (kFull unless
+  // degrade_on_failure kicked in) and, when degraded, why the full
+  // selection was abandoned.
+  DegradationLevel degradation = DegradationLevel::kFull;
+  std::string degradation_reason;
 };
 
 class Pipeline {
@@ -118,6 +151,15 @@ class Pipeline {
   const PipelineOptions& options() const { return options_; }
 
  private:
+  // The configured selection (the pre-ladder Run body): interpolate, split,
+  // understand, branch, refit, record.
+  Result<PipelineReport> RunSelection(const tsa::TimeSeries& series) const;
+
+  // Walks rungs kHesOnly -> kSes -> kBaseline after RunSelection failed
+  // with `cause`. Fails only when no rung can produce a finite forecast.
+  Result<PipelineReport> RunDegraded(const tsa::TimeSeries& series,
+                                     const Status& cause) const;
+
   // Branch implementations; both fill the selection/forecast fields of the
   // report and return the achieved test RMSE.
   Result<double> RunHesBranch(const tsa::TimeSeries& train,
@@ -133,6 +175,10 @@ class Pipeline {
                                 const tsa::TimeSeries& test,
                                 const tsa::TimeSeries& full,
                                 PipelineReport* report) const;
+  Result<double> RunBaselineBranch(const tsa::TimeSeries& train,
+                                   const tsa::TimeSeries& test,
+                                   const tsa::TimeSeries& full,
+                                   PipelineReport* report) const;
 
   PipelineOptions options_;
 };

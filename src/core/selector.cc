@@ -1,6 +1,8 @@
 #include "core/selector.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -11,6 +13,7 @@
 #include <tuple>
 #include <utility>
 
+#include "common/fault.h"
 #include "models/arima.h"
 #include "models/regression.h"
 
@@ -259,6 +262,7 @@ Result<SelectionResult> ModelSelector::Select(
     const std::vector<ModelCandidate>& candidates,
     const std::vector<std::vector<double>>& exog_train,
     const std::vector<std::vector<double>>& exog_test) const {
+  CAPPLAN_RETURN_NOT_OK(FaultHit("selector.grid"));
   if (candidates.empty()) {
     return Status::InvalidArgument("ModelSelector: no candidates");
   }
@@ -283,9 +287,37 @@ Result<SelectionResult> ModelSelector::Select(
   ThreadPool pool(options_.n_threads);
   std::vector<EvaluatedCandidate> results(candidates.size());
 
+  // Cooperative deadline, consulted between candidates. The sticky flag
+  // makes the answer monotone: once the budget expires every later check
+  // skips, independent of clock resolution.
+  const bool has_deadline = options_.time_budget_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.time_budget_seconds));
+  std::atomic<bool> deadline_expired{false};
+  auto past_deadline = [&] {
+    if (!has_deadline) return false;
+    if (deadline_expired.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      deadline_expired.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+  auto skip_for_deadline = [&](std::size_t i) {
+    results[i].candidate = candidates[i];
+    results[i].deadline_skipped = true;
+    results[i].error = "skipped: selection time budget exceeded";
+  };
+
   if (!fast_path) {
     // Oracle path: independent, un-cached evaluations.
     pool.ParallelFor(candidates.size(), [&](std::size_t i) {
+      if (past_deadline()) {
+        skip_for_deadline(i);
+        return;
+      }
       results[i] = Evaluate(candidates[i], train, test, exog_train, exog_test);
     });
   } else {
@@ -363,6 +395,10 @@ Result<SelectionResult> ModelSelector::Select(
         }
       }
       for (std::size_t idx : segments[s]) {
+        if (past_deadline()) {
+          skip_for_deadline(idx);
+          continue;
+        }
         FastOutcome out = EvaluateFast(
             candidates[idx], train, test, exog_train, exog_test,
             groups[candidate_group[idx]].get(), options_, warm_ar, warm_ma,
@@ -378,10 +414,12 @@ Result<SelectionResult> ModelSelector::Select(
 
   SelectionResult sel;
   sel.evaluated = results.size();
+  sel.deadline_hit = deadline_expired.load(std::memory_order_relaxed);
   std::vector<const EvaluatedCandidate*> ok_results;
   for (const auto& r : results) {
     if (r.ok) ok_results.push_back(&r);
     if (r.pruned) ++sel.pruned;
+    if (r.deadline_skipped) ++sel.deadline_skipped;
   }
   sel.succeeded = ok_results.size();
   if (ok_results.empty()) {

@@ -21,6 +21,9 @@ struct EvaluatedCandidate {
   // sum provably exceeded the current top-k bound, so scoring stopped early.
   // Pruned candidates are never ok and never appear in `top`.
   bool pruned = false;
+  // The selection deadline expired before this candidate was attempted; it
+  // was skipped without fitting (never ok, never in `top`).
+  bool deadline_skipped = false;
   std::string error;             // set when !ok
   tsa::AccuracyReport accuracy;  // test-window accuracy
   double aic = 0.0;
@@ -33,6 +36,8 @@ struct SelectionResult {
   std::size_t evaluated = 0;               // candidates attempted
   std::size_t succeeded = 0;               // candidates that fitted + scored
   std::size_t pruned = 0;                  // cut off by the early-abort bound
+  std::size_t deadline_skipped = 0;        // never attempted: budget ran out
+  bool deadline_hit = false;               // the time budget expired mid-grid
   std::vector<EvaluatedCandidate> top;     // best few, RMSE ascending
 };
 
@@ -89,6 +94,12 @@ class ModelSelector {
     // Optional cross-run warm start applied at the head of matching chains;
     // ignored when both coefficient vectors are empty.
     WarmHint hint;
+    // Cooperative wall-clock budget for the whole grid (0 = unlimited).
+    // Checked between candidates, never mid-fit: once the budget expires,
+    // remaining candidates are skipped (deadline_skipped) and the ones
+    // already scored compete as usual. An expired budget with zero scored
+    // candidates fails the selection like any empty grid.
+    double time_budget_seconds = 0.0;
   };
 
   ModelSelector() : ModelSelector(Options()) {}

@@ -14,6 +14,8 @@ const char* TechniqueName(Technique technique) {
       return "HES";
     case Technique::kTbats:
       return "TBATS";
+    case Technique::kBaseline:
+      return "BASELINE";
     case Technique::kAuto:
       return "AUTO";
   }

@@ -16,6 +16,7 @@ enum class Technique {
   kSarimaxFftExog,  // SARIMAX + Fourier terms + exogenous shocks
   kHes,             // Holt-Winters exponential smoothing
   kTbats,           // TBATS (extension beyond the paper's two UI choices)
+  kBaseline,        // seasonal-naive floor (bottom rung of the ladder)
   kAuto,            // pipeline picks between HES and SARIMAX families
 };
 

@@ -1,0 +1,292 @@
+#include "quality/sentinel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace capplan::quality {
+
+namespace {
+
+// Everything Analyze() derives in one pass; Inspect and Repair share it so
+// the report a caller journals always matches the repair actually applied.
+struct Analysis {
+  QualityReport report;
+  // Per-observation validity after classification: false for NaN, +-inf,
+  // negative-on-non-negative-metric and counter-reset observations.
+  std::vector<bool> valid;
+  // First observation of the clean training suffix (end of the last
+  // interior long outage; 0 when there is none).
+  std::size_t suffix_begin = 0;
+};
+
+void AppendIssue(std::string* out, const char* name, std::size_t count) {
+  if (count == 0) return;
+  if (!out->empty()) *out += ';';
+  *out += name;
+  *out += '=';
+  *out += std::to_string(count);
+}
+
+Analysis Analyze(const tsa::TimeSeries& series,
+                 const SentinelOptions& options) {
+  Analysis a;
+  QualityReport& r = a.report;
+  r.key = series.name();
+  const std::size_t n = series.size();
+  r.n_samples = n;
+  a.valid.assign(n, false);
+  if (n == 0) {
+    r.coverage = 0.0;
+    r.score = 0.0;
+    r.trainable = false;
+    r.verdict = "empty";
+    return a;
+  }
+
+  // Value classification.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = series[i];
+    if (std::isnan(v)) {
+      ++r.missing;
+    } else if (!std::isfinite(v)) {
+      ++r.non_finite;
+    } else if (options.non_negative_metric && v < 0.0) {
+      ++r.negatives;
+    } else {
+      a.valid[i] = true;
+    }
+  }
+
+  // Counter resets: when nearly every consecutive finite delta is
+  // non-negative the series is counter-like, and the rare negative deltas
+  // are resets — the post-reset observation is not comparable to its
+  // neighbours and is treated as invalid.
+  {
+    std::size_t n_deltas = 0, n_nonneg = 0;
+    std::vector<std::size_t> reset_at;
+    double prev = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!a.valid[i]) continue;
+      const double v = series[i];
+      if (!std::isnan(prev)) {
+        ++n_deltas;
+        if (v >= prev) {
+          ++n_nonneg;
+        } else {
+          reset_at.push_back(i);
+        }
+      }
+      prev = v;
+    }
+    if (n_deltas >= 8 && !reset_at.empty() &&
+        static_cast<double>(n_nonneg) / static_cast<double>(n_deltas) >=
+            options.counter_monotone_fraction) {
+      r.counter_resets = reset_at.size();
+      for (std::size_t i : reset_at) a.valid[i] = false;
+    }
+  }
+
+  // Flatlines: runs of bit-identical valid values.
+  {
+    std::size_t run = 0;
+    double run_value = 0.0;
+    auto close_run = [&] {
+      if (run >= options.flatline_min_run) {
+        ++r.flatline_runs;
+        r.longest_flatline = std::max(r.longest_flatline, run);
+      }
+      run = 0;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.valid[i] && run > 0 && series[i] == run_value) {
+        ++run;
+        continue;
+      }
+      close_run();
+      if (a.valid[i]) {
+        run = 1;
+        run_value = series[i];
+      }
+    }
+    close_run();
+  }
+
+  // Gap runs over the invalid observations. Interior short runs are
+  // repairable by interpolation; longer runs are outages. The training
+  // suffix starts after the last interior long outage.
+  {
+    std::size_t i = 0;
+    while (i < n) {
+      if (a.valid[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < n && !a.valid[j]) ++j;
+      const std::size_t len = j - i;
+      r.longest_gap = std::max(r.longest_gap, len);
+      const bool interior = i > 0 && j < n;
+      if (len > options.short_gap_max) {
+        ++r.long_outages;
+        if (interior || i == 0) {
+          // Everything up to the end of this outage is masked from
+          // training (a trailing outage cannot be masked: it is the live
+          // edge, and the series is simply stale).
+          if (j < n) a.suffix_begin = j;
+        }
+      } else if (interior) {
+        ++r.short_gaps_filled;
+      }
+      i = j;
+    }
+  }
+  r.masked_leading = a.suffix_begin;
+
+  // Coverage over the unmasked suffix.
+  const std::size_t suffix_len = n - a.suffix_begin;
+  std::size_t suffix_valid = 0;
+  for (std::size_t i = a.suffix_begin; i < n; ++i) {
+    if (a.valid[i]) ++suffix_valid;
+  }
+  r.coverage = suffix_len == 0
+                   ? 0.0
+                   : static_cast<double>(suffix_valid) /
+                         static_cast<double>(suffix_len);
+
+  // Score: corrupt values weigh heaviest, then dropped polls, then
+  // flatlined stretches; each outage breaks continuity on top.
+  const double n_d = static_cast<double>(n);
+  double penalty = 0.0;
+  penalty += 2.0 *
+             static_cast<double>(r.non_finite + r.negatives +
+                                 r.counter_resets) /
+             n_d;
+  penalty += 1.0 * static_cast<double>(r.missing) / n_d;
+  penalty += 0.5 * static_cast<double>(r.longest_flatline) / n_d;
+  penalty += 0.15 * static_cast<double>(r.long_outages);
+  r.score = std::clamp(1.0 - penalty, 0.0, 1.0);
+
+  r.trainable = r.score >= options.min_score &&
+                r.coverage >= options.min_coverage &&
+                suffix_valid >= options.min_observations;
+  r.verdict = SummarizeIssues(r);
+  if (r.verdict.empty()) r.verdict = "ok";
+  return a;
+}
+
+}  // namespace
+
+std::string SummarizeIssues(const QualityReport& r) {
+  std::string out;
+  AppendIssue(&out, "out_of_order", r.out_of_order);
+  AppendIssue(&out, "duplicates", r.duplicates);
+  AppendIssue(&out, "clock_skew", r.clock_skew);
+  AppendIssue(&out, "missing", r.missing);
+  AppendIssue(&out, "non_finite", r.non_finite);
+  AppendIssue(&out, "negatives", r.negatives);
+  AppendIssue(&out, "counter_resets", r.counter_resets);
+  AppendIssue(&out, "flatline_runs", r.flatline_runs);
+  AppendIssue(&out, "long_outages", r.long_outages);
+  AppendIssue(&out, "masked", r.masked_leading);
+  return out;
+}
+
+QualityReport DataQualitySentinel::Inspect(
+    const tsa::TimeSeries& series) const {
+  return Analyze(series, options_).report;
+}
+
+Result<tsa::TimeSeries> DataQualitySentinel::Repair(
+    const tsa::TimeSeries& series, QualityReport* report) const {
+  Analysis a = Analyze(series, options_);
+  // Preserve grid-normalization counts a caller may have accumulated on the
+  // report before handing it in.
+  if (report != nullptr) {
+    const std::size_t out_of_order = report->out_of_order;
+    const std::size_t duplicates = report->duplicates;
+    const std::size_t clock_skew = report->clock_skew;
+    *report = a.report;
+    report->out_of_order = out_of_order;
+    report->duplicates = duplicates;
+    report->clock_skew = clock_skew;
+    std::string verdict = SummarizeIssues(*report);
+    report->verdict = verdict.empty() ? "ok" : verdict;
+  }
+  const std::size_t n = series.size();
+  std::size_t usable = 0;
+  for (std::size_t i = a.suffix_begin; i < n; ++i) {
+    if (a.valid[i]) ++usable;
+  }
+  if (usable == 0) {
+    return Status::ComputeError("sentinel: no usable observation in " +
+                                series.name());
+  }
+
+  // Invalid values become missing, then the clean suffix is cut.
+  const std::size_t len = n - a.suffix_begin;
+  std::vector<double> values(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t src = a.suffix_begin + i;
+    values[i] = a.valid[src] ? series[src]
+                             : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // Interpolate interior short gap runs; longer runs and edge runs are left
+  // for the pipeline's interpolation stage (which extends nearest values).
+  std::size_t i = 0;
+  while (i < len) {
+    if (!std::isnan(values[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < len && std::isnan(values[j])) ++j;
+    const bool interior = i > 0 && j < len;
+    if (interior && j - i <= options_.short_gap_max) {
+      const double lo = values[i - 1];
+      const double hi = values[j];
+      const double steps = static_cast<double>(j - i + 1);
+      for (std::size_t k = i; k < j; ++k) {
+        const double t = static_cast<double>(k - i + 1) / steps;
+        values[k] = lo + t * (hi - lo);
+      }
+    }
+    i = j;
+  }
+
+  return tsa::TimeSeries(series.name(),
+                         series.TimestampAt(a.suffix_begin),
+                         series.frequency(), std::move(values));
+}
+
+tsa::TimeSeries DataQualitySentinel::NormalizeSamples(
+    const std::string& name, std::vector<RawSample> samples,
+    std::int64_t start_epoch, tsa::Frequency freq, std::size_t n_slots,
+    QualityReport* report) {
+  const std::int64_t step = tsa::FrequencySeconds(freq);
+  std::vector<double> values(n_slots,
+                             std::numeric_limits<double>::quiet_NaN());
+  std::vector<bool> occupied(n_slots, false);
+  std::int64_t watermark = std::numeric_limits<std::int64_t>::min();
+  for (const RawSample& s : samples) {
+    if (report != nullptr && s.epoch < watermark) ++report->out_of_order;
+    watermark = std::max(watermark, s.epoch);
+    const std::int64_t offset = s.epoch - start_epoch;
+    // Nearest slot; half-step skew still lands somewhere deterministic.
+    const std::int64_t slot =
+        offset >= 0 ? (offset + step / 2) / step : -1;
+    if (slot < 0 || slot >= static_cast<std::int64_t>(n_slots)) continue;
+    if (report != nullptr && offset != slot * step) ++report->clock_skew;
+    const std::size_t idx = static_cast<std::size_t>(slot);
+    if (occupied[idx]) {
+      if (report != nullptr) ++report->duplicates;
+      continue;  // first delivery wins
+    }
+    occupied[idx] = true;
+    values[idx] = s.value;
+  }
+  return tsa::TimeSeries(name, start_epoch, freq, std::move(values));
+}
+
+}  // namespace capplan::quality

@@ -1,0 +1,120 @@
+#ifndef CAPPLAN_QUALITY_SENTINEL_H_
+#define CAPPLAN_QUALITY_SENTINEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tsa/timeseries.h"
+
+namespace capplan::quality {
+
+// Validation pass between ingest and the forecasting pipeline. The paper
+// survives dirty production data through ad-hoc rules (agent gaps are
+// interpolated, crashed systems discarded, Section 5.1); the sentinel makes
+// that an explicit stage: every raw series is classified, repaired where the
+// repair is safe, and scored, and the score gates whether the series may
+// enter the full model-selection grid or must take a degraded rung of the
+// forecast ladder.
+
+// One raw agent sample as delivered — possibly out of order, duplicated, or
+// with a skewed clock. NormalizeSamples() turns a batch of these into a
+// regular grid before any value-level checks run.
+struct RawSample {
+  std::int64_t epoch = 0;
+  double value = 0.0;
+};
+
+struct SentinelOptions {
+  // Gap handling (paper Section 5.1): runs of at most this many consecutive
+  // missing observations are linearly interpolated; longer runs are outages
+  // and are masked from training instead of being bridged by a fiction.
+  std::size_t short_gap_max = 6;
+  // A run of at least this many bit-identical values is a flatline (stuck
+  // agent or frozen host, not a real workload).
+  std::size_t flatline_min_run = 24;
+  // Counter-reset detection applies when at least this fraction of deltas
+  // is non-negative (counter-like series); a negative delta on such a
+  // series is a reset, not a real decrease.
+  double counter_monotone_fraction = 0.95;
+  // Trainability gate for the full selection grid.
+  double min_score = 0.5;
+  double min_coverage = 0.6;   // finite fraction after repair
+  std::size_t min_observations = 24;
+  // Values below zero are invalid for capacity metrics (CPU %, IOPS, GB).
+  bool non_negative_metric = true;
+};
+
+// What the sentinel found in one series. Counts refer to raw observations
+// unless stated otherwise.
+struct QualityReport {
+  std::string key;
+  std::size_t n_samples = 0;
+
+  // Grid normalization (NormalizeSamples only).
+  std::size_t out_of_order = 0;   // samples arriving behind an earlier epoch
+  std::size_t duplicates = 0;     // second+ delivery for an occupied slot
+  std::size_t clock_skew = 0;     // off-grid epochs snapped to a slot
+
+  // Value-level classification.
+  std::size_t missing = 0;        // NaN observations before repair
+  std::size_t non_finite = 0;     // +-inf
+  std::size_t negatives = 0;      // negative values on a non-negative metric
+  std::size_t counter_resets = 0; // negative deltas on a counter-like series
+  std::size_t flatline_runs = 0;
+  std::size_t longest_flatline = 0;
+  std::size_t short_gaps_filled = 0;  // gap runs interpolated by Repair
+  std::size_t long_outages = 0;       // gap runs masked from training
+  std::size_t longest_gap = 0;
+  std::size_t masked_leading = 0;     // observations dropped before training
+
+  double coverage = 1.0;  // finite fraction after repair
+  double score = 1.0;     // [0, 1]; 1 = pristine
+  bool trainable = true;  // may enter the full selection grid
+  std::string verdict;    // short human-readable summary ("ok", or issues)
+};
+
+// ';'-joined compact form of the issue counters (for journals/telemetry)
+// e.g. "missing=12;long_outages=1". Empty for a pristine series.
+std::string SummarizeIssues(const QualityReport& report);
+
+class DataQualitySentinel {
+ public:
+  DataQualitySentinel() : DataQualitySentinel(SentinelOptions()) {}
+  explicit DataQualitySentinel(SentinelOptions options) : options_(options) {}
+
+  // Classifies `series` without modifying it: fills every count, computes
+  // the score, and decides trainability.
+  QualityReport Inspect(const tsa::TimeSeries& series) const;
+
+  // Inspect + repair: invalid values (non-finite, negative, counter resets)
+  // become missing; short gap runs are linearly interpolated; everything up
+  // to the end of the last *interior* long outage is masked (the returned
+  // series is the clean suffix). Remaining leading/trailing gaps are left
+  // as NaN for the pipeline's interpolation stage. Fails only when nothing
+  // usable remains.
+  Result<tsa::TimeSeries> Repair(const tsa::TimeSeries& series,
+                                 QualityReport* report) const;
+
+  // Places raw samples onto a regular grid of `n_slots` observations
+  // starting at `start_epoch`: epochs are snapped to the nearest slot
+  // (clock skew), later deliveries for an occupied slot are dropped
+  // (duplicates), samples before `start_epoch` or beyond the grid are
+  // dropped (out of order / overflow), and empty slots are NaN.
+  static tsa::TimeSeries NormalizeSamples(const std::string& name,
+                                          std::vector<RawSample> samples,
+                                          std::int64_t start_epoch,
+                                          tsa::Frequency freq,
+                                          std::size_t n_slots,
+                                          QualityReport* report);
+
+  const SentinelOptions& options() const { return options_; }
+
+ private:
+  SentinelOptions options_;
+};
+
+}  // namespace capplan::quality
+
+#endif  // CAPPLAN_QUALITY_SENTINEL_H_

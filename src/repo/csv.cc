@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
+
 namespace capplan::repo {
 
 namespace {
@@ -67,6 +69,7 @@ std::string FormatDouble(double v) {
 }  // namespace
 
 Status WriteCsv(const std::string& path, const CsvTable& table) {
+  CAPPLAN_RETURN_NOT_OK(FaultHit("csv.write"));
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return Status::IoError("WriteCsv: cannot open " + path);
@@ -111,6 +114,7 @@ Result<CsvTable> ReadCsv(const std::string& path) {
 
 Status WriteSeriesCsv(const std::string& path,
                       const tsa::TimeSeries& series) {
+  CAPPLAN_RETURN_NOT_OK(FaultHit("csv.write_series"));
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return Status::IoError("WriteSeriesCsv: cannot open " + path);

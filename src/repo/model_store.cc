@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
 #include "repo/csv.h"
 
 namespace capplan::repo {
@@ -70,6 +71,7 @@ Result<std::vector<double>> DecodeCoefficients(const std::string& text) {
 }
 
 Status ModelRepository::Save(const std::string& path) const {
+  CAPPLAN_RETURN_NOT_OK(FaultHit("model_store.save"));
   CsvTable table;
   table.header = {"key",       "technique", "spec",    "test_rmse",
                   "test_mape", "fitted_at_epoch",      "ar_coef", "ma_coef"};
@@ -100,9 +102,14 @@ Status ModelRepository::Load(const std::string& path) {
     m.key = row[0];
     m.technique = row[1];
     m.spec = row[2];
-    m.test_rmse = std::stod(row[3]);
-    m.test_mape = std::stod(row[4]);
-    m.fitted_at_epoch = std::stoll(row[5]);
+    try {
+      m.test_rmse = std::stod(row[3]);
+      m.test_mape = std::stod(row[4]);
+      m.fitted_at_epoch = std::stoll(row[5]);
+    } catch (const std::exception&) {
+      return Status::IoError("ModelRepository::Load: bad number for key " +
+                             m.key);
+    }
     if (row.size() == 8) {
       CAPPLAN_ASSIGN_OR_RETURN(m.ar_coef, DecodeCoefficients(row[6]));
       CAPPLAN_ASSIGN_OR_RETURN(m.ma_coef, DecodeCoefficients(row[7]));

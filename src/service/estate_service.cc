@@ -247,17 +247,37 @@ std::size_t EstateService::DispatchDue(TickReport* report) {
       opts.horizon_override = static_cast<std::size_t>(
           config_.staleness.max_age_seconds / 3600 + 48);
     }
+    if (config_.always_forecast) opts.degrade_on_failure = true;
     // The job captures copies only, so it stays valid across service
     // shutdown and never races the driver thread.
     in_flight_.push_back(pool_.Submit(
         [key, series = std::move(*window), opts,
+         quality_opts = config_.quality, gate = config_.quality_gate,
          fitted_at = now_]() -> FitOutcome {
           FitOutcome out;
           out.key = key;
           out.fitted_at_epoch = fitted_at;
           const auto t0 = Clock::now();
-          core::Pipeline pipeline(opts);
-          auto rep = pipeline.Run(series);
+          // Sentinel pass: classify, repair what is safe, mask outages.
+          // An irreparable window (no usable observation) fails the fit
+          // outright — retry/backoff/quarantine handle it from there.
+          quality::DataQualitySentinel sentinel(quality_opts);
+          auto repaired = sentinel.Repair(series, &out.quality);
+          if (!repaired.ok()) {
+            out.status = repaired.status();
+            out.wall_ms = ElapsedMs(t0);
+            return out;
+          }
+          core::PipelineOptions run_opts = opts;
+          if (gate && !out.quality.trainable &&
+              run_opts.technique != core::Technique::kHes) {
+            // Not enough clean signal for the grid: the selection would
+            // only overfit the flagged noise. Start on the HES rung.
+            run_opts.technique = core::Technique::kHes;
+            out.quality_gated = true;
+          }
+          core::Pipeline pipeline(run_opts);
+          auto rep = pipeline.Run(*repaired);
           out.wall_ms = ElapsedMs(t0);
           if (!rep.ok()) {
             out.status = rep.status();
@@ -274,6 +294,11 @@ std::size_t EstateService::DispatchDue(TickReport* report) {
           out.forecast_start_epoch = rep->forecast_start_epoch;
           out.forecast_step_seconds =
               tsa::FrequencySeconds(series.frequency());
+          out.degradation = rep->degradation;
+          if (out.quality_gated &&
+              out.degradation == core::DegradationLevel::kFull) {
+            out.degradation = core::DegradationLevel::kHesOnly;
+          }
           return out;
         }));
     ++telemetry_.refits_dispatched;
@@ -302,6 +327,14 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
                                  TickReport* report) {
   telemetry_.fit_stage.Record(outcome.wall_ms);
   const std::string& key = outcome.key;
+  quality_[key] = outcome.quality;
+  if (outcome.quality_gated) ++telemetry_.quality_gated;
+  JournalAppend({now_,
+                 EventKind::kQuality,
+                 key,
+                 {FmtDouble(outcome.quality.score),
+                  outcome.quality.trainable ? "1" : "0",
+                  outcome.quality.verdict}});
   if (outcome.status.ok()) {
     repo::StoredModel model;
     model.key = key;
@@ -318,10 +351,15 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
     cached.start_epoch = outcome.forecast_start_epoch;
     cached.step_seconds = outcome.forecast_step_seconds;
     cached.spec = outcome.technique + " " + outcome.spec;
+    cached.degradation = outcome.degradation;
     forecasts_[key] = std::move(cached);
     scheduler_.OnSuccess(
         key, outcome.fitted_at_epoch + config_.staleness.max_age_seconds);
     ++telemetry_.refits_succeeded;
+    if (outcome.degradation != core::DegradationLevel::kFull) {
+      ++telemetry_.refits_degraded;
+      if (report != nullptr) ++report->refits_degraded;
+    }
     if (report != nullptr) ++report->refits_completed;
     JournalAppend(
         {now_,
@@ -335,7 +373,9 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
           FmtDouble(outcome.forecast.level),
           JoinDoubles(outcome.forecast.mean),
           JoinDoubles(outcome.forecast.lower),
-          JoinDoubles(outcome.forecast.upper)}});
+          JoinDoubles(outcome.forecast.upper),
+          std::to_string(static_cast<int>(outcome.degradation)),
+          FmtDouble(outcome.quality.score)}});
   } else {
     const bool quarantined = scheduler_.OnFailure(key, now_);
     ++telemetry_.refits_failed;
@@ -465,13 +505,19 @@ Result<TickReport> EstateService::Tick() {
   CollectFinished(/*block=*/false, &report);
   EvaluateAlerts(&report);
 
-  CAPPLAN_RETURN_NOT_OK(JournalAppend({now_, EventKind::kTick, "", {}}));
+  // Durability failures do not stop the clock: a tick that cannot be
+  // journalled or snapshotted is still a served tick, counted as an
+  // absorbed I/O error (JournalAppend counts its own failures).
+  (void)JournalAppend({now_, EventKind::kTick, "", {}});
   ++ticks_;
   ++telemetry_.ticks;
   if (config_.snapshot_every_ticks > 0 && !config_.state_dir.empty() &&
       ticks_ % static_cast<std::uint64_t>(config_.snapshot_every_ticks) ==
           0) {
-    CAPPLAN_RETURN_NOT_OK(WriteSnapshot());
+    if (Status st = WriteSnapshot(); !st.ok()) {
+      ++telemetry_.snapshot_failures;
+      ++telemetry_.io_errors;
+    }
   }
   return report;
 }
@@ -497,12 +543,27 @@ Status EstateService::Checkpoint() {
     return Status::FailedPrecondition("service: no state_dir configured");
   }
   CAPPLAN_RETURN_NOT_OK(DrainRefits());
-  return WriteSnapshot();
+  Status st = WriteSnapshot();
+  if (!st.ok()) {
+    // An explicit checkpoint propagates the failure (the caller asked for
+    // durability), but it still shows up in the absorbed-error counters so
+    // dashboards see one consistent I/O health signal.
+    ++telemetry_.snapshot_failures;
+    ++telemetry_.io_errors;
+  }
+  return st;
 }
 
 Status EstateService::ReleaseQuarantine(const std::string& key) {
   CAPPLAN_RETURN_NOT_OK(scheduler_.Release(key, now_));
   return JournalAppend({now_, EventKind::kRelease, key, {}});
+}
+
+core::DegradationLevel EstateService::ForecastDegradation(
+    const std::string& key) const {
+  auto it = forecasts_.find(key);
+  return it == forecasts_.end() ? core::DegradationLevel::kFull
+                                : it->second.degradation;
 }
 
 std::vector<ServiceAlert> EstateService::ActiveAlerts() const {
@@ -518,7 +579,15 @@ std::string EstateService::JournalPath() const {
 
 Status EstateService::JournalAppend(const JournalEvent& event) {
   if (!journal_.is_open()) return Status::OK();  // ephemeral service
-  CAPPLAN_RETURN_NOT_OK(journal_.Append(event));
+  Status st = journal_.Append(event);
+  if (!st.ok()) {
+    // Availability beats durability: callers keep serving with a degraded
+    // journal, and the counters make the durability gap visible. Recovery
+    // from such a journal is still consistent — it just replays less.
+    ++telemetry_.journal_write_failures;
+    ++telemetry_.io_errors;
+    return st;
+  }
   ++telemetry_.journal_events;
   return Status::OK();
 }
@@ -529,14 +598,16 @@ Status EstateService::WriteSnapshot() {
   CAPPLAN_RETURN_NOT_OK(scheduler_.Save(dir + "/snapshot.schedule.csv"));
 
   repo::CsvTable forecasts;
-  forecasts.header = {"key",  "spec",  "start_epoch", "step_seconds",
-                      "level", "mean", "lower",       "upper"};
+  forecasts.header = {"key",   "spec",  "start_epoch", "step_seconds",
+                      "level", "mean",  "lower",       "upper",
+                      "degradation"};
   for (const auto& [key, fc] : forecasts_) {
     forecasts.rows.push_back(
         {key, fc.spec, std::to_string(fc.start_epoch),
          std::to_string(fc.step_seconds), FmtDouble(fc.forecast.level),
          JoinDoubles(fc.forecast.mean), JoinDoubles(fc.forecast.lower),
-         JoinDoubles(fc.forecast.upper)});
+         JoinDoubles(fc.forecast.upper),
+         std::to_string(static_cast<int>(fc.degradation))});
   }
   CAPPLAN_RETURN_NOT_OK(
       repo::WriteCsv(dir + "/snapshot.forecasts.csv", forecasts));
@@ -571,7 +642,10 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
       ++ticks_;
       return Status::OK();
     case EventKind::kFitOk: {
-      if (event.fields.size() != 11) {
+      // 11 fields = the pre-ladder layout (tolerated so existing journals
+      // keep replaying, as kFull); 13 adds degradation level + quality
+      // score.
+      if (event.fields.size() != 11 && event.fields.size() != 13) {
         return Status::IoError("service: malformed fit_ok event");
       }
       repo::StoredModel model;
@@ -603,6 +677,16 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
                                ParseDoubles(event.fields[9]));
       CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.upper,
                                ParseDoubles(event.fields[10]));
+      if (event.fields.size() == 13) {
+        CAPPLAN_ASSIGN_OR_RETURN(std::int64_t level,
+                                 ParseInt64(event.fields[11]));
+        if (level < 0 ||
+            level > static_cast<int>(core::DegradationLevel::kBaseline)) {
+          return Status::IoError("service: bad degradation in fit_ok event");
+        }
+        cached.degradation =
+            static_cast<core::DegradationLevel>(static_cast<int>(level));
+      }
       cached.spec = model.technique + " " + model.spec;
       forecasts_[event.key] = std::move(cached);
       ScheduleEntry entry;
@@ -668,6 +752,22 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
       return Status::OK();
     case EventKind::kSnapshot:
       return Status::OK();
+    case EventKind::kQuality: {
+      if (event.fields.size() != 3) {
+        return Status::IoError("service: malformed quality event");
+      }
+      quality::QualityReport q;
+      q.key = event.key;
+      try {
+        q.score = std::stod(event.fields[0]);
+      } catch (...) {
+        return Status::IoError("service: bad score in quality event");
+      }
+      q.trainable = event.fields[1] == "1";
+      q.verdict = event.fields[2];
+      quality_[event.key] = std::move(q);
+      return Status::OK();
+    }
   }
   return Status::Internal("service: unhandled event kind");
 }
@@ -702,7 +802,8 @@ Status EstateService::Recover() {
         repo::CsvTable forecasts,
         repo::ReadCsv(dir + "/snapshot.forecasts.csv"));
     for (const auto& row : forecasts.rows) {
-      if (row.size() != 8) {
+      // 8 columns = the pre-ladder snapshot layout (degradation -> kFull).
+      if (row.size() != 8 && row.size() != 9) {
         return Status::IoError("service: malformed forecast snapshot row");
       }
       CachedForecast cached;
@@ -717,6 +818,16 @@ Status EstateService::Recover() {
       CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.mean, ParseDoubles(row[5]));
       CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.lower, ParseDoubles(row[6]));
       CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.upper, ParseDoubles(row[7]));
+      if (row.size() == 9) {
+        CAPPLAN_ASSIGN_OR_RETURN(std::int64_t level, ParseInt64(row[8]));
+        if (level < 0 ||
+            level > static_cast<int>(core::DegradationLevel::kBaseline)) {
+          return Status::IoError(
+              "service: bad degradation in forecast snapshot");
+        }
+        cached.degradation =
+            static_cast<core::DegradationLevel>(static_cast<int>(level));
+      }
       forecasts_[row[0]] = std::move(cached);
     }
     CAPPLAN_ASSIGN_OR_RETURN(repo::CsvTable alerts,

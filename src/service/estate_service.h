@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/pipeline.h"
+#include "quality/sentinel.h"
 #include "repo/model_store.h"
 #include "repo/repository.h"
 #include "service/journal.h"
@@ -78,6 +79,16 @@ struct EstateServiceConfig {
   int snapshot_every_ticks = 24;
   // Durability directory (journal + snapshots). Empty = ephemeral service.
   std::string state_dir;
+  // Data-quality sentinel applied to every fit window before the pipeline.
+  quality::SentinelOptions quality;
+  // When set, windows the sentinel marks untrainable skip the configured
+  // selection grid and start directly on the HES rung of the degradation
+  // ladder (the grid would only overfit the noise the sentinel flagged).
+  bool quality_gate = true;
+  // When set, refits walk the degradation ladder instead of failing: every
+  // watched instance keeps *some* forecast (tagged with its rung) unless the
+  // window holds no usable data at all.
+  bool always_forecast = true;
 };
 
 // An active breach warning.
@@ -95,6 +106,7 @@ struct TickReport {
   std::size_t refits_dispatched = 0;
   std::size_t refits_completed = 0;
   std::size_t refits_failed = 0;
+  std::size_t refits_degraded = 0;  // completed via a ladder rung
   std::size_t alerts_raised = 0;
   std::size_t alerts_cleared = 0;
 };
@@ -152,6 +164,13 @@ class EstateService {
   std::size_t in_flight_refits() const { return in_flight_.size(); }
   std::vector<ServiceAlert> ActiveAlerts() const;
   const std::vector<std::string>& keys() const { return keys_; }
+  // Latest sentinel report per key (from the most recent collected refit).
+  const std::map<std::string, quality::QualityReport>& quality_reports()
+      const {
+    return quality_;
+  }
+  // Ladder rung of the key's cached forecast; kFull when no forecast yet.
+  core::DegradationLevel ForecastDegradation(const std::string& key) const;
 
   // Repository key for a watch on this cluster ("cdbm011/cpu").
   static std::string KeyFor(const workload::ClusterSimulator& cluster,
@@ -163,6 +182,9 @@ class EstateService {
     std::int64_t start_epoch = 0;   // timestamp of forecast step 1
     std::int64_t step_seconds = 3600;
     std::string spec;
+    // Ladder rung that produced this forecast; consumers treat anything
+    // above kFull as provisional capacity guidance.
+    core::DegradationLevel degradation = core::DegradationLevel::kFull;
   };
 
   // Everything a worker returns; applied on the driver thread.
@@ -180,6 +202,9 @@ class EstateService {
     std::int64_t forecast_start_epoch = 0;
     std::int64_t forecast_step_seconds = 3600;
     double wall_ms = 0.0;
+    core::DegradationLevel degradation = core::DegradationLevel::kFull;
+    bool quality_gated = false;  // sentinel kept this fit off the grid
+    quality::QualityReport quality;
   };
 
   Status Ingest(std::int64_t from_epoch, std::int64_t to_epoch);
@@ -208,6 +233,7 @@ class EstateService {
 
   std::map<std::string, CachedForecast> forecasts_;
   std::map<std::string, ServiceAlert> alerts_;
+  std::map<std::string, quality::QualityReport> quality_;
   std::vector<std::future<FitOutcome>> in_flight_;
 
   bool started_ = false;

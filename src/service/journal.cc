@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace capplan::service {
 
 namespace {
@@ -55,6 +57,8 @@ const char* EventKindName(EventKind kind) {
       return "alert_clear";
     case EventKind::kSnapshot:
       return "snapshot";
+    case EventKind::kQuality:
+      return "quality";
   }
   return "?";
 }
@@ -63,7 +67,7 @@ Result<EventKind> ParseEventKind(const std::string& name) {
   for (EventKind k :
        {EventKind::kTick, EventKind::kFitOk, EventKind::kFitFail,
         EventKind::kQuarantine, EventKind::kRelease, EventKind::kAlert,
-        EventKind::kAlertClear, EventKind::kSnapshot}) {
+        EventKind::kAlertClear, EventKind::kSnapshot, EventKind::kQuality}) {
     if (name == EventKindName(k)) return k;
   }
   return Status::InvalidArgument("journal: unknown event kind '" + name + "'");
@@ -127,7 +131,16 @@ Status EventJournal::Append(const JournalEvent& event) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("journal: not open");
   }
+  CAPPLAN_RETURN_NOT_OK(FaultHit("journal.append"));
   const std::string line = event.Serialize() + "\n";
+  if (FaultFires("journal.torn")) {
+    // A crash mid-append: a prefix of the line reaches the disk with no
+    // newline, and the caller sees the write fail. ReadJournal must treat
+    // the torn tail as absent.
+    std::fwrite(line.data(), 1, line.size() / 2, file_);
+    std::fflush(file_);
+    return Status::IoError("journal: torn write to " + path_);
+  }
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
     return Status::IoError("journal: short write to " + path_);
   }

@@ -29,6 +29,8 @@ enum class EventKind {
   kAlert,       // fields: kind ("mean"|"upper"), predicted breach epoch
   kAlertClear,  // breach prognosis cleared
   kSnapshot,    // snapshot files written; replay starts after the last one
+  kQuality,     // fields: score, trainable ("1"|"0"), verdict — the data-
+                //         quality sentinel's view of the key's fit window
 };
 
 const char* EventKindName(EventKind kind);

@@ -7,12 +7,48 @@
 
 namespace capplan::service {
 
+namespace {
+
+std::uint64_t Mix64(std::uint64_t x) {  // splitmix64 finalizer
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashKey(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : key) {
+    h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
+        0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 std::int64_t RetryPolicy::BackoffFor(int failures) const {
   if (failures <= 0) return initial_backoff_seconds;
   double delay = static_cast<double>(initial_backoff_seconds) *
                  std::pow(backoff_multiplier, failures - 1);
   delay = std::min(delay, static_cast<double>(max_backoff_seconds));
   return static_cast<std::int64_t>(delay);
+}
+
+std::int64_t RetryPolicy::JitteredBackoffFor(const std::string& key,
+                                             int failures) const {
+  const std::int64_t base = BackoffFor(failures);
+  if (backoff_jitter <= 0.0) return base;
+  const std::uint64_t h =
+      Mix64(jitter_seed ^ HashKey(key) ^
+            Mix64(static_cast<std::uint64_t>(std::max(failures, 0))));
+  // Uniform in [0, 1), then mapped to a multiplier in [1-j, 1+j].
+  const double u = (static_cast<double>(h >> 11) + 0.5) / 9007199254740992.0;
+  const double j = std::min(backoff_jitter, 0.999);
+  const double factor = 1.0 - j + 2.0 * j * u;
+  double delay = static_cast<double>(base) * factor;
+  delay = std::min(delay, static_cast<double>(max_backoff_seconds));
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(delay));
 }
 
 void RetrainScheduler::Push(const std::string& key, std::int64_t due_epoch) {
@@ -77,7 +113,8 @@ bool RetrainScheduler::OnFailure(const std::string& key,
     entry.quarantined = true;
     return true;
   }
-  entry.due_epoch = now_epoch + policy_.BackoffFor(entry.consecutive_failures);
+  entry.due_epoch =
+      now_epoch + policy_.JitteredBackoffFor(key, entry.consecutive_failures);
   Push(key, entry.due_epoch);
   return false;
 }

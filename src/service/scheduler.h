@@ -20,9 +20,18 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   std::int64_t max_backoff_seconds = 24 * 3600;
   int quarantine_after_failures = 4;  // consecutive failures
+  // Jitter fraction in [0, 1). 0 keeps the exact exponential delays; a
+  // positive value scales each delay by a factor in [1-j, 1+j] derived
+  // deterministically from (jitter_seed, key, failures), so an estate-wide
+  // outage does not make every key retry in lockstep while the schedule
+  // stays reproducible run to run.
+  double backoff_jitter = 0.0;
+  std::uint64_t jitter_seed = 0x7265747279ULL;
 
   // Backoff delay after the `failures`-th consecutive failure (1-based).
   std::int64_t BackoffFor(int failures) const;
+  // Per-key jittered delay; identical to BackoffFor when backoff_jitter == 0.
+  std::int64_t JitteredBackoffFor(const std::string& key, int failures) const;
 };
 
 // One key's position in the retrain rotation (also the snapshot row format).

@@ -30,6 +30,8 @@ std::string TelemetryToJson(const ServiceTelemetry& t, bool pretty) {
   w.Integer("refits_succeeded", static_cast<long long>(t.refits_succeeded));
   w.Integer("refits_failed", static_cast<long long>(t.refits_failed));
   w.Integer("refits_deferred", static_cast<long long>(t.refits_deferred));
+  w.Integer("refits_degraded", static_cast<long long>(t.refits_degraded));
+  w.Integer("quality_gated", static_cast<long long>(t.quality_gated));
   w.Integer("quarantines", static_cast<long long>(t.quarantines));
   w.Integer("alerts_raised", static_cast<long long>(t.alerts_raised));
   w.Integer("alerts_cleared", static_cast<long long>(t.alerts_cleared));
@@ -39,6 +41,10 @@ std::string TelemetryToJson(const ServiceTelemetry& t, bool pretty) {
             static_cast<long long>(t.forecast_exhausted_ticks));
   w.Integer("journal_events", static_cast<long long>(t.journal_events));
   w.Integer("snapshots_written", static_cast<long long>(t.snapshots_written));
+  w.Integer("io_errors", static_cast<long long>(t.io_errors));
+  w.Integer("journal_write_failures",
+            static_cast<long long>(t.journal_write_failures));
+  w.Integer("snapshot_failures", static_cast<long long>(t.snapshot_failures));
   w.Key("stages");
   w.BeginObject();
   WriteStage(&w, "ingest", t.ingest_stage);

@@ -36,6 +36,8 @@ struct ServiceTelemetry {
   std::uint64_t refits_succeeded = 0;
   std::uint64_t refits_failed = 0;
   std::uint64_t refits_deferred = 0;     // not enough history yet
+  std::uint64_t refits_degraded = 0;     // forecast came from a ladder rung
+  std::uint64_t quality_gated = 0;       // sentinel kept a fit off the grid
   std::uint64_t quarantines = 0;
   std::uint64_t alerts_raised = 0;
   std::uint64_t alerts_cleared = 0;
@@ -43,6 +45,13 @@ struct ServiceTelemetry {
   std::uint64_t forecast_exhausted_ticks = 0;  // cache older than its horizon
   std::uint64_t journal_events = 0;
   std::uint64_t snapshots_written = 0;
+
+  // Write-path failures the service absorbed to stay available. A non-zero
+  // count means durability is degraded (recovery would lose the failed
+  // events/snapshots) even though the daemon kept serving.
+  std::uint64_t io_errors = 0;               // all absorbed write failures
+  std::uint64_t journal_write_failures = 0;  // subset: journal appends
+  std::uint64_t snapshot_failures = 0;       // subset: snapshot writes
 
   StageStats ingest_stage;
   StageStats fit_stage;      // worker wall time per refit

@@ -1,0 +1,197 @@
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "core/pipeline.h"
+#include "quality/sentinel.h"
+
+// Degradation-ladder tests: fault sites force each selection stage to fail,
+// and the ladder must hand back a tagged, finite forecast from the next rung
+// down — the "every instance always has a forecast" property.
+
+namespace capplan::core {
+namespace {
+
+class LadderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+tsa::TimeSeries MakeHourlySeries(unsigned seed, std::size_t n = 1100) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    v[t] = 60.0 + 15.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  return tsa::TimeSeries("cdbm011/cpu", 0, tsa::Frequency::kHourly, v);
+}
+
+PipelineOptions LadderOptions(Technique technique) {
+  PipelineOptions opts;
+  opts.technique = technique;
+  opts.max_lag = 4;
+  opts.n_threads = 4;
+  opts.degrade_on_failure = true;
+  return opts;
+}
+
+void ExpectFiniteForecast(const PipelineReport& report) {
+  ASSERT_FALSE(report.forecast.mean.empty());
+  for (std::size_t h = 0; h < report.forecast.mean.size(); ++h) {
+    EXPECT_TRUE(std::isfinite(report.forecast.mean[h])) << "h=" << h;
+    EXPECT_TRUE(std::isfinite(report.forecast.lower[h])) << "h=" << h;
+    EXPECT_TRUE(std::isfinite(report.forecast.upper[h])) << "h=" << h;
+  }
+}
+
+TEST_F(LadderTest, CleanSeriesStaysOnFullRung) {
+  const auto series = MakeHourlySeries(1);
+  auto report = Pipeline(LadderOptions(Technique::kSarimax)).Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->degradation, DegradationLevel::kFull);
+  EXPECT_TRUE(report->degradation_reason.empty());
+}
+
+// The acceptance invariant: enabling every robustness feature (sentinel
+// repair, ladder, generous fit deadline) must not change what the selector
+// picks on a clean series.
+TEST_F(LadderTest, RobustnessFeaturesAreNoOpOnCleanSeries) {
+  const auto series = MakeHourlySeries(2);
+
+  PipelineOptions vanilla;
+  vanilla.technique = Technique::kSarimax;
+  vanilla.max_lag = 4;
+  vanilla.n_threads = 4;
+  auto baseline = Pipeline(vanilla).Run(series);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  quality::DataQualitySentinel sentinel;
+  quality::QualityReport quality;
+  auto repaired = sentinel.Repair(series, &quality);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(quality.trainable);
+
+  PipelineOptions robust = vanilla;
+  robust.degrade_on_failure = true;
+  robust.fit_time_budget_seconds = 3600.0;
+  auto guarded = Pipeline(robust).Run(*repaired);
+  ASSERT_TRUE(guarded.ok()) << guarded.status();
+
+  EXPECT_EQ(guarded->degradation, DegradationLevel::kFull);
+  EXPECT_EQ(guarded->chosen_spec, baseline->chosen_spec);
+  EXPECT_DOUBLE_EQ(guarded->test_accuracy.rmse, baseline->test_accuracy.rmse);
+}
+
+TEST_F(LadderTest, SelectionFailureFallsToHesRung) {
+  const auto series = MakeHourlySeries(3);
+  // The first Run attempt (the full selection) dies; the HES rung's own
+  // selection pass is the second call at the site and goes through.
+  ScopedFault fault("pipeline.run", FaultPlan::FailN(1));
+  auto report = Pipeline(LadderOptions(Technique::kSarimax)).Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->degradation, DegradationLevel::kHesOnly);
+  EXPECT_EQ(report->chosen_family, Technique::kHes);
+  EXPECT_FALSE(report->degradation_reason.empty());
+  ExpectFiniteForecast(*report);
+}
+
+TEST_F(LadderTest, GridFailureFallsToHesRung) {
+  const auto series = MakeHourlySeries(4);
+  ScopedFault fault("selector.grid", FaultPlan::FailForever());
+  auto report = Pipeline(LadderOptions(Technique::kSarimax)).Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->degradation, DegradationLevel::kHesOnly);
+  ExpectFiniteForecast(*report);
+}
+
+TEST_F(LadderTest, HesFailureFallsToSesRung) {
+  const auto series = MakeHourlySeries(5);
+  ScopedFault grid("selector.grid", FaultPlan::FailForever());
+  ScopedFault hes("pipeline.hes", FaultPlan::FailForever());
+  auto report = Pipeline(LadderOptions(Technique::kSarimax)).Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->degradation, DegradationLevel::kSes);
+  EXPECT_NE(report->chosen_spec.find("SES"), std::string::npos);
+  ExpectFiniteForecast(*report);
+}
+
+TEST_F(LadderTest, SesFailureFallsToBaselineRung) {
+  const auto series = MakeHourlySeries(6);
+  ScopedFault grid("selector.grid", FaultPlan::FailForever());
+  ScopedFault hes("pipeline.hes", FaultPlan::FailForever());
+  ScopedFault ses("pipeline.ses", FaultPlan::FailForever());
+  auto report = Pipeline(LadderOptions(Technique::kSarimax)).Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->degradation, DegradationLevel::kBaseline);
+  EXPECT_NE(report->chosen_spec.find("naive"), std::string::npos);
+  ExpectFiniteForecast(*report);
+  // The seasonal-naive floor still carries the daily pattern.
+  double max_err = 0.0;
+  for (std::size_t h = 0; h < std::min<std::size_t>(24,
+                                  report->forecast.mean.size()); ++h) {
+    const double t = static_cast<double>(series.size() + h);
+    const double expected = 60.0 + 15.0 * std::sin(2.0 * M_PI * t / 24.0);
+    max_err = std::max(max_err,
+                       std::fabs(report->forecast.mean[h] - expected));
+  }
+  EXPECT_LT(max_err, 10.0);
+}
+
+TEST_F(LadderTest, LadderOffFailsFast) {
+  const auto series = MakeHourlySeries(7);
+  ScopedFault fault("pipeline.run", FaultPlan::FailN(1));
+  PipelineOptions opts = LadderOptions(Technique::kSarimax);
+  opts.degrade_on_failure = false;
+  EXPECT_FALSE(Pipeline(opts).Run(series).ok());
+}
+
+TEST_F(LadderTest, ExhaustedLadderReportsCause) {
+  // No finite observation defeats every rung; the error names the original
+  // selection failure.
+  tsa::TimeSeries empty("dead/cpu", 0, tsa::Frequency::kHourly,
+                        std::vector<double>(1100, std::nan("")));
+  auto report = Pipeline(LadderOptions(Technique::kSarimax)).Run(empty);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().ToString().find("ladder"), std::string::npos);
+}
+
+TEST_F(LadderTest, ExpiredFitDeadlineDegradesToHes) {
+  const auto series = MakeHourlySeries(8);
+  PipelineOptions opts = LadderOptions(Technique::kSarimax);
+  opts.fit_time_budget_seconds = 1e-9;  // expires before the first candidate
+  auto report = Pipeline(opts).Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->degradation, DegradationLevel::kHesOnly);
+  ExpectFiniteForecast(*report);
+}
+
+TEST_F(LadderTest, GenerousDeadlineSelectsIdentically) {
+  const auto series = MakeHourlySeries(9);
+  PipelineOptions no_budget = LadderOptions(Technique::kSarimax);
+  PipelineOptions budgeted = LadderOptions(Technique::kSarimax);
+  budgeted.fit_time_budget_seconds = 3600.0;
+  auto a = Pipeline(no_budget).Run(series);
+  auto b = Pipeline(budgeted).Run(series);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->degradation, DegradationLevel::kFull);
+  EXPECT_EQ(b->degradation, DegradationLevel::kFull);
+  EXPECT_EQ(a->chosen_spec, b->chosen_spec);
+  EXPECT_DOUBLE_EQ(a->test_accuracy.rmse, b->test_accuracy.rmse);
+}
+
+TEST_F(LadderTest, DegradationLevelNamesStable) {
+  EXPECT_STREQ(DegradationLevelName(DegradationLevel::kFull), "full");
+  EXPECT_STREQ(DegradationLevelName(DegradationLevel::kHesOnly), "hes");
+  EXPECT_STREQ(DegradationLevelName(DegradationLevel::kSes), "ses");
+  EXPECT_STREQ(DegradationLevelName(DegradationLevel::kBaseline), "baseline");
+}
+
+}  // namespace
+}  // namespace capplan::core

@@ -1,7 +1,10 @@
 #include "core/shock_detect.h"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
+#include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -112,6 +115,99 @@ TEST(ShockDetectorTest, MultiHourShockGetsDuration) {
   EXPECT_EQ(shocks->front().phase, 7u);
   EXPECT_GE(shocks->front().duration, 3u);
   EXPECT_LE(shocks->front().duration, 5u);
+}
+
+TEST(ShockDetectorTest, SpikeAtFirstSampleHandled) {
+  // Edge case: the spike phase is the very first observation, so the first
+  // period has no "before" context for the local level.
+  auto x = BaseSeries(24 * 30, 20);
+  AddRecurringSpike(&x, 24, 0, 1, 90.0);
+  x[0] += 90.0;  // make the boundary sample itself an extra-strong spike
+  ShockDetector detector;
+  auto shocks = detector.Detect(x);
+  ASSERT_TRUE(shocks.ok());
+  ASSERT_FALSE(shocks->empty());
+  EXPECT_EQ(shocks->front().phase, 0u);
+}
+
+TEST(ShockDetectorTest, SpikeAtLastSampleHandled) {
+  // Edge case: the series ends mid-spike (the last observation is hot).
+  // The truncated final occurrence must not crash or skew the duration.
+  auto x = BaseSeries(24 * 30 + 8, 21);  // ends 8 hours into a day
+  AddRecurringSpike(&x, 24, 7, 2, 90.0);  // last occurrence covers t=n-1
+  ASSERT_GT(x[x.size() - 1], 140.0);  // the tail really is inside a spike
+  ShockDetector detector;
+  auto shocks = detector.Detect(x);
+  ASSERT_TRUE(shocks.ok());
+  ASSERT_FALSE(shocks->empty());
+  EXPECT_EQ(shocks->front().phase, 7u);
+  EXPECT_LE(shocks->front().duration, 3u);
+}
+
+TEST(ShockDetectorTest, AllTransientSeriesYieldsNoShocksButAllIndices) {
+  // Several one-off spikes at unrelated phases: nothing recurs, everything
+  // is a transient. Detect must return empty shocks and flag each spike.
+  auto x = BaseSeries(24 * 30, 22);
+  const std::vector<std::size_t> spikes = {31, 100, 205, 350, 467};
+  for (std::size_t t : spikes) x[t] += 200.0;
+  ShockDetector detector;
+  std::vector<std::size_t> transients;
+  auto shocks = detector.Detect(x, &transients);
+  ASSERT_TRUE(shocks.ok());
+  EXPECT_TRUE(shocks->empty());
+  for (std::size_t t : spikes) {
+    EXPECT_NE(std::find(transients.begin(), transients.end(), t),
+              transients.end())
+        << "spike at " << t << " not flagged as transient";
+  }
+  // RemoveTransients heals every flagged index back to its neighbourhood.
+  const auto healed = ShockDetector::RemoveTransients(x, transients);
+  for (std::size_t t : spikes) {
+    EXPECT_LT(healed[t], 130.0) << "t=" << t;
+  }
+}
+
+TEST(ShockDetectorTest, BackToBackSpikesStraddlingRecurrenceThreshold) {
+  // Two adjacent phases: one spikes in every period (a behaviour), its
+  // neighbour only twice (below the paper's >3 rule). The recurring phase
+  // must be kept and the rare neighbour discarded — adjacency must not
+  // smear the two together.
+  auto x = BaseSeries(24 * 30, 23);
+  AddRecurringSpike(&x, 24, 10, 1, 90.0);  // every day at phase 10
+  x[11] += 90.0;                           // phase 11, only days 0 and 1
+  x[24 + 11] += 90.0;
+  ShockDetector detector;
+  std::vector<std::size_t> transients;
+  auto shocks = detector.Detect(x, &transients);
+  ASSERT_TRUE(shocks.ok());
+  ASSERT_FALSE(shocks->empty());
+  bool has_10 = false, has_11 = false;
+  for (const auto& s : *shocks) {
+    for (std::size_t d = 0; d < s.duration; ++d) {
+      if (s.phase + d == 10) has_10 = true;
+      if (s.phase + d == 11) has_11 = true;
+    }
+  }
+  EXPECT_TRUE(has_10);
+  EXPECT_FALSE(has_11);
+}
+
+TEST(ShockDetectorTest, RecurrenceRateExactlyAtThresholdKept) {
+  // A phase spiking in exactly half its periods sits on the default
+  // min_recurrence_rate of 0.5; "at least this fraction" means kept.
+  auto x = BaseSeries(24 * 30, 24);
+  // Every second day at phase 6, starting on day 1 (day 0's phase-6 sample
+  // sits in the detrending margin and would not be counted): 15 spiked
+  // periods of 30 seen -> rate exactly 0.5.
+  for (std::size_t t = 30; t < x.size(); t += 48) {
+    x[t] += 90.0;
+  }
+  ShockDetector detector;
+  auto shocks = detector.Detect(x);
+  ASSERT_TRUE(shocks.ok());
+  ASSERT_FALSE(shocks->empty());
+  EXPECT_EQ(shocks->front().phase, 6u);
+  EXPECT_GE(shocks->front().occurrences, 10);
 }
 
 TEST(PulseColumnsTest, TrainingWindowPattern) {

@@ -1,0 +1,286 @@
+#include "quality/sentinel.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace capplan::quality {
+namespace {
+
+constexpr std::int64_t kHour = 3600;
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+tsa::TimeSeries Series(std::vector<double> v) {
+  return tsa::TimeSeries("db01/cpu", 0, tsa::Frequency::kHourly,
+                         std::move(v));
+}
+
+// A healthy daily-pattern series long enough for any gate.
+std::vector<double> CleanValues(std::size_t n = 200) {
+  std::vector<double> v(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    v[t] = 50.0 + 10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0);
+  }
+  return v;
+}
+
+TEST(SentinelInspectTest, PristineSeriesScoresOne) {
+  DataQualitySentinel sentinel;
+  const auto report = sentinel.Inspect(Series(CleanValues()));
+  EXPECT_DOUBLE_EQ(report.score, 1.0);
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0);
+  EXPECT_TRUE(report.trainable);
+  EXPECT_EQ(report.verdict, "ok");
+  EXPECT_EQ(report.n_samples, 200u);
+}
+
+TEST(SentinelInspectTest, EmptySeriesUntrainable) {
+  DataQualitySentinel sentinel;
+  const auto report = sentinel.Inspect(Series({}));
+  EXPECT_FALSE(report.trainable);
+  EXPECT_DOUBLE_EQ(report.score, 0.0);
+  EXPECT_EQ(report.verdict, "empty");
+}
+
+TEST(SentinelInspectTest, ClassifiesBadValues) {
+  auto v = CleanValues();
+  v[10] = kNaN;
+  v[11] = kNaN;
+  v[20] = std::numeric_limits<double>::infinity();
+  v[30] = -5.0;  // negative CPU%
+  DataQualitySentinel sentinel;
+  const auto report = sentinel.Inspect(Series(v));
+  EXPECT_EQ(report.missing, 2u);
+  EXPECT_EQ(report.non_finite, 1u);
+  EXPECT_EQ(report.negatives, 1u);
+  EXPECT_LT(report.score, 1.0);
+  EXPECT_NE(report.verdict.find("missing=2"), std::string::npos);
+  EXPECT_NE(report.verdict.find("negatives=1"), std::string::npos);
+}
+
+TEST(SentinelInspectTest, NegativesAllowedWhenMetricIsSigned) {
+  auto v = CleanValues();
+  v[30] = -5.0;
+  SentinelOptions opts;
+  opts.non_negative_metric = false;
+  DataQualitySentinel sentinel(opts);
+  const auto report = sentinel.Inspect(Series(v));
+  EXPECT_EQ(report.negatives, 0u);
+}
+
+TEST(SentinelInspectTest, DetectsCounterReset) {
+  // A monotone byte counter that wraps once mid-series.
+  std::vector<double> v(100);
+  for (std::size_t t = 0; t < 100; ++t) {
+    v[t] = static_cast<double>(t) * 1000.0;
+  }
+  v[60] = 5.0;  // reset: far below v[59]
+  for (std::size_t t = 61; t < 100; ++t) {
+    v[t] = 5.0 + static_cast<double>(t - 60) * 1000.0;
+  }
+  DataQualitySentinel sentinel;
+  const auto report = sentinel.Inspect(Series(v));
+  EXPECT_EQ(report.counter_resets, 1u);
+}
+
+TEST(SentinelInspectTest, NoisySeriesHasNoCounterResets) {
+  // Roughly half the deltas are negative: not counter-like, so dips are
+  // real workload decreases, not resets.
+  DataQualitySentinel sentinel;
+  const auto report = sentinel.Inspect(Series(CleanValues()));
+  EXPECT_EQ(report.counter_resets, 0u);
+}
+
+TEST(SentinelInspectTest, DetectsFlatline) {
+  auto v = CleanValues();
+  for (std::size_t t = 50; t < 90; ++t) v[t] = 42.0;  // 40 stuck samples
+  DataQualitySentinel sentinel;
+  const auto report = sentinel.Inspect(Series(v));
+  EXPECT_EQ(report.flatline_runs, 1u);
+  EXPECT_EQ(report.longest_flatline, 40u);
+  EXPECT_LT(report.score, 1.0);
+}
+
+TEST(SentinelInspectTest, ShortFlatRunIsNotAFlatline) {
+  auto v = CleanValues();
+  for (std::size_t t = 50; t < 60; ++t) v[t] = 42.0;  // below min run of 24
+  DataQualitySentinel sentinel;
+  const auto report = sentinel.Inspect(Series(v));
+  EXPECT_EQ(report.flatline_runs, 0u);
+}
+
+TEST(SentinelInspectTest, ShortGapVersusLongOutage) {
+  auto v = CleanValues();
+  for (std::size_t t = 40; t < 44; ++t) v[t] = kNaN;    // 4: short gap
+  for (std::size_t t = 100; t < 120; ++t) v[t] = kNaN;  // 20: outage
+  DataQualitySentinel sentinel;
+  const auto report = sentinel.Inspect(Series(v));
+  EXPECT_EQ(report.short_gaps_filled, 1u);
+  EXPECT_EQ(report.long_outages, 1u);
+  EXPECT_EQ(report.longest_gap, 20u);
+  // Training is masked up to the end of the outage.
+  EXPECT_EQ(report.masked_leading, 120u);
+}
+
+TEST(SentinelRepairTest, CleanSeriesIsReturnedUnchanged) {
+  const auto series = Series(CleanValues());
+  DataQualitySentinel sentinel;
+  QualityReport report;
+  auto repaired = sentinel.Repair(series, &report);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->size(), series.size());
+  EXPECT_EQ(repaired->start_epoch(), series.start_epoch());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*repaired)[i], series[i]) << "i=" << i;
+  }
+  EXPECT_TRUE(report.trainable);
+}
+
+TEST(SentinelRepairTest, ShortGapLinearlyInterpolated) {
+  auto v = CleanValues();
+  v[50] = 10.0;
+  v[51] = kNaN;
+  v[52] = kNaN;
+  v[53] = kNaN;
+  v[54] = 50.0;
+  DataQualitySentinel sentinel;
+  auto repaired = sentinel.Repair(Series(v), nullptr);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_DOUBLE_EQ((*repaired)[51], 20.0);
+  EXPECT_DOUBLE_EQ((*repaired)[52], 30.0);
+  EXPECT_DOUBLE_EQ((*repaired)[53], 40.0);
+}
+
+TEST(SentinelRepairTest, LongOutageMasksPrefix) {
+  auto v = CleanValues(200);
+  for (std::size_t t = 80; t < 100; ++t) v[t] = kNaN;
+  DataQualitySentinel sentinel;
+  QualityReport report;
+  auto repaired = sentinel.Repair(Series(v), &report);
+  ASSERT_TRUE(repaired.ok());
+  // Only the clean suffix after the outage survives, with its timestamp.
+  EXPECT_EQ(repaired->size(), 100u);
+  EXPECT_EQ(repaired->start_epoch(), 100 * kHour);
+  EXPECT_DOUBLE_EQ((*repaired)[0], v[100]);
+  EXPECT_EQ(report.masked_leading, 100u);
+  EXPECT_EQ(report.long_outages, 1u);
+}
+
+TEST(SentinelRepairTest, InvalidValuesBecomeMissing) {
+  auto v = CleanValues();
+  v[60] = -std::numeric_limits<double>::infinity();
+  DataQualitySentinel sentinel;
+  auto repaired = sentinel.Repair(Series(v), nullptr);
+  ASSERT_TRUE(repaired.ok());
+  // A lone bad value is a 1-long interior gap: interpolated away.
+  EXPECT_TRUE(std::isfinite((*repaired)[60]));
+  EXPECT_NEAR((*repaired)[60], (v[59] + v[61]) / 2.0, 1e-12);
+}
+
+TEST(SentinelRepairTest, AllMissingFails) {
+  DataQualitySentinel sentinel;
+  QualityReport report;
+  auto repaired = sentinel.Repair(Series(std::vector<double>(50, kNaN)),
+                                  &report);
+  EXPECT_FALSE(repaired.ok());
+  EXPECT_FALSE(report.trainable);
+}
+
+TEST(SentinelRepairTest, PreservesNormalizationCountsInReport) {
+  DataQualitySentinel sentinel;
+  QualityReport report;
+  report.duplicates = 3;
+  report.clock_skew = 2;
+  report.out_of_order = 1;
+  auto repaired = sentinel.Repair(Series(CleanValues()), &report);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(report.duplicates, 3u);
+  EXPECT_EQ(report.clock_skew, 2u);
+  EXPECT_EQ(report.out_of_order, 1u);
+  EXPECT_NE(report.verdict.find("duplicates=3"), std::string::npos);
+}
+
+TEST(SentinelGateTest, LowCoverageBlocksTraining) {
+  // Scattered lone gaps: interior singles are interpolated, so coverage
+  // stays high — instead drop whole stretches beyond what repair bridges.
+  auto v = CleanValues(100);
+  for (std::size_t t = 0; t < 100; ++t) {
+    if (t % 2 == 0) v[t] = kNaN;  // every other sample dropped
+  }
+  SentinelOptions opts;
+  opts.min_coverage = 0.6;
+  DataQualitySentinel sentinel(opts);
+  const auto report = sentinel.Inspect(Series(v));
+  EXPECT_LT(report.coverage, 0.6);
+  EXPECT_FALSE(report.trainable);
+}
+
+TEST(SentinelGateTest, TooFewObservationsBlocksTraining) {
+  DataQualitySentinel sentinel;  // min_observations = 24
+  const auto report = sentinel.Inspect(Series(CleanValues(10)));
+  EXPECT_FALSE(report.trainable);
+}
+
+TEST(NormalizeSamplesTest, PlacesWellFormedBatch) {
+  std::vector<RawSample> samples;
+  for (int i = 0; i < 4; ++i) {
+    samples.push_back({i * kHour, static_cast<double>(i)});
+  }
+  QualityReport report;
+  const auto series = DataQualitySentinel::NormalizeSamples(
+      "k", samples, 0, tsa::Frequency::kHourly, 4, &report);
+  ASSERT_EQ(series.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(series[i], static_cast<double>(i));
+  }
+  EXPECT_EQ(report.duplicates + report.clock_skew + report.out_of_order, 0u);
+}
+
+TEST(NormalizeSamplesTest, SnapsSkewedClocks) {
+  // 90 seconds late: still the same hourly slot.
+  std::vector<RawSample> samples = {{0, 1.0}, {kHour + 90, 2.0}};
+  QualityReport report;
+  const auto series = DataQualitySentinel::NormalizeSamples(
+      "k", samples, 0, tsa::Frequency::kHourly, 2, &report);
+  EXPECT_DOUBLE_EQ(series[1], 2.0);
+  EXPECT_EQ(report.clock_skew, 1u);
+}
+
+TEST(NormalizeSamplesTest, FirstDeliveryWinsOnDuplicate) {
+  std::vector<RawSample> samples = {{0, 1.0}, {0, 99.0}};
+  QualityReport report;
+  const auto series = DataQualitySentinel::NormalizeSamples(
+      "k", samples, 0, tsa::Frequency::kHourly, 1, &report);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_EQ(report.duplicates, 1u);
+}
+
+TEST(NormalizeSamplesTest, CountsOutOfOrderAndDropsOutOfRange) {
+  std::vector<RawSample> samples = {
+      {2 * kHour, 2.0},  // arrives first
+      {0, 0.0},          // behind the watermark
+      {-kHour, -1.0},    // before the grid
+      {9 * kHour, 9.0},  // past the grid
+  };
+  QualityReport report;
+  const auto series = DataQualitySentinel::NormalizeSamples(
+      "k", samples, 0, tsa::Frequency::kHourly, 3, &report);
+  EXPECT_EQ(report.out_of_order, 2u);  // the two behind the 2h watermark
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[2], 2.0);
+  EXPECT_TRUE(std::isnan(series[1]));  // empty slot
+}
+
+TEST(SummarizeIssuesTest, CompactAndEmptyWhenClean) {
+  QualityReport clean;
+  EXPECT_TRUE(SummarizeIssues(clean).empty());
+  QualityReport dirty;
+  dirty.missing = 12;
+  dirty.long_outages = 1;
+  EXPECT_EQ(SummarizeIssues(dirty), "missing=12;long_outages=1");
+}
+
+}  // namespace
+}  // namespace capplan::quality
