@@ -75,5 +75,40 @@ int main() {
   std::printf("\nmodels in registry: %zu (refit policy: 1 week or RMSE "
               "degradation)\n",
               registry.size());
+
+  // Selector profiling panel: where the refits' grid time actually went.
+  core::SelectorProfile total;
+  std::size_t refits = 0;
+  for (const auto& r : *results) {
+    if (!r.refitted || r.selector_profile.candidates == 0) continue;
+    ++refits;
+    const core::SelectorProfile& p = r.selector_profile;
+    total.candidates += p.candidates;
+    total.succeeded += p.succeeded;
+    total.pruned += p.pruned;
+    total.failed += p.failed;
+    total.deadline_skipped += p.deadline_skipped;
+    total.warm_hits += p.warm_hits;
+    total.transform_groups += p.transform_groups;
+    total.rescored += p.rescored;
+    total.prepare_ms += p.prepare_ms;
+    total.grid_ms += p.grid_ms;
+    total.rescore_ms += p.rescore_ms;
+    total.total_ms += p.total_ms;
+  }
+  if (refits > 0) {
+    std::printf("\nselector profile (%zu grid refit%s):\n", refits,
+                refits == 1 ? "" : "s");
+    std::printf("  candidates   %6zu  (ok %zu, pruned %zu, failed %zu, "
+                "deadline-skipped %zu)\n",
+                total.candidates, total.succeeded, total.pruned, total.failed,
+                total.deadline_skipped);
+    std::printf("  warm starts  %6zu  transform groups %zu  rescored %zu\n",
+                total.warm_hits, total.transform_groups, total.rescored);
+    std::printf("  time (ms)    prepare %.1f | grid %.1f | rescore %.1f | "
+                "total %.1f\n",
+                total.prepare_ms, total.grid_ms, total.rescore_ms,
+                total.total_ms);
+  }
   return 0;
 }

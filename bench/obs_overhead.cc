@@ -1,0 +1,116 @@
+// Observability overhead gate: the tracing spans wired through the selector
+// grid (selector.select / prepare / grid / one span per candidate) must stay
+// cheap enough to leave enabled in production. This harness times the same
+// 44-candidate SARIMAX selection with spans off and on, alternating the two
+// configurations and keeping the minimum of each (min-of-N is robust to
+// scheduler noise), writes BENCH_obs_overhead.json for the CI bench-smoke
+// step, and exits non-zero when the overhead exceeds the 3% budget.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "core/candidate_gen.h"
+#include "core/selector.h"
+#include "obs/trace.h"
+
+using namespace capplan;
+
+namespace {
+
+constexpr int kReps = 7;
+constexpr double kBudgetPct = 3.0;
+
+std::vector<double> SeasonalSeries(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    y[t] = 50.0 + 12.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  return y;
+}
+
+double RunOnceMs(const std::vector<double>& train,
+                 const std::vector<double>& test,
+                 const std::vector<core::ModelCandidate>& candidates) {
+  core::ModelSelector::Options opts;
+  opts.n_threads = 2;
+  core::ModelSelector selector(opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sel = selector.Select(train, test, candidates);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!sel.ok()) {
+    std::fprintf(stderr, "selection failed: %s\n",
+                 sel.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const auto y = SeasonalSeries(1008, 9);
+  const std::vector<double> train(y.begin(), y.end() - 24);
+  const std::vector<double> test(y.end() - 24, y.end());
+  core::CandidateGenerator::Options gen_opts;
+  gen_opts.max_lag = 2;  // 44 candidates: CI-sized, same span sites as 660
+  core::CandidateGenerator gen(gen_opts);
+  const auto candidates = gen.Generate(core::Technique::kSarimax);
+
+  obs::Tracer& tracer = obs::Tracer::Instance();
+  tracer.Disable();
+  tracer.Clear();
+
+  // Warm both configurations (page in code, populate allocator caches).
+  (void)RunOnceMs(train, test, candidates);
+  tracer.Enable();
+  (void)RunOnceMs(train, test, candidates);
+  std::size_t spans_per_run = tracer.Drain().size();
+  tracer.Disable();
+
+  double off_ms = 0.0, on_ms = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double off = RunOnceMs(train, test, candidates);
+    tracer.Enable();
+    const double on = RunOnceMs(train, test, candidates);
+    tracer.Clear();
+    tracer.Disable();
+    off_ms = rep == 0 ? off : std::min(off_ms, off);
+    on_ms = rep == 0 ? on : std::min(on_ms, on);
+  }
+
+  const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+  const bool pass = overhead_pct < kBudgetPct;
+
+  JsonWriter w(/*pretty=*/true);
+  w.BeginObject();
+  w.String("bench", "obs_overhead");
+  w.Integer("grid_candidates", static_cast<long long>(candidates.size()));
+  w.Integer("reps", kReps);
+  w.Integer("spans_per_run", static_cast<long long>(spans_per_run));
+  w.Number("spans_off_min_ms", off_ms);
+  w.Number("spans_on_min_ms", on_ms);
+  w.Number("overhead_pct", overhead_pct);
+  w.Number("budget_pct", kBudgetPct);
+  w.Bool("pass", pass);
+  w.EndObject();
+  const std::string json = w.Take();
+  std::ofstream("BENCH_obs_overhead.json") << json << "\n";
+
+  std::printf("%s\n", json.c_str());
+  std::printf("\nselector grid (%zu candidates, %zu spans/run): "
+              "spans off %.2f ms, on %.2f ms -> %.2f%% overhead "
+              "(budget %.0f%%) %s\n",
+              candidates.size(), spans_per_run, off_ms, on_ms, overhead_pct,
+              kBudgetPct, pass ? "OK" : "OVER BUDGET");
+  return pass ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <random>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -12,6 +13,7 @@
 #include "core/selector.h"
 #include "models/arima.h"
 #include "models/ets.h"
+#include "obs/trace.h"
 #include "tsa/acf.h"
 #include "tsa/fourier.h"
 #include "math/fft.h"
@@ -122,8 +124,11 @@ BENCHMARK(BM_ParallelSelection)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 // The ISSUE-2 tentpole measurement: the paper-sized 660-candidate SARIMAX
 // grid, evaluated by the serial un-cached oracle path vs the fast path
 // (shared transforms + warm starts + early abort). arg0 selects the path
-// (0 = oracle, 1 = fast), arg1 the thread count. Iterations are pinned to 1
-// because a single oracle sweep already takes tens of seconds.
+// (0 = oracle, 1 = fast), arg1 the thread count, arg2 whether the obs
+// tracing spans around every candidate are live (the <3% overhead budget
+// that keeps them safe to leave in production; bench_obs_overhead asserts
+// it). Iterations are pinned to 1 because a single oracle sweep already
+// takes tens of seconds.
 void BM_SarimaxGrid660(benchmark::State& state) {
   const auto y = SeasonalSeries(1008, 8);
   const std::vector<double> train(y.begin(), y.end() - 24);
@@ -131,8 +136,11 @@ void BM_SarimaxGrid660(benchmark::State& state) {
   core::CandidateGenerator gen;  // max_lag 30 -> the paper's 660 grid
   const auto candidates = gen.Generate(core::Technique::kSarimax);
   const bool fast = state.range(0) != 0;
+  const bool traced = state.range(2) != 0;
+  if (traced) obs::Tracer::Instance().Enable();
   std::size_t pruned = 0;
   std::size_t succeeded = 0;
+  std::size_t spans = 0;
   for (auto _ : state) {
     core::ModelSelector::Options opts;
     opts.n_threads = static_cast<std::size_t>(state.range(1));
@@ -148,16 +156,24 @@ void BM_SarimaxGrid660(benchmark::State& state) {
     pruned = sel->pruned;
     succeeded = sel->succeeded;
     benchmark::DoNotOptimize(sel);
+    if (traced) spans += obs::Tracer::Instance().Drain().size();
   }
-  state.SetLabel(fast ? "fast" : "oracle");
+  if (traced) {
+    obs::Tracer::Instance().Disable();
+    obs::Tracer::Instance().Clear();
+  }
+  state.SetLabel(std::string(fast ? "fast" : "oracle") +
+                 (traced ? "+trace" : ""));
   state.counters["candidates"] = static_cast<double>(candidates.size());
   state.counters["fitted"] = static_cast<double>(succeeded);
   state.counters["early_aborted"] = static_cast<double>(pruned);
+  if (traced) state.counters["spans"] = static_cast<double>(spans);
 }
 BENCHMARK(BM_SarimaxGrid660)
-    ->Args({0, 1})  // baseline: serial, un-cached
-    ->Args({1, 1})  // fast path, single thread (algorithmic gain only)
-    ->Args({1, 8})  // fast path, parallel (the shipping configuration)
+    ->Args({0, 1, 0})  // baseline: serial, un-cached
+    ->Args({1, 1, 0})  // fast path, single thread (algorithmic gain only)
+    ->Args({1, 8, 0})  // fast path, parallel (the shipping configuration)
+    ->Args({1, 8, 1})  // shipping configuration with tracing spans live
     ->Iterations(1)
     ->Unit(benchmark::kSecond)
     ->MeasureProcessCPUTime()

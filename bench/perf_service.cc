@@ -72,6 +72,8 @@ void BM_EstateServiceSteadyState(benchmark::State& state) {
   state.counters["refits"] =
       static_cast<double>(svc.telemetry().refits_succeeded);
   state.counters["fit_ms_mean"] = svc.telemetry().fit_stage.mean_ms();
+  state.counters["fit_ms_p50"] = svc.telemetry().fit_stage.p50_ms();
+  state.counters["fit_ms_p99"] = svc.telemetry().fit_stage.p99_ms();
 }
 
 BENCHMARK(BM_EstateServiceSteadyState)

@@ -9,11 +9,13 @@
 // registry, cached forecasts and alert state all survive. Exits non-zero if
 // any invariant is violated.
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "service/estate_service.h"
 #include "workload/scenario.h"
 
@@ -32,6 +34,11 @@ int Fail(const std::string& what) {
 }  // namespace
 
 int main() {
+  // Tracing stays on for the whole run: every tick, ingest, refit and alert
+  // scan lands in the per-thread ring buffers, dumped to a Chrome-trace file
+  // at the end (open it in chrome://tracing or https://ui.perfetto.dev).
+  obs::Tracer::Instance().Enable();
+
   auto scenario = workload::WorkloadScenario::Olap();
   scenario.n_instances = 20;
   workload::ClusterSimulator cluster(scenario, 7);
@@ -89,12 +96,14 @@ int main() {
 
     const auto& t = svc.telemetry();
     std::printf("[leg 1] %llu ticks, %llu fits ok / %llu failed, "
-                "%llu alerts; fit mean %.0f ms\n",
+                "%llu alerts; fit ms min %.0f / p50 %.0f / mean %.0f / "
+                "p99 %.0f\n",
                 static_cast<unsigned long long>(t.ticks),
                 static_cast<unsigned long long>(t.refits_succeeded),
                 static_cast<unsigned long long>(t.refits_failed),
                 static_cast<unsigned long long>(t.alerts_raised),
-                t.fit_stage.mean_ms());
+                t.fit_stage.min_ms(), t.fit_stage.p50_ms(),
+                t.fit_stage.mean_ms(), t.fit_stage.p99_ms());
 
     // Refits only per staleness policy: two weeks = the initial fit plus at
     // most two age-driven rounds (degradation may add a handful, never a
@@ -174,6 +183,18 @@ int main() {
                     (alert.predicted_breach_epoch - svc.now()) / kHour),
                 alert.upper_only ? "upper" : "mean");
   }
+
+  // Observability artifacts: a Prometheus scrape file of the telemetry
+  // registry and the full Chrome-trace timeline of the run.
+  const std::string scrape = config.state_dir + "/metrics.prom";
+  const std::string trace = config.state_dir + "/trace.json";
+  if (auto s = svc.WritePrometheus(scrape); !s.ok()) return Fail(s.ToString());
+  if (auto s = svc.DumpTrace(trace); !s.ok()) return Fail(s.ToString());
+  std::printf("\nwrote %s (%ju bytes) and %s (%ju bytes)\n", scrape.c_str(),
+              static_cast<std::uintmax_t>(std::filesystem::file_size(scrape)),
+              trace.c_str(),
+              static_cast<std::uintmax_t>(std::filesystem::file_size(trace)));
+
   std::printf("\nestate service demo OK\n");
   std::filesystem::remove_all(config.state_dir);
   return 0;

@@ -10,6 +10,10 @@
 #include "common/status.h"     // IWYU pragma: export
 #include "common/thread_pool.h"  // IWYU pragma: export
 
+#include "obs/export.h"   // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
+
 #include "math/distributions.h"  // IWYU pragma: export
 #include "math/fft.h"            // IWYU pragma: export
 #include "math/matrix.h"         // IWYU pragma: export

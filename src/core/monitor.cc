@@ -52,6 +52,7 @@ Result<std::vector<WatchResult>> MonitoringService::Evaluate(
       cached.test_mape = report->test_accuracy.mape;
       cache_[watch.key] = std::move(cached);
       r.refitted = true;
+      r.selector_profile = report->selector_profile;
     }
     const CachedForecast& active = cache_.at(watch.key);
     r.model_spec = active.spec;

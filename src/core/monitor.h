@@ -34,6 +34,9 @@ struct WatchResult {
   double test_mape = 0.0;        // active model's held-out error (MAPE, %)
   BreachPrediction breach;       // threshold prognosis
   Status status;                 // non-OK when this watch failed
+  // Selector profile of the refit that produced the active model; all-zero
+  // when the cached forecast was reused or no SARIMAX grid ran.
+  SelectorProfile selector_profile;
 };
 
 class MonitoringService {

@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "models/arima.h"
+#include "obs/trace.h"
 #include "models/baselines.h"
 #include "models/ets.h"
 #include "models/regression.h"
@@ -69,8 +70,10 @@ const char* DegradationLevelName(DegradationLevel level) {
 }
 
 Result<PipelineReport> Pipeline::Run(const tsa::TimeSeries& series) const {
+  obs::TraceSpan span("pipeline.run", "pipeline");
   Result<PipelineReport> full = RunSelection(series);
   if (full.ok() || !options_.degrade_on_failure) return full;
+  span.set_tag("degraded");
   return RunDegraded(series, full.status());
 }
 
@@ -174,6 +177,7 @@ Result<double> Pipeline::RunHesBranch(const tsa::TimeSeries& train,
                                       const tsa::TimeSeries& test,
                                       const tsa::TimeSeries& full,
                                       PipelineReport* report) const {
+  obs::TraceSpan span("pipeline.hes", "pipeline");
   CAPPLAN_RETURN_NOT_OK(FaultHit("pipeline.hes"));
   const std::size_t period = tsa::DefaultSeasonalPeriod(train.frequency());
   bool positive = true;
@@ -308,6 +312,7 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
                                           const tsa::TimeSeries& test,
                                           const tsa::TimeSeries& full,
                                           PipelineReport* report) const {
+  obs::TraceSpan span("pipeline.sarimax", "pipeline");
   const std::size_t default_period =
       tsa::DefaultSeasonalPeriod(train.frequency());
   // Primary season: strongest detected, falling back to the conventional
@@ -466,6 +471,7 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
   report->candidates_evaluated += sel.evaluated;
   report->candidates_succeeded += sel.succeeded;
   report->candidates_pruned += sel.pruned;
+  report->selector_profile = sel.profile;
   report->shocks = shocks;
   report->transient_spikes_discarded = n_transients;
   report->forecast = std::move(fc);
@@ -570,6 +576,7 @@ Result<PipelineReport> Pipeline::RunDegraded(const tsa::TimeSeries& series,
   // Rung 2: a direct SES fit. No split, no grid — just a smoothed level
   // carried forward, which tracks slow drift far better than a constant.
   auto ses_rung = [&]() -> Result<PipelineReport> {
+    obs::TraceSpan span("pipeline.ses", "pipeline");
     CAPPLAN_RETURN_NOT_OK(FaultHit("pipeline.ses"));
     if (n < 8) {
       return Status::ComputeError("SES rung: series too short");
@@ -602,6 +609,7 @@ Result<PipelineReport> Pipeline::RunDegraded(const tsa::TimeSeries& series,
 
   // Rung 3: the seasonal-naive / naive floor. Needs one finite observation.
   auto baseline_rung = [&]() -> Result<PipelineReport> {
+    obs::TraceSpan span("pipeline.baseline", "pipeline");
     const std::vector<double>& y = filled.values();
     if (y.empty()) {
       return Status::ComputeError("baseline rung: empty series");

@@ -124,6 +124,10 @@ struct PipelineReport {
   std::size_t candidates_succeeded = 0;
   std::size_t candidates_pruned = 0;  // cut off by the early-abort bound
 
+  // Stage timings and fast-path effectiveness of the SARIMAX grid selection
+  // (all-zero when no grid ran, e.g. a pure HES win or a degraded rung).
+  SelectorProfile selector_profile;
+
   // Dense converged coefficients of the winning (S)ARIMA(X) error model,
   // refitted on the full window (index i -> lag i+1). Persisted with the
   // stored model so the next refit of this series can warm-start its grid.

@@ -16,6 +16,7 @@
 #include "common/fault.h"
 #include "models/arima.h"
 #include "models/regression.h"
+#include "obs/trace.h"
 
 namespace capplan::core {
 
@@ -104,11 +105,13 @@ FastOutcome EvaluateFast(const ModelCandidate& candidate,
                          const std::vector<double>& warm_ar,
                          const std::vector<double>& warm_ma,
                          PruneBound* bound) {
+  obs::TraceSpan span("selector.candidate", "selector");
   FastOutcome out;
   out.ev.candidate = candidate;
   const std::size_t horizon = test.size();
 
   auto fail = [&](const Status& st) {
+    span.set_tag("error");
     out.ev.ok = false;
     out.ev.error = st.ToString();
     return out;
@@ -174,6 +177,7 @@ FastOutcome EvaluateFast(const ModelCandidate& candidate,
       const double e = test[t] - (*mean)[t];
       running += e * e;
       if (running > limit) {
+        span.set_tag("pruned");
         out.ev.pruned = true;
         out.ev.error = "pruned: partial test SSE exceeded the top-k bound";
         return out;
@@ -193,11 +197,17 @@ FastOutcome EvaluateFast(const ModelCandidate& candidate,
   }
   auto acc = tsa::MeasureAccuracy(test, fc.mean);
   if (!acc.ok()) return fail(acc.status());
+  span.set_tag("ok");
   out.ev.ok = true;
   out.ev.accuracy = *acc;
   out.ev.aic = aic;
   out.ev.test_forecast = std::move(fc);
   return out;
+}
+
+double MsBetween(std::chrono::steady_clock::time_point t0,
+                 std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 }  // namespace
@@ -213,11 +223,13 @@ EvaluatedCandidate ModelSelector::Evaluate(
     const std::vector<double>& test,
     const std::vector<std::vector<double>>& exog_train,
     const std::vector<std::vector<double>>& exog_test) {
+  obs::TraceSpan span("selector.candidate", "selector");
   EvaluatedCandidate ev;
   ev.candidate = candidate;
   const std::size_t horizon = test.size();
 
   auto fail = [&](const Status& st) {
+    span.set_tag("error");
     ev.ok = false;
     ev.error = st.ToString();
     return ev;
@@ -250,6 +262,7 @@ EvaluatedCandidate ModelSelector::Evaluate(
   }
   auto acc = tsa::MeasureAccuracy(test, fc.mean);
   if (!acc.ok()) return fail(acc.status());
+  span.set_tag("ok");
   ev.ok = true;
   ev.accuracy = *acc;
   ev.aic = aic;
@@ -282,6 +295,12 @@ Result<SelectionResult> ModelSelector::Select(
     }
   }
 
+  obs::TraceSpan select_span("selector.select", "selector");
+  const auto t_select0 = std::chrono::steady_clock::now();
+  SelectorProfile prof;
+  prof.candidates = candidates.size();
+  std::atomic<std::size_t> warm_hits{0};
+
   const bool fast_path = options_.shared_transforms || options_.warm_start ||
                          options_.early_abort;
   ThreadPool pool(options_.n_threads);
@@ -313,6 +332,8 @@ Result<SelectionResult> ModelSelector::Select(
 
   if (!fast_path) {
     // Oracle path: independent, un-cached evaluations.
+    obs::TraceSpan grid_span("selector.grid", "selector");
+    const auto t_grid0 = std::chrono::steady_clock::now();
     pool.ParallelFor(candidates.size(), [&](std::size_t i) {
       if (past_deadline()) {
         skip_for_deadline(i);
@@ -320,7 +341,10 @@ Result<SelectionResult> ModelSelector::Select(
       }
       results[i] = Evaluate(candidates[i], train, test, exog_train, exog_test);
     });
+    prof.grid_ms = MsBetween(t_grid0, std::chrono::steady_clock::now());
   } else {
+    obs::TraceSpan prepare_span("selector.prepare", "selector");
+    const auto t_prep0 = std::chrono::steady_clock::now();
     // --- Layer 1: shared transforms, grouped by (exog, fourier). ---
     std::vector<std::unique_ptr<OlsGroup>> groups;
     std::map<std::pair<std::size_t, std::string>, std::size_t> group_index;
@@ -382,6 +406,11 @@ Result<SelectionResult> ModelSelector::Select(
     // --- Layer 3: shared early-abort bound over the rescoring pool. ---
     PruneBound bound(options_.keep_top + kRescoreMargin);
 
+    prof.transform_groups = groups.size();
+    prepare_span.End();
+    prof.prepare_ms = MsBetween(t_prep0, std::chrono::steady_clock::now());
+    obs::TraceSpan grid_span("selector.grid", "selector");
+    const auto t_grid0 = std::chrono::steady_clock::now();
     pool.ParallelFor(segments.size(), [&](std::size_t s) {
       std::vector<double> warm_ar;
       std::vector<double> warm_ma;
@@ -399,6 +428,9 @@ Result<SelectionResult> ModelSelector::Select(
           skip_for_deadline(idx);
           continue;
         }
+        if (options_.warm_start && (!warm_ar.empty() || !warm_ma.empty())) {
+          warm_hits.fetch_add(1, std::memory_order_relaxed);
+        }
         FastOutcome out = EvaluateFast(
             candidates[idx], train, test, exog_train, exog_test,
             groups[candidate_group[idx]].get(), options_, warm_ar, warm_ma,
@@ -410,6 +442,7 @@ Result<SelectionResult> ModelSelector::Select(
         results[idx] = std::move(out.ev);
       }
     });
+    prof.grid_ms = MsBetween(t_grid0, std::chrono::steady_clock::now());
   }
 
   SelectionResult sel;
@@ -422,6 +455,16 @@ Result<SelectionResult> ModelSelector::Select(
     if (r.deadline_skipped) ++sel.deadline_skipped;
   }
   sel.succeeded = ok_results.size();
+  auto finalize_profile = [&] {
+    prof.succeeded = sel.succeeded;
+    prof.pruned = sel.pruned;
+    prof.deadline_skipped = sel.deadline_skipped;
+    prof.failed =
+        prof.candidates - prof.succeeded - prof.pruned - prof.deadline_skipped;
+    prof.warm_hits = warm_hits.load(std::memory_order_relaxed);
+    prof.total_ms = MsBetween(t_select0, std::chrono::steady_clock::now());
+    sel.profile = prof;
+  };
   if (ok_results.empty()) {
     return Status::ComputeError(
         "ModelSelector: no candidate fitted successfully (first error: " +
@@ -437,13 +480,18 @@ Result<SelectionResult> ModelSelector::Select(
     // Evaluate so the reported winner and its accuracy are bitwise-identical
     // to the un-cached serial path (warm-started refinement perturbs RMSE by
     // ~1e-6, which must not leak into the selection output).
+    obs::TraceSpan rescore_span("selector.rescore", "selector");
+    const auto t_rescore0 = std::chrono::steady_clock::now();
     const std::size_t pool_size = std::min(
         options_.keep_top + kRescoreMargin, ok_results.size());
+    prof.rescored = pool_size;
     std::vector<EvaluatedCandidate> rescored(pool_size);
     pool.ParallelFor(pool_size, [&](std::size_t i) {
       rescored[i] = Evaluate(ok_results[i]->candidate, train, test,
                              exog_train, exog_test);
     });
+    rescore_span.End();
+    prof.rescore_ms = MsBetween(t_rescore0, std::chrono::steady_clock::now());
     std::vector<EvaluatedCandidate> ok_rescored;
     for (auto& r : rescored) {
       if (r.ok) ok_rescored.push_back(std::move(r));
@@ -459,6 +507,7 @@ Result<SelectionResult> ModelSelector::Select(
     sel.best = ok_rescored.front();
     const std::size_t keep = std::min(options_.keep_top, ok_rescored.size());
     sel.top.assign(ok_rescored.begin(), ok_rescored.begin() + keep);
+    finalize_profile();
     return sel;
   }
 
@@ -466,6 +515,7 @@ Result<SelectionResult> ModelSelector::Select(
   const std::size_t keep = std::min(options_.keep_top, ok_results.size());
   sel.top.reserve(keep);
   for (std::size_t i = 0; i < keep; ++i) sel.top.push_back(*ok_results[i]);
+  finalize_profile();
   return sel;
 }
 

@@ -30,6 +30,26 @@ struct EvaluatedCandidate {
   models::Forecast test_forecast;
 };
 
+// Where one grid selection spent its effort: per-stage wall time plus
+// candidate outcome counts. Surfaced through SelectionResult ->
+// PipelineReport -> MonitoringService::WatchResult so operators (and the
+// fig8 dashboard bench) can see prune/warm-start effectiveness per refit
+// instead of only in offline ablations.
+struct SelectorProfile {
+  std::size_t candidates = 0;        // grid size handed to Select()
+  std::size_t succeeded = 0;         // fitted and fully scored
+  std::size_t pruned = 0;            // cut off by the early-abort bound
+  std::size_t failed = 0;            // fit or scoring errors
+  std::size_t deadline_skipped = 0;  // never attempted: budget ran out
+  std::size_t warm_hits = 0;         // fits seeded from a prior fit or hint
+  std::size_t transform_groups = 0;  // shared-transform (exog, fourier) groups
+  std::size_t rescored = 0;          // survivors re-scored by the oracle
+  double prepare_ms = 0.0;           // grouping + shared transform builds
+  double grid_ms = 0.0;              // parallel candidate evaluation
+  double rescore_ms = 0.0;           // cold oracle re-score of survivors
+  double total_ms = 0.0;             // the whole Select() call
+};
+
 // Result of a full grid selection.
 struct SelectionResult {
   EvaluatedCandidate best;                 // lowest test RMSE
@@ -39,6 +59,7 @@ struct SelectionResult {
   std::size_t deadline_skipped = 0;        // never attempted: budget ran out
   bool deadline_hit = false;               // the time budget expired mid-grid
   std::vector<EvaluatedCandidate> top;     // best few, RMSE ascending
+  SelectorProfile profile;                 // where the grid time went
 };
 
 // Default evaluation parallelism: the hardware concurrency, clamped to

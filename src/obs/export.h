@@ -1,0 +1,74 @@
+#ifndef CAPPLAN_OBS_EXPORT_H_
+#define CAPPLAN_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace capplan::obs {
+
+// Serializers from the in-memory registry/tracer state to the two formats
+// standard tooling consumes: Prometheus text exposition (node-exporter style
+// scrape file) and the Chrome trace event format (chrome://tracing,
+// Perfetto). File writers go through a tmp-file + rename so a scraper never
+// reads a half-written exposition.
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition format.
+
+// Renders `# HELP` / `# TYPE` headers plus one line per series. Histograms
+// expand to cumulative `<name>_bucket{le="..."}` series (ending in
+// le="+Inf"), `<name>_sum` and `<name>_count`. Samples are emitted in
+// snapshot order (sorted by name, then labels).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+// Atomically replaces `path` with the rendered exposition.
+Status WritePrometheusFile(const MetricsSnapshot& snapshot,
+                           const std::string& path);
+
+// One scraped series, e.g. {"fit_latency_ms_bucket", {{"le","0.5"}}, 3}.
+struct PrometheusSample {
+  std::string name;
+  LabelSet labels;
+  double value = 0.0;
+};
+
+// `# HELP` / `# TYPE` metadata for one metric family.
+struct PrometheusFamily {
+  std::string name;
+  std::string help;
+  std::string type;  // "counter" | "gauge" | "histogram" | "untyped"
+};
+
+struct PrometheusText {
+  std::vector<PrometheusFamily> families;
+  std::vector<PrometheusSample> samples;
+};
+
+// Minimal parser for the exposition format — enough for round-trip tests
+// and for external checkers to validate a scrape file. Rejects malformed
+// sample lines, unbalanced label quoting, and non-numeric values. Accepts
+// "+Inf"/"-Inf"/"NaN" values per the format spec.
+Result<PrometheusText> ParsePrometheusText(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Chrome trace event format (the JSON consumed by chrome://tracing and
+// https://ui.perfetto.dev).
+
+// Renders complete ("ph":"X") events. Timestamps are rebased so the
+// earliest event starts at ts=0 and converted to microseconds; span/parent
+// ids and tags ride in "args" so the flame view can be correlated with
+// journal events.
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events);
+
+// Atomically replaces `path` with the rendered trace.
+Status WriteChromeTraceFile(const std::vector<TraceEvent>& events,
+                            const std::string& path);
+
+}  // namespace capplan::obs
+
+#endif  // CAPPLAN_OBS_EXPORT_H_

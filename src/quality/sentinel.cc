@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace capplan::quality {
 
 namespace {
@@ -199,6 +201,7 @@ QualityReport DataQualitySentinel::Inspect(
 
 Result<tsa::TimeSeries> DataQualitySentinel::Repair(
     const tsa::TimeSeries& series, QualityReport* report) const {
+  obs::TraceSpan span("sentinel.repair", "quality");
   Analysis a = Analyze(series, options_);
   // Preserve grid-normalization counts a caller may have accumulated on the
   // report before handing it in.

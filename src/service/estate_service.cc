@@ -8,6 +8,8 @@
 
 #include "core/split.h"
 #include "models/arima_spec.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "repo/csv.h"
 
 namespace capplan::service {
@@ -135,6 +137,7 @@ Status EstateService::Start() {
 }
 
 Status EstateService::Ingest(std::int64_t from_epoch, std::int64_t to_epoch) {
+  obs::TraceSpan ingest_span("service.ingest", "service");
   if (to_epoch <= from_epoch) return Status::OK();
   const std::int64_t span = to_epoch - from_epoch;
   if (span % config_.poll_seconds != 0) {
@@ -254,9 +257,11 @@ std::size_t EstateService::DispatchDue(TickReport* report) {
         [key, series = std::move(*window), opts,
          quality_opts = config_.quality, gate = config_.quality_gate,
          fitted_at = now_]() -> FitOutcome {
+          obs::TraceSpan refit_span("service.refit", "service");
           FitOutcome out;
           out.key = key;
           out.fitted_at_epoch = fitted_at;
+          out.span_id = refit_span.id();
           const auto t0 = Clock::now();
           // Sentinel pass: classify, repair what is safe, mask outages.
           // An irreparable window (no usable observation) fails the fit
@@ -329,12 +334,16 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
   const std::string& key = outcome.key;
   quality_[key] = outcome.quality;
   if (outcome.quality_gated) ++telemetry_.quality_gated;
-  JournalAppend({now_,
-                 EventKind::kQuality,
-                 key,
-                 {FmtDouble(outcome.quality.score),
-                  outcome.quality.trainable ? "1" : "0",
-                  outcome.quality.verdict}});
+  // Every journal event from this outcome carries the worker's refit span
+  // id, so a replayed failure can be located in the trace dump.
+  JournalEvent quality_event{now_,
+                             EventKind::kQuality,
+                             key,
+                             {FmtDouble(outcome.quality.score),
+                              outcome.quality.trainable ? "1" : "0",
+                              outcome.quality.verdict}};
+  quality_event.span_id = outcome.span_id;
+  JournalAppend(quality_event);
   if (outcome.status.ok()) {
     repo::StoredModel model;
     model.key = key;
@@ -361,21 +370,23 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
       if (report != nullptr) ++report->refits_degraded;
     }
     if (report != nullptr) ++report->refits_completed;
-    JournalAppend(
-        {now_,
-         EventKind::kFitOk,
-         key,
-         {outcome.technique, outcome.spec, FmtDouble(outcome.test_rmse),
-          FmtDouble(outcome.test_mape),
-          std::to_string(outcome.fitted_at_epoch),
-          std::to_string(outcome.forecast_start_epoch),
-          std::to_string(outcome.forecast_step_seconds),
-          FmtDouble(outcome.forecast.level),
-          JoinDoubles(outcome.forecast.mean),
-          JoinDoubles(outcome.forecast.lower),
-          JoinDoubles(outcome.forecast.upper),
-          std::to_string(static_cast<int>(outcome.degradation)),
-          FmtDouble(outcome.quality.score)}});
+    JournalEvent fit_event{
+        now_,
+        EventKind::kFitOk,
+        key,
+        {outcome.technique, outcome.spec, FmtDouble(outcome.test_rmse),
+         FmtDouble(outcome.test_mape),
+         std::to_string(outcome.fitted_at_epoch),
+         std::to_string(outcome.forecast_start_epoch),
+         std::to_string(outcome.forecast_step_seconds),
+         FmtDouble(outcome.forecast.level),
+         JoinDoubles(outcome.forecast.mean),
+         JoinDoubles(outcome.forecast.lower),
+         JoinDoubles(outcome.forecast.upper),
+         std::to_string(static_cast<int>(outcome.degradation)),
+         FmtDouble(outcome.quality.score)}};
+    fit_event.span_id = outcome.span_id;
+    JournalAppend(fit_event);
   } else {
     const bool quarantined = scheduler_.OnFailure(key, now_);
     ++telemetry_.refits_failed;
@@ -384,19 +395,25 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
     const int failures = entry.ok() ? entry->consecutive_failures : 0;
     const std::int64_t next_due =
         quarantined ? -1 : (entry.ok() ? entry->due_epoch : -1);
-    JournalAppend({now_,
-                   EventKind::kFitFail,
-                   key,
-                   {std::to_string(failures), std::to_string(next_due),
-                    outcome.status.ToString()}});
+    JournalEvent fail_event{now_,
+                            EventKind::kFitFail,
+                            key,
+                            {std::to_string(failures),
+                             std::to_string(next_due),
+                             outcome.status.ToString()}};
+    fail_event.span_id = outcome.span_id;
+    JournalAppend(fail_event);
     if (quarantined) {
       ++telemetry_.quarantines;
-      JournalAppend({now_, EventKind::kQuarantine, key, {}});
+      JournalEvent quarantine_event{now_, EventKind::kQuarantine, key, {}};
+      quarantine_event.span_id = outcome.span_id;
+      JournalAppend(quarantine_event);
     }
   }
 }
 
 void EstateService::EvaluateAlerts(TickReport* report) {
+  obs::TraceSpan span("service.alerts", "service");
   const auto t0 = Clock::now();
   struct Transition {
     std::string key;
@@ -485,6 +502,7 @@ void EstateService::EvaluateAlerts(TickReport* report) {
 }
 
 Result<TickReport> EstateService::Tick() {
+  obs::TraceSpan span("service.tick", "service");
   if (!started_) {
     return Status::FailedPrecondition("service: not started");
   }
@@ -577,8 +595,17 @@ std::string EstateService::JournalPath() const {
   return config_.state_dir + "/journal.log";
 }
 
-Status EstateService::JournalAppend(const JournalEvent& event) {
+Status EstateService::WritePrometheus(const std::string& path) const {
+  return obs::WritePrometheusFile(telemetry_.registry->Collect(), path);
+}
+
+Status EstateService::DumpTrace(const std::string& path) const {
+  return obs::WriteChromeTraceFile(obs::Tracer::Instance().Drain(), path);
+}
+
+Status EstateService::JournalAppend(JournalEvent event) {
   if (!journal_.is_open()) return Status::OK();  // ephemeral service
+  if (event.span_id == 0) event.span_id = obs::CurrentSpanId();
   Status st = journal_.Append(event);
   if (!st.ok()) {
     // Availability beats durability: callers keep serving with a degraded
@@ -593,6 +620,7 @@ Status EstateService::JournalAppend(const JournalEvent& event) {
 }
 
 Status EstateService::WriteSnapshot() {
+  obs::TraceSpan span("service.snapshot", "service");
   const std::string& dir = config_.state_dir;
   CAPPLAN_RETURN_NOT_OK(registry_.Save(dir + "/snapshot.registry.csv"));
   CAPPLAN_RETURN_NOT_OK(scheduler_.Save(dir + "/snapshot.schedule.csv"));
@@ -773,6 +801,7 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
 }
 
 Status EstateService::Recover() {
+  obs::TraceSpan span("service.recover", "service");
   if (started_) {
     return Status::FailedPrecondition("service: already started");
   }

@@ -153,6 +153,18 @@ class EstateService {
   // Puts a quarantined key back into the rotation, due immediately.
   Status ReleaseQuarantine(const std::string& key);
 
+  // Writes the Prometheus text exposition of the telemetry registry to
+  // `path` atomically (tmp + rename), so an external scraper never reads a
+  // half-written file. Callable at any point in the service lifecycle.
+  Status WritePrometheus(const std::string& path) const;
+
+  // Drains every buffered trace span (obs::Tracer — enable tracing with
+  // obs::Tracer::Instance().Enable() before Start/Tick) into a Chrome
+  // trace-event JSON file at `path`, viewable in chrome://tracing or
+  // Perfetto. Draining clears the buffers; each dump covers the spans since
+  // the previous one.
+  Status DumpTrace(const std::string& path) const;
+
   // Introspection.
   bool started() const { return started_; }
   std::int64_t now() const { return now_; }
@@ -205,6 +217,9 @@ class EstateService {
     core::DegradationLevel degradation = core::DegradationLevel::kFull;
     bool quality_gated = false;  // sentinel kept this fit off the grid
     quality::QualityReport quality;
+    // The worker's refit trace span, stamped onto this outcome's journal
+    // events so a logged failure can be found in the trace timeline.
+    std::uint64_t span_id = 0;
   };
 
   Status Ingest(std::int64_t from_epoch, std::int64_t to_epoch);
@@ -215,7 +230,9 @@ class EstateService {
   void EvaluateAlerts(TickReport* report);
   Status WriteSnapshot();
   Status ReplayEvent(const JournalEvent& event);
-  Status JournalAppend(const JournalEvent& event);
+  // Appends by value: events with span_id 0 are stamped with the calling
+  // thread's active trace span before serialization.
+  Status JournalAppend(JournalEvent event);
   std::string JournalPath() const;
 
   const workload::ClusterSimulator* cluster_;  // not owned

@@ -1,6 +1,7 @@
 #include "service/journal.h"
 
 #include <cerrno>
+#include <cstddef>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -13,7 +14,8 @@ namespace capplan::service {
 namespace {
 
 constexpr char kSeparator = '|';
-constexpr const char* kVersion = "v1";
+constexpr const char* kVersionV1 = "v1";  // epoch|kind|key|fields...
+constexpr const char* kVersion = "v2";    // epoch|kind|span|key|fields...
 
 std::string Sanitize(const std::string& s) {
   std::string out = s;
@@ -76,14 +78,16 @@ Result<EventKind> ParseEventKind(const std::string& name) {
 std::string JournalEvent::Serialize() const {
   std::ostringstream out;
   out << kVersion << kSeparator << epoch << kSeparator << EventKindName(kind)
-      << kSeparator << Sanitize(key);
+      << kSeparator << span_id << kSeparator << Sanitize(key);
   for (const auto& f : fields) out << kSeparator << Sanitize(f);
   return out.str();
 }
 
 Result<JournalEvent> JournalEvent::Parse(const std::string& line) {
   std::vector<std::string> parts = SplitLine(line);
-  if (parts.size() < 4 || parts[0] != kVersion) {
+  const bool v1 = !parts.empty() && parts[0] == kVersionV1;
+  const bool v2 = !parts.empty() && parts[0] == kVersion;
+  if ((!v1 && !v2) || parts.size() < (v2 ? 5u : 4u)) {
     return Status::InvalidArgument("journal: malformed line");
   }
   JournalEvent event;
@@ -93,8 +97,18 @@ Result<JournalEvent> JournalEvent::Parse(const std::string& line) {
     return Status::InvalidArgument("journal: bad epoch in line");
   }
   CAPPLAN_ASSIGN_OR_RETURN(event.kind, ParseEventKind(parts[2]));
-  event.key = parts[3];
-  event.fields.assign(parts.begin() + 4, parts.end());
+  std::size_t key_at = 3;
+  if (v2) {
+    try {
+      event.span_id = std::stoull(parts[3]);
+    } catch (...) {
+      return Status::InvalidArgument("journal: bad span id in line");
+    }
+    key_at = 4;
+  }
+  event.key = parts[key_at];
+  event.fields.assign(parts.begin() + static_cast<std::ptrdiff_t>(key_at) + 1,
+                      parts.end());
   return event;
 }
 

@@ -41,9 +41,16 @@ struct JournalEvent {
   EventKind kind = EventKind::kTick;
   std::string key;         // subject series; empty for tick/snapshot
   std::vector<std::string> fields;
+  // Trace span active when the event was journalled (obs::CurrentSpanId();
+  // 0 = none). Links a journal line to the matching span in a Chrome-trace
+  // dump, so a replayed failure can be located in the timeline. Declared
+  // after `fields` to keep `{epoch, kind, key, {fields}}` initializers valid.
+  std::uint64_t span_id = 0;
 
-  // One line, 'v1|epoch|kind|key|field...'. Separator and newline characters
-  // inside fields are replaced with '/' (model specs never contain them).
+  // One line, 'v2|epoch|kind|span|key|field...'. Separator and newline
+  // characters inside fields are replaced with '/' (model specs never
+  // contain them). Parse also accepts the pre-trace 'v1|epoch|kind|key|...'
+  // layout, yielding span_id 0.
   std::string Serialize() const;
   static Result<JournalEvent> Parse(const std::string& line);
 };

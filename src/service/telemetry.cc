@@ -4,16 +4,72 @@
 
 namespace capplan::service {
 
+ServiceTelemetry::ServiceTelemetry()
+    : registry(std::make_shared<obs::MetricsRegistry>()) {
+  auto counter = [this](const char* name, const char* help) {
+    return registry->GetCounter(name, {}, help);
+  };
+  ticks = counter("capplan_ticks_total", "Service driver loop iterations");
+  polls = counter("capplan_polls_total", "Agent samples requested");
+  samples_ingested =
+      counter("capplan_samples_ingested_total", "Raw samples appended");
+  hourly_points =
+      counter("capplan_hourly_points_total", "Hourly aggregates appended");
+  refits_dispatched =
+      counter("capplan_refits_dispatched_total", "Refits handed to the pool");
+  refits_succeeded =
+      counter("capplan_refits_succeeded_total", "Refits that produced a model");
+  refits_failed = counter("capplan_refits_failed_total", "Refits that errored");
+  refits_deferred =
+      counter("capplan_refits_deferred_total", "Refits skipped: short history");
+  refits_degraded = counter("capplan_refits_degraded_total",
+                            "Refits served by a degradation-ladder rung");
+  quality_gated = counter("capplan_quality_gated_total",
+                          "Fits the data-quality sentinel kept off the grid");
+  quarantines =
+      counter("capplan_quarantines_total", "Keys quarantined after failures");
+  alerts_raised = counter("capplan_alerts_raised_total", "Breach alerts raised");
+  alerts_cleared =
+      counter("capplan_alerts_cleared_total", "Breach alerts cleared");
+  forecast_cache_hits = counter("capplan_forecast_cache_hits_total",
+                                "Ticks served from a cached fit");
+  forecast_exhausted_ticks = counter("capplan_forecast_exhausted_ticks_total",
+                                     "Ticks where the cache outran its horizon");
+  journal_events =
+      counter("capplan_journal_events_total", "Journal events appended");
+  snapshots_written =
+      counter("capplan_snapshots_written_total", "State snapshots written");
+  io_errors =
+      counter("capplan_io_errors_total", "Absorbed write failures, all paths");
+  journal_write_failures = counter("capplan_journal_write_failures_total",
+                                   "Absorbed journal append failures");
+  snapshot_failures = counter("capplan_snapshot_failures_total",
+                              "Absorbed snapshot write failures");
+
+  auto stage = [this](const char* name) {
+    return StageStats(registry->GetHistogram(
+        "capplan_stage_latency_ms", {}, {{"stage", name}},
+        "Per-stage wall time distribution"));
+  };
+  ingest_stage = stage("ingest");
+  fit_stage = stage("fit");
+  forecast_stage = stage("forecast");
+  alert_stage = stage("alert");
+}
+
 namespace {
 
 void WriteStage(JsonWriter* w, const std::string& key,
                 const StageStats& stage) {
   w->Key(key);
   w->BeginObject();
-  w->Integer("count", static_cast<long long>(stage.count));
-  w->Number("total_ms", stage.total_ms);
+  w->Integer("count", static_cast<long long>(stage.count()));
+  w->Number("total_ms", stage.total_ms());
   w->Number("mean_ms", stage.mean_ms());
-  w->Number("max_ms", stage.max_ms);
+  w->Number("max_ms", stage.max_ms());
+  w->Number("min_ms", stage.min_ms());
+  w->Number("p50_ms", stage.p50_ms());
+  w->Number("p99_ms", stage.p99_ms());
   w->EndObject();
 }
 
@@ -22,29 +78,36 @@ void WriteStage(JsonWriter* w, const std::string& key,
 std::string TelemetryToJson(const ServiceTelemetry& t, bool pretty) {
   JsonWriter w(pretty);
   w.BeginObject();
-  w.Integer("ticks", static_cast<long long>(t.ticks));
-  w.Integer("polls", static_cast<long long>(t.polls));
-  w.Integer("samples_ingested", static_cast<long long>(t.samples_ingested));
-  w.Integer("hourly_points", static_cast<long long>(t.hourly_points));
-  w.Integer("refits_dispatched", static_cast<long long>(t.refits_dispatched));
-  w.Integer("refits_succeeded", static_cast<long long>(t.refits_succeeded));
-  w.Integer("refits_failed", static_cast<long long>(t.refits_failed));
-  w.Integer("refits_deferred", static_cast<long long>(t.refits_deferred));
-  w.Integer("refits_degraded", static_cast<long long>(t.refits_degraded));
-  w.Integer("quality_gated", static_cast<long long>(t.quality_gated));
-  w.Integer("quarantines", static_cast<long long>(t.quarantines));
-  w.Integer("alerts_raised", static_cast<long long>(t.alerts_raised));
-  w.Integer("alerts_cleared", static_cast<long long>(t.alerts_cleared));
+  w.Integer("ticks", static_cast<long long>(t.ticks.value()));
+  w.Integer("polls", static_cast<long long>(t.polls.value()));
+  w.Integer("samples_ingested",
+            static_cast<long long>(t.samples_ingested.value()));
+  w.Integer("hourly_points", static_cast<long long>(t.hourly_points.value()));
+  w.Integer("refits_dispatched",
+            static_cast<long long>(t.refits_dispatched.value()));
+  w.Integer("refits_succeeded",
+            static_cast<long long>(t.refits_succeeded.value()));
+  w.Integer("refits_failed", static_cast<long long>(t.refits_failed.value()));
+  w.Integer("refits_deferred",
+            static_cast<long long>(t.refits_deferred.value()));
+  w.Integer("refits_degraded",
+            static_cast<long long>(t.refits_degraded.value()));
+  w.Integer("quality_gated", static_cast<long long>(t.quality_gated.value()));
+  w.Integer("quarantines", static_cast<long long>(t.quarantines.value()));
+  w.Integer("alerts_raised", static_cast<long long>(t.alerts_raised.value()));
+  w.Integer("alerts_cleared", static_cast<long long>(t.alerts_cleared.value()));
   w.Integer("forecast_cache_hits",
-            static_cast<long long>(t.forecast_cache_hits));
+            static_cast<long long>(t.forecast_cache_hits.value()));
   w.Integer("forecast_exhausted_ticks",
-            static_cast<long long>(t.forecast_exhausted_ticks));
-  w.Integer("journal_events", static_cast<long long>(t.journal_events));
-  w.Integer("snapshots_written", static_cast<long long>(t.snapshots_written));
-  w.Integer("io_errors", static_cast<long long>(t.io_errors));
+            static_cast<long long>(t.forecast_exhausted_ticks.value()));
+  w.Integer("journal_events", static_cast<long long>(t.journal_events.value()));
+  w.Integer("snapshots_written",
+            static_cast<long long>(t.snapshots_written.value()));
+  w.Integer("io_errors", static_cast<long long>(t.io_errors.value()));
   w.Integer("journal_write_failures",
-            static_cast<long long>(t.journal_write_failures));
-  w.Integer("snapshot_failures", static_cast<long long>(t.snapshot_failures));
+            static_cast<long long>(t.journal_write_failures.value()));
+  w.Integer("snapshot_failures",
+            static_cast<long long>(t.snapshot_failures.value()));
   w.Key("stages");
   w.BeginObject();
   WriteStage(&w, "ingest", t.ingest_stage);

@@ -2,56 +2,85 @@
 #define CAPPLAN_SERVICE_TELEMETRY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace capplan::service {
 
-// Latency accumulator for one service stage. All mutation happens on the
-// service's driver thread (worker fit durations are recorded at collection
-// time), so no synchronisation is needed.
-struct StageStats {
-  std::uint64_t count = 0;
-  double total_ms = 0.0;
-  double max_ms = 0.0;
+// Latency distribution for one service stage, backed by a fixed-bucket
+// histogram in the telemetry's MetricsRegistry (obs/metrics.h). The earlier
+// mean/max accumulator hid the shape of the distribution — a single 40 s
+// grid fit among hundreds of 50 ms ones was invisible in the mean — so the
+// stats now expose min/p50/p90/p99 alongside the original fields.
+class StageStats {
+ public:
+  StageStats() = default;
+  explicit StageStats(obs::Histogram histogram) : histogram_(histogram) {}
 
-  void Record(double ms) {
-    ++count;
-    total_ms += ms;
-    if (ms > max_ms) max_ms = ms;
-  }
+  void Record(double ms) { histogram_.Observe(ms); }
+
+  std::uint64_t count() const { return histogram_.count(); }
+  double total_ms() const { return histogram_.sum(); }
   double mean_ms() const {
-    return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : histogram_.sum() / static_cast<double>(n);
   }
+  double min_ms() const { return histogram_.min(); }
+  double max_ms() const { return histogram_.max(); }
+  // Interpolated within the covering histogram bucket, clamped to the
+  // observed [min, max] — see obs::HistogramCell::Quantile.
+  double p50_ms() const { return histogram_.quantile(0.50); }
+  double p90_ms() const { return histogram_.quantile(0.90); }
+  double p99_ms() const { return histogram_.quantile(0.99); }
+
+ private:
+  obs::Histogram histogram_;  // detached (all-zero) if default-constructed
 };
 
 // Counters and per-stage latencies of the estate planning daemon. The
 // paper's production deployment (Section 8) is an always-on service; these
 // are the numbers an operator would watch to know it is healthy.
+//
+// The struct is now a facade over an obs::MetricsRegistry: each field is a
+// handle into the registry, so the same numbers that feed TelemetryToJson
+// are scrapeable through the Prometheus exporter (obs/export.h) with no
+// double bookkeeping. Handles keep the original plain-integer ergonomics
+// (++, +=, =, implicit read) so call sites did not change.
 struct ServiceTelemetry {
-  std::uint64_t ticks = 0;
-  std::uint64_t polls = 0;               // agent samples requested
-  std::uint64_t samples_ingested = 0;    // raw samples appended
-  std::uint64_t hourly_points = 0;       // hourly aggregates appended
-  std::uint64_t refits_dispatched = 0;
-  std::uint64_t refits_succeeded = 0;
-  std::uint64_t refits_failed = 0;
-  std::uint64_t refits_deferred = 0;     // not enough history yet
-  std::uint64_t refits_degraded = 0;     // forecast came from a ladder rung
-  std::uint64_t quality_gated = 0;       // sentinel kept a fit off the grid
-  std::uint64_t quarantines = 0;
-  std::uint64_t alerts_raised = 0;
-  std::uint64_t alerts_cleared = 0;
-  std::uint64_t forecast_cache_hits = 0;     // ticks served from a cached fit
-  std::uint64_t forecast_exhausted_ticks = 0;  // cache older than its horizon
-  std::uint64_t journal_events = 0;
-  std::uint64_t snapshots_written = 0;
+  ServiceTelemetry();
+  ServiceTelemetry(const ServiceTelemetry&) = delete;
+  ServiceTelemetry& operator=(const ServiceTelemetry&) = delete;
+
+  // Registry owning every cell below; shared so an exporter can outlive a
+  // scrape call. Declared first: handles must not outlive it.
+  std::shared_ptr<obs::MetricsRegistry> registry;
+
+  obs::Counter ticks;
+  obs::Counter polls;               // agent samples requested
+  obs::Counter samples_ingested;    // raw samples appended
+  obs::Counter hourly_points;       // hourly aggregates appended
+  obs::Counter refits_dispatched;
+  obs::Counter refits_succeeded;
+  obs::Counter refits_failed;
+  obs::Counter refits_deferred;     // not enough history yet
+  obs::Counter refits_degraded;     // forecast came from a ladder rung
+  obs::Counter quality_gated;       // sentinel kept a fit off the grid
+  obs::Counter quarantines;
+  obs::Counter alerts_raised;
+  obs::Counter alerts_cleared;
+  obs::Counter forecast_cache_hits;     // ticks served from a cached fit
+  obs::Counter forecast_exhausted_ticks;  // cache older than its horizon
+  obs::Counter journal_events;
+  obs::Counter snapshots_written;
 
   // Write-path failures the service absorbed to stay available. A non-zero
   // count means durability is degraded (recovery would lose the failed
   // events/snapshots) even though the daemon kept serving.
-  std::uint64_t io_errors = 0;               // all absorbed write failures
-  std::uint64_t journal_write_failures = 0;  // subset: journal appends
-  std::uint64_t snapshot_failures = 0;       // subset: snapshot writes
+  obs::Counter io_errors;               // all absorbed write failures
+  obs::Counter journal_write_failures;  // subset: journal appends
+  obs::Counter snapshot_failures;       // subset: snapshot writes
 
   StageStats ingest_stage;
   StageStats fit_stage;      // worker wall time per refit
@@ -60,7 +89,9 @@ struct ServiceTelemetry {
 };
 
 // Serializes the telemetry block via the shared JSON writer — the same
-// integration surface as core::ReportToJson.
+// integration surface as core::ReportToJson. Field order and formatting of
+// the pre-registry fields are frozen (goldens in estate_service_test.cc);
+// the histogram-derived stage fields (min_ms, p50_ms, p99_ms) are additive.
 std::string TelemetryToJson(const ServiceTelemetry& telemetry,
                             bool pretty = false);
 

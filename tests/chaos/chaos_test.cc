@@ -1,10 +1,12 @@
 #include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/fault.h"
+#include "obs/trace.h"
 #include "service/estate_service.h"
 #include "workload/scenario.h"
 
@@ -272,6 +274,66 @@ TEST_F(ChaosTest, DegradedForecastFlaggedAndSurvivesRecovery) {
   ASSERT_TRUE(recovered.Recover().ok());
   EXPECT_EQ(recovered.ForecastDegradation(recovered.keys()[0]),
             core::DegradationLevel::kHesOnly);
+  std::filesystem::remove_all(config.state_dir);
+}
+
+TEST_F(ChaosTest, JournalSpanCorrelationSurvivesRecovery) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.state_dir = FreshStateDir("span_corr");
+  config.snapshot_every_ticks = 0;  // journal-only recovery
+  const std::vector<WatchConfig> watches = {{0, workload::Metric::kCpu, 95.0}};
+
+  obs::Tracer& tracer = obs::Tracer::Instance();
+  tracer.Disable();
+  tracer.Clear();
+  tracer.Enable();
+  {
+    EstateService service(&cluster, watches, config);
+    ASSERT_TRUE(service.Start().ok());
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+    EXPECT_EQ(service.telemetry().refits_succeeded, 1u);
+    // Crash without checkpoint.
+  }
+  tracer.Disable();
+  std::set<std::uint64_t> refit_spans;
+  for (const auto& e : tracer.Drain()) {
+    if (std::string(e.name) == "service.refit") refit_spans.insert(e.span_id);
+  }
+  ASSERT_FALSE(refit_spans.empty());
+
+  // The on-disk fit_ok line is stamped with the worker's refit span, so the
+  // logged outcome can be located in the trace timeline.
+  auto journal = ReadJournal(config.state_dir + "/journal.log");
+  ASSERT_TRUE(journal.ok());
+  std::uint64_t fit_ok_span = 0;
+  for (const auto& event : *journal) {
+    if (event.kind == EventKind::kFitOk) fit_ok_span = event.span_id;
+  }
+  ASSERT_NE(fit_ok_span, 0u);
+  EXPECT_TRUE(refit_spans.count(fit_ok_span) > 0);
+
+  // Recovery replays the span-stamped (v2) lines cleanly and appends more
+  // events on top of them without disturbing the correlation already on
+  // disk.
+  FaultInjector::Global().Reset();
+  EstateService recovered(&cluster, watches, config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_TRUE(recovered.registry().Contains(recovered.keys()[0]));
+  ASSERT_TRUE(recovered.Tick().ok());
+  ASSERT_TRUE(recovered.DrainRefits().ok());
+  auto replayed = ReadJournal(config.state_dir + "/journal.log");
+  ASSERT_TRUE(replayed.ok());
+  std::uint64_t surviving_span = 0;
+  for (const auto& event : *replayed) {
+    if (event.kind == EventKind::kFitOk && event.span_id == fit_ok_span) {
+      surviving_span = event.span_id;
+    }
+  }
+  EXPECT_EQ(surviving_span, fit_ok_span);
+  tracer.Clear();
   std::filesystem::remove_all(config.state_dir);
 }
 

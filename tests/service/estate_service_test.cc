@@ -332,5 +332,33 @@ TEST(EstateServiceTest, TelemetryJsonIsWellFormed) {
   EXPECT_NE(json.find("\"mean_ms\":10"), std::string::npos);
 }
 
+TEST(EstateServiceTest, TelemetryJsonGoldenFieldsAreByteStable) {
+  // The registry migration must be invisible to anything parsing the
+  // telemetry JSON: the counter block is pinned byte for byte, and the
+  // pre-migration stage fields keep their exact order with the new
+  // histogram-derived fields (min/p50/p99) strictly appended.
+  ServiceTelemetry telemetry;
+  telemetry.ticks = 3;
+  telemetry.refits_succeeded = 2;
+  telemetry.fit_stage.Record(12.5);
+  telemetry.fit_stage.Record(7.5);
+  const std::string json = TelemetryToJson(telemetry);
+  const std::string golden_counters =
+      "{\"ticks\":3,\"polls\":0,\"samples_ingested\":0,\"hourly_points\":0,"
+      "\"refits_dispatched\":0,\"refits_succeeded\":2,\"refits_failed\":0,"
+      "\"refits_deferred\":0,\"refits_degraded\":0,\"quality_gated\":0,"
+      "\"quarantines\":0,\"alerts_raised\":0,\"alerts_cleared\":0,"
+      "\"forecast_cache_hits\":0,\"forecast_exhausted_ticks\":0,"
+      "\"journal_events\":0,\"snapshots_written\":0,\"io_errors\":0,"
+      "\"journal_write_failures\":0,\"snapshot_failures\":0,\"stages\":{";
+  EXPECT_EQ(json.substr(0, golden_counters.size()), golden_counters);
+  EXPECT_NE(
+      json.find("\"fit\":{\"count\":2,\"total_ms\":20,\"mean_ms\":10,"
+                "\"max_ms\":12.5,\"min_ms\":7.5,\"p50_ms\":10,"
+                "\"p99_ms\":12.45}"),
+      std::string::npos)
+      << json;
+}
+
 }  // namespace
 }  // namespace capplan::service

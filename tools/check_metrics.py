@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Metric-name linter for the observability layer (stdlib only).
+
+Cross-checks the metric names registered in the C++ sources against the
+catalogue table in docs/observability.md, in both directions:
+
+  1. every `capplan_*` string literal under src/ must follow the naming
+     rules (snake_case starting with a letter, no double underscore, no
+     trailing underscore; counters end in `_total`, everything else carries
+     a unit suffix such as `_ms`, `_seconds`, `_bytes`, `_ratio`);
+  2. every name found in src/ must have a catalogue row;
+  3. every catalogue row must correspond to a name actually registered in
+     src/ — the docs may not advertise metrics that do not exist.
+
+Usage: tools/check_metrics.py            (from the repository root)
+Exits 1 with one line per violation, 0 when the catalogue is consistent.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CATALOGUE = Path("docs/observability.md")
+SRC_DIR = Path("src")
+
+# A metric name inside a C++ string literal.
+SRC_METRIC_RE = re.compile(r'"(capplan_[A-Za-z0-9_]*)"')
+# A catalogue row: first cell of a table row, name in backticks.
+DOC_METRIC_RE = re.compile(r"^\|\s*`(capplan_[A-Za-z0-9_]*)`\s*\|", re.MULTILINE)
+
+VALID_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+UNIT_SUFFIXES = ("_total", "_ms", "_seconds", "_bytes", "_ratio")
+
+
+def naming_errors(name: str, where: str) -> list:
+    errors = []
+    if not VALID_NAME_RE.fullmatch(name):
+        errors.append(f"{where}: {name}: not lowercase snake_case")
+    if "__" in name:
+        errors.append(f"{where}: {name}: double underscore")
+    if name.endswith("_"):
+        errors.append(f"{where}: {name}: trailing underscore")
+    if not name.endswith(UNIT_SUFFIXES):
+        errors.append(f"{where}: {name}: counters must end in _total, other "
+                      f"metrics need a unit suffix {UNIT_SUFFIXES}")
+    return errors
+
+
+def metrics_in_sources() -> dict:
+    """name -> first `file:line` that registers it."""
+    found = {}
+    for path in sorted(SRC_DIR.rglob("*.cc")) + sorted(SRC_DIR.rglob("*.h")):
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            for name in SRC_METRIC_RE.findall(line):
+                found.setdefault(name, f"{path}:{lineno}")
+    return found
+
+
+def main() -> int:
+    if not CATALOGUE.is_file() or not SRC_DIR.is_dir():
+        print(f"run from the repository root (missing {CATALOGUE} or "
+              f"{SRC_DIR}/)", file=sys.stderr)
+        return 2
+
+    src_metrics = metrics_in_sources()
+    doc_metrics = set(DOC_METRIC_RE.findall(
+        CATALOGUE.read_text(encoding="utf-8")))
+
+    errors = []
+    for name, where in sorted(src_metrics.items()):
+        errors.extend(naming_errors(name, where))
+        if name not in doc_metrics:
+            errors.append(f"{where}: {name}: missing from the catalogue in "
+                          f"{CATALOGUE}")
+    for name in sorted(doc_metrics - set(src_metrics)):
+        errors.append(f"{CATALOGUE}: {name}: catalogued but never registered "
+                      f"in {SRC_DIR}/")
+
+    for line in errors:
+        print(line, file=sys.stderr)
+    print(f"checked {len(src_metrics)} registered metrics against "
+          f"{len(doc_metrics)} catalogue rows: "
+          f"{'OK' if not errors else f'{len(errors)} violations'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
