@@ -1,0 +1,246 @@
+// Query-server load gate for the CI bench-smoke step. Two phases against a
+// real socket server:
+//
+//   1. Steady state — 8 closed-loop keep-alive clients hammer a small query
+//      set over a static view. Records req/s and merged p50/p99 latency and
+//      gates on the answer-cache hit ratio (>= 0.9: a small hot query set
+//      must be served almost entirely from cache).
+//   2. Overload — max_inflight is squeezed to 4 under a deliberately slow
+//      handler and 16 clients; the gate demands demonstrable 429 shedding
+//      AND continued 200 service (admission control degrades, not collapses).
+//
+// Writes BENCH_serve.json and exits non-zero when either gate fails.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "serve/estate_view.h"
+#include "serve/handlers.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+
+using namespace capplan;
+using namespace capplan::serve;
+
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 400;
+constexpr double kHitRatioGate = 0.9;
+constexpr int kOverloadClients = 16;
+constexpr int kOverloadRequests = 25;
+
+std::shared_ptr<EstateView> SyntheticView() {
+  auto view = std::make_shared<EstateView>();
+  view->now_epoch = 1000000;
+  view->tick = 1;
+  for (int i = 0; i < 4; ++i) {
+    InstanceStatus s;
+    s.instance = "cdbm01" + std::to_string(i);
+    s.metric = "cpu";
+    s.key = s.instance + "/cpu";
+    s.threshold = 80.0;
+    s.has_forecast = true;
+    for (int h = 0; h < 24; ++h) {
+      s.forecast.mean.push_back(50.0 + 1.5 * h + i);
+      s.forecast.lower.push_back(45.0 + 1.5 * h + i);
+      s.forecast.upper.push_back(55.0 + 1.5 * h + i);
+    }
+    s.forecast_start_epoch = 1000000;
+    s.forecast_step_seconds = 3600;
+    s.spec = "HES a=0.2";
+    for (int h = 0; h < 8; ++h) s.recent.push_back(40.0 + h + i);
+    s.recent_start_epoch = 1000000 - 8 * 3600;
+    view->instances.push_back(std::move(s));
+  }
+  std::sort(view->instances.begin(), view->instances.end(),
+            [](const InstanceStatus& a, const InstanceStatus& b) {
+              return a.key < b.key;
+            });
+  return view;
+}
+
+std::vector<std::string> Targets(const EstateView& view) {
+  std::vector<std::string> targets;
+  for (const auto& s : view.instances) {
+    const std::string qs = "instance=" + s.instance + "&metric=" + s.metric;
+    targets.push_back("/v1/forecast?" + qs);
+    targets.push_back("/v1/breach?" + qs);
+    targets.push_back("/v1/headroom?" + qs + "&capacity=200");
+  }
+  targets.push_back("/v1/estate");
+  return targets;
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  const double rank = p * static_cast<double>(sorted->size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*sorted)[lo] * (1.0 - frac) + (*sorted)[hi] * frac;
+}
+
+}  // namespace
+
+int main() {
+  // ---- Phase 1: steady-state throughput + cache hit ratio ----------------
+  ViewChannel channel;
+  channel.Publish(SyntheticView());
+  EstateQueryHandler handler(&channel);
+
+  HttpServerConfig config;
+  config.worker_threads = 4;
+  HttpServer server(
+      [&handler](const HttpRequest& r) { return handler.Handle(r); }, config);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "serve_load: server failed to start\n");
+    return 2;
+  }
+  const auto targets = Targets(*channel.Get());
+
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::vector<double>> latencies(kClients);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([c, &server, &targets, &errors, &latencies] {
+        HttpClient client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) {
+          errors.fetch_add(kRequestsPerClient);
+          return;
+        }
+        latencies[c].reserve(kRequestsPerClient);
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const auto& target = targets[(c + i) % targets.size()];
+          const auto r0 = std::chrono::steady_clock::now();
+          auto resp = client.Get(target);
+          const auto r1 = std::chrono::steady_clock::now();
+          if (!resp.ok() || resp->status != 200) {
+            errors.fetch_add(1);
+            continue;
+          }
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(r1 - r0).count());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  server.Stop();
+
+  std::vector<double> merged;
+  for (const auto& per : latencies) {
+    merged.insert(merged.end(), per.begin(), per.end());
+  }
+  const double total = static_cast<double>(merged.size());
+  const double rps = elapsed_s > 0.0 ? total / elapsed_s : 0.0;
+  const double p50 = Percentile(&merged, 0.50);
+  const double p99 = Percentile(&merged, 0.99);
+  const std::uint64_t hits = handler.cache().hits();
+  const std::uint64_t misses = handler.cache().misses();
+  const double hit_ratio =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  const bool cache_pass = hit_ratio >= kHitRatioGate && errors.load() == 0;
+
+  // ---- Phase 2: overload shedding ----------------------------------------
+  HttpServerConfig tight;
+  tight.worker_threads = 4;
+  tight.max_inflight = 4;
+  HttpServer slow(
+      [&handler](const HttpRequest& r) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        return handler.Handle(r);
+      },
+      tight);
+  if (!slow.Start().ok()) {
+    std::fprintf(stderr, "serve_load: overload server failed to start\n");
+    return 2;
+  }
+  std::atomic<std::uint64_t> ok_200{0};
+  std::atomic<std::uint64_t> shed_429{0};
+  std::atomic<std::uint64_t> other{0};
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kOverloadClients; ++c) {
+      threads.emplace_back([c, &slow, &targets, &ok_200, &shed_429, &other] {
+        HttpClient client;
+        if (!client.Connect("127.0.0.1", slow.port()).ok()) {
+          other.fetch_add(kOverloadRequests);
+          return;
+        }
+        for (int i = 0; i < kOverloadRequests; ++i) {
+          auto resp = client.Get(targets[(c + i) % targets.size()]);
+          if (!resp.ok()) {
+            other.fetch_add(1);
+          } else if (resp->status == 200) {
+            ok_200.fetch_add(1);
+          } else if (resp->status == 429) {
+            shed_429.fetch_add(1);
+          } else {
+            other.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const HttpServerStats slow_stats = slow.Stats();
+  slow.Stop();
+  const bool overload_pass =
+      shed_429.load() > 0 && ok_200.load() > 0 && other.load() == 0;
+
+  const bool pass = cache_pass && overload_pass;
+
+  JsonWriter w(/*pretty=*/true);
+  w.BeginObject();
+  w.String("bench", "serve_load");
+  w.Integer("clients", kClients);
+  w.Integer("requests", static_cast<long long>(total));
+  w.Number("elapsed_s", elapsed_s);
+  w.Number("requests_per_second", rps);
+  w.Number("latency_p50_ms", p50);
+  w.Number("latency_p99_ms", p99);
+  w.Integer("cache_hits", static_cast<long long>(hits));
+  w.Integer("cache_misses", static_cast<long long>(misses));
+  w.Number("cache_hit_ratio", hit_ratio);
+  w.Number("cache_hit_ratio_gate", kHitRatioGate);
+  w.Integer("overload_clients", kOverloadClients);
+  w.Integer("overload_200", static_cast<long long>(ok_200.load()));
+  w.Integer("overload_429", static_cast<long long>(shed_429.load()));
+  w.Integer("overload_other", static_cast<long long>(other.load()));
+  w.Integer("overload_throttled_stat",
+            static_cast<long long>(slow_stats.throttled));
+  w.Bool("cache_pass", cache_pass);
+  w.Bool("overload_pass", overload_pass);
+  w.Bool("pass", pass);
+  w.EndObject();
+  const std::string json = w.Take();
+  std::ofstream("BENCH_serve.json") << json << "\n";
+
+  std::printf("%s\n", json.c_str());
+  std::printf("\nserve load: %.0f req/s, p50 %.3f ms, p99 %.3f ms, "
+              "cache hit ratio %.3f (gate %.2f); overload %llu x 200 / "
+              "%llu x 429 -> %s\n",
+              rps, p50, p99, hit_ratio, kHitRatioGate,
+              static_cast<unsigned long long>(ok_200.load()),
+              static_cast<unsigned long long>(shed_429.load()),
+              pass ? "OK" : "GATE FAILED");
+  return pass ? 0 : 1;
+}

@@ -68,17 +68,22 @@ int main() {
       const auto breach = core::CapacityPlanner::PredictBreach(
           report->forecast, watch.threshold, report->forecast_start_epoch,
           3600);
+      if (!breach.ok()) {
+        std::fprintf(stderr, "%s: %s\n", key.c_str(),
+                     breach.status().ToString().c_str());
+        continue;
+      }
       std::printf("%-24s model %-28s MAPA %5.1f%%  ", key.c_str(),
                   report->chosen_spec.c_str(), report->test_accuracy.mapa);
-      if (breach.mean_breach) {
+      if (breach->mean_breach) {
         std::printf("ALERT: expected to cross %.5g%s in %zu h\n",
                     watch.threshold, watch.unit,
-                    breach.steps_to_mean_breach);
+                    breach->steps_to_mean_breach);
         ++warnings;
-      } else if (breach.upper_breach) {
+      } else if (breach->upper_breach) {
         std::printf("WARN: upper bound crosses %.5g%s in %zu h\n",
                     watch.threshold, watch.unit,
-                    breach.steps_to_upper_breach);
+                    breach->steps_to_upper_breach);
         ++warnings;
       } else {
         std::printf("ok (no breach within 24 h)\n");

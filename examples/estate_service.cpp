@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "serve/handlers.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
 #include "service/estate_service.h"
 #include "workload/scenario.h"
 
@@ -33,7 +36,14 @@ int Fail(const std::string& what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --serve: after the simulated run, stand up the HTTP query server over
+  // the service's published view and exercise it with a live client.
+  bool serve_demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--serve") serve_demo = true;
+  }
+
   // Tracing stays on for the whole run: every tick, ingest, refit and alert
   // scan lands in the per-thread ring buffers, dumped to a Chrome-trace file
   // at the end (open it in chrome://tracing or https://ui.perfetto.dev).
@@ -182,6 +192,41 @@ int main() {
                 static_cast<long long>(
                     (alert.predicted_breach_epoch - svc.now()) / kHour),
                 alert.upper_only ? "upper" : "mean");
+  }
+
+  if (serve_demo) {
+    // The serving layer reads the same snapshot the alert feed was built
+    // from: an ephemeral-port server (no fixed-port collisions) plus one
+    // real client round trip per endpoint family.
+    serve::EstateQueryHandler handler(svc.view_channel());
+    serve::HttpServer server([&handler](const serve::HttpRequest& request) {
+      return handler.Handle(request);
+    });
+    if (auto s = server.Start(); !s.ok()) return Fail(s.ToString());
+    std::printf("\n[serve] capacity query server on 127.0.0.1:%d\n",
+                server.port());
+    serve::HttpClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      return Fail("serve: client connect failed");
+    }
+    auto estate = client.Get("/v1/estate");
+    if (!estate.ok() || estate->status != 200) {
+      return Fail("serve: GET /v1/estate failed");
+    }
+    std::printf("[serve] GET /v1/estate -> 200 (%zu bytes, %zu instances)\n",
+                estate->body.size(), watches.size());
+    const std::string& key = svc.keys().front();
+    const std::size_t slash = key.find('/');
+    const std::string breach_target = "/v1/breach?instance=" +
+                                      key.substr(0, slash) +
+                                      "&metric=" + key.substr(slash + 1);
+    auto breach = client.Get(breach_target);
+    if (!breach.ok() || breach->status != 200) {
+      return Fail("serve: GET " + breach_target + " failed");
+    }
+    std::printf("[serve] GET %s ->\n  %s\n", breach_target.c_str(),
+                breach->body.c_str());
+    server.Stop();
   }
 
   // Observability artifacts: a Prometheus scrape file of the telemetry

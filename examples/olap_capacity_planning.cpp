@@ -53,8 +53,14 @@ int main() {
                   report->shocks.size());
     }
     // Provision so even the 95% upper bound keeps 20% headroom.
-    const double recommended =
+    const auto capacity =
         core::CapacityPlanner::RecommendedCapacity(report->forecast, 0.2);
+    if (!capacity.ok()) {
+      std::fprintf(stderr, "%s: %s\n", key.c_str(),
+                   capacity.status().ToString().c_str());
+      continue;
+    }
+    const double recommended = *capacity;
     std::printf("recommended IOPS capacity (20%% headroom over the upper "
                 "forecast bound): %.3g IO/h\n\n",
                 recommended);

@@ -39,6 +39,9 @@ namespace capplan {
 //                       drives the degradation ladder to the HES rung
 //   pipeline.hes        the HES selection rung fails (ladder -> SES)
 //   pipeline.ses        the SES rung fails (ladder -> seasonal-naive)
+//   serve.accept        the HTTP server drops a freshly accepted connection
+//   serve.read          an HTTP socket read fails (client torn mid-request)
+//   serve.write         an HTTP socket write fails mid-response
 
 // Which calls at an armed site fail. Counting starts at the moment the site
 // is armed; `skip` calls pass, then `fail` calls fire, then the site is

@@ -1,14 +1,42 @@
 #include "core/capacity.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "models/ets.h"
 
 namespace capplan::core {
 
-BreachPrediction CapacityPlanner::PredictBreach(
+namespace {
+
+// Forecast values must be finite for any threshold comparison to mean
+// anything; a NaN upstream would otherwise silently report "no breach".
+Status CheckFinite(const std::vector<double>& values, const char* what) {
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::ComputeError(std::string("non-finite value in ") + what);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BreachPrediction> CapacityPlanner::PredictBreach(
     const models::Forecast& forecast, double threshold,
     std::int64_t start_epoch, std::int64_t step_seconds) {
+  if (forecast.mean.empty()) {
+    return Status::InvalidArgument("PredictBreach: empty forecast");
+  }
+  if (step_seconds <= 0) {
+    return Status::InvalidArgument(
+        "PredictBreach: step_seconds must be positive");
+  }
+  if (!std::isfinite(threshold)) {
+    return Status::InvalidArgument("PredictBreach: non-finite threshold");
+  }
+  CAPPLAN_RETURN_NOT_OK(CheckFinite(forecast.mean, "forecast mean"));
+  CAPPLAN_RETURN_NOT_OK(CheckFinite(forecast.upper, "forecast upper bound"));
   BreachPrediction out;
   for (std::size_t h = 0; h < forecast.mean.size(); ++h) {
     if (!out.mean_breach && forecast.mean[h] >= threshold) {
@@ -29,8 +57,17 @@ BreachPrediction CapacityPlanner::PredictBreach(
   return out;
 }
 
-double CapacityPlanner::RecommendedCapacity(const models::Forecast& forecast,
-                                            double safety_margin) {
+Result<double> CapacityPlanner::RecommendedCapacity(
+    const models::Forecast& forecast, double safety_margin) {
+  if (forecast.upper.empty()) {
+    return Status::InvalidArgument(
+        "RecommendedCapacity: forecast has no upper bound");
+  }
+  if (!std::isfinite(safety_margin)) {
+    return Status::InvalidArgument(
+        "RecommendedCapacity: non-finite safety margin");
+  }
+  CAPPLAN_RETURN_NOT_OK(CheckFinite(forecast.upper, "forecast upper bound"));
   double peak_upper = 0.0;
   for (std::size_t h = 0; h < forecast.upper.size(); ++h) {
     peak_upper = std::max(peak_upper, forecast.upper[h]);
@@ -42,6 +79,9 @@ Result<CapacityPlanner::GrowthProjection> CapacityPlanner::ProjectGrowth(
     const tsa::TimeSeries& hourly, int months, double threshold) {
   if (months < 1 || months > 36) {
     return Status::InvalidArgument("ProjectGrowth: months in [1, 36]");
+  }
+  if (!std::isfinite(threshold)) {
+    return Status::InvalidArgument("ProjectGrowth: non-finite threshold");
   }
   if (hourly.frequency() != tsa::Frequency::kHourly) {
     return Status::InvalidArgument("ProjectGrowth: needs an hourly series");
@@ -93,12 +133,15 @@ Result<CapacityPlanner::HeadroomReport> CapacityPlanner::Headroom(
   if (recent.empty()) {
     return Status::InvalidArgument("Headroom: empty recent series");
   }
-  if (forecast.mean.empty()) {
+  if (forecast.mean.empty() || forecast.upper.empty()) {
     return Status::InvalidArgument("Headroom: empty forecast");
   }
-  if (capacity <= 0.0) {
-    return Status::InvalidArgument("Headroom: capacity must be positive");
+  if (!std::isfinite(capacity) || capacity <= 0.0) {
+    return Status::InvalidArgument(
+        "Headroom: capacity must be positive and finite");
   }
+  CAPPLAN_RETURN_NOT_OK(CheckFinite(forecast.mean, "forecast mean"));
+  CAPPLAN_RETURN_NOT_OK(CheckFinite(forecast.upper, "forecast upper bound"));
   HeadroomReport rep;
   rep.current_usage = recent[recent.size() - 1];
   rep.peak_forecast =

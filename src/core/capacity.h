@@ -28,20 +28,24 @@ struct BreachPrediction {
   std::int64_t upper_breach_epoch = 0;
 };
 
+// Error contract (shared by the serving layer, which maps these to HTTP
+// 422): malformed inputs — empty forecasts, non-positive step spacing,
+// non-finite thresholds/margins/capacities — come back InvalidArgument;
+// forecasts that exist but carry non-finite values (a model blow-up
+// upstream) come back ComputeError.
 class CapacityPlanner {
  public:
   // Scans the forecast for the first crossing of `threshold`.
   // `start_epoch` is the timestamp of forecast step 1 and `step_seconds`
   // the spacing of steps.
-  static BreachPrediction PredictBreach(const models::Forecast& forecast,
-                                        double threshold,
-                                        std::int64_t start_epoch,
-                                        std::int64_t step_seconds);
+  static Result<BreachPrediction> PredictBreach(
+      const models::Forecast& forecast, double threshold,
+      std::int64_t start_epoch, std::int64_t step_seconds);
 
   // Capacity to provision so that even the upper forecast bound keeps
   // `safety_margin` fractional headroom (e.g. 0.2 = 20% spare).
-  static double RecommendedCapacity(const models::Forecast& forecast,
-                                    double safety_margin = 0.2);
+  static Result<double> RecommendedCapacity(const models::Forecast& forecast,
+                                            double safety_margin = 0.2);
 
   struct HeadroomReport {
     double current_usage = 0.0;    // last observed value

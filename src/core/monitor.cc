@@ -57,9 +57,15 @@ Result<std::vector<WatchResult>> MonitoringService::Evaluate(
     const CachedForecast& active = cache_.at(watch.key);
     r.model_spec = active.spec;
     r.test_mape = active.test_mape;
-    r.breach = CapacityPlanner::PredictBreach(
+    auto breach = CapacityPlanner::PredictBreach(
         active.forecast, watch.threshold, active.start_epoch,
         active.step_seconds);
+    if (!breach.ok()) {
+      r.status = breach.status();
+      results.push_back(std::move(r));
+      continue;
+    }
+    r.breach = *std::move(breach);
     r.status = Status::OK();
     results.push_back(std::move(r));
   }

@@ -4,8 +4,6 @@
 
 namespace capplan::core {
 
-namespace {
-
 void WriteForecastFields(JsonWriter* w, const models::Forecast& fc) {
   w->Number("level", fc.level);
   w->BeginArray("mean");
@@ -19,7 +17,24 @@ void WriteForecastFields(JsonWriter* w, const models::Forecast& fc) {
   w->EndArray();
 }
 
-}  // namespace
+void WriteBreachFields(JsonWriter* w, const BreachPrediction& breach) {
+  w->Bool("mean_breach", breach.mean_breach);
+  w->Integer("steps_to_mean_breach",
+             static_cast<long long>(breach.steps_to_mean_breach));
+  w->Integer("mean_breach_epoch", breach.mean_breach_epoch);
+  w->Bool("upper_breach", breach.upper_breach);
+  w->Integer("steps_to_upper_breach",
+             static_cast<long long>(breach.steps_to_upper_breach));
+  w->Integer("upper_breach_epoch", breach.upper_breach_epoch);
+}
+
+void WriteHeadroomFields(JsonWriter* w,
+                         const CapacityPlanner::HeadroomReport& report) {
+  w->Number("current_usage", report.current_usage);
+  w->Number("peak_forecast", report.peak_forecast);
+  w->Number("peak_upper", report.peak_upper);
+  w->Number("headroom_fraction", report.headroom_fraction);
+}
 
 std::string ForecastToJson(const models::Forecast& forecast, bool pretty) {
   JsonWriter w(pretty);

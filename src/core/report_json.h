@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "common/json_writer.h"
+#include "core/capacity.h"
 #include "core/pipeline.h"
 
 namespace capplan::core {
@@ -16,6 +18,14 @@ std::string ReportToJson(const PipelineReport& report, bool pretty = false);
 // Serializes just a forecast (mean/lower/upper/level).
 std::string ForecastToJson(const models::Forecast& forecast,
                            bool pretty = false);
+
+// Field-level writers for composing these payloads into larger documents
+// (the serving layer embeds them inside endpoint response envelopes). Each
+// streams its fields into an already-open JSON object.
+void WriteForecastFields(JsonWriter* w, const models::Forecast& forecast);
+void WriteBreachFields(JsonWriter* w, const BreachPrediction& breach);
+void WriteHeadroomFields(JsonWriter* w,
+                         const CapacityPlanner::HeadroomReport& report);
 
 }  // namespace capplan::core
 

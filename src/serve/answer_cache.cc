@@ -1,0 +1,74 @@
+#include "serve/answer_cache.h"
+
+namespace capplan::serve {
+
+AnswerCache::AnswerCache(Options options,
+                         std::shared_ptr<obs::MetricsRegistry> registry)
+    : options_(options) {
+  if (registry != nullptr) {
+    hits_ = registry->GetCounter("capplan_serve_cache_hits_total", {},
+                                 "Answer-cache lookups served from cache");
+    misses_ = registry->GetCounter(
+        "capplan_serve_cache_misses_total", {},
+        "Answer-cache lookups that rendered a fresh response");
+    evictions_ = registry->GetCounter("capplan_serve_cache_evictions_total",
+                                      {}, "Answer-cache LRU evictions");
+    fill_ = registry->GetGauge("capplan_serve_cache_fill_ratio", {},
+                               "Answer-cache entries / capacity");
+  }
+}
+
+std::optional<HttpResponse> AnswerCache::Get(const std::string& key,
+                                             std::uint64_t view_version,
+                                             double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.view_version != view_version ||
+      it->second.expires_at < now_seconds) {
+    if (it != entries_.end()) {
+      // Stale for the current view or past TTL: drop it so the map never
+      // accumulates generations of dead answers.
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+    }
+    n_misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Inc();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  n_hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Inc();
+  return it->second.response;
+}
+
+void AnswerCache::Put(const std::string& key, std::uint64_t view_version,
+                      double now_seconds, const HttpResponse& response) {
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= options_.capacity) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      n_evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions_.Inc();
+    }
+    lru_.push_front(key);
+    it = entries_.emplace(key, Entry{}).first;
+    it->second.lru_it = lru_.begin();
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  }
+  it->second.response = response;
+  it->second.view_version = view_version;
+  it->second.expires_at = now_seconds + options_.ttl_seconds;
+  fill_.Set(static_cast<double>(entries_.size()) /
+            static_cast<double>(options_.capacity));
+}
+
+std::size_t AnswerCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace capplan::serve

@@ -1,0 +1,87 @@
+#ifndef CAPPLAN_SERVE_ANSWER_CACHE_H_
+#define CAPPLAN_SERVE_ANSWER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/http.h"
+
+namespace capplan::serve {
+
+// TTL answer cache for rendered query responses, keyed on the normalized
+// query identity (endpoint + instance + metric + horizon/threshold/...). An
+// entry is valid only while (a) the view it was rendered from is still the
+// published one — every entry is stamped with the view version, so a view
+// swap invalidates the whole cache without touching it — and (b) its TTL has
+// not elapsed. LRU eviction bounds the footprint.
+//
+// All methods are thread-safe; the hot path (Get on a warm key) is one
+// mutex-protected map lookup and a string copy of the rendered response —
+// no JSON rendering, no allocation proportional to the forecast horizon.
+class AnswerCache {
+ public:
+  struct Options {
+    std::size_t capacity = 1024;  // entries; 0 disables caching entirely
+    double ttl_seconds = 5.0;
+  };
+
+  AnswerCache() : AnswerCache(Options(), nullptr) {}
+  explicit AnswerCache(Options options,
+                       std::shared_ptr<obs::MetricsRegistry> registry = {});
+
+  // Returns the cached response if `key` is fresh for `view_version` at
+  // `now_seconds` (any monotonic clock, seconds). Counts a hit or miss.
+  std::optional<HttpResponse> Get(const std::string& key,
+                                  std::uint64_t view_version,
+                                  double now_seconds);
+
+  // Stores a rendered response for `key` under `view_version`.
+  void Put(const std::string& key, std::uint64_t view_version,
+           double now_seconds, const HttpResponse& response);
+
+  std::size_t size() const;
+  // Counted locally so they work with or without a wired registry (the
+  // registry handles only mirror them for /metrics).
+  std::uint64_t hits() const {
+    return n_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return n_misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return n_evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    HttpResponse response;
+    std::uint64_t view_version = 0;
+    double expires_at = 0.0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // most recently used at front
+
+  std::atomic<std::uint64_t> n_hits_{0};
+  std::atomic<std::uint64_t> n_misses_{0};
+  std::atomic<std::uint64_t> n_evictions_{0};
+
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Gauge fill_;
+};
+
+}  // namespace capplan::serve
+
+#endif  // CAPPLAN_SERVE_ANSWER_CACHE_H_

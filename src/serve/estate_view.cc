@@ -1,0 +1,31 @@
+#include "serve/estate_view.h"
+
+#include <algorithm>
+
+namespace capplan::serve {
+
+const InstanceStatus* EstateView::Find(const std::string& key) const {
+  const auto it = std::lower_bound(
+      instances.begin(), instances.end(), key,
+      [](const InstanceStatus& s, const std::string& k) { return s.key < k; });
+  return it != instances.end() && it->key == key ? &*it : nullptr;
+}
+
+void ViewChannel::Publish(std::shared_ptr<EstateView> view) {
+  view->version = swaps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::shared_ptr<const EstateView> next(std::move(view));
+  LockSlot();
+  slot_.swap(next);
+  UnlockSlot();
+  // `next` (the displaced view) is released outside the critical section so
+  // a last-reference destruction never extends the spin window.
+}
+
+std::shared_ptr<const EstateView> ViewChannel::Get() const {
+  LockSlot();
+  std::shared_ptr<const EstateView> view = slot_;
+  UnlockSlot();
+  return view;
+}
+
+}  // namespace capplan::serve

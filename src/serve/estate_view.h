@@ -1,0 +1,105 @@
+#ifndef CAPPLAN_SERVE_ESTATE_VIEW_H_
+#define CAPPLAN_SERVE_ESTATE_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "models/model.h"
+
+namespace capplan::serve {
+
+// Immutable, point-in-time snapshot of everything the query server answers
+// from: per-instance cached forecasts, breach/alert state, quality and
+// degradation status, and a short tail of observed values. EstateService
+// builds a fresh EstateView at the end of every tick and publishes it with
+// one atomic shared_ptr swap; request threads load the pointer, answer from
+// the frozen snapshot, and never touch a service lock. A view outlives any
+// request that loaded it (shared ownership), so a swap mid-request is safe.
+
+struct InstanceStatus {
+  std::string key;       // repository key, e.g. "cdbm011/cpu"
+  std::string instance;  // "cdbm011"
+  std::string metric;    // "cpu" | "memory" | "logical_iops"
+  double threshold = 0.0;  // configured breach level for this watch
+
+  // Cached forecast (absent until the first refit lands).
+  bool has_forecast = false;
+  models::Forecast forecast;
+  std::int64_t forecast_start_epoch = 0;  // timestamp of forecast step 1
+  std::int64_t forecast_step_seconds = 3600;
+  std::string spec;  // "<technique> <spec>" of the producing fit
+  core::DegradationLevel degradation = core::DegradationLevel::kFull;
+
+  // Latest data-quality sentinel verdict for this series.
+  double quality_score = 1.0;
+  bool trainable = true;
+  std::string quality_verdict;
+
+  // Active breach alert, if any.
+  bool alert_active = false;
+  bool alert_upper_only = false;
+  std::int64_t predicted_breach_epoch = 0;
+
+  // Trailing observed hourly values (newest last) so headroom queries can
+  // compare forecast peaks against current usage without repository access.
+  std::vector<double> recent;
+  std::int64_t recent_start_epoch = 0;  // epoch of recent.front()
+};
+
+struct EstateView {
+  std::uint64_t version = 0;   // strictly increasing per publish
+  std::int64_t now_epoch = 0;  // service clock when the view was built
+  std::uint64_t tick = 0;      // service tick counter at build time
+  std::vector<InstanceStatus> instances;  // sorted by key
+
+  // Binary search by key; nullptr when absent.
+  const InstanceStatus* Find(const std::string& key) const;
+};
+
+// Single-slot publication channel: one writer (the service driver thread)
+// swaps in new views, any number of readers (request threads) load the
+// current one. Readers get shared ownership, so a view stays alive for as
+// long as any request still answers from it.
+//
+// The slot is guarded by an acquire/release spin bit rather than
+// std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic unlocks its load
+// path with relaxed ordering, which is a formal data race against the next
+// store (and a TSan report). The critical section here is one shared_ptr
+// copy or move — a refcount bump — so the bit is never held across real
+// work and readers still bypass every service lock.
+class ViewChannel {
+ public:
+  ViewChannel() = default;
+  ViewChannel(const ViewChannel&) = delete;
+  ViewChannel& operator=(const ViewChannel&) = delete;
+
+  // Stamps `view` with the next version and publishes it.
+  void Publish(std::shared_ptr<EstateView> view);
+
+  // Current view; nullptr before the first Publish.
+  std::shared_ptr<const EstateView> Get() const;
+
+  // Number of Publish calls (== version of the current view).
+  std::uint64_t swaps() const {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void LockSlot() const {
+    while (slot_bit_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void UnlockSlot() const { slot_bit_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> slot_bit_{false};
+  std::shared_ptr<const EstateView> slot_;
+  std::atomic<std::uint64_t> swaps_{0};
+};
+
+}  // namespace capplan::serve
+
+#endif  // CAPPLAN_SERVE_ESTATE_VIEW_H_

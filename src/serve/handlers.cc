@@ -1,0 +1,355 @@
+#include "serve/handlers.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/json_writer.h"
+#include "core/capacity.h"
+#include "core/report_json.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "tsa/timeseries.h"
+
+namespace capplan::serve {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+HttpResponse ErrorResponse(int status, const char* code,
+                           const std::string& message) {
+  JsonWriter w(false);
+  w.BeginObject();
+  w.Key("error");
+  w.BeginObject();
+  w.Integer("status", status);
+  w.String("code", code);
+  w.String("message", message);
+  w.EndObject();
+  w.EndObject();
+  return HttpResponse::Json(status, w.Take());
+}
+
+// Planner Result errors surface as 422: the request was well-formed HTTP
+// but the estate's data cannot answer it (empty forecast, NaN bounds, ...).
+HttpResponse UnprocessableResponse(const Status& status) {
+  return ErrorResponse(422, StatusCodeToString(status.code()),
+                       status.message());
+}
+
+// Strict double parse for query parameters; rejects trailing junk and
+// non-finite spellings ("nan", "inf") so they cannot smuggle past the
+// planner's own finiteness checks as literal NaN thresholds.
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseLong(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+// Canonical cache key: the query map is sorted and percent-decoded, so two
+// spellings of the same query collapse to one entry.
+std::string CacheKey(const HttpRequest& request) {
+  std::string key = request.path;
+  char sep = '?';
+  for (const auto& [k, v] : request.query) {
+    key += sep;
+    key += k;
+    key += '=';
+    key += v;
+    sep = '&';
+  }
+  return key;
+}
+
+}  // namespace
+
+EstateQueryHandler::EstateQueryHandler(
+    const ViewChannel* channel, std::shared_ptr<obs::MetricsRegistry> registry,
+    Options options)
+    : channel_(channel),
+      registry_(std::move(registry)),
+      options_(options),
+      cache_(options.cache, registry_) {
+  if (registry_ != nullptr) {
+    obs::MetricsRegistry& reg = *registry_;
+    const auto endpoint = [&reg](const char* name) {
+      EndpointMetrics m;
+      m.requests = reg.GetCounter("capplan_serve_endpoint_requests_total",
+                                  {{"endpoint", name}},
+                                  "Requests routed per endpoint");
+      m.latency = reg.GetHistogram("capplan_serve_handler_latency_ms", {},
+                                   {{"endpoint", name}},
+                                   "Handler render latency per endpoint");
+      return m;
+    };
+    m_forecast_ = endpoint("forecast");
+    m_breach_ = endpoint("breach");
+    m_headroom_ = endpoint("headroom");
+    m_estate_ = endpoint("estate");
+    m_errors_ = reg.GetCounter("capplan_serve_handler_errors_total", {},
+                               "Responses with status >= 400");
+  }
+}
+
+HttpResponse EstateQueryHandler::Handle(const HttpRequest& request) {
+  const std::shared_ptr<const EstateView> view = channel_->Get();
+  HttpResponse response = Dispatch(request, view);
+  if (response.status >= 400) m_errors_.Inc();
+  return response;
+}
+
+HttpResponse EstateQueryHandler::Dispatch(
+    const HttpRequest& request,
+    const std::shared_ptr<const EstateView>& view) {
+  if (request.method != "GET" && request.method != "HEAD") {
+    HttpResponse resp = ErrorResponse(405, "MethodNotAllowed",
+                                      "only GET and HEAD are supported");
+    resp.headers.emplace_back("Allow", "GET, HEAD");
+    return resp;
+  }
+  if (request.path == "/healthz") {
+    if (view == nullptr) return ServiceUnavailable("no view published yet");
+    return HttpResponse::Text(200, "ok\n");
+  }
+  if (request.path == "/metrics") return HandleMetrics();
+
+  const bool is_v1 = request.path.rfind("/v1/", 0) == 0;
+  if (!is_v1) {
+    return ErrorResponse(404, "NotFound", "no such endpoint: " + request.path);
+  }
+  if (view == nullptr) return ServiceUnavailable("no view published yet");
+
+  // Cache probe: every /v1/* answer is deterministic given (view version,
+  // canonical query), so a hit skips rendering entirely.
+  const std::string cache_key = CacheKey(request);
+  if (auto cached = cache_.Get(cache_key, view->version, NowSeconds())) {
+    return *std::move(cached);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  HttpResponse response;
+  EndpointMetrics* metrics = nullptr;
+  if (request.path == "/v1/estate") {
+    response = HandleEstate(*view);
+    metrics = &m_estate_;
+  } else if (request.path == "/v1/forecast") {
+    response = HandleForecast(request, *view);
+    metrics = &m_forecast_;
+  } else if (request.path == "/v1/breach") {
+    response = HandleBreach(request, *view);
+    metrics = &m_breach_;
+  } else if (request.path == "/v1/headroom") {
+    response = HandleHeadroom(request, *view);
+    metrics = &m_headroom_;
+  } else {
+    return ErrorResponse(404, "NotFound", "no such endpoint: " + request.path);
+  }
+  if (metrics != nullptr) {
+    metrics->requests.Inc();
+    metrics->latency.Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  if (response.status == 200) {
+    cache_.Put(cache_key, view->version, NowSeconds(), response);
+  }
+  return response;
+}
+
+HttpResponse EstateQueryHandler::ServiceUnavailable(
+    const std::string& message) const {
+  HttpResponse resp = ErrorResponse(503, "Unavailable", message);
+  resp.headers.emplace_back("Retry-After",
+                            std::to_string(options_.retry_after_seconds));
+  return resp;
+}
+
+const InstanceStatus* EstateQueryHandler::ResolveInstance(
+    const HttpRequest& request, const EstateView& view, bool require_forecast,
+    HttpResponse* error) {
+  const auto instance = request.query.find("instance");
+  const auto metric = request.query.find("metric");
+  if (instance == request.query.end() || metric == request.query.end() ||
+      instance->second.empty() || metric->second.empty()) {
+    *error = ErrorResponse(
+        400, "InvalidArgument",
+        "required query parameters: instance=<name>&metric=<name>");
+    return nullptr;
+  }
+  const std::string key = instance->second + "/" + metric->second;
+  const InstanceStatus* status = view.Find(key);
+  if (status == nullptr) {
+    *error = ErrorResponse(404, "NotFound", "no such watch: " + key);
+    return nullptr;
+  }
+  if (require_forecast && !status->has_forecast) {
+    *error = ServiceUnavailable("no forecast cached yet for " + key);
+    return nullptr;
+  }
+  return status;
+}
+
+HttpResponse EstateQueryHandler::HandleEstate(const EstateView& view) {
+  obs::TraceSpan span("serve.estate", "serve");
+  JsonWriter w(false);
+  w.BeginObject();
+  w.Integer("version", static_cast<long long>(view.version));
+  w.Integer("now_epoch", view.now_epoch);
+  w.Integer("tick", static_cast<long long>(view.tick));
+  w.BeginArray("instances");
+  for (const InstanceStatus& s : view.instances) {
+    w.BeginObject();
+    w.String("key", s.key);
+    w.String("instance", s.instance);
+    w.String("metric", s.metric);
+    w.Number("threshold", s.threshold);
+    w.Bool("has_forecast", s.has_forecast);
+    w.String("spec", s.spec);
+    w.String("degradation", core::DegradationLevelName(s.degradation));
+    w.Number("quality_score", s.quality_score);
+    w.Bool("trainable", s.trainable);
+    w.String("quality_verdict", s.quality_verdict);
+    w.Bool("alert_active", s.alert_active);
+    w.Bool("alert_upper_only", s.alert_upper_only);
+    w.Integer("predicted_breach_epoch", s.predicted_breach_epoch);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Json(200, w.Take());
+}
+
+HttpResponse EstateQueryHandler::HandleForecast(const HttpRequest& request,
+                                                const EstateView& view) {
+  obs::TraceSpan span("serve.forecast", "serve");
+  HttpResponse error;
+  const InstanceStatus* s =
+      ResolveInstance(request, view, /*require_forecast=*/true, &error);
+  if (s == nullptr) return error;
+
+  std::size_t horizon = s->forecast.mean.size();
+  const auto h = request.query.find("horizon");
+  if (h != request.query.end()) {
+    long parsed = 0;
+    if (!ParseLong(h->second, &parsed) || parsed < 1) {
+      return ErrorResponse(400, "InvalidArgument",
+                           "horizon must be a positive integer");
+    }
+    horizon = std::min(horizon, static_cast<std::size_t>(parsed));
+  }
+  models::Forecast fc = s->forecast;
+  fc.mean.resize(std::min(fc.mean.size(), horizon));
+  fc.lower.resize(std::min(fc.lower.size(), horizon));
+  fc.upper.resize(std::min(fc.upper.size(), horizon));
+
+  JsonWriter w(false);
+  w.BeginObject();
+  w.String("key", s->key);
+  w.Integer("view_version", static_cast<long long>(view.version));
+  w.Integer("start_epoch", s->forecast_start_epoch);
+  w.Integer("step_seconds", s->forecast_step_seconds);
+  w.String("spec", s->spec);
+  w.String("degradation", core::DegradationLevelName(s->degradation));
+  w.Key("forecast");
+  w.BeginObject();
+  core::WriteForecastFields(&w, fc);
+  w.EndObject();
+  w.EndObject();
+  return HttpResponse::Json(200, w.Take());
+}
+
+HttpResponse EstateQueryHandler::HandleBreach(const HttpRequest& request,
+                                              const EstateView& view) {
+  obs::TraceSpan span("serve.breach", "serve");
+  HttpResponse error;
+  const InstanceStatus* s =
+      ResolveInstance(request, view, /*require_forecast=*/true, &error);
+  if (s == nullptr) return error;
+
+  double threshold = s->threshold;
+  const auto t = request.query.find("threshold");
+  if (t != request.query.end() && !ParseDouble(t->second, &threshold)) {
+    return ErrorResponse(400, "InvalidArgument",
+                         "threshold must be a finite number");
+  }
+  auto breach = core::CapacityPlanner::PredictBreach(
+      s->forecast, threshold, s->forecast_start_epoch,
+      s->forecast_step_seconds);
+  if (!breach.ok()) return UnprocessableResponse(breach.status());
+
+  JsonWriter w(false);
+  w.BeginObject();
+  w.String("key", s->key);
+  w.Integer("view_version", static_cast<long long>(view.version));
+  w.Number("threshold", threshold);
+  core::WriteBreachFields(&w, *breach);
+  w.Bool("alert_active", s->alert_active);
+  w.Bool("alert_upper_only", s->alert_upper_only);
+  w.EndObject();
+  return HttpResponse::Json(200, w.Take());
+}
+
+HttpResponse EstateQueryHandler::HandleHeadroom(const HttpRequest& request,
+                                                const EstateView& view) {
+  obs::TraceSpan span("serve.headroom", "serve");
+  HttpResponse error;
+  const InstanceStatus* s =
+      ResolveInstance(request, view, /*require_forecast=*/true, &error);
+  if (s == nullptr) return error;
+
+  const auto c = request.query.find("capacity");
+  double capacity = 0.0;
+  if (c == request.query.end() || !ParseDouble(c->second, &capacity)) {
+    return ErrorResponse(400, "InvalidArgument",
+                         "required query parameter: capacity=<number>");
+  }
+  if (s->recent.empty()) {
+    return ServiceUnavailable("no recent observations for " + s->key);
+  }
+  const tsa::TimeSeries recent(s->key, s->recent_start_epoch,
+                               tsa::Frequency::kHourly, s->recent);
+  auto report =
+      core::CapacityPlanner::Headroom(recent, s->forecast, capacity);
+  if (!report.ok()) return UnprocessableResponse(report.status());
+
+  JsonWriter w(false);
+  w.BeginObject();
+  w.String("key", s->key);
+  w.Integer("view_version", static_cast<long long>(view.version));
+  w.Number("capacity", capacity);
+  core::WriteHeadroomFields(&w, *report);
+  w.EndObject();
+  return HttpResponse::Json(200, w.Take());
+}
+
+HttpResponse EstateQueryHandler::HandleMetrics() {
+  if (registry_ == nullptr) {
+    return ErrorResponse(404, "NotFound", "metrics registry not wired");
+  }
+  HttpResponse resp;
+  resp.status = 200;
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  resp.body = obs::ToPrometheusText(registry_->Collect());
+  return resp;
+}
+
+}  // namespace capplan::serve

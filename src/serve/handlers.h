@@ -1,0 +1,92 @@
+#ifndef CAPPLAN_SERVE_HANDLERS_H_
+#define CAPPLAN_SERVE_HANDLERS_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/answer_cache.h"
+#include "serve/estate_view.h"
+#include "serve/http.h"
+
+namespace capplan::serve {
+
+// Routes capacity queries against the currently published EstateView.
+// Endpoints (GET/HEAD only):
+//
+//   /healthz                         liveness; 503 until the first view
+//   /metrics                         Prometheus text of the wired registry
+//   /v1/estate                       one summary row per watched instance
+//   /v1/forecast?instance=&metric=[&horizon=]
+//   /v1/breach?instance=&metric=[&threshold=]
+//   /v1/headroom?instance=&metric=&capacity=
+//
+// Error mapping: unknown path or unknown instance/metric → 404; bad or
+// missing query parameters → 400; method other than GET/HEAD → 405 with
+// Allow; no published view yet, or no cached forecast for the instance →
+// 503 + Retry-After; planner Result errors (empty/NaN forecasts, bad
+// thresholds) → 422 carrying the StatusCode name and message. Successful
+// /v1/* answers are cached per (path, canonical query) and invalidated by
+// view swaps or TTL expiry.
+//
+// Handle() is thread-safe and lock-free on the view (one atomic load); the
+// answer cache adds one short critical section.
+class EstateQueryHandler {
+ public:
+  struct Options {
+    AnswerCache::Options cache;
+    int retry_after_seconds = 2;  // advertised on 503 responses
+  };
+
+  explicit EstateQueryHandler(
+      const ViewChannel* channel,
+      std::shared_ptr<obs::MetricsRegistry> registry = {})
+      : EstateQueryHandler(channel, std::move(registry), Options()) {}
+  EstateQueryHandler(const ViewChannel* channel,
+                     std::shared_ptr<obs::MetricsRegistry> registry,
+                     Options options);
+
+  HttpResponse Handle(const HttpRequest& request);
+
+  const AnswerCache& cache() const { return cache_; }
+
+ private:
+  HttpResponse Dispatch(const HttpRequest& request,
+                        const std::shared_ptr<const EstateView>& view);
+  HttpResponse HandleEstate(const EstateView& view);
+  HttpResponse HandleForecast(const HttpRequest& request,
+                              const EstateView& view);
+  HttpResponse HandleBreach(const HttpRequest& request,
+                            const EstateView& view);
+  HttpResponse HandleHeadroom(const HttpRequest& request,
+                              const EstateView& view);
+  HttpResponse HandleMetrics();
+
+  // Resolves ?instance=&metric= to a view row, or fills `error` with the
+  // 400/404/503 response explaining why it could not.
+  const InstanceStatus* ResolveInstance(const HttpRequest& request,
+                                        const EstateView& view,
+                                        bool require_forecast,
+                                        HttpResponse* error);
+
+  HttpResponse ServiceUnavailable(const std::string& message) const;
+
+  const ViewChannel* channel_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  Options options_;
+  AnswerCache cache_;
+
+  struct EndpointMetrics {
+    obs::Counter requests;
+    obs::Histogram latency;
+  };
+  EndpointMetrics m_forecast_;
+  EndpointMetrics m_breach_;
+  EndpointMetrics m_headroom_;
+  EndpointMetrics m_estate_;
+  obs::Counter m_errors_;
+};
+
+}  // namespace capplan::serve
+
+#endif  // CAPPLAN_SERVE_HANDLERS_H_

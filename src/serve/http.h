@@ -1,0 +1,136 @@
+#ifndef CAPPLAN_SERVE_HTTP_H_
+#define CAPPLAN_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace capplan::serve {
+
+// Minimal, dependency-free HTTP/1.1 message types and an incremental request
+// parser — just enough protocol for the capacity query server: GET/HEAD/POST,
+// Content-Length bodies (chunked transfer is rejected), keep-alive and
+// pipelining. The parser is a push-style state machine so the event loop can
+// feed it whatever bytes poll() delivered and resume mid-message.
+
+// One parsed request. Header names are lower-cased at parse time; the query
+// string is percent-decoded into a sorted map so two spellings of the same
+// query compare equal (the answer cache keys on this).
+struct HttpRequest {
+  std::string method;   // "GET", "HEAD", "POST"
+  std::string target;   // raw request target, e.g. "/v1/forecast?h=24"
+  std::string path;     // target up to '?', percent-decoded
+  std::map<std::string, std::string> query;  // decoded key -> decoded value
+  int version_minor = 1;  // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  // resolved from version + Connection header
+
+  // First header with (lower-case) name `name`, or nullptr.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  // Extra headers beyond Content-Type/Content-Length/Connection.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  static HttpResponse Json(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+  static HttpResponse Text(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.content_type = "text/plain; charset=utf-8";
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+// Canonical reason phrase ("OK", "Too Many Requests", ...); "Unknown" for
+// statuses the server never emits.
+const char* StatusReason(int status);
+
+// Renders the full response bytes. `keep_alive` selects the Connection
+// header; `head_only` omits the body (HEAD) while keeping Content-Length.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive,
+                              bool head_only = false);
+
+// Percent-decodes `in` (+ is a space inside query strings). Invalid escapes
+// are kept verbatim rather than rejected — query values are data, not
+// structure, by the time this runs.
+std::string UrlDecode(const std::string& in);
+
+// Protocol limits enforced during parsing, each with the HTTP status the
+// violation maps to (431 oversized headers, 413 oversized body, 414 long
+// request line).
+struct ParserLimits {
+  std::size_t max_request_line = 8192;
+  std::size_t max_header_bytes = 32768;  // all header lines together
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+// Incremental request parser. Typical driver loop:
+//
+//   parser.Feed(data, n);
+//   while (parser.state() == RequestParser::State::kComplete) {
+//     HttpRequest req = parser.TakeRequest();   // re-parses buffered tail
+//     ...handle req...
+//   }
+//   if (parser.state() == RequestParser::State::kError) ...respond 4xx...
+//
+// TakeRequest() retains any bytes beyond the completed message and
+// immediately starts parsing them, so pipelined requests surface one by one.
+class RequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  explicit RequestParser(ParserLimits limits = {});
+
+  // Appends bytes and advances the state machine as far as possible.
+  State Feed(const char* data, std::size_t n);
+
+  State state() const { return state_; }
+
+  // Precondition: state() == kComplete. Returns the parsed request and
+  // resumes parsing any pipelined bytes already buffered.
+  HttpRequest TakeRequest();
+
+  // Valid when state() == kError.
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  // Bytes buffered but not yet consumed by a completed message.
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody };
+
+  void Advance();
+  bool ParseRequestLine(const std::string& line);
+  bool ParseHeaderLine(const std::string& line);
+  void FinishHeaders();
+  void Fail(int status, std::string message);
+
+  ParserLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // bytes of buffer_ already parsed
+  Phase phase_ = Phase::kRequestLine;
+  State state_ = State::kNeedMore;
+  HttpRequest request_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_expected_ = 0;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+}  // namespace capplan::serve
+
+#endif  // CAPPLAN_SERVE_HTTP_H_

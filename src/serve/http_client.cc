@@ -1,0 +1,148 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace capplan::serve {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+Status HttpClient::Connect(const std::string& host, int port,
+                           int timeout_ms) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IoError("client: socket() failed");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("client: bad host address " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    return Status::IoError("client: connect failed: " + err);
+  }
+  return Status::OK();
+}
+
+Status HttpClient::Send(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("client: write failed: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<ClientResponse> HttpClient::Get(const std::string& target) {
+  CAPPLAN_RETURN_NOT_OK(Send("GET " + target +
+                             " HTTP/1.1\r\nHost: localhost\r\n"
+                             "Connection: keep-alive\r\n\r\n"));
+  return ReadResponse();
+}
+
+Result<ClientResponse> HttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  // Read until the header terminator is buffered.
+  std::size_t header_end;
+  while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[8192];
+    const ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::IoError("client: connection closed mid-headers");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string head = buf_.substr(0, header_end);
+
+  ClientResponse resp;
+  std::size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos) {
+    return Status::IoError("client: malformed status line");
+  }
+  const std::size_t sp2 = status_line.find(' ', sp1 + 1);
+  const std::string code = status_line.substr(
+      sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+  resp.status = std::atoi(code.c_str());
+  if (sp2 != std::string::npos) resp.reason = status_line.substr(sp2 + 1);
+
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    resp.headers[Lower(line.substr(0, colon))] = Trim(line.substr(colon + 1));
+  }
+
+  std::size_t body_len = 0;
+  if (const std::string* cl = resp.FindHeader("content-length")) {
+    body_len = static_cast<std::size_t>(std::atoll(cl->c_str()));
+  }
+  const std::size_t body_start = header_end + 4;
+  while (buf_.size() < body_start + body_len) {
+    char chunk[8192];
+    const ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return Status::IoError("client: connection closed mid-body");
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+  resp.body = buf_.substr(body_start, body_len);
+  // Keep bytes past this response for the next pipelined/keep-alive read.
+  buf_.erase(0, body_start + body_len);
+  return resp;
+}
+
+}  // namespace capplan::serve

@@ -1,0 +1,58 @@
+#ifndef CAPPLAN_SERVE_HTTP_CLIENT_H_
+#define CAPPLAN_SERVE_HTTP_CLIENT_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace capplan::serve {
+
+// Response as seen by the test client: status line fields plus lowercased
+// headers and the Content-Length-delimited body.
+struct ClientResponse {
+  int status = 0;
+  std::string reason;
+  std::map<std::string, std::string> headers;  // names lowercased
+  std::string body;
+
+  const std::string* FindHeader(const std::string& lowercase_name) const {
+    const auto it = headers.find(lowercase_name);
+    return it == headers.end() ? nullptr : &it->second;
+  }
+};
+
+// Minimal blocking HTTP/1.1 client for tests, the load bench and the
+// example — deliberately tiny: one connection, Content-Length bodies only,
+// caller-driven keep-alive. Not for production use.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  Status Connect(const std::string& host, int port, int timeout_ms = 5000);
+
+  // Sends `GET target HTTP/1.1` (keep-alive) and reads the full response.
+  Result<ClientResponse> Get(const std::string& target);
+
+  // Raw escape hatches for protocol tests: push arbitrary bytes, then read
+  // a response off the same connection.
+  Status Send(const std::string& bytes);
+  Result<ClientResponse> ReadResponse();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the previous response (keep-alive)
+};
+
+}  // namespace capplan::serve
+
+#endif  // CAPPLAN_SERVE_HTTP_CLIENT_H_

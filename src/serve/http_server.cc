@@ -1,0 +1,553 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault.h"
+#include "obs/trace.h"
+
+namespace capplan::serve {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError("serve: fcntl(O_NONBLOCK) failed");
+  }
+  return Status::OK();
+}
+
+void UpdateMax(std::atomic<std::uint64_t>* slot, std::uint64_t v) {
+  std::uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur && !slot->compare_exchange_weak(cur, v,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpHandler handler, HttpServerConfig config)
+    : handler_(std::move(handler)), config_(std::move(config)) {
+  if (config_.worker_threads == 0) config_.worker_threads = 1;
+  if (config_.max_inflight == 0) config_.max_inflight = 1;
+  if (config_.registry != nullptr) {
+    obs::MetricsRegistry& reg = *config_.registry;
+    m_requests_ = reg.GetCounter("capplan_serve_requests_total", {},
+                                 "Requests admitted to a handler worker");
+    m_throttled_ = reg.GetCounter(
+        "capplan_serve_throttled_total", {},
+        "Requests rejected 429 by admission control");
+    m_parse_errors_ = reg.GetCounter("capplan_serve_parse_errors_total", {},
+                                     "Malformed requests rejected 4xx");
+    m_io_errors_ = reg.GetCounter(
+        "capplan_serve_io_errors_total", {},
+        "Connections dropped on read/write/accept errors");
+    m_deadline_closes_ = reg.GetCounter(
+        "capplan_serve_deadline_closes_total", {},
+        "Connections closed for blowing a read/write deadline");
+    m_read_bytes_ = reg.GetCounter("capplan_serve_read_bytes_total", {},
+                                   "Request bytes read from clients");
+    m_written_bytes_ = reg.GetCounter("capplan_serve_written_bytes_total", {},
+                                      "Response bytes written to clients");
+    m_inflight_ = reg.GetGauge("capplan_serve_inflight_ratio", {},
+                               "Admitted in-flight requests / max_inflight");
+    m_connections_ = reg.GetGauge("capplan_serve_connections_ratio", {},
+                                  "Open connections / max_connections");
+    m_latency_ = reg.GetHistogram(
+        "capplan_serve_request_latency_ms", {}, {},
+        "Request latency, complete parse to final flush");
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+std::int64_t HttpServer::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("serve: server already running");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("serve: socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("serve: bad bind address " +
+                                   config_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("serve: bind failed: " + err);
+  }
+  if (listen(listen_fd_, 256) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("serve: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("serve: getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  CAPPLAN_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  int pipefd[2];
+  if (pipe(pipefd) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("serve: pipe failed");
+  }
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+  CAPPLAN_RETURN_NOT_OK(SetNonBlocking(wake_rd_));
+  CAPPLAN_RETURN_NOT_OK(SetNonBlocking(wake_wr_));
+
+  stopping_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<ThreadPool>(config_.worker_threads);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread(&HttpServer::Loop, this);
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  Wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // Workers may still be finishing handlers; drain them before tearing down
+  // the completion queue and wake pipe they write to.
+  pool_.reset();
+  {
+    std::lock_guard<std::mutex> lock(completed_mu_);
+    completed_.clear();
+  }
+  if (wake_rd_ >= 0) close(wake_rd_);
+  if (wake_wr_ >= 0) close(wake_wr_);
+  wake_rd_ = wake_wr_ = -1;
+  inflight_.store(0, std::memory_order_relaxed);
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::Wake() {
+  if (wake_wr_ < 0) return;
+  const char byte = 'w';
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  (void)!write(wake_wr_, &byte, 1);
+}
+
+HttpServerStats HttpServer::Stats() const {
+  HttpServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected = rejected_.load(std::memory_order_relaxed);
+  s.requests_admitted = admitted_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_.load(std::memory_order_relaxed);
+  s.throttled = throttled_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.read_errors = read_errors_.load(std::memory_order_relaxed);
+  s.write_errors = write_errors_.load(std::memory_order_relaxed);
+  s.deadline_closes = deadline_closes_.load(std::memory_order_relaxed);
+  s.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
+  s.open_connections = open_conns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HttpServer::Loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = not a conn)
+  bool listener_open = true;
+  const std::int64_t stop_requested_grace = config_.stop_grace_ms;
+  std::int64_t stop_deadline_ms = 0;
+
+  for (;;) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && listener_open) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      listener_open = false;
+      stop_deadline_ms = NowMs() + stop_requested_grace;
+    }
+    if (stopping) {
+      // Idle keep-alive connections owe no response; shed them every pass so
+      // a connection whose in-flight response just flushed does not hold the
+      // loop open until the grace deadline.
+      std::vector<std::uint64_t> idle;
+      for (auto& [id, conn] : conns_) {
+        if (conn.state == Conn::State::kReading) idle.push_back(id);
+      }
+      for (std::uint64_t id : idle) CloseConn(id);
+      const bool drained =
+          conns_.empty() && inflight_.load(std::memory_order_relaxed) == 0;
+      if (drained || NowMs() >= stop_deadline_ms) break;
+    }
+
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_rd_, POLLIN, 0});
+    fd_conn.push_back(0);
+    if (listener_open) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    std::int64_t next_deadline = 0;
+    for (auto& [id, conn] : conns_) {
+      short events = 0;
+      if (conn.state == Conn::State::kReading) events = POLLIN;
+      if (conn.state == Conn::State::kWriting) events = POLLOUT;
+      if (events != 0) {
+        fds.push_back({conn.fd, events, 0});
+        fd_conn.push_back(id);
+      }
+      if (conn.deadline_ms > 0 &&
+          (next_deadline == 0 || conn.deadline_ms < next_deadline)) {
+        next_deadline = conn.deadline_ms;
+      }
+    }
+    int timeout_ms = -1;
+    if (next_deadline > 0) {
+      timeout_ms = static_cast<int>(
+          std::max<std::int64_t>(0, next_deadline - NowMs()));
+    }
+    if (stopping) {
+      timeout_ms = timeout_ms < 0 ? 10 : std::min(timeout_ms, 10);
+    }
+
+    const int n = poll(fds.data(), fds.size(), timeout_ms);
+    if (n < 0 && errno != EINTR) break;  // unrecoverable; shut down
+
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (read(wake_rd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    DrainCompleted();
+    const std::size_t listener_index = listener_open ? 1 : 0;
+    if (listener_open && (fds[listener_index].revents & POLLIN)) {
+      AcceptNew();
+    }
+    for (std::size_t i = 1 + listener_index; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      const auto it = conns_.find(fd_conn[i]);
+      if (it == conns_.end()) continue;  // closed by an earlier event
+      Conn* conn = &it->second;
+      if (fds[i].revents & (POLLERR | POLLNVAL)) {
+        read_errors_.fetch_add(1, std::memory_order_relaxed);
+        m_io_errors_.Inc();
+        CloseConn(conn->id);
+        continue;
+      }
+      if (conn->state == Conn::State::kReading &&
+          (fds[i].revents & (POLLIN | POLLHUP))) {
+        HandleRead(conn);
+      } else if (conn->state == Conn::State::kWriting &&
+                 (fds[i].revents & (POLLOUT | POLLHUP))) {
+        HandleWrite(conn);
+      }
+    }
+
+    // Deadline sweep: slow readers and slow writers both get cut off.
+    const std::int64_t now_ms = NowMs();
+    std::vector<std::uint64_t> expired;
+    for (auto& [id, conn] : conns_) {
+      if (conn.deadline_ms > 0 && now_ms >= conn.deadline_ms) {
+        expired.push_back(id);
+      }
+    }
+    for (std::uint64_t id : expired) {
+      deadline_closes_.fetch_add(1, std::memory_order_relaxed);
+      m_deadline_closes_.Inc();
+      CloseConn(id);
+    }
+  }
+
+  // Shutdown: close whatever is left (grace expired or fully drained).
+  std::vector<std::uint64_t> rest;
+  rest.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) rest.push_back(id);
+  for (std::uint64_t id : rest) CloseConn(id);
+  if (listener_open) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptNew() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      m_io_errors_.Inc();
+      return;
+    }
+    if (FaultFires("serve.accept")) {
+      close(fd);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      m_io_errors_.Inc();
+      continue;
+    }
+    if (conns_.size() >= config_.max_connections) {
+      // Over the connection cap there is no parser to speak HTTP through;
+      // dropping the socket is the only honest backpressure left.
+      close(fd);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_++;
+    conn.parser = RequestParser(config_.limits);
+    conn.deadline_ms = NowMs() + config_.read_deadline_ms;
+    const std::uint64_t id = conn.id;
+    conns_.emplace(id, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_conns_.store(conns_.size(), std::memory_order_relaxed);
+    m_connections_.Set(static_cast<double>(conns_.size()) /
+                       static_cast<double>(config_.max_connections));
+  }
+}
+
+void HttpServer::HandleRead(Conn* conn) {
+  char buf[16384];
+  while (conn->state == Conn::State::kReading) {
+    const ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (FaultFires("serve.read")) {
+        read_errors_.fetch_add(1, std::memory_order_relaxed);
+        m_io_errors_.Inc();
+        CloseConn(conn->id);
+        return;
+      }
+      m_read_bytes_.Inc(static_cast<std::uint64_t>(n));
+      conn->deadline_ms = NowMs() + config_.read_deadline_ms;
+      conn->parser.Feed(buf, static_cast<std::size_t>(n));
+      // ProcessParsed can close the connection (a same-call flush of an
+      // error or keep-alive:false response erases the map node), so the
+      // pointer must be re-resolved before the loop touches it again.
+      const std::uint64_t id = conn->id;
+      ProcessParsed(conn);
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) return;
+      conn = &it->second;
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed. Mid-message this is a torn request; either way there
+      // is nothing more to answer on this connection.
+      CloseConn(conn->id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    m_io_errors_.Inc();
+    CloseConn(conn->id);
+    return;
+  }
+}
+
+void HttpServer::ProcessParsed(Conn* conn) {
+  if (conn->parser.state() == RequestParser::State::kError) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    m_parse_errors_.Inc();
+    HttpResponse err = HttpResponse::Json(
+        conn->parser.error_status(),
+        std::string("{\"error\":{\"status\":") +
+            std::to_string(conn->parser.error_status()) +
+            ",\"message\":\"" + conn->parser.error() + "\"}}");
+    conn->keep_alive = false;  // parser state is unrecoverable
+    conn->request_start_ms = NowMs();
+    QueueResponse(conn, err, /*head_only=*/false);
+    return;
+  }
+  if (conn->state == Conn::State::kReading &&
+      conn->parser.state() == RequestParser::State::kComplete) {
+    HttpRequest request = conn->parser.TakeRequest();
+    conn->keep_alive = request.keep_alive;
+    conn->request_start_ms = NowMs();
+    AdmitRequest(conn, std::move(request));
+  }
+}
+
+void HttpServer::AdmitRequest(Conn* conn, HttpRequest request) {
+  const bool head_only = request.method == "HEAD";
+  if (stopping_.load(std::memory_order_acquire)) {
+    HttpResponse busy = HttpResponse::Json(
+        503, "{\"error\":{\"status\":503,\"message\":\"shutting down\"}}");
+    conn->keep_alive = false;
+    QueueResponse(conn, busy, head_only);
+    return;
+  }
+  std::size_t cur = inflight_.load(std::memory_order_relaxed);
+  if (cur >= config_.max_inflight) {
+    throttled_.fetch_add(1, std::memory_order_relaxed);
+    m_throttled_.Inc();
+    HttpResponse busy = HttpResponse::Json(
+        429, "{\"error\":{\"status\":429,\"message\":\"server saturated\"}}");
+    busy.headers.emplace_back("Retry-After",
+                              std::to_string(config_.retry_after_seconds));
+    QueueResponse(conn, busy, head_only);
+    return;
+  }
+  inflight_.store(cur + 1, std::memory_order_relaxed);
+  UpdateMax(&peak_inflight_, cur + 1);
+  m_inflight_.Set(static_cast<double>(cur + 1) /
+                  static_cast<double>(config_.max_inflight));
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  m_requests_.Inc();
+  conn->state = Conn::State::kHandling;
+  conn->inflight_held = true;
+  conn->deadline_ms = 0;  // handler latency is bounded by the handler
+  pool_->Submit([this, id = conn->id, keep_alive = conn->keep_alive,
+                 head_only, request = std::move(request)]() {
+    obs::TraceSpan span("serve.request", "serve");
+    HttpResponse response = handler_(request);
+    span.set_tag(response.status < 400 ? "ok" : "error");
+    Completed done;
+    done.conn_id = id;
+    done.status = response.status;
+    done.bytes = SerializeResponse(response, keep_alive, head_only);
+    {
+      std::lock_guard<std::mutex> lock(completed_mu_);
+      completed_.push_back(std::move(done));
+    }
+    Wake();
+  });
+}
+
+void HttpServer::QueueResponse(Conn* conn, const HttpResponse& response,
+                               bool head_only) {
+  conn->write_buf = SerializeResponse(response, conn->keep_alive, head_only);
+  conn->write_off = 0;
+  conn->pending_status = response.status;
+  conn->close_after_write = !conn->keep_alive;
+  conn->state = Conn::State::kWriting;
+  conn->deadline_ms = NowMs() + config_.write_deadline_ms;
+  HandleWrite(conn);  // opportunistic flush; usually completes in one write
+}
+
+void HttpServer::DrainCompleted() {
+  std::vector<Completed> batch;
+  {
+    std::lock_guard<std::mutex> lock(completed_mu_);
+    batch.swap(completed_);
+  }
+  for (Completed& done : batch) {
+    const auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) {
+      // The connection died while its request was being handled; the
+      // admission slot is released here, where the response surfaces.
+      ReleaseInflight();
+      continue;
+    }
+    Conn* conn = &it->second;
+    conn->write_buf = std::move(done.bytes);
+    conn->write_off = 0;
+    conn->pending_status = done.status;
+    conn->close_after_write = !conn->keep_alive;
+    conn->state = Conn::State::kWriting;
+    conn->deadline_ms = NowMs() + config_.write_deadline_ms;
+    HandleWrite(conn);
+  }
+}
+
+void HttpServer::HandleWrite(Conn* conn) {
+  while (conn->write_off < conn->write_buf.size()) {
+    if (FaultFires("serve.write")) {
+      write_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_io_errors_.Inc();
+      CloseConn(conn->id);
+      return;
+    }
+    const ssize_t n =
+        write(conn->fd, conn->write_buf.data() + conn->write_off,
+              conn->write_buf.size() - conn->write_off);
+    if (n > 0) {
+      conn->write_off += static_cast<std::size_t>(n);
+      m_written_bytes_.Inc(static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    m_io_errors_.Inc();
+    CloseConn(conn->id);
+    return;
+  }
+  // Fully flushed.
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  if (conn->inflight_held) {
+    m_latency_.Observe(
+        static_cast<double>(NowMs() - conn->request_start_ms));
+    conn->inflight_held = false;
+    ReleaseInflight();
+  }
+  conn->write_buf.clear();
+  conn->write_off = 0;
+  if (conn->close_after_write) {
+    CloseConn(conn->id);
+    return;
+  }
+  conn->state = Conn::State::kReading;
+  conn->deadline_ms = NowMs() + config_.read_deadline_ms;
+  ProcessParsed(conn);  // a pipelined request may already be buffered
+}
+
+void HttpServer::ReleaseInflight() {
+  const std::size_t cur = inflight_.load(std::memory_order_relaxed);
+  if (cur > 0) {
+    inflight_.store(cur - 1, std::memory_order_relaxed);
+    m_inflight_.Set(static_cast<double>(cur - 1) /
+                    static_cast<double>(config_.max_inflight));
+  }
+}
+
+void HttpServer::CloseConn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  // kWriting with the slot held: the response dies with the connection, so
+  // the slot frees here. kHandling: the worker still owns the request; its
+  // completion (finding the connection gone) releases the slot instead.
+  if (conn.inflight_held && conn.state == Conn::State::kWriting) {
+    ReleaseInflight();
+  }
+  close(conn.fd);
+  conns_.erase(it);
+  open_conns_.store(conns_.size(), std::memory_order_relaxed);
+  m_connections_.Set(static_cast<double>(conns_.size()) /
+                     static_cast<double>(config_.max_connections));
+}
+
+}  // namespace capplan::serve

@@ -1,0 +1,193 @@
+#ifndef CAPPLAN_SERVE_HTTP_SERVER_H_
+#define CAPPLAN_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/http.h"
+
+namespace capplan::serve {
+
+// Small dependency-free HTTP/1.1 server for the capacity query surface: a
+// single poll()-based event-loop thread owns every socket, workers on a
+// ThreadPool run the handler, and responses travel back to the loop through
+// a wake pipe. Design points:
+//
+//   * Incremental parsing — the loop feeds whatever bytes poll() delivered
+//     into a per-connection RequestParser; keep-alive and pipelined
+//     requests surface one at a time (a connection is not read from while a
+//     request of its own is being handled, which is per-connection
+//     backpressure for free).
+//   * Admission control — at most `max_inflight` admitted requests may be
+//     anywhere between handler dispatch and final flush; excess requests
+//     are answered 429 + Retry-After on the loop thread without touching a
+//     worker. Overload sheds load instead of queuing unboundedly.
+//   * Deadlines — a connection must deliver a complete request within
+//     `read_deadline_ms` of becoming readable and drain its response within
+//     `write_deadline_ms`, or it is closed (slow-client defense).
+//   * Graceful shutdown — Stop() closes the listener, lets in-flight
+//     requests finish flushing within `stop_grace_ms`, then closes
+//     everything and joins the loop and workers.
+//   * Test mode — port 0 binds a loopback ephemeral port; port() reports
+//     the OS-assigned one, so test suites never collide on fixed ports.
+//
+// Fault-injection sites (common/fault.h): `serve.accept` drops a freshly
+// accepted connection, `serve.read` fails a socket read, `serve.write`
+// fails a socket write mid-response. The chaos suite uses these to assert
+// the loop survives torn clients without wedging or leaking fds.
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerConfig {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  // 0 = OS-assigned ephemeral port (test mode)
+  std::size_t worker_threads = 2;
+  std::size_t max_connections = 256;
+  std::size_t max_inflight = 64;
+  int retry_after_seconds = 1;  // advertised on 429 responses
+  std::int64_t read_deadline_ms = 5000;
+  std::int64_t write_deadline_ms = 5000;
+  std::int64_t stop_grace_ms = 5000;
+  ParserLimits limits;
+  // Optional: request/connection metrics are registered here when set.
+  std::shared_ptr<obs::MetricsRegistry> registry;
+};
+
+// Counters mirrored out for tests and the load bench (all since Start).
+struct HttpServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // at capacity or accept fault
+  std::uint64_t requests_admitted = 0;     // handed to a worker
+  std::uint64_t responses_sent = 0;        // fully flushed, any status
+  std::uint64_t throttled = 0;             // 429 admission rejections
+  std::uint64_t parse_errors = 0;
+  std::uint64_t read_errors = 0;
+  std::uint64_t write_errors = 0;
+  std::uint64_t deadline_closes = 0;
+  std::uint64_t peak_inflight = 0;
+  std::size_t open_connections = 0;
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpHandler handler, HttpServerConfig config = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds, listens and starts the loop thread + worker pool. Fails on bind
+  // errors (address in use, bad address) without leaking the socket.
+  Status Start();
+
+  // Graceful shutdown; idempotent. Safe to call from any thread except the
+  // loop thread.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // OS-assigned port after Start() (== config port when it was non-zero).
+  int port() const { return port_; }
+
+  HttpServerStats Stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    RequestParser parser;
+    enum class State { kReading, kHandling, kWriting } state = State::kReading;
+    std::string write_buf;
+    std::size_t write_off = 0;
+    bool keep_alive = true;
+    bool close_after_write = false;
+    bool inflight_held = false;  // admitted request not yet fully flushed
+    int pending_status = 0;      // status of the response being written
+    std::int64_t deadline_ms = 0;  // absolute steady-clock ms; 0 = none
+    std::int64_t request_start_ms = 0;
+  };
+
+  struct Completed {
+    std::uint64_t conn_id = 0;
+    std::string bytes;
+    int status = 0;
+  };
+
+  void Loop();
+  void AcceptNew();
+  void HandleRead(Conn* conn);
+  void HandleWrite(Conn* conn);
+  void ProcessParsed(Conn* conn);
+  void AdmitRequest(Conn* conn, HttpRequest request);
+  void QueueResponse(Conn* conn, const HttpResponse& response,
+                     bool head_only);
+  void DrainCompleted();
+  void CloseConn(std::uint64_t id);
+  void ReleaseInflight();
+  void Wake();
+  std::int64_t NowMs() const;
+
+  HttpHandler handler_;
+  HttpServerConfig config_;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  int port_ = 0;
+
+  std::map<std::uint64_t, Conn> conns_;  // loop thread only
+  std::uint64_t next_conn_id_ = 1;
+
+  std::mutex completed_mu_;
+  std::vector<Completed> completed_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> inflight_{0};
+
+  // Stats (atomics: written by the loop thread and workers, read anywhere).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> throttled_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> read_errors_{0};
+  std::atomic<std::uint64_t> write_errors_{0};
+  std::atomic<std::uint64_t> deadline_closes_{0};
+  std::atomic<std::uint64_t> peak_inflight_{0};
+  std::atomic<std::size_t> open_conns_{0};
+
+  // Optional registry mirrors of the hot counters.
+  obs::Counter m_requests_;
+  obs::Counter m_throttled_;
+  obs::Counter m_parse_errors_;
+  obs::Counter m_io_errors_;
+  obs::Counter m_deadline_closes_;
+  obs::Counter m_read_bytes_;
+  obs::Counter m_written_bytes_;
+  obs::Gauge m_inflight_;
+  obs::Gauge m_connections_;
+  obs::Histogram m_latency_;
+
+  std::thread loop_thread_;
+  // Declared last so workers drain before the queues/pipe go away; reset
+  // explicitly in Stop() after the loop thread has joined.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace capplan::serve
+
+#endif  // CAPPLAN_SERVE_HTTP_SERVER_H_

@@ -93,6 +93,11 @@ EstateService::EstateService(const workload::ClusterSimulator* cluster,
                                         : std::to_string(i));
     watch_index_[keys_.back()] = i;
   }
+  if (telemetry_.registry != nullptr) {
+    view_swaps_ = telemetry_.registry->GetCounter(
+        "capplan_serve_view_swaps_total", {},
+        "EstateView snapshots published to the serving layer");
+  }
 }
 
 EstateService::~EstateService() = default;
@@ -133,6 +138,7 @@ Status EstateService::Start() {
   }
   for (const auto& key : keys_) scheduler_.ScheduleAt(key, now_);
   started_ = true;
+  PublishView();
   return Status::OK();
 }
 
@@ -501,6 +507,60 @@ void EstateService::EvaluateAlerts(TickReport* report) {
   telemetry_.alert_stage.Record(ElapsedMs(t1));
 }
 
+void EstateService::PublishView() {
+  auto view = std::make_shared<serve::EstateView>();
+  view->now_epoch = now_;
+  view->tick = ticks_;
+  view->instances.reserve(keys_.size());
+  for (const auto& key : keys_) {  // keys_ iterates watches in config order
+    serve::InstanceStatus row;
+    row.key = key;
+    const WatchConfig& watch = watches_[watch_index_.at(key)];
+    row.instance =
+        cluster_ != nullptr ? cluster_->InstanceName(watch.instance) : key;
+    row.metric = workload::MetricName(watch.metric);
+    row.threshold = watch.threshold;
+    if (const auto fit = forecasts_.find(key); fit != forecasts_.end()) {
+      row.has_forecast = true;
+      row.forecast = fit->second.forecast;
+      row.forecast_start_epoch = fit->second.start_epoch;
+      row.forecast_step_seconds = fit->second.step_seconds;
+      row.spec = fit->second.spec;
+      row.degradation = fit->second.degradation;
+    }
+    if (const auto q = quality_.find(key); q != quality_.end()) {
+      row.quality_score = q->second.score;
+      row.trainable = q->second.trainable;
+      row.quality_verdict = q->second.verdict;
+    }
+    if (const auto alert = alerts_.find(key); alert != alerts_.end()) {
+      row.alert_active = true;
+      row.alert_upper_only = alert->second.upper_only;
+      row.predicted_breach_epoch = alert->second.predicted_breach_epoch;
+    }
+    if (const tsa::TimeSeries* hourly = metrics_.FindHourly(key);
+        hourly != nullptr && !hourly->empty() &&
+        config_.view_recent_hours > 0) {
+      const std::size_t take =
+          std::min(hourly->size(), config_.view_recent_hours);
+      const std::size_t from = hourly->size() - take;
+      row.recent.reserve(take);
+      for (std::size_t i = from; i < hourly->size(); ++i) {
+        row.recent.push_back((*hourly)[i]);
+      }
+      row.recent_start_epoch =
+          hourly->start_epoch() + static_cast<std::int64_t>(from) * 3600;
+    }
+    view->instances.push_back(std::move(row));
+  }
+  std::sort(view->instances.begin(), view->instances.end(),
+            [](const serve::InstanceStatus& a, const serve::InstanceStatus& b) {
+              return a.key < b.key;
+            });
+  view_channel_.Publish(std::move(view));
+  view_swaps_.Inc();
+}
+
 Result<TickReport> EstateService::Tick() {
   obs::TraceSpan span("service.tick", "service");
   if (!started_) {
@@ -537,6 +597,7 @@ Result<TickReport> EstateService::Tick() {
       ++telemetry_.io_errors;
     }
   }
+  PublishView();
   return report;
 }
 
@@ -553,6 +614,7 @@ Status EstateService::DrainRefits() {
     return Status::FailedPrecondition("service: not started");
   }
   CollectFinished(/*block=*/true, nullptr);
+  PublishView();
   return Status::OK();
 }
 
@@ -910,6 +972,7 @@ Status EstateService::Recover() {
 
   CAPPLAN_ASSIGN_OR_RETURN(journal_, EventJournal::Open(JournalPath()));
   started_ = true;
+  PublishView();
   return Status::OK();
 }
 

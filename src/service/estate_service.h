@@ -16,6 +16,7 @@
 #include "quality/sentinel.h"
 #include "repo/model_store.h"
 #include "repo/repository.h"
+#include "serve/estate_view.h"
 #include "service/journal.h"
 #include "service/scheduler.h"
 #include "service/telemetry.h"
@@ -89,6 +90,9 @@ struct EstateServiceConfig {
   // watched instance keeps *some* forecast (tagged with its rung) unless the
   // window holds no usable data at all.
   bool always_forecast = true;
+  // Trailing observed hours copied into each published EstateView row so the
+  // serving layer can answer headroom queries without repository access.
+  std::size_t view_recent_hours = 48;
 };
 
 // An active breach warning.
@@ -184,6 +188,15 @@ class EstateService {
   // Ladder rung of the key's cached forecast; kFull when no forecast yet.
   core::DegradationLevel ForecastDegradation(const std::string& key) const;
 
+  // Read side of the serving layer: an immutable estate snapshot is
+  // republished (one atomic shared_ptr swap) at the end of Start, every
+  // Tick, DrainRefits, and Recover. Request threads answer from the frozen
+  // view without touching service state or locks.
+  std::shared_ptr<const serve::EstateView> View() const {
+    return view_channel_.Get();
+  }
+  serve::ViewChannel* view_channel() { return &view_channel_; }
+
   // Repository key for a watch on this cluster ("cdbm011/cpu").
   static std::string KeyFor(const workload::ClusterSimulator& cluster,
                             const WatchConfig& watch);
@@ -228,6 +241,7 @@ class EstateService {
   void CollectFinished(bool block, TickReport* report);
   void ApplyOutcome(const FitOutcome& outcome, TickReport* report);
   void EvaluateAlerts(TickReport* report);
+  void PublishView();
   Status WriteSnapshot();
   Status ReplayEvent(const JournalEvent& event);
   // Appends by value: events with span_id 0 are stamped with the calling
@@ -252,6 +266,9 @@ class EstateService {
   std::map<std::string, ServiceAlert> alerts_;
   std::map<std::string, quality::QualityReport> quality_;
   std::vector<std::future<FitOutcome>> in_flight_;
+
+  serve::ViewChannel view_channel_;
+  obs::Counter view_swaps_;
 
   bool started_ = false;
   std::int64_t now_ = 0;     // simulated clock

@@ -1,0 +1,166 @@
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+
+// Chaos scenarios for the query server: torn client connections and injected
+// accept/read/write faults. The invariants are that the event loop never
+// wedges (a healthy request always succeeds afterwards), connections are
+// fully reaped, and no file descriptors leak across a server lifetime.
+
+namespace capplan::serve {
+namespace {
+
+std::size_t OpenFdCount() {
+  std::size_t n = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+HttpResponse Echo(const HttpRequest& request) {
+  return HttpResponse::Json(200, "{\"path\":\"" + request.path + "\"}");
+}
+
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  void ExpectHealthy(HttpServer* server) {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+    auto resp = client.Get("/ok");
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    EXPECT_EQ(resp->status, 200);
+  }
+};
+
+TEST_F(ServeChaosTest, TornConnectionsDoNotWedgeTheLoop) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  // A crowd of clients that send half a request (or nothing) and vanish.
+  for (int i = 0; i < 16; ++i) {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    if (i % 2 == 0) {
+      ASSERT_TRUE(client.Send("GET /torn HTTP/1.1\r\nHost:").ok());
+    }
+    client.Close();  // abrupt close, no complete request ever sent
+  }
+  // The loop must still answer a well-formed request promptly...
+  ExpectHealthy(&server);
+  // ...and eventually reap every torn connection (the close is observed on
+  // the next poll wakeup after the client's FIN).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.Stats().open_connections > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(server.Stats().open_connections, 1u);  // at most our keep-alive
+  EXPECT_EQ(server.Stats().requests_admitted, 1u);
+}
+
+TEST_F(ServeChaosTest, AcceptFaultDropsConnectionNotServer) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  FaultInjector::Global().Arm("serve.accept", FaultPlan::FailN(2));
+  // The first two accepted sockets are dropped on the floor; the TCP
+  // handshake still completed, so the client only notices at read time.
+  for (int i = 0; i < 2; ++i) {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    auto resp = client.Get("/dropped");
+    EXPECT_FALSE(resp.ok());
+  }
+  EXPECT_EQ(FaultInjector::Global().FireCount("serve.accept"), 2u);
+  // The rejected counter is bumped just after the loop thread closes the
+  // socket, so it can trail the client seeing EOF.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.Stats().connections_rejected < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.Stats().connections_rejected, 2u);
+  ExpectHealthy(&server);
+}
+
+TEST_F(ServeChaosTest, ReadFaultTearsRequestButServerRecovers) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  FaultInjector::Global().Arm("serve.read", FaultPlan::FailN(1));
+  HttpClient doomed;
+  ASSERT_TRUE(doomed.Connect("127.0.0.1", server.port()).ok());
+  auto resp = doomed.Get("/doomed");
+  EXPECT_FALSE(resp.ok());  // connection was cut before any response
+  EXPECT_EQ(server.Stats().read_errors, 1u);
+  ExpectHealthy(&server);
+}
+
+TEST_F(ServeChaosTest, WriteFaultMidResponseClosesCleanly) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  // Let the request bytes in, then fail the response write.
+  FaultInjector::Global().Arm("serve.write", FaultPlan::FailN(1));
+  HttpClient doomed;
+  ASSERT_TRUE(doomed.Connect("127.0.0.1", server.port()).ok());
+  auto resp = doomed.Get("/doomed");
+  EXPECT_FALSE(resp.ok());  // response never arrived
+  EXPECT_EQ(server.Stats().write_errors, 1u);
+  // The admission slot freed with the dead connection: a burst of healthy
+  // requests proves neither the slot count nor the loop is wedged.
+  for (int i = 0; i < 4; ++i) ExpectHealthy(&server);
+  // responses_sent is incremented by the loop thread just after the final
+  // write syscall, so it can trail the client observing the response.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.Stats().responses_sent < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.Stats().responses_sent, 4u);
+}
+
+TEST_F(ServeChaosTest, NoFdLeakAcrossChaoticLifetime) {
+  const std::size_t fds_before = OpenFdCount();
+  {
+    HttpServer server(Echo);
+    ASSERT_TRUE(server.Start().ok());
+    FaultInjector::Global().Arm("serve.read",
+                                FaultPlan::WithProbability(0.3));
+    FaultInjector::Global().Arm("serve.write",
+                                FaultPlan::WithProbability(0.3));
+    for (int i = 0; i < 32; ++i) {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) continue;
+      if (i % 3 == 0) {
+        // Torn mid-request.
+        (void)client.Send("GET /leak HTTP/1.1\r\n");
+        client.Close();
+        continue;
+      }
+      (void)client.Get("/leak");  // may or may not survive the coin flips
+    }
+    FaultInjector::Global().Reset();
+    ExpectHealthy(&server);
+    server.Stop();
+    EXPECT_EQ(server.Stats().open_connections, 0u);
+  }
+  EXPECT_EQ(OpenFdCount(), fds_before);
+}
+
+}  // namespace
+}  // namespace capplan::serve

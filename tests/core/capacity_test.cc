@@ -1,6 +1,7 @@
 #include "core/capacity.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -25,40 +26,100 @@ TEST(BreachTest, FindsFirstMeanBreach) {
   const auto fc = RampForecast(24, 50.0, 2.0, 5.0);
   // Mean crosses 60 at step index 5 (50 + 2*5 = 60).
   const auto b = CapacityPlanner::PredictBreach(fc, 60.0, 1000, 3600);
-  EXPECT_TRUE(b.mean_breach);
-  EXPECT_EQ(b.steps_to_mean_breach, 6u);  // 1-based
-  EXPECT_EQ(b.mean_breach_epoch, 1000 + 5 * 3600);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_TRUE(b->mean_breach);
+  EXPECT_EQ(b->steps_to_mean_breach, 6u);  // 1-based
+  EXPECT_EQ(b->mean_breach_epoch, 1000 + 5 * 3600);
 }
 
 TEST(BreachTest, UpperBreachEarlierThanMean) {
   const auto fc = RampForecast(24, 50.0, 2.0, 5.0);
   const auto b = CapacityPlanner::PredictBreach(fc, 60.0, 0, 3600);
-  EXPECT_TRUE(b.upper_breach);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_TRUE(b->upper_breach);
   // Upper = mean + 5 crosses 60 at step index 2 or 3 (50+2i+5 >= 60 -> i>=2.5).
-  EXPECT_LT(b.steps_to_upper_breach, b.steps_to_mean_breach);
+  EXPECT_LT(b->steps_to_upper_breach, b->steps_to_mean_breach);
 }
 
 TEST(BreachTest, NoBreachWhenBelowThreshold) {
   const auto fc = RampForecast(10, 10.0, 0.1, 1.0);
   const auto b = CapacityPlanner::PredictBreach(fc, 100.0, 0, 3600);
-  EXPECT_FALSE(b.mean_breach);
-  EXPECT_FALSE(b.upper_breach);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_FALSE(b->mean_breach);
+  EXPECT_FALSE(b->upper_breach);
 }
 
 TEST(BreachTest, ImmediateBreachAtStepOne) {
   const auto fc = RampForecast(10, 99.0, 1.0, 0.5);
   const auto b = CapacityPlanner::PredictBreach(fc, 90.0, 500, 60);
-  EXPECT_TRUE(b.mean_breach);
-  EXPECT_EQ(b.steps_to_mean_breach, 1u);
-  EXPECT_EQ(b.mean_breach_epoch, 500);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_TRUE(b->mean_breach);
+  EXPECT_EQ(b->steps_to_mean_breach, 1u);
+  EXPECT_EQ(b->mean_breach_epoch, 500);
+}
+
+TEST(BreachTest, RejectsEmptyForecast) {
+  models::Forecast empty;
+  const auto b = CapacityPlanner::PredictBreach(empty, 60.0, 0, 3600);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BreachTest, RejectsNonPositiveStep) {
+  const auto fc = RampForecast(10, 50.0, 1.0, 2.0);
+  EXPECT_EQ(CapacityPlanner::PredictBreach(fc, 60.0, 0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CapacityPlanner::PredictBreach(fc, 60.0, 0, -3600).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BreachTest, RejectsNonFiniteThreshold) {
+  const auto fc = RampForecast(10, 50.0, 1.0, 2.0);
+  const double nan = std::nan("");
+  EXPECT_EQ(CapacityPlanner::PredictBreach(fc, nan, 0, 3600).status().code(),
+            StatusCode::kInvalidArgument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(CapacityPlanner::PredictBreach(fc, inf, 0, 3600).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BreachTest, NonFiniteForecastIsComputeError) {
+  auto fc = RampForecast(10, 50.0, 1.0, 2.0);
+  fc.mean[4] = std::nan("");
+  const auto b = CapacityPlanner::PredictBreach(fc, 60.0, 0, 3600);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kComputeError);
+
+  auto fc2 = RampForecast(10, 50.0, 1.0, 2.0);
+  fc2.upper[7] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(CapacityPlanner::PredictBreach(fc2, 60.0, 0, 3600).status().code(),
+            StatusCode::kComputeError);
 }
 
 TEST(RecommendedCapacityTest, MarginAppliedToPeakUpper) {
   const auto fc = RampForecast(10, 10.0, 1.0, 2.0);
   // Peak upper = 10 + 9 + 2 = 21; with 20% margin -> 25.2.
-  EXPECT_NEAR(CapacityPlanner::RecommendedCapacity(fc, 0.2), 25.2, 1e-9);
+  const auto with_margin = CapacityPlanner::RecommendedCapacity(fc, 0.2);
+  ASSERT_TRUE(with_margin.ok()) << with_margin.status();
+  EXPECT_NEAR(*with_margin, 25.2, 1e-9);
   // Negative margins clamp to zero margin.
-  EXPECT_NEAR(CapacityPlanner::RecommendedCapacity(fc, -0.5), 21.0, 1e-9);
+  const auto clamped = CapacityPlanner::RecommendedCapacity(fc, -0.5);
+  ASSERT_TRUE(clamped.ok()) << clamped.status();
+  EXPECT_NEAR(*clamped, 21.0, 1e-9);
+}
+
+TEST(RecommendedCapacityTest, ValidatesInputs) {
+  models::Forecast empty;
+  EXPECT_EQ(CapacityPlanner::RecommendedCapacity(empty, 0.2).status().code(),
+            StatusCode::kInvalidArgument);
+  const auto fc = RampForecast(5, 10.0, 1.0, 2.0);
+  EXPECT_EQ(
+      CapacityPlanner::RecommendedCapacity(fc, std::nan("")).status().code(),
+      StatusCode::kInvalidArgument);
+  auto bad = RampForecast(5, 10.0, 1.0, 2.0);
+  bad.upper[2] = std::nan("");
+  EXPECT_EQ(CapacityPlanner::RecommendedCapacity(bad, 0.2).status().code(),
+            StatusCode::kComputeError);
 }
 
 TEST(HeadroomTest, ReportFields) {
@@ -136,6 +197,25 @@ TEST(HeadroomTest, ValidatesInputs) {
   models::Forecast empty_fc;
   EXPECT_FALSE(CapacityPlanner::Headroom(recent, empty_fc, 100.0).ok());
   EXPECT_FALSE(CapacityPlanner::Headroom(recent, fc, 0.0).ok());
+  // Zero and non-finite capacities are both rejected as InvalidArgument.
+  EXPECT_EQ(CapacityPlanner::Headroom(recent, fc, std::nan("")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CapacityPlanner::Headroom(
+                recent, fc, std::numeric_limits<double>::infinity())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  auto bad = RampForecast(5, 1.0, 0.0, 0.0);
+  bad.mean[1] = std::nan("");
+  EXPECT_EQ(CapacityPlanner::Headroom(recent, bad, 100.0).status().code(),
+            StatusCode::kComputeError);
+}
+
+TEST(ProjectGrowthTest, RejectsNonFiniteThreshold) {
+  const auto hourly = GrowingHourly(100.0, 1.0, 30);
+  EXPECT_EQ(
+      CapacityPlanner::ProjectGrowth(hourly, 6, std::nan("")).status().code(),
+      StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -119,11 +119,13 @@ TEST(EndToEndTest, CapacityPlannerAnswersBreachQuestion) {
   const auto no_breach = CapacityPlanner::PredictBreach(
       report->forecast, peak * 2.0 + 100.0, report->forecast_start_epoch,
       3600);
-  EXPECT_FALSE(no_breach.mean_breach);
+  ASSERT_TRUE(no_breach.ok()) << no_breach.status();
+  EXPECT_FALSE(no_breach->mean_breach);
   const auto breach = CapacityPlanner::PredictBreach(
       report->forecast, floor_v - 1.0, report->forecast_start_epoch, 3600);
-  EXPECT_TRUE(breach.mean_breach);
-  EXPECT_EQ(breach.steps_to_mean_breach, 1u);
+  ASSERT_TRUE(breach.ok()) << breach.status();
+  EXPECT_TRUE(breach->mean_breach);
+  EXPECT_EQ(breach->steps_to_mean_breach, 1u);
 }
 
 TEST(EndToEndTest, RepositoryRoundTripPreservesForecastInput) {

@@ -1,0 +1,107 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "serve/answer_cache.h"
+
+namespace capplan::serve {
+namespace {
+
+HttpResponse Resp(const std::string& body) {
+  return HttpResponse::Json(200, body);
+}
+
+TEST(AnswerCacheTest, MissThenHit) {
+  AnswerCache cache;
+  EXPECT_FALSE(cache.Get("k", 1, 0.0).has_value());
+  cache.Put("k", 1, 0.0, Resp("a"));
+  auto hit = cache.Get("k", 1, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->body, "a");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(AnswerCacheTest, ViewSwapInvalidates) {
+  AnswerCache cache;
+  cache.Put("k", 1, 0.0, Resp("old"));
+  // Same key, newer view version: the stale entry is dropped, not served.
+  EXPECT_FALSE(cache.Get("k", 2, 0.1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Put("k", 2, 0.2, Resp("new"));
+  ASSERT_TRUE(cache.Get("k", 2, 0.3).has_value());
+  EXPECT_EQ(cache.Get("k", 2, 0.3)->body, "new");
+}
+
+TEST(AnswerCacheTest, TtlExpires) {
+  AnswerCache::Options options;
+  options.ttl_seconds = 5.0;
+  AnswerCache cache(options);
+  cache.Put("k", 1, 100.0, Resp("a"));
+  EXPECT_TRUE(cache.Get("k", 1, 104.9).has_value());
+  EXPECT_FALSE(cache.Get("k", 1, 105.1).has_value());
+  EXPECT_EQ(cache.size(), 0u);  // expired entries are reaped on lookup
+}
+
+TEST(AnswerCacheTest, LruEvictsOldest) {
+  AnswerCache::Options options;
+  options.capacity = 3;
+  AnswerCache cache(options);
+  cache.Put("a", 1, 0.0, Resp("a"));
+  cache.Put("b", 1, 0.0, Resp("b"));
+  cache.Put("c", 1, 0.0, Resp("c"));
+  // Touch "a" so "b" becomes the LRU victim.
+  EXPECT_TRUE(cache.Get("a", 1, 0.1).has_value());
+  cache.Put("d", 1, 0.2, Resp("d"));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Get("b", 1, 0.3).has_value());
+  EXPECT_TRUE(cache.Get("a", 1, 0.3).has_value());
+  EXPECT_TRUE(cache.Get("c", 1, 0.3).has_value());
+  EXPECT_TRUE(cache.Get("d", 1, 0.3).has_value());
+}
+
+TEST(AnswerCacheTest, PutUpdatesExistingEntry) {
+  AnswerCache cache;
+  cache.Put("k", 1, 0.0, Resp("v1"));
+  cache.Put("k", 1, 1.0, Resp("v2"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get("k", 1, 1.5)->body, "v2");
+}
+
+TEST(AnswerCacheTest, ZeroCapacityDisables) {
+  AnswerCache::Options options;
+  options.capacity = 0;
+  AnswerCache cache(options);
+  cache.Put("k", 1, 0.0, Resp("a"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("k", 1, 0.1).has_value());
+}
+
+TEST(AnswerCacheTest, RegistersMetricsWhenWired) {
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  AnswerCache cache(AnswerCache::Options(), registry);
+  cache.Put("k", 1, 0.0, Resp("a"));
+  (void)cache.Get("k", 1, 0.1);   // hit
+  (void)cache.Get("x", 1, 0.1);   // miss
+  const auto snapshot = registry->Collect();
+  bool saw_hits = false;
+  bool saw_misses = false;
+  for (const auto& m : snapshot.samples) {
+    if (m.name == "capplan_serve_cache_hits_total") {
+      saw_hits = true;
+      EXPECT_DOUBLE_EQ(m.value, 1.0);
+    }
+    if (m.name == "capplan_serve_cache_misses_total") {
+      saw_misses = true;
+      EXPECT_DOUBLE_EQ(m.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_hits);
+  EXPECT_TRUE(saw_misses);
+}
+
+}  // namespace
+}  // namespace capplan::serve

@@ -1,0 +1,114 @@
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/estate_view.h"
+
+namespace capplan::serve {
+namespace {
+
+std::shared_ptr<EstateView> MakeView(std::vector<std::string> keys) {
+  auto view = std::make_shared<EstateView>();
+  for (auto& key : keys) {
+    InstanceStatus s;
+    s.key = std::move(key);
+    view->instances.push_back(std::move(s));
+  }
+  return view;
+}
+
+TEST(EstateViewTest, FindBinarySearches) {
+  auto view = MakeView({"a/cpu", "b/cpu", "b/memory", "c/iops"});
+  ASSERT_NE(view->Find("b/memory"), nullptr);
+  EXPECT_EQ(view->Find("b/memory")->key, "b/memory");
+  EXPECT_EQ(view->Find("a/cpu")->key, "a/cpu");
+  EXPECT_EQ(view->Find("c/iops")->key, "c/iops");
+  EXPECT_EQ(view->Find("b/mem"), nullptr);
+  EXPECT_EQ(view->Find("z/cpu"), nullptr);
+  EXPECT_EQ(view->Find(""), nullptr);
+}
+
+TEST(ViewChannelTest, EmptyBeforeFirstPublish) {
+  ViewChannel channel;
+  EXPECT_EQ(channel.Get(), nullptr);
+  EXPECT_EQ(channel.swaps(), 0u);
+}
+
+TEST(ViewChannelTest, PublishStampsStrictlyIncreasingVersions) {
+  ViewChannel channel;
+  channel.Publish(MakeView({"a/cpu"}));
+  auto v1 = channel.Get();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+  channel.Publish(MakeView({"a/cpu", "b/cpu"}));
+  auto v2 = channel.Get();
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(channel.swaps(), 2u);
+  // The old view is still alive and unchanged for holders of v1.
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v1->instances.size(), 1u);
+}
+
+TEST(ViewChannelTest, ReadersNeverSeeTornViews) {
+  // One writer republishing while many readers load: every loaded view must
+  // be internally consistent (version == instance count encodes that here).
+  ViewChannel channel;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<bool> torn{false};
+
+  // Encode the soon-to-be-assigned version in the payload: Publish stamps
+  // version = swaps + 1, so row count and epochs must match the version.
+  const auto publish_next = [&channel] {
+    auto view = std::make_shared<EstateView>();
+    const std::uint64_t next = channel.swaps() + 1;
+    for (std::uint64_t k = 0; k < next % 8 + 1; ++k) {
+      InstanceStatus s;
+      s.key = std::to_string(k);
+      s.forecast_start_epoch = static_cast<std::int64_t>(next);
+      view->instances.push_back(std::move(s));
+    }
+    channel.Publish(std::move(view));
+  };
+  publish_next();  // seed view so readers have something to load
+
+  std::thread writer([&] {
+    // Don't start republishing until the readers are demonstrably running,
+    // or the whole publish burst can finish before the first Get().
+    while (reads.load() == 0) {
+      std::this_thread::yield();
+    }
+    for (int i = 1; i < 2000; ++i) publish_next();
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto view = channel.Get();
+        if (view == nullptr) continue;
+        reads.fetch_add(1);
+        const std::uint64_t want = view->version % 8 + 1;
+        if (view->instances.size() != want) torn.store(true);
+        for (const auto& s : view->instances) {
+          if (s.forecast_start_epoch !=
+              static_cast<std::int64_t>(view->version)) {
+            torn.store(true);
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(channel.swaps(), 2000u);
+}
+
+}  // namespace
+}  // namespace capplan::serve

@@ -1,0 +1,296 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/capacity.h"
+#include "obs/metrics.h"
+#include "serve/estate_view.h"
+#include "serve/handlers.h"
+#include "serve/http.h"
+
+namespace capplan::serve {
+namespace {
+
+HttpRequest Get(const std::string& target) {
+  RequestParser p;
+  const std::string raw = "GET " + target + " HTTP/1.1\r\n\r\n";
+  p.Feed(raw.data(), raw.size());
+  EXPECT_EQ(p.state(), RequestParser::State::kComplete) << target;
+  return p.TakeRequest();
+}
+
+std::shared_ptr<EstateView> MakeEstate() {
+  auto view = std::make_shared<EstateView>();
+  view->now_epoch = 1000000;
+  view->tick = 7;
+
+  InstanceStatus ready;
+  ready.key = "cdbm011/cpu";
+  ready.instance = "cdbm011";
+  ready.metric = "cpu";
+  ready.threshold = 80.0;
+  ready.has_forecast = true;
+  for (int i = 0; i < 24; ++i) {
+    ready.forecast.mean.push_back(50.0 + 2.0 * i);  // crosses 80 at i=15
+    ready.forecast.lower.push_back(45.0 + 2.0 * i);
+    ready.forecast.upper.push_back(55.0 + 2.0 * i);
+  }
+  ready.forecast.level = 0.95;
+  ready.forecast_start_epoch = 1000000;
+  ready.forecast_step_seconds = 3600;
+  ready.spec = "HES a=0.1";
+  for (int i = 0; i < 8; ++i) ready.recent.push_back(40.0 + i);
+  ready.recent_start_epoch = 1000000 - 8 * 3600;
+
+  InstanceStatus pending;  // watched but no forecast cached yet
+  pending.key = "cdbm012/memory";
+  pending.instance = "cdbm012";
+  pending.metric = "memory";
+  pending.threshold = 90.0;
+
+  InstanceStatus poisoned;  // forecast exists but carries a NaN
+  poisoned.key = "cdbm013/cpu";
+  poisoned.instance = "cdbm013";
+  poisoned.metric = "cpu";
+  poisoned.threshold = 80.0;
+  poisoned.has_forecast = true;
+  poisoned.forecast.mean = {1.0, std::nan(""), 3.0};
+  poisoned.forecast.lower = {0.0, 0.0, 0.0};
+  poisoned.forecast.upper = {2.0, 3.0, 4.0};
+  poisoned.forecast_start_epoch = 1000000;
+  for (int i = 0; i < 4; ++i) poisoned.recent.push_back(1.0);
+  poisoned.recent_start_epoch = 1000000 - 4 * 3600;
+
+  view->instances = {ready, pending, poisoned};
+  std::sort(view->instances.begin(), view->instances.end(),
+            [](const InstanceStatus& a, const InstanceStatus& b) {
+              return a.key < b.key;
+            });
+  return view;
+}
+
+class HandlersTest : public ::testing::Test {
+ protected:
+  HandlersTest()
+      : registry_(std::make_shared<obs::MetricsRegistry>()),
+        handler_(&channel_, registry_) {}
+
+  void PublishEstate() { channel_.Publish(MakeEstate()); }
+
+  ViewChannel channel_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  EstateQueryHandler handler_;
+};
+
+TEST_F(HandlersTest, HealthzBeforeAndAfterFirstView) {
+  EXPECT_EQ(handler_.Handle(Get("/healthz")).status, 503);
+  PublishEstate();
+  const HttpResponse ok = handler_.Handle(Get("/healthz"));
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, "ok\n");
+}
+
+TEST_F(HandlersTest, UnknownPathIs404) {
+  PublishEstate();
+  EXPECT_EQ(handler_.Handle(Get("/nope")).status, 404);
+  EXPECT_EQ(handler_.Handle(Get("/v1/nope")).status, 404);
+}
+
+TEST_F(HandlersTest, NonGetIs405WithAllow) {
+  PublishEstate();
+  RequestParser p;
+  const std::string raw = "POST /v1/estate HTTP/1.1\r\n\r\n";
+  p.Feed(raw.data(), raw.size());
+  ASSERT_EQ(p.state(), RequestParser::State::kComplete);
+  const HttpResponse resp = handler_.Handle(p.TakeRequest());
+  EXPECT_EQ(resp.status, 405);
+  bool has_allow = false;
+  for (const auto& [k, v] : resp.headers) {
+    if (k == "Allow") {
+      has_allow = true;
+      EXPECT_EQ(v, "GET, HEAD");
+    }
+  }
+  EXPECT_TRUE(has_allow);
+}
+
+TEST_F(HandlersTest, V1BeforeFirstViewIs503WithRetryAfter) {
+  const HttpResponse resp = handler_.Handle(Get("/v1/estate"));
+  EXPECT_EQ(resp.status, 503);
+  bool has_retry = false;
+  for (const auto& [k, v] : resp.headers) {
+    if (k == "Retry-After") has_retry = true;
+  }
+  EXPECT_TRUE(has_retry);
+}
+
+TEST_F(HandlersTest, EstateSummaryListsAllWatches) {
+  PublishEstate();
+  const HttpResponse resp = handler_.Handle(Get("/v1/estate"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"cdbm011/cpu\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"cdbm012/memory\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"cdbm013/cpu\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"tick\":7"), std::string::npos);
+}
+
+TEST_F(HandlersTest, ForecastEndpoint) {
+  PublishEstate();
+  const HttpResponse resp =
+      handler_.Handle(Get("/v1/forecast?instance=cdbm011&metric=cpu"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"key\":\"cdbm011/cpu\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"start_epoch\":1000000"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"mean\":[50,52"), std::string::npos);
+}
+
+TEST_F(HandlersTest, ForecastHorizonTruncates) {
+  PublishEstate();
+  const HttpResponse resp = handler_.Handle(
+      Get("/v1/forecast?instance=cdbm011&metric=cpu&horizon=2"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"mean\":[50,52]"), std::string::npos);
+  EXPECT_EQ(handler_
+                .Handle(Get(
+                    "/v1/forecast?instance=cdbm011&metric=cpu&horizon=0"))
+                .status,
+            400);
+  EXPECT_EQ(handler_
+                .Handle(Get(
+                    "/v1/forecast?instance=cdbm011&metric=cpu&horizon=x"))
+                .status,
+            400);
+}
+
+TEST_F(HandlersTest, MissingParamsAre400UnknownKeyIs404) {
+  PublishEstate();
+  EXPECT_EQ(handler_.Handle(Get("/v1/forecast")).status, 400);
+  EXPECT_EQ(handler_.Handle(Get("/v1/forecast?instance=cdbm011")).status,
+            400);
+  EXPECT_EQ(
+      handler_.Handle(Get("/v1/forecast?instance=nope&metric=cpu")).status,
+      404);
+}
+
+TEST_F(HandlersTest, ForecastPendingInstanceIs503) {
+  PublishEstate();
+  const HttpResponse resp =
+      handler_.Handle(Get("/v1/forecast?instance=cdbm012&metric=memory"));
+  EXPECT_EQ(resp.status, 503);
+}
+
+TEST_F(HandlersTest, BreachUsesConfiguredThreshold) {
+  PublishEstate();
+  const HttpResponse resp =
+      handler_.Handle(Get("/v1/breach?instance=cdbm011&metric=cpu"));
+  ASSERT_EQ(resp.status, 200);
+  // Configured threshold 80: mean 50+2i crosses at i=15 -> step 16.
+  EXPECT_NE(resp.body.find("\"mean_breach\":true"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"steps_to_mean_breach\":16"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"threshold\":80"), std::string::npos);
+}
+
+TEST_F(HandlersTest, BreachThresholdOverride) {
+  PublishEstate();
+  const HttpResponse resp = handler_.Handle(
+      Get("/v1/breach?instance=cdbm011&metric=cpu&threshold=1000"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"mean_breach\":false"), std::string::npos);
+  EXPECT_EQ(
+      handler_
+          .Handle(Get("/v1/breach?instance=cdbm011&metric=cpu&threshold=x"))
+          .status,
+      400);
+  // "nan" as a threshold is rejected at parse time (400), before it could
+  // reach the planner.
+  EXPECT_EQ(
+      handler_
+          .Handle(Get("/v1/breach?instance=cdbm011&metric=cpu&threshold=nan"))
+          .status,
+      400);
+}
+
+TEST_F(HandlersTest, NaNForecastMapsTo422) {
+  PublishEstate();
+  const HttpResponse resp =
+      handler_.Handle(Get("/v1/breach?instance=cdbm013&metric=cpu"));
+  EXPECT_EQ(resp.status, 422);
+  EXPECT_NE(resp.body.find("\"code\":\"ComputeError\""), std::string::npos);
+}
+
+TEST_F(HandlersTest, HeadroomEndpoint) {
+  PublishEstate();
+  const HttpResponse resp = handler_.Handle(
+      Get("/v1/headroom?instance=cdbm011&metric=cpu&capacity=200"));
+  ASSERT_EQ(resp.status, 200);
+  // Last recent value 47; peak upper 55+2*23=101 -> headroom (200-101)/200.
+  EXPECT_NE(resp.body.find("\"current_usage\":47"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"peak_upper\":101"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"headroom_fraction\":0.495"), std::string::npos);
+}
+
+TEST_F(HandlersTest, ZeroCapacityMapsTo422) {
+  PublishEstate();
+  const HttpResponse resp = handler_.Handle(
+      Get("/v1/headroom?instance=cdbm011&metric=cpu&capacity=0"));
+  EXPECT_EQ(resp.status, 422);
+  EXPECT_NE(resp.body.find("\"code\":\"InvalidArgument\""),
+            std::string::npos);
+  // Missing capacity is a 400 (malformed request, not planner rejection).
+  EXPECT_EQ(
+      handler_.Handle(Get("/v1/headroom?instance=cdbm011&metric=cpu")).status,
+      400);
+}
+
+TEST_F(HandlersTest, AnswersAreCachedPerViewVersion) {
+  PublishEstate();
+  const std::string target = "/v1/forecast?instance=cdbm011&metric=cpu";
+  ASSERT_EQ(handler_.Handle(Get(target)).status, 200);
+  ASSERT_EQ(handler_.Handle(Get(target)).status, 200);
+  EXPECT_EQ(handler_.cache().hits(), 1u);
+  // Equivalent spelling (reordered params) hits the same cache entry.
+  ASSERT_EQ(
+      handler_.Handle(Get("/v1/forecast?metric=cpu&instance=cdbm011")).status,
+      200);
+  EXPECT_EQ(handler_.cache().hits(), 2u);
+  // A view swap invalidates: next lookup is a miss.
+  PublishEstate();
+  ASSERT_EQ(handler_.Handle(Get(target)).status, 200);
+  EXPECT_EQ(handler_.cache().hits(), 2u);
+  EXPECT_GE(handler_.cache().misses(), 2u);
+}
+
+TEST_F(HandlersTest, ErrorsAreNotCached) {
+  PublishEstate();
+  EXPECT_EQ(handler_.Handle(Get("/v1/forecast?instance=nope&metric=cpu"))
+                .status,
+            404);
+  EXPECT_EQ(handler_.Handle(Get("/v1/forecast?instance=nope&metric=cpu"))
+                .status,
+            404);
+  EXPECT_EQ(handler_.cache().hits(), 0u);
+}
+
+TEST_F(HandlersTest, MetricsEndpointExposesPrometheusText) {
+  PublishEstate();
+  ASSERT_EQ(handler_.Handle(Get("/v1/estate")).status, 200);
+  const HttpResponse resp = handler_.Handle(Get("/metrics"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(resp.body.find("capplan_serve_endpoint_requests_total"),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("capplan_serve_cache_misses_total"),
+            std::string::npos);
+}
+
+TEST_F(HandlersTest, MetricsWithoutRegistryIs404) {
+  ViewChannel channel;
+  EstateQueryHandler bare(&channel);
+  EXPECT_EQ(bare.Handle(Get("/metrics")).status, 404);
+}
+
+}  // namespace
+}  // namespace capplan::serve

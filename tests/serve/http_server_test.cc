@@ -1,0 +1,280 @@
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+
+namespace capplan::serve {
+namespace {
+
+HttpResponse Echo(const HttpRequest& request) {
+  return HttpResponse::Json(200, "{\"path\":\"" + request.path + "\"}");
+}
+
+TEST(HttpServerTest, BindsEphemeralLoopbackPort) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, TwoServersNeverCollide) {
+  HttpServer a(Echo);
+  HttpServer b(Echo);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(HttpServerTest, ServesSimpleGet) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto resp = client.Get("/hello");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "{\"path\":\"/hello\"}");
+  ASSERT_NE(resp->FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*resp->FindHeader("content-type"), "application/json");
+}
+
+TEST(HttpServerTest, KeepAliveServesManyRequestsOnOneConnection) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (int i = 0; i < 20; ++i) {
+    auto resp = client.Get("/r" + std::to_string(i));
+    ASSERT_TRUE(resp.ok()) << i << ": " << resp.status();
+    EXPECT_EQ(resp->status, 200);
+  }
+  const HttpServerStats stats = server.Stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.requests_admitted, 20u);
+}
+
+TEST(HttpServerTest, PipelinedRequestsAnsweredInOrder) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // Two requests in one write; responses must come back in order.
+  ASSERT_TRUE(client
+                  .Send("GET /one HTTP/1.1\r\n\r\n"
+                        "GET /two HTTP/1.1\r\nConnection: close\r\n\r\n")
+                  .ok());
+  auto first = client.ReadResponse();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->body, "{\"path\":\"/one\"}");
+  auto second = client.ReadResponse();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->body, "{\"path\":\"/two\"}");
+  ASSERT_NE(second->FindHeader("connection"), nullptr);
+  EXPECT_EQ(*second->FindHeader("connection"), "close");
+}
+
+TEST(HttpServerTest, HeadGetsHeadersWithoutBody) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Send("HEAD /h HTTP/1.1\r\nConnection: close\r\n\r\n")
+                  .ok());
+  // The response advertises the full Content-Length but sends no body; the
+  // connection then closes, which ReadResponse would flag if it were
+  // waiting on body bytes that never come. Read the header block manually.
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(client.fd(), buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(raw.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("Content-Length: 13\r\n"), std::string::npos);
+  EXPECT_EQ(raw.find("{\"path\""), std::string::npos);  // no body bytes
+}
+
+TEST(HttpServerTest, MalformedRequestGets400AndClose) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Send("GET noslash HTTP/1.1\r\n\r\n").ok());
+  auto resp = client.ReadResponse();
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 400);
+  ASSERT_NE(resp->FindHeader("connection"), nullptr);
+  EXPECT_EQ(*resp->FindHeader("connection"), "close");
+  EXPECT_EQ(server.Stats().parse_errors, 1u);
+}
+
+TEST(HttpServerTest, OversizedRequestLineGets414) {
+  HttpServerConfig config;
+  config.limits.max_request_line = 128;
+  HttpServer server(Echo, config);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(
+      client.Send("GET /" + std::string(4096, 'a') + " HTTP/1.1\r\n\r\n")
+          .ok());
+  auto resp = client.ReadResponse();
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 414);
+}
+
+TEST(HttpServerTest, SlowClientReadDeadlineCloses) {
+  HttpServerConfig config;
+  config.read_deadline_ms = 100;
+  HttpServer server(Echo, config);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // Send half a request, then stall past the deadline.
+  ASSERT_TRUE(client.Send("GET /slow HTTP/1.1\r\n").ok());
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.Stats().deadline_closes == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.Stats().deadline_closes, 1u);
+  EXPECT_EQ(server.Stats().open_connections, 0u);
+}
+
+TEST(HttpServerTest, AdmissionControlReturns429WithRetryAfter) {
+  std::atomic<int> release{0};
+  HttpServerConfig config;
+  config.max_inflight = 2;
+  config.worker_threads = 4;
+  config.retry_after_seconds = 3;
+  HttpServer server(
+      [&release](const HttpRequest& request) {
+        if (request.path == "/block") {
+          while (release.load() == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        return HttpResponse::Json(200, "{}");
+      },
+      config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Fill both admission slots with blocked handlers.
+  std::vector<std::unique_ptr<HttpClient>> blockers;
+  for (int i = 0; i < 2; ++i) {
+    auto c = std::make_unique<HttpClient>();
+    ASSERT_TRUE(c->Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(c->Send("GET /block HTTP/1.1\r\n\r\n").ok());
+    blockers.push_back(std::move(c));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.Stats().requests_admitted < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.Stats().requests_admitted, 2u);
+
+  // The next request must be shed with 429 + Retry-After, never queued.
+  HttpClient extra;
+  ASSERT_TRUE(extra.Connect("127.0.0.1", server.port()).ok());
+  auto throttled = extra.Get("/fast");
+  ASSERT_TRUE(throttled.ok()) << throttled.status();
+  EXPECT_EQ(throttled->status, 429);
+  ASSERT_NE(throttled->FindHeader("retry-after"), nullptr);
+  EXPECT_EQ(*throttled->FindHeader("retry-after"), "3");
+  EXPECT_EQ(server.Stats().throttled, 1u);
+
+  // Releasing the blockers frees the slots; the same connection is usable
+  // again (429 keeps keep-alive connections open).
+  release.store(1);
+  for (auto& c : blockers) {
+    auto resp = c->ReadResponse();
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    EXPECT_EQ(resp->status, 200);
+  }
+  auto ok = extra.Get("/fast");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->status, 200);
+  EXPECT_EQ(server.Stats().peak_inflight, 2u);
+}
+
+TEST(HttpServerTest, GracefulShutdownFlushesInflight) {
+  std::atomic<int> entered{0};
+  HttpServerConfig config;
+  config.stop_grace_ms = 3000;
+  HttpServer server(
+      [&entered](const HttpRequest&) {
+        entered.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return HttpResponse::Json(200, "{\"done\":true}");
+      },
+      config);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Send("GET /work HTTP/1.1\r\n\r\n").ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (entered.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(entered.load(), 1);
+  // Stop while the handler is mid-flight: the response must still arrive.
+  std::thread stopper([&server] { server.Stop(); });
+  auto resp = client.ReadResponse();
+  stopper.join();
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "{\"done\":true}");
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server(Echo);
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  server.Stop();  // second stop is a no-op
+  // A stopped server can be started again on a fresh port.
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto resp = client.Get("/again");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);
+  server.Stop();
+}
+
+TEST(HttpServerTest, RegistryMirrorsCounters) {
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  HttpServerConfig config;
+  config.registry = registry;
+  HttpServer server(Echo, config);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Get("/m").ok());
+  server.Stop();
+  double requests = -1.0;
+  for (const auto& m : registry->Collect().samples) {
+    if (m.name == "capplan_serve_requests_total") requests = m.value;
+  }
+  EXPECT_DOUBLE_EQ(requests, 1.0);
+}
+
+}  // namespace
+}  // namespace capplan::serve

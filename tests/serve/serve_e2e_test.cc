@@ -1,0 +1,203 @@
+// End-to-end: a real EstateService feeding a real HttpServer through the
+// ViewChannel, queried by real sockets. Covers the two acceptance bars for
+// the serving layer: (a) /v1/breach answers agree exactly with a direct
+// CapacityPlanner::PredictBreach on the same published view, and (b) many
+// concurrent clients stay consistent while the service keeps swapping views
+// (run under TSan in CI).
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/capacity.h"
+#include "serve/handlers.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "service/estate_service.h"
+#include "workload/scenario.h"
+
+namespace capplan::serve {
+namespace {
+
+using service::EstateService;
+using service::EstateServiceConfig;
+
+EstateServiceConfig FastConfig() {
+  EstateServiceConfig config;
+  config.pipeline.technique = core::Technique::kHes;
+  config.fit_threads = 2;
+  config.warmup_days = 42;
+  return config;
+}
+
+class ServeE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto scenario = workload::WorkloadScenario::Olap();
+    scenario.n_instances = 2;
+    cluster_ = std::make_unique<workload::ClusterSimulator>(scenario, 7);
+    service_ = std::make_unique<EstateService>(
+        cluster_.get(),
+        std::vector<service::WatchConfig>{{0, workload::Metric::kCpu, 95.0},
+                                          {1, workload::Metric::kCpu, 95.0}},
+        FastConfig());
+    ASSERT_TRUE(service_->Start().ok());
+    ASSERT_TRUE(service_->Tick().ok());
+    ASSERT_TRUE(service_->DrainRefits().ok());  // forecasts now cached
+
+    handler_ = std::make_unique<EstateQueryHandler>(service_->view_channel());
+    server_ = std::make_unique<HttpServer>(
+        [this](const HttpRequest& request) {
+          return handler_->Handle(request);
+        },
+        ServerConfig());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  static HttpServerConfig ServerConfig() {
+    HttpServerConfig config;
+    config.worker_threads = 4;
+    return config;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  std::unique_ptr<workload::ClusterSimulator> cluster_;
+  std::unique_ptr<EstateService> service_;
+  std::unique_ptr<EstateQueryHandler> handler_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+// Extracts the value of `"field":<value>` from a flat JSON body.
+std::string JsonField(const std::string& body, const std::string& field) {
+  const std::string needle = "\"" + field + "\":";
+  const std::size_t pos = body.find(needle);
+  if (pos == std::string::npos) return "";
+  std::size_t begin = pos + needle.size();
+  std::size_t end = begin;
+  while (end < body.size() && body[end] != ',' && body[end] != '}') ++end;
+  return body.substr(begin, end - begin);
+}
+
+TEST_F(ServeE2eTest, BreachEndpointMatchesDirectPlannerCall) {
+  const auto view = service_->View();
+  ASSERT_NE(view, nullptr);
+  ASSERT_EQ(view->instances.size(), 2u);
+  for (const auto& row : view->instances) {
+    ASSERT_TRUE(row.has_forecast) << row.key;
+    const auto direct = core::CapacityPlanner::PredictBreach(
+        row.forecast, row.threshold, row.forecast_start_epoch,
+        row.forecast_step_seconds);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    auto resp = client.Get("/v1/breach?instance=" + row.instance +
+                           "&metric=" + row.metric);
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->status, 200) << resp->body;
+
+    EXPECT_EQ(JsonField(resp->body, "mean_breach"),
+              direct->mean_breach ? "true" : "false");
+    EXPECT_EQ(JsonField(resp->body, "steps_to_mean_breach"),
+              std::to_string(direct->steps_to_mean_breach));
+    EXPECT_EQ(JsonField(resp->body, "mean_breach_epoch"),
+              std::to_string(direct->mean_breach_epoch));
+    EXPECT_EQ(JsonField(resp->body, "upper_breach"),
+              direct->upper_breach ? "true" : "false");
+    EXPECT_EQ(JsonField(resp->body, "steps_to_upper_breach"),
+              std::to_string(direct->steps_to_upper_breach));
+    EXPECT_EQ(JsonField(resp->body, "upper_breach_epoch"),
+              std::to_string(direct->upper_breach_epoch));
+    EXPECT_EQ(JsonField(resp->body, "view_version"),
+              std::to_string(view->version));
+  }
+}
+
+TEST_F(ServeE2eTest, EstateSummaryReflectsServiceState) {
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto resp = client.Get("/v1/estate");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  ASSERT_EQ(resp->status, 200);
+  for (const auto& key : service_->keys()) {
+    EXPECT_NE(resp->body.find("\"key\":\"" + key + "\""), std::string::npos)
+        << resp->body;
+  }
+  EXPECT_EQ(JsonField(resp->body, "now_epoch"),
+            std::to_string(service_->now()));
+}
+
+TEST_F(ServeE2eTest, ConcurrentClientsSurviveViewSwaps) {
+  const std::vector<std::string> keys = service_->keys();
+  ASSERT_FALSE(keys.empty());
+  std::vector<std::string> targets;
+  for (const auto& key : keys) {
+    const std::size_t slash = key.find('/');
+    const std::string qs =
+        "instance=" + key.substr(0, slash) + "&metric=" + key.substr(slash + 1);
+    targets.push_back("/v1/forecast?" + qs);
+    targets.push_back("/v1/breach?" + qs);
+    targets.push_back("/v1/headroom?" + qs + "&capacity=200");
+  }
+  targets.push_back("/v1/estate");
+  targets.push_back("/healthz");
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 50;
+  std::atomic<int> bad{0};
+  std::atomic<std::uint64_t> ok_count{0};
+  std::atomic<bool> swapping{true};
+
+  // Writer: keep the service ticking so views swap under the readers.
+  std::thread ticker([this, &swapping] {
+    while (swapping.load()) {
+      ASSERT_TRUE(service_->Tick().ok());
+      ASSERT_TRUE(service_->DrainRefits().ok());
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([this, &targets, &bad, &ok_count, t] {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        bad.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const std::string& target = targets[(t + i) % targets.size()];
+        auto resp = client.Get(target);
+        if (!resp.ok() || resp->status != 200) {
+          bad.fetch_add(1);
+          return;
+        }
+        // Every /v1 answer must come from some fully published view.
+        if (target.rfind("/v1/", 0) == 0) {
+          const std::string version = JsonField(resp->body, "view_version");
+          if (version.empty() && target != "/v1/estate") {
+            bad.fetch_add(1);
+            return;
+          }
+        }
+        ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  swapping.store(false);
+  ticker.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(ok_count.load(),
+            static_cast<std::uint64_t>(kThreads) * kRequestsPerThread);
+  EXPECT_GT(service_->view_channel()->swaps(), 1u);
+}
+
+}  // namespace
+}  // namespace capplan::serve

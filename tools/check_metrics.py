@@ -2,25 +2,26 @@
 """Metric-name linter for the observability layer (stdlib only).
 
 Cross-checks the metric names registered in the C++ sources against the
-catalogue table in docs/observability.md, in both directions:
+catalogue tables in docs/observability.md and docs/serving.md, in both
+directions:
 
   1. every `capplan_*` string literal under src/ must follow the naming
      rules (snake_case starting with a letter, no double underscore, no
      trailing underscore; counters end in `_total`, everything else carries
      a unit suffix such as `_ms`, `_seconds`, `_bytes`, `_ratio`);
-  2. every name found in src/ must have a catalogue row;
+  2. every name found in src/ must have a catalogue row in one of the docs;
   3. every catalogue row must correspond to a name actually registered in
      src/ — the docs may not advertise metrics that do not exist.
 
 Usage: tools/check_metrics.py            (from the repository root)
-Exits 1 with one line per violation, 0 when the catalogue is consistent.
+Exits 1 with one line per violation, 0 when the catalogues are consistent.
 """
 
 import re
 import sys
 from pathlib import Path
 
-CATALOGUE = Path("docs/observability.md")
+CATALOGUES = (Path("docs/observability.md"), Path("docs/serving.md"))
 SRC_DIR = Path("src")
 
 # A metric name inside a C++ string literal.
@@ -58,24 +59,28 @@ def metrics_in_sources() -> dict:
 
 
 def main() -> int:
-    if not CATALOGUE.is_file() or not SRC_DIR.is_dir():
-        print(f"run from the repository root (missing {CATALOGUE} or "
-              f"{SRC_DIR}/)", file=sys.stderr)
+    missing = [c for c in CATALOGUES if not c.is_file()]
+    if missing or not SRC_DIR.is_dir():
+        print(f"run from the repository root (missing "
+              f"{', '.join(map(str, missing)) or SRC_DIR}/)", file=sys.stderr)
         return 2
 
     src_metrics = metrics_in_sources()
-    doc_metrics = set(DOC_METRIC_RE.findall(
-        CATALOGUE.read_text(encoding="utf-8")))
+    doc_metrics = {}  # name -> catalogue file that lists it
+    for catalogue in CATALOGUES:
+        for name in DOC_METRIC_RE.findall(
+                catalogue.read_text(encoding="utf-8")):
+            doc_metrics.setdefault(name, catalogue)
 
     errors = []
     for name, where in sorted(src_metrics.items()):
         errors.extend(naming_errors(name, where))
         if name not in doc_metrics:
-            errors.append(f"{where}: {name}: missing from the catalogue in "
-                          f"{CATALOGUE}")
-    for name in sorted(doc_metrics - set(src_metrics)):
-        errors.append(f"{CATALOGUE}: {name}: catalogued but never registered "
-                      f"in {SRC_DIR}/")
+            errors.append(f"{where}: {name}: missing from the catalogues in "
+                          f"{' and '.join(map(str, CATALOGUES))}")
+    for name in sorted(set(doc_metrics) - set(src_metrics)):
+        errors.append(f"{doc_metrics[name]}: {name}: catalogued but never "
+                      f"registered in {SRC_DIR}/")
 
     for line in errors:
         print(line, file=sys.stderr)
