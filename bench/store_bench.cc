@@ -1,0 +1,142 @@
+// Tiered-store gate for the CI bench-smoke step: the compressed store must
+// earn its keep before the estate scales toward 100k series. Two hard gates,
+// both measured on the workloads the store actually holds:
+//
+//   1. Compression: sealed gorilla blocks over simulator OLAP/OLTP hourly
+//      traces — quantized the way real collectors quantize (integer IOPS,
+//      quarter-percent CPU, integer MB) — must be >= 5x smaller than the
+//      raw doubles.
+//   2. Ingest: appending through the hot ring with sealing enabled must
+//      sustain >= 1M samples/s (min-of-N, robust to scheduler noise).
+//
+// Writes BENCH_store.json and exits non-zero when either gate fails.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "store/tiered_store.h"
+#include "workload/cluster.h"
+#include "workload/scenario.h"
+
+using namespace capplan;
+
+namespace {
+
+constexpr int kReps = 5;
+constexpr double kMinCompressionRatio = 5.0;
+constexpr double kMinIngestPerSec = 1e6;
+constexpr std::int64_t kStartEpoch = 1577836800;  // 2020-01-01
+constexpr int kDays = 60;
+
+// Quantize like the collectors do: CPU to quarter percents, memory to whole
+// MB, and the logical-IO rate to whole IOs per second (the simulator's field
+// is an hourly rate; AWR-style collectors report it as integer IOPS). Raw
+// simulator output is continuous; no agent reports it that way.
+double Quantize(workload::Metric metric, double v) {
+  if (metric == workload::Metric::kCpu) return std::round(v * 4.0) / 4.0;
+  if (metric == workload::Metric::kLogicalIops) return std::round(v / 3600.0);
+  return std::round(v);
+}
+
+struct Trace {
+  std::string key;
+  std::vector<double> values;
+};
+
+std::vector<Trace> SimulatorTraces() {
+  std::vector<Trace> traces;
+  for (const auto& scenario : {workload::WorkloadScenario::Olap(),
+                               workload::WorkloadScenario::Oltp()}) {
+    workload::ClusterSimulator cluster(scenario, 1234, kStartEpoch);
+    const int instances = std::min(scenario.n_instances, 8);
+    for (int inst = 0; inst < instances; ++inst) {
+      for (workload::Metric metric :
+           {workload::Metric::kCpu, workload::Metric::kLogicalIops,
+            workload::Metric::kMemory}) {
+        Trace t;
+        t.key = scenario.name + "/" + std::to_string(inst) + "/" +
+                workload::MetricName(metric);
+        for (int h = 0; h < 24 * kDays; ++h) {
+          t.values.push_back(Quantize(
+              metric, cluster.SampleAt(inst, kStartEpoch + h * 3600)
+                          .Get(metric)));
+        }
+        traces.push_back(std::move(t));
+      }
+    }
+  }
+  return traces;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Trace> traces = SimulatorTraces();
+  std::size_t total_samples = 0;
+  for (const auto& t : traces) total_samples += t.values.size();
+
+  // Gate 1: compression ratio over fully sealed traces.
+  store::TieredStore sealed_store{store::TieredStoreOptions{}};
+  for (const auto& t : traces) {
+    store::SeriesStore& series =
+        sealed_store.GetOrCreate(t.key, kStartEpoch, tsa::Frequency::kHourly);
+    for (double v : t.values) series.Append(v);
+  }
+  sealed_store.SealAll();
+  const double ratio = sealed_store.stats().compression_ratio();
+  const auto sealed_bytes = sealed_store.stats().sealed_bytes;
+  const auto raw_bytes = sealed_store.stats().sealed_raw_bytes;
+
+  // Gate 2: ingest throughput through the hot ring with sealing on. Each
+  // rep appends every trace into a fresh store; keep the fastest rep.
+  double best_per_sec = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    store::TieredStore store{store::TieredStoreOptions{}};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& t : traces) {
+      store::SeriesStore& series =
+          store.GetOrCreate(t.key, kStartEpoch, tsa::Frequency::kHourly);
+      for (double v : t.values) series.Append(v);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    best_per_sec =
+        std::max(best_per_sec, static_cast<double>(total_samples) / secs);
+  }
+
+  const bool ratio_pass = ratio >= kMinCompressionRatio;
+  const bool ingest_pass = best_per_sec >= kMinIngestPerSec;
+  const bool pass = ratio_pass && ingest_pass;
+
+  JsonWriter w(/*pretty=*/true);
+  w.BeginObject();
+  w.String("bench", "store");
+  w.Integer("series", static_cast<long long>(traces.size()));
+  w.Integer("samples", static_cast<long long>(total_samples));
+  w.Integer("raw_bytes", static_cast<long long>(raw_bytes));
+  w.Integer("sealed_bytes", static_cast<long long>(sealed_bytes));
+  w.Number("compression_ratio", ratio);
+  w.Number("min_compression_ratio", kMinCompressionRatio);
+  w.Bool("compression_pass", ratio_pass);
+  w.Number("ingest_samples_per_sec", best_per_sec);
+  w.Number("min_ingest_samples_per_sec", kMinIngestPerSec);
+  w.Bool("ingest_pass", ingest_pass);
+  w.Bool("pass", pass);
+  w.EndObject();
+  const std::string json = w.Take();
+  std::ofstream("BENCH_store.json") << json << "\n";
+
+  std::printf("%s\n", json.c_str());
+  std::printf("\nstore: %zu series, %zu samples -> %.1fx compression "
+              "(gate %.0fx) %s; ingest %.2fM samples/s (gate %.0fM) %s\n",
+              traces.size(), total_samples, ratio, kMinCompressionRatio,
+              ratio_pass ? "OK" : "FAIL", best_per_sec / 1e6,
+              kMinIngestPerSec / 1e6, ingest_pass ? "OK" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -53,6 +53,11 @@
 
 #include "agent/agent.h"  // IWYU pragma: export
 
+#include "store/codec.h"         // IWYU pragma: export
+#include "store/segment.h"       // IWYU pragma: export
+#include "store/series_store.h"  // IWYU pragma: export
+#include "store/tiered_store.h"  // IWYU pragma: export
+
 #include "repo/csv.h"          // IWYU pragma: export
 #include "repo/model_store.h"  // IWYU pragma: export
 #include "repo/repository.h"   // IWYU pragma: export

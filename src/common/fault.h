@@ -42,6 +42,12 @@ namespace capplan {
 //   serve.accept        the HTTP server drops a freshly accepted connection
 //   serve.read          an HTTP socket read fails (client torn mid-request)
 //   serve.write         an HTTP socket write fails mid-response
+//   store.seal          SeriesStore fails to compress a hot run (absorbed:
+//                       the samples stay hot and sealing retries)
+//   store.flush         TieredStore::Flush fails before writing its segment
+//                       file (snapshot retries at the next interval)
+//   store.reopen        TieredStore::Open fails before reading (recovery
+//                       falls back to a full agent re-poll)
 
 // Which calls at an armed site fail. Counting starts at the moment the site
 // is armed; `skip` calls pass, then `fail` calls fire, then the site is

@@ -1,14 +1,49 @@
 #include "repo/repository.h"
 
 #include <cmath>
+#include <utility>
 
 #include "repo/csv.h"
 
 namespace capplan::repo {
 
+MetricsRepository::MetricsRepository(Options options)
+    : options_(options),
+      raw_(store::TieredStoreOptions{options.raw_store}),
+      hourly_(store::TieredStoreOptions{options.hourly_store}) {}
+
+void MetricsRepository::BindMetrics(obs::MetricsRegistry* registry) {
+  raw_.BindMetrics(registry, "raw");
+  hourly_.BindMetrics(registry, "hourly");
+}
+
 std::string MetricsRepository::KeyFor(const std::string& instance,
                                       workload::Metric metric) {
   return instance + "/" + workload::MetricName(metric);
+}
+
+const std::string& MetricsRepository::NameFor(const std::string& key) const {
+  auto it = names_.find(key);
+  return it == names_.end() ? key : it->second;
+}
+
+void MetricsRepository::Replace(const std::string& key,
+                                const tsa::TimeSeries& raw,
+                                const tsa::TimeSeries& hourly) {
+  raw_.Erase(key);
+  hourly_.Erase(key);
+  store::SeriesStore& rs =
+      raw_.GetOrCreate(key, raw.start_epoch(), raw.frequency());
+  for (double v : raw.values()) rs.Append(v);
+  store::SeriesStore& hs =
+      hourly_.GetOrCreate(key, hourly.start_epoch(), hourly.frequency());
+  for (double v : hourly.values()) hs.Append(v);
+  names_[key] = raw.name();
+  // A fresh store restarts its version clock, so a stale cached view could
+  // alias the new numbers — drop it explicitly.
+  views_.erase(key);
+  raw_.UpdateGauges();
+  hourly_.UpdateGauges();
 }
 
 Status MetricsRepository::Ingest(const std::string& key,
@@ -26,8 +61,7 @@ Status MetricsRepository::Ingest(const std::string& key,
   } else {
     hourly = raw;
   }
-  raw_[key] = raw;
-  hourly_[key] = std::move(hourly);
+  Replace(key, raw, hourly);
   return Status::OK();
 }
 
@@ -36,88 +70,157 @@ Status MetricsRepository::Append(const std::string& key,
   if (chunk.empty()) {
     return Status::InvalidArgument("MetricsRepository: empty chunk");
   }
-  auto it = raw_.find(key);
-  if (it == raw_.end()) return Ingest(key, chunk);
-  tsa::TimeSeries& raw = it->second;
-  if (chunk.frequency() != raw.frequency()) {
+  store::SeriesStore* raw = raw_.Find(key);
+  if (raw == nullptr) return Ingest(key, chunk);
+  if (chunk.frequency() != raw->frequency()) {
     return Status::InvalidArgument(
         "MetricsRepository::Append: frequency mismatch for " + key);
   }
-  if (chunk.start_epoch() != raw.EndEpoch()) {
+  if (chunk.start_epoch() != raw->end_epoch()) {
     return Status::InvalidArgument(
         "MetricsRepository::Append: non-contiguous chunk for " + key +
-        " (expected start " + std::to_string(raw.EndEpoch()) + ", got " +
+        " (expected start " + std::to_string(raw->end_epoch()) + ", got " +
         std::to_string(chunk.start_epoch()) + ")");
   }
-  for (double v : chunk.values()) raw.Append(v);
-  tsa::TimeSeries& hourly = hourly_.at(key);
-  if (raw.frequency() != tsa::Frequency::kQuarterHourly) {
+  for (double v : chunk.values()) raw->Append(v);
+  store::SeriesStore& hourly = *hourly_.Find(key);
+  if (raw->frequency() != tsa::Frequency::kQuarterHourly) {
     // Ingest stored hourly-or-coarser data as-is; keep mirroring it.
     for (double v : chunk.values()) hourly.Append(v);
-    return Status::OK();
-  }
-  // Fold newly completed hourly buckets of the quarter-hourly trace.
-  const std::size_t k = static_cast<std::size_t>(
-      tsa::FrequencySeconds(tsa::Frequency::kHourly) /
-      tsa::FrequencySeconds(raw.frequency()));
-  std::size_t consumed = hourly.size() * k;
-  while (raw.size() - consumed >= k) {
-    double sum = 0.0;
-    std::size_t n = 0;
-    for (std::size_t i = consumed; i < consumed + k; ++i) {
-      if (!std::isnan(raw[i])) {
-        sum += raw[i];
-        ++n;
+  } else {
+    // Fold newly completed hourly buckets of the quarter-hourly trace.
+    const std::size_t k = static_cast<std::size_t>(
+        tsa::FrequencySeconds(tsa::Frequency::kHourly) /
+        tsa::FrequencySeconds(raw->frequency()));
+    std::size_t consumed = hourly.size() * k;
+    while (raw->size() - consumed >= k) {
+      CAPPLAN_ASSIGN_OR_RETURN(std::vector<double> bucket,
+                               raw->ReadWindow(consumed, k));
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (double v : bucket) {
+        if (!std::isnan(v)) {
+          sum += v;
+          ++n;
+        }
       }
+      hourly.Append(n > 0 ? sum / static_cast<double>(n) : std::nan(""));
+      consumed += k;
     }
-    hourly.Append(n > 0 ? sum / static_cast<double>(n) : std::nan(""));
-    consumed += k;
   }
+  raw_.UpdateGauges();
+  hourly_.UpdateGauges();
   return Status::OK();
+}
+
+Result<const tsa::TimeSeries*> MetricsRepository::ViewFor(
+    const std::string& key) const {
+  const store::SeriesStore* s = hourly_.Find(key);
+  if (s == nullptr) {
+    views_.erase(key);
+    return Status::NotFound("MetricsRepository: no series for " + key);
+  }
+  auto it = views_.find(key);
+  if (it != views_.end() &&
+      it->second.structure_version == s->structure_version()) {
+    View& view = it->second;
+    if (view.version == s->version()) return &view.series;
+    // Same structure, newer version: only a tail was appended — patch it
+    // instead of re-decompressing the whole series.
+    const std::size_t have = view.series.size();
+    CAPPLAN_ASSIGN_OR_RETURN(std::vector<double> tail,
+                             s->ReadWindow(have, s->size() - have));
+    for (double v : tail) view.series.Append(v);
+    view.version = s->version();
+    return &view.series;
+  }
+  CAPPLAN_ASSIGN_OR_RETURN(tsa::TimeSeries series,
+                           s->Materialize(NameFor(key)));
+  View& view = views_[key];
+  view.series = std::move(series);
+  view.version = s->version();
+  view.structure_version = s->structure_version();
+  return &view.series;
 }
 
 Result<tsa::TimeSeries> MetricsRepository::Hourly(
     const std::string& key) const {
-  auto it = hourly_.find(key);
-  if (it == hourly_.end()) {
-    return Status::NotFound("MetricsRepository: no series for " + key);
-  }
-  return it->second;
+  CAPPLAN_ASSIGN_OR_RETURN(const tsa::TimeSeries* view, ViewFor(key));
+  return *view;
 }
 
 const tsa::TimeSeries* MetricsRepository::FindHourly(
     const std::string& key) const {
-  auto it = hourly_.find(key);
-  return it == hourly_.end() ? nullptr : &it->second;
+  Result<const tsa::TimeSeries*> view = ViewFor(key);
+  return view.ok() ? view.value() : nullptr;
+}
+
+Result<tsa::TimeSeries> MetricsRepository::HourlyTail(const std::string& key,
+                                                      std::size_t n) const {
+  CAPPLAN_ASSIGN_OR_RETURN(const tsa::TimeSeries* view, ViewFor(key));
+  if (n >= view->size()) return *view;
+  return view->Slice(view->size() - n, n);
 }
 
 Result<tsa::TimeSeries> MetricsRepository::Raw(const std::string& key) const {
-  auto it = raw_.find(key);
-  if (it == raw_.end()) {
+  const store::SeriesStore* s = raw_.Find(key);
+  if (s == nullptr) {
     return Status::NotFound("MetricsRepository: no raw series for " + key);
   }
-  return it->second;
+  return s->Materialize(NameFor(key));
+}
+
+Result<std::int64_t> MetricsRepository::RawEndEpoch(
+    const std::string& key) const {
+  const store::SeriesStore* s = raw_.Find(key);
+  if (s == nullptr) {
+    return Status::NotFound("MetricsRepository: no raw series for " + key);
+  }
+  return s->end_epoch();
 }
 
 std::vector<std::string> MetricsRepository::Keys() const {
-  std::vector<std::string> keys;
-  keys.reserve(hourly_.size());
-  for (const auto& [k, _] : hourly_) keys.push_back(k);
-  return keys;
+  return hourly_.Keys();
 }
 
 bool MetricsRepository::Contains(const std::string& key) const {
-  return hourly_.count(key) > 0;
+  return hourly_.Contains(key);
 }
 
 Status MetricsRepository::SaveAll(const std::string& dir) const {
-  for (const auto& [key, series] : hourly_) {
+  for (const std::string& key : hourly_.Keys()) {
+    CAPPLAN_ASSIGN_OR_RETURN(tsa::TimeSeries series, Hourly(key));
     std::string fname = key;
     for (char& c : fname) {
       if (c == '/') c = '_';
     }
-    CAPPLAN_RETURN_NOT_OK(WriteSeriesCsv(dir + "/" + fname + ".csv", series));
+    Status written = WriteSeriesCsv(dir + "/" + fname + ".csv", series);
+    if (!written.ok()) {
+      return Status::IoError("MetricsRepository::SaveAll: key '" + key +
+                             "': " + written.message());
+    }
   }
+  return Status::OK();
+}
+
+Status MetricsRepository::SaveSegments(const std::string& dir) const {
+  CAPPLAN_RETURN_NOT_OK(raw_.Flush(dir + "/raw.capseg"));
+  CAPPLAN_RETURN_NOT_OK(hourly_.Flush(dir + "/hourly.capseg"));
+  return Status::OK();
+}
+
+void MetricsRepository::Clear() {
+  raw_.Clear();
+  hourly_.Clear();
+  names_.clear();
+  views_.clear();
+}
+
+Status MetricsRepository::LoadSegments(const std::string& dir) {
+  views_.clear();
+  names_.clear();
+  CAPPLAN_RETURN_NOT_OK(raw_.Open(dir + "/raw.capseg"));
+  CAPPLAN_RETURN_NOT_OK(hourly_.Open(dir + "/hourly.capseg"));
   return Status::OK();
 }
 

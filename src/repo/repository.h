@@ -1,11 +1,14 @@
 #ifndef CAPPLAN_REPO_REPOSITORY_H_
 #define CAPPLAN_REPO_REPOSITORY_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "store/tiered_store.h"
 #include "tsa/timeseries.h"
 #include "workload/cluster.h"
 
@@ -16,9 +19,27 @@ namespace capplan::repo {
 // metrics are then stored, centrally, in a repository where they are
 // aggregated into hourly values", paper Section 5.1), and the modelling
 // pipeline reads the hourly series back out.
+//
+// Since PR 6 the repository is backed by two tiered compressed stores
+// (store/tiered_store.h) — one per tier, raw and hourly — instead of plain
+// std::map<key, TimeSeries>. Each series keeps its newest samples in an
+// uncompressed hot ring and seals older runs into gorilla-compressed
+// blocks, which is what lets the estate scale toward 100k series. The
+// public API and its semantics are unchanged; reads decompress on demand
+// through a per-key materialized view cache (see FindHourly).
 class MetricsRepository {
  public:
+  struct Options {
+    store::SeriesStoreOptions raw_store;
+    store::SeriesStoreOptions hourly_store;
+  };
+
   MetricsRepository() = default;
+  explicit MetricsRepository(Options options);
+
+  // Registers the capplan_store_* metric family for both tiers
+  // (labels {tier="raw"} / {tier="hourly"}). Call once, before traffic.
+  void BindMetrics(obs::MetricsRegistry* registry);
 
   // Canonical key for an (instance, metric) pair: "cdbm011/cpu".
   static std::string KeyFor(const std::string& instance,
@@ -26,6 +47,7 @@ class MetricsRepository {
 
   // Stores a raw trace and its hourly aggregation under `key`. Raw data
   // finer than hourly is mean-aggregated; hourly input is stored as-is.
+  // Replaces any previous series under the key.
   Status Ingest(const std::string& key, const tsa::TimeSeries& raw);
 
   // Appends `chunk` to the raw trace under `key` and extends the hourly
@@ -35,27 +57,90 @@ class MetricsRepository {
   // trace ends; an unknown key behaves like Ingest.
   Status Append(const std::string& key, const tsa::TimeSeries& chunk);
 
-  // Hourly series for `key` (aggregated at ingest time).
+  // Hourly series for `key` (aggregated at ingest time), as a copy.
   Result<tsa::TimeSeries> Hourly(const std::string& key) const;
 
-  // Borrowed view of the hourly series, or nullptr when absent — the
-  // service layer's per-tick hot path, which must not copy whole series.
-  // The pointer is invalidated by Ingest/Append on the same key.
+  // Borrowed view of the hourly series, or nullptr when absent (or when a
+  // sealed block fails to decode) — the service layer's per-tick hot path,
+  // which must not copy whole series.
+  //
+  // Lifetime contract: the pointer is a tick-scoped borrow. It is
+  // invalidated by ANY subsequent mutation of the repository under the same
+  // key — Ingest, Append, LoadSegments, EvictViews — because those rebuild
+  // or patch the materialized view behind it. Callers must re-fetch after
+  // every mutation and must not cache the pointer across ticks. (The view
+  // lives in a std::map node, so mutations under *other* keys do not move
+  // it, but code must not rely on that.)
+  //
+  // Cost: the first call per key decompresses the hourly tier into a cached
+  // view; subsequent calls after an Append patch only the new tail, so the
+  // per-tick steady state is O(new samples), not O(series length).
   const tsa::TimeSeries* FindHourly(const std::string& key) const;
 
-  // The raw trace as ingested.
+  // Last `n` hourly samples for `key` (the whole series when shorter) — the
+  // serving layer's recent-window view, served from the same cache as
+  // FindHourly. The returned series is a copy with timestamps preserved.
+  Result<tsa::TimeSeries> HourlyTail(const std::string& key,
+                                     std::size_t n) const;
+
+  // The raw trace as ingested (decompressed copy).
   Result<tsa::TimeSeries> Raw(const std::string& key) const;
+
+  // End epoch of the raw trace under `key` — the service recovery path
+  // uses this to re-poll only the missing suffix after a segment reopen.
+  Result<std::int64_t> RawEndEpoch(const std::string& key) const;
 
   std::vector<std::string> Keys() const;
   bool Contains(const std::string& key) const;
   std::size_t size() const { return hourly_.size(); }
 
-  // Persists every hourly series to `<dir>/<sanitized key>.csv`.
+  // Persists every hourly series to `<dir>/<sanitized key>.csv` — the
+  // import/export format. Fails with kIoError naming the offending key.
   Status SaveAll(const std::string& dir) const;
 
+  // Persists both tiers to `<dir>/raw.capseg` + `<dir>/hourly.capseg`
+  // (store/segment.h) — the snapshot format the service restarts from.
+  Status SaveSegments(const std::string& dir) const;
+
+  // Replaces the in-memory state from segment files written by
+  // SaveSegments. Missing/corrupt records degrade per the segment-format
+  // rules (quarantined blocks read back as NaN). Series names are restored
+  // as their keys — which is what the agents name them anyway.
+  Status LoadSegments(const std::string& dir);
+
+  // Drops every cached materialized view (memory pressure / tests). Views
+  // rebuild lazily on the next FindHourly.
+  void EvictViews() const { views_.clear(); }
+
+  // Drops every series from both tiers (the recovery fallback when a
+  // segment reopen leaves unusable state).
+  void Clear();
+
+  // Tier accessors for accounting, benchmarks and tests.
+  const store::TieredStore& raw_store() const { return raw_; }
+  const store::TieredStore& hourly_store() const { return hourly_; }
+  store::TieredStore& raw_store() { return raw_; }
+  store::TieredStore& hourly_store() { return hourly_; }
+
  private:
-  std::map<std::string, tsa::TimeSeries> raw_;
-  std::map<std::string, tsa::TimeSeries> hourly_;
+  struct View {
+    tsa::TimeSeries series;
+    std::uint64_t version = 0;
+    std::uint64_t structure_version = 0;
+  };
+
+  // Replaces the series under `key` in both tiers with fresh stores.
+  void Replace(const std::string& key, const tsa::TimeSeries& raw,
+               const tsa::TimeSeries& hourly);
+  // The cached materialized hourly view, built or patched as needed.
+  Result<const tsa::TimeSeries*> ViewFor(const std::string& key) const;
+  const std::string& NameFor(const std::string& key) const;
+
+  Options options_;
+  store::TieredStore raw_{store::TieredStoreOptions{}};
+  store::TieredStore hourly_{store::TieredStoreOptions{}};
+  std::map<std::string, std::string> names_;  // key -> series name
+  mutable std::map<std::string, View> views_;
 };
 
 }  // namespace capplan::repo

@@ -98,6 +98,7 @@ EstateService::EstateService(const workload::ClusterSimulator* cluster,
         "capplan_serve_view_swaps_total", {},
         "EstateView snapshots published to the serving layer");
   }
+  metrics_.BindMetrics(telemetry_.registry.get());
 }
 
 EstateService::~EstateService() = default;
@@ -538,18 +539,12 @@ void EstateService::PublishView() {
       row.alert_upper_only = alert->second.upper_only;
       row.predicted_breach_epoch = alert->second.predicted_breach_epoch;
     }
-    if (const tsa::TimeSeries* hourly = metrics_.FindHourly(key);
-        hourly != nullptr && !hourly->empty() &&
-        config_.view_recent_hours > 0) {
-      const std::size_t take =
-          std::min(hourly->size(), config_.view_recent_hours);
-      const std::size_t from = hourly->size() - take;
-      row.recent.reserve(take);
-      for (std::size_t i = from; i < hourly->size(); ++i) {
-        row.recent.push_back((*hourly)[i]);
+    if (config_.view_recent_hours > 0) {
+      if (auto tail = metrics_.HourlyTail(key, config_.view_recent_hours);
+          tail.ok() && !tail->empty()) {
+        row.recent = tail->values();
+        row.recent_start_epoch = tail->start_epoch();
       }
-      row.recent_start_epoch =
-          hourly->start_epoch() + static_cast<std::int64_t>(from) * 3600;
     }
     view->instances.push_back(std::move(row));
   }
@@ -718,6 +713,12 @@ Status EstateService::WriteSnapshot() {
   meta.rows.push_back({"cursor_epoch", std::to_string(cursor_)});
   meta.rows.push_back({"ticks", std::to_string(ticks_)});
   CAPPLAN_RETURN_NOT_OK(repo::WriteCsv(dir + "/snapshot.meta.csv", meta));
+
+  // The metric history itself, as compressed segments (store/segment.h) —
+  // what Recover restarts from instead of re-polling the whole estate. A
+  // failed flush fails the snapshot as a whole; the tick loop absorbs it
+  // and retries at the next snapshot interval.
+  CAPPLAN_RETURN_NOT_OK(metrics_.SaveSegments(dir));
 
   CAPPLAN_RETURN_NOT_OK(JournalAppend({now_, EventKind::kSnapshot, "", {}}));
   ++telemetry_.snapshots_written;
@@ -963,11 +964,36 @@ Status EstateService::Recover() {
     if (!scheduler_.Get(key).ok()) scheduler_.ScheduleAt(key, now_);
   }
 
-  // Rebuild the metric history. The simulated agents are pure functions of
-  // (scenario, seed, instance, epoch), so re-polling reproduces the central
-  // repository exactly; a real deployment would reload persisted series.
+  // Rebuild the metric history. Prefer the compressed segment snapshot: it
+  // holds the exact persisted samples, so only the suffix collected after
+  // the last flush needs re-polling. When the segments are missing, damaged
+  // or inconsistent with the watch set, fall back to the original full
+  // re-poll — the simulated agents are pure functions of (scenario, seed,
+  // instance, epoch), so re-polling reproduces the repository exactly.
   const auto t0 = Clock::now();
-  CAPPLAN_RETURN_NOT_OK(Ingest(cluster_->start_epoch(), cursor_));
+  std::int64_t poll_from = cluster_->start_epoch();
+  if (metrics_.LoadSegments(config_.state_dir).ok()) {
+    std::int64_t segments_end = -1;
+    bool usable = true;
+    for (const auto& key : keys_) {
+      auto end = metrics_.RawEndEpoch(key);
+      if (!end.ok() || (segments_end != -1 && *end != segments_end)) {
+        usable = false;
+        break;
+      }
+      segments_end = *end;
+    }
+    usable = usable && segments_end >= cluster_->start_epoch() &&
+             segments_end <= cursor_;
+    if (usable) {
+      poll_from = segments_end;
+    } else {
+      metrics_.Clear();
+    }
+  } else {
+    metrics_.Clear();
+  }
+  CAPPLAN_RETURN_NOT_OK(Ingest(poll_from, cursor_));
   telemetry_.ingest_stage.Record(ElapsedMs(t0));
 
   CAPPLAN_ASSIGN_OR_RETURN(journal_, EventJournal::Open(JournalPath()));

@@ -1,0 +1,76 @@
+#ifndef CAPPLAN_STORE_BITSTREAM_H_
+#define CAPPLAN_STORE_BITSTREAM_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace capplan::store {
+
+// Bit-granular append/read primitives for the block codecs (codec.h). Bits
+// are packed MSB-first inside each byte so a stream reads back in exactly
+// the order it was written regardless of word size or host endianness.
+
+class BitWriter {
+ public:
+  void WriteBit(bool bit) {
+    if (nbits_ % 8 == 0) bytes_.push_back(0);
+    if (bit) bytes_.back() |= static_cast<std::uint8_t>(0x80u >> (nbits_ % 8));
+    ++nbits_;
+  }
+
+  // Writes the low `count` bits of `value`, most significant first.
+  // count must be in [0, 64].
+  void WriteBits(std::uint64_t value, int count) {
+    for (int i = count - 1; i >= 0; --i) {
+      WriteBit(((value >> i) & 1u) != 0);
+    }
+  }
+
+  std::size_t bit_count() const { return nbits_; }
+
+  // The stream so far, zero-padded to a whole byte.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size_bytes)
+      : data_(data), nbits_(size_bytes * 8) {}
+
+  // False once the stream is exhausted (a decode overrun, since the codecs
+  // know their counts up front).
+  bool ReadBit(bool* out) {
+    if (pos_ >= nbits_) return false;
+    *out = (data_[pos_ / 8] & (0x80u >> (pos_ % 8))) != 0;
+    ++pos_;
+    return true;
+  }
+
+  bool ReadBits(int count, std::uint64_t* out) {
+    std::uint64_t v = 0;
+    bool bit = false;
+    for (int i = 0; i < count; ++i) {
+      if (!ReadBit(&bit)) return false;
+      v = (v << 1) | (bit ? 1u : 0u);
+    }
+    *out = v;
+    return true;
+  }
+
+  std::size_t bits_left() const { return nbits_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t nbits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace capplan::store
+
+#endif  // CAPPLAN_STORE_BITSTREAM_H_

@@ -1,0 +1,95 @@
+#ifndef CAPPLAN_STORE_CODEC_H_
+#define CAPPLAN_STORE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace capplan::store {
+
+// Block codecs for the tiered time-series store: lossless compression of a
+// sealed run of samples, netdata-dbengine / Facebook-Gorilla style. Both
+// codecs are bit-exact — every decoded 64-bit pattern (including NaN
+// payloads, infinities and signed zeros) equals its input, so a compressed
+// series is indistinguishable from the raw vector it replaced.
+//
+// Timestamps use delta-of-delta: a regular grid (the normal case — the
+// repository stores fixed-frequency series) costs one bit per sample after
+// the first two.
+//
+// Values pick the cheapest of three modes per block:
+//   * kConst — every sample shares one bit pattern (flatlines, all-NaN
+//     outage gaps masked by the quality sentinel): one 8-byte literal.
+//   * kInt   — every finite sample is integral after scaling by 2^s
+//     (counter-style metrics, quarter-percent CPU readings): zigzag
+//     delta-of-delta over the scaled integers, the big win on real
+//     monitoring traces. An optional presence bitmap admits canonical-NaN
+//     gaps inside an otherwise integral block.
+//   * kXor   — Gorilla XOR float compression, the general fallback: works
+//     on any doubles, guarantees correctness rather than a ratio.
+
+// CRC-32 (IEEE 802.3, reflected). `seed` chains incremental updates.
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+// --- Timestamp codec -------------------------------------------------------
+
+// Delta-of-delta encoding of an arbitrary int64 timestamp sequence.
+std::vector<std::uint8_t> EncodeTimestamps(
+    const std::vector<std::int64_t>& timestamps);
+
+// Decodes exactly `count` timestamps; fails on a truncated stream.
+Result<std::vector<std::int64_t>> DecodeTimestamps(const std::uint8_t* data,
+                                                   std::size_t size,
+                                                   std::size_t count);
+
+// --- Value codec -----------------------------------------------------------
+
+// Compresses `values` losslessly; the empty vector encodes to empty bytes.
+std::vector<std::uint8_t> EncodeValues(const std::vector<double>& values);
+
+// Decodes exactly `count` values; fails on truncation or a corrupt header.
+Result<std::vector<double>> DecodeValues(const std::uint8_t* data,
+                                         std::size_t size, std::size_t count);
+
+// --- Sealed block ----------------------------------------------------------
+
+// One immutable compressed run of a regular-grid series. The payload holds
+// the timestamp stream (redundant for a regular grid but self-describing —
+// a block can be validated without its series context) followed by the
+// value stream; `crc` covers the whole payload.
+struct SealedBlock {
+  std::int64_t start_epoch = 0;
+  std::int64_t step_seconds = 0;
+  std::uint32_t count = 0;
+  std::uint32_t crc = 0;
+  // A block whose payload failed its CRC (injected corruption, torn disk
+  // write). It keeps its place in the series so neighbours stay aligned;
+  // its samples materialize as NaN — the same masked-gap convention the
+  // quality sentinel uses for outages.
+  bool quarantined = false;
+  std::vector<std::uint8_t> payload;
+
+  // Uncompressed footprint of the samples this block replaces.
+  std::size_t raw_bytes() const { return static_cast<std::size_t>(count) * 8; }
+  std::size_t compressed_bytes() const { return payload.size(); }
+};
+
+// Compresses `values` (sampled at start_epoch, start_epoch + step, ...)
+// into an immutable block.
+SealedBlock SealBlock(std::int64_t start_epoch, std::int64_t step_seconds,
+                      const std::vector<double>& values);
+
+// A placeholder for a block lost to corruption: right shape, no payload,
+// decodes to NaN.
+SealedBlock QuarantinedBlock(std::int64_t start_epoch,
+                             std::int64_t step_seconds, std::uint32_t count);
+
+// Decompresses a block. Verifies the CRC first and fails with kIoError on a
+// mismatch (the caller quarantines). A quarantined block decodes to NaNs.
+Result<std::vector<double>> DecodeBlockValues(const SealedBlock& block);
+
+}  // namespace capplan::store
+
+#endif  // CAPPLAN_STORE_CODEC_H_

@@ -1,0 +1,185 @@
+#ifndef CAPPLAN_STORE_SERIES_STORE_H_
+#define CAPPLAN_STORE_SERIES_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "store/codec.h"
+#include "tsa/timeseries.h"
+
+namespace capplan::store {
+
+// Aggregate accounting shared by every series of one TieredStore tier.
+// Plain integers: the store (like MetricsRepository before it) is owned and
+// mutated by one thread; TieredStore::UpdateGauges() mirrors the numbers
+// into the obs registry for scraping.
+struct StoreStats {
+  std::uint64_t hot_bytes = 0;         // uncompressed samples in hot rings
+  std::uint64_t sealed_bytes = 0;      // compressed payload bytes at rest
+  std::uint64_t sealed_raw_bytes = 0;  // 8 * samples sealed (the baseline)
+  std::uint64_t blocks_sealed = 0;
+  std::uint64_t blocks_evicted = 0;
+  std::uint64_t blocks_quarantined = 0;
+  std::uint64_t seal_failures = 0;  // absorbed (samples stayed hot)
+
+  // Sealed-tier compression ratio; 1.0 until something seals.
+  double compression_ratio() const {
+    return sealed_bytes == 0
+               ? 1.0
+               : static_cast<double>(sealed_raw_bytes) /
+                     static_cast<double>(sealed_bytes);
+  }
+
+  // Latency sinks bound by TieredStore::BindMetrics (detached no-ops
+  // otherwise, so standalone stores cost nothing).
+  obs::Histogram seal_ms;
+};
+
+struct SeriesStoreOptions {
+  // Samples per sealed block: once the hot ring holds this many, the oldest
+  // seal_threshold samples compress into one immutable block.
+  std::size_t seal_threshold = 512;
+  // Retention: keep at most this many sealed blocks per series, evicting the
+  // oldest (the series' logical start advances). 0 = keep everything — the
+  // repository default, since the modelling pipeline owns windowing.
+  std::size_t max_blocks = 0;
+};
+
+// One series of the tiered store: a fixed-capacity hot ring buffer holding
+// the newest samples uncompressed, in front of a list of immutable sealed
+// blocks (codec.h). Appends land in the ring; a full ring seals its oldest
+// run into a block. Reads materialize any window back into doubles,
+// decoding only the blocks the window covers.
+//
+// The grid is regular: sample i lives at start_epoch() + i * step_seconds().
+class SeriesStore {
+ public:
+  SeriesStore(std::int64_t start_epoch, tsa::Frequency freq,
+              SeriesStoreOptions options = {}, StoreStats* stats = nullptr);
+
+  SeriesStore(const SeriesStore&) = delete;
+  SeriesStore& operator=(const SeriesStore&) = delete;
+  SeriesStore(SeriesStore&&) = default;
+  SeriesStore& operator=(SeriesStore&&) = default;
+
+  // Appends the next grid sample. A seal that fails (fault injection, or a
+  // future disk-backed tier) is absorbed: the samples stay hot and sealing
+  // retries on the next append.
+  void Append(double value);
+
+  // Retained samples (evicted history excluded).
+  std::size_t size() const { return sealed_count_ + hot_.size(); }
+  bool empty() const { return size() == 0; }
+
+  // Epoch of the first retained sample; advances when retention evicts.
+  std::int64_t start_epoch() const {
+    return base_epoch_ + static_cast<std::int64_t>(dropped_) * step_seconds_;
+  }
+  std::int64_t step_seconds() const { return step_seconds_; }
+  tsa::Frequency frequency() const { return freq_; }
+  std::int64_t end_epoch() const {
+    return start_epoch() + static_cast<std::int64_t>(size()) * step_seconds_;
+  }
+
+  // Bumped by every mutation that adds samples; repository-level view
+  // caches use it to detect staleness cheaply.
+  std::uint64_t version() const { return version_; }
+  // Bumped when the retained range itself changes shape (eviction, restore)
+  // — an appended-tail patch of a cached view is no longer sound.
+  std::uint64_t structure_version() const { return structure_version_; }
+
+  // Samples [begin, begin + len) of the retained range.
+  Result<std::vector<double>> ReadWindow(std::size_t begin,
+                                         std::size_t len) const;
+
+  // The whole retained series as an uncompressed TimeSeries.
+  Result<tsa::TimeSeries> Materialize(const std::string& name) const;
+
+  // Forward scan over the retained samples, decoding one block at a time —
+  // the read path for window materialization without whole-series cost.
+  class Cursor {
+   public:
+    // False at end; fails sticky on a corrupt block (NaN is returned for
+    // quarantined blocks, not errors).
+    bool Next(double* value);
+    const Status& status() const { return status_; }
+
+   private:
+    friend class SeriesStore;
+    Cursor(const SeriesStore* store, std::size_t begin);
+    const SeriesStore* store_;
+    std::size_t index_;       // next retained index to yield
+    std::size_t block_ = 0;   // current block position
+    std::size_t block_first_ = 0;  // retained index of block_[0]
+    std::vector<double> decoded_;
+    Status status_;
+  };
+  Cursor Scan(std::size_t begin = 0) const { return Cursor(this, begin); }
+
+  // Compresses every hot sample into (possibly short) blocks — used before
+  // measuring at-rest footprint and by tests; the service keeps its tail
+  // hot instead.
+  void SealAll();
+
+  const std::vector<SealedBlock>& blocks() const { return blocks_; }
+  std::size_t hot_size() const { return hot_.size(); }
+  std::size_t hot_bytes() const { return hot_.size() * sizeof(double); }
+  std::size_t sealed_bytes() const;
+
+  const SeriesStoreOptions& options() const { return options_; }
+
+  // Rebuilds a store from persisted parts (segment reopen). Blocks must be
+  // sorted by start_epoch; gaps between them (a quarantined neighbour that
+  // was dropped entirely) are filled with NaN placeholder blocks so the
+  // grid stays aligned. `hot` continues where the last block ends.
+  static Result<SeriesStore> Restore(tsa::Frequency freq,
+                                     std::vector<SealedBlock> blocks,
+                                     std::int64_t hot_start_epoch,
+                                     std::vector<double> hot,
+                                     SeriesStoreOptions options = {},
+                                     StoreStats* stats = nullptr);
+
+ private:
+  // The ring backing the hot tier: contiguous power-of-two storage, wraps,
+  // grows only when sealing is failing and samples must not be dropped.
+  class HotRing {
+   public:
+    explicit HotRing(std::size_t capacity);
+    void PushBack(double v);
+    void DropFront(std::size_t n);
+    double At(std::size_t i) const {
+      return data_[(head_ + i) & (data_.size() - 1)];
+    }
+    std::size_t size() const { return size_; }
+
+   private:
+    void Grow();
+    std::vector<double> data_;  // power-of-two capacity
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+  };
+
+  void MaybeSeal();
+  Status SealFront(std::size_t n);
+  void EvictForRetention();
+
+  std::int64_t base_epoch_;
+  std::int64_t step_seconds_;
+  tsa::Frequency freq_;
+  SeriesStoreOptions options_;
+  StoreStats* stats_;  // may be null (standalone store)
+
+  std::vector<SealedBlock> blocks_;
+  std::size_t sealed_count_ = 0;  // samples across blocks_
+  std::size_t dropped_ = 0;       // samples evicted from the front
+  HotRing hot_;
+  std::uint64_t version_ = 0;
+  std::uint64_t structure_version_ = 0;
+};
+
+}  // namespace capplan::store
+
+#endif  // CAPPLAN_STORE_SERIES_STORE_H_

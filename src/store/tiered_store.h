@@ -1,0 +1,100 @@
+#ifndef CAPPLAN_STORE_TIERED_STORE_H_
+#define CAPPLAN_STORE_TIERED_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "store/segment.h"
+#include "store/series_store.h"
+
+namespace capplan::store {
+
+struct TieredStoreOptions {
+  SeriesStoreOptions series;
+};
+
+// Many SeriesStores under one roof: the storage engine one tier of the
+// metrics repository runs on (the repository keeps two — raw and hourly).
+// Owns the global accounting (StoreStats) for the capplan_store_* metric
+// family, and the segment-file persistence:
+//
+//   hot ring  --seal-->  sealed blocks  --flush-->  segment file
+//      ^                                               |
+//      +---------------- reopen <----------------------+
+//
+// Like the repository it backs, a TieredStore is single-writer: the service
+// driver thread owns all mutation. Readers get materialized copies.
+class TieredStore {
+ public:
+  explicit TieredStore(TieredStoreOptions options = {});
+
+  TieredStore(const TieredStore&) = delete;
+  TieredStore& operator=(const TieredStore&) = delete;
+  // Movable: the stats block lives behind a unique_ptr, so the SeriesStore
+  // back-pointers into it stay valid across a move.
+  TieredStore(TieredStore&&) = default;
+  TieredStore& operator=(TieredStore&&) = default;
+
+  // Registers the capplan_store_* family in `registry`, labelled with this
+  // store's tier name ("raw", "hourly"). Call once, before traffic;
+  // unbound stores skip all metric work.
+  void BindMetrics(obs::MetricsRegistry* registry, const std::string& tier);
+
+  // The series under `key`, created at (start_epoch, freq) if absent.
+  SeriesStore& GetOrCreate(const std::string& key, std::int64_t start_epoch,
+                           tsa::Frequency freq);
+  SeriesStore* Find(const std::string& key);
+  const SeriesStore* Find(const std::string& key) const;
+  // Drops a series (Ingest-replaces-series path). No-op when absent.
+  void Erase(const std::string& key);
+  void Clear();
+
+  bool Contains(const std::string& key) const {
+    return series_.count(key) > 0;
+  }
+  std::size_t size() const { return series_.size(); }
+  std::vector<std::string> Keys() const;
+
+  // Seals every hot sample everywhere (at-rest footprint measurement).
+  void SealAll();
+
+  // Persists every series to one segment file, atomically. Fault site
+  // "store.flush"; span store.flush; latency into capplan_store_flush_ms.
+  Status Flush(const std::string& path) const;
+
+  // Replaces the in-memory state with the segment file's content. Fault
+  // site "store.reopen"; span store.reopen; corrupted blocks are
+  // quarantined individually (NaN gaps), a torn tail is truncated. The
+  // store is left empty when the file is missing or unreadable.
+  Status Open(const std::string& path);
+
+  const StoreStats& stats() const { return *stats_; }
+  // Pushes the current stats into the bound gauges/counters (no-op when
+  // unbound). Mutating entry points call this themselves.
+  void UpdateGauges();
+
+ private:
+  TieredStoreOptions options_;
+  std::map<std::string, SeriesStore> series_;
+  std::unique_ptr<StoreStats> stats_ = std::make_unique<StoreStats>();
+
+  bool metrics_bound_ = false;
+  obs::Gauge hot_bytes_;
+  obs::Gauge sealed_bytes_;
+  obs::Gauge sealed_raw_bytes_;
+  obs::Gauge compression_ratio_;
+  obs::Counter blocks_sealed_;
+  obs::Counter blocks_evicted_;
+  obs::Counter blocks_quarantined_;
+  obs::Counter seal_failures_;
+  mutable obs::Histogram flush_ms_;  // Flush() is logically const
+  obs::Histogram open_ms_;
+};
+
+}  // namespace capplan::store
+
+#endif  // CAPPLAN_STORE_TIERED_STORE_H_

@@ -1,0 +1,194 @@
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "service/estate_service.h"
+#include "workload/scenario.h"
+
+// Chaos scenarios for the tiered store underneath the estate daemon: the
+// segment flush dying mid-snapshot, the reopen path dying mid-recovery, and
+// bit rot inside a sealed block on disk. In every case the service must keep
+// serving and recover to the same estate state it would have reached on a
+// healthy disk.
+
+namespace capplan::service {
+namespace {
+
+class StoreChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+workload::WorkloadScenario TestScenario() {
+  auto scenario = workload::WorkloadScenario::Olap();
+  scenario.n_instances = 2;
+  return scenario;
+}
+
+EstateServiceConfig FastConfig(const std::string& name) {
+  EstateServiceConfig config;
+  config.pipeline.technique = core::Technique::kHes;
+  config.fit_threads = 2;
+  config.warmup_days = 42;
+  config.state_dir = ::testing::TempDir() + "/store_chaos_" + name;
+  std::filesystem::remove_all(config.state_dir);
+  return config;
+}
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(f.is_open()) << path;
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(f.tellg()));
+  f.seekg(0);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+TEST_F(StoreChaosTest, SegmentFlushFaultAbsorbedAndRetriedNextSnapshot) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig("flush");
+  config.snapshot_every_ticks = 1;
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        config);
+  ASSERT_TRUE(service.Start().ok());
+
+  // The segment flush dies once: the snapshot fails, the tick does not.
+  FaultInjector::Global().Arm("store.flush", FaultPlan::FailN(1));
+  ASSERT_TRUE(service.Tick().ok());
+  EXPECT_EQ(service.telemetry().snapshot_failures, 1u);
+  EXPECT_EQ(service.telemetry().snapshots_written, 0u);
+  EXPECT_EQ(FaultInjector::Global().FireCount("store.flush"), 1u);
+
+  // The disk heals; the next snapshot interval retries and lands both
+  // segment files.
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  EXPECT_EQ(service.telemetry().snapshots_written, 1u);
+  EXPECT_TRUE(
+      std::filesystem::exists(config.state_dir + "/raw.capseg"));
+  EXPECT_TRUE(
+      std::filesystem::exists(config.state_dir + "/hourly.capseg"));
+  ASSERT_TRUE(service.Checkpoint().ok());
+
+  // Recovery restarts from the retried snapshot.
+  EstateService recovered(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                          config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.now(), service.now());
+  const std::string& key = service.keys()[0];
+  ASSERT_NE(recovered.metrics().FindHourly(key), nullptr);
+  EXPECT_EQ(recovered.metrics().FindHourly(key)->size(),
+            service.metrics().FindHourly(key)->size());
+  std::filesystem::remove_all(config.state_dir);
+}
+
+TEST_F(StoreChaosTest, ReopenFaultFallsBackToFullRepoll) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig("reopen");
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        config);
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  ASSERT_TRUE(service.Checkpoint().ok());
+  const std::string& key = service.keys()[0];
+  const auto* healthy = service.metrics().FindHourly(key);
+  ASSERT_NE(healthy, nullptr);
+  const std::size_t healthy_size = healthy->size();
+  const double healthy_last = (*healthy)[healthy_size - 1];
+
+  // The segment reopen dies during recovery. Recovery must not fail: it
+  // falls back to the full re-poll and reconstructs the identical estate.
+  FaultInjector::Global().Arm("store.reopen", FaultPlan::FailN(1));
+  EstateService recovered(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                          config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(FaultInjector::Global().FireCount("store.reopen"), 1u);
+  EXPECT_EQ(recovered.now(), service.now());
+  const auto* repolled = recovered.metrics().FindHourly(key);
+  ASSERT_NE(repolled, nullptr);
+  ASSERT_EQ(repolled->size(), healthy_size);
+  EXPECT_DOUBLE_EQ((*repolled)[healthy_size - 1], healthy_last);
+  // The re-polled estate keeps ticking.
+  ASSERT_TRUE(recovered.Tick().ok());
+  ASSERT_TRUE(recovered.DrainRefits().ok());
+  std::filesystem::remove_all(config.state_dir);
+}
+
+TEST_F(StoreChaosTest, CorruptSealedBlockQuarantinedWithoutSpreading) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig("bitrot");
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        config);
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  ASSERT_TRUE(service.Checkpoint().ok());
+  const std::string& key = service.keys()[0];
+  const std::size_t hourly_size = service.metrics().FindHourly(key)->size();
+
+  // Bit rot inside the first sealed block of raw.capseg. Walk the record
+  // header (magic, meta_len, meta, meta_crc, payload_len) to land the flip
+  // squarely in the compressed payload.
+  const std::string raw_path = config.state_dir + "/raw.capseg";
+  std::vector<std::uint8_t> bytes = ReadFileBytes(raw_path);
+  std::uint32_t meta_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    meta_len |= static_cast<std::uint32_t>(bytes[12 + i]) << (8 * i);
+  }
+  const std::size_t payload_begin = 8 + 4 + 4 + meta_len + 4 + 4;
+  ASSERT_LT(payload_begin + 6, bytes.size());
+  bytes[payload_begin + 6] ^= 0x10;
+  {
+    std::ofstream f(raw_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(f.is_open());
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Recovery still uses the segments: only the damaged block is
+  // quarantined (its samples read back as NaN); every neighbouring block,
+  // the hot tail and the entire hourly tier are untouched.
+  EstateService recovered(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                          config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.metrics().raw_store().stats().blocks_quarantined, 1u);
+  EXPECT_EQ(recovered.metrics().hourly_store().stats().blocks_quarantined,
+            0u);
+
+  auto raw = recovered.metrics().Raw(key);
+  ASSERT_TRUE(raw.ok());
+  std::size_t nans = 0;
+  for (std::size_t i = 0; i < raw->size(); ++i) {
+    if (std::isnan((*raw)[i])) ++nans;
+  }
+  EXPECT_GT(nans, 0u);
+  EXPECT_LE(nans, 512u);  // at most one seal_threshold run lost
+
+  // The hourly tier — what the models actually read — is bit-for-bit the
+  // healthy series, and the service keeps operating on it.
+  const auto* hourly = recovered.metrics().FindHourly(key);
+  ASSERT_NE(hourly, nullptr);
+  ASSERT_EQ(hourly->size(), hourly_size);
+  const auto* want = service.metrics().FindHourly(key);
+  for (std::size_t i = 0; i < hourly_size; ++i) {
+    ASSERT_DOUBLE_EQ((*hourly)[i], (*want)[i]) << i;
+  }
+  ASSERT_TRUE(recovered.Tick().ok());
+  ASSERT_TRUE(recovered.DrainRefits().ok());
+  std::filesystem::remove_all(config.state_dir);
+}
+
+}  // namespace
+}  // namespace capplan::service

@@ -1,6 +1,7 @@
 #include "repo/repository.h"
 
 #include <cmath>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -165,6 +166,143 @@ TEST(RepositoryTest, SaveAllWritesFiles) {
   auto back = ReadSeriesCsv(dir + "/inst_cpu.csv");
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->size(), 1u);
+}
+
+TEST(RepositoryTest, SaveAllNamesFailingKeyOnUnwritableDir) {
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest("inst/cpu", QuarterHourly({1, 2, 3, 4})).ok());
+  // A regular file where the directory should be: every write under it
+  // fails, regardless of the uid running the test.
+  const std::string blocked = ::testing::TempDir() + "/saveall_blocked";
+  { std::ofstream f(blocked); ASSERT_TRUE(f.is_open()); }
+  const Status status = repo.SaveAll(blocked);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  // The typed error names the key whose write failed, not just the errno.
+  EXPECT_NE(status.message().find("inst/cpu"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("SaveAll"), std::string::npos);
+}
+
+// The FindHourly lifetime contract (see repository.h): the borrow is
+// tick-scoped and ANY mutation under the key invalidates it. The regression
+// here is the service tick path — Append then FindHourly again — which must
+// observe the appended data through a fresh borrow with no dangling reads
+// (ASan runs this suite in CI).
+TEST(RepositoryTest, FindHourlyBorrowInvalidatedByMutation) {
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest("k", QuarterHourly({1, 2, 3, 4})).ok());
+  const auto* before = repo.FindHourly("k");
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->size(), 1u);
+
+  // Mutation #1: Append completes a new hourly bucket.
+  tsa::TimeSeries next("raw", 4 * 900, tsa::Frequency::kQuarterHourly,
+                       {8, 8, 8, 8});
+  ASSERT_TRUE(repo.Append("k", next).ok());
+  const auto* after_append = repo.FindHourly("k");
+  ASSERT_NE(after_append, nullptr);
+  ASSERT_EQ(after_append->size(), 2u);
+  EXPECT_DOUBLE_EQ((*after_append)[0], 2.5);
+  EXPECT_DOUBLE_EQ((*after_append)[1], 8.0);
+
+  // Mutation #2: re-Ingest replaces the series outright; the fresh borrow
+  // sees the replacement even though the lengths collide.
+  ASSERT_TRUE(repo.Ingest("k", QuarterHourly({4, 4, 4, 4, 6, 6, 6, 6})).ok());
+  const auto* after_ingest = repo.FindHourly("k");
+  ASSERT_NE(after_ingest, nullptr);
+  ASSERT_EQ(after_ingest->size(), 2u);
+  EXPECT_DOUBLE_EQ((*after_ingest)[0], 4.0);
+  EXPECT_DOUBLE_EQ((*after_ingest)[1], 6.0);
+
+  // Mutation #3: EvictViews drops the cache; the next borrow rebuilds from
+  // the compressed tier and still agrees.
+  repo.EvictViews();
+  const auto* rebuilt = repo.FindHourly("k");
+  ASSERT_NE(rebuilt, nullptr);
+  ASSERT_EQ(rebuilt->size(), 2u);
+  EXPECT_DOUBLE_EQ((*rebuilt)[1], 6.0);
+}
+
+TEST(RepositoryTest, FindHourlyBorrowSurvivesOtherKeyMutations) {
+  // Mutations under other keys do not move the view's map node; long tick
+  // loops that interleave keys stay valid (documented, and pinned here so a
+  // container change that breaks node stability fails loudly under ASan).
+  MetricsRepository repo;
+  ASSERT_TRUE(repo.Ingest("a", QuarterHourly({1, 2, 3, 4})).ok());
+  const auto* view = repo.FindHourly("a");
+  ASSERT_NE(view, nullptr);
+  for (int i = 0; i < 16; ++i) {
+    std::string key = "b";
+    key += std::to_string(i);
+    ASSERT_TRUE(repo.Ingest(key, QuarterHourly({5, 5, 5, 5})).ok());
+  }
+  EXPECT_DOUBLE_EQ((*view)[0], 2.5);
+}
+
+TEST(RepositoryTest, HourlyTailReturnsRecentWindow) {
+  MetricsRepository repo;
+  std::vector<double> trace;
+  for (int i = 0; i < 24; ++i) trace.push_back(static_cast<double>(i));
+  ASSERT_TRUE(
+      repo.Ingest("k", tsa::TimeSeries("h", 0, tsa::Frequency::kHourly, trace))
+          .ok());
+  auto tail = repo.HourlyTail("k", 6);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 6u);
+  EXPECT_DOUBLE_EQ((*tail)[0], 18.0);
+  EXPECT_EQ(tail->start_epoch(), 18 * 3600);
+  // Longer than the series: the whole series comes back.
+  auto all = repo.HourlyTail("k", 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 24u);
+  EXPECT_FALSE(repo.HourlyTail("missing", 3).ok());
+}
+
+TEST(RepositoryTest, SegmentsRoundTripBothTiers) {
+  MetricsRepository repo;
+  std::vector<double> quarters;
+  for (int i = 0; i < 48; ++i) {
+    quarters.push_back(i % 7 == 0 ? std::nan("")
+                                  : std::round(4.0 * std::sin(i / 3.0)) / 4.0);
+  }
+  ASSERT_TRUE(repo.Ingest("inst/cpu", QuarterHourly(quarters)).ok());
+  ASSERT_TRUE(
+      repo.Ingest("inst/mem",
+                  tsa::TimeSeries("h", 0, tsa::Frequency::kHourly, {7, 8, 9}))
+          .ok());
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(repo.SaveSegments(dir).ok());
+
+  MetricsRepository restored;
+  ASSERT_TRUE(restored.LoadSegments(dir).ok());
+  EXPECT_EQ(restored.Keys(), repo.Keys());
+  for (const std::string& key : repo.Keys()) {
+    auto want_raw = repo.Raw(key);
+    auto got_raw = restored.Raw(key);
+    ASSERT_TRUE(want_raw.ok() && got_raw.ok()) << key;
+    ASSERT_EQ(got_raw->size(), want_raw->size()) << key;
+    EXPECT_EQ(got_raw->start_epoch(), want_raw->start_epoch());
+    EXPECT_EQ(got_raw->frequency(), want_raw->frequency());
+    auto want_hourly = repo.Hourly(key);
+    auto got_hourly = restored.Hourly(key);
+    ASSERT_TRUE(want_hourly.ok() && got_hourly.ok()) << key;
+    ASSERT_EQ(got_hourly->size(), want_hourly->size()) << key;
+    for (std::size_t i = 0; i < want_hourly->size(); ++i) {
+      if (std::isnan((*want_hourly)[i])) {
+        EXPECT_TRUE(std::isnan((*got_hourly)[i])) << key << " " << i;
+      } else {
+        EXPECT_DOUBLE_EQ((*got_hourly)[i], (*want_hourly)[i]) << key;
+      }
+    }
+    EXPECT_EQ(*restored.RawEndEpoch(key), *repo.RawEndEpoch(key));
+  }
+  // The restored repository keeps ingesting from where the segments end.
+  tsa::TimeSeries more("raw", *restored.RawEndEpoch("inst/cpu"),
+                       tsa::Frequency::kQuarterHourly, {1, 1, 1, 1});
+  ASSERT_TRUE(restored.Append("inst/cpu", more).ok());
+  EXPECT_EQ(restored.Hourly("inst/cpu")->size(),
+            repo.Hourly("inst/cpu")->size() + 1);
 }
 
 }  // namespace

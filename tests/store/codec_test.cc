@@ -1,0 +1,236 @@
+#include "store/codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "workload/cluster.h"
+#include "workload/scenario.h"
+
+namespace capplan::store {
+namespace {
+
+std::uint64_t Bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// Bit-exact comparison: NaN == NaN when the payloads match, +0 != -0.
+void ExpectBitEqual(const std::vector<double>& got,
+                    const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(Bits(got[i]), Bits(want[i])) << "at index " << i;
+  }
+}
+
+void RoundTripValues(const std::vector<double>& values) {
+  const std::vector<std::uint8_t> encoded = EncodeValues(values);
+  auto decoded = DecodeValues(encoded.data(), encoded.size(), values.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectBitEqual(*decoded, values);
+}
+
+void RoundTripTimestamps(const std::vector<std::int64_t>& ts) {
+  const std::vector<std::uint8_t> encoded = EncodeTimestamps(ts);
+  auto decoded = DecodeTimestamps(encoded.data(), encoded.size(), ts.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, ts);
+}
+
+TEST(CodecTest, Crc32KnownVector) {
+  // The classic check value: CRC-32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(s, 9), 0xCBF43926u);
+  // Chained updates equal one pass.
+  const std::uint32_t head = Crc32(s, 4);
+  EXPECT_EQ(Crc32(s + 4, 5, head), 0xCBF43926u);
+}
+
+TEST(CodecTest, EmptyAndSingle) {
+  RoundTripValues({});
+  RoundTripValues({42.5});
+  RoundTripValues({std::nan("")});
+  RoundTripValues({-std::numeric_limits<double>::infinity()});
+  RoundTripTimestamps({});
+  RoundTripTimestamps({1577836800});
+}
+
+TEST(CodecTest, ConstantSeries) {
+  RoundTripValues(std::vector<double>(512, 17.25));
+  RoundTripValues(std::vector<double>(512, 0.0));
+  RoundTripValues(std::vector<double>(512, -0.0));
+  // A flatline compresses to a handful of bytes regardless of length.
+  const auto encoded = EncodeValues(std::vector<double>(512, 99.0));
+  EXPECT_LE(encoded.size(), 16u);
+}
+
+TEST(CodecTest, AllNanGapCompressesAsConstant) {
+  // A sentinel-masked outage: every sample is the canonical NaN.
+  const std::vector<double> gap(512, std::nan(""));
+  RoundTripValues(gap);
+  EXPECT_LE(EncodeValues(gap).size(), 16u);
+}
+
+TEST(CodecTest, StepAndRampSeries) {
+  std::vector<double> step;
+  for (int i = 0; i < 512; ++i) step.push_back(i < 256 ? 10.0 : 250.0);
+  RoundTripValues(step);
+  std::vector<double> ramp;
+  for (int i = 0; i < 512; ++i) ramp.push_back(static_cast<double>(i) * 3.0);
+  RoundTripValues(ramp);
+  // Integral series hit the int mode and beat 5x comfortably.
+  EXPECT_LT(EncodeValues(ramp).size(), ramp.size() * 8 / 5);
+}
+
+TEST(CodecTest, QuarterQuantizedCpuWithGaps) {
+  // Quarter-percent CPU readings (scale 2^2) with canonical-NaN holes — the
+  // shape real agents produce after the sentinel masks dropped polls.
+  std::mt19937_64 rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 1024; ++i) {
+    if (rng() % 17 == 0) {
+      values.push_back(std::nan(""));
+    } else {
+      values.push_back(static_cast<double>(rng() % 400) * 0.25);
+    }
+  }
+  RoundTripValues(values);
+  EXPECT_LT(EncodeValues(values).size(), values.size() * 8 / 4);
+}
+
+TEST(CodecTest, SpecialPatternsSurvive) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  double payload_nan;
+  std::uint64_t odd = 0x7FF800000000BEEFull;  // non-canonical NaN payload
+  std::memcpy(&payload_nan, &odd, sizeof(odd));
+  RoundTripValues({0.0, -0.0, qnan, payload_nan,
+                   std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::denorm_min(),
+                   std::numeric_limits<double>::max(),
+                   std::numeric_limits<double>::lowest(), 1.0, -1.0});
+}
+
+TEST(CodecTest, RandomDoublesBitExact) {
+  // Adversarial input for the XOR fallback: uniformly random bit patterns
+  // (skipping none — NaN payloads included).
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> values;
+    const std::size_t n = 1 + rng() % 700;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t bits = rng();
+      double v;
+      std::memcpy(&v, &bits, sizeof(v));
+      values.push_back(v);
+    }
+    RoundTripValues(values);
+  }
+}
+
+TEST(CodecTest, RandomWalkDoubles) {
+  std::mt19937_64 rng(99);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> values;
+  double level = 100.0;
+  for (int i = 0; i < 2048; ++i) {
+    level += noise(rng);
+    values.push_back(level);
+  }
+  RoundTripValues(values);
+}
+
+TEST(CodecTest, TimestampGrids) {
+  // Regular hourly grid — the dominant case: ~1 bit per sample.
+  std::vector<std::int64_t> hourly;
+  for (int i = 0; i < 4096; ++i) hourly.push_back(1577836800 + i * 3600);
+  RoundTripTimestamps(hourly);
+  const auto encoded = EncodeTimestamps(hourly);
+  EXPECT_LT(encoded.size(), hourly.size());  // far below 8 bytes each
+
+  // Jittered grid exercises the small dod buckets.
+  std::mt19937_64 rng(5);
+  std::vector<std::int64_t> jitter;
+  std::int64_t t = 1577836800;
+  for (int i = 0; i < 1024; ++i) {
+    t += 900 + static_cast<std::int64_t>(rng() % 21) - 10;
+    jitter.push_back(t);
+  }
+  RoundTripTimestamps(jitter);
+
+  // Fully random timestamps still round-trip via the 64-bit escape bucket.
+  std::vector<std::int64_t> random_ts;
+  for (int i = 0; i < 257; ++i) {
+    random_ts.push_back(static_cast<std::int64_t>(rng()));
+  }
+  RoundTripTimestamps(random_ts);
+}
+
+TEST(CodecTest, DecodeRejectsTruncation) {
+  std::vector<double> values;
+  for (int i = 0; i < 64; ++i) values.push_back(std::sqrt(i));
+  const auto encoded = EncodeValues(values);
+  ASSERT_GT(encoded.size(), 4u);
+  EXPECT_FALSE(
+      DecodeValues(encoded.data(), encoded.size() / 2, values.size()).ok());
+  EXPECT_FALSE(DecodeValues(encoded.data(), 0, values.size()).ok());
+}
+
+TEST(CodecTest, SimulatorTracesRoundTrip) {
+  // Real OLAP / OLTP hourly traces from the cluster simulator — the data
+  // the production store actually holds.
+  for (const auto& scenario :
+       {workload::WorkloadScenario::Olap(), workload::WorkloadScenario::Oltp()}) {
+    workload::ClusterSimulator cluster(scenario, 1234, 1577836800);
+    for (workload::Metric metric :
+         {workload::Metric::kCpu, workload::Metric::kLogicalIops,
+          workload::Metric::kMemory}) {
+      std::vector<double> trace;
+      for (int h = 0; h < 24 * 28; ++h) {
+        trace.push_back(
+            cluster.SampleAt(0, 1577836800 + h * 3600).Get(metric));
+      }
+      RoundTripValues(trace);
+    }
+  }
+}
+
+TEST(CodecTest, SealedBlockRoundTrip) {
+  std::vector<double> values;
+  for (int i = 0; i < 512; ++i) values.push_back(100.0 + (i % 24));
+  SealedBlock block = SealBlock(1577836800, 3600, values);
+  EXPECT_EQ(block.count, 512u);
+  EXPECT_EQ(block.start_epoch, 1577836800);
+  EXPECT_FALSE(block.quarantined);
+  EXPECT_LT(block.compressed_bytes(), block.raw_bytes());
+  auto decoded = DecodeBlockValues(block);
+  ASSERT_TRUE(decoded.ok());
+  ExpectBitEqual(*decoded, values);
+}
+
+TEST(CodecTest, CorruptBlockFailsCrc) {
+  std::vector<double> values(128, 3.5);
+  SealedBlock block = SealBlock(0, 900, values);
+  ASSERT_FALSE(block.payload.empty());
+  block.payload[block.payload.size() / 2] ^= 0x40;
+  auto decoded = DecodeBlockValues(block);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kIoError);
+}
+
+TEST(CodecTest, QuarantinedBlockDecodesToNan) {
+  SealedBlock block = QuarantinedBlock(7200, 3600, 16);
+  EXPECT_TRUE(block.quarantined);
+  auto decoded = DecodeBlockValues(block);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 16u);
+  for (double v : *decoded) EXPECT_TRUE(std::isnan(v));
+}
+
+}  // namespace
+}  // namespace capplan::store

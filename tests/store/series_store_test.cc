@@ -1,0 +1,244 @@
+#include "store/series_store.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+
+namespace capplan::store {
+namespace {
+
+std::vector<double> WavyTrace(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(50.0 + 20.0 * std::sin(static_cast<double>(i) / 24.0) +
+                     static_cast<double>(rng() % 100) * 0.25);
+  }
+  return values;
+}
+
+TEST(SeriesStoreTest, AppendAndMaterializeMatchesOracle) {
+  SeriesStoreOptions options;
+  options.seal_threshold = 64;
+  SeriesStore store(1577836800, tsa::Frequency::kHourly, options);
+  const std::vector<double> oracle = WavyTrace(500, 1);
+  for (double v : oracle) store.Append(v);
+
+  EXPECT_EQ(store.size(), 500u);
+  EXPECT_GT(store.blocks().size(), 0u);   // sealing happened
+  EXPECT_GT(store.hot_size(), 0u);        // a tail stayed hot
+  EXPECT_EQ(store.start_epoch(), 1577836800);
+  EXPECT_EQ(store.end_epoch(), 1577836800 + 500 * 3600);
+
+  auto series = store.Materialize("s");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->name(), "s");
+  EXPECT_EQ(series->frequency(), tsa::Frequency::kHourly);
+  ASSERT_EQ(series->size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*series)[i], oracle[i]) << "at " << i;
+  }
+}
+
+TEST(SeriesStoreTest, ReadWindowAcrossBlockBoundaries) {
+  SeriesStoreOptions options;
+  options.seal_threshold = 32;
+  SeriesStore store(0, tsa::Frequency::kQuarterHourly, options);
+  const std::vector<double> oracle = WavyTrace(200, 2);
+  for (double v : oracle) store.Append(v);
+
+  // Windows straddling sealed/sealed and sealed/hot boundaries.
+  for (const auto& [begin, len] : std::vector<std::pair<std::size_t,
+                                                        std::size_t>>{
+           {0, 200}, {0, 1}, {199, 1}, {30, 5}, {28, 40}, {150, 50},
+           {63, 2}, {0, 33}}) {
+    auto window = store.ReadWindow(begin, len);
+    ASSERT_TRUE(window.ok()) << begin << "+" << len;
+    ASSERT_EQ(window->size(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_DOUBLE_EQ((*window)[i], oracle[begin + i]);
+    }
+  }
+  EXPECT_FALSE(store.ReadWindow(150, 51).ok());
+  EXPECT_FALSE(store.ReadWindow(201, 1).ok());
+}
+
+TEST(SeriesStoreTest, CursorScansEverything) {
+  SeriesStoreOptions options;
+  options.seal_threshold = 16;
+  SeriesStore store(0, tsa::Frequency::kHourly, options);
+  const std::vector<double> oracle = WavyTrace(100, 3);
+  for (double v : oracle) store.Append(v);
+
+  auto cursor = store.Scan();
+  double v = 0.0;
+  std::size_t i = 0;
+  while (cursor.Next(&v)) {
+    ASSERT_LT(i, oracle.size());
+    EXPECT_DOUBLE_EQ(v, oracle[i]);
+    ++i;
+  }
+  EXPECT_TRUE(cursor.status().ok());
+  EXPECT_EQ(i, oracle.size());
+}
+
+TEST(SeriesStoreTest, StatsTrackTiers) {
+  StoreStats stats;
+  SeriesStoreOptions options;
+  options.seal_threshold = 50;
+  SeriesStore store(0, tsa::Frequency::kHourly, options, &stats);
+  for (double v : WavyTrace(120, 4)) store.Append(v);
+
+  EXPECT_EQ(stats.blocks_sealed, 2u);
+  EXPECT_EQ(stats.hot_bytes, 20u * 8u);
+  EXPECT_EQ(stats.sealed_raw_bytes, 100u * 8u);
+  EXPECT_GT(stats.sealed_bytes, 0u);
+  EXPECT_LT(stats.sealed_bytes, stats.sealed_raw_bytes);
+  EXPECT_GT(stats.compression_ratio(), 1.0);
+
+  store.SealAll();
+  EXPECT_EQ(stats.hot_bytes, 0u);
+  EXPECT_EQ(stats.sealed_raw_bytes, 120u * 8u);
+  EXPECT_EQ(store.hot_size(), 0u);
+  EXPECT_EQ(store.size(), 120u);
+}
+
+TEST(SeriesStoreTest, RetentionEvictsOldestBlocks) {
+  StoreStats stats;
+  SeriesStoreOptions options;
+  options.seal_threshold = 10;
+  options.max_blocks = 3;
+  SeriesStore store(0, tsa::Frequency::kHourly, options, &stats);
+  for (int i = 0; i < 100; ++i) store.Append(static_cast<double>(i));
+
+  EXPECT_LE(store.blocks().size(), 3u);
+  EXPECT_GT(stats.blocks_evicted, 0u);
+  // 3 blocks x 10 + the last 0..9 hot samples survive.
+  EXPECT_EQ(store.size(), 30u + store.hot_size());
+  // The logical start advanced past the evicted prefix.
+  EXPECT_EQ(store.start_epoch(),
+            static_cast<std::int64_t>(100 - store.size()) * 3600);
+  // The retained suffix still reads back exactly.
+  auto series = store.Materialize("s");
+  ASSERT_TRUE(series.ok());
+  const double first = (*series)[0];
+  EXPECT_DOUBLE_EQ(first, static_cast<double>(100 - store.size()));
+}
+
+TEST(SeriesStoreTest, VersionsTrackMutations) {
+  SeriesStoreOptions options;
+  options.seal_threshold = 8;
+  options.max_blocks = 2;
+  SeriesStore store(0, tsa::Frequency::kHourly, options);
+  const std::uint64_t v0 = store.version();
+  store.Append(1.0);
+  EXPECT_GT(store.version(), v0);
+  const std::uint64_t s0 = store.structure_version();
+  // Sealing alone does not change structure; eviction does.
+  for (int i = 0; i < 40; ++i) store.Append(static_cast<double>(i));
+  EXPECT_GT(store.structure_version(), s0);
+}
+
+TEST(SeriesStoreTest, SealFaultIsAbsorbed) {
+  StoreStats stats;
+  SeriesStoreOptions options;
+  options.seal_threshold = 10;
+  SeriesStore store(0, tsa::Frequency::kHourly, options, &stats);
+  {
+    // Sealing retries on every append while the backlog exceeds the
+    // threshold, so a persistent failure is absorbed many times over.
+    ScopedFault fault("store.seal", FaultPlan::FailForever());
+    for (int i = 0; i < 25; ++i) store.Append(static_cast<double>(i));
+    // Every seal attempt failed: everything stayed hot, nothing lost.
+    EXPECT_EQ(store.blocks().size(), 0u);
+    EXPECT_EQ(store.hot_size(), 25u);
+    EXPECT_GE(stats.seal_failures, 2u);
+  }
+  // Next append retries the (now healthy) seal and drains the backlog.
+  store.Append(25.0);
+  EXPECT_GT(store.blocks().size(), 0u);
+  ASSERT_EQ(store.size(), 26u);
+  auto series = store.Materialize("s");
+  ASSERT_TRUE(series.ok());
+  for (std::size_t i = 0; i < 26; ++i) {
+    EXPECT_DOUBLE_EQ((*series)[i], static_cast<double>(i));
+  }
+}
+
+TEST(SeriesStoreTest, RestoreRebuildsFromParts) {
+  SeriesStoreOptions options;
+  options.seal_threshold = 16;
+  SeriesStore original(3600, tsa::Frequency::kHourly, options);
+  const std::vector<double> oracle = WavyTrace(70, 5);
+  for (double v : oracle) original.Append(v);
+
+  std::vector<double> hot;
+  for (std::size_t i = original.size() - original.hot_size();
+       i < original.size(); ++i) {
+    auto w = original.ReadWindow(i, 1);
+    ASSERT_TRUE(w.ok());
+    hot.push_back((*w)[0]);
+  }
+  auto restored = SeriesStore::Restore(
+      tsa::Frequency::kHourly, original.blocks(),
+      original.end_epoch() -
+          static_cast<std::int64_t>(original.hot_size()) * 3600,
+      hot, options);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), original.size());
+  EXPECT_EQ(restored->start_epoch(), original.start_epoch());
+  auto series = restored->Materialize("s");
+  ASSERT_TRUE(series.ok());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*series)[i], oracle[i]);
+  }
+}
+
+TEST(SeriesStoreTest, RestoreFillsMissingBlockWithNanPlaceholder) {
+  SeriesStoreOptions options;
+  options.seal_threshold = 16;
+  SeriesStore original(0, tsa::Frequency::kHourly, options);
+  for (int i = 0; i < 64; ++i) original.Append(static_cast<double>(i));
+  ASSERT_EQ(original.blocks().size(), 4u);
+
+  // Drop block #1 (samples 16..31) as a corrupt reader would.
+  std::vector<SealedBlock> blocks = original.blocks();
+  blocks.erase(blocks.begin() + 1);
+  StoreStats stats;
+  auto restored = SeriesStore::Restore(tsa::Frequency::kHourly, blocks,
+                                       64 * 3600, {}, options, &stats);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 64u);
+  EXPECT_EQ(stats.blocks_quarantined, 1u);
+  auto series = restored->Materialize("s");
+  ASSERT_TRUE(series.ok());
+  for (int i = 0; i < 64; ++i) {
+    if (i >= 16 && i < 32) {
+      EXPECT_TRUE(std::isnan((*series)[i])) << i;
+    } else {
+      EXPECT_DOUBLE_EQ((*series)[i], static_cast<double>(i)) << i;
+    }
+  }
+}
+
+TEST(SeriesStoreTest, RestoreRejectsOverlapsAndBadSteps) {
+  SeriesStoreOptions options;
+  SeriesStore original(0, tsa::Frequency::kHourly, options);
+  std::vector<double> run(16, 1.0);
+  std::vector<SealedBlock> blocks = {SealBlock(0, 3600, run),
+                                     SealBlock(8 * 3600, 3600, run)};
+  EXPECT_FALSE(SeriesStore::Restore(tsa::Frequency::kHourly, blocks, 0, {},
+                                    options)
+                   .ok());
+  std::vector<SealedBlock> bad_step = {SealBlock(0, 900, run)};
+  EXPECT_FALSE(SeriesStore::Restore(tsa::Frequency::kHourly, bad_step,
+                                    16 * 900, {}, options)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace capplan::store
