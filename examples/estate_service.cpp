@@ -68,6 +68,8 @@ int main(int argc, char** argv) {
   config.fit_threads = 4;
   config.warmup_days = 42;  // Table-1 hourly window available immediately
   config.snapshot_every_ticks = 16;
+  config.n_shards = 4;        // consistent-hash partition, batched refits
+  config.refit_batch_size = 8;
   config.state_dir = (std::filesystem::temp_directory_path() /
                       "capplan_estate_service").string();
   std::filesystem::remove_all(config.state_dir);
@@ -76,8 +78,8 @@ int main(int argc, char** argv) {
   const int first_leg = 2 * ticks_per_week;   // weeks 1-2, then "crash"
   const int second_leg = ticks_per_week;      // week 3 after recovery
 
-  std::printf("estate: %d instances x 3 metrics = %zu series\n",
-              scenario.n_instances, watches.size());
+  std::printf("estate: %d instances x 3 metrics = %zu series on %zu shards\n",
+              scenario.n_instances, watches.size(), config.n_shards);
   std::printf("cadence: poll %llds, tick %lldh, model max age %lldd\n\n",
               static_cast<long long>(config.poll_seconds),
               static_cast<long long>(config.tick_seconds / kHour),
@@ -90,7 +92,7 @@ int main(int argc, char** argv) {
     service::EstateService svc(&cluster, watches, config);
     if (auto s = svc.Start(); !s.ok()) return Fail(s.ToString());
     std::printf("[leg 1] warmup backfilled %zu series, first fits due now\n",
-                svc.metrics().size());
+                svc.series_count());
     for (int tick = 1; tick <= first_leg; ++tick) {
       auto report = svc.Tick();
       if (!report.ok()) return Fail(report.status().ToString());
@@ -142,13 +144,13 @@ int main(int argc, char** argv) {
   std::printf("[recover] clock=%lld ticks=%llu registry=%zu schedule=%zu\n",
               static_cast<long long>(svc.now()),
               static_cast<unsigned long long>(svc.tick_count()),
-              svc.registry().size(), svc.scheduler().size());
+              svc.registry().size(), svc.schedule_size());
   if (svc.now() != crash_now) return Fail("recovered clock drifted");
   if (svc.tick_count() != crash_ticks) return Fail("recovered tick count");
   if (svc.registry().size() != watches.size()) {
     return Fail("registry lost models in recovery");
   }
-  if (svc.scheduler().size() != watches.size()) {
+  if (svc.schedule_size() != watches.size()) {
     return Fail("schedule lost entries in recovery");
   }
 

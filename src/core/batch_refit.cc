@@ -1,0 +1,22 @@
+#include "core/batch_refit.h"
+
+namespace capplan::core {
+
+Result<PipelineReport> RefitBatchSession::Run(const tsa::TimeSeries& series,
+                                              PipelineOptions options) {
+  options.fourier_cache = &fourier_cache_;
+  Pipeline pipeline(options);
+  auto report = pipeline.Run(series);
+  ++series_run_;
+  return report;
+}
+
+RefitBatchSession::Stats RefitBatchSession::stats() const {
+  Stats s;
+  s.fourier_hits = fourier_cache_.hits();
+  s.fourier_misses = fourier_cache_.misses();
+  s.series_run = series_run_;
+  return s;
+}
+
+}  // namespace capplan::core

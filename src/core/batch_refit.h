@@ -1,0 +1,50 @@
+#ifndef CAPPLAN_CORE_BATCH_REFIT_H_
+#define CAPPLAN_CORE_BATCH_REFIT_H_
+
+#include <cstdint>
+
+#include "core/pipeline.h"
+#include "tsa/fourier.h"
+#include "tsa/timeseries.h"
+
+namespace capplan::core {
+
+// Batched refit entry point: many series drained through the selector in
+// one job, sharing the transforms that do not depend on the series values.
+// Today that is the Fourier design columns — for an estate of same-cadence
+// metrics every series presents the same (specs, window length), so the
+// trigonometric evaluation behind each shared-OLS group runs once for the
+// whole batch instead of once per series. The per-series transforms
+// (differencing, Hannan-Rissanen innovations) stay in ArimaFitCache, scoped
+// to one selection as before.
+//
+// A session is cheap to construct, intended to live for one batch, and
+// *not* safe to share across concurrently running batches only in the sense
+// that the stats() snapshot would interleave — the cache itself is
+// thread-safe, so a pool of workers may drain one session's batch in
+// parallel if desired.
+class RefitBatchSession {
+ public:
+  struct Stats {
+    std::uint64_t fourier_hits = 0;    // design-column reuses across the batch
+    std::uint64_t fourier_misses = 0;  // distinct designs actually computed
+    std::uint64_t series_run = 0;
+  };
+
+  // Runs the standard Figure-4 pipeline for one series of the batch with
+  // the session's shared caches wired into `options`. Selection and
+  // forecasts are bitwise-identical to an unbatched Pipeline::Run.
+  Result<PipelineReport> Run(const tsa::TimeSeries& series,
+                             PipelineOptions options);
+
+  tsa::FourierTermCache* fourier_cache() { return &fourier_cache_; }
+  Stats stats() const;
+
+ private:
+  tsa::FourierTermCache fourier_cache_;
+  std::uint64_t series_run_ = 0;
+};
+
+}  // namespace capplan::core
+
+#endif  // CAPPLAN_CORE_BATCH_REFIT_H_

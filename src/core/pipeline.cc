@@ -388,6 +388,7 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
   sel_opts.early_abort = options_.selector_fast_path;
   sel_opts.hint = options_.selector_hint;
   sel_opts.time_budget_seconds = options_.fit_time_budget_seconds;
+  sel_opts.fourier_cache = options_.fourier_cache;
   ModelSelector selector(sel_opts);
   CAPPLAN_ASSIGN_OR_RETURN(
       SelectionResult sel,
@@ -426,7 +427,7 @@ Result<double> Pipeline::RunSarimaxBranch(Technique family,
     CAPPLAN_ASSIGN_OR_RETURN(
         models::SarimaxModel final_model,
         models::SarimaxModel::Fit(full_values, cand.spec, exog_full,
-                                  cand.fourier));
+                                  cand.fourier, {}, options_.fourier_cache));
     note_coefficients(final_model.error_model().ar_coefficients(),
                       final_model.error_model().ma_coefficients());
     return final_model.Predict(horizon, exog_future,

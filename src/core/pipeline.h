@@ -101,6 +101,13 @@ struct PipelineOptions {
   // Optional central model registry; when set, the chosen model is recorded
   // under the series name with the fit timestamp.
   repo::ModelRepository* model_repository = nullptr;
+
+  // Cross-series shared-transform cache for batched refits (see
+  // core::RefitBatchSession): memoizes the Fourier design columns across
+  // every selection and final refit that runs with these options. Results
+  // are bitwise-identical with or without it. Not owned; must outlive every
+  // Run call.
+  tsa::FourierTermCache* fourier_cache = nullptr;
 };
 
 struct PipelineReport {

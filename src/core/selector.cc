@@ -374,7 +374,8 @@ Result<SelectionResult> ModelSelector::Select(
           continue;
         }
         auto ols = models::SarimaxModel::FitOls(
-            train, TakeColumns(exog_train, g->n_exog), g->fourier);
+            train, TakeColumns(exog_train, g->n_exog), g->fourier,
+            options_.fourier_cache);
         if (!ols.ok()) {
           g->ols_status = ols.status();
           continue;

@@ -121,6 +121,13 @@ class ModelSelector {
     // already scored compete as usual. An expired budget with zero scored
     // candidates fails the selection like any empty grid.
     double time_budget_seconds = 0.0;
+    // Cross-series shared transform for batched refits: when set, the
+    // Fourier design columns of every shared-OLS group are taken from (and
+    // inserted into) this cache instead of being recomputed per selection.
+    // The columns depend only on (specs, window length), so every series of
+    // a batch with the same window reuses them. Selection is bitwise
+    // identical either way. Not owned; must outlive the Select call.
+    tsa::FourierTermCache* fourier_cache = nullptr;
   };
 
   ModelSelector() : ModelSelector(Options()) {}

@@ -48,13 +48,20 @@ Result<OlsFit> OlsRegression(const std::vector<std::vector<double>>& columns,
 Result<OlsFit> SarimaxModel::FitOls(
     const std::vector<double>& y,
     const std::vector<std::vector<double>>& exog,
-    const std::vector<tsa::FourierSpec>& fourier) {
+    const std::vector<tsa::FourierSpec>& fourier,
+    tsa::FourierTermCache* fourier_cache) {
   // Assemble the deterministic regressor block.
   std::vector<std::vector<double>> columns = exog;
   if (!fourier.empty()) {
-    CAPPLAN_ASSIGN_OR_RETURN(std::vector<std::vector<double>> fcols,
-                             tsa::FourierTerms(fourier, 0, y.size()));
-    for (auto& c : fcols) columns.push_back(std::move(c));
+    if (fourier_cache != nullptr) {
+      CAPPLAN_ASSIGN_OR_RETURN(auto shared,
+                               fourier_cache->Get(fourier, 0, y.size()));
+      columns.insert(columns.end(), shared->begin(), shared->end());
+    } else {
+      CAPPLAN_ASSIGN_OR_RETURN(std::vector<std::vector<double>> fcols,
+                               tsa::FourierTerms(fourier, 0, y.size()));
+      for (auto& c : fcols) columns.push_back(std::move(c));
+    }
   }
   if (columns.empty()) {
     // Pure SARIMA: regression part is just the intercept, which the error
@@ -94,8 +101,9 @@ Result<SarimaxModel> SarimaxModel::Fit(
     const std::vector<double>& y, const ArimaSpec& spec,
     const std::vector<std::vector<double>>& exog,
     const std::vector<tsa::FourierSpec>& fourier,
-    const ArimaModel::Options& options) {
-  CAPPLAN_ASSIGN_OR_RETURN(OlsFit ols, FitOls(y, exog, fourier));
+    const ArimaModel::Options& options, tsa::FourierTermCache* fourier_cache) {
+  CAPPLAN_ASSIGN_OR_RETURN(OlsFit ols,
+                           FitOls(y, exog, fourier, fourier_cache));
   return FitWithSharedOls(y.size(), ols, exog.size(), fourier, spec, options);
 }
 

@@ -42,11 +42,17 @@ class SarimaxModel {
  public:
   // `exog` holds zero or more training-window columns (each y.size() long).
   // `fourier` adds trigonometric regressors for each seasonal period.
+  // `fourier_cache`, when set, memoizes the Fourier design columns across
+  // fits (tsa::FourierTermCache) — the columns depend only on the spec list
+  // and window length, so batched refits over same-length windows share
+  // them. Results are bitwise-identical with or without the cache.
   static Result<SarimaxModel> Fit(const std::vector<double>& y,
                                   const ArimaSpec& spec,
                                   const std::vector<std::vector<double>>& exog,
                                   const std::vector<tsa::FourierSpec>& fourier,
-                                  const ArimaModel::Options& options = {});
+                                  const ArimaModel::Options& options = {},
+                                  tsa::FourierTermCache* fourier_cache =
+                                      nullptr);
 
   // The deterministic first stage of Fit on its own: assembles the regressor
   // block (exog columns, then Fourier terms, with an intercept) and runs the
@@ -55,7 +61,8 @@ class SarimaxModel {
   // FitWithSharedOls.
   static Result<OlsFit> FitOls(const std::vector<double>& y,
                                const std::vector<std::vector<double>>& exog,
-                               const std::vector<tsa::FourierSpec>& fourier);
+                               const std::vector<tsa::FourierSpec>& fourier,
+                               tsa::FourierTermCache* fourier_cache = nullptr);
 
   // Second stage of Fit given a precomputed first stage: fits the SARIMA
   // error model on ols.residuals. `ols` must be FitOls's result for the same

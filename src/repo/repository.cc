@@ -12,9 +12,10 @@ MetricsRepository::MetricsRepository(Options options)
       raw_(store::TieredStoreOptions{options.raw_store}),
       hourly_(store::TieredStoreOptions{options.hourly_store}) {}
 
-void MetricsRepository::BindMetrics(obs::MetricsRegistry* registry) {
-  raw_.BindMetrics(registry, "raw");
-  hourly_.BindMetrics(registry, "hourly");
+void MetricsRepository::BindMetrics(obs::MetricsRegistry* registry,
+                                    const obs::LabelSet& extra_labels) {
+  raw_.BindMetrics(registry, "raw", extra_labels);
+  hourly_.BindMetrics(registry, "hourly", extra_labels);
 }
 
 std::string MetricsRepository::KeyFor(const std::string& instance,

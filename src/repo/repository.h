@@ -38,8 +38,11 @@ class MetricsRepository {
   explicit MetricsRepository(Options options);
 
   // Registers the capplan_store_* metric family for both tiers
-  // (labels {tier="raw"} / {tier="hourly"}). Call once, before traffic.
-  void BindMetrics(obs::MetricsRegistry* registry);
+  // (labels {tier="raw"} / {tier="hourly"}), plus any `extra_labels` — the
+  // sharded estate service passes {{"shard", "i"}} so each shard's
+  // repository keeps its own gauge cells. Call once, before traffic.
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const obs::LabelSet& extra_labels = {});
 
   // Canonical key for an (instance, metric) pair: "cdbm011/cpu".
   static std::string KeyFor(const std::string& instance,

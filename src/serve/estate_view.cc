@@ -11,6 +11,25 @@ const InstanceStatus* EstateView::Find(const std::string& key) const {
   return it != instances.end() && it->key == key ? &*it : nullptr;
 }
 
+std::shared_ptr<EstateView> MergeShardRows(
+    std::int64_t now_epoch, std::uint64_t tick,
+    std::vector<std::vector<InstanceStatus>> shard_rows) {
+  auto view = std::make_shared<EstateView>();
+  view->now_epoch = now_epoch;
+  view->tick = tick;
+  std::size_t total = 0;
+  for (const auto& rows : shard_rows) total += rows.size();
+  view->instances.reserve(total);
+  for (auto& rows : shard_rows) {
+    for (auto& row : rows) view->instances.push_back(std::move(row));
+  }
+  std::sort(view->instances.begin(), view->instances.end(),
+            [](const InstanceStatus& a, const InstanceStatus& b) {
+              return a.key < b.key;
+            });
+  return view;
+}
+
 void ViewChannel::Publish(std::shared_ptr<EstateView> view) {
   view->version = swaps_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::shared_ptr<const EstateView> next(std::move(view));

@@ -60,6 +60,13 @@ struct EstateView {
   const InstanceStatus* Find(const std::string& key) const;
 };
 
+// Coordinator-side merge for the sharded service: concatenates per-shard
+// row groups into one view and sorts by key (the invariant Find relies on).
+// The version stamp is applied at publish time by ViewChannel, as always.
+std::shared_ptr<EstateView> MergeShardRows(
+    std::int64_t now_epoch, std::uint64_t tick,
+    std::vector<std::vector<InstanceStatus>> shard_rows);
+
 // Single-slot publication channel: one writer (the service driver thread)
 // swaps in new views, any number of readers (request threads) load the
 // current one. Readers get shared ownership, so a view stays alive for as

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "core/batch_refit.h"
+#include "core/selector.h"
 #include "core/split.h"
 #include "models/arima_spec.h"
 #include "obs/export.h"
@@ -81,8 +83,8 @@ EstateService::EstateService(const workload::ClusterSimulator* cluster,
       watches_(std::move(watches)),
       config_(std::move(config)),
       registry_(config_.staleness),
-      scheduler_(config_.retry),
       pool_(config_.fit_threads) {
+  if (config_.refit_batch_size == 0) config_.refit_batch_size = 1;
   agents_.reserve(watches_.size());
   keys_.reserve(watches_.size());
   for (std::size_t i = 0; i < watches_.size(); ++i) {
@@ -93,15 +95,55 @@ EstateService::EstateService(const workload::ClusterSimulator* cluster,
                                         : std::to_string(i));
     watch_index_[keys_.back()] = i;
   }
+  const std::size_t n_shards = std::max<std::size_t>(1, config_.n_shards);
+  telemetry_.EnsureShards(n_shards);
+  shards_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    auto shard = std::make_unique<EstateShard>(config_.retry);
+    shard->id = s;
+    shard->telemetry = &telemetry_.shards[s];
+    // The unsharded service keeps unlabelled store gauges (the layout every
+    // dashboard predates); sharded stores need the shard label so N gauges
+    // do not clobber one another on Set.
+    obs::LabelSet store_labels;
+    if (n_shards > 1) store_labels.push_back({"shard", std::to_string(s)});
+    shard->metrics.BindMetrics(telemetry_.registry.get(), store_labels);
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    shards_[ShardOf(keys_[i], n_shards)]->watch_ids.push_back(i);
+  }
   if (telemetry_.registry != nullptr) {
     view_swaps_ = telemetry_.registry->GetCounter(
         "capplan_serve_view_swaps_total", {},
         "EstateView snapshots published to the serving layer");
   }
-  metrics_.BindMetrics(telemetry_.registry.get());
+  if (n_shards > 1) {
+    tick_pool_ = std::make_unique<ThreadPool>(
+        std::min(n_shards, core::DefaultThreadCount()));
+  }
 }
 
 EstateService::~EstateService() = default;
+
+Status EstateService::ForEachShard(
+    const std::function<Status(EstateShard*)>& fn) {
+  if (tick_pool_ == nullptr) return fn(shards_[0].get());
+  std::vector<std::future<Status>> pending;
+  pending.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    EstateShard* s = shard.get();
+    pending.push_back(tick_pool_->Submit([&fn, s] { return fn(s); }));
+  }
+  // Join everything before propagating: a failed shard must not leave
+  // siblings running against state the caller thinks is quiesced.
+  Status first = Status::OK();
+  for (auto& f : pending) {
+    Status st = f.get();
+    if (first.ok() && !st.ok()) first = st;
+  }
+  return first;
+}
 
 Status EstateService::Start() {
   if (started_) {
@@ -132,19 +174,27 @@ Status EstateService::Start() {
     const auto t0 = Clock::now();
     const std::int64_t warmup_end =
         now_ + static_cast<std::int64_t>(config_.warmup_days) * 86400;
-    CAPPLAN_RETURN_NOT_OK(Ingest(cursor_, warmup_end));
+    const std::int64_t from = cursor_;
+    CAPPLAN_RETURN_NOT_OK(ForEachShard([this, from, warmup_end](
+                                           EstateShard* shard) {
+      return IngestShard(shard, from, warmup_end);
+    }));
     cursor_ = warmup_end;
     now_ = warmup_end;
     telemetry_.ingest_stage.Record(ElapsedMs(t0));
   }
-  for (const auto& key : keys_) scheduler_.ScheduleAt(key, now_);
+  for (const auto& key : keys_) {
+    ShardForKey(key).scheduler.ScheduleAt(key, now_);
+  }
   started_ = true;
   PublishView();
   return Status::OK();
 }
 
-Status EstateService::Ingest(std::int64_t from_epoch, std::int64_t to_epoch) {
-  obs::TraceSpan ingest_span("service.ingest", "service");
+Status EstateService::IngestShard(EstateShard* shard, std::int64_t from_epoch,
+                                  std::int64_t to_epoch,
+                                  std::size_t* samples_out) {
+  obs::TraceSpan ingest_span("shard.ingest", "service");
   if (to_epoch <= from_epoch) return Status::OK();
   const std::int64_t span = to_epoch - from_epoch;
   if (span % config_.poll_seconds != 0) {
@@ -153,30 +203,33 @@ Status EstateService::Ingest(std::int64_t from_epoch, std::int64_t to_epoch) {
   }
   const std::size_t n_polls =
       static_cast<std::size_t>(span / config_.poll_seconds);
-  for (std::size_t i = 0; i < watches_.size(); ++i) {
+  for (std::size_t id : shard->watch_ids) {
     CAPPLAN_ASSIGN_OR_RETURN(
         tsa::TimeSeries chunk,
-        agents_[i].Collect(watches_[i].instance, watches_[i].metric,
-                           from_epoch, n_polls));
-    chunk.set_name(keys_[i]);
-    CAPPLAN_RETURN_NOT_OK(metrics_.Append(keys_[i], chunk));
+        agents_[id].Collect(watches_[id].instance, watches_[id].metric,
+                            from_epoch, n_polls));
+    chunk.set_name(keys_[id]);
+    CAPPLAN_RETURN_NOT_OK(shard->metrics.Append(keys_[id], chunk));
     telemetry_.polls += n_polls;
     telemetry_.samples_ingested += chunk.size();
     telemetry_.hourly_points += static_cast<std::uint64_t>(span / 3600);
+    shard->telemetry->samples_ingested.Inc(chunk.size());
+    if (samples_out != nullptr) *samples_out += chunk.size();
   }
   return Status::OK();
 }
 
-void EstateService::CheckStaleness() {
-  for (const auto& key : keys_) {
-    auto entry = scheduler_.Get(key);
+void EstateService::CheckStalenessShard(EstateShard* shard) {
+  for (std::size_t id : shard->watch_ids) {
+    const std::string& key = keys_[id];
+    auto entry = shard->scheduler.Get(key);
     if (entry.ok() && (entry->quarantined || entry->in_flight)) continue;
     if (!registry_.Contains(key)) continue;  // initial fit already scheduled
     auto fc_it = forecasts_.find(key);
     double live_rmse = -1.0;
     if (fc_it != forecasts_.end()) {
       const CachedForecast& fc = fc_it->second;
-      const tsa::TimeSeries* hourly = metrics_.FindHourly(key);
+      const tsa::TimeSeries* hourly = shard->metrics.FindHourly(key);
       if (hourly != nullptr && !hourly->empty()) {
         const std::size_t n = hourly->size();
         const std::size_t begin =
@@ -208,32 +261,47 @@ void EstateService::CheckStaleness() {
     // The age half of the policy is already encoded in the schedule (due =
     // fitted_at + max_age); this pulls the refit forward on degradation.
     if (registry_.IsStale(key, now_, live_rmse)) {
-      scheduler_.PullForward(key, now_);
+      shard->scheduler.PullForward(key, now_);
     }
   }
 }
 
-std::size_t EstateService::DispatchDue(TickReport* report) {
-  const auto due = scheduler_.TakeDue(now_);
-  std::size_t dispatched = 0;
-  for (const auto& key : due) {
-    const tsa::TimeSeries* hourly = metrics_.FindHourly(key);
+void EstateService::PrepareBatches(EstateShard* shard, ShardTickOutput* out) {
+  // Newly due keys join the back of the shard's queue; they stay in_flight
+  // in the scheduler until an outcome (or defer) lands, so a key is never
+  // queued twice.
+  for (const auto& key : shard->scheduler.TakeDue(now_)) {
+    shard->refit_queue.push_back(key);
+    ++shard->telemetry->queue_enqueued;
+  }
+  const std::size_t max_batches = config_.max_batches_per_shard_tick;
+  std::vector<RefitJobInput> items;
+  while (!shard->refit_queue.empty()) {
+    if (max_batches > 0 && out->batches.size() >= max_batches) {
+      break;  // overload shedding: the rest drains on later ticks
+    }
+    const std::string key = shard->refit_queue.front();
+    shard->refit_queue.pop_front();
+    ++shard->telemetry->queue_drained;
+    const tsa::TimeSeries* hourly = shard->metrics.FindHourly(key);
     auto policy = core::SplitFor(tsa::Frequency::kHourly);
     const std::size_t needed = policy.ok() ? policy->observations : 1008;
     const std::size_t have = hourly == nullptr ? 0 : hourly->size();
     if (have < needed) {
       // Not enough history yet: come back when the gap has been ingested.
-      scheduler_.Defer(
+      shard->scheduler.Defer(
           key, now_ + static_cast<std::int64_t>(needed - have) * 3600);
       ++telemetry_.refits_deferred;
+      ++shard->telemetry->refits_deferred;
       continue;
     }
     const std::size_t window_len =
         std::min<std::size_t>(config_.fit_window_hours, have);
     auto window = hourly->Slice(have - window_len, window_len);
     if (!window.ok()) {
-      scheduler_.Defer(key, now_ + 3600);
+      shard->scheduler.Defer(key, now_ + 3600);
       ++telemetry_.refits_deferred;
+      ++shard->telemetry->refits_deferred;
       continue;
     }
     window->set_name(key);
@@ -258,29 +326,81 @@ std::size_t EstateService::DispatchDue(TickReport* report) {
           config_.staleness.max_age_seconds / 3600 + 48);
     }
     if (config_.always_forecast) opts.degrade_on_failure = true;
-    // The job captures copies only, so it stays valid across service
-    // shutdown and never races the driver thread.
-    in_flight_.push_back(pool_.Submit(
-        [key, series = std::move(*window), opts,
-         quality_opts = config_.quality, gate = config_.quality_gate,
-         fitted_at = now_]() -> FitOutcome {
+    RefitJobInput item;
+    item.key = key;
+    item.window = std::move(*window);
+    item.opts = std::move(opts);
+    item.fitted_at_epoch = now_;
+    items.push_back(std::move(item));
+    ++telemetry_.refits_dispatched;
+    ++shard->telemetry->refits_dispatched;
+    ++out->refits_dispatched;
+    if (items.size() >= config_.refit_batch_size) {
+      out->batches.push_back({shard->id, std::move(items)});
+      items.clear();
+    }
+  }
+  if (!items.empty()) {
+    out->batches.push_back({shard->id, std::move(items)});
+  }
+}
+
+EstateService::ShardTickOutput EstateService::TickShard(EstateShard* shard) {
+  obs::TraceSpan span("shard.tick", "service");
+  const auto t0 = Clock::now();
+  ShardTickOutput out;
+  const auto t_ingest = Clock::now();
+  out.status = IngestShard(shard, cursor_, now_, &out.samples_ingested);
+  shard->telemetry->ingest_stage.Record(ElapsedMs(t_ingest));
+  if (!out.status.ok()) return out;
+  CheckStalenessShard(shard);
+  PrepareBatches(shard, &out);
+  ++shard->telemetry->ticks;
+  shard->telemetry->tick_stage.Record(ElapsedMs(t0));
+  return out;
+}
+
+void EstateService::SubmitBatch(PreparedBatch batch, TickReport* report) {
+  if (report != nullptr) ++report->refit_batches;
+  EstateShard* shard = shards_[batch.shard].get();
+  ++shard->telemetry->refit_batches;
+  shard->telemetry->batch_series.Inc(batch.items.size());
+  // The job captures copies only, so it stays valid across service shutdown
+  // and never races the driver thread. All per-series results plus the
+  // batch-level cache stats come back in one BatchOutcome, applied by the
+  // driver in CollectFinished.
+  in_flight_.push_back(pool_.Submit(
+      [items = std::move(batch.items), shard_id = batch.shard,
+       quality_opts = config_.quality,
+       gate = config_.quality_gate]() -> BatchOutcome {
+        obs::TraceSpan batch_span("shard.refit_batch", "service");
+        BatchOutcome bo;
+        bo.shard = shard_id;
+        const auto batch_t0 = Clock::now();
+        // One session per batch: the Fourier design columns behind every
+        // shared-OLS group are computed for the first series and reused by
+        // the rest (identical cadence -> identical design).
+        core::RefitBatchSession session;
+        bo.outcomes.reserve(items.size());
+        for (const RefitJobInput& item : items) {
           obs::TraceSpan refit_span("service.refit", "service");
           FitOutcome out;
-          out.key = key;
-          out.fitted_at_epoch = fitted_at;
+          out.key = item.key;
+          out.fitted_at_epoch = item.fitted_at_epoch;
           out.span_id = refit_span.id();
           const auto t0 = Clock::now();
           // Sentinel pass: classify, repair what is safe, mask outages.
           // An irreparable window (no usable observation) fails the fit
           // outright — retry/backoff/quarantine handle it from there.
           quality::DataQualitySentinel sentinel(quality_opts);
-          auto repaired = sentinel.Repair(series, &out.quality);
+          auto repaired = sentinel.Repair(item.window, &out.quality);
           if (!repaired.ok()) {
             out.status = repaired.status();
             out.wall_ms = ElapsedMs(t0);
-            return out;
+            bo.outcomes.push_back(std::move(out));
+            continue;
           }
-          core::PipelineOptions run_opts = opts;
+          core::PipelineOptions run_opts = item.opts;
           if (gate && !out.quality.trainable &&
               run_opts.technique != core::Technique::kHes) {
             // Not enough clean signal for the grid: the selection would
@@ -288,12 +408,12 @@ std::size_t EstateService::DispatchDue(TickReport* report) {
             run_opts.technique = core::Technique::kHes;
             out.quality_gated = true;
           }
-          core::Pipeline pipeline(run_opts);
-          auto rep = pipeline.Run(*repaired);
+          auto rep = session.Run(*repaired, run_opts);
           out.wall_ms = ElapsedMs(t0);
           if (!rep.ok()) {
             out.status = rep.status();
-            return out;
+            bo.outcomes.push_back(std::move(out));
+            continue;
           }
           out.status = Status::OK();
           out.technique = core::TechniqueName(rep->chosen_family);
@@ -305,19 +425,20 @@ std::size_t EstateService::DispatchDue(TickReport* report) {
           out.forecast = std::move(rep->forecast);
           out.forecast_start_epoch = rep->forecast_start_epoch;
           out.forecast_step_seconds =
-              tsa::FrequencySeconds(series.frequency());
+              tsa::FrequencySeconds(item.window.frequency());
           out.degradation = rep->degradation;
           if (out.quality_gated &&
               out.degradation == core::DegradationLevel::kFull) {
             out.degradation = core::DegradationLevel::kHesOnly;
           }
-          return out;
-        }));
-    ++telemetry_.refits_dispatched;
-    ++dispatched;
-    if (report != nullptr) ++report->refits_dispatched;
-  }
-  return dispatched;
+          bo.outcomes.push_back(std::move(out));
+        }
+        const core::RefitBatchSession::Stats stats = session.stats();
+        bo.fourier_hits = stats.fourier_hits;
+        bo.fourier_misses = stats.fourier_misses;
+        bo.wall_ms = ElapsedMs(batch_t0);
+        return bo;
+      }));
 }
 
 void EstateService::CollectFinished(bool block, TickReport* report) {
@@ -329,8 +450,14 @@ void EstateService::CollectFinished(bool block, TickReport* report) {
       ++it;
       continue;
     }
-    FitOutcome outcome = it->get();
-    ApplyOutcome(outcome, report);
+    BatchOutcome batch = it->get();
+    for (const FitOutcome& outcome : batch.outcomes) {
+      ApplyOutcome(outcome, report);
+    }
+    ShardTelemetry* st = shards_[batch.shard]->telemetry;
+    st->fourier_hits.Inc(batch.fourier_hits);
+    st->fourier_misses.Inc(batch.fourier_misses);
+    st->refit_batch_stage.Record(batch.wall_ms);
     it = in_flight_.erase(it);
   }
 }
@@ -339,6 +466,7 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
                                  TickReport* report) {
   telemetry_.fit_stage.Record(outcome.wall_ms);
   const std::string& key = outcome.key;
+  RetrainScheduler& scheduler = ShardForKey(key).scheduler;
   quality_[key] = outcome.quality;
   if (outcome.quality_gated) ++telemetry_.quality_gated;
   // Every journal event from this outcome carries the worker's refit span
@@ -369,7 +497,7 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
     cached.spec = outcome.technique + " " + outcome.spec;
     cached.degradation = outcome.degradation;
     forecasts_[key] = std::move(cached);
-    scheduler_.OnSuccess(
+    scheduler.OnSuccess(
         key, outcome.fitted_at_epoch + config_.staleness.max_age_seconds);
     ++telemetry_.refits_succeeded;
     if (outcome.degradation != core::DegradationLevel::kFull) {
@@ -395,10 +523,10 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
     fit_event.span_id = outcome.span_id;
     JournalAppend(fit_event);
   } else {
-    const bool quarantined = scheduler_.OnFailure(key, now_);
+    const bool quarantined = scheduler.OnFailure(key, now_);
     ++telemetry_.refits_failed;
     if (report != nullptr) ++report->refits_failed;
-    auto entry = scheduler_.Get(key);
+    auto entry = scheduler.Get(key);
     const int failures = entry.ok() ? entry->consecutive_failures : 0;
     const std::int64_t next_due =
         quarantined ? -1 : (entry.ok() ? entry->due_epoch : -1);
@@ -509,50 +637,50 @@ void EstateService::EvaluateAlerts(TickReport* report) {
 }
 
 void EstateService::PublishView() {
-  auto view = std::make_shared<serve::EstateView>();
-  view->now_epoch = now_;
-  view->tick = ticks_;
-  view->instances.reserve(keys_.size());
-  for (const auto& key : keys_) {  // keys_ iterates watches in config order
-    serve::InstanceStatus row;
-    row.key = key;
-    const WatchConfig& watch = watches_[watch_index_.at(key)];
-    row.instance =
-        cluster_ != nullptr ? cluster_->InstanceName(watch.instance) : key;
-    row.metric = workload::MetricName(watch.metric);
-    row.threshold = watch.threshold;
-    if (const auto fit = forecasts_.find(key); fit != forecasts_.end()) {
-      row.has_forecast = true;
-      row.forecast = fit->second.forecast;
-      row.forecast_start_epoch = fit->second.start_epoch;
-      row.forecast_step_seconds = fit->second.step_seconds;
-      row.spec = fit->second.spec;
-      row.degradation = fit->second.degradation;
-    }
-    if (const auto q = quality_.find(key); q != quality_.end()) {
-      row.quality_score = q->second.score;
-      row.trainable = q->second.trainable;
-      row.quality_verdict = q->second.verdict;
-    }
-    if (const auto alert = alerts_.find(key); alert != alerts_.end()) {
-      row.alert_active = true;
-      row.alert_upper_only = alert->second.upper_only;
-      row.predicted_breach_epoch = alert->second.predicted_breach_epoch;
-    }
-    if (config_.view_recent_hours > 0) {
-      if (auto tail = metrics_.HourlyTail(key, config_.view_recent_hours);
-          tail.ok() && !tail->empty()) {
-        row.recent = tail->values();
-        row.recent_start_epoch = tail->start_epoch();
+  std::vector<std::vector<serve::InstanceStatus>> shard_rows(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const EstateShard& shard = *shards_[s];
+    shard_rows[s].reserve(shard.watch_ids.size());
+    for (std::size_t id : shard.watch_ids) {
+      const std::string& key = keys_[id];
+      serve::InstanceStatus row;
+      row.key = key;
+      const WatchConfig& watch = watches_[id];
+      row.instance =
+          cluster_ != nullptr ? cluster_->InstanceName(watch.instance) : key;
+      row.metric = workload::MetricName(watch.metric);
+      row.threshold = watch.threshold;
+      if (const auto fit = forecasts_.find(key); fit != forecasts_.end()) {
+        row.has_forecast = true;
+        row.forecast = fit->second.forecast;
+        row.forecast_start_epoch = fit->second.start_epoch;
+        row.forecast_step_seconds = fit->second.step_seconds;
+        row.spec = fit->second.spec;
+        row.degradation = fit->second.degradation;
       }
+      if (const auto q = quality_.find(key); q != quality_.end()) {
+        row.quality_score = q->second.score;
+        row.trainable = q->second.trainable;
+        row.quality_verdict = q->second.verdict;
+      }
+      if (const auto alert = alerts_.find(key); alert != alerts_.end()) {
+        row.alert_active = true;
+        row.alert_upper_only = alert->second.upper_only;
+        row.predicted_breach_epoch = alert->second.predicted_breach_epoch;
+      }
+      if (config_.view_recent_hours > 0) {
+        if (auto tail =
+                shard.metrics.HourlyTail(key, config_.view_recent_hours);
+            tail.ok() && !tail->empty()) {
+          row.recent = tail->values();
+          row.recent_start_epoch = tail->start_epoch();
+        }
+      }
+      shard_rows[s].push_back(std::move(row));
     }
-    view->instances.push_back(std::move(row));
   }
-  std::sort(view->instances.begin(), view->instances.end(),
-            [](const serve::InstanceStatus& a, const serve::InstanceStatus& b) {
-              return a.key < b.key;
-            });
-  view_channel_.Publish(std::move(view));
+  view_channel_.Publish(
+      serve::MergeShardRows(now_, ticks_, std::move(shard_rows)));
   view_swaps_.Inc();
 }
 
@@ -565,16 +693,41 @@ Result<TickReport> EstateService::Tick() {
   now_ += config_.tick_seconds;
   report.now_epoch = now_;
 
+  // Per-shard phase: ingest, staleness, due-taking and batch preparation
+  // run as one job per shard (inline when unsharded). Shard state is only
+  // ever touched by its own job; the driver joins every job before reading
+  // the outputs, so nothing below races.
   const auto t0 = Clock::now();
-  const std::uint64_t ingested_before = telemetry_.samples_ingested;
-  CAPPLAN_RETURN_NOT_OK(Ingest(cursor_, now_));
-  cursor_ = now_;
-  report.samples_ingested = static_cast<std::size_t>(
-      telemetry_.samples_ingested - ingested_before);
+  std::vector<ShardTickOutput> outputs(shards_.size());
+  if (tick_pool_ == nullptr) {
+    outputs[0] = TickShard(shards_[0].get());
+  } else {
+    std::vector<std::future<ShardTickOutput>> pending;
+    pending.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      EstateShard* s = shard.get();
+      pending.push_back(tick_pool_->Submit([this, s] { return TickShard(s); }));
+    }
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      outputs[i] = pending[i].get();
+    }
+  }
   telemetry_.ingest_stage.Record(ElapsedMs(t0));
+  // The cursor only advances once every shard ingested its slice: a failed
+  // tick leaves the window un-consumed, so the next tick backfills it and
+  // no sample is lost.
+  for (const ShardTickOutput& out : outputs) {
+    CAPPLAN_RETURN_NOT_OK(out.status);
+  }
+  cursor_ = now_;
+  for (ShardTickOutput& out : outputs) {
+    report.samples_ingested += out.samples_ingested;
+    report.refits_dispatched += out.refits_dispatched;
+    for (PreparedBatch& batch : out.batches) {
+      SubmitBatch(std::move(batch), &report);
+    }
+  }
 
-  CheckStaleness();
-  DispatchDue(&report);
   CollectFinished(/*block=*/false, &report);
   EvaluateAlerts(&report);
 
@@ -630,7 +783,7 @@ Status EstateService::Checkpoint() {
 }
 
 Status EstateService::ReleaseQuarantine(const std::string& key) {
-  CAPPLAN_RETURN_NOT_OK(scheduler_.Release(key, now_));
+  CAPPLAN_RETURN_NOT_OK(ShardForKey(key).scheduler.Release(key, now_));
   return JournalAppend({now_, EventKind::kRelease, key, {}});
 }
 
@@ -648,8 +801,61 @@ std::vector<ServiceAlert> EstateService::ActiveAlerts() const {
   return alerts;
 }
 
+std::vector<std::string> EstateService::ShardKeys(std::size_t shard) const {
+  std::vector<std::string> keys;
+  keys.reserve(shards_[shard]->watch_ids.size());
+  for (std::size_t id : shards_[shard]->watch_ids) keys.push_back(keys_[id]);
+  return keys;
+}
+
+std::size_t EstateService::series_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->metrics.size();
+  return total;
+}
+
+std::vector<std::string> EstateService::QuarantinedKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& shard : shards_) {
+    auto q = shard->scheduler.QuarantinedKeys();
+    keys.insert(keys.end(), q.begin(), q.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<ScheduleEntry> EstateService::ScheduleEntries() const {
+  std::vector<ScheduleEntry> entries;
+  for (const auto& shard : shards_) {
+    auto e = shard->scheduler.Entries();
+    entries.insert(entries.end(), std::make_move_iterator(e.begin()),
+                   std::make_move_iterator(e.end()));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ScheduleEntry& a, const ScheduleEntry& b) {
+              return a.key < b.key;
+            });
+  return entries;
+}
+
+std::size_t EstateService::schedule_size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->scheduler.size();
+  return total;
+}
+
+std::size_t EstateService::RefitQueueDepth() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->refit_queue.size();
+  return total;
+}
+
 std::string EstateService::JournalPath() const {
   return config_.state_dir + "/journal.log";
+}
+
+std::string EstateService::ShardSegmentDir(std::size_t shard) const {
+  return config_.state_dir + "/shard_" + std::to_string(shard);
 }
 
 Status EstateService::WritePrometheus(const std::string& path) const {
@@ -680,7 +886,18 @@ Status EstateService::WriteSnapshot() {
   obs::TraceSpan span("service.snapshot", "service");
   const std::string& dir = config_.state_dir;
   CAPPLAN_RETURN_NOT_OK(registry_.Save(dir + "/snapshot.registry.csv"));
-  CAPPLAN_RETURN_NOT_OK(scheduler_.Save(dir + "/snapshot.schedule.csv"));
+
+  // One merged schedule CSV for the whole estate (same format as the
+  // unsharded service ever wrote); rows route back to their shard by key
+  // hash on recovery.
+  std::vector<ScheduleEntry> schedule;
+  for (const auto& shard : shards_) {
+    auto e = shard->scheduler.Entries();
+    schedule.insert(schedule.end(), std::make_move_iterator(e.begin()),
+                    std::make_move_iterator(e.end()));
+  }
+  CAPPLAN_RETURN_NOT_OK(RetrainScheduler::SaveEntries(
+      dir + "/snapshot.schedule.csv", std::move(schedule)));
 
   repo::CsvTable forecasts;
   forecasts.header = {"key",   "spec",  "start_epoch", "step_seconds",
@@ -715,10 +932,20 @@ Status EstateService::WriteSnapshot() {
   CAPPLAN_RETURN_NOT_OK(repo::WriteCsv(dir + "/snapshot.meta.csv", meta));
 
   // The metric history itself, as compressed segments (store/segment.h) —
-  // what Recover restarts from instead of re-polling the whole estate. A
-  // failed flush fails the snapshot as a whole; the tick loop absorbs it
-  // and retries at the next snapshot interval.
-  CAPPLAN_RETURN_NOT_OK(metrics_.SaveSegments(dir));
+  // what Recover restarts from instead of re-polling the whole estate. Each
+  // shard flushes its slice into its own segment directory; a failed flush
+  // fails the snapshot as a whole, and the tick loop absorbs it and retries
+  // at the next snapshot interval.
+  for (const auto& shard : shards_) {
+    const std::string shard_dir = ShardSegmentDir(shard->id);
+    std::error_code ec;
+    std::filesystem::create_directories(shard_dir, ec);
+    if (ec) {
+      return Status::IoError("service: cannot create segment dir " +
+                             shard_dir + ": " + ec.message());
+    }
+    CAPPLAN_RETURN_NOT_OK(shard->metrics.SaveSegments(shard_dir));
+  }
 
   CAPPLAN_RETURN_NOT_OK(JournalAppend({now_, EventKind::kSnapshot, "", {}}));
   ++telemetry_.snapshots_written;
@@ -784,7 +1011,7 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
       entry.key = event.key;
       entry.due_epoch =
           model.fitted_at_epoch + config_.staleness.max_age_seconds;
-      scheduler_.Restore(std::move(entry));
+      ShardForKey(event.key).scheduler.Restore(std::move(entry));
       return Status::OK();
     }
     case EventKind::kFitFail: {
@@ -806,7 +1033,7 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
       } else {
         entry.due_epoch = next_due;
       }
-      scheduler_.Restore(std::move(entry));
+      ShardForKey(event.key).scheduler.Restore(std::move(entry));
       return Status::OK();
     }
     case EventKind::kQuarantine: {
@@ -815,14 +1042,14 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
       entry.due_epoch = event.epoch;
       entry.consecutive_failures = config_.retry.quarantine_after_failures;
       entry.quarantined = true;
-      scheduler_.Restore(std::move(entry));
+      ShardForKey(event.key).scheduler.Restore(std::move(entry));
       return Status::OK();
     }
     case EventKind::kRelease: {
       ScheduleEntry entry;
       entry.key = event.key;
       entry.due_epoch = event.epoch;
-      scheduler_.Restore(std::move(entry));
+      ShardForKey(event.key).scheduler.Restore(std::move(entry));
       return Status::OK();
     }
     case EventKind::kAlert: {
@@ -863,6 +1090,42 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
   return Status::Internal("service: unhandled event kind");
 }
 
+Status EstateService::RecoverShardHistory(EstateShard* shard) {
+  // Prefer the shard's compressed segment snapshot: it holds the exact
+  // persisted samples, so only the suffix collected after the last flush
+  // needs re-polling. When the segments are missing, damaged, inconsistent,
+  // or laid out for a different shard count (a resize remapped the keys),
+  // fall back to a full re-poll — the simulated agents are pure functions
+  // of (scenario, seed, instance, epoch), so re-polling reproduces the
+  // shard's slice exactly.
+  std::int64_t poll_from = cluster_->start_epoch();
+  if (shard->metrics.LoadSegments(ShardSegmentDir(shard->id)).ok()) {
+    std::int64_t segments_end = -1;
+    bool usable = true;
+    for (std::size_t id : shard->watch_ids) {
+      auto end = shard->metrics.RawEndEpoch(keys_[id]);
+      if (!end.ok() || (segments_end != -1 && *end != segments_end)) {
+        usable = false;
+        break;
+      }
+      segments_end = *end;
+    }
+    // A directory holding series this shard does not own is a stale layout
+    // (n_shards changed) — loading it would double-count keys elsewhere.
+    usable = usable && shard->metrics.size() == shard->watch_ids.size() &&
+             segments_end >= cluster_->start_epoch() &&
+             segments_end <= cursor_;
+    if (usable) {
+      poll_from = segments_end;
+    } else {
+      shard->metrics.Clear();
+    }
+  } else {
+    shard->metrics.Clear();
+  }
+  return IngestShard(shard, poll_from, cursor_);
+}
+
 Status EstateService::Recover() {
   obs::TraceSpan span("service.recover", "service");
   if (started_) {
@@ -889,7 +1152,15 @@ Status EstateService::Recover() {
   if (replay_from > 0) {
     const std::string& dir = config_.state_dir;
     CAPPLAN_RETURN_NOT_OK(registry_.Load(dir + "/snapshot.registry.csv"));
-    CAPPLAN_RETURN_NOT_OK(scheduler_.Load(dir + "/snapshot.schedule.csv"));
+    // The schedule snapshot is one merged CSV; rows route back to their
+    // shard's scheduler by the same key hash that placed them.
+    CAPPLAN_ASSIGN_OR_RETURN(
+        std::vector<ScheduleEntry> schedule,
+        RetrainScheduler::LoadEntries(dir + "/snapshot.schedule.csv"));
+    for (auto& entry : schedule) {
+      RetrainScheduler& scheduler = ShardForKey(entry.key).scheduler;
+      scheduler.Restore(std::move(entry));
+    }
     CAPPLAN_ASSIGN_OR_RETURN(
         repo::CsvTable forecasts,
         repo::ReadCsv(dir + "/snapshot.forecasts.csv"));
@@ -959,41 +1230,20 @@ Status EstateService::Recover() {
   }
 
   // Keys that never reached a journaled outcome fall back to their initial
-  // schedule (the snapshot carries them otherwise).
+  // schedule (the snapshot carries them otherwise). Keys that were sitting
+  // on a refit queue at the crash are still in_flight=false after Restore,
+  // with their original due time — they are simply taken due again, which
+  // is exactly the no-orphaned-entries guarantee.
   for (const auto& key : keys_) {
-    if (!scheduler_.Get(key).ok()) scheduler_.ScheduleAt(key, now_);
+    RetrainScheduler& scheduler = ShardForKey(key).scheduler;
+    if (!scheduler.Get(key).ok()) scheduler.ScheduleAt(key, now_);
   }
 
-  // Rebuild the metric history. Prefer the compressed segment snapshot: it
-  // holds the exact persisted samples, so only the suffix collected after
-  // the last flush needs re-polling. When the segments are missing, damaged
-  // or inconsistent with the watch set, fall back to the original full
-  // re-poll — the simulated agents are pure functions of (scenario, seed,
-  // instance, epoch), so re-polling reproduces the repository exactly.
+  // Rebuild the metric history, one shard at a time (in parallel when
+  // sharded): segments where usable, re-poll otherwise.
   const auto t0 = Clock::now();
-  std::int64_t poll_from = cluster_->start_epoch();
-  if (metrics_.LoadSegments(config_.state_dir).ok()) {
-    std::int64_t segments_end = -1;
-    bool usable = true;
-    for (const auto& key : keys_) {
-      auto end = metrics_.RawEndEpoch(key);
-      if (!end.ok() || (segments_end != -1 && *end != segments_end)) {
-        usable = false;
-        break;
-      }
-      segments_end = *end;
-    }
-    usable = usable && segments_end >= cluster_->start_epoch() &&
-             segments_end <= cursor_;
-    if (usable) {
-      poll_from = segments_end;
-    } else {
-      metrics_.Clear();
-    }
-  } else {
-    metrics_.Clear();
-  }
-  CAPPLAN_RETURN_NOT_OK(Ingest(poll_from, cursor_));
+  CAPPLAN_RETURN_NOT_OK(ForEachShard(
+      [this](EstateShard* shard) { return RecoverShardHistory(shard); }));
   telemetry_.ingest_stage.Record(ElapsedMs(t0));
 
   CAPPLAN_ASSIGN_OR_RETURN(journal_, EventJournal::Open(JournalPath()));

@@ -2,8 +2,10 @@
 #define CAPPLAN_SERVICE_ESTATE_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "serve/estate_view.h"
 #include "service/journal.h"
 #include "service/scheduler.h"
+#include "service/shard.h"
 #include "service/telemetry.h"
 #include "workload/cluster.h"
 
@@ -32,6 +35,20 @@ namespace capplan::service {
 // cached forecasts feed a breach-alert stream between refits. An append-only
 // journal plus periodic snapshots make the schedule, registry, forecasts and
 // alert state recoverable after a crash.
+//
+// The estate is partitioned into n_shards independent shards (consistent
+// hash of the repository key — service/shard.h): each shard owns its slice
+// of metric storage, its own due-time retrain scheduler and a batched refit
+// queue, and runs its tick work (ingest, staleness, due-taking, batch
+// preparation) as one parallel job per shard. Due refits drain through the
+// queue in batches of refit_batch_size series per pool job, so transforms
+// that do not depend on the series values (the Fourier design columns
+// behind every shared-OLS group — core::RefitBatchSession) are computed
+// once per batch instead of once per series. The estate-level coordinator —
+// this class — keeps the public API, the journal/snapshot formats, the
+// model registry, forecast/alert state and EstateView publication exactly
+// as before, so the serving layer and recovery semantics are unchanged;
+// docs/scaling.md covers the sharding model and its metrics.
 
 // One (instance, metric) pair under estate watch.
 struct WatchConfig {
@@ -93,6 +110,22 @@ struct EstateServiceConfig {
   // Trailing observed hours copied into each published EstateView row so the
   // serving layer can answer headroom queries without repository access.
   std::size_t view_recent_hours = 48;
+  // Estate partitioning: number of independent shards (consistent key hash;
+  // 0 and 1 both mean unsharded). Shard tick jobs run in parallel on a
+  // small second pool, so several shards only pay off when the host has
+  // cores for them; the shard count itself is a layout choice and must stay
+  // stable across restarts for per-shard segment recovery (resizing is
+  // safe but falls back to a full re-poll — docs/scaling.md).
+  std::size_t n_shards = 1;
+  // Series per batched refit job drained from a shard's queue (min 1).
+  // Larger batches amortize shared transforms and per-job overhead across
+  // more series but serialize those series onto one pool worker.
+  std::size_t refit_batch_size = 8;
+  // Cap on refit batches dispatched per shard per tick; 0 = unlimited.
+  // Overflow stays on the shard's queue (in flight, visible as the
+  // enqueued-minus-drained gap) and drains on later ticks — bounded-refit
+  // overload shedding.
+  std::size_t max_batches_per_shard_tick = 0;
 };
 
 // An active breach warning.
@@ -108,6 +141,7 @@ struct TickReport {
   std::int64_t now_epoch = 0;
   std::size_t samples_ingested = 0;
   std::size_t refits_dispatched = 0;
+  std::size_t refit_batches = 0;  // pool jobs carrying those refits
   std::size_t refits_completed = 0;
   std::size_t refits_failed = 0;
   std::size_t refits_degraded = 0;  // completed via a ladder rung
@@ -174,9 +208,53 @@ class EstateService {
   std::int64_t now() const { return now_; }
   std::uint64_t tick_count() const { return ticks_; }
   const ServiceTelemetry& telemetry() const { return telemetry_; }
-  const repo::MetricsRepository& metrics() const { return metrics_; }
   const repo::ModelRepository& registry() const { return registry_; }
-  const RetrainScheduler& scheduler() const { return scheduler_; }
+
+  // Shard topology. Keys route by consistent hash: the shard owning a key
+  // is a pure function of (key, n_shards), identical across restarts.
+  std::size_t n_shards() const { return shards_.size(); }
+  std::size_t ShardOfKey(const std::string& key) const {
+    return ShardOf(key, shards_.size());
+  }
+  // Keys owned by one shard, in watch-config order.
+  std::vector<std::string> ShardKeys(std::size_t shard) const;
+
+  // Metric storage, routed by key (each shard owns its slice). FindHourly's
+  // borrow semantics are the repository's: valid until the same key is
+  // mutated (the next Tick).
+  const repo::MetricsRepository& metrics_for(const std::string& key) const {
+    return ShardForKey(key).metrics;
+  }
+  const repo::MetricsRepository& shard_metrics(std::size_t shard) const {
+    return shards_[shard]->metrics;
+  }
+  const tsa::TimeSeries* FindHourly(const std::string& key) const {
+    return ShardForKey(key).metrics.FindHourly(key);
+  }
+  // Series across all shards.
+  std::size_t series_count() const;
+
+  // Retrain schedule, routed by key.
+  Result<ScheduleEntry> ScheduleFor(const std::string& key) const {
+    return ShardForKey(key).scheduler.Get(key);
+  }
+  bool IsQuarantined(const std::string& key) const {
+    return ShardForKey(key).scheduler.IsQuarantined(key);
+  }
+  std::vector<std::string> QuarantinedKeys() const;  // all shards, key order
+  std::vector<ScheduleEntry> ScheduleEntries() const;  // all shards, key order
+  std::size_t schedule_size() const;
+  const RetrainScheduler& shard_scheduler(std::size_t shard) const {
+    return shards_[shard]->scheduler;
+  }
+
+  // Keys queued for a batched refit but not yet handed to a pool job
+  // (queued keys are in flight in their scheduler, so they are never taken
+  // twice; a crash mid-queue re-dispatches them on recovery).
+  std::size_t RefitQueueDepth() const;
+
+  // Outstanding batched refit jobs on the pool (each carries up to
+  // refit_batch_size series).
   std::size_t in_flight_refits() const { return in_flight_.size(); }
   std::vector<ServiceAlert> ActiveAlerts() const;
   const std::vector<std::string>& keys() const { return keys_; }
@@ -235,15 +313,70 @@ class EstateService {
     std::uint64_t span_id = 0;
   };
 
-  Status Ingest(std::int64_t from_epoch, std::int64_t to_epoch);
-  void CheckStaleness();
-  std::size_t DispatchDue(TickReport* report);
+  // One series of a prepared refit batch: everything the pool job needs,
+  // copied so the job never touches live service state.
+  struct RefitJobInput {
+    std::string key;
+    tsa::TimeSeries window;
+    core::PipelineOptions opts;
+    std::int64_t fitted_at_epoch = 0;
+  };
+  // A shard's drained batch, ready for one pool job.
+  struct PreparedBatch {
+    std::size_t shard = 0;
+    std::vector<RefitJobInput> items;
+  };
+  // What one batch job returns: per-series outcomes plus the batch-level
+  // shared-transform stats, applied on the driver thread.
+  struct BatchOutcome {
+    std::size_t shard = 0;
+    std::vector<FitOutcome> outcomes;
+    std::uint64_t fourier_hits = 0;
+    std::uint64_t fourier_misses = 0;
+    double wall_ms = 0.0;
+  };
+  // What one shard's parallel tick job produced.
+  struct ShardTickOutput {
+    Status status;
+    std::vector<PreparedBatch> batches;
+    std::size_t samples_ingested = 0;
+    std::size_t refits_dispatched = 0;
+  };
+
+  EstateShard& ShardForKey(const std::string& key) {
+    return *shards_[ShardOf(key, shards_.size())];
+  }
+  const EstateShard& ShardForKey(const std::string& key) const {
+    return *shards_[ShardOf(key, shards_.size())];
+  }
+
+  // Runs `fn(shard)` for every shard — inline when unsharded, as one job
+  // per shard on the tick pool otherwise — and returns the first error.
+  // The driver blocks until every shard job has finished, so shard state is
+  // never touched from two threads at once.
+  Status ForEachShard(const std::function<Status(EstateShard*)>& fn);
+
+  Status IngestShard(EstateShard* shard, std::int64_t from_epoch,
+                     std::int64_t to_epoch,
+                     std::size_t* samples_out = nullptr);
+  void CheckStalenessShard(EstateShard* shard);
+  // Takes due keys into the shard's refit queue, then drains the queue into
+  // prepared batches (short-history keys defer instead).
+  void PrepareBatches(EstateShard* shard, ShardTickOutput* out);
+  // The whole per-shard phase of one Tick: ingest + staleness + batching.
+  ShardTickOutput TickShard(EstateShard* shard);
+  void SubmitBatch(PreparedBatch batch, TickReport* report);
   void CollectFinished(bool block, TickReport* report);
   void ApplyOutcome(const FitOutcome& outcome, TickReport* report);
   void EvaluateAlerts(TickReport* report);
   void PublishView();
   Status WriteSnapshot();
   Status ReplayEvent(const JournalEvent& event);
+  // Rebuilds one shard's metric history on recovery: reopen its segment
+  // directory and re-poll only the missing suffix, or fall back to a full
+  // re-poll when the segments are missing/damaged/inconsistent.
+  Status RecoverShardHistory(EstateShard* shard);
+  std::string ShardSegmentDir(std::size_t shard) const;
   // Appends by value: events with span_id 0 are stamped with the calling
   // thread's active trace span before serialization.
   Status JournalAppend(JournalEvent event);
@@ -256,16 +389,19 @@ class EstateService {
   std::vector<std::string> keys_;               // parallel to watches_
   std::map<std::string, std::size_t> watch_index_;
 
-  repo::MetricsRepository metrics_;
+  // The shards: each owns its slice of metric storage, its scheduler and
+  // its refit queue. Estate-level state (registry, forecasts, alerts,
+  // quality, journal) stays below, owned by the coordinator.
+  std::vector<std::unique_ptr<EstateShard>> shards_;
+
   repo::ModelRepository registry_;
-  RetrainScheduler scheduler_;
   EventJournal journal_;
   ServiceTelemetry telemetry_;
 
   std::map<std::string, CachedForecast> forecasts_;
   std::map<std::string, ServiceAlert> alerts_;
   std::map<std::string, quality::QualityReport> quality_;
-  std::vector<std::future<FitOutcome>> in_flight_;
+  std::vector<std::future<BatchOutcome>> in_flight_;
 
   serve::ViewChannel view_channel_;
   obs::Counter view_swaps_;
@@ -274,6 +410,12 @@ class EstateService {
   std::int64_t now_ = 0;     // simulated clock
   std::int64_t cursor_ = 0;  // next poll epoch (ingested up to here)
   std::uint64_t ticks_ = 0;
+
+  // Small pool for the parallel per-shard tick jobs (null when unsharded:
+  // one shard runs inline on the driver thread). Separate from pool_ so a
+  // shard tick never queues behind a long batched grid fit — Tick() must
+  // stay non-blocking with respect to in-flight refits.
+  std::unique_ptr<ThreadPool> tick_pool_;
 
   // Declared last: destroyed first, draining queued fit jobs (which capture
   // only copies) before the rest of the service goes away.

@@ -180,9 +180,25 @@ void RetrainScheduler::Restore(ScheduleEntry entry) {
 }
 
 Status RetrainScheduler::Save(const std::string& path) const {
+  return SaveEntries(path, Entries());
+}
+
+Status RetrainScheduler::Load(const std::string& path) {
+  CAPPLAN_ASSIGN_OR_RETURN(std::vector<ScheduleEntry> entries,
+                           LoadEntries(path));
+  for (auto& entry : entries) Restore(std::move(entry));
+  return Status::OK();
+}
+
+Status RetrainScheduler::SaveEntries(const std::string& path,
+                                     std::vector<ScheduleEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ScheduleEntry& a, const ScheduleEntry& b) {
+              return a.key < b.key;
+            });
   repo::CsvTable table;
   table.header = {"key", "due_epoch", "consecutive_failures", "quarantined"};
-  for (const auto& [_, e] : entries_) {
+  for (const auto& e : entries) {
     table.rows.push_back({e.key, std::to_string(e.due_epoch),
                           std::to_string(e.consecutive_failures),
                           e.quarantined ? "1" : "0"});
@@ -190,11 +206,14 @@ Status RetrainScheduler::Save(const std::string& path) const {
   return repo::WriteCsv(path, table);
 }
 
-Status RetrainScheduler::Load(const std::string& path) {
+Result<std::vector<ScheduleEntry>> RetrainScheduler::LoadEntries(
+    const std::string& path) {
   CAPPLAN_ASSIGN_OR_RETURN(repo::CsvTable table, repo::ReadCsv(path));
   if (table.header.size() != 4) {
     return Status::IoError("scheduler: unexpected column count in " + path);
   }
+  std::vector<ScheduleEntry> entries;
+  entries.reserve(table.rows.size());
   for (const auto& row : table.rows) {
     if (row.size() != 4) {
       return Status::IoError("scheduler: malformed row in " + path);
@@ -208,9 +227,9 @@ Status RetrainScheduler::Load(const std::string& path) {
       return Status::IoError("scheduler: bad number in " + path);
     }
     entry.quarantined = row[3] == "1";
-    Restore(std::move(entry));
+    entries.push_back(std::move(entry));
   }
-  return Status::OK();
+  return entries;
 }
 
 }  // namespace capplan::service

@@ -92,6 +92,15 @@ class RetrainScheduler {
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 
+  // Snapshot I/O over an explicit entry list, for callers that merge or
+  // split schedules across several schedulers (the sharded estate service
+  // saves one CSV for all shards and routes rows back by key hash on load).
+  // Entries are written sorted by key; the format matches Save/Load.
+  static Status SaveEntries(const std::string& path,
+                            std::vector<ScheduleEntry> entries);
+  static Result<std::vector<ScheduleEntry>> LoadEntries(
+      const std::string& path);
+
  private:
   void Push(const std::string& key, std::int64_t due_epoch);
 

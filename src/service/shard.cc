@@ -1,0 +1,20 @@
+#include "service/shard.h"
+
+namespace capplan::service {
+
+std::uint64_t ShardHash(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (char c : key) {
+    h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
+        0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::size_t ShardOf(const std::string& key, std::size_t n_shards) {
+  if (n_shards <= 1) return 0;
+  return static_cast<std::size_t>(ShardHash(key) %
+                                  static_cast<std::uint64_t>(n_shards));
+}
+
+}  // namespace capplan::service

@@ -1,0 +1,55 @@
+#ifndef CAPPLAN_SERVICE_SHARD_H_
+#define CAPPLAN_SERVICE_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "repo/repository.h"
+#include "service/scheduler.h"
+#include "service/telemetry.h"
+
+namespace capplan::service {
+
+// Consistent key -> shard routing for the sharded estate service. FNV-1a
+// over the repository key, reduced modulo the shard count: purely a
+// function of (key, n_shards), so the same estate config maps every series
+// to the same shard across restarts, recoveries and processes — which is
+// what lets per-shard segment directories and schedules be reloaded
+// verbatim. Resizing n_shards remaps keys (docs/scaling.md covers the
+// rebalance rules: schedules re-route through the journal replay, segment
+// directories stop matching and recovery falls back to a full re-poll).
+std::uint64_t ShardHash(const std::string& key);
+std::size_t ShardOf(const std::string& key, std::size_t n_shards);
+
+// One shard of the estate: its slice of the watch set plus everything that
+// slice owns — metric storage, the due-time retrain scheduler and the
+// batched refit queue. Owned by EstateService. Mutation happens either on
+// the driver thread or inside this shard's tick job, never both at once;
+// shards never touch each other's state, which is what makes the per-shard
+// tick phase embarrassingly parallel.
+struct EstateShard {
+  std::size_t id = 0;
+  // Indices into the service's watches_/agents_/keys_ vectors.
+  std::vector<std::size_t> watch_ids;
+
+  repo::MetricsRepository metrics;
+  RetrainScheduler scheduler;
+
+  // Keys taken due by the scheduler, waiting to be drained into batch fit
+  // jobs. Entries stay in_flight in the scheduler while queued, so they are
+  // never re-taken; the queue is deliberately not persisted — a crash
+  // mid-queue re-dispatches on recovery exactly like a crash mid-fit.
+  std::deque<std::string> refit_queue;
+
+  // Handle into ServiceTelemetry::shards[id]; not owned.
+  ShardTelemetry* telemetry = nullptr;
+
+  explicit EstateShard(RetryPolicy retry) : scheduler(retry) {}
+};
+
+}  // namespace capplan::service
+
+#endif  // CAPPLAN_SERVICE_SHARD_H_

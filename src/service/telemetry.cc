@@ -57,6 +57,48 @@ ServiceTelemetry::ServiceTelemetry()
   alert_stage = stage("alert");
 }
 
+void ServiceTelemetry::EnsureShards(std::size_t n) {
+  while (shards.size() < n) {
+    const obs::LabelSet labels = {{"shard", std::to_string(shards.size())}};
+    auto counter = [&](const char* name, const char* help) {
+      return registry->GetCounter(name, labels, help);
+    };
+    auto histogram = [&](const char* name, const char* help) {
+      return StageStats(registry->GetHistogram(name, {}, labels, help));
+    };
+    ShardTelemetry s;
+    s.ticks = counter("capplan_shard_ticks_total", "Shard tick jobs run");
+    s.samples_ingested = counter("capplan_shard_samples_ingested_total",
+                                 "Raw samples appended by this shard");
+    s.refits_dispatched =
+        counter("capplan_shard_refits_dispatched_total",
+                "Series this shard handed to batch fit jobs");
+    s.refits_deferred = counter("capplan_shard_refits_deferred_total",
+                                "Refits this shard skipped: short history");
+    s.refit_batches = counter("capplan_shard_refit_batches_total",
+                              "Batched fit jobs submitted to the pool");
+    s.batch_series = counter("capplan_shard_batch_series_total",
+                             "Series fitted across those batch jobs");
+    s.queue_enqueued = counter("capplan_shard_queue_enqueued_total",
+                               "Keys pushed onto the shard's refit queue");
+    s.queue_drained = counter("capplan_shard_queue_drained_total",
+                              "Keys drained from the shard's refit queue");
+    s.fourier_hits =
+        counter("capplan_shard_fourier_hits_total",
+                "Fourier design columns reused within a refit batch");
+    s.fourier_misses =
+        counter("capplan_shard_fourier_misses_total",
+                "Distinct Fourier designs computed within refit batches");
+    s.tick_stage = histogram("capplan_shard_tick_latency_ms",
+                             "Whole shard tick job wall time");
+    s.ingest_stage = histogram("capplan_shard_ingest_latency_ms",
+                               "Ingest slice of the shard tick job");
+    s.refit_batch_stage = histogram("capplan_shard_refit_batch_ms",
+                                    "One batched fit job, end to end");
+    shards.push_back(std::move(s));
+  }
+}
+
 namespace {
 
 void WriteStage(JsonWriter* w, const std::string& key,
@@ -115,6 +157,27 @@ std::string TelemetryToJson(const ServiceTelemetry& t, bool pretty) {
   WriteStage(&w, "forecast", t.forecast_stage);
   WriteStage(&w, "alert", t.alert_stage);
   w.EndObject();
+  // Strictly appended after the frozen counter/stages prefix: per-shard
+  // stage distributions (and the queue counters that reveal skew). An
+  // unsharded service emits a one-element array.
+  w.BeginArray("shards");
+  for (std::size_t i = 0; i < t.shards.size(); ++i) {
+    const ShardTelemetry& s = t.shards[i];
+    w.BeginObject();
+    w.Integer("shard", static_cast<long long>(i));
+    w.Integer("ticks", static_cast<long long>(s.ticks.value()));
+    w.Integer("refit_batches",
+              static_cast<long long>(s.refit_batches.value()));
+    w.Integer("queue_enqueued",
+              static_cast<long long>(s.queue_enqueued.value()));
+    w.Integer("queue_drained",
+              static_cast<long long>(s.queue_drained.value()));
+    WriteStage(&w, "tick", s.tick_stage);
+    WriteStage(&w, "ingest", s.ingest_stage);
+    WriteStage(&w, "refit_batch", s.refit_batch_stage);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return w.Take();
 }

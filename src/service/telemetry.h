@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -37,6 +38,28 @@ class StageStats {
 
  private:
   obs::Histogram histogram_;  // detached (all-zero) if default-constructed
+};
+
+// Per-shard slice of the service telemetry (labels {shard="i"} on every
+// cell). One entry per estate shard, created by
+// ServiceTelemetry::EnsureShards; an unsharded service has exactly one.
+// These are the numbers that make shard skew visible: a lagging shard shows
+// up as a tick-latency outlier and a growing enqueued-minus-drained gap.
+struct ShardTelemetry {
+  obs::Counter ticks;              // shard tick jobs run
+  obs::Counter samples_ingested;   // raw samples appended by this shard
+  obs::Counter refits_dispatched;  // series handed to batch fit jobs
+  obs::Counter refits_deferred;    // skipped: short history
+  obs::Counter refit_batches;      // batch jobs submitted to the pool
+  obs::Counter batch_series;       // series across those batches
+  obs::Counter queue_enqueued;     // keys pushed onto the refit queue
+  obs::Counter queue_drained;      // keys popped off it (depth = difference)
+  obs::Counter fourier_hits;       // batched-refit design-column reuses
+  obs::Counter fourier_misses;     // distinct designs computed
+
+  StageStats tick_stage;         // whole shard tick job wall time
+  StageStats ingest_stage;       // ingest slice of the tick job
+  StageStats refit_batch_stage;  // one batch fit job, end to end
 };
 
 // Counters and per-stage latencies of the estate planning daemon. The
@@ -86,12 +109,19 @@ struct ServiceTelemetry {
   StageStats fit_stage;      // worker wall time per refit
   StageStats forecast_stage; // breach scan over cached forecasts
   StageStats alert_stage;    // alert state transitions + journalling
+
+  // Grows `shards` to n entries, registering each one's capplan_shard_*
+  // cells with a {shard="i"} label. Idempotent; never shrinks.
+  void EnsureShards(std::size_t n);
+  std::vector<ShardTelemetry> shards;
 };
 
 // Serializes the telemetry block via the shared JSON writer — the same
 // integration surface as core::ReportToJson. Field order and formatting of
 // the pre-registry fields are frozen (goldens in estate_service_test.cc);
-// the histogram-derived stage fields (min_ms, p50_ms, p99_ms) are additive.
+// the histogram-derived stage fields (min_ms, p50_ms, p99_ms) and the
+// trailing per-shard "shards" array are additive — strictly appended after
+// the frozen prefix, never inserted into it.
 std::string TelemetryToJson(const ServiceTelemetry& telemetry,
                             bool pretty = false);
 

@@ -12,9 +12,11 @@ TieredStore::TieredStore(TieredStoreOptions options)
     : options_(options) {}
 
 void TieredStore::BindMetrics(obs::MetricsRegistry* registry,
-                              const std::string& tier) {
+                              const std::string& tier,
+                              const obs::LabelSet& extra_labels) {
   if (registry == nullptr) return;
-  const obs::LabelSet labels = {{"tier", tier}};
+  obs::LabelSet labels = {{"tier", tier}};
+  labels.insert(labels.end(), extra_labels.begin(), extra_labels.end());
   hot_bytes_ = registry->GetGauge(
       "capplan_store_hot_bytes", labels,
       "Uncompressed sample bytes resident in hot ring buffers.");

@@ -40,9 +40,12 @@ class TieredStore {
   TieredStore& operator=(TieredStore&&) = default;
 
   // Registers the capplan_store_* family in `registry`, labelled with this
-  // store's tier name ("raw", "hourly"). Call once, before traffic;
-  // unbound stores skip all metric work.
-  void BindMetrics(obs::MetricsRegistry* registry, const std::string& tier);
+  // store's tier name ("raw", "hourly") plus any `extra_labels` — a sharded
+  // owner passes {{"shard", "3"}} so each shard's store keeps distinct
+  // gauge cells instead of clobbering one shared series. Call once, before
+  // traffic; unbound stores skip all metric work.
+  void BindMetrics(obs::MetricsRegistry* registry, const std::string& tier,
+                   const obs::LabelSet& extra_labels = {});
 
   // The series under `key`, created at (start_epoch, freq) if absent.
   SeriesStore& GetOrCreate(const std::string& key, std::int64_t start_epoch,

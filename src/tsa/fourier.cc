@@ -54,4 +54,41 @@ Result<std::vector<std::vector<double>>> FourierTerms(
   return cols;
 }
 
+Result<std::shared_ptr<const FourierTermCache::Columns>> FourierTermCache::Get(
+    const std::vector<FourierSpec>& specs, std::size_t t_begin,
+    std::size_t n) {
+  std::string key = FourierCacheKey(specs);
+  key += '@';
+  key += std::to_string(t_begin);
+  key += '+';
+  key += std::to_string(n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Computed outside the lock: a cold batch may have several threads racing
+  // on the same key, and holding the mutex across the trig loop would
+  // serialize them harder than the duplicate work costs. The first insert
+  // wins; losers adopt it.
+  CAPPLAN_ASSIGN_OR_RETURN(Columns cols, FourierTerms(specs, t_begin, n));
+  auto entry = std::make_shared<const Columns>(std::move(cols));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  if (inserted) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+std::size_t FourierTermCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 }  // namespace capplan::tsa

@@ -1,7 +1,12 @@
 #ifndef CAPPLAN_TSA_FOURIER_H_
 #define CAPPLAN_TSA_FOURIER_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +40,36 @@ Result<std::vector<std::vector<double>>> FourierTerms(
 
 // Total number of columns produced for `specs`.
 std::size_t FourierColumnCount(const std::vector<FourierSpec>& specs);
+
+// Memoized FourierTerms, shared across every series of a batched refit:
+// the design columns depend only on (specs, t_begin, n), never on the data,
+// so when many series with the same window length drain through one batch
+// the trigonometric evaluation happens once and every later series reuses
+// the columns. Thread-safe; entries are immutable once inserted, handed out
+// as shared_ptr so a hit costs one map lookup and a refcount bump.
+class FourierTermCache {
+ public:
+  using Columns = std::vector<std::vector<double>>;
+
+  // The columns for (specs, t_begin, n), computed on first use. Failure
+  // statuses (aliased harmonics, period <= 1) are not cached — the same bad
+  // spec fails identically every time, so there is nothing to save.
+  Result<std::shared_ptr<const Columns>> Get(
+      const std::vector<FourierSpec>& specs, std::size_t t_begin,
+      std::size_t n);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const Columns>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
 
 }  // namespace capplan::tsa
 

@@ -64,7 +64,7 @@ TEST_F(ChaosTest, AgentOutageMidWindowThenCatchUp) {
   EXPECT_EQ(report->samples_ingested, 8u);  // two hours of 15-min polls
   ASSERT_TRUE(service.DrainRefits().ok());
   const std::string& key = service.keys()[0];
-  EXPECT_EQ(service.metrics().FindHourly(key)->size(), 1010u);
+  EXPECT_EQ(service.FindHourly(key)->size(), 1010u);
   EXPECT_EQ(service.telemetry().refits_succeeded, 1u);
 }
 
@@ -165,7 +165,7 @@ TEST_F(ChaosTest, QuarantineStormAndRecovery) {
   EXPECT_EQ(service.telemetry().refits_failed, 4u);  // 2 keys x 2 attempts
   EXPECT_EQ(service.telemetry().quarantines, 2u);
   for (const auto& key : service.keys()) {
-    EXPECT_TRUE(service.scheduler().IsQuarantined(key));
+    EXPECT_TRUE(service.IsQuarantined(key));
   }
 
   // Fitters come back; released keys refit on the next tick.

@@ -1,0 +1,202 @@
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/estate_service.h"
+#include "service/shard.h"
+#include "workload/scenario.h"
+
+// Chaos scenarios for the sharded estate: a crash with a batched refit
+// mid-flight, and a shard-count resize between runs. The invariants under
+// test are the scaling guide's promises — key routing is stable across
+// restarts, queued-but-unfinished refits re-dispatch exactly once (no
+// orphaned queue entries, no duplicate alerts), and a resized layout falls
+// back to a full re-poll instead of serving a half-matched segment set.
+
+namespace capplan::service {
+namespace {
+
+class ShardChaosTest : public ::testing::Test {};
+
+workload::WorkloadScenario TestScenario(int n_instances) {
+  auto scenario = workload::WorkloadScenario::Olap();
+  scenario.n_instances = n_instances;
+  return scenario;
+}
+
+EstateServiceConfig FastConfig(const std::string& name, std::size_t n_shards) {
+  EstateServiceConfig config;
+  config.pipeline.technique = core::Technique::kHes;
+  config.fit_threads = 2;
+  config.warmup_days = 42;
+  config.n_shards = n_shards;
+  config.state_dir = ::testing::TempDir() + "/shard_chaos_" + name;
+  std::filesystem::remove_all(config.state_dir);
+  return config;
+}
+
+std::vector<WatchConfig> CpuWatches(int n_instances, double threshold) {
+  std::vector<WatchConfig> watches;
+  for (int i = 0; i < n_instances; ++i) {
+    watches.emplace_back(i, workload::Metric::kCpu, threshold);
+  }
+  return watches;
+}
+
+// Crash with batched refits still on the pool: the queued keys were
+// in_flight in their shard schedulers and the queue is deliberately not
+// persisted, so recovery must re-dispatch every unfinished key exactly once
+// — no orphaned queue entries, no key fit twice, no alert raised twice.
+TEST_F(ShardChaosTest, KillMidBatchRefitRedispatchesWithoutOrphans) {
+  const auto scenario = TestScenario(8);
+  workload::ClusterSimulator cluster(scenario, 7);
+  // Threshold 0.01: every completed forecast raises a breach alert, which
+  // is what makes duplicated refits visible.
+  const auto watches = CpuWatches(8, 0.01);
+  auto config = FastConfig("midbatch", 4);
+  config.refit_batch_size = 4;
+  config.snapshot_every_ticks = 0;  // journal-only recovery
+  // One pool worker: the batches dispatched by the first tick cannot all
+  // finish before that tick's non-blocking collect, so the crash below is
+  // guaranteed to land with refits still in flight.
+  config.fit_threads = 1;
+
+  std::vector<std::size_t> healthy_routing;
+  std::int64_t healthy_now = 0;
+  {
+    EstateService service(&cluster, watches, config);
+    ASSERT_TRUE(service.Start().ok());
+    for (const auto& key : service.keys()) {
+      healthy_routing.push_back(service.ShardOfKey(key));
+    }
+    // The first tick queues all 8 initial fits and hands them to the pool
+    // in batches. Crash (scope exit) before any outcome is collected: the
+    // batch jobs' results are never applied or journaled.
+    ASSERT_TRUE(service.Tick().ok());
+    EXPECT_GT(service.in_flight_refits(), 0u);
+    EXPECT_EQ(service.RefitQueueDepth(), 0u);
+    EXPECT_EQ(service.telemetry().refits_succeeded.value(), 0u);
+    healthy_now = service.now();
+  }
+
+  EstateService recovered(&cluster, watches, config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.now(), healthy_now);
+
+  // Consistent hashing: the recovered service routes every key to the same
+  // shard the crashed one did.
+  const auto& keys = recovered.keys();
+  ASSERT_EQ(keys.size(), healthy_routing.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(recovered.ShardOfKey(keys[i]), healthy_routing[i]) << keys[i];
+    EXPECT_EQ(recovered.ShardOfKey(keys[i]), ShardOf(keys[i], 4)) << keys[i];
+  }
+
+  // The schedule is whole and clean: every key present, nothing stuck
+  // in_flight (the crash dropped the dispatch), nothing orphaned on a
+  // refit queue.
+  EXPECT_EQ(recovered.schedule_size(), keys.size());
+  for (const auto& entry : recovered.ScheduleEntries()) {
+    EXPECT_FALSE(entry.in_flight) << entry.key;
+    EXPECT_FALSE(entry.quarantined) << entry.key;
+  }
+  EXPECT_EQ(recovered.RefitQueueDepth(), 0u);
+  EXPECT_EQ(recovered.in_flight_refits(), 0u);
+
+  // Resuming re-dispatches the lost refits; each succeeds exactly once and
+  // each breach alert is raised exactly once.
+  ASSERT_TRUE(recovered.Tick().ok());
+  ASSERT_TRUE(recovered.DrainRefits().ok());
+  EXPECT_EQ(recovered.telemetry().refits_succeeded.value(), keys.size());
+  EXPECT_EQ(recovered.RefitQueueDepth(), 0u);
+  ASSERT_TRUE(recovered.Tick().ok());  // breach scan over the new forecasts
+  EXPECT_EQ(recovered.ActiveAlerts().size(), keys.size());
+  EXPECT_EQ(recovered.telemetry().alerts_raised.value(), keys.size());
+
+  // Another cycle must not re-fit fresh models or re-raise live alerts.
+  ASSERT_TRUE(recovered.Tick().ok());
+  ASSERT_TRUE(recovered.DrainRefits().ok());
+  EXPECT_EQ(recovered.telemetry().refits_succeeded.value(), keys.size());
+  EXPECT_EQ(recovered.telemetry().alerts_raised.value(), keys.size());
+  EXPECT_EQ(recovered.ActiveAlerts().size(), keys.size());
+  std::filesystem::remove_all(config.state_dir);
+}
+
+// Changing n_shards between runs remaps keys, so the per-shard segment
+// directories no longer match their shards' watch sets. Recovery must
+// notice (layout check) and fall back to the full re-poll rather than load
+// another shard's series — the rebalance rule in docs/scaling.md.
+TEST_F(ShardChaosTest, ShardCountResizeFallsBackToFullRepoll) {
+  const auto scenario = TestScenario(6);
+  workload::ClusterSimulator cluster(scenario, 7);
+  const auto watches = CpuWatches(6, 95.0);
+  auto config = FastConfig("resize", 2);
+
+  std::int64_t healthy_now = 0;
+  std::vector<std::size_t> healthy_sizes;
+  std::vector<std::string> all_keys;
+  {
+    EstateService service(&cluster, watches, config);
+    ASSERT_TRUE(service.Start().ok());
+    all_keys = service.keys();
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+    ASSERT_TRUE(service.Checkpoint().ok());
+    healthy_now = service.now();
+    for (const auto& key : service.keys()) {
+      const auto* hourly = service.FindHourly(key);
+      ASSERT_NE(hourly, nullptr);
+      healthy_sizes.push_back(hourly->size());
+    }
+  }
+  // Every shard that owns keys flushed its own segment directory. Routing
+  // is a pure function of (key, n_shards), so the owners are computable
+  // without the (destroyed) service.
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    bool owns_any = false;
+    for (const auto& key : all_keys) {
+      owns_any = owns_any || ShardOf(key, 2) == shard;
+    }
+    if (owns_any) {
+      EXPECT_TRUE(std::filesystem::exists(
+          config.state_dir + "/shard_" + std::to_string(shard) +
+          "/raw.capseg"));
+    }
+  }
+
+  // Reopen the same state with twice the shards. The old segment layout is
+  // unusable for the new partition; the estate state (clock, schedule,
+  // registry) still recovers from the journal and the history is re-polled.
+  auto resized = config;
+  resized.n_shards = 4;
+  EstateService recovered(&cluster, watches, resized);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.n_shards(), 4u);
+  EXPECT_EQ(recovered.now(), healthy_now);
+  EXPECT_EQ(recovered.schedule_size(), watches.size());
+  const auto& keys = recovered.keys();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(recovered.ShardOfKey(keys[i]), ShardOf(keys[i], 4));
+    const auto* hourly = recovered.FindHourly(keys[i]);
+    ASSERT_NE(hourly, nullptr) << keys[i];
+    EXPECT_EQ(hourly->size(), healthy_sizes[i]) << keys[i];
+  }
+  // The resized estate keeps operating, and its next checkpoint writes the
+  // new four-directory layout.
+  ASSERT_TRUE(recovered.Tick().ok());
+  ASSERT_TRUE(recovered.DrainRefits().ok());
+  ASSERT_TRUE(recovered.Checkpoint().ok());
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    if (!recovered.ShardKeys(shard).empty()) {
+      EXPECT_TRUE(std::filesystem::exists(
+          config.state_dir + "/shard_" + std::to_string(shard) +
+          "/raw.capseg"));
+    }
+  }
+  std::filesystem::remove_all(config.state_dir);
+}
+
+}  // namespace
+}  // namespace capplan::service

@@ -74,9 +74,9 @@ TEST_F(StoreChaosTest, SegmentFlushFaultAbsorbedAndRetriedNextSnapshot) {
   ASSERT_TRUE(service.DrainRefits().ok());
   EXPECT_EQ(service.telemetry().snapshots_written, 1u);
   EXPECT_TRUE(
-      std::filesystem::exists(config.state_dir + "/raw.capseg"));
+      std::filesystem::exists(config.state_dir + "/shard_0/raw.capseg"));
   EXPECT_TRUE(
-      std::filesystem::exists(config.state_dir + "/hourly.capseg"));
+      std::filesystem::exists(config.state_dir + "/shard_0/hourly.capseg"));
   ASSERT_TRUE(service.Checkpoint().ok());
 
   // Recovery restarts from the retried snapshot.
@@ -85,9 +85,9 @@ TEST_F(StoreChaosTest, SegmentFlushFaultAbsorbedAndRetriedNextSnapshot) {
   ASSERT_TRUE(recovered.Recover().ok());
   EXPECT_EQ(recovered.now(), service.now());
   const std::string& key = service.keys()[0];
-  ASSERT_NE(recovered.metrics().FindHourly(key), nullptr);
-  EXPECT_EQ(recovered.metrics().FindHourly(key)->size(),
-            service.metrics().FindHourly(key)->size());
+  ASSERT_NE(recovered.FindHourly(key), nullptr);
+  EXPECT_EQ(recovered.FindHourly(key)->size(),
+            service.FindHourly(key)->size());
   std::filesystem::remove_all(config.state_dir);
 }
 
@@ -102,7 +102,7 @@ TEST_F(StoreChaosTest, ReopenFaultFallsBackToFullRepoll) {
   ASSERT_TRUE(service.DrainRefits().ok());
   ASSERT_TRUE(service.Checkpoint().ok());
   const std::string& key = service.keys()[0];
-  const auto* healthy = service.metrics().FindHourly(key);
+  const auto* healthy = service.FindHourly(key);
   ASSERT_NE(healthy, nullptr);
   const std::size_t healthy_size = healthy->size();
   const double healthy_last = (*healthy)[healthy_size - 1];
@@ -115,7 +115,7 @@ TEST_F(StoreChaosTest, ReopenFaultFallsBackToFullRepoll) {
   ASSERT_TRUE(recovered.Recover().ok());
   EXPECT_EQ(FaultInjector::Global().FireCount("store.reopen"), 1u);
   EXPECT_EQ(recovered.now(), service.now());
-  const auto* repolled = recovered.metrics().FindHourly(key);
+  const auto* repolled = recovered.FindHourly(key);
   ASSERT_NE(repolled, nullptr);
   ASSERT_EQ(repolled->size(), healthy_size);
   EXPECT_DOUBLE_EQ((*repolled)[healthy_size - 1], healthy_last);
@@ -136,12 +136,12 @@ TEST_F(StoreChaosTest, CorruptSealedBlockQuarantinedWithoutSpreading) {
   ASSERT_TRUE(service.DrainRefits().ok());
   ASSERT_TRUE(service.Checkpoint().ok());
   const std::string& key = service.keys()[0];
-  const std::size_t hourly_size = service.metrics().FindHourly(key)->size();
+  const std::size_t hourly_size = service.FindHourly(key)->size();
 
   // Bit rot inside the first sealed block of raw.capseg. Walk the record
   // header (magic, meta_len, meta, meta_crc, payload_len) to land the flip
   // squarely in the compressed payload.
-  const std::string raw_path = config.state_dir + "/raw.capseg";
+  const std::string raw_path = config.state_dir + "/shard_0/raw.capseg";
   std::vector<std::uint8_t> bytes = ReadFileBytes(raw_path);
   std::uint32_t meta_len = 0;
   for (int i = 0; i < 4; ++i) {
@@ -163,11 +163,13 @@ TEST_F(StoreChaosTest, CorruptSealedBlockQuarantinedWithoutSpreading) {
   EstateService recovered(&cluster, {{0, workload::Metric::kCpu, 95.0}},
                           config);
   ASSERT_TRUE(recovered.Recover().ok());
-  EXPECT_EQ(recovered.metrics().raw_store().stats().blocks_quarantined, 1u);
-  EXPECT_EQ(recovered.metrics().hourly_store().stats().blocks_quarantined,
-            0u);
+  EXPECT_EQ(recovered.metrics_for(key).raw_store().stats().blocks_quarantined,
+            1u);
+  EXPECT_EQ(
+      recovered.metrics_for(key).hourly_store().stats().blocks_quarantined,
+      0u);
 
-  auto raw = recovered.metrics().Raw(key);
+  auto raw = recovered.metrics_for(key).Raw(key);
   ASSERT_TRUE(raw.ok());
   std::size_t nans = 0;
   for (std::size_t i = 0; i < raw->size(); ++i) {
@@ -178,10 +180,10 @@ TEST_F(StoreChaosTest, CorruptSealedBlockQuarantinedWithoutSpreading) {
 
   // The hourly tier — what the models actually read — is bit-for-bit the
   // healthy series, and the service keeps operating on it.
-  const auto* hourly = recovered.metrics().FindHourly(key);
+  const auto* hourly = recovered.FindHourly(key);
   ASSERT_NE(hourly, nullptr);
   ASSERT_EQ(hourly->size(), hourly_size);
-  const auto* want = service.metrics().FindHourly(key);
+  const auto* want = service.FindHourly(key);
   for (std::size_t i = 0; i < hourly_size; ++i) {
     ASSERT_DOUBLE_EQ((*hourly)[i], (*want)[i]) << i;
   }

@@ -126,6 +126,46 @@ TEST(SarimaxTest, FourierCapturesSeasonality) {
   }
 }
 
+TEST(SarimaxTest, CachedFourierFitIsBitwiseIdentical) {
+  std::mt19937 rng(17);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  const std::size_t n = 24 * 35;
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    y[t] = 40.0 +
+           10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  const std::vector<tsa::FourierSpec> fourier = {{24.0, 2}};
+  const ArimaSpec spec{1, 0, 0, 0, 0, 0, 0};
+
+  tsa::FourierTermCache cache;
+  auto plain = SarimaxModel::Fit(y, spec, {}, fourier);
+  auto cached = SarimaxModel::Fit(y, spec, {}, fourier, {}, &cache);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // A second cached fit of another series with the same design hits.
+  std::vector<double> y2 = y;
+  for (auto& v : y2) v += 1.0;
+  auto cached2 = SarimaxModel::Fit(y2, spec, {}, fourier, {}, &cache);
+  ASSERT_TRUE(cached2.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // The cache must not change a single bit of the result.
+  auto fc_plain = plain->Predict(24, {});
+  auto fc_cached = cached->Predict(24, {});
+  ASSERT_TRUE(fc_plain.ok());
+  ASSERT_TRUE(fc_cached.ok());
+  for (std::size_t h = 0; h < 24; ++h) {
+    EXPECT_EQ(fc_plain->mean[h], fc_cached->mean[h]) << h;
+    EXPECT_EQ(fc_plain->lower[h], fc_cached->lower[h]) << h;
+    EXPECT_EQ(fc_plain->upper[h], fc_cached->upper[h]) << h;
+  }
+}
+
 TEST(SarimaxTest, MultipleSeasonalityViaTwoFourierSpecs) {
   std::mt19937 rng(13);
   std::normal_distribution<double> dist(0.0, 0.5);

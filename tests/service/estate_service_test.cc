@@ -45,10 +45,10 @@ TEST(EstateServiceTest, StartBackfillsWarmupAndSchedulesEveryWatch) {
   EXPECT_EQ(service.now(), cluster.start_epoch() + 42 * kDay);
   ASSERT_EQ(service.keys().size(), 2u);
   for (const auto& key : service.keys()) {
-    const auto* hourly = service.metrics().FindHourly(key);
+    const auto* hourly = service.FindHourly(key);
     ASSERT_NE(hourly, nullptr);
     EXPECT_EQ(hourly->size(), 1008u);
-    auto entry = service.scheduler().Get(key);
+    auto entry = service.ScheduleFor(key);
     ASSERT_TRUE(entry.ok());
     EXPECT_EQ(entry->due_epoch, service.now());
   }
@@ -92,13 +92,13 @@ TEST(EstateServiceTest, FirstTickIngestsAndFitsEveryWatch) {
   EXPECT_EQ(service.telemetry().refits_succeeded, 2u);
   EXPECT_EQ(service.telemetry().refits_failed, 0u);
   for (const auto& key : service.keys()) {
-    EXPECT_EQ(service.metrics().FindHourly(key)->size(), 1009u);
+    EXPECT_EQ(service.FindHourly(key)->size(), 1009u);
     ASSERT_TRUE(service.registry().Contains(key));
     auto model = service.registry().Get(key);
     ASSERT_TRUE(model.ok());
     EXPECT_EQ(model->fitted_at_epoch, service.now());
     // Next refit is due one staleness period after the fit.
-    auto entry = service.scheduler().Get(key);
+    auto entry = service.ScheduleFor(key);
     ASSERT_TRUE(entry.ok());
     EXPECT_EQ(entry->due_epoch,
               model->fitted_at_epoch +
@@ -168,8 +168,8 @@ TEST(EstateServiceTest, FailingSeriesBacksOffThenQuarantines) {
   ASSERT_TRUE(service.Tick().ok());
   ASSERT_TRUE(service.DrainRefits().ok());
   EXPECT_EQ(service.telemetry().refits_failed, 1u);
-  EXPECT_FALSE(service.scheduler().IsQuarantined(bad_key));
-  auto entry = service.scheduler().Get(bad_key);
+  EXPECT_FALSE(service.IsQuarantined(bad_key));
+  auto entry = service.ScheduleFor(bad_key);
   ASSERT_TRUE(entry.ok());
   EXPECT_EQ(entry->consecutive_failures, 1);
   EXPECT_EQ(entry->due_epoch, service.now() + kHour);  // backed off
@@ -177,7 +177,7 @@ TEST(EstateServiceTest, FailingSeriesBacksOffThenQuarantines) {
   ASSERT_TRUE(service.Tick().ok());
   ASSERT_TRUE(service.DrainRefits().ok());
   EXPECT_EQ(service.telemetry().refits_failed, 2u);
-  EXPECT_TRUE(service.scheduler().IsQuarantined(bad_key));
+  EXPECT_TRUE(service.IsQuarantined(bad_key));
   EXPECT_EQ(service.telemetry().quarantines, 1u);
 
   // The healthy watch was unaffected throughout.
@@ -189,7 +189,7 @@ TEST(EstateServiceTest, FailingSeriesBacksOffThenQuarantines) {
   ASSERT_TRUE(service.DrainRefits().ok());
   EXPECT_EQ(service.telemetry().refits_failed, 2u);
   ASSERT_TRUE(service.ReleaseQuarantine(bad_key).ok());
-  EXPECT_FALSE(service.scheduler().IsQuarantined(bad_key));
+  EXPECT_FALSE(service.IsQuarantined(bad_key));
   ASSERT_TRUE(service.Tick().ok());
   ASSERT_TRUE(service.DrainRefits().ok());
   EXPECT_EQ(service.telemetry().refits_failed, 3u);
@@ -256,13 +256,13 @@ TEST(EstateServiceTest, RecoversFromJournalAfterCrash) {
   ASSERT_TRUE(model.ok());
   EXPECT_EQ(model->fitted_at_epoch, fitted_at);
   EXPECT_EQ(model->spec, spec);
-  auto entry = recovered.scheduler().Get(key);
+  auto entry = recovered.ScheduleFor(key);
   ASSERT_TRUE(entry.ok());
   EXPECT_EQ(entry->due_epoch,
             fitted_at + config.staleness.max_age_seconds);
   ASSERT_EQ(recovered.ActiveAlerts().size(), 1u);
   // The metric history was rebuilt up to the recovered cursor.
-  EXPECT_EQ(recovered.metrics().FindHourly(key)->size(), 1010u);
+  EXPECT_EQ(recovered.FindHourly(key)->size(), 1010u);
   // The cached forecast survived: the next tick serves alerts from it
   // without dispatching a refit.
   ASSERT_TRUE(recovered.Tick().ok());
@@ -298,7 +298,7 @@ TEST(EstateServiceTest, RecoversFromSnapshotPlusJournalSuffix) {
   EXPECT_EQ(recovered.tick_count(), 3u);
   EXPECT_TRUE(recovered.registry().Contains(recovered.keys()[0]));
   ASSERT_EQ(recovered.ActiveAlerts().size(), 1u);
-  EXPECT_EQ(recovered.metrics().FindHourly(recovered.keys()[0])->size(),
+  EXPECT_EQ(recovered.FindHourly(recovered.keys()[0])->size(),
             1011u);
   std::filesystem::remove_all(config.state_dir);
 }

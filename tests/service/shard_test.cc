@@ -1,0 +1,326 @@
+#include "service/shard.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/estate_service.h"
+#include "service/telemetry.h"
+#include "workload/scenario.h"
+
+// The sharded estate: consistent key routing, per-shard tick/refit
+// scheduling, batched refit queues, and the coordinator invariants that keep
+// a sharded service indistinguishable from the unsharded one at the API.
+
+namespace capplan::service {
+namespace {
+
+constexpr std::int64_t kHour = 3600;
+
+// ---------------------------------------------------------------------------
+// Routing: ShardHash / ShardOf are pure functions of (key, n_shards).
+
+TEST(ShardRoutingTest, FnvGoldensArePinned) {
+  // FNV-1a 64 reference vectors. These are load-bearing: per-shard segment
+  // directories and schedule routing assume the mapping never changes
+  // across builds, platforms or restarts.
+  EXPECT_EQ(ShardHash(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(ShardHash("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(ShardRoutingTest, ShardOfIsDeterministicAndInRange) {
+  const std::vector<std::string> keys = {"cdbm011/cpu", "cdbm012/cpu",
+                                         "cdbm011/memory", "x", ""};
+  for (const auto& key : keys) {
+    // 0 and 1 shards both mean "the only shard".
+    EXPECT_EQ(ShardOf(key, 0), 0u);
+    EXPECT_EQ(ShardOf(key, 1), 0u);
+    for (std::size_t n : {2u, 4u, 7u, 16u}) {
+      const std::size_t shard = ShardOf(key, n);
+      EXPECT_LT(shard, n);
+      EXPECT_EQ(shard, ShardOf(key, n)) << "routing must be stable";
+    }
+  }
+}
+
+TEST(ShardRoutingTest, ManyKeysSpreadAcrossAllShards) {
+  const std::size_t n_shards = 4;
+  std::vector<std::size_t> counts(n_shards, 0);
+  for (int i = 0; i < 256; ++i) {
+    std::ostringstream key;
+    key << "cdbm" << i << "/cpu";
+    ++counts[ShardOf(key.str(), n_shards)];
+  }
+  for (std::size_t shard = 0; shard < n_shards; ++shard) {
+    EXPECT_GT(counts[shard], 0u) << "shard " << shard << " got no keys";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded service behaviour.
+
+workload::WorkloadScenario TestScenario(int n_instances) {
+  auto scenario = workload::WorkloadScenario::Olap();
+  scenario.n_instances = n_instances;
+  return scenario;
+}
+
+std::vector<WatchConfig> CpuWatches(int n_instances, double threshold) {
+  std::vector<WatchConfig> watches;
+  for (int i = 0; i < n_instances; ++i) {
+    watches.emplace_back(i, workload::Metric::kCpu, threshold);
+  }
+  return watches;
+}
+
+// Fast config: HES branch only, hourly ticks.
+EstateServiceConfig FastConfig(std::size_t n_shards) {
+  EstateServiceConfig config;
+  config.pipeline.technique = core::Technique::kHes;
+  config.fit_threads = 2;
+  config.warmup_days = 42;
+  config.n_shards = n_shards;
+  return config;
+}
+
+TEST(ShardedEstateServiceTest, ShardsPartitionTheWatchSet) {
+  const auto scenario = TestScenario(8);
+  workload::ClusterSimulator cluster(scenario, 7);
+  EstateService service(&cluster, CpuWatches(8, 95.0), FastConfig(4));
+  ASSERT_EQ(service.n_shards(), 4u);
+  ASSERT_TRUE(service.Start().ok());
+
+  // Every key lands on exactly one shard, the shard the router names.
+  std::set<std::string> seen;
+  for (std::size_t shard = 0; shard < service.n_shards(); ++shard) {
+    for (const auto& key : service.ShardKeys(shard)) {
+      EXPECT_EQ(service.ShardOfKey(key), shard);
+      EXPECT_TRUE(seen.insert(key).second) << key << " owned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), service.keys().size());
+  EXPECT_EQ(service.series_count(), service.keys().size());
+  EXPECT_EQ(service.schedule_size(), service.keys().size());
+
+  // Per-key storage and schedule routing agree with the partition.
+  for (const auto& key : service.keys()) {
+    EXPECT_NE(service.FindHourly(key), nullptr) << key;
+    EXPECT_TRUE(service.ScheduleFor(key).ok()) << key;
+  }
+}
+
+TEST(ShardedEstateServiceTest, UnshardedConfigKeepsSingleShard) {
+  const auto scenario = TestScenario(2);
+  workload::ClusterSimulator cluster(scenario, 7);
+  EstateService service(&cluster, CpuWatches(2, 95.0), FastConfig(0));
+  EXPECT_EQ(service.n_shards(), 1u);
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_EQ(service.ShardKeys(0).size(), service.keys().size());
+}
+
+// The sharded estate must produce bit-for-bit the forecasts of the
+// unsharded one: sharding changes who runs the work, never the work.
+TEST(ShardedEstateServiceTest, ShardedMatchesUnshardedForecasts) {
+  const auto scenario = TestScenario(6);
+  workload::ClusterSimulator cluster(scenario, 7);
+  const auto watches = CpuWatches(6, 95.0);
+
+  EstateService solo(&cluster, watches, FastConfig(1));
+  EstateService sharded(&cluster, watches, FastConfig(4));
+  for (EstateService* svc : {&solo, &sharded}) {
+    ASSERT_TRUE(svc->Start().ok());
+    ASSERT_TRUE(svc->RunTicks(2).ok());
+    ASSERT_TRUE(svc->DrainRefits().ok());
+  }
+
+  auto want = solo.View();
+  auto got = sharded.View();
+  ASSERT_EQ(want->instances.size(), got->instances.size());
+  for (const auto& key : solo.keys()) {
+    const auto* a = want->Find(key);
+    const auto* b = got->Find(key);
+    ASSERT_NE(a, nullptr) << key;
+    ASSERT_NE(b, nullptr) << key;
+    ASSERT_TRUE(a->has_forecast) << key;
+    ASSERT_TRUE(b->has_forecast) << key;
+    EXPECT_EQ(a->spec, b->spec) << key;
+    ASSERT_EQ(a->forecast.mean.size(), b->forecast.mean.size());
+    for (std::size_t h = 0; h < a->forecast.mean.size(); ++h) {
+      EXPECT_EQ(a->forecast.mean[h], b->forecast.mean[h]) << key << " h=" << h;
+      EXPECT_EQ(a->forecast.lower[h], b->forecast.lower[h]);
+      EXPECT_EQ(a->forecast.upper[h], b->forecast.upper[h]);
+    }
+  }
+}
+
+// Batch size must not change results either: a batch of 8 and eight solo
+// jobs run the identical pipeline per series.
+TEST(ShardedEstateServiceTest, BatchedRefitMatchesSoloRefit) {
+  const auto scenario = TestScenario(6);
+  workload::ClusterSimulator cluster(scenario, 7);
+  const auto watches = CpuWatches(6, 95.0);
+
+  auto solo_config = FastConfig(2);
+  solo_config.refit_batch_size = 1;
+  auto batched_config = FastConfig(2);
+  batched_config.refit_batch_size = 8;
+
+  EstateService solo(&cluster, watches, solo_config);
+  EstateService batched(&cluster, watches, batched_config);
+  for (EstateService* svc : {&solo, &batched}) {
+    ASSERT_TRUE(svc->Start().ok());
+    ASSERT_TRUE(svc->Tick().ok());
+    ASSERT_TRUE(svc->DrainRefits().ok());
+  }
+
+  // Solo dispatch needed one job per series; batching folded each shard's
+  // due set into far fewer pool jobs.
+  const auto& solo_t = solo.telemetry();
+  const auto& batched_t = batched.telemetry();
+  std::uint64_t solo_batches = 0, batched_batches = 0;
+  for (const auto& st : solo_t.shards) solo_batches += st.refit_batches;
+  for (const auto& st : batched_t.shards) batched_batches += st.refit_batches;
+  EXPECT_EQ(solo_batches, 6u);
+  EXPECT_LT(batched_batches, solo_batches);
+
+  auto want = solo.View();
+  auto got = batched.View();
+  for (const auto& key : solo.keys()) {
+    const auto* a = want->Find(key);
+    const auto* b = got->Find(key);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(a->has_forecast);
+    ASSERT_TRUE(b->has_forecast);
+    ASSERT_EQ(a->forecast.mean.size(), b->forecast.mean.size());
+    for (std::size_t h = 0; h < a->forecast.mean.size(); ++h) {
+      EXPECT_EQ(a->forecast.mean[h], b->forecast.mean[h]) << key << " h=" << h;
+    }
+  }
+}
+
+TEST(ShardedEstateServiceTest, PerShardMetricsAndJsonExported) {
+  const auto scenario = TestScenario(8);
+  workload::ClusterSimulator cluster(scenario, 7);
+  EstateService service(&cluster, CpuWatches(8, 95.0), FastConfig(4));
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+
+  const std::string path = ::testing::TempDir() + "/shard_metrics.prom";
+  ASSERT_TRUE(service.WritePrometheus(path).ok());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open());
+  std::stringstream text;
+  text << f.rdbuf();
+  const std::string prom = text.str();
+  EXPECT_NE(prom.find("capplan_shard_ticks_total"), std::string::npos);
+  EXPECT_NE(prom.find("capplan_shard_refit_batches_total"), std::string::npos);
+  EXPECT_NE(prom.find("capplan_shard_queue_enqueued_total"),
+            std::string::npos);
+  // Every shard label is present, including the last.
+  for (int shard = 0; shard < 4; ++shard) {
+    std::ostringstream label;
+    label << "shard=\"" << shard << "\"";
+    EXPECT_NE(prom.find(label.str()), std::string::npos) << label.str();
+  }
+  std::filesystem::remove(path);
+
+  // The JSON telemetry grew a per-shard array after the frozen prefix.
+  const std::string json = TelemetryToJson(service.telemetry());
+  EXPECT_NE(json.find("\"shards\""), std::string::npos);
+  EXPECT_NE(json.find("\"refit_batch\""), std::string::npos);
+
+  // Shard counters reconcile with the estate totals.
+  std::uint64_t shard_samples = 0, shard_dispatched = 0;
+  for (const auto& st : service.telemetry().shards) {
+    shard_samples += st.samples_ingested;
+    shard_dispatched += st.refits_dispatched;
+    EXPECT_EQ(st.queue_enqueued.value(), st.queue_drained.value());
+  }
+  EXPECT_EQ(shard_samples, service.telemetry().samples_ingested.value());
+  EXPECT_EQ(shard_dispatched, service.telemetry().refits_dispatched.value());
+}
+
+// max_batches_per_shard_tick is the overload valve: overflow stays queued
+// (still in flight in the scheduler, so never re-taken) and drains on the
+// following ticks.
+TEST(ShardedEstateServiceTest, MaxBatchesPerTickShedsOverload) {
+  const auto scenario = TestScenario(3);
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig(1);
+  config.refit_batch_size = 1;
+  config.max_batches_per_shard_tick = 1;
+  EstateService service(&cluster, CpuWatches(3, 95.0), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  // All 3 initial fits come due on the first tick; only one batch may go.
+  auto report = service.Tick();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->refit_batches, 1u);
+  EXPECT_EQ(report->refits_dispatched, 1u);
+  EXPECT_EQ(service.RefitQueueDepth(), 2u);
+  const auto& st = service.telemetry().shards[0];
+  EXPECT_EQ(st.queue_enqueued.value(), 3u);
+  EXPECT_EQ(st.queue_drained.value(), 1u);
+
+  // Two more ticks drain the backlog one batch at a time.
+  ASSERT_TRUE(service.Tick().ok());
+  EXPECT_EQ(service.RefitQueueDepth(), 1u);
+  ASSERT_TRUE(service.Tick().ok());
+  EXPECT_EQ(service.RefitQueueDepth(), 0u);
+  ASSERT_TRUE(service.DrainRefits().ok());
+  EXPECT_EQ(st.queue_enqueued.value(), st.queue_drained.value());
+  EXPECT_EQ(service.telemetry().refits_succeeded.value(), 3u);
+  for (const auto& key : service.keys()) {
+    EXPECT_NE(service.View()->Find(key), nullptr);
+  }
+}
+
+// A moderate end-to-end smoke across 8 shards: the name keys into the
+// sanitizer jobs' -R filters ("EstateSmoke").
+TEST(ShardedEstateServiceTest, EstateSmokeEightShards) {
+  const auto scenario = TestScenario(48);
+  workload::ClusterSimulator cluster(scenario, 7);
+  std::vector<WatchConfig> watches;
+  for (int i = 0; i < 48; ++i) {
+    watches.emplace_back(i, workload::Metric::kCpu, 120.0);
+    watches.emplace_back(i, workload::Metric::kMemory, 1e12);
+  }
+  auto config = FastConfig(8);
+  config.refit_batch_size = 8;
+  EstateService service(&cluster, std::move(watches), config);
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_EQ(service.series_count(), 96u);
+
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  EXPECT_EQ(service.telemetry().refits_succeeded.value(), 96u);
+  EXPECT_EQ(service.RefitQueueDepth(), 0u);
+
+  // Batching really amortized: 96 series fit in far fewer pool jobs.
+  std::uint64_t batches = 0, series = 0, ticks = 0;
+  for (const auto& st : service.telemetry().shards) {
+    batches += st.refit_batches;
+    series += st.batch_series;
+    ticks += st.ticks;
+  }
+  EXPECT_EQ(series, 96u);
+  EXPECT_LE(batches, 8u * 2u);  // ceil(12/8) = 2 batches per shard
+  EXPECT_EQ(ticks, 8u);         // one shard tick job each
+
+  auto view = service.View();
+  ASSERT_EQ(view->instances.size(), 96u);
+  for (const auto& row : view->instances) {
+    EXPECT_TRUE(row.has_forecast) << row.key;
+  }
+}
+
+}  // namespace
+}  // namespace capplan::service

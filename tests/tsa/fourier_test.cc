@@ -72,5 +72,48 @@ TEST(FourierTest, MultiplePeriodsConcatenated) {
   EXPECT_NEAR((*cols)[2][168], (*cols)[2][0], 1e-9);
 }
 
+TEST(FourierTermCacheTest, MissThenHitReturnsIdenticalColumns) {
+  FourierTermCache cache;
+  const std::vector<FourierSpec> specs = {{24.0, 2}, {168.0, 3}};
+  auto first = cache.Get(specs, 0, 1008);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  auto second = cache.Get(specs, 0, 1008);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  // A hit hands back the very same immutable columns.
+  EXPECT_EQ(first->get(), second->get());
+
+  auto direct = FourierTerms(specs, 0, 1008);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ((*first)->size(), direct->size());
+  for (std::size_t c = 0; c < direct->size(); ++c) {
+    ASSERT_EQ((**first)[c].size(), (*direct)[c].size());
+    for (std::size_t i = 0; i < (*direct)[c].size(); ++i) {
+      EXPECT_EQ((**first)[c][i], (*direct)[c][i]) << c << "," << i;
+    }
+  }
+}
+
+TEST(FourierTermCacheTest, DistinctWindowsAreDistinctEntries) {
+  FourierTermCache cache;
+  const std::vector<FourierSpec> specs = {{24.0, 2}};
+  ASSERT_TRUE(cache.Get(specs, 0, 100).ok());
+  ASSERT_TRUE(cache.Get(specs, 0, 101).ok());   // different length
+  ASSERT_TRUE(cache.Get(specs, 50, 100).ok());  // different offset
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(FourierTermCacheTest, FailuresAreNotCached) {
+  FourierTermCache cache;
+  EXPECT_FALSE(cache.Get({{1.0, 1}}, 0, 10).ok());  // period <= 1
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
 }  // namespace
 }  // namespace capplan::tsa
