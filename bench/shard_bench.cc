@@ -3,9 +3,10 @@
 // the 100k-series budget in docs/scaling.md. Three gates:
 //
 //   1. Scale smoke: 100k series ingested one week deep through 8 shard-local
-//      tiered stores (keys routed by the service's consistent hash), gated
-//      on sustained samples/s and on process peak RSS against the scaling
-//      guide's memory budget.
+//      tiered stores (keys routed by the service's consistent hash), with
+//      the live-accuracy guardrail scoring every sample as the estate would
+//      (docs/robustness.md), gated on sustained samples/s and on process
+//      peak RSS against the scaling guide's memory budget.
 //   2. Refit throughput: a 4-shard estate with batched refit queues must
 //      sustain an aggregate refits/s floor through a full
 //      tick -> drain cycle (64 series, HES branch).
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "common/json_writer.h"
+#include "quality/guardrail.h"
 #include "service/estate_service.h"
 #include "service/shard.h"
 #include "store/tiered_store.h"
@@ -71,10 +73,12 @@ double Seconds(std::chrono::steady_clock::time_point t0) {
 
 // Gate 1. Synthetic but shaped values (cheap to generate at 100k-series
 // scale); what is under test is the shard routing plus the store layer's
-// per-series overhead, not the simulator.
+// per-series overhead — now including one guardrail Score call per sample,
+// exactly what the estate's tick path spends with live scoring enabled.
 struct ScaleResult {
   double samples_per_sec = 0.0;
   std::size_t total_samples = 0;
+  std::size_t samples_scored = 0;
   long peak_rss_kb = 0;
 };
 
@@ -85,6 +89,8 @@ ScaleResult RunScaleSmoke() {
   for (std::size_t i = 0; i < kScaleShards; ++i) {
     shards.emplace_back(store::TieredStoreOptions{});
   }
+  // One live-accuracy tracker per series, as the estate keeps per watch.
+  std::vector<quality::LiveAccuracyTracker> trackers(kScaleSeries);
   const auto t0 = std::chrono::steady_clock::now();
   std::string key;
   for (std::size_t s = 0; s < kScaleSeries; ++s) {
@@ -93,8 +99,14 @@ ScaleResult RunScaleSmoke() {
     store::SeriesStore& series =
         shard.GetOrCreate(key, kStartEpoch, tsa::Frequency::kHourly);
     const double base = 20.0 + static_cast<double>(s % 60);
+    quality::LiveAccuracyTracker& tracker = trackers[s];
     for (std::size_t h = 0; h < kScaleSamplesPerSeries; ++h) {
-      series.Append(base + static_cast<double>((h * 7 + s) % 24));
+      const double value = base + static_cast<double>((h * 7 + s) % 24);
+      series.Append(value);
+      // Score against a flat "forecast" a few percent off the series base:
+      // the tracker walks its window and detector just as in production.
+      tracker.Score(value, base + 11.5);
+      ++result.samples_scored;
     }
   }
   const double secs = Seconds(t0);
@@ -202,6 +214,8 @@ int main() {
   w.String("bench", "shard");
   w.Integer("scale_series", static_cast<long long>(kScaleSeries));
   w.Integer("scale_samples", static_cast<long long>(scale.total_samples));
+  w.Integer("scale_samples_scored",
+            static_cast<long long>(scale.samples_scored));
   w.Number("scale_samples_per_sec", scale.samples_per_sec);
   w.Number("min_scale_samples_per_sec", kMinScaleSamplesPerSec);
   w.Bool("scale_ingest_pass", scale_ingest_pass);
@@ -223,7 +237,8 @@ int main() {
 
   std::printf("%s\n", json.c_str());
   std::printf(
-      "\nshard: %zu series ingested at %.2fM samples/s (gate %.1fM) %s; "
+      "\nshard: %zu series ingested+scored at %.2fM samples/s (gate %.1fM) "
+      "%s; "
       "peak RSS %.0f MB (gate %.0f MB) %s\n"
       "refit: %zu refits in %zu batches at %.1f/s (gate %.0f/s) %s\n"
       "fourier: %llu hits / %llu misses (gate: reuse > 0) %s\n",

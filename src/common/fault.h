@@ -39,6 +39,12 @@ namespace capplan {
 //                       drives the degradation ladder to the HES rung
 //   pipeline.hes        the HES selection rung fails (ladder -> SES)
 //   pipeline.ses        the SES rung fails (ladder -> seasonal-naive)
+//   pipeline.poison_fit a refit "succeeds" with ruined held-out accuracy
+//                       (exercises the champion/challenger promotion gate)
+//   pipeline.poison_forecast
+//                       a refit succeeds with clean reported accuracy but a
+//                       ruined forecast (exercises the live-accuracy
+//                       guardrail and automatic rollback)
 //   serve.accept        the HTTP server drops a freshly accepted connection
 //   serve.read          an HTTP socket read fails (client torn mid-request)
 //   serve.write         an HTTP socket write fails mid-response

@@ -1,0 +1,61 @@
+#include "quality/guardrail.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capplan::quality {
+
+LiveAccuracyTracker::LiveAccuracyTracker(Options options)
+    : options_(options), detector_(options.drift) {
+  if (options_.window == 0) options_.window = 1;
+  if (!(options_.min_denominator > 0.0)) options_.min_denominator = 1e-6;
+  ring_.assign(options_.window, 0.0);
+}
+
+LiveAccuracyTracker::ScoreResult LiveAccuracyTracker::Score(double actual,
+                                                            double predicted) {
+  ScoreResult result;
+  if (!std::isfinite(actual) || !std::isfinite(predicted)) {
+    ++samples_skipped_;
+    return result;
+  }
+  const double denom = std::max(std::abs(actual), options_.min_denominator);
+  result.abs_pct_error = std::abs(actual - predicted) / denom;
+  ++samples_scored_;
+
+  // Rolling window: evict the slot being overwritten, add the new APE.
+  if (window_count_ == options_.window) {
+    window_sum_ -= ring_[ring_next_];
+  } else {
+    ++window_count_;
+  }
+  ring_[ring_next_] = result.abs_pct_error;
+  window_sum_ += result.abs_pct_error;
+  ring_next_ = (ring_next_ + 1) % options_.window;
+  // Periodically rebuild the sum from the ring so float drift from the
+  // subtract-on-evict update cannot accumulate without bound.
+  if ((samples_scored_ & 0x3FF) == 0) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < window_count_; ++i) sum += ring_[i];
+    window_sum_ = sum;
+  }
+
+  result.drift_alarm = detector_.Update(result.abs_pct_error);
+  if (result.drift_alarm) ++alarms_;
+  return result;
+}
+
+void LiveAccuracyTracker::ResetBaseline() {
+  detector_.Reset();
+  ring_.assign(options_.window, 0.0);
+  ring_next_ = 0;
+  window_count_ = 0;
+  window_sum_ = 0.0;
+}
+
+double LiveAccuracyTracker::live_mape() const {
+  if (window_count_ == 0) return -1.0;
+  return window_sum_ / static_cast<double>(window_count_);
+}
+
+}  // namespace capplan::quality

@@ -1,0 +1,91 @@
+#ifndef CAPPLAN_QUALITY_GUARDRAIL_H_
+#define CAPPLAN_QUALITY_GUARDRAIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/drift.h"
+
+namespace capplan::quality {
+
+// Live forecast-accuracy guardrail. The paper retires a stored model only
+// "when its RMSE drops to a point where it is rendered useless" (§5.1, §9);
+// this tracker closes that loop continuously instead of waiting for the
+// weekly staleness window: every arriving hourly actual is scored against
+// the active cached forecast, the absolute percentage errors feed a rolling
+// live-MAPE window plus a Page-Hinkley change detector
+// (core::PageHinkleyDetector), and a sustained error shift surfaces as a
+// drift alarm that the estate service turns into an early refit.
+//
+// One tracker per watched series, owned by the series' shard and mutated
+// only by that shard's tick job or the driver thread — the same
+// single-writer rule as the rest of the shard state, so scoring adds no
+// locks to the ingest hot path.
+class LiveAccuracyTracker {
+ public:
+  struct Options {
+    // Rolling window (scored points) behind live_mape().
+    std::size_t window = 24;
+    // Denominator floor for the percentage error: |actual| below this is
+    // clamped so near-zero actuals cannot blow the MAPE up to infinity.
+    double min_denominator = 1e-6;
+    // Change detection over the APE stream. The defaults only alarm on a
+    // sustained shift after a day of evidence — a single bad hour must not
+    // thunder the refit queues.
+    core::PageHinkleyDetector::Options drift;
+  };
+
+  // What scoring one actual produced.
+  struct ScoreResult {
+    double abs_pct_error = 0.0;  // |actual - predicted| / max(|actual|, eps)
+    bool drift_alarm = false;    // Page-Hinkley signalled a sustained shift
+  };
+
+  LiveAccuracyTracker() : LiveAccuracyTracker(Options()) {}
+  explicit LiveAccuracyTracker(Options options);
+
+  // Scores one (actual, predicted) pair. Non-finite inputs are ignored
+  // (counted, but they touch neither the window nor the detector — a masked
+  // outage must not look like model drift).
+  ScoreResult Score(double actual, double predicted);
+
+  // Clears the rolling window and the drift detector — called when the
+  // forecast under watch changes (promotion or rollback), so the new
+  // champion is judged only on its own errors. Lifetime counters
+  // (samples_scored, alarms) survive.
+  void ResetBaseline();
+
+  // Rolling mean absolute percentage error over the window, as a fraction
+  // (0.12 = 12%). Negative while the window is empty.
+  double live_mape() const;
+  // Scored points currently in the window.
+  std::size_t window_size() const { return window_count_; }
+
+  // Lifetime stats (survive ResetBaseline).
+  std::uint64_t samples_scored() const { return samples_scored_; }
+  std::uint64_t samples_skipped() const { return samples_skipped_; }
+  std::uint64_t alarms() const { return alarms_; }
+
+  // The wired drift detector, for telemetry (samples_seen, statistic).
+  const core::PageHinkleyDetector& detector() const { return detector_; }
+
+ private:
+  Options options_;
+  core::PageHinkleyDetector detector_;
+
+  // Fixed ring over the last `window` APEs with a running sum, so live_mape
+  // is O(1) per sample on the ingest path.
+  std::vector<double> ring_;
+  std::size_t ring_next_ = 0;
+  std::size_t window_count_ = 0;
+  double window_sum_ = 0.0;
+
+  std::uint64_t samples_scored_ = 0;
+  std::uint64_t samples_skipped_ = 0;
+  std::uint64_t alarms_ = 0;
+};
+
+}  // namespace capplan::quality
+
+#endif  // CAPPLAN_QUALITY_GUARDRAIL_H_

@@ -1,6 +1,7 @@
 #include "repo/model_store.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "common/fault.h"
 #include "repo/csv.h"
@@ -9,6 +10,50 @@ namespace capplan::repo {
 
 void ModelRepository::Put(const StoredModel& model) {
   models_[model.key] = model;
+}
+
+void ModelRepository::Promote(StoredModel model) {
+  auto it = models_.find(model.key);
+  if (model.generation <= 0) {
+    model.generation = it == models_.end() ? 1 : it->second.generation + 1;
+  }
+  if (it != models_.end()) {
+    previous_[model.key] = it->second;
+  }
+  models_[model.key] = std::move(model);
+}
+
+Result<StoredModel> ModelRepository::Rollback(const std::string& key) {
+  auto prev = previous_.find(key);
+  if (prev == previous_.end()) {
+    return Status::NotFound("ModelRepository: no rollback lineage for " + key);
+  }
+  StoredModel restored = std::move(prev->second);
+  previous_.erase(prev);
+  models_[key] = restored;
+  return restored;
+}
+
+void ModelRepository::Reinstate(const StoredModel& model) {
+  models_[model.key] = model;
+  previous_.erase(model.key);
+}
+
+bool ModelRepository::HasPrevious(const std::string& key) const {
+  return previous_.count(key) > 0;
+}
+
+Result<StoredModel> ModelRepository::GetPrevious(const std::string& key) const {
+  auto it = previous_.find(key);
+  if (it == previous_.end()) {
+    return Status::NotFound("ModelRepository: no rollback lineage for " + key);
+  }
+  return it->second;
+}
+
+void ModelRepository::UpdateLiveMape(const std::string& key, double live_mape) {
+  auto it = models_.find(key);
+  if (it != models_.end()) it->second.live_mape = live_mape;
 }
 
 Result<StoredModel> ModelRepository::Get(const std::string& key) const {
@@ -74,24 +119,30 @@ Status ModelRepository::Save(const std::string& path) const {
   CAPPLAN_RETURN_NOT_OK(FaultHit("model_store.save"));
   CsvTable table;
   table.header = {"key",       "technique", "spec",    "test_rmse",
-                  "test_mape", "fitted_at_epoch",      "ar_coef", "ma_coef"};
+                  "test_mape", "fitted_at_epoch",      "ar_coef", "ma_coef",
+                  "generation", "promoted_at_epoch",   "live_mape"};
   for (const auto& [_, m] : models_) {
-    char rmse[40], mape[40];
+    char rmse[40], mape[40], live[40];
     std::snprintf(rmse, sizeof(rmse), "%.17g", m.test_rmse);
     std::snprintf(mape, sizeof(mape), "%.17g", m.test_mape);
+    std::snprintf(live, sizeof(live), "%.17g", m.live_mape);
     table.rows.push_back({m.key, m.technique, m.spec, rmse, mape,
                           std::to_string(m.fitted_at_epoch),
                           EncodeCoefficients(m.ar_coef),
-                          EncodeCoefficients(m.ma_coef)});
+                          EncodeCoefficients(m.ma_coef),
+                          std::to_string(m.generation),
+                          std::to_string(m.promoted_at_epoch), live});
   }
   return WriteCsv(path, table);
 }
 
 Status ModelRepository::Load(const std::string& path) {
   CAPPLAN_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path));
-  // 6 columns = the pre-coefficient layout; tolerated so existing registry
-  // files keep loading (their models simply carry no warm-start hint).
-  if (table.header.size() != 6 && table.header.size() != 8) {
+  // 6 columns = the pre-coefficient layout, 8 = pre-lineage; both tolerated
+  // so existing registry files keep loading (their models simply carry no
+  // warm-start hint / champion lineage).
+  if (table.header.size() != 6 && table.header.size() != 8 &&
+      table.header.size() != 11) {
     return Status::IoError("ModelRepository::Load: unexpected column count");
   }
   for (const auto& row : table.rows) {
@@ -110,9 +161,19 @@ Status ModelRepository::Load(const std::string& path) {
       return Status::IoError("ModelRepository::Load: bad number for key " +
                              m.key);
     }
-    if (row.size() == 8) {
+    if (row.size() >= 8) {
       CAPPLAN_ASSIGN_OR_RETURN(m.ar_coef, DecodeCoefficients(row[6]));
       CAPPLAN_ASSIGN_OR_RETURN(m.ma_coef, DecodeCoefficients(row[7]));
+    }
+    if (row.size() == 11) {
+      try {
+        m.generation = std::stoi(row[8]);
+        m.promoted_at_epoch = std::stoll(row[9]);
+        m.live_mape = std::stod(row[10]);
+      } catch (const std::exception&) {
+        return Status::IoError("ModelRepository::Load: bad lineage for key " +
+                               m.key);
+      }
     }
     models_[m.key] = m;
   }

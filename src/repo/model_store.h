@@ -27,6 +27,15 @@ struct StoredModel {
   // hint), so they persist alongside the accuracy metadata.
   std::vector<double> ar_coef;
   std::vector<double> ma_coef;
+  // Champion/challenger lineage. `generation` counts promotions for the key
+  // (1 = first champion; 0 = pre-lineage row, e.g. a legacy CSV load);
+  // `promoted_at_epoch` is when this model became champion; `live_mape` is
+  // the champion's last observed rolling live MAPE in percent (negative =
+  // never scored) — carried on the demoted model so a rollback knows the
+  // accuracy bar the restored champion used to clear.
+  int generation = 0;
+  std::int64_t promoted_at_epoch = 0;
+  double live_mape = -1.0;
 };
 
 // ';'-joined full-precision encoding of a coefficient vector, used for the
@@ -46,8 +55,36 @@ class ModelRepository {
  public:
   explicit ModelRepository(StalenessPolicy policy = {}) : policy_(policy) {}
 
-  // Inserts or replaces the model for its key.
+  // Inserts or replaces the model for its key. Lineage-neutral: the
+  // rollback slot is untouched and no generation number is assigned — used
+  // for raw loads and journal replay of pre-lineage events. New champions
+  // go through Promote().
   void Put(const StoredModel& model);
+
+  // Installs `model` as the champion for its key, demoting the current
+  // champion (if any) into the key's single rollback slot. When
+  // model.generation <= 0 the next generation number is assigned
+  // (champion's + 1, or 1); a caller replaying a journalled promotion sets
+  // it explicitly and it is preserved.
+  void Promote(StoredModel model);
+
+  // Restores the rollback slot's model as champion, discarding the current
+  // one. The slot is cleared — the discarded model is exactly what went
+  // bad, so it must never be rolled back *to*; a second rollback needs a
+  // new promotion first. NotFound when the slot is empty.
+  Result<StoredModel> Rollback(const std::string& key);
+
+  // Reinstalls `model` as champion and clears the rollback slot — the
+  // replay-side twin of Rollback(), driven by the journalled kRollback
+  // payload instead of in-memory lineage.
+  void Reinstate(const StoredModel& model);
+
+  bool HasPrevious(const std::string& key) const;
+  Result<StoredModel> GetPrevious(const std::string& key) const;
+
+  // Records the champion's current rolling live MAPE (percent) so a later
+  // demotion carries it into the rollback slot. No-op for unknown keys.
+  void UpdateLiveMape(const std::string& key, double live_mape);
 
   Result<StoredModel> Get(const std::string& key) const;
   bool Contains(const std::string& key) const;
@@ -70,6 +107,12 @@ class ModelRepository {
  private:
   StalenessPolicy policy_;
   std::map<std::string, StoredModel> models_;
+  // One generation of rollback lineage per key: the champion each key had
+  // before its latest promotion. Deliberately not persisted in Save() —
+  // promotions replay from the journal, and docs/robustness.md documents
+  // that a freshly recovered estate has no rollback target until its next
+  // promotion.
+  std::map<std::string, StoredModel> previous_;
 };
 
 }  // namespace capplan::repo

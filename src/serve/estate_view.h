@@ -2,6 +2,7 @@
 #define CAPPLAN_SERVE_ESTATE_VIEW_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -50,11 +51,30 @@ struct InstanceStatus {
   std::int64_t recent_start_epoch = 0;  // epoch of recent.front()
 };
 
+// Deep health of one estate shard (service/health.h state machine),
+// published alongside the instance rows so readiness probes and /v1/health
+// answer from the same frozen snapshot, without touching service state.
+struct ShardHealthStatus {
+  std::size_t shard = 0;
+  int state = 0;           // 0 healthy / 1 degraded / 2 critical
+  std::string state_name;  // "healthy" | "degraded" | "critical"
+  std::string reason;      // worst signal driving the state
+  std::size_t refit_queue_depth = 0;
+  std::size_t quarantined = 0;
+  std::uint64_t tick_overruns = 0;
+  std::uint64_t rollbacks = 0;
+};
+
 struct EstateView {
   std::uint64_t version = 0;   // strictly increasing per publish
   std::int64_t now_epoch = 0;  // service clock when the view was built
   std::uint64_t tick = 0;      // service tick counter at build time
   std::vector<InstanceStatus> instances;  // sorted by key
+
+  // One entry per shard, filled by the service after MergeShardRows; empty
+  // in hand-built views (readiness probes then treat the estate as healthy).
+  std::vector<ShardHealthStatus> shard_health;
+  int overall_health = 0;  // max over shard_health
 
   // Binary search by key; nullptr when absent.
   const InstanceStatus* Find(const std::string& key) const;

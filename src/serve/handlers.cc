@@ -104,6 +104,7 @@ EstateQueryHandler::EstateQueryHandler(
     m_breach_ = endpoint("breach");
     m_headroom_ = endpoint("headroom");
     m_estate_ = endpoint("estate");
+    m_health_ = endpoint("health");
     m_errors_ = reg.GetCounter("capplan_serve_handler_errors_total", {},
                                "Responses with status >= 400");
   }
@@ -127,6 +128,20 @@ HttpResponse EstateQueryHandler::Dispatch(
   }
   if (request.path == "/healthz") {
     if (view == nullptr) return ServiceUnavailable("no view published yet");
+    // Liveness ("is the daemon up and publishing?") answers 200 the moment
+    // a view exists. The readiness variant (?deep=1) additionally consults
+    // the per-shard health-state machines carried on the view: any critical
+    // shard fails the probe so load balancers stop routing to this replica,
+    // while degraded shards stay in rotation.
+    const auto deep = request.query.find("deep");
+    if (deep != request.query.end() && deep->second == "1") {
+      for (const ShardHealthStatus& sh : view->shard_health) {
+        if (sh.state >= 2) {
+          return ServiceUnavailable("shard " + std::to_string(sh.shard) +
+                                    " critical: " + sh.reason);
+        }
+      }
+    }
     return HttpResponse::Text(200, "ok\n");
   }
   if (request.path == "/metrics") return HandleMetrics();
@@ -150,6 +165,9 @@ HttpResponse EstateQueryHandler::Dispatch(
   if (request.path == "/v1/estate") {
     response = HandleEstate(*view);
     metrics = &m_estate_;
+  } else if (request.path == "/v1/health") {
+    response = HandleHealth(*view);
+    metrics = &m_health_;
   } else if (request.path == "/v1/forecast") {
     response = HandleForecast(request, *view);
     metrics = &m_forecast_;
@@ -231,6 +249,39 @@ HttpResponse EstateQueryHandler::HandleEstate(const EstateView& view) {
     w.Bool("alert_active", s.alert_active);
     w.Bool("alert_upper_only", s.alert_upper_only);
     w.Integer("predicted_breach_epoch", s.predicted_breach_epoch);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Json(200, w.Take());
+}
+
+HttpResponse EstateQueryHandler::HandleHealth(const EstateView& view) {
+  obs::TraceSpan span("serve.health", "serve");
+  // Deep introspection, not a probe: always 200 with the full picture (the
+  // 503-on-critical behavior belongs to /healthz?deep=1), so a dashboard
+  // can still read *why* an estate is unhealthy.
+  const char* kStateNames[] = {"healthy", "degraded", "critical"};
+  JsonWriter w(false);
+  w.BeginObject();
+  w.Integer("version", static_cast<long long>(view.version));
+  w.Integer("now_epoch", view.now_epoch);
+  const int overall =
+      view.overall_health >= 0 && view.overall_health <= 2
+          ? view.overall_health
+          : 2;
+  w.String("overall", kStateNames[overall]);
+  w.BeginArray("shards");
+  for (const ShardHealthStatus& sh : view.shard_health) {
+    w.BeginObject();
+    w.Integer("shard", static_cast<long long>(sh.shard));
+    w.String("state", sh.state_name);
+    w.String("reason", sh.reason);
+    w.Integer("refit_queue_depth",
+              static_cast<long long>(sh.refit_queue_depth));
+    w.Integer("quarantined", static_cast<long long>(sh.quarantined));
+    w.Integer("tick_overruns", static_cast<long long>(sh.tick_overruns));
+    w.Integer("rollbacks", static_cast<long long>(sh.rollbacks));
     w.EndObject();
   }
   w.EndArray();

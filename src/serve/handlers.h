@@ -15,7 +15,11 @@ namespace capplan::serve {
 // Endpoints (GET/HEAD only):
 //
 //   /healthz                         liveness; 503 until the first view
+//   /healthz?deep=1                  readiness; additionally 503 while any
+//                                    shard's health state is critical
 //   /metrics                         Prometheus text of the wired registry
+//   /v1/health                       deep health: per-shard state machine,
+//                                    queue depth, quarantines, rollbacks
 //   /v1/estate                       one summary row per watched instance
 //   /v1/forecast?instance=&metric=[&horizon=]
 //   /v1/breach?instance=&metric=[&threshold=]
@@ -54,6 +58,7 @@ class EstateQueryHandler {
   HttpResponse Dispatch(const HttpRequest& request,
                         const std::shared_ptr<const EstateView>& view);
   HttpResponse HandleEstate(const EstateView& view);
+  HttpResponse HandleHealth(const EstateView& view);
   HttpResponse HandleForecast(const HttpRequest& request,
                               const EstateView& view);
   HttpResponse HandleBreach(const HttpRequest& request,
@@ -84,6 +89,7 @@ class EstateQueryHandler {
   EndpointMetrics m_breach_;
   EndpointMetrics m_headroom_;
   EndpointMetrics m_estate_;
+  EndpointMetrics m_health_;
   obs::Counter m_errors_;
 };
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/fault.h"
 #include "core/batch_refit.h"
 #include "core/selector.h"
 #include "core/split.h"
@@ -102,6 +103,7 @@ EstateService::EstateService(const workload::ClusterSimulator* cluster,
     auto shard = std::make_unique<EstateShard>(config_.retry);
     shard->id = s;
     shard->telemetry = &telemetry_.shards[s];
+    shard->health = ShardHealth(config_.guardrail.health);
     // The unsharded service keeps unlabelled store gauges (the layout every
     // dashboard predates); sharded stores need the shard label so N gauges
     // do not clobber one another on Set.
@@ -266,6 +268,72 @@ void EstateService::CheckStalenessShard(EstateShard* shard) {
   }
 }
 
+void EstateService::ScoreShard(EstateShard* shard) {
+  if (!config_.guardrail.enabled) return;
+  obs::TraceSpan span("guardrail.score", "service");
+  for (std::size_t id : shard->watch_ids) {
+    const std::string& key = keys_[id];
+    const auto fc_it = forecasts_.find(key);
+    if (fc_it == forecasts_.end()) continue;
+    const CachedForecast& fc = fc_it->second;
+    if (fc.step_seconds <= 0 || fc.forecast.mean.empty()) continue;
+    const tsa::TimeSeries* hourly = shard->metrics.FindHourly(key);
+    if (hourly == nullptr || hourly->empty()) continue;
+    auto entry_it = shard->guardrail.find(key);
+    if (entry_it == shard->guardrail.end()) {
+      EstateShard::GuardrailEntry fresh;
+      fresh.tracker = quality::LiveAccuracyTracker(config_.guardrail.tracker);
+      // First sight of the key: the high-water mark starts at the previous
+      // tick's cursor, so only points this tick ingested are scored — a
+      // recovery re-poll of weeks of history must not flood the detector.
+      fresh.last_scored_epoch = cursor_;
+      entry_it = shard->guardrail.emplace(key, std::move(fresh)).first;
+    }
+    EstateShard::GuardrailEntry& entry = entry_it->second;
+    // Walk back from the tail to the first point newer than the high-water
+    // mark: a tick appends a handful of hours while the series holds weeks,
+    // so the scan touches only the fresh suffix.
+    const std::size_t n = hourly->size();
+    std::size_t begin = n;
+    while (begin > 0 &&
+           hourly->TimestampAt(begin - 1) > entry.last_scored_epoch) {
+      --begin;
+    }
+    bool alarmed = false;
+    for (std::size_t j = begin; j < n; ++j) {
+      const std::int64_t t = hourly->TimestampAt(j);
+      entry.last_scored_epoch = t;
+      if (t < fc.start_epoch) continue;
+      const std::int64_t idx = (t - fc.start_epoch) / fc.step_seconds;
+      if (idx < 0 ||
+          idx >= static_cast<std::int64_t>(fc.forecast.mean.size())) {
+        continue;
+      }
+      const double actual = (*hourly)[j];
+      if (std::isnan(actual)) continue;  // masked outage, not model error
+      const auto scored = entry.tracker.Score(
+          actual, fc.forecast.mean[static_cast<std::size_t>(idx)]);
+      ++shard->telemetry->guardrail_scored;
+      if (scored.drift_alarm) {
+        alarmed = true;
+        ++shard->telemetry->guardrail_drift_alarms;
+      }
+    }
+    if (alarmed && config_.guardrail.early_refit_on_drift) {
+      // Sustained error shift: pull the key's refit forward — but never
+      // through the retry ladder. A key that is backing off, quarantined or
+      // already in flight keeps its schedule (the detector auto-reset after
+      // the alarm provides a natural min_samples cooldown either way).
+      const auto sched = shard->scheduler.Get(key);
+      if (sched.ok() && !sched->quarantined && !sched->in_flight &&
+          sched->consecutive_failures == 0 && sched->due_epoch > now_) {
+        shard->scheduler.PullForward(key, now_);
+        ++shard->telemetry->guardrail_early_refits;
+      }
+    }
+  }
+}
+
 void EstateService::PrepareBatches(EstateShard* shard, ShardTickOutput* out) {
   // Newly due keys join the back of the shard's queue; they stay in_flight
   // in the scheduler until an outcome (or defer) lands, so a key is never
@@ -354,9 +422,19 @@ EstateService::ShardTickOutput EstateService::TickShard(EstateShard* shard) {
   shard->telemetry->ingest_stage.Record(ElapsedMs(t_ingest));
   if (!out.status.ok()) return out;
   CheckStalenessShard(shard);
+  ScoreShard(shard);
   PrepareBatches(shard, &out);
   ++shard->telemetry->ticks;
-  shard->telemetry->tick_stage.Record(ElapsedMs(t0));
+  const double tick_ms = ElapsedMs(t0);
+  shard->telemetry->tick_stage.Record(tick_ms);
+  if (config_.guardrail.tick_deadline_ms > 0 &&
+      tick_ms > config_.guardrail.tick_deadline_ms) {
+    // Watchdog: the shard fell behind its tick budget. Counted here (the
+    // tick job is this counter's single writer) and folded into the health
+    // state machine by the driver after the join.
+    ++shard->tick_overruns;
+    ++shard->telemetry->tick_overruns;
+  }
   return out;
 }
 
@@ -431,6 +509,19 @@ void EstateService::SubmitBatch(PreparedBatch batch, TickReport* report) {
               out.degradation == core::DegradationLevel::kFull) {
             out.degradation = core::DegradationLevel::kHesOnly;
           }
+          // Chaos sites: a refit that "succeeds" with a ruined model. The
+          // first ruins the held-out accuracy (what the promotion gate
+          // sees); the second ruins the forecast itself while keeping the
+          // reported accuracy clean — the live guardrail must catch it.
+          if (FaultFires("pipeline.poison_fit")) {
+            out.test_rmse = 1e6;
+            out.test_mape = 1e6;
+          }
+          if (FaultFires("pipeline.poison_forecast")) {
+            for (double& v : out.forecast.mean) v = v * 10.0 + 1e3;
+            for (double& v : out.forecast.lower) v = v * 10.0 + 1e3;
+            for (double& v : out.forecast.upper) v = v * 10.0 + 1e3;
+          }
           bo.outcomes.push_back(std::move(out));
         }
         const core::RefitBatchSession::Stats stats = session.stats();
@@ -480,6 +571,51 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
   quality_event.span_id = outcome.span_id;
   JournalAppend(quality_event);
   if (outcome.status.ok()) {
+    // The finished fit is a *challenger*. The current champion's live
+    // rolling MAPE (percent) is the accuracy bar; with enough scored
+    // evidence, a challenger whose held-out MAPE regresses past tolerance
+    // is rejected and the champion keeps serving.
+    EstateShard& shard = ShardForKey(key);
+    const std::int64_t next_due =
+        outcome.fitted_at_epoch + config_.staleness.max_age_seconds;
+    double champion_live_pct = -1.0;
+    std::size_t champion_scored = 0;
+    if (const auto g = shard.guardrail.find(key); g != shard.guardrail.end()) {
+      const double frac = g->second.tracker.live_mape();
+      if (frac >= 0.0) champion_live_pct = frac * 100.0;
+      champion_scored = g->second.tracker.window_size();
+    }
+    const bool has_champion = registry_.Contains(key);
+    if (config_.guardrail.enabled && has_champion &&
+        champion_live_pct >= 0.0 &&
+        champion_scored >= config_.guardrail.promotion_min_scored) {
+      const double reference = std::max(
+          champion_live_pct, config_.guardrail.reference_mape_floor_pct);
+      if (outcome.test_mape >
+          config_.guardrail.promotion_tolerance_ratio * reference) {
+        // Gate says no: the champion (model, forecast, tracker baseline)
+        // stays exactly as it is. The refit still *completed* — it counts
+        // as succeeded and reschedules normally — only the install is
+        // refused.
+        scheduler.OnSuccess(key, next_due);
+        ++telemetry_.refits_succeeded;
+        ++telemetry_.promotions_rejected;
+        if (report != nullptr) {
+          ++report->refits_completed;
+          ++report->promotions_rejected;
+        }
+        JournalEvent reject_event{now_,
+                                  EventKind::kPromotion,
+                                  key,
+                                  {"reject", outcome.technique, outcome.spec,
+                                   FmtDouble(outcome.test_mape),
+                                   FmtDouble(champion_live_pct),
+                                   std::to_string(next_due)}};
+        reject_event.span_id = outcome.span_id;
+        JournalAppend(reject_event);
+        return;
+      }
+    }
     repo::StoredModel model;
     model.key = key;
     model.technique = outcome.technique;
@@ -489,7 +625,28 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
     model.fitted_at_epoch = outcome.fitted_at_epoch;
     model.ar_coef = outcome.ar_coef;
     model.ma_coef = outcome.ma_coef;
-    registry_.Put(model);
+    model.promoted_at_epoch = now_;
+    if (has_champion) {
+      // Stamp the demoted champion with its final live accuracy (the bar a
+      // rollback compares against) and keep its forecast as the rollback
+      // target, paired with the registry's lineage slot.
+      if (champion_live_pct >= 0.0) {
+        registry_.UpdateLiveMape(key, champion_live_pct);
+      }
+      if (const auto fc = forecasts_.find(key); fc != forecasts_.end()) {
+        previous_forecasts_[key] = fc->second;
+      }
+    }
+    registry_.Promote(model);
+    int generation = 0;
+    if (const auto promoted = registry_.Get(key); promoted.ok()) {
+      generation = promoted->generation;
+    }
+    ++telemetry_.promotions;
+    if (const auto g = shard.guardrail.find(key); g != shard.guardrail.end()) {
+      // The new champion is judged only on its own errors.
+      g->second.tracker.ResetBaseline();
+    }
     CachedForecast cached;
     cached.forecast = outcome.forecast;
     cached.start_epoch = outcome.forecast_start_epoch;
@@ -497,8 +654,7 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
     cached.spec = outcome.technique + " " + outcome.spec;
     cached.degradation = outcome.degradation;
     forecasts_[key] = std::move(cached);
-    scheduler.OnSuccess(
-        key, outcome.fitted_at_epoch + config_.staleness.max_age_seconds);
+    scheduler.OnSuccess(key, next_due);
     ++telemetry_.refits_succeeded;
     if (outcome.degradation != core::DegradationLevel::kFull) {
       ++telemetry_.refits_degraded;
@@ -519,7 +675,8 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
          JoinDoubles(outcome.forecast.lower),
          JoinDoubles(outcome.forecast.upper),
          std::to_string(static_cast<int>(outcome.degradation)),
-         FmtDouble(outcome.quality.score)}};
+         FmtDouble(outcome.quality.score), std::to_string(generation),
+         std::to_string(now_)}};
     fit_event.span_id = outcome.span_id;
     JournalAppend(fit_event);
   } else {
@@ -636,6 +793,124 @@ void EstateService::EvaluateAlerts(TickReport* report) {
   telemetry_.alert_stage.Record(ElapsedMs(t1));
 }
 
+void EstateService::EvaluateGuardrails(TickReport* report) {
+  if (!config_.guardrail.enabled) return;
+  for (auto& shard_ptr : shards_) {
+    EstateShard& shard = *shard_ptr;
+    double worst_mape = 0.0;
+    double worst_stat = 0.0;
+    double most_samples = 0.0;
+    for (auto& [key, entry] : shard.guardrail) {
+      const double frac = entry.tracker.live_mape();
+      const core::PageHinkleyDetector& det = entry.tracker.detector();
+      if (frac > worst_mape) worst_mape = frac;
+      if (det.statistic() > worst_stat) worst_stat = det.statistic();
+      if (static_cast<double>(det.samples_seen()) > most_samples) {
+        most_samples = static_cast<double>(det.samples_seen());
+      }
+      // Live-regression rollback: only for keys with a full lineage pair
+      // (previous model in the registry slot AND its forecast), enough
+      // scored evidence, and a live MAPE past the regression ratio.
+      if (frac < 0.0 ||
+          entry.tracker.window_size() < config_.guardrail.rollback_min_scored) {
+        continue;
+      }
+      const double live_pct = frac * 100.0;
+      const auto pf = previous_forecasts_.find(key);
+      if (pf == previous_forecasts_.end()) continue;
+      const auto prev = registry_.GetPrevious(key);
+      if (!prev.ok()) continue;
+      const double reference = std::max(
+          prev->live_mape >= 0.0 ? prev->live_mape : prev->test_mape,
+          config_.guardrail.reference_mape_floor_pct);
+      if (live_pct <= config_.guardrail.rollback_regression_ratio * reference) {
+        continue;
+      }
+      obs::TraceSpan span("guardrail.rollback", "service");
+      const auto restored = registry_.Rollback(key);
+      if (!restored.ok()) continue;
+      const CachedForecast fc = pf->second;
+      previous_forecasts_.erase(pf);
+      forecasts_[key] = fc;  // byte-equal restore of the old champion's view
+      entry.tracker.ResetBaseline();
+      ++telemetry_.rollbacks;
+      ++shard.rollbacks;
+      if (report != nullptr) ++report->rollbacks;
+      // The restored champion is old by definition — refit it soon, but
+      // through the same backoff-respecting gate as a drift alarm.
+      if (const auto sched = shard.scheduler.Get(key);
+          sched.ok() && !sched->quarantined && !sched->in_flight &&
+          sched->consecutive_failures == 0 && sched->due_epoch > now_) {
+        shard.scheduler.PullForward(key, now_);
+      }
+      std::int64_t next_due = -1;
+      if (const auto sched = shard.scheduler.Get(key); sched.ok()) {
+        next_due = sched->due_epoch;
+      }
+      JournalAppend(
+          {now_,
+           EventKind::kRollback,
+           key,
+           {restored->technique, restored->spec,
+            FmtDouble(restored->test_rmse), FmtDouble(restored->test_mape),
+            std::to_string(restored->fitted_at_epoch),
+            std::to_string(restored->generation),
+            std::to_string(restored->promoted_at_epoch),
+            FmtDouble(restored->live_mape), JoinDoubles(restored->ar_coef),
+            JoinDoubles(restored->ma_coef), std::to_string(fc.start_epoch),
+            std::to_string(fc.step_seconds), FmtDouble(fc.forecast.level),
+            JoinDoubles(fc.forecast.mean), JoinDoubles(fc.forecast.lower),
+            JoinDoubles(fc.forecast.upper),
+            std::to_string(static_cast<int>(fc.degradation)),
+            std::to_string(next_due)}});
+    }
+    shard.telemetry->guardrail_live_mape.Set(std::max(0.0, worst_mape));
+    shard.telemetry->guardrail_ph_statistic.Set(worst_stat);
+    shard.telemetry->guardrail_ph_samples.Set(most_samples);
+  }
+}
+
+void EstateService::EvaluateHealth() {
+  // Journal/snapshot write failures are estate-wide (one journal, one
+  // snapshot path, all appended by the driver), so every shard's machine
+  // sees the same cumulative I/O count — a dying disk is everyone's
+  // problem, and any shard already critical for its own reasons stays so.
+  const std::uint64_t io_errors = telemetry_.io_errors.value();
+  for (auto& shard_ptr : shards_) {
+    EstateShard& shard = *shard_ptr;
+    HealthSignals signals;
+    signals.tick_overruns = shard.tick_overruns;
+    signals.refit_queue_depth = shard.refit_queue.size();
+    signals.quarantined_keys = shard.scheduler.QuarantinedKeys().size();
+    signals.rollbacks = shard.rollbacks;
+    signals.io_errors = io_errors;
+    const std::uint64_t before = shard.health.transitions();
+    shard.health.Evaluate(signals);
+    const std::uint64_t after = shard.health.transitions();
+    if (after > before) {
+      shard.telemetry->health_transitions.Inc(after - before);
+    }
+    shard.telemetry->health_state.Set(
+        static_cast<double>(static_cast<int>(shard.health.state())));
+  }
+}
+
+HealthState EstateService::OverallHealth() const {
+  HealthState worst = HealthState::kHealthy;
+  for (const auto& shard : shards_) {
+    if (shard->health.state() > worst) worst = shard->health.state();
+  }
+  return worst;
+}
+
+double EstateService::LiveMapeFor(const std::string& key) const {
+  const EstateShard& shard = ShardForKey(key);
+  const auto it = shard.guardrail.find(key);
+  if (it == shard.guardrail.end()) return -1.0;
+  const double frac = it->second.tracker.live_mape();
+  return frac < 0.0 ? -1.0 : frac * 100.0;
+}
+
 void EstateService::PublishView() {
   std::vector<std::vector<serve::InstanceStatus>> shard_rows(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -679,8 +954,24 @@ void EstateService::PublishView() {
       shard_rows[s].push_back(std::move(row));
     }
   }
-  view_channel_.Publish(
-      serve::MergeShardRows(now_, ticks_, std::move(shard_rows)));
+  auto view = serve::MergeShardRows(now_, ticks_, std::move(shard_rows));
+  view->shard_health.reserve(shards_.size());
+  int overall = 0;
+  for (const auto& shard : shards_) {
+    serve::ShardHealthStatus hs;
+    hs.shard = shard->id;
+    hs.state = static_cast<int>(shard->health.state());
+    hs.state_name = HealthStateName(shard->health.state());
+    hs.reason = shard->health.reason();
+    hs.refit_queue_depth = shard->refit_queue.size();
+    hs.quarantined = shard->scheduler.QuarantinedKeys().size();
+    hs.tick_overruns = shard->tick_overruns;
+    hs.rollbacks = shard->rollbacks;
+    if (hs.state > overall) overall = hs.state;
+    view->shard_health.push_back(std::move(hs));
+  }
+  view->overall_health = overall;
+  view_channel_.Publish(std::move(view));
   view_swaps_.Inc();
 }
 
@@ -729,6 +1020,7 @@ Result<TickReport> EstateService::Tick() {
   }
 
   CollectFinished(/*block=*/false, &report);
+  EvaluateGuardrails(&report);
   EvaluateAlerts(&report);
 
   // Durability failures do not stop the clock: a tick that cannot be
@@ -745,6 +1037,9 @@ Result<TickReport> EstateService::Tick() {
       ++telemetry_.io_errors;
     }
   }
+  // Health folds in last, so the machine sees this tick's final queue
+  // depths, rollbacks and absorbed I/O errors before the view freezes them.
+  EvaluateHealth();
   PublishView();
   return report;
 }
@@ -962,8 +1257,9 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
     case EventKind::kFitOk: {
       // 11 fields = the pre-ladder layout (tolerated so existing journals
       // keep replaying, as kFull); 13 adds degradation level + quality
-      // score.
-      if (event.fields.size() != 11 && event.fields.size() != 13) {
+      // score; 15 adds champion lineage (generation, promoted_at).
+      if (event.fields.size() != 11 && event.fields.size() != 13 &&
+          event.fields.size() != 15) {
         return Status::IoError("service: malformed fit_ok event");
       }
       repo::StoredModel model;
@@ -978,7 +1274,6 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
       }
       CAPPLAN_ASSIGN_OR_RETURN(model.fitted_at_epoch,
                                ParseInt64(event.fields[4]));
-      registry_.Put(model);
       CachedForecast cached;
       CAPPLAN_ASSIGN_OR_RETURN(cached.start_epoch,
                                ParseInt64(event.fields[5]));
@@ -995,7 +1290,7 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
                                ParseDoubles(event.fields[9]));
       CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.upper,
                                ParseDoubles(event.fields[10]));
-      if (event.fields.size() == 13) {
+      if (event.fields.size() >= 13) {
         CAPPLAN_ASSIGN_OR_RETURN(std::int64_t level,
                                  ParseInt64(event.fields[11]));
         if (level < 0 ||
@@ -1006,6 +1301,26 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
             static_cast<core::DegradationLevel>(static_cast<int>(level));
       }
       cached.spec = model.technique + " " + model.spec;
+      if (event.fields.size() == 15) {
+        // Lineage-carrying layout: replay the promotion itself, demoting
+        // the previously replayed champion into the rollback slot and
+        // keeping its forecast — so a journalled kRollback further down
+        // the suffix finds the same pair the live path had.
+        CAPPLAN_ASSIGN_OR_RETURN(std::int64_t generation,
+                                 ParseInt64(event.fields[13]));
+        CAPPLAN_ASSIGN_OR_RETURN(model.promoted_at_epoch,
+                                 ParseInt64(event.fields[14]));
+        model.generation = static_cast<int>(generation);
+        if (registry_.Contains(event.key)) {
+          if (const auto fc = forecasts_.find(event.key);
+              fc != forecasts_.end()) {
+            previous_forecasts_[event.key] = fc->second;
+          }
+        }
+        registry_.Promote(model);
+      } else {
+        registry_.Put(model);
+      }
       forecasts_[event.key] = std::move(cached);
       ScheduleEntry entry;
       entry.key = event.key;
@@ -1084,6 +1399,82 @@ Status EstateService::ReplayEvent(const JournalEvent& event) {
       q.trainable = event.fields[1] == "1";
       q.verdict = event.fields[2];
       quality_[event.key] = std::move(q);
+      return Status::OK();
+    }
+    case EventKind::kPromotion: {
+      // A rejected challenger: the champion stayed, only the schedule moved.
+      if (event.fields.size() != 6) {
+        return Status::IoError("service: malformed promotion event");
+      }
+      ScheduleEntry entry;
+      entry.key = event.key;
+      CAPPLAN_ASSIGN_OR_RETURN(entry.due_epoch, ParseInt64(event.fields[5]));
+      ShardForKey(event.key).scheduler.Restore(std::move(entry));
+      return Status::OK();
+    }
+    case EventKind::kRollback: {
+      // Self-contained: the full restored model + forecast payload, so
+      // replay needs no in-memory lineage (the rollback slot may be empty
+      // after a crash — exactly why the payload is journalled).
+      if (event.fields.size() != 18) {
+        return Status::IoError("service: malformed rollback event");
+      }
+      repo::StoredModel model;
+      model.key = event.key;
+      model.technique = event.fields[0];
+      model.spec = event.fields[1];
+      try {
+        model.test_rmse = std::stod(event.fields[2]);
+        model.test_mape = std::stod(event.fields[3]);
+        model.live_mape = std::stod(event.fields[7]);
+      } catch (...) {
+        return Status::IoError("service: bad accuracy in rollback event");
+      }
+      CAPPLAN_ASSIGN_OR_RETURN(model.fitted_at_epoch,
+                               ParseInt64(event.fields[4]));
+      CAPPLAN_ASSIGN_OR_RETURN(std::int64_t generation,
+                               ParseInt64(event.fields[5]));
+      model.generation = static_cast<int>(generation);
+      CAPPLAN_ASSIGN_OR_RETURN(model.promoted_at_epoch,
+                               ParseInt64(event.fields[6]));
+      CAPPLAN_ASSIGN_OR_RETURN(model.ar_coef, ParseDoubles(event.fields[8]));
+      CAPPLAN_ASSIGN_OR_RETURN(model.ma_coef, ParseDoubles(event.fields[9]));
+      registry_.Reinstate(model);
+      CachedForecast cached;
+      CAPPLAN_ASSIGN_OR_RETURN(cached.start_epoch,
+                               ParseInt64(event.fields[10]));
+      CAPPLAN_ASSIGN_OR_RETURN(cached.step_seconds,
+                               ParseInt64(event.fields[11]));
+      try {
+        cached.forecast.level = std::stod(event.fields[12]);
+      } catch (...) {
+        return Status::IoError("service: bad level in rollback event");
+      }
+      CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.mean,
+                               ParseDoubles(event.fields[13]));
+      CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.lower,
+                               ParseDoubles(event.fields[14]));
+      CAPPLAN_ASSIGN_OR_RETURN(cached.forecast.upper,
+                               ParseDoubles(event.fields[15]));
+      CAPPLAN_ASSIGN_OR_RETURN(std::int64_t level,
+                               ParseInt64(event.fields[16]));
+      if (level < 0 ||
+          level > static_cast<int>(core::DegradationLevel::kBaseline)) {
+        return Status::IoError("service: bad degradation in rollback event");
+      }
+      cached.degradation =
+          static_cast<core::DegradationLevel>(static_cast<int>(level));
+      cached.spec = model.technique + " " + model.spec;
+      forecasts_[event.key] = std::move(cached);
+      previous_forecasts_.erase(event.key);
+      CAPPLAN_ASSIGN_OR_RETURN(std::int64_t next_due,
+                               ParseInt64(event.fields[17]));
+      if (next_due >= 0) {
+        ScheduleEntry entry;
+        entry.key = event.key;
+        entry.due_epoch = next_due;
+        ShardForKey(event.key).scheduler.Restore(std::move(entry));
+      }
       return Status::OK();
     }
   }

@@ -15,10 +15,12 @@
 #include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/pipeline.h"
+#include "quality/guardrail.h"
 #include "quality/sentinel.h"
 #include "repo/model_store.h"
 #include "repo/repository.h"
 #include "serve/estate_view.h"
+#include "service/health.h"
 #include "service/journal.h"
 #include "service/scheduler.h"
 #include "service/shard.h"
@@ -66,6 +68,42 @@ struct WatchConfig {
         metric(metric),
         threshold(threshold),
         faults(std::move(faults)) {}
+};
+
+// Forecast guardrails (docs/robustness.md): live accuracy scoring of every
+// arriving hourly actual against the active cached forecast, the
+// champion/challenger promotion gate, automatic rollback on live
+// regression, drift-triggered early refits, and the per-shard health
+// watchdog. All thresholds compare MAPE in percent (the pipeline's held-out
+// unit); the tracker itself reports a fraction and the service converts.
+struct GuardrailConfig {
+  bool enabled = true;
+  // Per-key live scoring (rolling window + Page-Hinkley drift detection).
+  quality::LiveAccuracyTracker::Options tracker;
+  // Challenger promotion gate: a freshly refit challenger is installed only
+  // if its held-out MAPE does not exceed tolerance_ratio x the champion's
+  // live rolling MAPE. The gate needs at least promotion_min_scored live
+  // points — before that (fresh key, just-promoted champion) the challenger
+  // is promoted unconditionally, which keeps short estates deterministic.
+  double promotion_tolerance_ratio = 1.5;
+  std::size_t promotion_min_scored = 6;
+  // Live-regression rollback: the champion is rolled back to the previous
+  // generation when its live MAPE exceeds regression_ratio x the reference
+  // (the previous champion's own live MAPE, its held-out MAPE as fallback),
+  // with at least rollback_min_scored points of evidence.
+  double rollback_regression_ratio = 2.0;
+  std::size_t rollback_min_scored = 6;
+  // Floor (percent) under both references so a near-perfect champion cannot
+  // hair-trigger gates on sub-percent noise.
+  double reference_mape_floor_pct = 1.0;
+  // A Page-Hinkley drift alarm pulls the key's refit forward to "now"
+  // (respecting backoff and quarantine — a failing key is never thundered).
+  bool early_refit_on_drift = true;
+  // Shard tick jobs slower than this trip the watchdog (a health signal);
+  // <= 0 disables the deadline.
+  double tick_deadline_ms = 5000.0;
+  // Per-shard health-state machine thresholds.
+  HealthPolicy health;
 };
 
 struct EstateServiceConfig {
@@ -126,6 +164,8 @@ struct EstateServiceConfig {
   // enqueued-minus-drained gap) and drains on later ticks — bounded-refit
   // overload shedding.
   std::size_t max_batches_per_shard_tick = 0;
+  // Forecast guardrails: live scoring, promotion gate, rollback, health.
+  GuardrailConfig guardrail;
 };
 
 // An active breach warning.
@@ -147,6 +187,8 @@ struct TickReport {
   std::size_t refits_degraded = 0;  // completed via a ladder rung
   std::size_t alerts_raised = 0;
   std::size_t alerts_cleared = 0;
+  std::size_t promotions_rejected = 0;  // challengers the gate kept out
+  std::size_t rollbacks = 0;            // champions rolled back this tick
 };
 
 class EstateService {
@@ -266,6 +308,16 @@ class EstateService {
   // Ladder rung of the key's cached forecast; kFull when no forecast yet.
   core::DegradationLevel ForecastDegradation(const std::string& key) const;
 
+  // Deep health (service/health.h): per-shard state machine fed by tick
+  // overruns, refit-queue depth, quarantine/rollback storms and I/O errors.
+  HealthState ShardHealthState(std::size_t shard) const {
+    return shards_[shard]->health.state();
+  }
+  HealthState OverallHealth() const;
+  // Rolling live MAPE (percent, as the pipeline reports it) of the key's
+  // champion; negative while the key has no scored points yet.
+  double LiveMapeFor(const std::string& key) const;
+
   // Read side of the serving layer: an immutable estate snapshot is
   // republished (one atomic shared_ptr swap) at the end of Start, every
   // Tick, DrainRefits, and Recover. Request threads answer from the frozen
@@ -369,6 +421,20 @@ class EstateService {
   void CollectFinished(bool block, TickReport* report);
   void ApplyOutcome(const FitOutcome& outcome, TickReport* report);
   void EvaluateAlerts(TickReport* report);
+  // Shard-phase live scoring: every hourly actual the tick ingested is
+  // scored against the key's active cached forecast (one guardrail tracker
+  // per key), feeding the Page-Hinkley detector; an alarm pulls the key's
+  // refit forward when backoff allows. Runs inside TickShard, so it only
+  // reads coordinator forecasts_ (the CheckStalenessShard precedent) and
+  // writes shard-owned guardrail state.
+  void ScoreShard(EstateShard* shard);
+  // Driver-phase guardrail pass: exports per-shard worst-key gauges and
+  // rolls back champions whose live MAPE regressed past the configured
+  // ratio of their predecessor's accuracy.
+  void EvaluateGuardrails(TickReport* report);
+  // Driver-phase health pass: folds the tick's signals into each shard's
+  // state machine and exports the state gauges.
+  void EvaluateHealth();
   void PublishView();
   Status WriteSnapshot();
   Status ReplayEvent(const JournalEvent& event);
@@ -399,6 +465,11 @@ class EstateService {
   ServiceTelemetry telemetry_;
 
   std::map<std::string, CachedForecast> forecasts_;
+  // Rollback targets: the forecast each key's previous champion was serving
+  // when the current champion displaced it. Entries exist only for keys
+  // whose registry lineage also holds a previous generation, so a rollback
+  // restores model and forecast together, byte-equal to pre-promotion.
+  std::map<std::string, CachedForecast> previous_forecasts_;
   std::map<std::string, ServiceAlert> alerts_;
   std::map<std::string, quality::QualityReport> quality_;
   std::vector<std::future<BatchOutcome>> in_flight_;

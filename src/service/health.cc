@@ -1,0 +1,75 @@
+#include "service/health.h"
+
+namespace capplan::service {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+ShardHealth::ShardHealth(HealthPolicy policy) : policy_(policy) {
+  if (policy_.window_ticks == 0) policy_.window_ticks = 1;
+  if (policy_.recover_ticks == 0) policy_.recover_ticks = 1;
+}
+
+HealthState ShardHealth::Evaluate(const HealthSignals& signals) {
+  history_.push_back(
+      {signals.tick_overruns, signals.rollbacks, signals.io_errors});
+  while (history_.size() > policy_.window_ticks + 1) history_.pop_front();
+  const CumulativeSample& oldest = history_.front();
+  const std::uint64_t overruns = signals.tick_overruns - oldest.tick_overruns;
+  const std::uint64_t rollbacks = signals.rollbacks - oldest.rollbacks;
+  const std::uint64_t io_errors = signals.io_errors - oldest.io_errors;
+
+  // Worst argument across all signals, remembering which signal made it.
+  HealthState target = HealthState::kHealthy;
+  const char* why = "nominal";
+  auto argue = [&](bool critical, bool degraded, const char* reason) {
+    if (critical && target < HealthState::kCritical) {
+      target = HealthState::kCritical;
+      why = reason;
+    } else if (degraded && target < HealthState::kDegraded) {
+      target = HealthState::kDegraded;
+      why = reason;
+    }
+  };
+  argue(signals.refit_queue_depth >= policy_.critical_queue_depth,
+        signals.refit_queue_depth >= policy_.degraded_queue_depth,
+        "refit queue depth");
+  argue(signals.quarantined_keys >= policy_.critical_quarantined,
+        signals.quarantined_keys >= policy_.degraded_quarantined,
+        "quarantined keys");
+  argue(overruns >= policy_.critical_overruns,
+        overruns >= policy_.degraded_overruns, "tick deadline overruns");
+  argue(rollbacks >= policy_.critical_rollbacks,
+        rollbacks >= policy_.degraded_rollbacks, "rollback storm");
+  argue(io_errors >= policy_.critical_io_errors,
+        io_errors >= policy_.degraded_io_errors, "journal/store I/O errors");
+
+  if (target >= state_) {
+    // Escalate (or hold) immediately; any recovery streak is broken.
+    if (target > state_) ++transitions_;
+    state_ = target;
+    reason_ = why;
+    calm_evals_ = 0;
+  } else {
+    // Signals argue for a lower state: step down one level only after
+    // recover_ticks consecutive calm evaluations (hysteresis).
+    if (++calm_evals_ >= policy_.recover_ticks) {
+      state_ = static_cast<HealthState>(static_cast<int>(state_) - 1);
+      reason_ = state_ == HealthState::kHealthy ? "nominal" : reason_;
+      calm_evals_ = 0;
+      ++transitions_;
+    }
+  }
+  return state_;
+}
+
+}  // namespace capplan::service

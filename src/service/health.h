@@ -1,0 +1,96 @@
+#ifndef CAPPLAN_SERVICE_HEALTH_H_
+#define CAPPLAN_SERVICE_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace capplan::service {
+
+// Deep health of one estate shard, beyond the shallow "is a view published"
+// liveness probe. The paper's production deployment (Section 8) is an
+// always-on planning daemon; an operator needs to know not just that it is
+// up, but whether its models and schedules are keeping pace. Three states:
+//
+//   kHealthy   all signals nominal
+//   kDegraded  the shard is falling behind (queue growth, an occasional
+//              watchdog overrun, a rollback) but still serving
+//   kCritical  sustained overload, quarantine/rollback storms or repeated
+//              I/O failures — readiness probes (/healthz?deep=1) go 503
+//
+// Escalation is immediate; de-escalation is hysteretic (one level per
+// `recover_ticks` consecutive calm evaluations), so a shard flapping around
+// a threshold cannot strobe the readiness endpoint.
+enum class HealthState { kHealthy = 0, kDegraded = 1, kCritical = 2 };
+
+const char* HealthStateName(HealthState state);
+
+// One evaluation's worth of raw signals. Counter-like fields
+// (tick_overruns, rollbacks, io_errors) are cumulative; the state machine
+// differences them over a sliding window of evaluations so an old incident
+// ages out. Depth-like fields are instantaneous.
+struct HealthSignals {
+  std::uint64_t tick_overruns = 0;   // cumulative tick-deadline watchdog hits
+  std::size_t refit_queue_depth = 0; // keys waiting in the refit queue
+  std::size_t quarantined_keys = 0;  // keys out of the dispatch rotation
+  std::uint64_t rollbacks = 0;       // cumulative champion rollbacks
+  std::uint64_t io_errors = 0;       // cumulative journal/store write failures
+};
+
+// Thresholds. A signal at or above its degraded_* value argues for
+// kDegraded, at or above critical_* for kCritical; the machine adopts the
+// worst argument. Windowed thresholds apply to the delta of a cumulative
+// counter across the last `window_ticks` evaluations.
+struct HealthPolicy {
+  std::size_t window_ticks = 8;
+
+  std::size_t degraded_queue_depth = 32;
+  std::size_t critical_queue_depth = 128;
+  std::size_t degraded_quarantined = 1;
+  std::size_t critical_quarantined = 8;
+  std::uint64_t degraded_overruns = 1;   // within the window
+  std::uint64_t critical_overruns = 4;
+  std::uint64_t degraded_rollbacks = 1;  // within the window
+  std::uint64_t critical_rollbacks = 3;
+  std::uint64_t degraded_io_errors = 1;  // within the window
+  std::uint64_t critical_io_errors = 8;
+
+  // Consecutive evaluations whose signals argue for a lower state before
+  // the machine steps down one level.
+  std::size_t recover_ticks = 3;
+};
+
+class ShardHealth {
+ public:
+  ShardHealth() : ShardHealth(HealthPolicy()) {}
+  explicit ShardHealth(HealthPolicy policy);
+
+  // Feeds one tick's signals; returns the (possibly unchanged) state.
+  HealthState Evaluate(const HealthSignals& signals);
+
+  HealthState state() const { return state_; }
+  // Short static description of what drove the last escalation (or the
+  // worst current signal); "nominal" when healthy.
+  const char* reason() const { return reason_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  HealthPolicy policy_;
+  HealthState state_ = HealthState::kHealthy;
+  const char* reason_ = "nominal";
+  std::uint64_t transitions_ = 0;
+  std::size_t calm_evals_ = 0;
+
+  // Ring of recent cumulative counters, newest last, capped at
+  // window_ticks + 1 entries: delta = newest - oldest.
+  struct CumulativeSample {
+    std::uint64_t tick_overruns = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t io_errors = 0;
+  };
+  std::deque<CumulativeSample> history_;
+};
+
+}  // namespace capplan::service
+
+#endif  // CAPPLAN_SERVICE_HEALTH_H_

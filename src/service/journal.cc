@@ -61,6 +61,10 @@ const char* EventKindName(EventKind kind) {
       return "snapshot";
     case EventKind::kQuality:
       return "quality";
+    case EventKind::kPromotion:
+      return "promotion";
+    case EventKind::kRollback:
+      return "rollback";
   }
   return "?";
 }
@@ -69,7 +73,8 @@ Result<EventKind> ParseEventKind(const std::string& name) {
   for (EventKind k :
        {EventKind::kTick, EventKind::kFitOk, EventKind::kFitFail,
         EventKind::kQuarantine, EventKind::kRelease, EventKind::kAlert,
-        EventKind::kAlertClear, EventKind::kSnapshot, EventKind::kQuality}) {
+        EventKind::kAlertClear, EventKind::kSnapshot, EventKind::kQuality,
+        EventKind::kPromotion, EventKind::kRollback}) {
     if (name == EventKindName(k)) return k;
   }
   return Status::InvalidArgument("journal: unknown event kind '" + name + "'");

@@ -21,7 +21,9 @@ enum class EventKind {
   kTick,        // clock advanced to `epoch`; no key
   kFitOk,       // fields: technique, spec, rmse, mape, fitted_at,
                 //         fc_start, fc_step, level, mean, lower, upper
-                //         (the last four ';'-joined)
+                //         (the last four ';'-joined), degradation,
+                //         quality score, generation, promoted_at (replay
+                //         also accepts the older 11- and 13-field layouts)
   kFitFail,     // fields: consecutive_failures, next_due (-1 = quarantined),
                 //         status message
   kQuarantine,  // key removed from the dispatch rotation
@@ -31,6 +33,18 @@ enum class EventKind {
   kSnapshot,    // snapshot files written; replay starts after the last one
   kQuality,     // fields: score, trainable ("1"|"0"), verdict — the data-
                 //         quality sentinel's view of the key's fit window
+  kPromotion,   // guardrail promotion-gate verdict. fields: decision
+                //         ("reject"), challenger technique, spec, challenger
+                //         held-out MAPE, champion live MAPE, next_due.
+                //         (Accepted challengers are journalled as kFitOk.)
+  kRollback,    // champion rolled back to the previous generation. Carries
+                //         the full restored model + forecast payload so
+                //         replay needs no in-memory lineage: technique,
+                //         spec, rmse, mape, fitted_at, generation,
+                //         promoted_at, live_mape, ar_coef, ma_coef,
+                //         fc_start, fc_step, level, mean, lower, upper,
+                //         degradation, next_due (18 fields; the coefficient
+                //         and forecast vectors ';'-joined).
 };
 
 const char* EventKindName(EventKind kind);

@@ -4,10 +4,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "quality/guardrail.h"
 #include "repo/repository.h"
+#include "service/health.h"
 #include "service/scheduler.h"
 #include "service/telemetry.h"
 
@@ -43,6 +46,26 @@ struct EstateShard {
   // never re-taken; the queue is deliberately not persisted — a crash
   // mid-queue re-dispatches on recovery exactly like a crash mid-fit.
   std::deque<std::string> refit_queue;
+
+  // Live forecast-accuracy guardrail for one watched series: the tracker
+  // plus the high-water timestamp of hourly actuals already scored (so each
+  // point is scored exactly once, and recovery never floods old history in).
+  struct GuardrailEntry {
+    quality::LiveAccuracyTracker tracker;
+    std::int64_t last_scored_epoch = 0;
+  };
+  // Keyed by repository key; created lazily by the shard's scoring pass.
+  // Same ownership rule as the rest of the shard: the shard's tick job
+  // scores, the driver reads/resets between ticks.
+  std::map<std::string, GuardrailEntry> guardrail;
+
+  // Deep health of this shard. The counters are plain (single-writer: the
+  // tick job bumps tick_overruns, the driver bumps rollbacks — never inside
+  // the same tick phase); the driver evaluates the state machine once per
+  // tick after joining the shard jobs.
+  ShardHealth health;
+  std::uint64_t tick_overruns = 0;
+  std::uint64_t rollbacks = 0;
 
   // Handle into ServiceTelemetry::shards[id]; not owned.
   ShardTelemetry* telemetry = nullptr;

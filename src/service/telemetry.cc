@@ -45,6 +45,13 @@ ServiceTelemetry::ServiceTelemetry()
                                    "Absorbed journal append failures");
   snapshot_failures = counter("capplan_snapshot_failures_total",
                               "Absorbed snapshot write failures");
+  promotions = counter("capplan_guardrail_promotions_total",
+                       "Challengers installed as champion");
+  promotions_rejected =
+      counter("capplan_guardrail_promotions_rejected_total",
+              "Challengers the promotion gate rejected (champion retained)");
+  rollbacks = counter("capplan_guardrail_rollbacks_total",
+                      "Champions rolled back on live regression");
 
   auto stage = [this](const char* name) {
     return StageStats(registry->GetHistogram(
@@ -89,6 +96,33 @@ void ServiceTelemetry::EnsureShards(std::size_t n) {
     s.fourier_misses =
         counter("capplan_shard_fourier_misses_total",
                 "Distinct Fourier designs computed within refit batches");
+    s.guardrail_scored =
+        counter("capplan_guardrail_samples_scored_total",
+                "Hourly actuals scored against the active forecast");
+    s.guardrail_drift_alarms =
+        counter("capplan_guardrail_drift_alarms_total",
+                "Page-Hinkley sustained-error-shift alarms");
+    s.guardrail_early_refits =
+        counter("capplan_guardrail_early_refits_total",
+                "Drift alarms that pulled a refit forward");
+    s.tick_overruns = counter("capplan_health_tick_overruns_total",
+                              "Shard tick jobs past the watchdog deadline");
+    s.health_transitions = counter("capplan_health_transitions_total",
+                                   "Health-state machine transitions");
+    auto gauge = [&](const char* name, const char* help) {
+      return registry->GetGauge(name, labels, help);
+    };
+    s.guardrail_live_mape =
+        gauge("capplan_guardrail_live_mape_ratio",
+              "Worst rolling live MAPE across the shard's keys (fraction)");
+    s.guardrail_ph_statistic =
+        gauge("capplan_guardrail_ph_statistic_ratio",
+              "Worst Page-Hinkley cumulative statistic (APE units)");
+    s.guardrail_ph_samples =
+        gauge("capplan_guardrail_ph_samples_count",
+              "Most detector samples seen since a key's baseline reset");
+    s.health_state = gauge("capplan_health_state",
+                           "Shard health: 0 healthy, 1 degraded, 2 critical");
     s.tick_stage = histogram("capplan_shard_tick_latency_ms",
                              "Whole shard tick job wall time");
     s.ingest_stage = histogram("capplan_shard_ingest_latency_ms",
@@ -178,6 +212,50 @@ std::string TelemetryToJson(const ServiceTelemetry& t, bool pretty) {
     w.EndObject();
   }
   w.EndArray();
+  // Appended after the shards array (still additive wrt the golden prefix):
+  // the forecast-guardrail and deep-health summaries. Scoring counters are
+  // summed across shards; detector gauges report the worst key anywhere.
+  {
+    std::uint64_t scored = 0, alarms = 0, early = 0, overruns = 0;
+    double worst_mape = 0.0, worst_stat = 0.0, most_samples = 0.0;
+    for (const ShardTelemetry& s : t.shards) {
+      scored += s.guardrail_scored.value();
+      alarms += s.guardrail_drift_alarms.value();
+      early += s.guardrail_early_refits.value();
+      overruns += s.tick_overruns.value();
+      if (s.guardrail_live_mape.value() > worst_mape) {
+        worst_mape = s.guardrail_live_mape.value();
+      }
+      if (s.guardrail_ph_statistic.value() > worst_stat) {
+        worst_stat = s.guardrail_ph_statistic.value();
+      }
+      if (s.guardrail_ph_samples.value() > most_samples) {
+        most_samples = s.guardrail_ph_samples.value();
+      }
+    }
+    w.Key("guardrail");
+    w.BeginObject();
+    w.Integer("samples_scored", static_cast<long long>(scored));
+    w.Integer("drift_alarms", static_cast<long long>(alarms));
+    w.Integer("early_refits", static_cast<long long>(early));
+    w.Integer("promotions", static_cast<long long>(t.promotions.value()));
+    w.Integer("promotions_rejected",
+              static_cast<long long>(t.promotions_rejected.value()));
+    w.Integer("rollbacks", static_cast<long long>(t.rollbacks.value()));
+    w.Number("live_mape_max", worst_mape);
+    w.Number("ph_statistic_max", worst_stat);
+    w.Number("ph_samples_max", most_samples);
+    w.EndObject();
+    w.Key("health");
+    w.BeginObject();
+    w.Integer("tick_overruns", static_cast<long long>(overruns));
+    w.BeginArray("states");
+    for (const ShardTelemetry& s : t.shards) {
+      w.ArrayNumber(s.health_state.value());
+    }
+    w.EndArray();
+    w.EndObject();
+  }
   w.EndObject();
   return w.Take();
 }

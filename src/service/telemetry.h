@@ -57,6 +57,19 @@ struct ShardTelemetry {
   obs::Counter fourier_hits;       // batched-refit design-column reuses
   obs::Counter fourier_misses;     // distinct designs computed
 
+  // Forecast guardrail (quality::LiveAccuracyTracker) — live scoring of
+  // hourly actuals against the active cached forecast, per shard.
+  obs::Counter guardrail_scored;        // actuals scored
+  obs::Counter guardrail_drift_alarms;  // Page-Hinkley sustained-shift alarms
+  obs::Counter guardrail_early_refits;  // alarms that pulled a refit forward
+  // Deep health of the shard.
+  obs::Counter tick_overruns;        // tick-deadline watchdog hits
+  obs::Counter health_transitions;   // health-state machine transitions
+  obs::Gauge guardrail_live_mape;    // worst rolling live MAPE across keys
+  obs::Gauge guardrail_ph_statistic; // worst Page-Hinkley statistic
+  obs::Gauge guardrail_ph_samples;   // most detector samples since baseline
+  obs::Gauge health_state;           // 0 healthy / 1 degraded / 2 critical
+
   StageStats tick_stage;         // whole shard tick job wall time
   StageStats ingest_stage;       // ingest slice of the tick job
   StageStats refit_batch_stage;  // one batch fit job, end to end
@@ -104,6 +117,12 @@ struct ServiceTelemetry {
   obs::Counter io_errors;               // all absorbed write failures
   obs::Counter journal_write_failures;  // subset: journal appends
   obs::Counter snapshot_failures;       // subset: snapshot writes
+
+  // Champion/challenger guardrail outcomes (driver side; per-shard scoring
+  // counters live in ShardTelemetry).
+  obs::Counter promotions;           // challengers installed as champion
+  obs::Counter promotions_rejected;  // challengers the gate kept out
+  obs::Counter rollbacks;            // champions rolled back on regression
 
   StageStats ingest_stage;
   StageStats fit_stage;      // worker wall time per refit

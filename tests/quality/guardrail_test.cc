@@ -1,0 +1,112 @@
+#include "quality/guardrail.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace capplan::quality {
+namespace {
+
+LiveAccuracyTracker::Options SmallWindow(std::size_t window) {
+  LiveAccuracyTracker::Options opts;
+  opts.window = window;
+  return opts;
+}
+
+TEST(LiveAccuracyTrackerTest, EmptyTrackerReportsNegativeMape) {
+  LiveAccuracyTracker tracker;
+  EXPECT_LT(tracker.live_mape(), 0.0);
+  EXPECT_EQ(tracker.window_size(), 0u);
+  EXPECT_EQ(tracker.samples_scored(), 0u);
+}
+
+TEST(LiveAccuracyTrackerTest, LiveMapeIsMeanAbsolutePercentageError) {
+  LiveAccuracyTracker tracker(SmallWindow(8));
+  // APEs: |100-90|/100 = 0.10 and |200-240|/200 = 0.20 -> mean 0.15.
+  const auto first = tracker.Score(100.0, 90.0);
+  EXPECT_NEAR(first.abs_pct_error, 0.10, 1e-12);
+  const auto second = tracker.Score(200.0, 240.0);
+  EXPECT_NEAR(second.abs_pct_error, 0.20, 1e-12);
+  EXPECT_NEAR(tracker.live_mape(), 0.15, 1e-12);
+  EXPECT_EQ(tracker.window_size(), 2u);
+  EXPECT_EQ(tracker.samples_scored(), 2u);
+}
+
+TEST(LiveAccuracyTrackerTest, WindowEvictsOldestErrors) {
+  LiveAccuracyTracker tracker(SmallWindow(2));
+  tracker.Score(100.0, 0.0);    // APE 1.0 — should age out
+  tracker.Score(100.0, 90.0);   // APE 0.1
+  tracker.Score(100.0, 110.0);  // APE 0.1
+  EXPECT_EQ(tracker.window_size(), 2u);
+  EXPECT_NEAR(tracker.live_mape(), 0.1, 1e-12);
+}
+
+TEST(LiveAccuracyTrackerTest, NonFiniteInputsAreSkippedNotScored) {
+  LiveAccuracyTracker tracker(SmallWindow(4));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  tracker.Score(nan, 50.0);
+  tracker.Score(50.0, nan);
+  tracker.Score(inf, 50.0);
+  EXPECT_EQ(tracker.samples_scored(), 0u);
+  EXPECT_EQ(tracker.samples_skipped(), 3u);
+  EXPECT_LT(tracker.live_mape(), 0.0);
+  // A masked outage must not feed the drift detector either.
+  EXPECT_EQ(tracker.detector().samples_seen(), 0u);
+}
+
+TEST(LiveAccuracyTrackerTest, NearZeroActualUsesDenominatorFloor) {
+  LiveAccuracyTracker::Options opts = SmallWindow(4);
+  opts.min_denominator = 1.0;
+  LiveAccuracyTracker tracker(opts);
+  const auto scored = tracker.Score(0.0, 3.0);
+  EXPECT_NEAR(scored.abs_pct_error, 3.0, 1e-12);  // clamped, not infinite
+  EXPECT_TRUE(std::isfinite(tracker.live_mape()));
+}
+
+TEST(LiveAccuracyTrackerTest, ResetBaselineClearsWindowButKeepsLifetime) {
+  LiveAccuracyTracker tracker(SmallWindow(4));
+  tracker.Score(100.0, 90.0);
+  tracker.Score(100.0, 80.0);
+  ASSERT_EQ(tracker.window_size(), 2u);
+  tracker.ResetBaseline();
+  EXPECT_EQ(tracker.window_size(), 0u);
+  EXPECT_LT(tracker.live_mape(), 0.0);
+  EXPECT_EQ(tracker.detector().samples_seen(), 0u);
+  EXPECT_EQ(tracker.samples_scored(), 2u);  // lifetime counters survive
+}
+
+TEST(LiveAccuracyTrackerTest, SustainedErrorShiftRaisesDriftAlarm) {
+  LiveAccuracyTracker::Options opts = SmallWindow(24);
+  opts.drift.delta = 0.005;
+  opts.drift.threshold = 1.0;
+  opts.drift.min_samples = 10;
+  LiveAccuracyTracker tracker(opts);
+  // A long stretch of accurate forecasts: ~1% error, no alarm.
+  for (int i = 0; i < 48; ++i) {
+    const auto scored = tracker.Score(100.0, 99.0);
+    ASSERT_FALSE(scored.drift_alarm);
+  }
+  // The workload shifts and the active forecast goes 40% wrong.
+  bool alarmed = false;
+  for (int i = 0; i < 48 && !alarmed; ++i) {
+    alarmed = tracker.Score(140.0, 100.0).drift_alarm;
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_EQ(tracker.alarms(), 1u);
+  // Page-Hinkley auto-reset: the detector starts a fresh baseline.
+  EXPECT_EQ(tracker.detector().samples_seen(), 0u);
+}
+
+TEST(LiveAccuracyTrackerTest, StableAccurateStreamNeverAlarmsOnDefaults) {
+  LiveAccuracyTracker tracker;  // production defaults
+  for (int i = 0; i < 24 * 14; ++i) {
+    const double noise = 0.02 * ((i % 5) - 2);  // ±4% wiggle
+    EXPECT_FALSE(tracker.Score(100.0, 100.0 * (1.0 + noise)).drift_alarm);
+  }
+  EXPECT_EQ(tracker.alarms(), 0u);
+}
+
+}  // namespace
+}  // namespace capplan::quality

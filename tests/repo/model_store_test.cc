@@ -164,6 +164,117 @@ TEST(ModelRepositoryTest, LoadMissingFileFails) {
   EXPECT_FALSE(repo.Load("/no/such/file.csv").ok());
 }
 
+TEST(ChampionChallengerTest, PromoteAssignsGenerationsAndKeepsLineage) {
+  ModelRepository repo;
+  StoredModel first = MakeModel("k", 10.0, 100);
+  repo.Promote(first);
+  EXPECT_EQ(repo.Get("k")->generation, 1);
+  EXPECT_FALSE(repo.HasPrevious("k"));  // a first champion has no lineage
+
+  StoredModel second = MakeModel("k", 8.0, 200);
+  repo.Promote(second);
+  EXPECT_EQ(repo.Get("k")->generation, 2);
+  ASSERT_TRUE(repo.HasPrevious("k"));
+  auto prev = repo.GetPrevious("k");
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(prev->generation, 1);
+  EXPECT_DOUBLE_EQ(prev->test_rmse, 10.0);
+}
+
+TEST(ChampionChallengerTest, ExplicitGenerationIsPreservedOnReplay) {
+  ModelRepository repo;
+  StoredModel replayed = MakeModel("k", 10.0, 100);
+  replayed.generation = 7;  // a journalled promotion carries its number
+  repo.Promote(replayed);
+  EXPECT_EQ(repo.Get("k")->generation, 7);
+}
+
+TEST(ChampionChallengerTest, RollbackRestoresPreviousAndClearsSlot) {
+  ModelRepository repo;
+  repo.Promote(MakeModel("k", 10.0, 100));
+  repo.Promote(MakeModel("k", 8.0, 200));
+  auto restored = repo.Rollback("k");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->generation, 1);
+  EXPECT_DOUBLE_EQ(repo.Get("k")->test_rmse, 10.0);
+  // The discarded model is exactly what went bad — it must never be rolled
+  // back *to*; a second rollback needs a new promotion first.
+  EXPECT_FALSE(repo.HasPrevious("k"));
+  EXPECT_FALSE(repo.Rollback("k").ok());
+}
+
+TEST(ChampionChallengerTest, RollbackWithoutLineageIsNotFound) {
+  ModelRepository repo;
+  repo.Put(MakeModel("k", 10.0, 100));  // Put is lineage-neutral
+  EXPECT_FALSE(repo.Rollback("k").ok());
+}
+
+TEST(ChampionChallengerTest, ReinstateInstallsChampionAndClearsSlot) {
+  ModelRepository repo;
+  repo.Promote(MakeModel("k", 10.0, 100));
+  repo.Promote(MakeModel("k", 8.0, 200));
+  StoredModel journalled = MakeModel("k", 10.0, 100);
+  journalled.generation = 1;
+  repo.Reinstate(journalled);
+  EXPECT_EQ(repo.Get("k")->generation, 1);
+  EXPECT_FALSE(repo.HasPrevious("k"));
+}
+
+TEST(ChampionChallengerTest, UpdateLiveMapeTravelsWithTheDemotedChampion) {
+  ModelRepository repo;
+  repo.Promote(MakeModel("k", 10.0, 100));
+  repo.UpdateLiveMape("k", 4.25);
+  repo.Promote(MakeModel("k", 8.0, 200));
+  auto prev = repo.GetPrevious("k");
+  ASSERT_TRUE(prev.ok());
+  EXPECT_DOUBLE_EQ(prev->live_mape, 4.25);
+  repo.UpdateLiveMape("absent", 1.0);  // no-op, must not crash
+}
+
+TEST(ModelRepositoryTest, LineageColumnsSurviveSaveLoad) {
+  ModelRepository repo;
+  StoredModel m = MakeModel("cdbm011/cpu", 8.42, 1559520000);
+  m.generation = 3;
+  m.promoted_at_epoch = 1559520777;
+  m.live_mape = 6.125;
+  repo.Put(m);
+  const std::string path = ::testing::TempDir() + "/models_lineage.csv";
+  ASSERT_TRUE(repo.Save(path).ok());
+
+  ModelRepository loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  auto got = loaded.Get("cdbm011/cpu");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->generation, 3);
+  EXPECT_EQ(got->promoted_at_epoch, 1559520777);
+  EXPECT_DOUBLE_EQ(got->live_mape, 6.125);
+}
+
+TEST(ModelRepositoryTest, LoadsLegacyEightColumnFiles) {
+  // Pre-lineage files (8-column header, with coefficients) still load;
+  // models come back with no generation and a never-scored live MAPE.
+  const std::string path = ::testing::TempDir() + "/models_legacy8.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "key,technique,spec,test_rmse,test_mape,fitted_at_epoch,"
+        "ar_coef,ma_coef\n"
+        "cdbm011/cpu,SARIMAX,\"(1,1,1)(0,1,1,24)\",8.5,12.0,1559520000,"
+        "0.5;-0.25,0.125\n",
+        f);
+    std::fclose(f);
+  }
+  ModelRepository repo;
+  ASSERT_TRUE(repo.Load(path).ok());
+  auto m = repo.Get("cdbm011/cpu");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->ar_coef, (std::vector<double>{0.5, -0.25}));
+  EXPECT_EQ(m->generation, 0);
+  EXPECT_EQ(m->promoted_at_epoch, 0);
+  EXPECT_LT(m->live_mape, 0.0);
+}
+
 TEST(ModelRepositoryTest, KeysListing) {
   ModelRepository repo;
   repo.Put(MakeModel("b", 1.0, 0));

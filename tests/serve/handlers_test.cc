@@ -292,5 +292,88 @@ TEST_F(HandlersTest, MetricsWithoutRegistryIs404) {
   EXPECT_EQ(bare.Handle(Get("/metrics")).status, 404);
 }
 
+std::shared_ptr<EstateView> WithShardHealth(std::vector<int> states) {
+  auto view = MakeEstate();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    ShardHealthStatus hs;
+    hs.shard = i;
+    hs.state = states[i];
+    hs.state_name = states[i] == 0   ? "healthy"
+                    : states[i] == 1 ? "degraded"
+                                     : "critical";
+    hs.reason = states[i] == 0 ? "nominal" : "refit queue depth";
+    hs.refit_queue_depth = states[i] == 0 ? 0 : 200;
+    if (hs.state > view->overall_health) view->overall_health = hs.state;
+    view->shard_health.push_back(std::move(hs));
+  }
+  return view;
+}
+
+// Liveness vs readiness: /healthz answers "is the process serving a view",
+// /healthz?deep=1 additionally folds in the per-shard health machines.
+TEST_F(HandlersTest, DeepHealthzTable) {
+  struct Case {
+    const char* name;
+    std::vector<int> states;  // per-shard health; empty = hand-built view
+    int want_status;
+  };
+  const Case cases[] = {
+      {"all healthy", {0, 0}, 200},
+      {"degraded is still ready", {0, 1}, 200},
+      {"one critical shard fails readiness", {0, 2}, 503},
+      {"all critical", {2, 2, 2}, 503},
+      {"no shard health published (hand-built view)", {}, 200},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    channel_.Publish(WithShardHealth(c.states));
+    const HttpResponse deep = handler_.Handle(Get("/healthz?deep=1"));
+    EXPECT_EQ(deep.status, c.want_status);
+    if (c.want_status == 200) {
+      EXPECT_EQ(deep.body, "ok\n");
+    } else {
+      EXPECT_NE(deep.body.find("critical"), std::string::npos);
+    }
+    // Plain liveness never deepens, whatever the shards say.
+    const HttpResponse shallow = handler_.Handle(Get("/healthz"));
+    EXPECT_EQ(shallow.status, 200);
+    EXPECT_EQ(shallow.body, "ok\n");
+  }
+}
+
+TEST_F(HandlersTest, DeepHealthzCarriesRetryAfter) {
+  channel_.Publish(WithShardHealth({2}));
+  const HttpResponse resp = handler_.Handle(Get("/healthz?deep=1"));
+  ASSERT_EQ(resp.status, 503);
+  bool has_retry = false;
+  for (const auto& [k, v] : resp.headers) {
+    if (k == "Retry-After") has_retry = true;
+  }
+  EXPECT_TRUE(has_retry);
+}
+
+TEST_F(HandlersTest, HealthEndpointReportsPerShardState) {
+  channel_.Publish(WithShardHealth({0, 2}));
+  const HttpResponse resp = handler_.Handle(Get("/v1/health"));
+  ASSERT_EQ(resp.status, 200);  // diagnostics stay reachable when critical
+  EXPECT_EQ(resp.content_type, "application/json");
+  EXPECT_NE(resp.body.find("\"overall\":\"critical\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"shards\":["), std::string::npos);
+  EXPECT_NE(resp.body.find("\"refit_queue_depth\":200"), std::string::npos);
+  EXPECT_NE(resp.body.find("refit queue depth"), std::string::npos);
+}
+
+TEST_F(HandlersTest, HealthEndpointOnHealthyEstate) {
+  channel_.Publish(WithShardHealth({0}));
+  const HttpResponse resp = handler_.Handle(Get("/v1/health"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"overall\":\"healthy\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"state\":\"healthy\""), std::string::npos);
+}
+
+TEST_F(HandlersTest, HealthEndpointBeforeFirstViewIs503) {
+  EXPECT_EQ(handler_.Handle(Get("/v1/health")).status, 503);
+}
+
 }  // namespace
 }  // namespace capplan::serve

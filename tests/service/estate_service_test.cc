@@ -1,10 +1,12 @@
 #include "service/estate_service.h"
 
+#include <cmath>
 #include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "workload/scenario.h"
 
 namespace capplan::service {
@@ -358,6 +360,100 @@ TEST(EstateServiceTest, TelemetryJsonGoldenFieldsAreByteStable) {
                 "\"p99_ms\":12.45}"),
       std::string::npos)
       << json;
+}
+
+TEST(EstateServiceTest, TelemetryJsonAppendsGuardrailAndHealthAfterShards) {
+  // The guardrail and health summaries ride strictly after the shards array
+  // so the frozen counter prefix (tested above) is untouched.
+  ServiceTelemetry telemetry;
+  const std::string json = TelemetryToJson(telemetry);
+  const auto shards_pos = json.find("\"shards\":[");
+  const auto guardrail_pos = json.find("\"guardrail\":{");
+  const auto health_pos = json.find("\"health\":{");
+  ASSERT_NE(shards_pos, std::string::npos) << json;
+  ASSERT_NE(guardrail_pos, std::string::npos) << json;
+  ASSERT_NE(health_pos, std::string::npos) << json;
+  EXPECT_LT(shards_pos, guardrail_pos);
+  EXPECT_LT(guardrail_pos, health_pos);
+  EXPECT_NE(json.find("\"promotions\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"promotions_rejected\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"rollbacks\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tick_overruns\":0"), std::string::npos);
+}
+
+TEST(EstateServiceTest, LiveScoringTracksForecastAccuracy) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        FastConfig());
+  ASSERT_TRUE(service.Start().ok());
+  const std::string key = service.keys()[0];
+  EXPECT_LT(service.LiveMapeFor(key), 0.0);  // nothing scored before a fit
+  EXPECT_LT(service.LiveMapeFor("no/such/key"), 0.0);
+
+  for (int tick = 1; tick <= 5; ++tick) {
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+  }
+  // Hours arriving after the initial fit were scored against the cached
+  // forecast: the rolling live MAPE (percent) is populated and finite.
+  const double live = service.LiveMapeFor(key);
+  EXPECT_GE(live, 0.0);
+  EXPECT_TRUE(std::isfinite(live));
+  ASSERT_EQ(service.telemetry().shards.size(), 1u);
+  EXPECT_GE(service.telemetry().shards[0].guardrail_scored.value(), 3u);
+  // The initial fit was a promotion (generation 1, no gate to clear).
+  EXPECT_EQ(service.telemetry().promotions, 1u);
+  auto model = service.registry().Get(key);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->generation, 1);
+  EXPECT_GT(model->promoted_at_epoch, 0);
+  // An accurate steady-state stream keeps the estate healthy.
+  EXPECT_EQ(service.ShardHealthState(0), HealthState::kHealthy);
+  EXPECT_EQ(service.OverallHealth(), HealthState::kHealthy);
+}
+
+TEST(EstateServiceTest, PromotionGateRejectsRegressedChallenger) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.staleness.max_age_seconds = 4 * kHour;     // refit due at tick 5
+  config.staleness.rmse_degradation_factor = 1e9;   // age-only refits
+  config.guardrail.promotion_min_scored = 2;
+  EstateService service(&cluster, {{0, workload::Metric::kCpu, 95.0}},
+                        config);
+  const std::string key = service.keys()[0];
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+  auto champion = service.registry().Get(key);
+  ASSERT_TRUE(champion.ok());
+  const std::int64_t champion_fitted_at = champion->fitted_at_epoch;
+
+  // Ticks 2-4 accumulate scored hours against the champion's forecast; the
+  // age policy refits at tick 5, but the challenger's held-out MAPE is
+  // poisoned sky-high, so the gate holds.
+  for (int tick = 2; tick <= 4; ++tick) {
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+  }
+  ASSERT_GE(service.LiveMapeFor(key), 0.0);
+  {
+    ScopedFault poison("pipeline.poison_fit", FaultPlan::FailForever());
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+  }
+  EXPECT_EQ(service.telemetry().promotions_rejected, 1u);
+  EXPECT_EQ(service.telemetry().promotions, 1u);  // only the initial fit
+  EXPECT_EQ(service.telemetry().rollbacks, 0u);
+  auto kept = service.registry().Get(key);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->fitted_at_epoch, champion_fitted_at);  // champion retained
+  EXPECT_EQ(kept->generation, 1);
+  // The rejection still reschedules the key: it is not stuck.
+  auto entry = service.ScheduleFor(key);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_GT(entry->due_epoch, service.now());
 }
 
 }  // namespace

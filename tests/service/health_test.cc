@@ -1,0 +1,130 @@
+#include "service/health.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace capplan::service {
+namespace {
+
+HealthPolicy TestPolicy() {
+  HealthPolicy p;
+  p.window_ticks = 4;
+  p.degraded_queue_depth = 8;
+  p.critical_queue_depth = 32;
+  p.degraded_quarantined = 1;
+  p.critical_quarantined = 4;
+  p.degraded_overruns = 1;
+  p.critical_overruns = 3;
+  p.degraded_rollbacks = 1;
+  p.critical_rollbacks = 3;
+  p.degraded_io_errors = 1;
+  p.critical_io_errors = 4;
+  p.recover_ticks = 2;
+  return p;
+}
+
+TEST(ShardHealthTest, NominalSignalsStayHealthy) {
+  ShardHealth health(TestPolicy());
+  HealthSignals calm;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(health.Evaluate(calm), HealthState::kHealthy);
+  }
+  EXPECT_STREQ(health.reason(), "nominal");
+  EXPECT_EQ(health.transitions(), 0u);
+}
+
+TEST(ShardHealthTest, QueueDepthEscalatesImmediately) {
+  ShardHealth health(TestPolicy());
+  HealthSignals signals;
+  signals.refit_queue_depth = 8;
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kDegraded);
+  EXPECT_EQ(std::string(health.reason()), "refit queue depth");
+  signals.refit_queue_depth = 32;
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kCritical);
+  EXPECT_EQ(health.transitions(), 2u);
+}
+
+TEST(ShardHealthTest, RecoveryIsHystereticOneLevelPerStreak) {
+  ShardHealth health(TestPolicy());
+  HealthSignals signals;
+  signals.refit_queue_depth = 32;
+  ASSERT_EQ(health.Evaluate(signals), HealthState::kCritical);
+  // Calm signals: recover_ticks=2 evaluations per step down.
+  signals.refit_queue_depth = 0;
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kCritical);  // calm 1
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kDegraded);  // calm 2
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kDegraded);
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kHealthy);
+  EXPECT_STREQ(health.reason(), "nominal");
+}
+
+TEST(ShardHealthTest, EscalationBreaksTheRecoveryStreak) {
+  ShardHealth health(TestPolicy());
+  HealthSignals bad;
+  bad.refit_queue_depth = 8;
+  ASSERT_EQ(health.Evaluate(bad), HealthState::kDegraded);
+  HealthSignals calm;
+  EXPECT_EQ(health.Evaluate(calm), HealthState::kDegraded);  // calm 1 of 2
+  EXPECT_EQ(health.Evaluate(bad), HealthState::kDegraded);   // streak broken
+  EXPECT_EQ(health.Evaluate(calm), HealthState::kDegraded);  // calm 1 again
+  EXPECT_EQ(health.Evaluate(calm), HealthState::kHealthy);
+}
+
+TEST(ShardHealthTest, CumulativeCountersAreWindowedSoIncidentsAgeOut) {
+  ShardHealth health(TestPolicy());
+  HealthSignals signals;
+  health.Evaluate(signals);  // baseline sample: counters start at zero
+  // One burst of 2 overruns: degraded (>= 1 within the window) but not
+  // critical (< 3).
+  signals.tick_overruns = 2;
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kDegraded);
+  EXPECT_EQ(std::string(health.reason()), "tick deadline overruns");
+  // The counter never resets (it is cumulative), but with no *new*
+  // overruns the windowed delta decays to zero and the machine recovers.
+  HealthState last = HealthState::kDegraded;
+  for (int i = 0; i < 10; ++i) last = health.Evaluate(signals);
+  EXPECT_EQ(last, HealthState::kHealthy);
+}
+
+TEST(ShardHealthTest, RollbackStormGoesCritical) {
+  ShardHealth health(TestPolicy());
+  HealthSignals signals;
+  health.Evaluate(signals);  // baseline sample: counters start at zero
+  signals.rollbacks = 3;     // 3 rollbacks inside one window
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kCritical);
+  EXPECT_EQ(std::string(health.reason()), "rollback storm");
+}
+
+TEST(ShardHealthTest, QuarantineAndIoSignalsArgueToo) {
+  ShardHealth health(TestPolicy());
+  HealthSignals signals;
+  signals.quarantined_keys = 4;
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kCritical);
+  EXPECT_EQ(std::string(health.reason()), "quarantined keys");
+
+  ShardHealth io_health(TestPolicy());
+  HealthSignals io;
+  io_health.Evaluate(io);  // baseline sample: counters start at zero
+  io.io_errors = 1;
+  EXPECT_EQ(io_health.Evaluate(io), HealthState::kDegraded);
+  EXPECT_EQ(std::string(io_health.reason()), "journal/store I/O errors");
+}
+
+TEST(ShardHealthTest, WorstSignalWins) {
+  ShardHealth health(TestPolicy());
+  HealthSignals signals;
+  signals.refit_queue_depth = 8;  // argues degraded
+  signals.quarantined_keys = 4;   // argues critical
+  EXPECT_EQ(health.Evaluate(signals), HealthState::kCritical);
+  EXPECT_EQ(std::string(health.reason()), "quarantined keys");
+}
+
+TEST(ShardHealthTest, StateNames) {
+  EXPECT_STREQ(HealthStateName(HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(HealthStateName(HealthState::kDegraded), "degraded");
+  EXPECT_STREQ(HealthStateName(HealthState::kCritical), "critical");
+}
+
+}  // namespace
+}  // namespace capplan::service

@@ -22,7 +22,8 @@ import sys
 from pathlib import Path
 
 CATALOGUES = (Path("docs/observability.md"), Path("docs/serving.md"),
-              Path("docs/storage.md"), Path("docs/scaling.md"))
+              Path("docs/storage.md"), Path("docs/scaling.md"),
+              Path("docs/robustness.md"))
 SRC_DIR = Path("src")
 
 # A metric name inside a C++ string literal.
@@ -31,7 +32,10 @@ SRC_METRIC_RE = re.compile(r'"(capplan_[A-Za-z0-9_]*)"')
 DOC_METRIC_RE = re.compile(r"^\|\s*`(capplan_[A-Za-z0-9_]*)`\s*\|", re.MULTILINE)
 
 VALID_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
-UNIT_SUFFIXES = ("_total", "_ms", "_seconds", "_bytes", "_ratio")
+# `_state` marks an enum-valued gauge (e.g. capplan_health_state: 0 healthy,
+# 1 degraded, 2 critical); `_count` a unit-less sample count gauge.
+UNIT_SUFFIXES = ("_total", "_ms", "_seconds", "_bytes", "_ratio", "_state",
+                 "_count")
 
 
 def naming_errors(name: str, where: str) -> list:
