@@ -138,7 +138,14 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
           const std::string le =
               i < s.bounds.size() ? FormatPromValue(s.bounds[i]) : "+Inf";
           out += s.name + "_bucket" + RenderLabels(s.labels, "le", le) + " " +
-                 std::to_string(cum) + "\n";
+                 std::to_string(cum);
+          if (i < s.exemplars.size() && s.exemplars[i].valid) {
+            const Exemplar& e = s.exemplars[i];
+            out += " # {span_id=\"" + std::to_string(e.span_id) +
+                   "\",event_id=\"" + std::to_string(e.event_id) + "\"} " +
+                   FormatPromValue(e.value);
+          }
+          out += "\n";
         }
         out += s.name + "_sum" + RenderLabels(s.labels) + " " +
                FormatPromValue(s.sum) + "\n";
@@ -158,68 +165,105 @@ Status WritePrometheusFile(const MetricsSnapshot& snapshot,
 
 namespace {
 
-// Parses `name{k="v",...} value`, leaving `labels` empty when there is no
-// label block. Returns false on malformed input.
+// Parses a `{k="v",...}` block starting at *pos (which must point at the
+// opening brace); advances *pos past the closing brace.
+bool ParseLabelBlock(const std::string& line, std::size_t* pos,
+                     LabelSet* labels) {
+  std::size_t i = *pos + 1;
+  while (i < line.size() && line[i] != '}') {
+    std::size_t eq = line.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= line.size() ||
+        line[eq + 1] != '"') {
+      return false;
+    }
+    std::string key = line.substr(i, eq - i);
+    std::string value;
+    std::size_t j = eq + 2;
+    bool closed = false;
+    while (j < line.size()) {
+      char c = line[j];
+      if (c == '\\' && j + 1 < line.size()) {
+        char n = line[j + 1];
+        value += n == 'n' ? '\n' : n;
+        j += 2;
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        ++j;
+        break;
+      }
+      value += c;
+      ++j;
+    }
+    if (!closed) return false;
+    labels->emplace_back(std::move(key), std::move(value));
+    if (j < line.size() && line[j] == ',') ++j;
+    i = j;
+  }
+  if (i >= line.size() || line[i] != '}') return false;
+  *pos = i + 1;
+  return true;
+}
+
+bool ParseValueToken(const std::string& token, double* out) {
+  if (token == "+Inf" || token == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "NaN") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != token.c_str();
+}
+
+// Parses `name{k="v",...} value [# {k="v",...} value]`, leaving `labels`
+// empty when there is no label block. The optional `#` suffix is an
+// OpenMetrics exemplar (no timestamp support). Returns false on malformed
+// input.
 bool ParseSampleLine(const std::string& line, PrometheusSample* out) {
   std::size_t i = 0;
   while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
   if (i == 0) return false;
   out->name = line.substr(0, i);
   out->labels.clear();
+  out->has_exemplar = false;
+  out->exemplar = PrometheusExemplar{};
   if (i < line.size() && line[i] == '{') {
-    ++i;
-    while (i < line.size() && line[i] != '}') {
-      std::size_t eq = line.find('=', i);
-      if (eq == std::string::npos || eq + 1 >= line.size() ||
-          line[eq + 1] != '"') {
-        return false;
-      }
-      std::string key = line.substr(i, eq - i);
-      std::string value;
-      std::size_t j = eq + 2;
-      bool closed = false;
-      while (j < line.size()) {
-        char c = line[j];
-        if (c == '\\' && j + 1 < line.size()) {
-          char n = line[j + 1];
-          value += n == 'n' ? '\n' : n;
-          j += 2;
-          continue;
-        }
-        if (c == '"') {
-          closed = true;
-          ++j;
-          break;
-        }
-        value += c;
-        ++j;
-      }
-      if (!closed) return false;
-      out->labels.emplace_back(std::move(key), std::move(value));
-      if (j < line.size() && line[j] == ',') ++j;
-      i = j;
-    }
-    if (i >= line.size() || line[i] != '}') return false;
-    ++i;
+    if (!ParseLabelBlock(line, &i, &out->labels)) return false;
   }
   while (i < line.size() && line[i] == ' ') ++i;
-  if (i >= line.size()) return false;
-  const std::string value_str = line.substr(i);
-  if (value_str == "+Inf" || value_str == "Inf") {
-    out->value = std::numeric_limits<double>::infinity();
-    return true;
+  std::size_t vend = i;
+  while (vend < line.size() && line[vend] != ' ') ++vend;
+  if (vend == i) return false;
+  if (!ParseValueToken(line.substr(i, vend - i), &out->value)) return false;
+  i = vend;
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size()) return true;
+  if (line[i] != '#') return false;
+  ++i;
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size() || line[i] != '{') return false;
+  if (!ParseLabelBlock(line, &i, &out->exemplar.labels)) return false;
+  while (i < line.size() && line[i] == ' ') ++i;
+  vend = i;
+  while (vend < line.size() && line[vend] != ' ') ++vend;
+  if (vend == i) return false;
+  if (!ParseValueToken(line.substr(i, vend - i), &out->exemplar.value)) {
+    return false;
   }
-  if (value_str == "-Inf") {
-    out->value = -std::numeric_limits<double>::infinity();
-    return true;
-  }
-  if (value_str == "NaN") {
-    out->value = std::numeric_limits<double>::quiet_NaN();
-    return true;
-  }
-  char* end = nullptr;
-  out->value = std::strtod(value_str.c_str(), &end);
-  return end != nullptr && *end == '\0' && end != value_str.c_str();
+  i = vend;
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i != line.size()) return false;
+  out->has_exemplar = true;
+  return true;
 }
 
 }  // namespace

@@ -23,18 +23,29 @@ namespace capplan::obs {
 // Renders `# HELP` / `# TYPE` headers plus one line per series. Histograms
 // expand to cumulative `<name>_bucket{le="..."}` series (ending in
 // le="+Inf"), `<name>_sum` and `<name>_count`. Samples are emitted in
-// snapshot order (sorted by name, then labels).
+// snapshot order (sorted by name, then labels). Buckets that captured an
+// exemplar carry it in OpenMetrics syntax after the sample value:
+//
+//   name_bucket{le="5"} 3 # {span_id="12",event_id="7"} 2.25
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 // Atomically replaces `path` with the rendered exposition.
 Status WritePrometheusFile(const MetricsSnapshot& snapshot,
                            const std::string& path);
 
+// An OpenMetrics exemplar attached to one scraped sample line.
+struct PrometheusExemplar {
+  LabelSet labels;  // e.g. {{"span_id","12"},{"event_id","7"}}
+  double value = 0.0;
+};
+
 // One scraped series, e.g. {"fit_latency_ms_bucket", {{"le","0.5"}}, 3}.
 struct PrometheusSample {
   std::string name;
   LabelSet labels;
   double value = 0.0;
+  bool has_exemplar = false;
+  PrometheusExemplar exemplar;
 };
 
 // `# HELP` / `# TYPE` metadata for one metric family.

@@ -36,13 +36,18 @@ std::vector<double> DefaultLatencyBucketsMs() {
 HistogramCell::HistogramCell(std::vector<double> bounds)
     : bounds_(bounds.empty() ? DefaultLatencyBucketsMs() : std::move(bounds)),
       buckets_(bounds_.size() + 1),
+      exemplars_(bounds_.size() + 1),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {}
 
+std::size_t HistogramCell::BucketIndex(double v) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
 void HistogramCell::Observe(double v) {
   if (std::isnan(v)) return;
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  const std::size_t idx = BucketIndex(v);
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
@@ -54,6 +59,40 @@ void HistogramCell::Observe(double v) {
   while (v > seen &&
          !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
   }
+}
+
+void HistogramCell::ObserveWithExemplar(double v, std::uint64_t span_id,
+                                        std::uint64_t event_id) {
+  if (std::isnan(v)) return;
+  Observe(v);
+  ExemplarSlot& slot = exemplars_[BucketIndex(v)];
+  slot.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write in flight
+  slot.value.store(v, std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.event_id.store(event_id, std::memory_order_relaxed);
+  slot.seq.fetch_add(1, std::memory_order_release);  // even: stable
+}
+
+std::vector<Exemplar> HistogramCell::Exemplars() const {
+  std::vector<Exemplar> out(exemplars_.size());
+  for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+    const ExemplarSlot& slot = exemplars_[i];
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == 0) break;       // never written
+      if (s1 % 2 != 0) continue;  // writer in flight
+      Exemplar e;
+      e.valid = true;
+      e.value = slot.value.load(std::memory_order_relaxed);
+      e.span_id = slot.span_id.load(std::memory_order_relaxed);
+      e.event_id = slot.event_id.load(std::memory_order_relaxed);
+      if (slot.seq.load(std::memory_order_acquire) == s1) {
+        out[i] = e;
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 double HistogramCell::Min() const {
@@ -167,6 +206,7 @@ MetricsSnapshot MetricsRegistry::Collect() const {
       case MetricType::kHistogram:
         s.bounds = entry.histogram->bounds();
         s.bucket_counts = entry.histogram->BucketCounts();
+        s.exemplars = entry.histogram->Exemplars();
         s.count = entry.histogram->Count();
         s.sum = entry.histogram->Sum();
         break;

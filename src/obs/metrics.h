@@ -58,6 +58,16 @@ class GaugeCell {
   std::atomic<double> v_{0.0};
 };
 
+// The last observation that landed in a histogram bucket, with the ids
+// needed to pivot from a latency spike to the trace span and wide event
+// that caused it (OpenMetrics exemplar).
+struct Exemplar {
+  bool valid = false;
+  double value = 0.0;
+  std::uint64_t span_id = 0;
+  std::uint64_t event_id = 0;
+};
+
 class HistogramCell {
  public:
   // `bounds` are ascending bucket upper limits; an implicit +Inf bucket is
@@ -65,6 +75,12 @@ class HistogramCell {
   explicit HistogramCell(std::vector<double> bounds);
 
   void Observe(double v);
+  // Observe() plus exemplar capture: the bucket the observation lands in
+  // remembers (v, span_id, event_id) as its exposition exemplar. Lock-free
+  // (per-bucket seqlock); concurrent writers race benignly — some last
+  // observation wins.
+  void ObserveWithExemplar(double v, std::uint64_t span_id,
+                           std::uint64_t event_id);
 
   std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -77,11 +93,27 @@ class HistogramCell {
   double Quantile(double q) const;
   // Per-bucket (non-cumulative) counts; the last entry is the +Inf bucket.
   std::vector<std::uint64_t> BucketCounts() const;
+  // Per-bucket exemplars, parallel to BucketCounts(); entries are invalid
+  // for buckets that never saw an ObserveWithExemplar.
+  std::vector<Exemplar> Exemplars() const;
   const std::vector<double>& bounds() const { return bounds_; }
 
  private:
+  // Seqlock-protected exemplar slot: the sequence is odd while a writer is
+  // mid-update; readers retry until they see a stable even sequence, so the
+  // (value, span, event) triple is always mutually consistent.
+  struct ExemplarSlot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<double> value{0.0};
+    std::atomic<std::uint64_t> span_id{0};
+    std::atomic<std::uint64_t> event_id{0};
+  };
+
+  std::size_t BucketIndex(double v) const;
+
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::vector<ExemplarSlot> exemplars_;              // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
@@ -147,6 +179,10 @@ class Histogram {
   void Observe(double v) {
     if (cell_ != nullptr) cell_->Observe(v);
   }
+  void ObserveWithExemplar(double v, std::uint64_t span_id,
+                           std::uint64_t event_id) {
+    if (cell_ != nullptr) cell_->ObserveWithExemplar(v, span_id, event_id);
+  }
   std::uint64_t count() const { return cell_ == nullptr ? 0 : cell_->Count(); }
   double sum() const { return cell_ == nullptr ? 0.0 : cell_->Sum(); }
   double min() const { return cell_ == nullptr ? 0.0 : cell_->Min(); }
@@ -176,6 +212,7 @@ struct MetricSample {
   // Histogram only.
   std::vector<double> bounds;
   std::vector<std::uint64_t> bucket_counts;  // per-bucket, +Inf last
+  std::vector<Exemplar> exemplars;           // parallel to bucket_counts
   std::uint64_t count = 0;
   double sum = 0.0;
 };

@@ -1,0 +1,139 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace capplan::obs {
+
+SloTracker::SloTracker(Options options) : options_(options) {
+  if (!(options_.objective > 0.0) || !(options_.objective < 1.0)) {
+    options_.objective = 0.99;
+  }
+  if (!(options_.fast_window_seconds > 0.0)) {
+    options_.fast_window_seconds = 300.0;
+  }
+  if (options_.slow_window_seconds < options_.fast_window_seconds) {
+    options_.slow_window_seconds = options_.fast_window_seconds;
+  }
+  bucket_width_ = options_.slow_window_seconds / static_cast<double>(kBuckets);
+}
+
+void SloTracker::Record(bool good, double now_seconds) {
+  const std::int64_t index =
+      static_cast<std::int64_t>(std::floor(now_seconds / bucket_width_));
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = buckets_[static_cast<std::size_t>(
+      ((index % kBuckets) + kBuckets) % kBuckets)];
+  if (b.index != index) {
+    b.index = index;
+    b.good = 0;
+    b.bad = 0;
+  }
+  if (good) {
+    ++b.good;
+  } else {
+    ++b.bad;
+    ++bad_events_;
+  }
+  ++total_events_;
+  last_record_time_ = std::max(last_record_time_, now_seconds);
+  any_recorded_ = true;
+}
+
+SloTracker::Burn SloTracker::Evaluate(double now_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Burn out;
+  out.total_events = total_events_;
+  out.bad_events = bad_events_;
+  if (!any_recorded_) return out;
+  // Readers on a different clock origin (the handler's steady clock vs the
+  // estate epoch) see the windows as of the newest event.
+  const double now = std::max(now_seconds, last_record_time_);
+  const std::int64_t now_index =
+      static_cast<std::int64_t>(std::floor(now / bucket_width_));
+  const std::int64_t fast_buckets = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(options_.fast_window_seconds / bucket_width_)));
+  std::uint64_t fast_good = 0, fast_bad = 0, slow_good = 0, slow_bad = 0;
+  for (const Bucket& b : buckets_) {
+    if (b.index < 0) continue;
+    const std::int64_t age = now_index - b.index;
+    if (age < 0 || age >= static_cast<std::int64_t>(kBuckets)) continue;
+    slow_good += b.good;
+    slow_bad += b.bad;
+    if (age < fast_buckets) {
+      fast_good += b.good;
+      fast_bad += b.bad;
+    }
+  }
+  out.fast_events = fast_good + fast_bad;
+  out.slow_events = slow_good + slow_bad;
+  const double budget = std::max(1.0 - options_.objective, 1e-9);
+  if (out.fast_events > 0) {
+    out.fast_bad_ratio =
+        static_cast<double>(fast_bad) / static_cast<double>(out.fast_events);
+    out.fast_burn = out.fast_bad_ratio / budget;
+  }
+  if (out.slow_events > 0) {
+    out.slow_bad_ratio =
+        static_cast<double>(slow_bad) / static_cast<double>(out.slow_events);
+    out.slow_burn = out.slow_bad_ratio / budget;
+  }
+  return out;
+}
+
+SloTracker* SloSet::Add(std::string name, SloTracker::Options options) {
+  for (auto& [existing, tracker] : slos_) {
+    if (existing == name) return tracker.get();
+  }
+  slos_.emplace_back(std::move(name), std::make_unique<SloTracker>(options));
+  return slos_.back().second.get();
+}
+
+SloTracker* SloSet::Find(std::string_view name) const {
+  for (const auto& [existing, tracker] : slos_) {
+    if (existing == name) return tracker.get();
+  }
+  return nullptr;
+}
+
+std::vector<SloSet::Entry> SloSet::Snapshot(double now_seconds) const {
+  std::vector<Entry> out;
+  out.reserve(slos_.size());
+  for (const auto& [name, tracker] : slos_) {
+    out.push_back({name, tracker->options(), tracker->Evaluate(now_seconds)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+void ExportSloMetrics(const SloSet& slos, MetricsRegistry* registry,
+                      double now_seconds) {
+  if (registry == nullptr) return;
+  for (const SloSet::Entry& e : slos.Snapshot(now_seconds)) {
+    const LabelSet labels = {{"slo", e.name}};
+    registry
+        ->GetGauge("capplan_slo_objective_ratio", labels,
+                   "Targeted good-event fraction per SLO")
+        .Set(e.options.objective);
+    registry
+        ->GetGauge("capplan_slo_fast_burn_ratio", labels,
+                   "Error-budget burn rate over the fast window")
+        .Set(e.burn.fast_burn);
+    registry
+        ->GetGauge("capplan_slo_slow_burn_ratio", labels,
+                   "Error-budget burn rate over the slow window")
+        .Set(e.burn.slow_burn);
+    Counter events = registry->GetCounter(
+        "capplan_slo_events_total", labels, "Events recorded against the SLO");
+    events = e.burn.total_events;
+    Counter bad = registry->GetCounter("capplan_slo_bad_events_total", labels,
+                                       "Events that violated the SLO");
+    bad = e.burn.bad_events;
+  }
+}
+
+}  // namespace capplan::obs

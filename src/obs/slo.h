@@ -1,0 +1,110 @@
+#ifndef CAPPLAN_OBS_SLO_H_
+#define CAPPLAN_OBS_SLO_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace capplan::obs {
+
+class MetricsRegistry;
+
+// Multi-window SLO burn-rate tracking (the Google SRE workbook alerting
+// shape). Each tracker counts good/bad events into fixed-width time buckets
+// and reports, over a fast and a slow window, the fraction of bad events
+// divided by the error budget (1 - objective):
+//
+//   burn == 1   the budget is being consumed exactly at the sustainable rate
+//   burn >> 1   at this rate the budget exhausts `burn` times too fast
+//
+// Alerting on *both* windows exceeding a threshold is what makes the signal
+// robust: the fast window gives responsiveness, the slow window stops a
+// brief blip from paging. The estate wires two SLOs: a serve-latency SLO
+// (request answered under the threshold) and a forecast-accuracy SLO (live
+// scored point within the APE tolerance) — the latter also feeds the
+// per-shard health state machine.
+//
+// Time is supplied by the caller (seconds, any monotone-ish origin: steady
+// clock for serving, estate epoch for scoring). Evaluate() clamps its `now`
+// to the newest recorded event so readers on a different clock origin see
+// the state "as of the last event" instead of an empty window.
+class SloTracker {
+ public:
+  struct Options {
+    double objective = 0.99;             // targeted good fraction, (0,1)
+    double fast_window_seconds = 300.0;  // responsiveness window
+    double slow_window_seconds = 3600.0;  // sustained-burn window
+  };
+
+  struct Burn {
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+    double fast_bad_ratio = 0.0;
+    double slow_bad_ratio = 0.0;
+    std::uint64_t fast_events = 0;
+    std::uint64_t slow_events = 0;
+    std::uint64_t total_events = 0;  // lifetime
+    std::uint64_t bad_events = 0;    // lifetime
+  };
+
+  explicit SloTracker(Options options);
+
+  void Record(bool good, double now_seconds);
+  Burn Evaluate(double now_seconds) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+
+  struct Bucket {
+    std::int64_t index = -1;  // absolute bucket number, -1 = never used
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+
+  Options options_;
+  double bucket_width_;
+
+  mutable std::mutex mu_;
+  Bucket buckets_[kBuckets];
+  double last_record_time_ = 0.0;
+  bool any_recorded_ = false;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t bad_events_ = 0;
+};
+
+// Named collection of SLO trackers shared between the estate service (which
+// records accuracy events) and the query handler (which records latency
+// events and serves /v1/slo). Add() all trackers at construction time; the
+// trackers themselves are internally synchronized.
+class SloSet {
+ public:
+  SloTracker* Add(std::string name, SloTracker::Options options);
+  SloTracker* Find(std::string_view name) const;
+
+  struct Entry {
+    std::string name;
+    SloTracker::Options options;
+    SloTracker::Burn burn;
+  };
+  // Evaluates every tracker at `now_seconds` (each clamps to its own last
+  // event), sorted by name.
+  std::vector<Entry> Snapshot(double now_seconds) const;
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<SloTracker>>> slos_;
+};
+
+// Refreshes the capplan_slo_* gauge/counter family in `registry` from a
+// snapshot of `slos` — called just before each scrape/export so the burn
+// rates are current.
+void ExportSloMetrics(const SloSet& slos, MetricsRegistry* registry,
+                      double now_seconds);
+
+}  // namespace capplan::obs
+
+#endif  // CAPPLAN_OBS_SLO_H_

@@ -81,6 +81,7 @@ void Tracer::Record(const TraceEvent& event) {
   ring->events[ring->next] = event;
   ring->next = (ring->next + 1) % ring->capacity;
   ++ring->dropped;
+  total_dropped_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> Tracer::Drain() {

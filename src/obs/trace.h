@@ -56,6 +56,11 @@ class Tracer {
 
   // Events overwritten because a ring was full, since the last Drain.
   std::uint64_t dropped() const;
+  // Overwrites since process start (never reset by Drain) — backs the
+  // capplan_obs_trace_dropped_total metric.
+  std::uint64_t total_dropped() const {
+    return total_dropped_.load(std::memory_order_relaxed);
+  }
 
   void SetClockForTest(TraceClockFn fn);
   std::uint64_t NowNs() const;
@@ -79,6 +84,7 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_span_id_{0};
+  std::atomic<std::uint64_t> total_dropped_{0};
   std::atomic<TraceClockFn> clock_{nullptr};
   std::atomic<std::size_t> ring_capacity_{kDefaultRingCapacity};
 

@@ -4,9 +4,13 @@
 #include <cmath>
 #include <cstdlib>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/json_writer.h"
 #include "core/capacity.h"
 #include "core/report_json.h"
+#include "obs/event_log.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "tsa/timeseries.h"
@@ -105,9 +109,23 @@ EstateQueryHandler::EstateQueryHandler(
     m_headroom_ = endpoint("headroom");
     m_estate_ = endpoint("estate");
     m_health_ = endpoint("health");
+    m_slo_ = endpoint("slo");
+    m_debug_events_ = endpoint("debug_events");
+    m_debug_slow_ = endpoint("debug_slow");
     m_errors_ = reg.GetCounter("capplan_serve_handler_errors_total", {},
                                "Responses with status >= 400");
+    m_trace_dropped_ =
+        reg.GetCounter("capplan_obs_trace_dropped_total", {},
+                       "Trace ring events overwritten because a ring was full");
+    m_events_dropped_ = reg.GetCounter(
+        "capplan_obs_events_dropped_total", {},
+        "Wide events overwritten because an event-log ring was full");
   }
+}
+
+bool EstateQueryHandler::CacheExempt(const std::string& path) {
+  return path == "/metrics" || path == "/v1/slo" ||
+         path.rfind("/v1/debug/", 0) == 0;
 }
 
 HttpResponse EstateQueryHandler::Handle(const HttpRequest& request) {
@@ -150,44 +168,91 @@ HttpResponse EstateQueryHandler::Dispatch(
   if (!is_v1) {
     return ErrorResponse(404, "NotFound", "no such endpoint: " + request.path);
   }
-  if (view == nullptr) return ServiceUnavailable("no view published yet");
-
-  // Cache probe: every /v1/* answer is deterministic given (view version,
-  // canonical query), so a hit skips rendering entirely.
-  const std::string cache_key = CacheKey(request);
-  if (auto cached = cache_.Get(cache_key, view->version, NowSeconds())) {
-    return *std::move(cached);
-  }
 
   const auto start = std::chrono::steady_clock::now();
+  obs::TraceSpan span("serve.request", "serve");
   HttpResponse response;
   EndpointMetrics* metrics = nullptr;
-  if (request.path == "/v1/estate") {
-    response = HandleEstate(*view);
-    metrics = &m_estate_;
-  } else if (request.path == "/v1/health") {
-    response = HandleHealth(*view);
-    metrics = &m_health_;
-  } else if (request.path == "/v1/forecast") {
-    response = HandleForecast(request, *view);
-    metrics = &m_forecast_;
-  } else if (request.path == "/v1/breach") {
-    response = HandleBreach(request, *view);
-    metrics = &m_breach_;
-  } else if (request.path == "/v1/headroom") {
-    response = HandleHeadroom(request, *view);
-    metrics = &m_headroom_;
-  } else {
-    return ErrorResponse(404, "NotFound", "no such endpoint: " + request.path);
+
+  // The debug/SLO surface reads live recorder state and needs no view, so
+  // it routes before the view gate and never consults the answer cache.
+  if (request.path == "/v1/slo") {
+    response = HandleSlo();
+    metrics = &m_slo_;
+  } else if (request.path == "/v1/debug/events") {
+    response = HandleDebugEvents(request);
+    metrics = &m_debug_events_;
+  } else if (request.path == "/v1/debug/slow") {
+    response = HandleDebugSlow(request);
+    metrics = &m_debug_slow_;
   }
-  if (metrics != nullptr) {
-    metrics->requests.Inc();
-    metrics->latency.Observe(
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+
+  std::string cache_key;
+  if (metrics == nullptr) {
+    if (view == nullptr) return ServiceUnavailable("no view published yet");
+
+    // Cache probe: every cacheable /v1/* answer is deterministic given
+    // (view version, canonical query), so a hit skips rendering entirely.
+    cache_key = CacheKey(request);
+    if (!CacheExempt(request.path)) {
+      if (auto cached = cache_.Get(cache_key, view->version, NowSeconds())) {
+        return *std::move(cached);
+      }
+    }
+
+    if (request.path == "/v1/estate") {
+      response = HandleEstate(*view);
+      metrics = &m_estate_;
+    } else if (request.path == "/v1/health") {
+      response = HandleHealth(*view);
+      metrics = &m_health_;
+    } else if (request.path == "/v1/forecast") {
+      response = HandleForecast(request, *view);
+      metrics = &m_forecast_;
+    } else if (request.path == "/v1/breach") {
+      response = HandleBreach(request, *view);
+      metrics = &m_breach_;
+    } else if (request.path == "/v1/headroom") {
+      response = HandleHeadroom(request, *view);
+      metrics = &m_headroom_;
+    } else {
+      return ErrorResponse(404, "NotFound",
+                           "no such endpoint: " + request.path);
+    }
   }
-  if (response.status == 200) {
+
+  span.End();
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  // One wide event per rendered request; its id plus the request span id
+  // become the latency histogram's exemplar for the bucket this request
+  // landed in, so a p99 spike links straight back to the evidence.
+  obs::EventLog& events = obs::EventLog::Instance();
+  std::uint64_t event_id = 0;
+  if (events.enabled()) {
+    obs::WideEvent ev;
+    ev.kind = obs::WideEventKind::kHttpRequest;
+    ev.set_key(request.path);
+    ev.span_id = span.id();
+    ev.outcome = response.status < 400 ? "ok" : "error";
+    ev.dur_ns = static_cast<std::uint64_t>(elapsed_ms * 1e6);
+    const std::uint64_t now_ns = events.NowNs();
+    ev.start_ns = now_ns >= ev.dur_ns ? now_ns - ev.dur_ns : 0;
+    ev.AddAttr("status", static_cast<double>(response.status));
+    event_id = events.Emit(ev);
+  }
+  metrics->requests.Inc();
+  metrics->latency.ObserveWithExemplar(elapsed_ms, span.id(), event_id);
+  if (options_.slos != nullptr) {
+    if (obs::SloTracker* slo = options_.slos->Find("serve_latency")) {
+      slo->Record(elapsed_ms <= options_.latency_slo_threshold_ms,
+                  NowSeconds());
+    }
+  }
+
+  if (response.status == 200 && !cache_key.empty() &&
+      !CacheExempt(request.path)) {
     cache_.Put(cache_key, view->version, NowSeconds(), response);
   }
   return response;
@@ -396,11 +461,195 @@ HttpResponse EstateQueryHandler::HandleMetrics() {
   if (registry_ == nullptr) {
     return ErrorResponse(404, "NotFound", "metrics registry not wired");
   }
+  // Pull-model metrics are refreshed at the scrape edge: ring drop totals
+  // and SLO burn gauges are computed now so the exposition is current.
+  m_trace_dropped_ = obs::Tracer::Instance().total_dropped();
+  m_events_dropped_ = obs::EventLog::Instance().total_dropped();
+  if (options_.slos != nullptr) {
+    obs::ExportSloMetrics(*options_.slos, registry_.get(), NowSeconds());
+  }
   HttpResponse resp;
   resp.status = 200;
   resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
   resp.body = obs::ToPrometheusText(registry_->Collect());
   return resp;
+}
+
+HttpResponse EstateQueryHandler::HandleSlo() {
+  if (options_.slos == nullptr) {
+    return ErrorResponse(404, "NotFound", "no SLO trackers wired");
+  }
+  const double now = NowSeconds();
+  JsonWriter w(false);
+  w.BeginObject();
+  w.BeginArray("slos");
+  for (const obs::SloSet::Entry& e : options_.slos->Snapshot(now)) {
+    w.BeginObject();
+    w.String("name", e.name);
+    w.Number("objective", e.options.objective);
+    w.Number("fast_window_seconds", e.options.fast_window_seconds);
+    w.Number("slow_window_seconds", e.options.slow_window_seconds);
+    w.Number("fast_burn", e.burn.fast_burn);
+    w.Number("slow_burn", e.burn.slow_burn);
+    w.Number("fast_bad_ratio", e.burn.fast_bad_ratio);
+    w.Number("slow_bad_ratio", e.burn.slow_bad_ratio);
+    w.Integer("fast_events", static_cast<long long>(e.burn.fast_events));
+    w.Integer("slow_events", static_cast<long long>(e.burn.slow_events));
+    w.Integer("events", static_cast<long long>(e.burn.total_events));
+    w.Integer("bad_events", static_cast<long long>(e.burn.bad_events));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Json(200, w.Take());
+}
+
+namespace {
+
+// Parsed ?key=&shard=&kind=&outcome=&min_duration_ms=&limit= filters for
+// the /v1/debug surface. `error` is filled with the uniform 400 response
+// when a parameter does not parse.
+struct EventFilter {
+  std::string key;
+  long shard = -1;  // -1 = any
+  bool has_kind = false;
+  obs::WideEventKind kind = obs::WideEventKind::kHttpRequest;
+  std::string outcome;
+  double min_duration_ms = 0.0;
+  long limit = 100;
+};
+
+bool ParseEventFilter(const HttpRequest& request, long default_limit,
+                      EventFilter* out, HttpResponse* error) {
+  out->limit = default_limit;
+  for (const auto& [k, v] : request.query) {
+    if (k == "key") {
+      out->key = v;
+    } else if (k == "shard") {
+      if (!ParseLong(v, &out->shard) || out->shard < 0) {
+        *error = ErrorResponse(400, "InvalidArgument",
+                               "shard must be a non-negative integer");
+        return false;
+      }
+    } else if (k == "kind") {
+      if (!obs::WideEventKindFromName(v, &out->kind)) {
+        *error = ErrorResponse(400, "InvalidArgument",
+                               "unknown event kind: " + v);
+        return false;
+      }
+      out->has_kind = true;
+    } else if (k == "outcome") {
+      out->outcome = v;
+    } else if (k == "min_duration_ms") {
+      if (!ParseDouble(v, &out->min_duration_ms) ||
+          out->min_duration_ms < 0.0) {
+        *error = ErrorResponse(400, "InvalidArgument",
+                               "min_duration_ms must be a non-negative number");
+        return false;
+      }
+    } else if (k == "limit") {
+      if (!ParseLong(v, &out->limit) || out->limit < 1 || out->limit > 1000) {
+        *error = ErrorResponse(400, "InvalidArgument",
+                               "limit must be an integer in [1, 1000]");
+        return false;
+      }
+    } else {
+      *error = ErrorResponse(400, "InvalidArgument",
+                             "unknown query parameter: " + k);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MatchesFilter(const obs::WideEvent& e, const EventFilter& f) {
+  if (!f.key.empty() && f.key != e.key) return false;
+  if (f.shard >= 0 && e.shard != static_cast<std::int32_t>(f.shard)) {
+    return false;
+  }
+  if (f.has_kind && e.kind != f.kind) return false;
+  if (!f.outcome.empty() && f.outcome != e.outcome) return false;
+  if (static_cast<double>(e.dur_ns) / 1e6 < f.min_duration_ms) return false;
+  return true;
+}
+
+void WriteWideEvent(JsonWriter* w, const obs::WideEvent& e) {
+  w->BeginObject();
+  w->Integer("id", static_cast<long long>(e.id));
+  w->String("kind", obs::WideEventKindName(e.kind));
+  w->String("key", e.key);
+  w->Integer("shard", e.shard);
+  w->Integer("span_id", static_cast<long long>(e.span_id));
+  w->Integer("journal_seq", static_cast<long long>(e.journal_seq));
+  w->Integer("start_ns", static_cast<long long>(e.start_ns));
+  w->Number("duration_ms", static_cast<double>(e.dur_ns) / 1e6);
+  w->String("outcome", e.outcome);
+  w->Integer("tid", static_cast<long long>(e.tid));
+  w->Key("attrs");
+  w->BeginObject();
+  for (std::uint8_t i = 0; i < e.n_attrs; ++i) {
+    w->Number(e.attrs[i].name, e.attrs[i].value);
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+HttpResponse RenderEvents(const std::vector<obs::WideEvent>& selected,
+                          std::size_t buffered) {
+  const obs::EventLog& log = obs::EventLog::Instance();
+  JsonWriter w(false);
+  w.BeginObject();
+  w.Bool("enabled", log.enabled());
+  w.Integer("buffered", static_cast<long long>(buffered));
+  w.Integer("dropped", static_cast<long long>(log.total_dropped()));
+  w.Integer("matched", static_cast<long long>(selected.size()));
+  w.BeginArray("events");
+  for (const obs::WideEvent& e : selected) WriteWideEvent(&w, e);
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Json(200, w.Take());
+}
+
+}  // namespace
+
+HttpResponse EstateQueryHandler::HandleDebugEvents(
+    const HttpRequest& request) {
+  EventFilter filter;
+  HttpResponse error;
+  if (!ParseEventFilter(request, /*default_limit=*/100, &filter, &error)) {
+    return error;
+  }
+  const std::vector<obs::WideEvent> all =
+      obs::EventLog::Instance().Snapshot();
+  // Newest first: the snapshot is oldest-first, so walk it backwards.
+  std::vector<obs::WideEvent> selected;
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (!MatchesFilter(*it, filter)) continue;
+    selected.push_back(*it);
+    if (selected.size() >= static_cast<std::size_t>(filter.limit)) break;
+  }
+  return RenderEvents(selected, all.size());
+}
+
+HttpResponse EstateQueryHandler::HandleDebugSlow(const HttpRequest& request) {
+  EventFilter filter;
+  HttpResponse error;
+  if (!ParseEventFilter(request, /*default_limit=*/20, &filter, &error)) {
+    return error;
+  }
+  std::vector<obs::WideEvent> all = obs::EventLog::Instance().Snapshot();
+  const std::size_t buffered = all.size();
+  std::erase_if(all, [&filter](const obs::WideEvent& e) {
+    return !MatchesFilter(e, filter);
+  });
+  const std::size_t keep =
+      std::min(all.size(), static_cast<std::size_t>(filter.limit));
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const obs::WideEvent& a, const obs::WideEvent& b) {
+                      return a.dur_ns > b.dur_ns;
+                    });
+  all.resize(keep);
+  return RenderEvents(all, buffered);
 }
 
 }  // namespace capplan::serve

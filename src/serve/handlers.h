@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "serve/answer_cache.h"
 #include "serve/estate_view.h"
 #include "serve/http.h"
@@ -24,6 +25,10 @@ namespace capplan::serve {
 //   /v1/forecast?instance=&metric=[&horizon=]
 //   /v1/breach?instance=&metric=[&threshold=]
 //   /v1/headroom?instance=&metric=&capacity=
+//   /v1/slo                          burn rates per registered SLO
+//   /v1/debug/events?[key=&shard=&kind=&outcome=&min_duration_ms=&limit=]
+//                                    merged wide-event snapshot, newest first
+//   /v1/debug/slow?[same filters]    slowest buffered wide events
 //
 // Error mapping: unknown path or unknown instance/metric → 404; bad or
 // missing query parameters → 400; method other than GET/HEAD → 405 with
@@ -31,7 +36,9 @@ namespace capplan::serve {
 // 503 + Retry-After; planner Result errors (empty/NaN forecasts, bad
 // thresholds) → 422 carrying the StatusCode name and message. Successful
 // /v1/* answers are cached per (path, canonical query) and invalidated by
-// view swaps or TTL expiry.
+// view swaps or TTL expiry — except the cache-exempt endpoints (/metrics,
+// /v1/slo, /v1/debug/*), which must always reflect live recorder/registry
+// state and therefore never touch the answer cache.
 //
 // Handle() is thread-safe and lock-free on the view (one atomic load); the
 // answer cache adds one short critical section.
@@ -40,6 +47,12 @@ class EstateQueryHandler {
   struct Options {
     AnswerCache::Options cache;
     int retry_after_seconds = 2;  // advertised on 503 responses
+    // SLO trackers served on /v1/slo and refreshed into capplan_slo_*
+    // gauges on every /metrics scrape. The handler records each rendered
+    // request against the "serve_latency" tracker when one is registered.
+    std::shared_ptr<obs::SloSet> slos;
+    // A request is "good" for the latency SLO when rendered under this.
+    double latency_slo_threshold_ms = 250.0;
   };
 
   explicit EstateQueryHandler(
@@ -54,6 +67,12 @@ class EstateQueryHandler {
 
   const AnswerCache& cache() const { return cache_; }
 
+  // True for endpoints that must never be served from (or stored into) the
+  // answer cache: /metrics and the debug/SLO surface expose live recorder
+  // state, so a cached body would hide exactly the freshness an operator
+  // is asking for.
+  static bool CacheExempt(const std::string& path);
+
  private:
   HttpResponse Dispatch(const HttpRequest& request,
                         const std::shared_ptr<const EstateView>& view);
@@ -66,6 +85,9 @@ class EstateQueryHandler {
   HttpResponse HandleHeadroom(const HttpRequest& request,
                               const EstateView& view);
   HttpResponse HandleMetrics();
+  HttpResponse HandleSlo();
+  HttpResponse HandleDebugEvents(const HttpRequest& request);
+  HttpResponse HandleDebugSlow(const HttpRequest& request);
 
   // Resolves ?instance=&metric= to a view row, or fills `error` with the
   // 400/404/503 response explaining why it could not.
@@ -90,7 +112,12 @@ class EstateQueryHandler {
   EndpointMetrics m_headroom_;
   EndpointMetrics m_estate_;
   EndpointMetrics m_health_;
+  EndpointMetrics m_slo_;
+  EndpointMetrics m_debug_events_;
+  EndpointMetrics m_debug_slow_;
   obs::Counter m_errors_;
+  obs::Counter m_trace_dropped_;
+  obs::Counter m_events_dropped_;
 };
 
 }  // namespace capplan::serve

@@ -11,6 +11,7 @@
 #include "core/selector.h"
 #include "core/split.h"
 #include "models/arima_spec.h"
+#include "obs/event_log.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "repo/csv.h"
@@ -98,12 +99,28 @@ EstateService::EstateService(const workload::ClusterSimulator* cluster,
   }
   const std::size_t n_shards = std::max<std::size_t>(1, config_.n_shards);
   telemetry_.EnsureShards(n_shards);
+  obs::SloTracker::Options accuracy_slo;
+  if (config_.slo.enabled) {
+    accuracy_slo.objective = config_.slo.accuracy_objective;
+    accuracy_slo.fast_window_seconds = config_.slo.accuracy_fast_window_seconds;
+    accuracy_slo.slow_window_seconds = config_.slo.accuracy_slow_window_seconds;
+    obs::SloTracker::Options latency_slo;
+    latency_slo.objective = config_.slo.latency_objective;
+    latency_slo.fast_window_seconds = config_.slo.latency_fast_window_seconds;
+    latency_slo.slow_window_seconds = config_.slo.latency_slow_window_seconds;
+    slo_set_ = std::make_shared<obs::SloSet>();
+    accuracy_slo_ = slo_set_->Add("forecast_accuracy", accuracy_slo);
+    slo_set_->Add("serve_latency", latency_slo);
+  }
   shards_.reserve(n_shards);
   for (std::size_t s = 0; s < n_shards; ++s) {
     auto shard = std::make_unique<EstateShard>(config_.retry);
     shard->id = s;
     shard->telemetry = &telemetry_.shards[s];
     shard->health = ShardHealth(config_.guardrail.health);
+    if (config_.slo.enabled) {
+      shard->accuracy_slo = std::make_unique<obs::SloTracker>(accuracy_slo);
+    }
     // The unsharded service keeps unlabelled store gauges (the layout every
     // dashboard predates); sharded stores need the shard label so N gauges
     // do not clobber one another on Set.
@@ -314,6 +331,18 @@ void EstateService::ScoreShard(EstateShard* shard) {
       const auto scored = entry.tracker.Score(
           actual, fc.forecast.mean[static_cast<std::size_t>(idx)]);
       ++shard->telemetry->guardrail_scored;
+      // Feed the forecast-accuracy SLO: the scored point is good when its
+      // APE stays within tolerance. Shard tracker drives this shard's
+      // health burn signal; the estate tracker drives /v1/slo and the
+      // capplan_slo_* export. Both are internally synchronized, so
+      // concurrent shard tick jobs may share the estate tracker.
+      if (slo_set_ != nullptr) {
+        const bool good =
+            scored.abs_pct_error <= config_.slo.accuracy_ape_tolerance;
+        const double at = static_cast<double>(t);
+        shard->accuracy_slo->Record(good, at);
+        accuracy_slo_->Record(good, at);
+      }
       if (scored.drift_alarm) {
         alarmed = true;
         ++shard->telemetry->guardrail_drift_alarms;
@@ -434,6 +463,21 @@ EstateService::ShardTickOutput EstateService::TickShard(EstateShard* shard) {
     // state machine by the driver after the join.
     ++shard->tick_overruns;
     ++shard->telemetry->tick_overruns;
+    obs::EventLog& events = obs::EventLog::Instance();
+    if (events.enabled()) {
+      obs::WideEvent ev;
+      ev.kind = obs::WideEventKind::kTickOverrun;
+      ev.set_key("shard.tick");
+      ev.shard = static_cast<std::int32_t>(shard->id);
+      ev.span_id = span.id();
+      ev.dur_ns = static_cast<std::uint64_t>(tick_ms * 1e6);
+      ev.start_ns = events.NowNs() - ev.dur_ns;
+      ev.outcome = "overrun";
+      ev.AddAttr("deadline_ms", config_.guardrail.tick_deadline_ms);
+      ev.AddAttr("samples_ingested",
+                 static_cast<double>(out.samples_ingested));
+      events.Emit(ev);
+    }
   }
   return out;
 }
@@ -555,7 +599,6 @@ void EstateService::CollectFinished(bool block, TickReport* report) {
 
 void EstateService::ApplyOutcome(const FitOutcome& outcome,
                                  TickReport* report) {
-  telemetry_.fit_stage.Record(outcome.wall_ms);
   const std::string& key = outcome.key;
   RetrainScheduler& scheduler = ShardForKey(key).scheduler;
   quality_[key] = outcome.quality;
@@ -570,6 +613,50 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
                               outcome.quality.verdict}};
   quality_event.span_id = outcome.span_id;
   JournalAppend(quality_event);
+  // Flight recorder: one wide event per refit, sharing the worker's span id
+  // with the journal events above (the /v1/debug <-> journal correlation
+  // contract) and feeding the fit-stage histogram's exemplar slot so a
+  // latency outlier links straight back to this record.
+  std::uint64_t refit_event_id = 0;
+  obs::EventLog& events = obs::EventLog::Instance();
+  if (events.enabled()) {
+    obs::WideEvent ev;
+    ev.kind = obs::WideEventKind::kRefit;
+    ev.set_key(key);
+    ev.shard = static_cast<std::int32_t>(ShardOfKey(key));
+    ev.span_id = outcome.span_id;
+    ev.journal_seq = journal_seq_;
+    ev.dur_ns = static_cast<std::uint64_t>(outcome.wall_ms * 1e6);
+    ev.start_ns = events.NowNs() > ev.dur_ns ? events.NowNs() - ev.dur_ns : 0;
+    ev.outcome = outcome.status.ok() ? "ok" : "error";
+    ev.AddAttr("test_mape", outcome.test_mape);
+    ev.AddAttr("degradation",
+               static_cast<double>(static_cast<int>(outcome.degradation)));
+    ev.AddAttr("quality_score", outcome.quality.score);
+    refit_event_id = events.Emit(ev);
+    if (outcome.quality.short_gaps_filled > 0 ||
+        outcome.quality.long_outages > 0 ||
+        outcome.quality.masked_leading > 0) {
+      // The sentinel altered the fit window — record what it did.
+      obs::WideEvent repair;
+      repair.kind = obs::WideEventKind::kQualityRepair;
+      repair.set_key(key);
+      repair.shard = ev.shard;
+      repair.span_id = outcome.span_id;
+      repair.journal_seq = journal_seq_;
+      repair.outcome = outcome.quality.trainable ? "ok" : "gated";
+      repair.AddAttr("score", outcome.quality.score);
+      repair.AddAttr("gaps_filled",
+                     static_cast<double>(outcome.quality.short_gaps_filled));
+      repair.AddAttr("long_outages",
+                     static_cast<double>(outcome.quality.long_outages));
+      repair.AddAttr("masked_leading",
+                     static_cast<double>(outcome.quality.masked_leading));
+      events.Emit(repair);
+    }
+  }
+  telemetry_.fit_stage.RecordWithExemplar(outcome.wall_ms, outcome.span_id,
+                                          refit_event_id);
   if (outcome.status.ok()) {
     // The finished fit is a *challenger*. The current champion's live
     // rolling MAPE (percent) is the accuracy bar; with enough scored
@@ -613,6 +700,19 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
                                    std::to_string(next_due)}};
         reject_event.span_id = outcome.span_id;
         JournalAppend(reject_event);
+        if (events.enabled()) {
+          obs::WideEvent ev;
+          ev.kind = obs::WideEventKind::kPromotion;
+          ev.set_key(key);
+          ev.shard = static_cast<std::int32_t>(ShardOfKey(key));
+          ev.span_id = outcome.span_id;
+          ev.journal_seq = journal_seq_;
+          ev.start_ns = events.NowNs();
+          ev.outcome = "rejected";
+          ev.AddAttr("challenger_mape", outcome.test_mape);
+          ev.AddAttr("champion_live_mape", champion_live_pct);
+          events.Emit(ev);
+        }
         return;
       }
     }
@@ -679,6 +779,19 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
          std::to_string(now_)}};
     fit_event.span_id = outcome.span_id;
     JournalAppend(fit_event);
+    if (events.enabled()) {
+      obs::WideEvent ev;
+      ev.kind = obs::WideEventKind::kPromotion;
+      ev.set_key(key);
+      ev.shard = static_cast<std::int32_t>(ShardOfKey(key));
+      ev.span_id = outcome.span_id;
+      ev.journal_seq = journal_seq_;
+      ev.start_ns = events.NowNs();
+      ev.outcome = "promoted";
+      ev.AddAttr("generation", static_cast<double>(generation));
+      ev.AddAttr("test_mape", outcome.test_mape);
+      events.Emit(ev);
+    }
   } else {
     const bool quarantined = scheduler.OnFailure(key, now_);
     ++telemetry_.refits_failed;
@@ -863,6 +976,21 @@ void EstateService::EvaluateGuardrails(TickReport* report) {
             JoinDoubles(fc.forecast.upper),
             std::to_string(static_cast<int>(fc.degradation)),
             std::to_string(next_due)}});
+      obs::EventLog& events = obs::EventLog::Instance();
+      if (events.enabled()) {
+        obs::WideEvent ev;
+        ev.kind = obs::WideEventKind::kRollback;
+        ev.set_key(key);
+        ev.shard = static_cast<std::int32_t>(shard.id);
+        ev.span_id = span.id();
+        ev.journal_seq = journal_seq_;
+        ev.start_ns = events.NowNs();
+        ev.outcome = "rolled_back";
+        ev.AddAttr("live_mape", live_pct);
+        ev.AddAttr("reference_mape", reference);
+        ev.AddAttr("generation", static_cast<double>(restored->generation));
+        events.Emit(ev);
+      }
     }
     shard.telemetry->guardrail_live_mape.Set(std::max(0.0, worst_mape));
     shard.telemetry->guardrail_ph_statistic.Set(worst_stat);
@@ -884,6 +1012,14 @@ void EstateService::EvaluateHealth() {
     signals.quarantined_keys = shard.scheduler.QuarantinedKeys().size();
     signals.rollbacks = shard.rollbacks;
     signals.io_errors = io_errors;
+    if (shard.accuracy_slo != nullptr) {
+      // Evaluate at the estate clock; the tracker clamps to its own newest
+      // scored point, so a shard with no fresh scores holds its last burn.
+      const obs::SloTracker::Burn burn =
+          shard.accuracy_slo->Evaluate(static_cast<double>(now_));
+      signals.slo_fast_burn = burn.fast_burn;
+      signals.slo_slow_burn = burn.slow_burn;
+    }
     const std::uint64_t before = shard.health.transitions();
     shard.health.Evaluate(signals);
     const std::uint64_t after = shard.health.transitions();
@@ -1154,7 +1290,19 @@ std::string EstateService::ShardSegmentDir(std::size_t shard) const {
 }
 
 Status EstateService::WritePrometheus(const std::string& path) const {
-  return obs::WritePrometheusFile(telemetry_.registry->Collect(), path);
+  obs::MetricsRegistry* registry = telemetry_.registry.get();
+  // Refresh the scrape-time families before collecting: ring drop totals
+  // from the flight-recorder singletons and the SLO burn rates. The serve
+  // handler does the same on /metrics; either export path is current.
+  // (Handle copies write through to the shared cells.)
+  obs::Counter trace_dropped = telemetry_.obs_trace_dropped;
+  trace_dropped = obs::Tracer::Instance().total_dropped();
+  obs::Counter events_dropped = telemetry_.obs_events_dropped;
+  events_dropped = obs::EventLog::Instance().total_dropped();
+  if (slo_set_ != nullptr) {
+    obs::ExportSloMetrics(*slo_set_, registry, static_cast<double>(now_));
+  }
+  return obs::WritePrometheusFile(registry->Collect(), path);
 }
 
 Status EstateService::DumpTrace(const std::string& path) const {
@@ -1174,6 +1322,7 @@ Status EstateService::JournalAppend(JournalEvent event) {
     return st;
   }
   ++telemetry_.journal_events;
+  ++journal_seq_;
   return Status::OK();
 }
 
@@ -1619,6 +1768,10 @@ Status EstateService::Recover() {
   for (std::size_t i = replay_from; i < events.size(); ++i) {
     CAPPLAN_RETURN_NOT_OK(ReplayEvent(events[i]));
   }
+  // The sequence counter resumes at the journal's true length, so wide
+  // events emitted after recovery keep pointing at absolute positions in
+  // the (re-opened, append-only) journal file.
+  journal_seq_ = events.size();
 
   // Keys that never reached a journaled outcome fall back to their initial
   // schedule (the snapshot carries them otherwise). Keys that were sitting

@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/pipeline.h"
+#include "obs/slo.h"
 #include "quality/guardrail.h"
 #include "quality/sentinel.h"
 #include "repo/model_store.h"
@@ -106,6 +107,32 @@ struct GuardrailConfig {
   HealthPolicy health;
 };
 
+// Service-level objectives (obs/slo.h): multi-window burn-rate tracking
+// over a forecast-accuracy SLO (fed by the live guardrail scoring pass) and
+// a serve-latency SLO (fed by the query handler when wired with the
+// service's SloSet). Burn rates export as capplan_slo_* metrics, render on
+// /v1/slo, and — for the accuracy SLO — feed each shard's health state
+// machine (sustained burn argues kDegraded, never kCritical).
+struct SloConfig {
+  bool enabled = true;
+  // Forecast accuracy: a live-scored point is "good" when its absolute
+  // percentage error stays at or under the tolerance (fraction, matching
+  // LiveAccuracyTracker::Scored::abs_pct_error). Windows are sized for the
+  // hourly scoring cadence: 6 h reacts within a workday, 24 h must agree
+  // before health degrades.
+  double accuracy_objective = 0.90;
+  double accuracy_ape_tolerance = 0.25;
+  double accuracy_fast_window_seconds = 6.0 * 3600.0;
+  double accuracy_slow_window_seconds = 24.0 * 3600.0;
+  // Serve latency: a request is "good" when rendered under the threshold.
+  // Recorded by serve::EstateQueryHandler against the shared SloSet; the
+  // windows follow the SRE-workbook 5 min / 1 h pairing.
+  double latency_objective = 0.99;
+  double latency_threshold_ms = 250.0;
+  double latency_fast_window_seconds = 300.0;
+  double latency_slow_window_seconds = 3600.0;
+};
+
 struct EstateServiceConfig {
   // Simulated seconds per Tick(); must be a positive multiple of one hour so
   // every tick completes whole aggregation buckets.
@@ -166,6 +193,9 @@ struct EstateServiceConfig {
   std::size_t max_batches_per_shard_tick = 0;
   // Forecast guardrails: live scoring, promotion gate, rollback, health.
   GuardrailConfig guardrail;
+  // Burn-rate SLOs: forecast accuracy (service-fed) + serve latency
+  // (handler-fed through the shared SloSet).
+  SloConfig slo;
 };
 
 // An active breach warning.
@@ -318,6 +348,17 @@ class EstateService {
   // champion; negative while the key has no scored points yet.
   double LiveMapeFor(const std::string& key) const;
 
+  // The service's SLO trackers ("forecast_accuracy" is fed by the guardrail
+  // scoring pass; "serve_latency" is empty until a query handler is wired
+  // with this set via EstateQueryHandler::Options::slos). Null when
+  // config.slo.enabled is false.
+  std::shared_ptr<obs::SloSet> slos() const { return slo_set_; }
+  // Monotone sequence number of the last journal event appended (0 before
+  // the first append, or for an ephemeral service). Wide events emitted at
+  // journalled transitions carry the seq of their event, linking the
+  // flight recorder to the durability log.
+  std::uint64_t journal_seq() const { return journal_seq_; }
+
   // Read side of the serving layer: an immutable estate snapshot is
   // republished (one atomic shared_ptr swap) at the end of Start, every
   // Tick, DrainRefits, and Recover. Request threads answer from the frozen
@@ -463,6 +504,14 @@ class EstateService {
   repo::ModelRepository registry_;
   EventJournal journal_;
   ServiceTelemetry telemetry_;
+
+  // SLO trackers (null when disabled). accuracy_slo_ caches the estate-wide
+  // "forecast_accuracy" tracker; per-shard trackers live on the shards.
+  std::shared_ptr<obs::SloSet> slo_set_;
+  obs::SloTracker* accuracy_slo_ = nullptr;
+  // Count of successfully appended journal events (== the journal_events
+  // counter, but plain so the hot path stays off the registry).
+  std::uint64_t journal_seq_ = 0;
 
   std::map<std::string, CachedForecast> forecasts_;
   // Rollback targets: the forecast each key's previous champion was serving

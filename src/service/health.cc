@@ -52,6 +52,13 @@ HealthState ShardHealth::Evaluate(const HealthSignals& signals) {
         rollbacks >= policy_.degraded_rollbacks, "rollback storm");
   argue(io_errors >= policy_.critical_io_errors,
         io_errors >= policy_.degraded_io_errors, "journal/store I/O errors");
+  // Accuracy burn degrades but never escalates to critical on its own: the
+  // shard is still serving, just serving forecasts that miss their SLO.
+  argue(false,
+        policy_.degraded_slo_burn > 0.0 &&
+            signals.slo_fast_burn >= policy_.degraded_slo_burn &&
+            signals.slo_slow_burn >= policy_.degraded_slo_burn,
+        "accuracy slo burn");
 
   if (target >= state_) {
     // Escalate (or hold) immediately; any recovery streak is broken.

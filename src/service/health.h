@@ -35,6 +35,12 @@ struct HealthSignals {
   std::size_t quarantined_keys = 0;  // keys out of the dispatch rotation
   std::uint64_t rollbacks = 0;       // cumulative champion rollbacks
   std::uint64_t io_errors = 0;       // cumulative journal/store write failures
+  // Forecast-accuracy SLO burn rates for this shard (instantaneous, already
+  // windowed by the SloTracker). Both must exceed the policy threshold to
+  // argue — the multi-window condition that keeps a single bad scoring pass
+  // from flapping health.
+  double slo_fast_burn = 0.0;
+  double slo_slow_burn = 0.0;
 };
 
 // Thresholds. A signal at or above its degraded_* value argues for
@@ -54,6 +60,10 @@ struct HealthPolicy {
   std::uint64_t critical_rollbacks = 3;
   std::uint64_t degraded_io_errors = 1;  // within the window
   std::uint64_t critical_io_errors = 8;
+  // Sustained SLO burn (both windows at or above this rate) argues for
+  // kDegraded only — an accuracy regression should page via the burn-rate
+  // alert and soften readiness, not hard-fail the shard. 0 disables.
+  double degraded_slo_burn = 2.0;
 
   // Consecutive evaluations whose signals argue for a lower state before
   // the machine steps down one level.

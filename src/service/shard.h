@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/slo.h"
 #include "quality/guardrail.h"
 #include "repo/repository.h"
 #include "service/health.h"
@@ -66,6 +68,12 @@ struct EstateShard {
   ShardHealth health;
   std::uint64_t tick_overruns = 0;
   std::uint64_t rollbacks = 0;
+
+  // Per-shard forecast-accuracy SLO: the tick job records each live-scored
+  // point (good when |APE| stays under the configured tolerance); the
+  // driver evaluates burn rates into the health signals. Internally
+  // synchronized, so the same writer/reader split as the counters is safe.
+  std::unique_ptr<obs::SloTracker> accuracy_slo;
 
   // Handle into ServiceTelemetry::shards[id]; not owned.
   ShardTelemetry* telemetry = nullptr;

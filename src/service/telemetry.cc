@@ -52,6 +52,10 @@ ServiceTelemetry::ServiceTelemetry()
               "Challengers the promotion gate rejected (champion retained)");
   rollbacks = counter("capplan_guardrail_rollbacks_total",
                       "Champions rolled back on live regression");
+  obs_trace_dropped = counter("capplan_obs_trace_dropped_total",
+                              "Trace spans overwritten in full ring buffers");
+  obs_events_dropped = counter("capplan_obs_events_dropped_total",
+                               "Wide events overwritten in full ring buffers");
 
   auto stage = [this](const char* name) {
     return StageStats(registry->GetHistogram(
@@ -256,6 +260,16 @@ std::string TelemetryToJson(const ServiceTelemetry& t, bool pretty) {
     w.EndArray();
     w.EndObject();
   }
+  // Appended after "health" (still additive wrt the golden prefix): the
+  // flight-recorder drop counters. Both stay 0 unless a ring wrapped since
+  // the last export refresh.
+  w.Key("obs");
+  w.BeginObject();
+  w.Integer("trace_dropped",
+            static_cast<long long>(t.obs_trace_dropped.value()));
+  w.Integer("events_dropped",
+            static_cast<long long>(t.obs_events_dropped.value()));
+  w.EndObject();
   w.EndObject();
   return w.Take();
 }

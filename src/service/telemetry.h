@@ -21,6 +21,13 @@ class StageStats {
   explicit StageStats(obs::Histogram histogram) : histogram_(histogram) {}
 
   void Record(double ms) { histogram_.Observe(ms); }
+  // Record() plus exemplar capture: the covering bucket remembers this
+  // observation's trace span and wide-event ids for OpenMetrics export, so
+  // a latency outlier links straight to its flight-recorder record.
+  void RecordWithExemplar(double ms, std::uint64_t span_id,
+                          std::uint64_t event_id) {
+    histogram_.ObserveWithExemplar(ms, span_id, event_id);
+  }
 
   std::uint64_t count() const { return histogram_.count(); }
   double total_ms() const { return histogram_.sum(); }
@@ -123,6 +130,13 @@ struct ServiceTelemetry {
   obs::Counter promotions;           // challengers installed as champion
   obs::Counter promotions_rejected;  // challengers the gate kept out
   obs::Counter rollbacks;            // champions rolled back on regression
+
+  // Flight-recorder ring overwrites (cumulative, refreshed from the
+  // obs::Tracer / obs::EventLog singletons just before each export). A
+  // rising rate means the rings are undersized for the event volume and
+  // recent history is being lost.
+  obs::Counter obs_trace_dropped;
+  obs::Counter obs_events_dropped;
 
   StageStats ingest_stage;
   StageStats fit_stage;      // worker wall time per refit

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/fault.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 
 namespace capplan::store {
@@ -91,6 +92,22 @@ Status SeriesStore::SealFront(std::size_t n) {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count());
+  }
+  obs::EventLog& events = obs::EventLog::Instance();
+  if (events.enabled()) {
+    obs::WideEvent ev;
+    ev.kind = obs::WideEventKind::kStoreSeal;
+    ev.set_key("store.seal");
+    ev.span_id = span.id();
+    ev.dur_ns = static_cast<std::uint64_t>(
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    ev.start_ns = events.NowNs() > ev.dur_ns ? events.NowNs() - ev.dur_ns : 0;
+    ev.AddAttr("samples", static_cast<double>(n));
+    ev.AddAttr("compressed_bytes",
+               static_cast<double>(block.compressed_bytes()));
+    events.Emit(ev);
   }
   blocks_.push_back(std::move(block));
   return Status::OK();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 
 namespace capplan::store {
@@ -146,9 +147,21 @@ Status TieredStore::Flush(const std::string& path) const {
     out.push_back(std::move(entry));
   }
   CAPPLAN_RETURN_NOT_OK(WriteSegmentFile(path, out));
-  flush_ms_.Observe(std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count());
+  const double flush_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  flush_ms_.Observe(flush_ms);
+  obs::EventLog& events = obs::EventLog::Instance();
+  if (events.enabled()) {
+    obs::WideEvent ev;
+    ev.kind = obs::WideEventKind::kStoreFlush;
+    ev.set_key(path);
+    ev.span_id = span.id();
+    ev.dur_ns = static_cast<std::uint64_t>(flush_ms * 1e6);
+    ev.start_ns = events.NowNs() > ev.dur_ns ? events.NowNs() - ev.dur_ns : 0;
+    ev.AddAttr("series", static_cast<double>(out.size()));
+    events.Emit(ev);
+  }
   return Status::OK();
 }
 

@@ -116,6 +116,74 @@ TEST(PrometheusTest, ParserRejectsMalformedLines) {
   EXPECT_TRUE(ParsePrometheusText("# EOF\nok_total 1\n").ok());
 }
 
+TEST(PrometheusTest, ExemplarsRoundTripThroughTheTextFormat) {
+  MetricsRegistry registry;
+  Histogram h = registry.GetHistogram("serve_ms", {1.0, 10.0}, {},
+                                      "request latency");
+  h.Observe(0.25);                               // no exemplar on this bucket
+  h.ObserveWithExemplar(2.5, /*span_id=*/12, /*event_id=*/7);
+  h.ObserveWithExemplar(50.0, /*span_id=*/98, /*event_id=*/0);
+
+  const std::string text = ToPrometheusText(registry.Collect());
+  // OpenMetrics exemplar syntax: `... # {label="v",...} value`.
+  EXPECT_NE(text.find("# {span_id=\"12\",event_id=\"7\"} 2.5"),
+            std::string::npos)
+      << text;
+
+  auto parsed = ParsePrometheusText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  int with_exemplar = 0;
+  for (const auto& s : parsed->samples) {
+    if (s.name != "serve_ms_bucket") {
+      EXPECT_FALSE(s.has_exemplar) << s.name;
+      continue;
+    }
+    ASSERT_EQ(s.labels.size(), 1u);
+    const std::string& le = s.labels[0].second;
+    if (le == "1") {
+      EXPECT_FALSE(s.has_exemplar);  // plain observation left no exemplar
+    } else if (le == "10") {
+      ASSERT_TRUE(s.has_exemplar);
+      ++with_exemplar;
+      EXPECT_DOUBLE_EQ(s.exemplar.value, 2.5);
+      ASSERT_EQ(s.exemplar.labels.size(), 2u);
+      EXPECT_EQ(s.exemplar.labels[0].first, "span_id");
+      EXPECT_EQ(s.exemplar.labels[0].second, "12");
+      EXPECT_EQ(s.exemplar.labels[1].first, "event_id");
+      EXPECT_EQ(s.exemplar.labels[1].second, "7");
+    } else if (le == "+Inf") {
+      ASSERT_TRUE(s.has_exemplar);
+      ++with_exemplar;
+      EXPECT_DOUBLE_EQ(s.exemplar.value, 50.0);
+      EXPECT_EQ(s.exemplar.labels[0].second, "98");
+    }
+  }
+  EXPECT_EQ(with_exemplar, 2);
+}
+
+TEST(PrometheusTest, LastExemplarPerBucketWins) {
+  MetricsRegistry registry;
+  Histogram h = registry.GetHistogram("fit_ms", {100.0}, {}, "fit latency");
+  h.ObserveWithExemplar(10.0, 1, 1);
+  h.ObserveWithExemplar(20.0, 2, 2);  // same bucket: overwrites the slot
+  auto parsed = ParsePrometheusText(ToPrometheusText(registry.Collect()));
+  ASSERT_TRUE(parsed.ok());
+  for (const auto& s : parsed->samples) {
+    if (s.name == "fit_ms_bucket" && s.labels[0].second == "100") {
+      ASSERT_TRUE(s.has_exemplar);
+      EXPECT_DOUBLE_EQ(s.exemplar.value, 20.0);
+      EXPECT_EQ(s.exemplar.labels[0].second, "2");
+    }
+  }
+}
+
+TEST(PrometheusTest, ParserRejectsMalformedExemplars) {
+  EXPECT_FALSE(ParsePrometheusText("m_bucket{le=\"1\"} 1 # {x=\"1\"\n").ok());
+  EXPECT_FALSE(
+      ParsePrometheusText("m_bucket{le=\"1\"} 1 # {x=\"1\"} nan-ish\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("m_bucket{le=\"1\"} 1 # junk\n").ok());
+}
+
 TEST(PrometheusTest, WriteIsAtomicAndLeavesNoTempFile) {
   MetricsRegistry registry;
   registry.GetCounter("written_total").Inc(7);

@@ -1,0 +1,180 @@
+#include "obs/slo.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace capplan::obs {
+namespace {
+
+SloTracker::Options Opts(double objective, double fast, double slow) {
+  SloTracker::Options o;
+  o.objective = objective;
+  o.fast_window_seconds = fast;
+  o.slow_window_seconds = slow;
+  return o;
+}
+
+TEST(SloTrackerTest, EmptyTrackerReportsZeroBurn) {
+  SloTracker slo(Opts(0.99, 300.0, 3600.0));
+  const SloTracker::Burn burn = slo.Evaluate(1e9);
+  EXPECT_EQ(burn.fast_burn, 0.0);
+  EXPECT_EQ(burn.slow_burn, 0.0);
+  EXPECT_EQ(burn.fast_events, 0u);
+  EXPECT_EQ(burn.slow_events, 0u);
+  EXPECT_EQ(burn.total_events, 0u);
+  EXPECT_EQ(burn.bad_events, 0u);
+}
+
+TEST(SloTrackerTest, BurnIsOneAtExactBudgetRate) {
+  // Objective 0.9 leaves a 10% error budget; 1 bad in 10 burns at rate 1.
+  SloTracker slo(Opts(0.9, 300.0, 3600.0));
+  for (int i = 0; i < 9; ++i) slo.Record(true, 100.0);
+  slo.Record(false, 100.0);
+  const SloTracker::Burn burn = slo.Evaluate(100.0);
+  EXPECT_DOUBLE_EQ(burn.fast_bad_ratio, 0.1);
+  EXPECT_DOUBLE_EQ(burn.fast_burn, 1.0);
+  EXPECT_DOUBLE_EQ(burn.slow_burn, 1.0);
+  EXPECT_EQ(burn.total_events, 10u);
+  EXPECT_EQ(burn.bad_events, 1u);
+}
+
+TEST(SloTrackerTest, FastWindowAgesOutWhileSlowRetains) {
+  // slow 6400s / 64 buckets = 100s buckets; fast window is one bucket.
+  SloTracker slo(Opts(0.9, 100.0, 6400.0));
+  slo.Record(false, 50.0);   // bucket 0
+  slo.Record(true, 150.0);   // bucket 1
+  const SloTracker::Burn burn = slo.Evaluate(150.0);
+  EXPECT_EQ(burn.fast_events, 1u);           // only bucket 1
+  EXPECT_DOUBLE_EQ(burn.fast_burn, 0.0);     // and it was good
+  EXPECT_EQ(burn.slow_events, 2u);           // slow still sees the bad one
+  EXPECT_DOUBLE_EQ(burn.slow_bad_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(burn.slow_burn, 5.0);     // 0.5 / 0.1 budget
+}
+
+TEST(SloTrackerTest, EventsBeyondSlowWindowExpire) {
+  SloTracker slo(Opts(0.9, 100.0, 6400.0));
+  slo.Record(false, 50.0);  // bucket 0
+  // One full ring later the bad bucket has aged out of the slow window.
+  slo.Record(true, 50.0 + 64.0 * 100.0);
+  const SloTracker::Burn burn = slo.Evaluate(50.0 + 64.0 * 100.0);
+  EXPECT_EQ(burn.slow_events, 1u);
+  EXPECT_DOUBLE_EQ(burn.slow_burn, 0.0);
+  // Lifetime counters are not windowed.
+  EXPECT_EQ(burn.total_events, 2u);
+  EXPECT_EQ(burn.bad_events, 1u);
+}
+
+TEST(SloTrackerTest, EvaluateClampsEarlierClockToNewestEvent) {
+  // A reader on a different clock origin (steady clock vs estate epoch)
+  // passes a `now` far behind the recorded times; it must still see the
+  // windows as of the newest event instead of an empty ring.
+  SloTracker slo(Opts(0.9, 300.0, 3600.0));
+  slo.Record(false, 100000.0);
+  const SloTracker::Burn burn = slo.Evaluate(5.0);
+  EXPECT_EQ(burn.fast_events, 1u);
+  EXPECT_DOUBLE_EQ(burn.fast_burn, 10.0);  // 1.0 bad ratio / 0.1 budget
+}
+
+TEST(SloTrackerTest, OptionSanitization) {
+  {
+    SloTracker slo(Opts(1.5, -10.0, 1.0));
+    EXPECT_DOUBLE_EQ(slo.options().objective, 0.99);
+    EXPECT_DOUBLE_EQ(slo.options().fast_window_seconds, 300.0);
+    // slow < fast is raised to fast.
+    EXPECT_DOUBLE_EQ(slo.options().slow_window_seconds, 300.0);
+  }
+  {
+    SloTracker slo(Opts(0.0, 0.0, 0.0));
+    EXPECT_DOUBLE_EQ(slo.options().objective, 0.99);
+    EXPECT_DOUBLE_EQ(slo.options().fast_window_seconds, 300.0);
+    EXPECT_DOUBLE_EQ(slo.options().slow_window_seconds, 300.0);
+  }
+}
+
+TEST(SloSetTest, AddIsIdempotentByName) {
+  SloSet set;
+  SloTracker* a = set.Add("serve_latency", Opts(0.99, 300.0, 3600.0));
+  SloTracker* again = set.Add("serve_latency", Opts(0.5, 1.0, 2.0));
+  EXPECT_EQ(a, again);
+  // The original options win; the second Add is ignored.
+  EXPECT_DOUBLE_EQ(a->options().objective, 0.99);
+}
+
+TEST(SloSetTest, FindReturnsNullForUnknownName) {
+  SloSet set;
+  set.Add("forecast_accuracy", Opts(0.9, 100.0, 6400.0));
+  EXPECT_NE(set.Find("forecast_accuracy"), nullptr);
+  EXPECT_EQ(set.Find("nope"), nullptr);
+}
+
+TEST(SloSetTest, SnapshotIsSortedByName) {
+  SloSet set;
+  set.Add("zeta", Opts(0.99, 300.0, 3600.0));
+  set.Add("alpha", Opts(0.9, 100.0, 6400.0));
+  set.Find("zeta")->Record(false, 10.0);
+  const std::vector<SloSet::Entry> snap = set.Snapshot(10.0);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[1].name, "zeta");
+  EXPECT_EQ(snap[1].burn.bad_events, 1u);
+}
+
+TEST(SloSetTest, ExportSloMetricsWritesLabelledFamily) {
+  SloSet set;
+  SloTracker* slo = set.Add("serve_latency", Opts(0.9, 300.0, 3600.0));
+  for (int i = 0; i < 9; ++i) slo->Record(true, 100.0);
+  slo->Record(false, 100.0);
+
+  auto registry = std::make_shared<MetricsRegistry>();
+  ExportSloMetrics(set, registry.get(), 100.0);
+
+  bool saw_objective = false, saw_fast = false, saw_slow = false,
+       saw_events = false, saw_bad = false;
+  for (const MetricSample& sample : registry->Collect().samples) {
+    if (sample.name.rfind("capplan_slo_", 0) != 0) continue;
+    ASSERT_EQ(sample.labels.size(), 1u) << sample.name;
+    EXPECT_EQ(sample.labels[0].first, "slo");
+    EXPECT_EQ(sample.labels[0].second, "serve_latency");
+    if (sample.name == "capplan_slo_objective_ratio") {
+      saw_objective = true;
+      EXPECT_DOUBLE_EQ(sample.value, 0.9);
+    } else if (sample.name == "capplan_slo_fast_burn_ratio") {
+      saw_fast = true;
+      EXPECT_DOUBLE_EQ(sample.value, 1.0);
+    } else if (sample.name == "capplan_slo_slow_burn_ratio") {
+      saw_slow = true;
+      EXPECT_DOUBLE_EQ(sample.value, 1.0);
+    } else if (sample.name == "capplan_slo_events_total") {
+      saw_events = true;
+      EXPECT_DOUBLE_EQ(sample.value, 10.0);
+    } else if (sample.name == "capplan_slo_bad_events_total") {
+      saw_bad = true;
+      EXPECT_DOUBLE_EQ(sample.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_objective && saw_fast && saw_slow && saw_events && saw_bad);
+}
+
+TEST(SloSetTest, ExportIsRefreshableAcrossScrapes) {
+  SloSet set;
+  SloTracker* slo = set.Add("forecast_accuracy", Opts(0.9, 300.0, 3600.0));
+  auto registry = std::make_shared<MetricsRegistry>();
+  slo->Record(true, 1.0);
+  ExportSloMetrics(set, registry.get(), 1.0);
+  slo->Record(false, 2.0);
+  ExportSloMetrics(set, registry.get(), 2.0);
+  for (const MetricSample& sample : registry->Collect().samples) {
+    if (sample.name == "capplan_slo_events_total") {
+      EXPECT_DOUBLE_EQ(sample.value, 2.0);
+    } else if (sample.name == "capplan_slo_bad_events_total") {
+      EXPECT_DOUBLE_EQ(sample.value, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace capplan::obs

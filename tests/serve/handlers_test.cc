@@ -1,12 +1,16 @@
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "core/capacity.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "serve/estate_view.h"
 #include "serve/handlers.h"
 #include "serve/http.h"
@@ -373,6 +377,241 @@ TEST_F(HandlersTest, HealthEndpointOnHealthyEstate) {
 
 TEST_F(HandlersTest, HealthEndpointBeforeFirstViewIs503) {
   EXPECT_EQ(handler_.Handle(Get("/v1/health")).status, 503);
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder surface: /v1/slo, /v1/debug/*, cache exemption.
+
+TEST(CacheExemptTest, ClassifiesTheLiveStateEndpoints) {
+  EXPECT_TRUE(EstateQueryHandler::CacheExempt("/metrics"));
+  EXPECT_TRUE(EstateQueryHandler::CacheExempt("/v1/slo"));
+  EXPECT_TRUE(EstateQueryHandler::CacheExempt("/v1/debug/events"));
+  EXPECT_TRUE(EstateQueryHandler::CacheExempt("/v1/debug/slow"));
+  EXPECT_FALSE(EstateQueryHandler::CacheExempt("/v1/estate"));
+  EXPECT_FALSE(EstateQueryHandler::CacheExempt("/v1/forecast"));
+  EXPECT_FALSE(EstateQueryHandler::CacheExempt("/healthz"));
+}
+
+TEST_F(HandlersTest, SloEndpointWithoutTrackersIs404) {
+  // Routes before the view gate, so the answer is the same either way.
+  EXPECT_EQ(handler_.Handle(Get("/v1/slo")).status, 404);
+  PublishEstate();
+  const HttpResponse resp = handler_.Handle(Get("/v1/slo"));
+  EXPECT_EQ(resp.status, 404);
+  EXPECT_NE(resp.body.find("no SLO trackers wired"), std::string::npos);
+}
+
+obs::WideEvent DebugEvent(obs::WideEventKind kind, const char* key, int shard,
+                          double dur_ms, const char* outcome) {
+  obs::WideEvent ev;
+  ev.kind = kind;
+  ev.set_key(key);
+  ev.shard = shard;
+  ev.dur_ns = static_cast<std::uint64_t>(dur_ms * 1e6);
+  ev.outcome = outcome;
+  return ev;
+}
+
+long MatchedCount(const std::string& body) {
+  const std::size_t pos = body.find("\"matched\":");
+  EXPECT_NE(pos, std::string::npos) << body;
+  if (pos == std::string::npos) return -1;
+  return std::strtol(body.c_str() + pos + 10, nullptr, 10);
+}
+
+// The recorder is process-global: start and finish each test disabled and
+// empty so neighbours see a clean ring.
+class DebugHandlersTest : public HandlersTest {
+ protected:
+  void SetUp() override {
+    obs::EventLog::Instance().Disable();
+    obs::EventLog::Instance().Clear();
+  }
+  void TearDown() override {
+    obs::EventLog::Instance().Disable();
+    obs::EventLog::Instance().Clear();
+  }
+};
+
+TEST_F(DebugHandlersTest, DebugEventsServeWithoutViewOrRecorder) {
+  // No view published and the recorder disabled: still a 200 with an empty
+  // ring, because the debug surface bypasses the view gate entirely.
+  const HttpResponse resp = handler_.Handle(Get("/v1/debug/events"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.content_type, "application/json");
+  EXPECT_NE(resp.body.find("\"enabled\":false"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"buffered\":0"), std::string::npos);
+  EXPECT_EQ(MatchedCount(resp.body), 0);
+  EXPECT_NE(resp.body.find("\"events\":[]"), std::string::npos);
+}
+
+TEST_F(DebugHandlersTest, EventFilterTable) {
+  obs::EventLog& log = obs::EventLog::Instance();
+  log.Enable();
+  log.Emit(DebugEvent(obs::WideEventKind::kRefit, "db1/cpu", 0, 1000.0, "ok"));
+  log.Emit(
+      DebugEvent(obs::WideEventKind::kRefit, "db2/cpu", 1, 2.0, "error"));
+  log.Emit(DebugEvent(obs::WideEventKind::kPromotion, "db1/cpu", 0, 1.0,
+                      "promoted"));
+  log.Emit(DebugEvent(obs::WideEventKind::kTickOverrun, "shard.tick", 1,
+                      5000.0, "overrun"));
+  // Every debug request emits its own http_request event afterwards; the
+  // filters below are chosen so those never match (different key/kind/shard,
+  // "ok" outcome, sub-second duration).
+  struct Case {
+    const char* name;
+    const char* target;
+    long want_matched;
+  };
+  const Case cases[] = {
+      {"by key", "/v1/debug/events?key=db1/cpu", 2},
+      {"by shard", "/v1/debug/events?shard=1", 2},
+      {"by kind", "/v1/debug/events?kind=refit", 2},
+      {"by outcome", "/v1/debug/events?outcome=error", 1},
+      {"by min duration", "/v1/debug/events?min_duration_ms=500", 2},
+      {"kind and shard", "/v1/debug/events?kind=refit&shard=1", 1},
+      {"key with limit", "/v1/debug/events?key=db1/cpu&limit=1", 1},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const HttpResponse resp = handler_.Handle(Get(c.target));
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_EQ(MatchedCount(resp.body), c.want_matched) << resp.body;
+  }
+  // Newest-first: with limit=1 the key filter returns the promotion, which
+  // was emitted after the refit for the same key.
+  const HttpResponse newest =
+      handler_.Handle(Get("/v1/debug/events?key=db1/cpu&limit=1"));
+  EXPECT_NE(newest.body.find("\"kind\":\"promotion\""), std::string::npos);
+}
+
+TEST_F(DebugHandlersTest, BadFilterParamsAreUniform400) {
+  const char* bad[] = {
+      "shard=-1",          "shard=x",  "kind=nope", "min_duration_ms=-1",
+      "min_duration_ms=x", "limit=0",  "limit=1001", "limit=x",
+      "frobnicate=1",
+  };
+  for (const char* endpoint : {"/v1/debug/events", "/v1/debug/slow"}) {
+    for (const char* query : bad) {
+      SCOPED_TRACE(std::string(endpoint) + "?" + query);
+      const HttpResponse resp =
+          handler_.Handle(Get(std::string(endpoint) + "?" + query));
+      EXPECT_EQ(resp.status, 400);
+      EXPECT_EQ(resp.content_type, "application/json");
+      EXPECT_NE(resp.body.find("\"code\":\"InvalidArgument\""),
+                std::string::npos);
+    }
+  }
+}
+
+TEST_F(DebugHandlersTest, SlowEndpointOrdersByDurationDesc) {
+  obs::EventLog& log = obs::EventLog::Instance();
+  log.Enable();
+  log.Emit(DebugEvent(obs::WideEventKind::kRefit, "a", 0, 5.0, "ok"));
+  log.Emit(DebugEvent(obs::WideEventKind::kRefit, "b", 0, 50.0, "ok"));
+  log.Emit(DebugEvent(obs::WideEventKind::kRefit, "c", 0, 1.0, "ok"));
+  const HttpResponse resp = handler_.Handle(Get("/v1/debug/slow?kind=refit"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(MatchedCount(resp.body), 3);
+  const std::size_t pb = resp.body.find("\"key\":\"b\"");
+  const std::size_t pa = resp.body.find("\"key\":\"a\"");
+  const std::size_t pc = resp.body.find("\"key\":\"c\"");
+  ASSERT_NE(pb, std::string::npos);
+  ASSERT_NE(pa, std::string::npos);
+  ASSERT_NE(pc, std::string::npos);
+  EXPECT_LT(pb, pa);
+  EXPECT_LT(pa, pc);
+  // The limit keeps only the slowest.
+  const HttpResponse top =
+      handler_.Handle(Get("/v1/debug/slow?kind=refit&limit=2"));
+  EXPECT_EQ(MatchedCount(top.body), 2);
+  EXPECT_NE(top.body.find("\"key\":\"b\""), std::string::npos);
+  EXPECT_EQ(top.body.find("\"key\":\"c\""), std::string::npos);
+}
+
+// Handler wired the way the daemon wires it: registry + SLO trackers.
+class SloHandlersTest : public ::testing::Test {
+ protected:
+  SloHandlersTest() : registry_(std::make_shared<obs::MetricsRegistry>()) {
+    slos_ = std::make_shared<obs::SloSet>();
+    obs::SloTracker::Options accuracy;
+    accuracy.objective = 0.9;
+    slos_->Add("forecast_accuracy", accuracy);
+    slos_->Add("serve_latency", obs::SloTracker::Options());
+    EstateQueryHandler::Options options;
+    options.slos = slos_;
+    handler_ = std::make_unique<EstateQueryHandler>(&channel_, registry_,
+                                                    options);
+  }
+  void SetUp() override {
+    obs::EventLog::Instance().Disable();
+    obs::EventLog::Instance().Clear();
+  }
+  void TearDown() override {
+    obs::EventLog::Instance().Disable();
+    obs::EventLog::Instance().Clear();
+  }
+
+  ViewChannel channel_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  std::shared_ptr<obs::SloSet> slos_;
+  std::unique_ptr<EstateQueryHandler> handler_;
+};
+
+TEST_F(SloHandlersTest, SloEndpointListsTrackersBeforeAnyView) {
+  for (int i = 0; i < 9; ++i) {
+    slos_->Find("forecast_accuracy")->Record(true, 100.0);
+  }
+  slos_->Find("forecast_accuracy")->Record(false, 100.0);
+  const HttpResponse resp = handler_->Handle(Get("/v1/slo"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.content_type, "application/json");
+  EXPECT_NE(resp.body.find("\"name\":\"forecast_accuracy\""),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("\"name\":\"serve_latency\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"objective\":0.9"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"bad_events\":1"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"fast_burn\":"), std::string::npos);
+}
+
+TEST_F(SloHandlersTest, EveryRenderedRequestFeedsTheLatencySlo) {
+  channel_.Publish(MakeEstate());
+  ASSERT_EQ(handler_->Handle(Get("/v1/estate")).status, 200);
+  const obs::SloTracker::Burn burn =
+      slos_->Find("serve_latency")->Evaluate(0.0);
+  EXPECT_GE(burn.total_events, 1u);
+}
+
+TEST_F(SloHandlersTest, CacheExemptEndpointsBypassTheAnswerCache) {
+  channel_.Publish(MakeEstate());
+  for (const char* target : {"/metrics", "/v1/slo", "/v1/debug/events"}) {
+    SCOPED_TRACE(target);
+    ASSERT_EQ(handler_->Handle(Get(target)).status, 200);
+    ASSERT_EQ(handler_->Handle(Get(target)).status, 200);
+  }
+  // Repeated scrapes of live-state endpoints never touch the answer cache.
+  EXPECT_EQ(handler_->cache().hits(), 0u);
+  EXPECT_EQ(handler_->cache().misses(), 0u);
+  // Sanity: a cacheable endpoint still caches under the same handler.
+  ASSERT_EQ(handler_->Handle(Get("/v1/estate")).status, 200);
+  ASSERT_EQ(handler_->Handle(Get("/v1/estate")).status, 200);
+  EXPECT_EQ(handler_->cache().hits(), 1u);
+}
+
+TEST_F(SloHandlersTest, MetricsScrapeCarriesSloFamilyAndExemplars) {
+  obs::EventLog::Instance().Enable();
+  channel_.Publish(MakeEstate());
+  ASSERT_EQ(handler_->Handle(Get("/v1/estate")).status, 200);
+  const HttpResponse resp = handler_->Handle(Get("/metrics"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("capplan_slo_fast_burn_ratio"), std::string::npos);
+  EXPECT_NE(resp.body.find("slo=\"serve_latency\""), std::string::npos);
+  EXPECT_NE(resp.body.find("capplan_obs_events_dropped_total"),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("capplan_obs_trace_dropped_total"),
+            std::string::npos);
+  // The /v1/estate request above left an exemplar on its latency bucket.
+  EXPECT_NE(resp.body.find("# {span_id=\""), std::string::npos);
 }
 
 }  // namespace

@@ -5,7 +5,11 @@
 // concurrent clients stay consistent while the service keeps swapping views
 // (run under TSan in CI).
 #include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,10 +17,13 @@
 #include <gtest/gtest.h>
 
 #include "core/capacity.h"
+#include "obs/event_log.h"
+#include "obs/trace.h"
 #include "serve/handlers.h"
 #include "serve/http_client.h"
 #include "serve/http_server.h"
 #include "service/estate_service.h"
+#include "service/journal.h"
 #include "workload/scenario.h"
 
 namespace capplan::serve {
@@ -197,6 +204,99 @@ TEST_F(ServeE2eTest, ConcurrentClientsSurviveViewSwaps) {
   EXPECT_EQ(ok_count.load(),
             static_cast<std::uint64_t>(kThreads) * kRequestsPerThread);
   EXPECT_GT(service_->view_channel()->swaps(), 1u);
+}
+
+// Acceptance bar for the flight recorder: a wide event served over the
+// socket by /v1/debug/events carries the same span id the journal stamped
+// on the corresponding refit, so an operator can pivot from a slow request
+// to the exact durable journal line (and trace span) that produced it.
+TEST(FlightRecorderE2eTest, DebugEventsCorrelateWithJournalSpans) {
+  obs::Tracer::Instance().Disable();
+  obs::Tracer::Instance().Clear();
+  obs::Tracer::Instance().Enable();
+  obs::EventLog::Instance().Disable();
+  obs::EventLog::Instance().Clear();
+  obs::EventLog::Instance().Enable();
+
+  const std::string state_dir =
+      ::testing::TempDir() + "/flight_recorder_e2e_state";
+  std::filesystem::remove_all(state_dir);
+
+  auto scenario = workload::WorkloadScenario::Olap();
+  scenario.n_instances = 2;
+  workload::ClusterSimulator cluster(scenario, 7);
+  EstateServiceConfig config = FastConfig();
+  config.state_dir = state_dir;
+  EstateService service(
+      &cluster,
+      std::vector<service::WatchConfig>{{0, workload::Metric::kCpu, 95.0},
+                                        {1, workload::Metric::kCpu, 95.0}},
+      config);
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.Tick().ok());
+  ASSERT_TRUE(service.DrainRefits().ok());
+
+  EstateQueryHandler::Options options;
+  options.slos = service.slos();
+  EstateQueryHandler handler(service.view_channel(),
+                             std::make_shared<obs::MetricsRegistry>(),
+                             options);
+  HttpServerConfig server_config;
+  server_config.worker_threads = 2;
+  HttpServer server(
+      [&handler](const HttpRequest& request) {
+        return handler.Handle(request);
+      },
+      server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The journal's fit lines carry the refit worker's span id (v2 layout).
+  auto journal = service::ReadJournal(state_dir + "/journal.log");
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  std::map<std::string, std::set<std::uint64_t>> journal_spans;
+  for (const service::JournalEvent& ev : *journal) {
+    if (ev.kind == service::EventKind::kFitOk) {
+      journal_spans[ev.key].insert(ev.span_id);
+    }
+  }
+  ASSERT_FALSE(journal_spans.empty());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (const auto& key : service.keys()) {
+    SCOPED_TRACE(key);
+    auto resp = client.Get("/v1/debug/events?key=" + key + "&kind=refit");
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->status, 200) << resp->body;
+    ASSERT_NE(JsonField(resp->body, "matched"), "0") << resp->body;
+    // JsonField finds the first (newest) event's stamps.
+    const std::string span_text = JsonField(resp->body, "span_id");
+    ASSERT_FALSE(span_text.empty());
+    const std::uint64_t span_id = std::stoull(span_text);
+    EXPECT_NE(span_id, 0u);
+    ASSERT_TRUE(journal_spans.count(key)) << "no journalled fit for " << key;
+    EXPECT_TRUE(journal_spans[key].count(span_id))
+        << "wide-event span " << span_id
+        << " not found among journal fit spans for " << key;
+    // The refit was journalled, so its wide event carries a journal seq.
+    EXPECT_NE(JsonField(resp->body, "journal_seq"), "0");
+  }
+
+  // The service-wired SLO set is reachable over the same socket.
+  auto slo_resp = client.Get("/v1/slo");
+  ASSERT_TRUE(slo_resp.ok()) << slo_resp.status();
+  ASSERT_EQ(slo_resp->status, 200);
+  EXPECT_NE(slo_resp->body.find("\"name\":\"forecast_accuracy\""),
+            std::string::npos);
+  EXPECT_NE(slo_resp->body.find("\"name\":\"serve_latency\""),
+            std::string::npos);
+
+  server.Stop();
+  obs::EventLog::Instance().Disable();
+  obs::EventLog::Instance().Clear();
+  obs::Tracer::Instance().Disable();
+  obs::Tracer::Instance().Clear();
+  std::filesystem::remove_all(state_dir);
 }
 
 }  // namespace

@@ -11,7 +11,12 @@ and docs/scaling.md, in both directions:
      a unit suffix such as `_ms`, `_seconds`, `_bytes`, `_ratio`);
   2. every name found in src/ must have a catalogue row in one of the docs;
   3. every catalogue row must correspond to a name actually registered in
-     src/ — the docs may not advertise metrics that do not exist.
+     src/ — the docs may not advertise metrics that do not exist;
+  4. the "Exemplar-bearing histograms" table in docs/observability.md must
+     agree with the golden scrape fixture tools/testdata/golden_scrape.prom
+     (captured from the real exporter): every histogram the docs claim
+     carries exemplars must show one on a `_bucket` line in the fixture,
+     and the fixture may not carry exemplars on undocumented histograms.
 
 Usage: tools/check_metrics.py            (from the repository root)
 Exits 1 with one line per violation, 0 when the catalogues are consistent.
@@ -30,6 +35,16 @@ SRC_DIR = Path("src")
 SRC_METRIC_RE = re.compile(r'"(capplan_[A-Za-z0-9_]*)"')
 # A catalogue row: first cell of a table row, name in backticks.
 DOC_METRIC_RE = re.compile(r"^\|\s*`(capplan_[A-Za-z0-9_]*)`\s*\|", re.MULTILINE)
+
+# The exemplar contract: the table under this heading in observability.md
+# vs the exporter's actual output, captured in the golden fixture.
+EXEMPLAR_DOC = Path("docs/observability.md")
+EXEMPLAR_HEADING = "#### Exemplar-bearing histograms"
+EXEMPLAR_FIXTURE = Path("tools/testdata/golden_scrape.prom")
+# A cumulative-bucket sample carrying an OpenMetrics exemplar.
+FIXTURE_EXEMPLAR_RE = re.compile(
+    r"^(capplan_[A-Za-z0-9_]*)_bucket\{[^}]*\} \S+ # \{[^}]*\} \S+$",
+    re.MULTILINE)
 
 VALID_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 # `_state` marks an enum-valued gauge (e.g. capplan_health_state: 0 healthy,
@@ -63,6 +78,39 @@ def metrics_in_sources() -> dict:
     return found
 
 
+def documented_exemplar_histograms() -> set:
+    """Names in the exemplar table: heading to the next heading line."""
+    text = EXEMPLAR_DOC.read_text(encoding="utf-8")
+    start = text.find(EXEMPLAR_HEADING)
+    if start < 0:
+        return set()
+    section = text[start + len(EXEMPLAR_HEADING):]
+    next_heading = re.search(r"^#{1,6} ", section, re.MULTILINE)
+    if next_heading:
+        section = section[:next_heading.start()]
+    return set(DOC_METRIC_RE.findall(section))
+
+
+def exemplar_errors() -> list:
+    documented = documented_exemplar_histograms()
+    if not documented:
+        return [f"{EXEMPLAR_DOC}: no '{EXEMPLAR_HEADING}' table found"]
+    if not EXEMPLAR_FIXTURE.is_file():
+        return [f"{EXEMPLAR_FIXTURE}: golden scrape fixture missing"]
+    exported = set(FIXTURE_EXEMPLAR_RE.findall(
+        EXEMPLAR_FIXTURE.read_text(encoding="utf-8")))
+    errors = []
+    for name in sorted(documented - exported):
+        errors.append(f"{EXEMPLAR_DOC}: {name}: documented as "
+                      f"exemplar-bearing but no bucket in {EXEMPLAR_FIXTURE} "
+                      f"carries an exemplar")
+    for name in sorted(exported - documented):
+        errors.append(f"{EXEMPLAR_FIXTURE}: {name}: exports exemplars but is "
+                      f"missing from the '{EXEMPLAR_HEADING}' table in "
+                      f"{EXEMPLAR_DOC}")
+    return errors
+
+
 def main() -> int:
     missing = [c for c in CATALOGUES if not c.is_file()]
     if missing or not SRC_DIR.is_dir():
@@ -86,11 +134,14 @@ def main() -> int:
     for name in sorted(set(doc_metrics) - set(src_metrics)):
         errors.append(f"{doc_metrics[name]}: {name}: catalogued but never "
                       f"registered in {SRC_DIR}/")
+    errors.extend(exemplar_errors())
 
     for line in errors:
         print(line, file=sys.stderr)
     print(f"checked {len(src_metrics)} registered metrics against "
-          f"{len(doc_metrics)} catalogue rows: "
+          f"{len(doc_metrics)} catalogue rows "
+          f"(+ {len(documented_exemplar_histograms())} exemplar histograms "
+          f"against the golden scrape): "
           f"{'OK' if not errors else f'{len(errors)} violations'}")
     return 1 if errors else 0
 
