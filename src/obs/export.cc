@@ -112,7 +112,9 @@ Status AtomicWrite(const std::string& path, const std::string& content) {
 
 }  // namespace
 
-std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             ExpositionFormat format) {
+  const bool with_exemplars = format == ExpositionFormat::kOpenMetrics;
   std::string out;
   std::string last_family;
   for (const MetricSample& s : snapshot.samples) {
@@ -139,7 +141,7 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
               i < s.bounds.size() ? FormatPromValue(s.bounds[i]) : "+Inf";
           out += s.name + "_bucket" + RenderLabels(s.labels, "le", le) + " " +
                  std::to_string(cum);
-          if (i < s.exemplars.size() && s.exemplars[i].valid) {
+          if (with_exemplars && i < s.exemplars.size() && s.exemplars[i].valid) {
             const Exemplar& e = s.exemplars[i];
             out += " # {span_id=\"" + std::to_string(e.span_id) +
                    "\",event_id=\"" + std::to_string(e.event_id) + "\"} " +
@@ -155,6 +157,7 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
       }
     }
   }
+  if (format == ExpositionFormat::kOpenMetrics) out += "# EOF\n";
   return out;
 }
 

@@ -20,16 +20,34 @@ namespace capplan::obs {
 // ---------------------------------------------------------------------------
 // Prometheus text exposition format.
 
+// Which exposition dialect to render. The two differ in exemplar support:
+// the Prometheus 0.0.4 text grammar allows only an optional timestamp after
+// a sample value, so a vanilla scraper errors on an exemplar token and
+// fails the whole scrape — exemplars may be emitted only in the OpenMetrics
+// dialect a scraper explicitly asks for via `Accept`.
+enum class ExpositionFormat {
+  // `text/plain; version=0.0.4` — what a vanilla Prometheus scraper and
+  // the node-exporter textfile collector consume. No exemplars.
+  kPrometheus004,
+  // `application/openmetrics-text` — buckets that captured an exemplar
+  // carry it after the sample value, and the exposition is terminated by
+  // the mandatory `# EOF` line:
+  //
+  //   name_bucket{le="5"} 3 # {span_id="12",event_id="7"} 2.25
+  kOpenMetrics,
+};
+
 // Renders `# HELP` / `# TYPE` headers plus one line per series. Histograms
 // expand to cumulative `<name>_bucket{le="..."}` series (ending in
 // le="+Inf"), `<name>_sum` and `<name>_count`. Samples are emitted in
-// snapshot order (sorted by name, then labels). Buckets that captured an
-// exemplar carry it in OpenMetrics syntax after the sample value:
-//
-//   name_bucket{le="5"} 3 # {span_id="12",event_id="7"} 2.25
-std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+// snapshot order (sorted by name, then labels).
+std::string ToPrometheusText(
+    const MetricsSnapshot& snapshot,
+    ExpositionFormat format = ExpositionFormat::kPrometheus004);
 
-// Atomically replaces `path` with the rendered exposition.
+// Atomically replaces `path` with the rendered exposition, in the 0.0.4
+// dialect: the file is meant for the node-exporter textfile collector,
+// which speaks only the plain-text grammar.
 Status WritePrometheusFile(const MetricsSnapshot& snapshot,
                            const std::string& path);
 

@@ -66,11 +66,22 @@ void HistogramCell::ObserveWithExemplar(double v, std::uint64_t span_id,
   if (std::isnan(v)) return;
   Observe(v);
   ExemplarSlot& slot = exemplars_[BucketIndex(v)];
-  slot.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write in flight
+  // Claim the slot by flipping seq even -> odd with a CAS so two writers
+  // can never interleave their field stores. Losing the race just drops
+  // this exemplar — the slot only promises *some* recent observation. The
+  // acquire on success keeps the field stores below from moving above the
+  // claim; the release store publishes them with the new even seq.
+  std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  if (seq % 2 != 0 ||
+      !slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+    return;
+  }
   slot.value.store(v, std::memory_order_relaxed);
   slot.span_id.store(span_id, std::memory_order_relaxed);
   slot.event_id.store(event_id, std::memory_order_relaxed);
-  slot.seq.fetch_add(1, std::memory_order_release);  // even: stable
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: stable
 }
 
 std::vector<Exemplar> HistogramCell::Exemplars() const {
@@ -86,7 +97,11 @@ std::vector<Exemplar> HistogramCell::Exemplars() const {
       e.value = slot.value.load(std::memory_order_relaxed);
       e.span_id = slot.span_id.load(std::memory_order_relaxed);
       e.event_id = slot.event_id.load(std::memory_order_relaxed);
-      if (slot.seq.load(std::memory_order_acquire) == s1) {
+      // Standard seqlock validation: the fence orders the relaxed data
+      // loads above before the re-read of seq (a plain acquire load would
+      // not), so an unchanged sequence proves the triple was not torn.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) == s1) {
         out[i] = e;
         break;
       }

@@ -77,8 +77,9 @@ class HistogramCell {
   void Observe(double v);
   // Observe() plus exemplar capture: the bucket the observation lands in
   // remembers (v, span_id, event_id) as its exposition exemplar. Lock-free
-  // (per-bucket seqlock); concurrent writers race benignly — some last
-  // observation wins.
+  // (per-bucket seqlock); a writer claims the slot with a CAS, and one that
+  // loses the claim drops its exemplar — some recent observation wins, and
+  // the published triple is always from a single observation.
   void ObserveWithExemplar(double v, std::uint64_t span_id,
                            std::uint64_t event_id);
 
@@ -99,9 +100,10 @@ class HistogramCell {
   const std::vector<double>& bounds() const { return bounds_; }
 
  private:
-  // Seqlock-protected exemplar slot: the sequence is odd while a writer is
-  // mid-update; readers retry until they see a stable even sequence, so the
-  // (value, span, event) triple is always mutually consistent.
+  // Seqlock-protected exemplar slot: a writer claims the slot by CASing the
+  // sequence from even to odd (so writers never interleave), and readers
+  // retry until they see the same even sequence on both sides of the data
+  // loads, so the (value, span, event) triple is always mutually consistent.
   struct ExemplarSlot {
     std::atomic<std::uint64_t> seq{0};
     std::atomic<double> value{0.0};

@@ -49,8 +49,17 @@ SloTracker::Burn SloTracker::Evaluate(double now_seconds) const {
   out.bad_events = bad_events_;
   if (!any_recorded_) return out;
   // Readers on a different clock origin (the handler's steady clock vs the
-  // estate epoch) see the windows as of the newest event.
-  const double now = std::max(now_seconds, last_record_time_);
+  // estate epoch) see the windows as of the newest event. A reader behind
+  // the recorder is advanced to the newest event; a reader so far ahead
+  // that every bucket would age out (more than a slow window past the
+  // newest event — an origin mismatch, not honest idle time) is pulled back
+  // to the newest event too, so a mismatched clock cannot silently zero an
+  // active burn. Within a slow window of the last event the gap is treated
+  // as real elapsed time and buckets age out normally.
+  double now = std::max(now_seconds, last_record_time_);
+  if (now - last_record_time_ > options_.slow_window_seconds) {
+    now = last_record_time_;
+  }
   const std::int64_t now_index =
       static_cast<std::int64_t>(std::floor(now / bucket_width_));
   const std::int64_t fast_buckets = std::max<std::int64_t>(

@@ -29,8 +29,11 @@ class MetricsRegistry;
 //
 // Time is supplied by the caller (seconds, any monotone-ish origin: steady
 // clock for serving, estate epoch for scoring). Evaluate() clamps its `now`
-// to the newest recorded event so readers on a different clock origin see
-// the state "as of the last event" instead of an empty window.
+// into [last event, last event + slow window]: a reader behind the recorder
+// and a reader more than a slow window ahead of it (a clock-origin
+// mismatch in either direction) both see the state "as of the last event"
+// instead of an empty window; gaps within a slow window are honest idle
+// time and age buckets out normally.
 class SloTracker {
  public:
   struct Options {

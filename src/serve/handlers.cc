@@ -162,7 +162,7 @@ HttpResponse EstateQueryHandler::Dispatch(
     }
     return HttpResponse::Text(200, "ok\n");
   }
-  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/metrics") return HandleMetrics(request);
 
   const bool is_v1 = request.path.rfind("/v1/", 0) == 0;
   if (!is_v1) {
@@ -457,7 +457,7 @@ HttpResponse EstateQueryHandler::HandleHeadroom(const HttpRequest& request,
   return HttpResponse::Json(200, w.Take());
 }
 
-HttpResponse EstateQueryHandler::HandleMetrics() {
+HttpResponse EstateQueryHandler::HandleMetrics(const HttpRequest& request) {
   if (registry_ == nullptr) {
     return ErrorResponse(404, "NotFound", "metrics registry not wired");
   }
@@ -468,10 +468,24 @@ HttpResponse EstateQueryHandler::HandleMetrics() {
   if (options_.slos != nullptr) {
     obs::ExportSloMetrics(*options_.slos, registry_.get(), NowSeconds());
   }
+  // Content negotiation: the 0.0.4 text grammar cannot carry exemplars (a
+  // vanilla Prometheus scraper errors on the `#` token and fails the whole
+  // scrape), so exemplars are served only to scrapers that ask for
+  // OpenMetrics via Accept.
+  const std::string* accept = request.FindHeader("accept");
+  const bool openmetrics =
+      accept != nullptr &&
+      accept->find("application/openmetrics-text") != std::string::npos;
   HttpResponse resp;
   resp.status = 200;
-  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
-  resp.body = obs::ToPrometheusText(registry_->Collect());
+  if (openmetrics) {
+    resp.content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    resp.body = obs::ToPrometheusText(registry_->Collect(),
+                                      obs::ExpositionFormat::kOpenMetrics);
+  } else {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = obs::ToPrometheusText(registry_->Collect());
+  }
   return resp;
 }
 

@@ -84,7 +84,7 @@ class EstateQueryHandler {
                             const EstateView& view);
   HttpResponse HandleHeadroom(const HttpRequest& request,
                               const EstateView& view);
-  HttpResponse HandleMetrics();
+  HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleSlo();
   HttpResponse HandleDebugEvents(const HttpRequest& request);
   HttpResponse HandleDebugSlow(const HttpRequest& request);

@@ -471,7 +471,8 @@ EstateService::ShardTickOutput EstateService::TickShard(EstateShard* shard) {
       ev.shard = static_cast<std::int32_t>(shard->id);
       ev.span_id = span.id();
       ev.dur_ns = static_cast<std::uint64_t>(tick_ms * 1e6);
-      ev.start_ns = events.NowNs() - ev.dur_ns;
+      const std::uint64_t now_ns = events.NowNs();
+      ev.start_ns = now_ns >= ev.dur_ns ? now_ns - ev.dur_ns : 0;
       ev.outcome = "overrun";
       ev.AddAttr("deadline_ms", config_.guardrail.tick_deadline_ms);
       ev.AddAttr("samples_ingested",

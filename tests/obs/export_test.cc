@@ -124,11 +124,15 @@ TEST(PrometheusTest, ExemplarsRoundTripThroughTheTextFormat) {
   h.ObserveWithExemplar(2.5, /*span_id=*/12, /*event_id=*/7);
   h.ObserveWithExemplar(50.0, /*span_id=*/98, /*event_id=*/0);
 
-  const std::string text = ToPrometheusText(registry.Collect());
-  // OpenMetrics exemplar syntax: `... # {label="v",...} value`.
+  const std::string text =
+      ToPrometheusText(registry.Collect(), ExpositionFormat::kOpenMetrics);
+  // OpenMetrics exemplar syntax: `... # {label="v",...} value`, and the
+  // exposition is terminated by the mandatory `# EOF`.
   EXPECT_NE(text.find("# {span_id=\"12\",event_id=\"7\"} 2.5"),
             std::string::npos)
       << text;
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n") << text;
 
   auto parsed = ParsePrometheusText(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
@@ -161,12 +165,26 @@ TEST(PrometheusTest, ExemplarsRoundTripThroughTheTextFormat) {
   EXPECT_EQ(with_exemplar, 2);
 }
 
+TEST(PrometheusTest, Prometheus004FormatOmitsExemplars) {
+  // The 0.0.4 text grammar allows only a timestamp after the value; a
+  // vanilla Prometheus scraper fails the whole scrape on an exemplar token,
+  // so the default format (the /metrics endpoint without OpenMetrics
+  // negotiation, and the textfile-collector export) must never emit one.
+  MetricsRegistry registry;
+  Histogram h = registry.GetHistogram("serve_ms", {1.0}, {}, "latency");
+  h.ObserveWithExemplar(0.5, /*span_id=*/3, /*event_id=*/4);
+  const std::string text = ToPrometheusText(registry.Collect());
+  EXPECT_EQ(text.find(" # {"), std::string::npos) << text;
+  EXPECT_EQ(text.find("# EOF"), std::string::npos) << text;
+}
+
 TEST(PrometheusTest, LastExemplarPerBucketWins) {
   MetricsRegistry registry;
   Histogram h = registry.GetHistogram("fit_ms", {100.0}, {}, "fit latency");
   h.ObserveWithExemplar(10.0, 1, 1);
   h.ObserveWithExemplar(20.0, 2, 2);  // same bucket: overwrites the slot
-  auto parsed = ParsePrometheusText(ToPrometheusText(registry.Collect()));
+  auto parsed = ParsePrometheusText(
+      ToPrometheusText(registry.Collect(), ExpositionFormat::kOpenMetrics));
   ASSERT_TRUE(parsed.ok());
   for (const auto& s : parsed->samples) {
     if (s.name == "fit_ms_bucket" && s.labels[0].second == "100") {

@@ -79,6 +79,24 @@ TEST(SloTrackerTest, EvaluateClampsEarlierClockToNewestEvent) {
   EXPECT_DOUBLE_EQ(burn.fast_burn, 10.0);  // 1.0 bad ratio / 0.1 budget
 }
 
+TEST(SloTrackerTest, EvaluateTreatsFarAheadClockAsOriginMismatch) {
+  // The serve path evaluates the forecast-accuracy tracker with its steady
+  // clock while the recorder stamped events with the estate epoch. When the
+  // reader's `now` is so far ahead of the newest event that every bucket
+  // would age out (more than a slow window), it is an origin mismatch, not
+  // idle time: evaluate as of the last event instead of reporting zero burn.
+  SloTracker slo(Opts(0.9, 300.0, 3600.0));
+  slo.Record(false, 100.0);
+  const SloTracker::Burn burn = slo.Evaluate(1e9);
+  EXPECT_EQ(burn.fast_events, 1u);
+  EXPECT_DOUBLE_EQ(burn.fast_burn, 10.0);  // 1.0 bad ratio / 0.1 budget
+  // A gap within the slow window is honest idle time: the fast window ages
+  // the event out while the slow window still holds it.
+  const SloTracker::Burn idle = slo.Evaluate(500.0);
+  EXPECT_EQ(idle.fast_events, 0u);
+  EXPECT_EQ(idle.slow_events, 1u);
+}
+
 TEST(SloTrackerTest, OptionSanitization) {
   {
     SloTracker slo(Opts(1.5, -10.0, 1.0));

@@ -26,6 +26,19 @@ HttpRequest Get(const std::string& target) {
   return p.TakeRequest();
 }
 
+// A GET negotiating the OpenMetrics exposition, the way a Prometheus
+// server with exemplar support scrapes.
+HttpRequest GetOpenMetrics(const std::string& target) {
+  RequestParser p;
+  const std::string raw =
+      "GET " + target +
+      " HTTP/1.1\r\n"
+      "Accept: application/openmetrics-text;version=1.0.0,text/plain\r\n\r\n";
+  p.Feed(raw.data(), raw.size());
+  EXPECT_EQ(p.state(), RequestParser::State::kComplete) << target;
+  return p.TakeRequest();
+}
+
 std::shared_ptr<EstateView> MakeEstate() {
   auto view = std::make_shared<EstateView>();
   view->now_epoch = 1000000;
@@ -602,16 +615,34 @@ TEST_F(SloHandlersTest, MetricsScrapeCarriesSloFamilyAndExemplars) {
   obs::EventLog::Instance().Enable();
   channel_.Publish(MakeEstate());
   ASSERT_EQ(handler_->Handle(Get("/v1/estate")).status, 200);
-  const HttpResponse resp = handler_->Handle(Get("/metrics"));
+  const HttpResponse resp = handler_->Handle(GetOpenMetrics("/metrics"));
   ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.content_type,
+            "application/openmetrics-text; version=1.0.0; charset=utf-8");
   EXPECT_NE(resp.body.find("capplan_slo_fast_burn_ratio"), std::string::npos);
   EXPECT_NE(resp.body.find("slo=\"serve_latency\""), std::string::npos);
   EXPECT_NE(resp.body.find("capplan_obs_events_dropped_total"),
             std::string::npos);
   EXPECT_NE(resp.body.find("capplan_obs_trace_dropped_total"),
             std::string::npos);
-  // The /v1/estate request above left an exemplar on its latency bucket.
+  // The /v1/estate request above left an exemplar on its latency bucket,
+  // and the OpenMetrics exposition is terminated by `# EOF`.
   EXPECT_NE(resp.body.find("# {span_id=\""), std::string::npos);
+  ASSERT_GE(resp.body.size(), 6u);
+  EXPECT_EQ(resp.body.substr(resp.body.size() - 6), "# EOF\n");
+}
+
+TEST_F(SloHandlersTest, PlainScrapeStaysExemplarFreePrometheus004) {
+  // Without OpenMetrics negotiation the scrape must stay parseable by a
+  // vanilla Prometheus 0.0.4 text parser, which rejects exemplar tokens.
+  obs::EventLog::Instance().Enable();
+  channel_.Publish(MakeEstate());
+  ASSERT_EQ(handler_->Handle(Get("/v1/estate")).status, 200);
+  const HttpResponse resp = handler_->Handle(Get("/metrics"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(resp.body.find(" # {"), std::string::npos);
+  EXPECT_EQ(resp.body.find("# EOF"), std::string::npos);
 }
 
 }  // namespace
