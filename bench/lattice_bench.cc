@@ -1,0 +1,182 @@
+// TBATS lattice pruning gate: the pruned selection path (short-budget
+// prefits rank the lattice, survivors get the oracle's full-budget rescore)
+// must spend at most half the innovations-filter passes of the exhaustive
+// oracle while picking the *identical* configuration — the PR 2 fast-path
+// contract extended to the TBATS branch. Filter passes are counted by the
+// process-wide TbatsModel::TotalFilterRuns() counter, one per objective
+// evaluation, so the ratio is deterministic and scheduler-independent.
+//
+// A second gate bounds the FFT period router itself: routing must cost less
+// than 5% of the lattice selection it feeds, so period detection never eats
+// into the refit budget. Writes BENCH_lattice.json for the CI bench-smoke
+// step and exits non-zero when either gate fails.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json_writer.h"
+#include "core/lattice/period_router.h"
+#include "core/lattice/tbats_lattice.h"
+#include "models/tbats.h"
+
+using namespace capplan;
+
+namespace {
+
+constexpr double kMinFilterRunRatio = 2.0;   // oracle runs / pruned runs
+constexpr double kMaxRoutingFraction = 0.05;  // routing ms / selection ms
+
+core::lattice::TbatsLatticeOptions LatticeOptions(bool prune) {
+  core::lattice::TbatsLatticeOptions opts;
+  opts.model.max_harmonics = 2;
+  opts.model.max_fit_iterations = 200;
+  opts.prune = prune;
+  opts.n_threads = 8;
+  return opts;
+}
+
+std::vector<double> SyntheticDailyWeekly() {
+  std::mt19937 rng(19);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  std::vector<double> x(24 * 7 * 6);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double td = static_cast<double>(t);
+    x[t] = 40.0 + 10.0 * std::sin(2.0 * M_PI * td / 24.0) +
+           6.0 * std::sin(2.0 * M_PI * td / 168.0) + dist(rng);
+  }
+  return x;
+}
+
+struct SeriesResult {
+  std::string name;
+  std::size_t n_periods = 0;
+  double routing_ms = 0.0;
+  std::uint64_t oracle_runs = 0;
+  std::uint64_t pruned_runs = 0;
+  double pruned_select_ms = 0.0;
+  bool same_selection = false;
+  std::string spec;
+};
+
+bool RunSeries(const std::string& name, const std::vector<double>& values,
+               SeriesResult* out) {
+  out->name = name;
+
+  core::lattice::PeriodRouter router(core::lattice::RouterOptions{});
+  const auto routed = router.Route(values);
+  out->routing_ms = routed.routing_ms;
+  out->n_periods = routed.seasons.size();
+  std::vector<double> periods;
+  for (const auto& s : routed.seasons) {
+    periods.push_back(static_cast<double>(s.period));
+  }
+  if (periods.empty()) {
+    std::fprintf(stderr, "%s: no seasonal periods routed\n", name.c_str());
+    return false;
+  }
+
+  const std::uint64_t runs0 = models::TbatsModel::TotalFilterRuns();
+  auto oracle = core::lattice::TbatsLattice(LatticeOptions(false))
+                    .Select(values, periods);
+  const std::uint64_t runs1 = models::TbatsModel::TotalFilterRuns();
+  auto pruned = core::lattice::TbatsLattice(LatticeOptions(true))
+                    .Select(values, periods);
+  const std::uint64_t runs2 = models::TbatsModel::TotalFilterRuns();
+  if (!oracle.ok() || !pruned.ok()) {
+    std::fprintf(stderr, "%s: selection failed: %s / %s\n", name.c_str(),
+                 oracle.ok() ? "ok" : oracle.status().ToString().c_str(),
+                 pruned.ok() ? "ok" : pruned.status().ToString().c_str());
+    return false;
+  }
+  out->oracle_runs = runs1 - runs0;
+  out->pruned_runs = runs2 - runs1;
+  out->pruned_select_ms = pruned->profile.total_ms;
+  out->spec = pruned->model.config().ToString();
+  out->same_selection =
+      oracle->model.config().ToString() == pruned->model.config().ToString() &&
+      std::fabs(oracle->aic - pruned->aic) < 1e-9;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== TBATS lattice pruning + period-routing gates ===\n");
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  series.emplace_back("synthetic 24+168", SyntheticDailyWeekly());
+  auto olap = bench::CollectExperiment(workload::WorkloadScenario::Olap(), 42);
+  series.emplace_back("OLAP cdbm011/cpu",
+                      olap.hourly.at("cdbm011/cpu").values());
+  auto oltp = bench::CollectExperiment(workload::WorkloadScenario::Oltp(), 77);
+  series.emplace_back("OLTP cdbm011/cpu",
+                      oltp.hourly.at("cdbm011/cpu").values());
+
+  std::vector<SeriesResult> results;
+  std::uint64_t oracle_total = 0, pruned_total = 0;
+  bool all_same = true, all_ok = true;
+  double worst_routing_fraction = 0.0;
+  for (const auto& [name, values] : series) {
+    SeriesResult r;
+    if (!RunSeries(name, values, &r)) {
+      all_ok = false;
+      continue;
+    }
+    oracle_total += r.oracle_runs;
+    pruned_total += r.pruned_runs;
+    all_same = all_same && r.same_selection;
+    const double fraction =
+        r.pruned_select_ms > 0.0 ? r.routing_ms / r.pruned_select_ms : 0.0;
+    worst_routing_fraction = std::max(worst_routing_fraction, fraction);
+    std::printf(
+        "%-18s: %zu periods routed in %6.2f ms; filter runs %8llu oracle / "
+        "%8llu pruned (%.2fx); selection %s, %s\n",
+        r.name.c_str(), r.n_periods, r.routing_ms,
+        static_cast<unsigned long long>(r.oracle_runs),
+        static_cast<unsigned long long>(r.pruned_runs),
+        r.pruned_runs > 0
+            ? static_cast<double>(r.oracle_runs) /
+                  static_cast<double>(r.pruned_runs)
+            : 0.0,
+        r.spec.c_str(), r.same_selection ? "oracle-equal" : "DIVERGED");
+    results.push_back(r);
+  }
+
+  const double run_ratio =
+      pruned_total > 0
+          ? static_cast<double>(oracle_total) / static_cast<double>(pruned_total)
+          : 0.0;
+  const bool ratio_pass = run_ratio >= kMinFilterRunRatio;
+  const bool routing_pass = worst_routing_fraction < kMaxRoutingFraction;
+  const bool pass = all_ok && all_same && ratio_pass && routing_pass;
+
+  JsonWriter w(/*pretty=*/true);
+  w.BeginObject();
+  w.String("bench", "lattice");
+  w.Integer("series", static_cast<long long>(results.size()));
+  w.Integer("oracle_filter_runs", static_cast<long long>(oracle_total));
+  w.Integer("pruned_filter_runs", static_cast<long long>(pruned_total));
+  w.Number("filter_run_ratio", run_ratio);
+  w.Number("min_filter_run_ratio", kMinFilterRunRatio);
+  w.Bool("selections_oracle_equal", all_same);
+  w.Number("worst_routing_fraction", worst_routing_fraction);
+  w.Number("max_routing_fraction", kMaxRoutingFraction);
+  w.Bool("pass", pass);
+  w.EndObject();
+  const std::string json = w.Take();
+  std::ofstream("BENCH_lattice.json") << json << "\n";
+  std::printf("%s\n", json.c_str());
+
+  std::printf(
+      "\nlattice: %.2fx fewer filter runs (gate >= %.1fx), selections %s, "
+      "routing <= %.2f%% of selection (gate < %.0f%%) %s\n",
+      run_ratio, kMinFilterRunRatio,
+      all_same ? "oracle-equal" : "DIVERGED", 100.0 * worst_routing_fraction,
+      100.0 * kMaxRoutingFraction, pass ? "OK" : "FAILED");
+  return pass ? 0 : 1;
+}

@@ -228,6 +228,19 @@ int main(int argc, char** argv) {
     }
     std::printf("[serve] GET %s ->\n  %s\n", breach_target.c_str(),
                 breach->body.c_str());
+    // Interpretable decomposition of the same series: trend + one component
+    // per routed (or live-detected) seasonal period + residual.
+    const std::string decompose_target = "/v1/decompose?key=" + key;
+    auto decompose = client.Get(decompose_target);
+    if (!decompose.ok() || decompose->status != 200) {
+      return Fail("serve: GET " + decompose_target + " failed");
+    }
+    const std::size_t source = decompose->body.find("\"periods_source\"");
+    std::printf("[serve] GET %s -> 200 (%zu bytes, %s)\n",
+                decompose_target.c_str(), decompose->body.size(),
+                source == std::string::npos
+                    ? "?"
+                    : decompose->body.substr(source, 28).c_str());
     server.Stop();
   }
 

@@ -37,6 +37,12 @@ namespace capplan {
 //                       (a refit worker dying, in service terms)
 //   selector.grid       the SARIMAX grid-selection stage fails, which
 //                       drives the degradation ladder to the HES rung
+//   selector.periods    FFT period detection fails; the router degrades to
+//                       the single-season path (no detected periods, so no
+//                       TBATS/Fourier routing) WITHOUT entering the ladder
+//   pipeline.tbats      the TBATS lattice branch fails; under
+//                       degrade_on_failure a kTbats selection rides the
+//                       normal full -> HES -> SES -> naive ladder
 //   pipeline.hes        the HES selection rung fails (ladder -> SES)
 //   pipeline.ses        the SES rung fails (ladder -> seasonal-naive)
 //   pipeline.poison_fit a refit "succeeds" with ruined held-out accuracy

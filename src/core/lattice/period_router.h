@@ -1,0 +1,59 @@
+#ifndef CAPPLAN_CORE_LATTICE_PERIOD_ROUTER_H_
+#define CAPPLAN_CORE_LATTICE_PERIOD_ROUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "tsa/seasonality.h"
+
+namespace capplan::core::lattice {
+
+// Per-series seasonality router — the front half of the multi-seasonality
+// selection subsystem (paper Section 4.4: "we apply Fourier analysis if we
+// detect time series data with multiple seasonality"). It runs the
+// FFT/periodogram period detection (harmonics of an accepted season are
+// suppressed, so daily + weekly reports as {24, 168}) on the
+// trainability-gated series and hands the detected periods to both the
+// SARIMAX Fourier candidate generation and the TBATS option lattice.
+//
+// Routing never fails: a detection error (or an armed `selector.periods`
+// fault) degrades to the single-season decision — no detected periods, so
+// the selection stays on the plain single-season SARIMAX/HES path. That is
+// deliberately NOT the degradation ladder: losing period detection costs
+// model richness, not the forecast itself.
+
+struct RouterOptions {
+  tsa::SeasonalityOptions seasonality;
+  // Optional metrics sink for the capplan_select_* family; may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct RoutingDecision {
+  // Detected seasonal periods, strongest first; empty on fallback.
+  std::vector<tsa::DetectedSeason> seasons;
+  // At least two distinct periods detected — the multi-seasonal trigger for
+  // the TBATS branch and SARIMAX Fourier terms.
+  bool multiple_seasonality = false;
+  // Detection failed (fault or compute error) and the router degraded to
+  // the single-season path.
+  bool detection_failed = false;
+  std::string failure_reason;
+  double routing_ms = 0.0;
+};
+
+class PeriodRouter {
+ public:
+  explicit PeriodRouter(RouterOptions options = {}) : options_(options) {}
+
+  // Emits the `select.periods` span and the router metrics; honours the
+  // `selector.periods` fault site.
+  RoutingDecision Route(const std::vector<double>& values) const;
+
+ private:
+  RouterOptions options_;
+};
+
+}  // namespace capplan::core::lattice
+
+#endif  // CAPPLAN_CORE_LATTICE_PERIOD_ROUTER_H_

@@ -1,0 +1,109 @@
+#ifndef CAPPLAN_CORE_LATTICE_TBATS_LATTICE_H_
+#define CAPPLAN_CORE_LATTICE_TBATS_LATTICE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "models/tbats.h"
+#include "obs/metrics.h"
+
+namespace capplan::core::lattice {
+
+// TBATS option lattice with AIC pruning — the back half of the
+// multi-seasonality selection subsystem (paper Section 4.3: the TBATS
+// configuration is "chosen by AIC over the option lattice").
+//
+// Candidate enumeration is deterministic and shared by both paths: a greedy
+// per-season harmonic selection (k = 1..max_harmonics under the base
+// configuration, stop when AIC stops improving) fixes the trigonometric
+// term counts, then the option lattice expands Box-Cox on/off x trend
+// on/off x damping on/off x ARMA error orders in a fixed order.
+//
+// Two scoring paths over that shared candidate list:
+//   * oracle (prune = false): every configuration is fitted at the full
+//     optimizer budget; the winner is the minimum AIC, ties broken by
+//     lattice order.
+//   * pruned (prune = true): every configuration gets a short-budget
+//     prefit; dominated branches (everything outside the top `keep_top` by
+//     prefit AIC) are cut, and the survivors are cold-rescored with exactly
+//     the oracle's full-budget fit. Because the rescore is the oracle
+//     evaluation and the tie-break order is the lattice order, the pruned
+//     selection is deterministic and oracle-equal whenever the oracle's
+//     winner survives the prefit cut — the same contract as the PR 2
+//     selector fast path, enforced by tests/core/tbats_lattice_test.cc.
+//
+// Fits are independent, so evaluation parallelises over a thread pool;
+// results land in a per-candidate slot and the reduction is sequential, so
+// the selection is identical at any thread count.
+
+struct TbatsLatticeOptions {
+  TbatsLatticeOptions() {
+    model.max_harmonics = 3;
+    model.max_fit_iterations = 300;
+  }
+
+  // Option-lattice switches and the full (oracle) optimizer budget.
+  models::TbatsModel::Options model;
+
+  // Pruned path on/off. Off = the exhaustive oracle; selection is identical
+  // either way when the winner survives the cut, so this exists for the
+  // equality tests, the bench gate and ablation.
+  bool prune = true;
+
+  // Survivors cold-rescored at full budget. Everything below this rank by
+  // prefit AIC is pruned.
+  std::size_t keep_top = 6;
+
+  // Optimizer budget for the prefit pass; 0 derives max_fit_iterations / 8
+  // (clamped to >= 20).
+  int prefit_iterations = 0;
+
+  std::size_t n_threads = 1;
+
+  // Optional metrics sink for the capplan_select_* family; may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct LatticeProfile {
+  std::size_t enumerated = 0;  // configurations in the option lattice
+  std::size_t evaluated = 0;   // fits run (greedy + prefits + full rescores)
+  std::size_t pruned = 0;      // configurations cut before the full rescore
+  std::size_t rescored = 0;    // survivors cold-rescored at full budget
+  double total_ms = 0.0;
+};
+
+struct TbatsSelection {
+  models::TbatsModel model;  // AIC-best configuration at full budget
+  double aic = 0.0;
+  LatticeProfile profile;
+};
+
+class TbatsLattice {
+ public:
+  explicit TbatsLattice(TbatsLatticeOptions options = {})
+      : options_(options) {}
+
+  // Selects the AIC-best TBATS configuration for `y` over the given
+  // seasonal periods. Emits the `select.tbats_lattice` span and the lattice
+  // metrics. Fails when no configuration fits.
+  Result<TbatsSelection> Select(const std::vector<double>& y,
+                                const std::vector<double>& periods) const;
+
+  // The shared deterministic candidate list (greedy harmonics already
+  // fixed), in lattice order. Exposed for the equality tests.
+  std::vector<models::TbatsConfig> EnumerateConfigs(
+      const std::vector<double>& y,
+      const std::vector<double>& periods) const;
+
+  const TbatsLatticeOptions& options() const { return options_; }
+
+ private:
+  int PrefitBudget() const;
+
+  TbatsLatticeOptions options_;
+};
+
+}  // namespace capplan::core::lattice
+
+#endif  // CAPPLAN_CORE_LATTICE_TBATS_LATTICE_H_

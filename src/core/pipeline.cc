@@ -109,9 +109,16 @@ Result<PipelineReport> Pipeline::RunSelection(
     auto traits = tsa::MeasureTraits(train.values(), default_period);
     if (traits.ok()) report.traits = *traits;
   }
-  auto seasons = tsa::DetectSeasonality(train.values());
-  if (seasons.ok()) report.seasons = *seasons;
-  report.multiple_seasonality = report.seasons.size() >= 2;
+  // Seasonality routing: FFT period detection feeding both the SARIMAX
+  // Fourier candidates and the TBATS lattice branch. A detection failure
+  // degrades to the single-season path here, not to the ladder.
+  lattice::RouterOptions router_opts = options_.router;
+  router_opts.metrics = options_.metrics;
+  const lattice::RoutingDecision routing =
+      lattice::PeriodRouter(router_opts).Route(train.values());
+  report.seasons = routing.seasons;
+  report.multiple_seasonality = routing.multiple_seasonality;
+  report.period_detection_fallback = routing.detection_failed;
   auto rec_d = tsa::RecommendDifferencing(train.values());
   if (rec_d.ok()) report.recommended_d = *rec_d;
 
@@ -146,6 +153,11 @@ Result<PipelineReport> Pipeline::RunSelection(
     case Technique::kAuto:
       try_family(Technique::kHes);
       try_family(Technique::kSarimaxFftExog);
+      // Multi-seasonal series additionally compete through the TBATS
+      // lattice (paper Section 4.3/4.4 routing).
+      if (options_.auto_tbats && report.multiple_seasonality) {
+        try_family(Technique::kTbats);
+      }
       break;
     default:
       try_family(options_.technique);
@@ -156,6 +168,13 @@ Result<PipelineReport> Pipeline::RunSelection(
     return Status::ComputeError("Pipeline: no model could be fitted");
   }
   best_report.forecast_start_epoch = full.EndEpoch();
+  if (options_.metrics != nullptr &&
+      best_report.chosen_family == Technique::kTbats) {
+    options_.metrics
+        ->GetCounter("capplan_select_tbats_selected_total", {},
+                     "Selections won by the TBATS lattice branch")
+        .Inc();
+  }
 
   // Stage 5: record in the central model repository.
   if (options_.model_repository != nullptr) {
@@ -168,6 +187,9 @@ Result<PipelineReport> Pipeline::RunSelection(
     stored.fitted_at_epoch = full.EndEpoch();
     stored.ar_coef = best_report.chosen_ar;
     stored.ma_coef = best_report.chosen_ma;
+    for (const auto& s : best_report.seasons) {
+      stored.periods.push_back(static_cast<double>(s.period));
+    }
     options_.model_repository->Put(stored);
   }
   return best_report;
@@ -265,7 +287,8 @@ Result<double> Pipeline::RunTbatsBranch(const tsa::TimeSeries& train,
                                         const tsa::TimeSeries& test,
                                         const tsa::TimeSeries& full,
                                         PipelineReport* report) const {
-  // Seasonal periods for the trigonometric blocks: the detected seasons,
+  CAPPLAN_RETURN_NOT_OK(FaultHit("pipeline.tbats"));
+  // Seasonal periods for the trigonometric blocks: the routed seasons,
   // falling back to the frequency's conventional period.
   std::vector<double> periods;
   for (const auto& s : report->seasons) {
@@ -275,22 +298,25 @@ Result<double> Pipeline::RunTbatsBranch(const tsa::TimeSeries& train,
     const std::size_t p = tsa::DefaultSeasonalPeriod(train.frequency());
     if (p >= 2) periods.push_back(static_cast<double>(p));
   }
-  models::TbatsModel::Options opts;
-  opts.max_harmonics = 3;
-  opts.max_fit_iterations = 300;
-  CAPPLAN_ASSIGN_OR_RETURN(models::TbatsModel model,
-                           models::TbatsModel::Fit(train.values(), periods,
-                                                   opts));
+  // AIC-pruned option lattice on the training window; survivors are
+  // cold-rescored at the oracle budget, so the winning configuration is
+  // identical to the exhaustive enumeration (docs/selection.md).
+  lattice::TbatsLatticeOptions lat_opts = options_.tbats_lattice;
+  lat_opts.n_threads = options_.n_threads;
+  lat_opts.metrics = options_.metrics;
+  lattice::TbatsLattice tbats_lattice(lat_opts);
+  CAPPLAN_ASSIGN_OR_RETURN(lattice::TbatsSelection sel,
+                           tbats_lattice.Select(train.values(), periods));
   CAPPLAN_ASSIGN_OR_RETURN(
       models::Forecast test_fc,
-      model.Predict(test.size(), options_.interval_level));
+      sel.model.Predict(test.size(), options_.interval_level));
   CAPPLAN_ASSIGN_OR_RETURN(tsa::AccuracyReport acc,
                            tsa::MeasureAccuracy(test.values(), test_fc.mean));
   // Refit the selected configuration on the full window.
   CAPPLAN_ASSIGN_OR_RETURN(
       models::TbatsModel final_model,
-      models::TbatsModel::FitConfig(full.values(), model.config(),
-                                    opts.max_fit_iterations));
+      models::TbatsModel::FitConfig(full.values(), sel.model.config(),
+                                    lat_opts.model.max_fit_iterations));
   CAPPLAN_ASSIGN_OR_RETURN(
       models::Forecast fc,
       final_model.Predict(report->split.prediction,
@@ -299,10 +325,12 @@ Result<double> Pipeline::RunTbatsBranch(const tsa::TimeSeries& train,
     return Status::ComputeError("TBATS branch: non-finite forecast");
   }
   report->chosen_family = Technique::kTbats;
-  report->chosen_spec = model.config().ToString();
+  report->chosen_spec = sel.model.config().ToString();
   report->test_accuracy = acc;
-  report->candidates_evaluated += 1;  // lattice internally explores configs
+  report->candidates_evaluated += sel.profile.evaluated;
   report->candidates_succeeded += 1;
+  report->candidates_pruned += sel.profile.pruned;
+  report->tbats_profile = sel.profile;
   report->forecast = std::move(fc);
   return acc.rmse;
 }

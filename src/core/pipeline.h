@@ -7,6 +7,8 @@
 
 #include "common/result.h"
 #include "core/candidate_gen.h"
+#include "core/lattice/period_router.h"
+#include "core/lattice/tbats_lattice.h"
 #include "core/selector.h"
 #include "core/shock_detect.h"
 #include "core/split.h"
@@ -98,6 +100,21 @@ struct PipelineOptions {
   // an empty result degrades like any other selection failure.
   double fit_time_budget_seconds = 0.0;
 
+  // Multi-seasonality selection subsystem (docs/selection.md): FFT period
+  // routing plus the TBATS option lattice. `router` configures detection;
+  // `tbats_lattice` configures the AIC-pruned lattice behind kTbats (its
+  // n_threads/metrics fields are overridden from this struct's).
+  lattice::RouterOptions router;
+  lattice::TbatsLatticeOptions tbats_lattice;
+
+  // In kAuto, additionally route multi-seasonal series (two or more
+  // detected periods) through the TBATS lattice branch.
+  bool auto_tbats = true;
+
+  // Optional metrics sink for the capplan_select_* family; may be null.
+  // Not owned; must outlive every Run call.
+  obs::MetricsRegistry* metrics = nullptr;
+
   // Optional central model registry; when set, the chosen model is recorded
   // under the series name with the fit timestamp.
   repo::ModelRepository* model_repository = nullptr;
@@ -119,6 +136,9 @@ struct PipelineReport {
   tsa::SeriesTraits traits;
   std::vector<tsa::DetectedSeason> seasons;
   bool multiple_seasonality = false;
+  // Period detection degraded to the single-season path (selector.periods
+  // fault or a detection error); selection proceeded without routing.
+  bool period_detection_fallback = false;
   std::vector<DetectedShock> shocks;
   std::size_t transient_spikes_discarded = 0;
   int recommended_d = 0;
@@ -134,6 +154,9 @@ struct PipelineReport {
   // Stage timings and fast-path effectiveness of the SARIMAX grid selection
   // (all-zero when no grid ran, e.g. a pure HES win or a degraded rung).
   SelectorProfile selector_profile;
+
+  // TBATS lattice counters when the TBATS branch ran (all-zero otherwise).
+  lattice::LatticeProfile tbats_profile;
 
   // Dense converged coefficients of the winning (S)ARIMA(X) error model,
   // refitted on the full window (index i -> lag i+1). Persisted with the

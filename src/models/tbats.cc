@@ -1,6 +1,7 @@
 #include "models/tbats.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -16,7 +17,12 @@ namespace capplan::models {
 namespace {
 constexpr double kPi = 3.14159265358979323846;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+std::atomic<std::uint64_t> g_filter_runs{0};
 }  // namespace
+
+std::uint64_t TbatsModel::TotalFilterRuns() {
+  return g_filter_runs.load(std::memory_order_relaxed);
+}
 
 std::string TbatsConfig::ToString() const {
   std::ostringstream os;
@@ -138,6 +144,7 @@ double TbatsModel::RunFilter(const std::vector<double>& z,
                              std::size_t warmup,
                              std::vector<double>* final_state,
                              std::vector<double>* residuals) {
+  g_filter_runs.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n = z.size();
   std::vector<double> state(layout.size, 0.0);
   // Heuristic initial level/trend.

@@ -2,6 +2,7 @@
 #define CAPPLAN_MODELS_TBATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,12 @@ class TbatsModel {
   }
 
   Result<Forecast> Predict(std::size_t horizon, double level = 0.95) const;
+
+  // Monotone process-wide count of innovations-filter passes (one per
+  // objective evaluation inside a fit). The TBATS lattice bench gates its
+  // pruning claim on this: read before/after and difference. Relaxed atomic;
+  // never reset.
+  static std::uint64_t TotalFilterRuns();
 
   const TbatsConfig& config() const { return config_; }
   const FitSummary& summary() const { return summary_; }

@@ -115,12 +115,20 @@ Result<std::vector<double>> DecodeCoefficients(const std::string& text) {
   return out;
 }
 
+bool IsKnownTechnique(const std::string& technique) {
+  return technique == "ARIMA" || technique == "SARIMAX" ||
+         technique == "SARIMAX_FFT_EXOG" || technique == "HES" ||
+         technique == "TBATS" || technique == "BASELINE" ||
+         technique == "AUTO";
+}
+
 Status ModelRepository::Save(const std::string& path) const {
   CAPPLAN_RETURN_NOT_OK(FaultHit("model_store.save"));
   CsvTable table;
   table.header = {"key",       "technique", "spec",    "test_rmse",
                   "test_mape", "fitted_at_epoch",      "ar_coef", "ma_coef",
-                  "generation", "promoted_at_epoch",   "live_mape"};
+                  "generation", "promoted_at_epoch",   "live_mape",
+                  "periods"};
   for (const auto& [_, m] : models_) {
     char rmse[40], mape[40], live[40];
     std::snprintf(rmse, sizeof(rmse), "%.17g", m.test_rmse);
@@ -131,51 +139,79 @@ Status ModelRepository::Save(const std::string& path) const {
                           EncodeCoefficients(m.ar_coef),
                           EncodeCoefficients(m.ma_coef),
                           std::to_string(m.generation),
-                          std::to_string(m.promoted_at_epoch), live});
+                          std::to_string(m.promoted_at_epoch), live,
+                          EncodeCoefficients(m.periods)});
   }
   return WriteCsv(path, table);
 }
 
-Status ModelRepository::Load(const std::string& path) {
+namespace {
+
+// Parses one registry row (any of the tolerated layouts). Errors are
+// per-row: the caller skips the row and keeps loading.
+Result<StoredModel> ParseModelRow(const std::vector<std::string>& row) {
+  StoredModel m;
+  m.key = row[0];
+  m.technique = row[1];
+  m.spec = row[2];
+  if (!IsKnownTechnique(m.technique)) {
+    return Status::IoError("unknown technique '" + m.technique +
+                           "' for key " + m.key);
+  }
+  try {
+    m.test_rmse = std::stod(row[3]);
+    m.test_mape = std::stod(row[4]);
+    m.fitted_at_epoch = std::stoll(row[5]);
+  } catch (const std::exception&) {
+    return Status::IoError("bad number for key " + m.key);
+  }
+  if (row.size() >= 8) {
+    CAPPLAN_ASSIGN_OR_RETURN(m.ar_coef, DecodeCoefficients(row[6]));
+    CAPPLAN_ASSIGN_OR_RETURN(m.ma_coef, DecodeCoefficients(row[7]));
+  }
+  if (row.size() >= 11) {
+    try {
+      m.generation = std::stoi(row[8]);
+      m.promoted_at_epoch = std::stoll(row[9]);
+      m.live_mape = std::stod(row[10]);
+    } catch (const std::exception&) {
+      return Status::IoError("bad lineage for key " + m.key);
+    }
+  }
+  if (row.size() >= 12) {
+    CAPPLAN_ASSIGN_OR_RETURN(m.periods, DecodeCoefficients(row[11]));
+  }
+  return m;
+}
+
+}  // namespace
+
+Status ModelRepository::Load(const std::string& path, LoadReport* report) {
   CAPPLAN_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path));
-  // 6 columns = the pre-coefficient layout, 8 = pre-lineage; both tolerated
-  // so existing registry files keep loading (their models simply carry no
-  // warm-start hint / champion lineage).
+  // 6 columns = the pre-coefficient layout, 8 = pre-lineage, 11 =
+  // pre-periods; all tolerated so existing registry files keep loading
+  // (their models simply carry no warm-start hint / lineage / periods).
   if (table.header.size() != 6 && table.header.size() != 8 &&
-      table.header.size() != 11) {
+      table.header.size() != 11 && table.header.size() != 12) {
     return Status::IoError("ModelRepository::Load: unexpected column count");
   }
   for (const auto& row : table.rows) {
-    if (row.size() != table.header.size()) {
-      return Status::IoError("ModelRepository::Load: malformed row");
-    }
-    StoredModel m;
-    m.key = row[0];
-    m.technique = row[1];
-    m.spec = row[2];
-    try {
-      m.test_rmse = std::stod(row[3]);
-      m.test_mape = std::stod(row[4]);
-      m.fitted_at_epoch = std::stoll(row[5]);
-    } catch (const std::exception&) {
-      return Status::IoError("ModelRepository::Load: bad number for key " +
-                             m.key);
-    }
-    if (row.size() >= 8) {
-      CAPPLAN_ASSIGN_OR_RETURN(m.ar_coef, DecodeCoefficients(row[6]));
-      CAPPLAN_ASSIGN_OR_RETURN(m.ma_coef, DecodeCoefficients(row[7]));
-    }
-    if (row.size() == 11) {
-      try {
-        m.generation = std::stoi(row[8]);
-        m.promoted_at_epoch = std::stoll(row[9]);
-        m.live_mape = std::stod(row[10]);
-      } catch (const std::exception&) {
-        return Status::IoError("ModelRepository::Load: bad lineage for key " +
-                               m.key);
+    auto parsed = [&]() -> Result<StoredModel> {
+      if (row.size() != table.header.size()) {
+        return Status::IoError("malformed row (" +
+                               std::to_string(row.size()) + " columns)" +
+                               (row.empty() ? "" : " near key " + row[0]));
       }
+      return ParseModelRow(row);
+    }();
+    if (!parsed.ok()) {
+      if (report != nullptr) {
+        report->row_errors.push_back(parsed.status().ToString());
+      }
+      continue;
     }
-    models_[m.key] = m;
+    models_[parsed->key] = std::move(*parsed);
+    if (report != nullptr) ++report->loaded;
   }
   return Status::OK();
 }

@@ -27,6 +27,10 @@ struct StoredModel {
   // hint), so they persist alongside the accuracy metadata.
   std::vector<double> ar_coef;
   std::vector<double> ma_coef;
+  // Seasonal periods the selection subsystem detected for this series (in
+  // observations, strongest first; ';'-joined in the CSV). Empty for
+  // single-season series and for rows loaded from pre-periods registries.
+  std::vector<double> periods;
   // Champion/challenger lineage. `generation` counts promotions for the key
   // (1 = first champion; 0 = pre-lineage row, e.g. a legacy CSV load);
   // `promoted_at_epoch` is when this model became champion; `live_mape` is
@@ -39,9 +43,16 @@ struct StoredModel {
 };
 
 // ';'-joined full-precision encoding of a coefficient vector, used for the
-// ar_coef/ma_coef CSV columns ("" = empty vector).
+// ar_coef/ma_coef/periods CSV columns ("" = empty vector).
 std::string EncodeCoefficients(const std::vector<double>& coef);
 Result<std::vector<double>> DecodeCoefficients(const std::string& text);
+
+// Technique strings the repository accepts in a registry row. Kept in sync
+// with core::TechniqueName by tests/repo/model_store_test.cc (the repo layer
+// sits below core, so the list is spelled out here rather than included).
+// A row with any other string — e.g. one written by a future version — is
+// skipped as a per-row load error instead of aborting the whole load.
+bool IsKnownTechnique(const std::string& technique);
 
 // Staleness policy parameters.
 struct StalenessPolicy {
@@ -100,9 +111,21 @@ class ModelRepository {
 
   const StalenessPolicy& policy() const { return policy_; }
 
-  // CSV persistence of the registry.
+  // Outcome of a Load(): how many rows installed, and one message per row
+  // that was skipped (malformed numbers, wrong width, unknown technique).
+  struct LoadReport {
+    std::size_t loaded = 0;
+    std::vector<std::string> row_errors;
+  };
+
+  // CSV persistence of the registry. Load degrades per row: a malformed or
+  // unknown-technique row is recorded in `report` (when given) and skipped,
+  // so one bad row — including one written by a future version with a new
+  // technique — cannot take out every other model. Only file-level problems
+  // (unreadable file, unexpected header) fail the whole load.
   Status Save(const std::string& path) const;
-  Status Load(const std::string& path);
+  Status Load(const std::string& path) { return Load(path, nullptr); }
+  Status Load(const std::string& path, LoadReport* report);
 
  private:
   StalenessPolicy policy_;

@@ -49,6 +49,15 @@ struct InstanceStatus {
   // compare forecast peaks against current usage without repository access.
   std::vector<double> recent;
   std::int64_t recent_start_epoch = 0;  // epoch of recent.front()
+
+  // Multi-seasonality selection subsystem (docs/selection.md): the seasonal
+  // periods the selector detected for this series at fit time (empty until
+  // the first refit, or when detection degraded), plus a longer observed
+  // tail sized for STL decomposition over the longest season — the input
+  // /v1/decompose answers from.
+  std::vector<double> periods;
+  std::vector<double> history;
+  std::int64_t history_start_epoch = 0;  // epoch of history.front()
 };
 
 // Deep health of one estate shard (service/health.h state machine),

@@ -13,6 +13,8 @@
 #include "obs/event_log.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "tsa/mstl.h"
+#include "tsa/seasonality.h"
 #include "tsa/timeseries.h"
 
 namespace capplan::serve {
@@ -107,6 +109,7 @@ EstateQueryHandler::EstateQueryHandler(
     m_forecast_ = endpoint("forecast");
     m_breach_ = endpoint("breach");
     m_headroom_ = endpoint("headroom");
+    m_decompose_ = endpoint("decompose");
     m_estate_ = endpoint("estate");
     m_health_ = endpoint("health");
     m_slo_ = endpoint("slo");
@@ -215,6 +218,9 @@ HttpResponse EstateQueryHandler::Dispatch(
     } else if (request.path == "/v1/headroom") {
       response = HandleHeadroom(request, *view);
       metrics = &m_headroom_;
+    } else if (request.path == "/v1/decompose") {
+      response = HandleDecompose(request, *view);
+      metrics = &m_decompose_;
     } else {
       return ErrorResponse(404, "NotFound",
                            "no such endpoint: " + request.path);
@@ -453,6 +459,104 @@ HttpResponse EstateQueryHandler::HandleHeadroom(const HttpRequest& request,
   w.Integer("view_version", static_cast<long long>(view.version));
   w.Number("capacity", capacity);
   core::WriteHeadroomFields(&w, *report);
+  w.EndObject();
+  return HttpResponse::Json(200, w.Take());
+}
+
+HttpResponse EstateQueryHandler::HandleDecompose(const HttpRequest& request,
+                                                 const EstateView& view) {
+  obs::TraceSpan span("serve.decompose", "serve");
+  const auto key_it = request.query.find("key");
+  if (key_it == request.query.end() || key_it->second.empty()) {
+    return ErrorResponse(400, "InvalidArgument",
+                         "required query parameter: key=<instance>/<metric>");
+  }
+  double band = 3.0;
+  const auto band_it = request.query.find("band");
+  if (band_it != request.query.end() &&
+      (!ParseDouble(band_it->second, &band) || band <= 0.0)) {
+    return ErrorResponse(400, "InvalidArgument",
+                         "band must be a positive number");
+  }
+  const std::string& key = key_it->second;
+  const InstanceStatus* s = view.Find(key);
+  if (s == nullptr) {
+    return ErrorResponse(404, "NotFound", "no such watch: " + key);
+  }
+  if (s->history.empty()) {
+    return UnprocessableResponse(Status::FailedPrecondition(
+        "no observed history published yet for " + key));
+  }
+
+  // Prefer the periods the selector routed at fit time; fall back to live
+  // detection on the published history when no fit has landed yet (or the
+  // router degraded to the single-season path).
+  std::vector<std::size_t> periods;
+  const char* periods_source = "selector";
+  for (double p : s->periods) {
+    if (p >= 2.0) periods.push_back(static_cast<std::size_t>(p));
+  }
+  if (periods.empty()) {
+    periods_source = "detected";
+    auto detected = tsa::DetectSeasonality(s->history);
+    if (detected.ok()) {
+      for (const tsa::DetectedSeason& season : *detected) {
+        periods.push_back(season.period);
+      }
+    }
+  }
+  if (periods.empty()) {
+    return UnprocessableResponse(Status::FailedPrecondition(
+        "no seasonal period detected for " + key +
+        "; decomposition needs at least one season"));
+  }
+
+  auto decomp = tsa::MstlDecompose(s->history, periods);
+  if (!decomp.ok()) return UnprocessableResponse(decomp.status());
+
+  const double sigma = tsa::RobustSigma(decomp->remainder);
+  const std::vector<std::size_t> anomalies =
+      tsa::FlagAnomalies(decomp->remainder, band);
+
+  JsonWriter w(false);
+  w.BeginObject();
+  w.String("key", s->key);
+  w.Integer("view_version", static_cast<long long>(view.version));
+  w.Integer("start_epoch", s->history_start_epoch);
+  w.Integer("step_seconds", 3600);
+  w.Integer("n", static_cast<long long>(s->history.size()));
+  w.String("periods_source", periods_source);
+  w.BeginArray("periods");
+  for (std::size_t p : decomp->periods) {
+    w.ArrayNumber(static_cast<double>(p));
+  }
+  w.EndArray();
+  w.BeginArray("trend");
+  for (double v : decomp->trend) w.ArrayNumber(v);
+  w.EndArray();
+  // One seasonal component per period, same order as "periods"; the
+  // components satisfy x[t] = trend[t] + sum_i seasonal[i][t] + residual[t]
+  // exactly, so clients can reconstruct the input from this payload.
+  w.BeginArray("seasonal");
+  for (std::size_t i = 0; i < decomp->seasonal.size(); ++i) {
+    w.BeginObject();
+    w.Integer("period", static_cast<long long>(decomp->periods[i]));
+    w.BeginArray("values");
+    for (double v : decomp->seasonal[i]) w.ArrayNumber(v);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.BeginArray("residual");
+  for (double v : decomp->remainder) w.ArrayNumber(v);
+  w.EndArray();
+  w.Number("robust_sigma", sigma);
+  w.Number("band", band);
+  w.BeginArray("anomalies");
+  for (std::size_t idx : anomalies) {
+    w.ArrayNumber(static_cast<double>(idx));
+  }
+  w.EndArray();
   w.EndObject();
   return HttpResponse::Json(200, w.Take());
 }

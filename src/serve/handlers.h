@@ -25,6 +25,9 @@ namespace capplan::serve {
 //   /v1/forecast?instance=&metric=[&horizon=]
 //   /v1/breach?instance=&metric=[&threshold=]
 //   /v1/headroom?instance=&metric=&capacity=
+//   /v1/decompose?key=               STL trend/seasonal/residual components
+//                                    per detected period, plus robust-sigma
+//                                    anomaly flags (docs/selection.md)
 //   /v1/slo                          burn rates per registered SLO
 //   /v1/debug/events?[key=&shard=&kind=&outcome=&min_duration_ms=&limit=]
 //                                    merged wide-event snapshot, newest first
@@ -84,6 +87,8 @@ class EstateQueryHandler {
                             const EstateView& view);
   HttpResponse HandleHeadroom(const HttpRequest& request,
                               const EstateView& view);
+  HttpResponse HandleDecompose(const HttpRequest& request,
+                               const EstateView& view);
   HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleSlo();
   HttpResponse HandleDebugEvents(const HttpRequest& request);
@@ -110,6 +115,7 @@ class EstateQueryHandler {
   EndpointMetrics m_forecast_;
   EndpointMetrics m_breach_;
   EndpointMetrics m_headroom_;
+  EndpointMetrics m_decompose_;
   EndpointMetrics m_estate_;
   EndpointMetrics m_health_;
   EndpointMetrics m_slo_;

@@ -405,6 +405,9 @@ void EstateService::PrepareBatches(EstateShard* shard, ShardTickOutput* out) {
     core::PipelineOptions opts = config_.pipeline;
     opts.model_repository = nullptr;  // driver thread owns registry updates
     opts.n_threads = 1;               // parallelism is across series
+    // capplan_select_* metrics from the routing/lattice stages land in the
+    // service registry (handles are lock-free, workers record directly).
+    opts.metrics = telemetry_.registry.get();
     // Warm-start the grid search from the previous fit of this series: the
     // stored coefficients seed the matching chains in the selector, so a
     // weekly refit of a stable workload converges in a fraction of the
@@ -545,6 +548,9 @@ void EstateService::SubmitBatch(PreparedBatch batch, TickReport* report) {
           out.test_mape = rep->test_accuracy.mape;
           out.ar_coef = std::move(rep->chosen_ar);
           out.ma_coef = std::move(rep->chosen_ma);
+          for (const auto& season : rep->seasons) {
+            out.periods.push_back(static_cast<double>(season.period));
+          }
           out.forecast = std::move(rep->forecast);
           out.forecast_start_epoch = rep->forecast_start_epoch;
           out.forecast_step_seconds =
@@ -726,6 +732,7 @@ void EstateService::ApplyOutcome(const FitOutcome& outcome,
     model.fitted_at_epoch = outcome.fitted_at_epoch;
     model.ar_coef = outcome.ar_coef;
     model.ma_coef = outcome.ma_coef;
+    model.periods = outcome.periods;
     model.promoted_at_epoch = now_;
     if (has_champion) {
       // Stamp the demoted champion with its final live accuracy (the bar a
@@ -1086,6 +1093,19 @@ void EstateService::PublishView() {
             tail.ok() && !tail->empty()) {
           row.recent = tail->values();
           row.recent_start_epoch = tail->start_epoch();
+        }
+      }
+      // Decompose inputs: the champion's detected periods plus a tail long
+      // enough for STL over the longest season (docs/selection.md).
+      if (const auto model = registry_.Get(key); model.ok()) {
+        row.periods = model->periods;
+      }
+      if (config_.view_history_hours > 0) {
+        if (auto tail =
+                shard.metrics.HourlyTail(key, config_.view_history_hours);
+            tail.ok() && !tail->empty()) {
+          row.history = tail->values();
+          row.history_start_epoch = tail->start_epoch();
         }
       }
       shard_rows[s].push_back(std::move(row));

@@ -175,6 +175,10 @@ struct EstateServiceConfig {
   // Trailing observed hours copied into each published EstateView row so the
   // serving layer can answer headroom queries without repository access.
   std::size_t view_recent_hours = 48;
+  // Longer observed tail published for /v1/decompose: STL needs at least two
+  // full cycles of the longest detected period (two weeks of hourly data
+  // covers the weekly season). 0 disables the decompose history.
+  std::size_t view_history_hours = 14 * 24;
   // Estate partitioning: number of independent shards (consistent key hash;
   // 0 and 1 both mean unsharded). Shard tick jobs run in parallel on a
   // small second pool, so several shards only pay off when the host has
@@ -394,6 +398,7 @@ class EstateService {
     double test_mape = 0.0;
     std::vector<double> ar_coef;  // winner's coefficients, for warm starts
     std::vector<double> ma_coef;
+    std::vector<double> periods;  // detected seasonal periods at fit time
     models::Forecast forecast;
     std::int64_t forecast_start_epoch = 0;
     std::int64_t forecast_step_seconds = 3600;

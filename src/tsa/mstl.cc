@@ -1,0 +1,85 @@
+#include "tsa/mstl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capplan::tsa {
+
+namespace {
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    std::nth_element(v.begin(), v.begin() + mid - 1, v.begin() + mid);
+    m = 0.5 * (m + v[mid - 1]);
+  }
+  return m;
+}
+
+}  // namespace
+
+Result<MultiDecomposition> MstlDecompose(const std::vector<double>& x,
+                                         std::vector<std::size_t> periods,
+                                         const MstlOptions& options) {
+  if (periods.empty()) {
+    return Status::InvalidArgument("MstlDecompose: no periods");
+  }
+  std::sort(periods.begin(), periods.end());
+  periods.erase(std::unique(periods.begin(), periods.end()), periods.end());
+  // Keep only periods STL can actually resolve on this window.
+  std::vector<std::size_t> usable;
+  for (std::size_t p : periods) {
+    if (p >= 2 && x.size() >= 2 * p) usable.push_back(p);
+  }
+  if (usable.empty()) {
+    return Status::InvalidArgument(
+        "MstlDecompose: no period has two full cycles in the window");
+  }
+
+  // Sequential extraction, shortest period first: each pass decomposes the
+  // series minus the seasonals already taken out, so the final pass's trend
+  // and remainder close the additive identity exactly.
+  MultiDecomposition out;
+  out.periods = usable;
+  std::vector<double> deseasonalized = x;
+  Decomposition last;
+  for (std::size_t i = 0; i < usable.size(); ++i) {
+    CAPPLAN_ASSIGN_OR_RETURN(last,
+                             StlDecompose(deseasonalized, usable[i],
+                                          options.stl));
+    out.seasonal.push_back(last.seasonal);
+    for (std::size_t t = 0; t < deseasonalized.size(); ++t) {
+      deseasonalized[t] -= last.seasonal[t];
+    }
+  }
+  out.trend = last.trend;
+  out.remainder = last.remainder;
+  return out;
+}
+
+double RobustSigma(const std::vector<double>& residuals) {
+  if (residuals.empty()) return 0.0;
+  const double med = Median(residuals);
+  std::vector<double> dev(residuals.size());
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    dev[i] = std::fabs(residuals[i] - med);
+  }
+  return 1.4826 * Median(std::move(dev));
+}
+
+std::vector<std::size_t> FlagAnomalies(const std::vector<double>& residuals,
+                                       double band) {
+  std::vector<std::size_t> flags;
+  const double sigma = RobustSigma(residuals);
+  if (sigma <= 0.0) return flags;
+  const double med = Median(residuals);
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    if (std::fabs(residuals[i] - med) > band * sigma) flags.push_back(i);
+  }
+  return flags;
+}
+
+}  // namespace capplan::tsa

@@ -1,0 +1,51 @@
+#ifndef CAPPLAN_TSA_MSTL_H_
+#define CAPPLAN_TSA_MSTL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "tsa/stl.h"
+
+namespace capplan::tsa {
+
+// MSTL: multi-seasonal STL (Bandara, Hyndman & Bergmeir 2021 style) —
+// sequential STL passes extract one seasonal component per period, shortest
+// first, each pass decomposing the series with the previously extracted
+// seasonals removed. The additive identity holds exactly:
+//
+//   x[t] = trend[t] + sum_i seasonal[i][t] + remainder[t]
+//
+// which is what makes the /v1/decompose endpoint's components reconstruct
+// the input bit-for-bit (up to float addition order).
+
+struct MultiDecomposition {
+  std::vector<std::size_t> periods;            // ascending, as decomposed
+  std::vector<std::vector<double>> seasonal;   // one component per period
+  std::vector<double> trend;
+  std::vector<double> remainder;
+};
+
+struct MstlOptions {
+  StlOptions stl;
+};
+
+// Decomposes x over the given periods (deduplicated and sorted ascending
+// internally). Periods without two full cycles in x are dropped; failing
+// when none remain. An empty period list is invalid.
+Result<MultiDecomposition> MstlDecompose(const std::vector<double>& x,
+                                         std::vector<std::size_t> periods,
+                                         const MstlOptions& options = {});
+
+// Robust residual sigma: 1.4826 x median absolute deviation around the
+// median. Returns 0 for an empty input.
+double RobustSigma(const std::vector<double>& residuals);
+
+// Indices where |residual - median| exceeds `band` robust sigmas — the
+// anomaly flags /v1/decompose publishes. Empty when sigma is 0.
+std::vector<std::size_t> FlagAnomalies(const std::vector<double>& residuals,
+                                       double band = 3.0);
+
+}  // namespace capplan::tsa
+
+#endif  // CAPPLAN_TSA_MSTL_H_

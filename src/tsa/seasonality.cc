@@ -81,17 +81,20 @@ Result<std::vector<DetectedSeason>> DetectSeasonality(
   std::vector<double> residual = x;
   std::vector<DetectedSeason> out;
   for (const Cand& c : cands) {
-    if (out.size() >= options.max_periods) break;
     if (residual.size() < 2 * c.period + 2) continue;
-    auto rho = Acf(residual, c.period + 1);
-    if (!rho.ok() || (*rho)[c.period] < options.acf_threshold) continue;
     // The ACF must peak *at* the period: the value has to rise above the
     // chord of its neighbours. Smooth series have high ACF at every small
-    // lag, but a monotone (convex) decay stays below its chord, while a
-    // genuine season puts a bump at its own lag even when superimposed on
-    // the decay of a longer season.
+    // lag, but a monotone (convex) decay stays below its chord at any span,
+    // while a genuine season puts a bump at its own lag even when
+    // superimposed on the decay of a longer season. The span scales with
+    // the period: at lag 168 the peak's curvature over one lag is far below
+    // the ACF estimator's bias, so a one-lag chord would reject genuine
+    // long seasons on noise-level differences.
+    const std::size_t span = std::max<std::size_t>(1, c.period / 8);
+    auto rho = Acf(residual, c.period + span);
+    if (!rho.ok() || (*rho)[c.period] < options.acf_threshold) continue;
     if ((*rho)[c.period] <=
-        0.5 * ((*rho)[c.period - 1] + (*rho)[c.period + 1])) {
+        0.5 * ((*rho)[c.period - span] + (*rho)[c.period + span])) {
       continue;
     }
     auto traits = MeasureTraits(residual, c.period);
@@ -102,6 +105,7 @@ Result<std::vector<DetectedSeason>> DetectSeasonality(
     season.period = c.period;
     season.power = c.power;
     season.acf = (*rho)[c.period];
+    season.strength = traits->seasonal_strength;
     out.push_back(season);
     // Remove this season's component before testing longer periods.
     auto dec = SeasonalDecompose(residual, c.period,
@@ -111,6 +115,18 @@ Result<std::vector<DetectedSeason>> DetectSeasonality(
         residual[t] -= dec->seasonal[t];
       }
     }
+  }
+  // Every candidate gets confirmed before the cap is applied: weak short
+  // periods (sub-harmonics of a maintenance cycle, say) must not crowd a
+  // strong daily/weekly season out of the report. Keep the `max_periods`
+  // strongest by measured seasonal strength, ties to the shorter period.
+  if (out.size() > options.max_periods) {
+    std::sort(out.begin(), out.end(),
+              [](const DetectedSeason& a, const DetectedSeason& b) {
+                if (a.strength != b.strength) return a.strength > b.strength;
+                return a.period < b.period;
+              });
+    out.resize(options.max_periods);
   }
   // Report strongest (by periodogram power) first.
   std::sort(out.begin(), out.end(),

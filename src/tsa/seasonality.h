@@ -17,6 +17,7 @@ struct DetectedSeason {
   std::size_t period = 0;   // in observations
   double power = 0.0;       // periodogram ordinate at the peak
   double acf = 0.0;         // sample autocorrelation at the period
+  double strength = 0.0;    // seasonal strength measured at confirmation
 };
 
 struct SeasonalityOptions {

@@ -1,0 +1,251 @@
+#include <cmath>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "core/pipeline.h"
+#include "service/estate_service.h"
+#include "workload/scenario.h"
+
+// Chaos scenarios for the multi-seasonality selection subsystem. The two
+// fault sites have deliberately different blast radii:
+//
+//   * `selector.periods` is absorbed inside the period router — the
+//     selection continues on the single-season path at full strength; it
+//     must NOT enter the degradation ladder.
+//   * `pipeline.tbats` fails the TBATS branch itself — under
+//     degrade_on_failure it rides the normal full -> HES -> SES -> naive
+//     ladder, like any other branch failure.
+//
+// Both behaviours must also be replayable across a service kill/Recover.
+
+namespace capplan::service {
+namespace {
+
+class LatticeChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+tsa::TimeSeries MakeMultiSeasonalSeries(unsigned seed, std::size_t n = 1100) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double td = static_cast<double>(t);
+    v[t] = 60.0 + 12.0 * std::sin(2.0 * M_PI * td / 24.0) +
+           6.0 * std::sin(2.0 * M_PI * td / 168.0) + dist(rng);
+  }
+  return tsa::TimeSeries("cdbm011/cpu", 0, tsa::Frequency::kHourly, v);
+}
+
+core::PipelineOptions LadderOptions(core::Technique technique) {
+  core::PipelineOptions opts;
+  opts.technique = technique;
+  opts.max_lag = 4;
+  opts.n_threads = 4;
+  opts.degrade_on_failure = true;
+  return opts;
+}
+
+void ExpectFiniteForecast(const core::PipelineReport& report) {
+  ASSERT_FALSE(report.forecast.mean.empty());
+  for (std::size_t h = 0; h < report.forecast.mean.size(); ++h) {
+    EXPECT_TRUE(std::isfinite(report.forecast.mean[h])) << "h=" << h;
+  }
+}
+
+TEST_F(LatticeChaosTest, CleanMultiSeasonalSeriesRoutesBothPeriods) {
+  const auto series = MakeMultiSeasonalSeries(1);
+  auto report = core::Pipeline(LadderOptions(core::Technique::kSarimaxFftExog))
+                    .Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->multiple_seasonality);
+  EXPECT_FALSE(report->period_detection_fallback);
+  EXPECT_GE(report->seasons.size(), 2u);
+  EXPECT_EQ(report->degradation, core::DegradationLevel::kFull);
+}
+
+TEST_F(LatticeChaosTest, PeriodsFaultFallsToSingleSeasonNotLadder) {
+  const auto series = MakeMultiSeasonalSeries(2);
+  ScopedFault fault("selector.periods", FaultPlan::FailForever());
+  auto report = core::Pipeline(LadderOptions(core::Technique::kSarimaxFftExog))
+                    .Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // The router absorbed the fault: no detected seasons, single-season
+  // selection — but selection itself ran at full strength, so the report is
+  // NOT degraded and the ladder was never entered.
+  EXPECT_TRUE(report->period_detection_fallback);
+  EXPECT_TRUE(report->seasons.empty());
+  EXPECT_FALSE(report->multiple_seasonality);
+  EXPECT_EQ(report->degradation, core::DegradationLevel::kFull);
+  EXPECT_TRUE(report->degradation_reason.empty());
+  ExpectFiniteForecast(*report);
+}
+
+TEST_F(LatticeChaosTest, TbatsFaultRidesLadderToHesRung) {
+  const auto series = MakeMultiSeasonalSeries(3);
+  ScopedFault fault("pipeline.tbats", FaultPlan::FailForever());
+  auto report =
+      core::Pipeline(LadderOptions(core::Technique::kTbats)).Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->degradation, core::DegradationLevel::kHesOnly);
+  EXPECT_EQ(report->chosen_family, core::Technique::kHes);
+  EXPECT_FALSE(report->degradation_reason.empty());
+  ExpectFiniteForecast(*report);
+}
+
+TEST_F(LatticeChaosTest, TbatsHesAndSesFaultsRideLadderToBaseline) {
+  const auto series = MakeMultiSeasonalSeries(4);
+  ScopedFault tbats("pipeline.tbats", FaultPlan::FailForever());
+  ScopedFault hes("pipeline.hes", FaultPlan::FailForever());
+  ScopedFault ses("pipeline.ses", FaultPlan::FailForever());
+  auto report =
+      core::Pipeline(LadderOptions(core::Technique::kTbats)).Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->degradation, core::DegradationLevel::kBaseline);
+  EXPECT_NE(report->chosen_spec.find("naive"), std::string::npos);
+  ExpectFiniteForecast(*report);
+}
+
+TEST_F(LatticeChaosTest, TbatsFaultLadderOffFailsFast) {
+  const auto series = MakeMultiSeasonalSeries(5);
+  ScopedFault fault("pipeline.tbats", FaultPlan::FailForever());
+  core::PipelineOptions opts = LadderOptions(core::Technique::kTbats);
+  opts.degrade_on_failure = false;
+  EXPECT_FALSE(core::Pipeline(opts).Run(series).ok());
+}
+
+TEST_F(LatticeChaosTest, AutoSelectionSurvivesTbatsFaultWithoutLadder) {
+  // Under kAuto the TBATS branch is one competitor among several; its fault
+  // just removes it from the race and a healthy family still wins cleanly.
+  const auto series = MakeMultiSeasonalSeries(6);
+  ScopedFault fault("pipeline.tbats", FaultPlan::FailForever());
+  auto report =
+      core::Pipeline(LadderOptions(core::Technique::kAuto)).Run(series);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->degradation, core::DegradationLevel::kFull);
+  EXPECT_NE(report->chosen_family, core::Technique::kTbats);
+  ExpectFiniteForecast(*report);
+}
+
+// ---- Service-level replay: both fault behaviours survive kill/Recover. ----
+
+workload::WorkloadScenario TestScenario() {
+  auto scenario = workload::WorkloadScenario::Olap();
+  scenario.n_instances = 2;
+  return scenario;
+}
+
+EstateServiceConfig FastConfig() {
+  EstateServiceConfig config;
+  config.pipeline.technique = core::Technique::kHes;
+  config.fit_threads = 2;
+  config.warmup_days = 42;
+  return config;
+}
+
+std::string FreshStateDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/lattice_chaos_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST_F(LatticeChaosTest, RoutedPeriodsSurviveSnapshotRecovery) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.state_dir = FreshStateDir("periods_snapshot");
+  const std::vector<WatchConfig> watches = {{0, workload::Metric::kCpu, 95.0}};
+  std::vector<double> periods_before;
+  {
+    EstateService service(&cluster, watches, config);
+    ASSERT_TRUE(service.Start().ok());
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+    auto model = service.registry().Get(service.keys()[0]);
+    ASSERT_TRUE(model.ok());
+    periods_before = model->periods;
+    EXPECT_FALSE(periods_before.empty());  // daily cycle at minimum
+    ASSERT_TRUE(service.Checkpoint().ok());
+  }
+  EstateService recovered(&cluster, watches, config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  auto model = recovered.registry().Get(recovered.keys()[0]);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->periods, periods_before);
+  std::filesystem::remove_all(config.state_dir);
+}
+
+TEST_F(LatticeChaosTest, PeriodsFaultInServiceStaysFullStrengthAcrossRecovery) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.state_dir = FreshStateDir("periods_fault");
+  config.snapshot_every_ticks = 0;  // journal-only recovery
+  const std::vector<WatchConfig> watches = {{0, workload::Metric::kCpu, 95.0}};
+  {
+    EstateService service(&cluster, watches, config);
+    ASSERT_TRUE(service.Start().ok());
+    FaultInjector::Global().Arm("selector.periods", FaultPlan::FailForever());
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+    // The router degraded to the single-season path, not the ladder: the
+    // refit is a full-strength success with no routed periods.
+    EXPECT_EQ(service.telemetry().refits_succeeded, 1u);
+    EXPECT_EQ(service.telemetry().refits_degraded, 0u);
+    EXPECT_EQ(service.ForecastDegradation(service.keys()[0]),
+              core::DegradationLevel::kFull);
+    auto model = service.registry().Get(service.keys()[0]);
+    ASSERT_TRUE(model.ok());
+    EXPECT_TRUE(model->periods.empty());
+    // Crash without checkpoint.
+  }
+  FaultInjector::Global().Reset();
+
+  EstateService recovered(&cluster, watches, config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.ForecastDegradation(recovered.keys()[0]),
+            core::DegradationLevel::kFull);
+  std::filesystem::remove_all(config.state_dir);
+}
+
+TEST_F(LatticeChaosTest, TbatsFaultInServiceRidesLadderAcrossRecovery) {
+  const auto scenario = TestScenario();
+  workload::ClusterSimulator cluster(scenario, 7);
+  auto config = FastConfig();
+  config.state_dir = FreshStateDir("tbats_fault");
+  config.snapshot_every_ticks = 0;  // journal-only recovery
+  config.pipeline.technique = core::Technique::kTbats;
+  const std::vector<WatchConfig> watches = {{0, workload::Metric::kCpu, 95.0}};
+  {
+    EstateService service(&cluster, watches, config);
+    ASSERT_TRUE(service.Start().ok());
+    // The TBATS branch is down; always_forecast walks the ladder.
+    FaultInjector::Global().Arm("pipeline.tbats", FaultPlan::FailForever());
+    ASSERT_TRUE(service.Tick().ok());
+    ASSERT_TRUE(service.DrainRefits().ok());
+    EXPECT_EQ(service.telemetry().refits_succeeded, 1u);
+    EXPECT_EQ(service.telemetry().refits_degraded, 1u);
+    EXPECT_EQ(service.ForecastDegradation(service.keys()[0]),
+              core::DegradationLevel::kHesOnly);
+    // Crash without checkpoint.
+  }
+  FaultInjector::Global().Reset();
+
+  // The degradation tag is part of the durable record: recovery restores
+  // the ladder outcome, and the next refit (fault gone) climbs back.
+  EstateService recovered(&cluster, watches, config);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.ForecastDegradation(recovered.keys()[0]),
+            core::DegradationLevel::kHesOnly);
+  std::filesystem::remove_all(config.state_dir);
+}
+
+}  // namespace
+}  // namespace capplan::service

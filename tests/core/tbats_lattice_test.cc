@@ -1,0 +1,182 @@
+// Oracle-equality suite for the TBATS option lattice (the PR 2 fast-path
+// contract, extended to the multi-seasonality subsystem): with AIC pruning
+// enabled — at any thread count — Select() must pick the byte-identical
+// configuration the exhaustive full-budget oracle picks, because survivors
+// are cold-rescored with exactly the oracle's fit and ties break in lattice
+// order. Fixtures cover a synthetic daily+weekly series and the OLAP/OLTP
+// workload-simulator scenarios, plus the period router's decisions.
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agent/agent.h"
+#include "core/lattice/period_router.h"
+#include "core/lattice/tbats_lattice.h"
+#include "repo/repository.h"
+#include "workload/cluster.h"
+
+namespace capplan::core {
+namespace {
+
+std::vector<double> SyntheticDailyWeekly(unsigned seed, std::size_t n) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double td = static_cast<double>(t);
+    y[t] = 40.0 + 10.0 * std::sin(2.0 * M_PI * td / 24.0) +
+           6.0 * std::sin(2.0 * M_PI * td / 168.0) + dist(rng);
+  }
+  return y;
+}
+
+// Hourly CPU trace from the workload simulator, via the same agent ->
+// repository path the service uses.
+std::vector<double> ScenarioValues(const workload::WorkloadScenario& scenario) {
+  workload::ClusterSimulator sim(scenario, /*seed=*/77);
+  agent::MonitoringAgent agent_(&sim);
+  auto raw = agent_.CollectDays(0, workload::Metric::kCpu, 35);
+  EXPECT_TRUE(raw.ok()) << raw.status();
+  repo::MetricsRepository repository;
+  const std::string key = repo::MetricsRepository::KeyFor(
+      sim.InstanceName(0), workload::Metric::kCpu);
+  EXPECT_TRUE(repository.Ingest(key, *raw).ok());
+  auto hourly = repository.Hourly(key);
+  EXPECT_TRUE(hourly.ok()) << hourly.status();
+  return hourly->values();
+}
+
+// Reduced optimizer budget so the suite stays fast; both paths share it, so
+// the equality contract is exercised at exactly these settings.
+lattice::TbatsLatticeOptions TestOptions() {
+  lattice::TbatsLatticeOptions opts;
+  opts.model.max_harmonics = 2;
+  opts.model.max_fit_iterations = 160;
+  return opts;
+}
+
+// Runs the exhaustive oracle once and the pruned path at 1 and 4 threads;
+// asserts every pruned run selects the byte-identical configuration with
+// the identical full-budget AIC.
+void ExpectPrunedMatchesOracle(const std::vector<double>& y,
+                               const std::vector<double>& periods) {
+  lattice::TbatsLatticeOptions oracle_opts = TestOptions();
+  oracle_opts.prune = false;
+  auto oracle = lattice::TbatsLattice(oracle_opts).Select(y, periods);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  for (std::size_t n_threads : {std::size_t{1}, std::size_t{4}}) {
+    lattice::TbatsLatticeOptions opts = TestOptions();
+    opts.prune = true;
+    opts.n_threads = n_threads;
+    auto pruned = lattice::TbatsLattice(opts).Select(y, periods);
+    ASSERT_TRUE(pruned.ok()) << pruned.status();
+    EXPECT_EQ(pruned->model.config().ToString(),
+              oracle->model.config().ToString())
+        << "thread count " << n_threads;
+    EXPECT_NEAR(pruned->aic, oracle->aic, 1e-9)
+        << "thread count " << n_threads;
+    EXPECT_EQ(pruned->profile.enumerated, oracle->profile.enumerated);
+  }
+}
+
+TEST(TbatsLatticeTest, PrunedMatchesOracleOnSyntheticDailyWeekly) {
+  ExpectPrunedMatchesOracle(SyntheticDailyWeekly(11, 168 * 6), {24.0, 168.0});
+}
+
+TEST(TbatsLatticeTest, PrunedMatchesOracleOnOlapScenario) {
+  const std::vector<double> y =
+      ScenarioValues(workload::WorkloadScenario::Olap());
+  lattice::PeriodRouter router;
+  const lattice::RoutingDecision routing = router.Route(y);
+  std::vector<double> periods;
+  for (const auto& season : routing.seasons) {
+    periods.push_back(static_cast<double>(season.period));
+  }
+  if (periods.empty()) periods.push_back(24.0);
+  ExpectPrunedMatchesOracle(y, periods);
+}
+
+TEST(TbatsLatticeTest, PrunedMatchesOracleOnOltpScenario) {
+  const std::vector<double> y =
+      ScenarioValues(workload::WorkloadScenario::Oltp());
+  lattice::PeriodRouter router;
+  const lattice::RoutingDecision routing = router.Route(y);
+  std::vector<double> periods;
+  for (const auto& season : routing.seasons) {
+    periods.push_back(static_cast<double>(season.period));
+  }
+  if (periods.empty()) periods.push_back(24.0);
+  ExpectPrunedMatchesOracle(y, periods);
+}
+
+TEST(TbatsLatticeTest, EnumerationIsSharedBetweenPaths) {
+  const std::vector<double> y = SyntheticDailyWeekly(13, 168 * 5);
+  lattice::TbatsLatticeOptions oracle_opts = TestOptions();
+  oracle_opts.prune = false;
+  lattice::TbatsLatticeOptions pruned_opts = TestOptions();
+  pruned_opts.prune = true;
+  pruned_opts.n_threads = 4;
+  const auto a =
+      lattice::TbatsLattice(oracle_opts).EnumerateConfigs(y, {24.0, 168.0});
+  const auto b =
+      lattice::TbatsLattice(pruned_opts).EnumerateConfigs(y, {24.0, 168.0});
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString()) << "lattice index " << i;
+  }
+}
+
+TEST(TbatsLatticeTest, PruningIsReportedInProfile) {
+  const std::vector<double> y = SyntheticDailyWeekly(17, 168 * 5);
+  lattice::TbatsLatticeOptions opts = TestOptions();
+  opts.prune = true;
+  opts.keep_top = 3;
+  opts.n_threads = 2;
+  auto sel = lattice::TbatsLattice(opts).Select(y, {24.0, 168.0});
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  EXPECT_GT(sel->profile.enumerated, opts.keep_top);
+  EXPECT_GT(sel->profile.pruned, 0u);
+  EXPECT_LE(sel->profile.rescored, opts.keep_top);
+  EXPECT_EQ(sel->profile.pruned + sel->profile.rescored,
+            sel->profile.enumerated);
+}
+
+TEST(PeriodRouterTest, DetectsDailyAndWeeklySeasons) {
+  const std::vector<double> y = SyntheticDailyWeekly(19, 168 * 6);
+  lattice::PeriodRouter router;
+  const lattice::RoutingDecision routing = router.Route(y);
+  EXPECT_FALSE(routing.detection_failed);
+  ASSERT_GE(routing.seasons.size(), 2u);
+  EXPECT_TRUE(routing.multiple_seasonality);
+  bool has_daily = false, has_weekly = false;
+  for (const auto& season : routing.seasons) {
+    if (season.period == 24) has_daily = true;
+    if (season.period >= 160 && season.period <= 176) has_weekly = true;
+  }
+  EXPECT_TRUE(has_daily);
+  EXPECT_TRUE(has_weekly);
+}
+
+TEST(PeriodRouterTest, SingleSeasonIsNotMultiSeasonal) {
+  std::mt19937 rng(23);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  std::vector<double> y(24 * 30);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 50.0 +
+           12.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           dist(rng);
+  }
+  lattice::PeriodRouter router;
+  const lattice::RoutingDecision routing = router.Route(y);
+  EXPECT_FALSE(routing.detection_failed);
+  ASSERT_EQ(routing.seasons.size(), 1u);
+  EXPECT_EQ(routing.seasons[0].period, 24u);
+  EXPECT_FALSE(routing.multiple_seasonality);
+}
+
+}  // namespace
+}  // namespace capplan::core

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/split.h"
+
 namespace capplan::repo {
 namespace {
 
@@ -280,6 +282,106 @@ TEST(ModelRepositoryTest, KeysListing) {
   repo.Put(MakeModel("b", 1.0, 0));
   repo.Put(MakeModel("a", 1.0, 0));
   EXPECT_EQ(repo.Keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ModelRepositoryTest, PeriodsSurviveSaveLoad) {
+  // Selection-time seasonal periods (docs/selection.md) round-trip through
+  // the registry CSV so /v1/decompose can reuse the selector's routing
+  // after a restart instead of re-detecting.
+  ModelRepository repo;
+  StoredModel m = MakeModel("cdbm011/cpu", 8.42, 1559520000);
+  m.technique = "TBATS";
+  m.spec = "TBATS(boxcox=n,trend=y,damped=n,arma=(0,0),seasons={24:2,168:1})";
+  m.periods = {24.0, 168.0};
+  repo.Put(m);
+  repo.Put(MakeModel("cdbm012/cpu", 9.0, 1559520001));  // no periods
+  const std::string path = ::testing::TempDir() + "/models_periods.csv";
+  ASSERT_TRUE(repo.Save(path).ok());
+
+  ModelRepository loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  auto got = loaded.Get("cdbm011/cpu");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->technique, "TBATS");
+  EXPECT_EQ(got->periods, (std::vector<double>{24.0, 168.0}));
+  auto plain = loaded.Get("cdbm012/cpu");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->periods.empty());
+}
+
+TEST(ModelRepositoryTest, LoadsLegacyElevenColumnFiles) {
+  // Pre-periods files (11-column header, with lineage) still load; periods
+  // stay empty until the next refit re-routes the series.
+  const std::string path = ::testing::TempDir() + "/models_legacy11.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "key,technique,spec,test_rmse,test_mape,fitted_at_epoch,"
+        "ar_coef,ma_coef,generation,promoted_at_epoch,live_mape\n"
+        "cdbm011/cpu,SARIMAX,\"(1,1,1)(0,1,1,24)\",8.5,12.0,1559520000,"
+        "0.5;-0.25,0.125,3,1559520777,6.125\n",
+        f);
+    std::fclose(f);
+  }
+  ModelRepository repo;
+  ASSERT_TRUE(repo.Load(path).ok());
+  auto m = repo.Get("cdbm011/cpu");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->generation, 3);
+  EXPECT_DOUBLE_EQ(m->live_mape, 6.125);
+  EXPECT_TRUE(m->periods.empty());
+}
+
+TEST(ModelRepositoryTest, UnknownTechniqueDegradesToRowError) {
+  // A registry written by a newer build (or a hand-edited row) must not
+  // abort the whole load: the bad row is skipped with a per-row error and
+  // every parseable row still lands.
+  const std::string path = ::testing::TempDir() + "/models_mixed.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "key,technique,spec,test_rmse,test_mape,fitted_at_epoch,"
+        "ar_coef,ma_coef,generation,promoted_at_epoch,live_mape,periods\n"
+        "cdbm011/cpu,SARIMAX,\"(1,1,1)(0,1,1,24)\",8.5,12.0,1559520000,"
+        ",,1,1559520000,-1,\n"
+        "cdbm012/cpu,FANCY_ML,transformer-v2,4.2,6.0,1559520001,"
+        ",,1,1559520001,-1,\n"
+        "cdbm013/cpu,TBATS,\"TBATS(boxcox=n,trend=y,damped=n,arma=(1,0),"
+        "seasons={24:2,168:1})\",7.5,11.0,1559520002,"
+        ",,2,1559520002,-1,24;168\n",
+        f);
+    std::fclose(f);
+  }
+  ModelRepository repo;
+  ModelRepository::LoadReport report;
+  ASSERT_TRUE(repo.Load(path, &report).ok());
+  EXPECT_EQ(report.loaded, 2u);
+  ASSERT_EQ(report.row_errors.size(), 1u);
+  EXPECT_NE(report.row_errors[0].find("FANCY_ML"), std::string::npos);
+  EXPECT_NE(report.row_errors[0].find("cdbm012/cpu"), std::string::npos);
+  EXPECT_TRUE(repo.Contains("cdbm011/cpu"));
+  EXPECT_FALSE(repo.Contains("cdbm012/cpu"));
+  auto tbats = repo.Get("cdbm013/cpu");
+  ASSERT_TRUE(tbats.ok());
+  EXPECT_EQ(tbats->periods, (std::vector<double>{24.0, 168.0}));
+}
+
+TEST(ModelRepositoryTest, KnownTechniqueListMatchesCoreNames) {
+  // IsKnownTechnique is duplicated below the core layer on purpose (repo
+  // cannot depend on core); this pins the two lists together.
+  using core::Technique;
+  for (Technique t :
+       {Technique::kArima, Technique::kSarimax, Technique::kSarimaxFftExog,
+        Technique::kHes, Technique::kTbats, Technique::kBaseline,
+        Technique::kAuto}) {
+    EXPECT_TRUE(IsKnownTechnique(core::TechniqueName(t)))
+        << core::TechniqueName(t);
+  }
+  EXPECT_FALSE(IsKnownTechnique("FANCY_ML"));
+  EXPECT_FALSE(IsKnownTechnique(""));
+  EXPECT_FALSE(IsKnownTechnique("tbats"));  // case-sensitive on purpose
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// /v1/decompose endpoint tests: error map, selector-periods vs live-detection
+// routing, anomaly flags, and the reconstruction property — the published
+// trend + seasonal components + residual must sum back to the published
+// history within float tolerance.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "serve/estate_view.h"
+#include "serve/handlers.h"
+#include "serve/http.h"
+
+namespace capplan::serve {
+namespace {
+
+HttpRequest Get(const std::string& target) {
+  RequestParser p;
+  const std::string raw = "GET " + target + " HTTP/1.1\r\n\r\n";
+  p.Feed(raw.data(), raw.size());
+  EXPECT_EQ(p.state(), RequestParser::State::kComplete) << target;
+  return p.TakeRequest();
+}
+
+std::vector<double> DailyWeeklyHistory(unsigned seed, std::size_t n,
+                                       double spike_at_100 = 0.0) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double td = static_cast<double>(t);
+    x[t] = 50.0 + 10.0 * std::sin(2.0 * M_PI * td / 24.0) +
+           4.0 * std::sin(2.0 * M_PI * td / 168.0) + dist(rng);
+  }
+  if (spike_at_100 != 0.0 && n > 100) x[100] += spike_at_100;
+  return x;
+}
+
+// Parses the first "<name>":[...] flat number array after `from`; returns
+// the position just past it through `next` when non-null.
+std::vector<double> ExtractArray(const std::string& body,
+                                 const std::string& name,
+                                 std::size_t from = 0,
+                                 std::size_t* next = nullptr) {
+  const std::string needle = "\"" + name + "\":[";
+  const std::size_t pos = body.find(needle, from);
+  EXPECT_NE(pos, std::string::npos) << name;
+  std::vector<double> out;
+  if (pos == std::string::npos) return out;
+  std::size_t i = pos + needle.size();
+  while (i < body.size() && body[i] != ']') {
+    char* end = nullptr;
+    out.push_back(std::strtod(body.c_str() + i, &end));
+    i = static_cast<std::size_t>(end - body.c_str());
+    if (i < body.size() && body[i] == ',') ++i;
+  }
+  if (next != nullptr) *next = i;
+  return out;
+}
+
+std::shared_ptr<EstateView> MakeView() {
+  auto view = std::make_shared<EstateView>();
+  view->now_epoch = 2000000;
+  view->tick = 3;
+
+  // Routed series: the selector stamped {24, 168} at fit time.
+  InstanceStatus routed;
+  routed.key = "cdbm011/cpu";
+  routed.instance = "cdbm011";
+  routed.metric = "cpu";
+  routed.periods = {24.0, 168.0};
+  routed.history = DailyWeeklyHistory(11, 336);
+  routed.history_start_epoch = 2000000 - 336 * 3600;
+
+  // No selector periods (e.g. HES champion): live detection must route.
+  InstanceStatus detected;
+  detected.key = "cdbm012/cpu";
+  detected.instance = "cdbm012";
+  detected.metric = "cpu";
+  detected.history = DailyWeeklyHistory(13, 336, /*spike_at_100=*/25.0);
+  detected.history_start_epoch = 2000000 - 336 * 3600;
+
+  // Watched but no history published yet.
+  InstanceStatus bare;
+  bare.key = "cdbm013/memory";
+  bare.instance = "cdbm013";
+  bare.metric = "memory";
+
+  view->instances = {routed, detected, bare};
+  std::sort(view->instances.begin(), view->instances.end(),
+            [](const InstanceStatus& a, const InstanceStatus& b) {
+              return a.key < b.key;
+            });
+  return view;
+}
+
+class DecomposeTest : public ::testing::Test {
+ protected:
+  DecomposeTest()
+      : registry_(std::make_shared<obs::MetricsRegistry>()),
+        handler_(&channel_, registry_) {
+    channel_.Publish(MakeView());
+  }
+
+  ViewChannel channel_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  EstateQueryHandler handler_;
+};
+
+TEST_F(DecomposeTest, MissingKeyIs400) {
+  EXPECT_EQ(handler_.Handle(Get("/v1/decompose")).status, 400);
+  EXPECT_EQ(handler_.Handle(Get("/v1/decompose?key=")).status, 400);
+}
+
+TEST_F(DecomposeTest, UnknownKeyIs404) {
+  EXPECT_EQ(handler_.Handle(Get("/v1/decompose?key=nope/cpu")).status, 404);
+}
+
+TEST_F(DecomposeTest, BadBandIs400) {
+  EXPECT_EQ(
+      handler_.Handle(Get("/v1/decompose?key=cdbm011/cpu&band=-1")).status,
+      400);
+  EXPECT_EQ(
+      handler_.Handle(Get("/v1/decompose?key=cdbm011/cpu&band=abc")).status,
+      400);
+}
+
+TEST_F(DecomposeTest, NoHistoryIs422) {
+  const HttpResponse resp =
+      handler_.Handle(Get("/v1/decompose?key=cdbm013/memory"));
+  EXPECT_EQ(resp.status, 422);
+  EXPECT_NE(resp.body.find("FailedPrecondition"), std::string::npos);
+}
+
+TEST_F(DecomposeTest, ComponentsReconstructHistoryWithinTolerance) {
+  const HttpResponse resp =
+      handler_.Handle(Get("/v1/decompose?key=cdbm011/cpu"));
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_NE(resp.body.find("\"periods_source\":\"selector\""),
+            std::string::npos);
+
+  const std::vector<double> periods = ExtractArray(resp.body, "periods");
+  ASSERT_EQ(periods, (std::vector<double>{24.0, 168.0}));
+  const std::vector<double> trend = ExtractArray(resp.body, "trend");
+  const std::vector<double> residual = ExtractArray(resp.body, "residual");
+  std::size_t cursor = 0;
+  std::vector<std::vector<double>> seasonal;
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    seasonal.push_back(ExtractArray(resp.body, "values", cursor, &cursor));
+  }
+
+  const std::vector<double> history = DailyWeeklyHistory(11, 336);
+  ASSERT_EQ(trend.size(), history.size());
+  ASSERT_EQ(residual.size(), history.size());
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    double sum = trend[t] + residual[t];
+    for (const auto& s : seasonal) {
+      ASSERT_EQ(s.size(), history.size());
+      sum += s[t];
+    }
+    // The components are exact in double; only the JSON round-trip (which
+    // is shortest-round-trip formatted) sits between us and the input.
+    EXPECT_NEAR(sum, history[t], 1e-9) << "t=" << t;
+  }
+}
+
+TEST_F(DecomposeTest, FallsBackToLiveDetectionAndFlagsSpike) {
+  const HttpResponse resp =
+      handler_.Handle(Get("/v1/decompose?key=cdbm012/cpu"));
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_NE(resp.body.find("\"periods_source\":\"detected\""),
+            std::string::npos);
+  const std::vector<double> periods = ExtractArray(resp.body, "periods");
+  EXPECT_NE(std::find(periods.begin(), periods.end(), 24.0), periods.end());
+
+  // The +25 spike injected at t=100 lands in the residual and crosses the
+  // 3-sigma robust band.
+  const std::vector<double> anomalies = ExtractArray(resp.body, "anomalies");
+  EXPECT_NE(std::find(anomalies.begin(), anomalies.end(), 100.0),
+            anomalies.end());
+}
+
+TEST_F(DecomposeTest, AnswersAreServedFromTheAnswerCache) {
+  const HttpResponse first =
+      handler_.Handle(Get("/v1/decompose?key=cdbm011/cpu"));
+  ASSERT_EQ(first.status, 200);
+  const HttpResponse second =
+      handler_.Handle(Get("/v1/decompose?key=cdbm011/cpu"));
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(first.body, second.body);
+  EXPECT_FALSE(EstateQueryHandler::CacheExempt("/v1/decompose"));
+}
+
+}  // namespace
+}  // namespace capplan::serve

@@ -1,0 +1,107 @@
+#include "tsa/mstl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace capplan::tsa {
+namespace {
+
+std::vector<double> DailyWeekly(unsigned seed, std::size_t n,
+                                double noise_sigma = 0.5) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, noise_sigma);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double td = static_cast<double>(t);
+    x[t] = 40.0 + 0.01 * td +
+           10.0 * std::sin(2.0 * M_PI * td / 24.0) +
+           5.0 * std::sin(2.0 * M_PI * td / 168.0) + dist(rng);
+  }
+  return x;
+}
+
+// The property /v1/decompose's payload contract rests on: for any input the
+// published components sum back to the input exactly (float addition only).
+TEST(MstlTest, AdditiveIdentityHoldsOnRandomInputs) {
+  for (unsigned seed : {1u, 2u, 3u, 4u}) {
+    const std::vector<double> x = DailyWeekly(seed, 24 * 28, 2.0);
+    auto d = MstlDecompose(x, {24, 168});
+    ASSERT_TRUE(d.ok()) << d.status();
+    ASSERT_EQ(d->periods, (std::vector<std::size_t>{24, 168}));
+    ASSERT_EQ(d->seasonal.size(), 2u);
+    for (std::size_t t = 0; t < x.size(); ++t) {
+      double sum = d->trend[t] + d->remainder[t];
+      for (const auto& s : d->seasonal) sum += s[t];
+      EXPECT_NEAR(sum, x[t], 1e-9) << "seed " << seed << " t=" << t;
+    }
+  }
+}
+
+TEST(MstlTest, SeasonalComponentsCarryTheirCycles) {
+  // Golden shape check on a noiseless series: the period-24 component must
+  // carry (most of) the daily amplitude and the period-168 component the
+  // weekly one.
+  const std::vector<double> x = DailyWeekly(0, 24 * 28, 0.0);
+  auto d = MstlDecompose(x, {24, 168});
+  ASSERT_TRUE(d.ok()) << d.status();
+  double daily_peak = 0.0, weekly_peak = 0.0;
+  for (double v : d->seasonal[0]) daily_peak = std::max(daily_peak, std::fabs(v));
+  for (double v : d->seasonal[1]) weekly_peak = std::max(weekly_peak, std::fabs(v));
+  EXPECT_GT(daily_peak, 7.0);
+  EXPECT_LT(daily_peak, 13.0);
+  EXPECT_GT(weekly_peak, 3.0);
+  EXPECT_LT(weekly_peak, 8.0);
+  // With no noise the residual is small relative to the signal.
+  const double sigma = RobustSigma(d->remainder);
+  EXPECT_LT(sigma, 1.0);
+}
+
+TEST(MstlTest, PeriodsAreDedupedAndSorted) {
+  const std::vector<double> x = DailyWeekly(5, 24 * 28);
+  auto d = MstlDecompose(x, {168, 24, 24});
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->periods, (std::vector<std::size_t>{24, 168}));
+}
+
+TEST(MstlTest, PeriodsWithoutTwoCyclesAreDropped) {
+  const std::vector<double> x = DailyWeekly(6, 100);
+  auto d = MstlDecompose(x, {24, 60});  // 2 * 60 > 100
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->periods, (std::vector<std::size_t>{24}));
+
+  EXPECT_FALSE(MstlDecompose(x, {60}).ok());
+  EXPECT_FALSE(MstlDecompose(x, {}).ok());
+}
+
+TEST(MstlTest, RobustSigmaIsScaledMad) {
+  // median 3, deviations {2,1,0,1,97}, MAD 1 -> 1.4826.
+  EXPECT_NEAR(RobustSigma({1.0, 2.0, 3.0, 4.0, 100.0}), 1.4826, 1e-12);
+  EXPECT_DOUBLE_EQ(RobustSigma({}), 0.0);
+  EXPECT_DOUBLE_EQ(RobustSigma({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(MstlTest, FlagAnomaliesFindsInjectedSpike) {
+  std::mt19937 rng(7);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> r(400);
+  for (double& v : r) v = dist(rng);
+  r[50] = 30.0;   // ~30 robust sigmas
+  r[200] = -25.0;
+  const auto flags = FlagAnomalies(r, 3.0);
+  EXPECT_NE(std::find(flags.begin(), flags.end(), 50u), flags.end());
+  EXPECT_NE(std::find(flags.begin(), flags.end(), 200u), flags.end());
+  // A 3-sigma band on N(0,1) noise flags only a thin tail beyond the spikes.
+  EXPECT_LT(flags.size(), 20u);
+}
+
+TEST(MstlTest, FlagAnomaliesEmptyWhenNoSpread) {
+  EXPECT_TRUE(FlagAnomalies({2.0, 2.0, 2.0, 2.0}, 3.0).empty());
+  EXPECT_TRUE(FlagAnomalies({}, 3.0).empty());
+}
+
+}  // namespace
+}  // namespace capplan::tsa

@@ -2,8 +2,8 @@
 """Metric-name linter for the observability layer (stdlib only).
 
 Cross-checks the metric names registered in the C++ sources against the
-catalogue tables in docs/observability.md, docs/serving.md, docs/storage.md
-and docs/scaling.md, in both directions:
+catalogue tables in the docs (the CATALOGUES list below), in both
+directions:
 
   1. every `capplan_*` string literal under src/ must follow the naming
      rules (snake_case starting with a letter, no double underscore, no
@@ -28,7 +28,7 @@ from pathlib import Path
 
 CATALOGUES = (Path("docs/observability.md"), Path("docs/serving.md"),
               Path("docs/storage.md"), Path("docs/scaling.md"),
-              Path("docs/robustness.md"))
+              Path("docs/robustness.md"), Path("docs/selection.md"))
 SRC_DIR = Path("src")
 
 # A metric name inside a C++ string literal.
